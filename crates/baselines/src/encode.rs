@@ -1,0 +1,201 @@
+//! Interval (region) encoding of a document — the representation the
+//! join-based baselines operate on (Zhang et al. SIGMOD'01 / Al-Khalifa et
+//! al. ICDE'02 numbering: `(start, end, level)` per element).
+//!
+//! The encoding mirrors the storage model of `nok-core` exactly (attributes
+//! are leading `@name` children, values are direct text), so Dewey ids are
+//! comparable across engines.
+
+use std::collections::HashMap;
+
+use nok_core::{CoreResult, Dewey};
+use nok_xml::{Event, Reader};
+
+/// One encoded element.
+#[derive(Debug, Clone)]
+pub struct Elem {
+    /// Tag name (attributes as `@name`).
+    pub tag: String,
+    /// Region start (preorder position).
+    pub start: u64,
+    /// Region end (position of the closing tag).
+    pub end: u64,
+    /// Depth, root = 1.
+    pub level: u32,
+    /// Index of the parent element, or `None` for the root.
+    pub parent: Option<usize>,
+    /// Dewey id (for output comparison across engines).
+    pub dewey: Dewey,
+    /// Direct text / attribute value, if any.
+    pub value: Option<String>,
+}
+
+impl Elem {
+    /// `other` lies strictly inside this element's region.
+    pub fn contains(&self, other: &Elem) -> bool {
+        self.start < other.start && other.end < self.end
+    }
+}
+
+/// A fully interval-encoded document with per-tag element lists.
+#[derive(Debug, Default)]
+pub struct IntervalDoc {
+    /// All elements in document order (index = element id).
+    pub elems: Vec<Elem>,
+    /// Tag name → element ids in document order. These are the "streams" /
+    /// input relations of the join-based algorithms.
+    pub by_tag: HashMap<String, Vec<usize>>,
+}
+
+impl IntervalDoc {
+    /// Encode a document from XML text.
+    pub fn parse(xml: &str) -> CoreResult<IntervalDoc> {
+        let mut doc = IntervalDoc::default();
+        let mut counter = 0u64;
+        let mut stack: Vec<usize> = Vec::new(); // open element ids
+        let mut child_counters: Vec<u32> = Vec::new();
+        let mut path: Vec<u32> = Vec::new();
+        let mut texts: Vec<String> = Vec::new();
+
+        let open = |doc: &mut IntervalDoc,
+                        tag: String,
+                        counter: &mut u64,
+                        stack: &[usize],
+                        path: &[u32]| {
+            let id = doc.elems.len();
+            doc.elems.push(Elem {
+                tag: tag.clone(),
+                start: *counter,
+                end: 0,
+                level: path.len() as u32,
+                parent: stack.last().copied(),
+                dewey: Dewey::from_components(path.to_vec()),
+                value: None,
+            });
+            *counter += 1;
+            doc.by_tag.entry(tag).or_default().push(id);
+            id
+        };
+
+        for ev in Reader::content_only(xml) {
+            match ev? {
+                Event::Start { name, attrs } => {
+                    let idx = child_counters.last_mut().map_or(0, |c| {
+                        let i = *c;
+                        *c += 1;
+                        i
+                    });
+                    path.push(idx);
+                    let id = open(&mut doc, name, &mut counter, &stack, &path);
+                    stack.push(id);
+                    child_counters.push(0);
+                    texts.push(String::new());
+                    for a in &attrs {
+                        let aidx = {
+                            let c = child_counters.last_mut().expect("open element");
+                            let i = *c;
+                            *c += 1;
+                            i
+                        };
+                        path.push(aidx);
+                        let aid = open(&mut doc, format!("@{}", a.name), &mut counter, &stack, &path);
+                        doc.elems[aid].end = counter;
+                        counter += 1;
+                        doc.elems[aid].value = Some(a.value.clone());
+                        path.pop();
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(buf) = texts.last_mut() {
+                        buf.push_str(&t);
+                    }
+                }
+                Event::End { .. } => {
+                    let id = stack.pop().expect("balanced");
+                    doc.elems[id].end = counter;
+                    counter += 1;
+                    let text = texts.pop().unwrap_or_default();
+                    if !text.trim().is_empty() {
+                        doc.elems[id].value = Some(text);
+                    }
+                    child_counters.pop();
+                    path.pop();
+                }
+                _ => {}
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Element ids for a tag, in document order (empty slice if unseen).
+    pub fn tag_list(&self, tag: &str) -> &[usize] {
+        self.by_tag.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All element ids in document order.
+    pub fn all_ids(&self) -> Vec<usize> {
+        (0..self.elems.len()).collect()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the document has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XML: &str = r#"<a x="1"><b>t</b><c><b>u</b></c></a>"#;
+
+    #[test]
+    fn regions_nest_properly() {
+        let doc = IntervalDoc::parse(XML).unwrap();
+        // a, @x, b, c, b
+        assert_eq!(doc.len(), 5);
+        let a = &doc.elems[0];
+        for e in &doc.elems[1..] {
+            assert!(a.contains(e), "root contains {}", e.tag);
+        }
+        let c = doc.elems.iter().find(|e| e.tag == "c").unwrap();
+        let inner_b = &doc.elems[4];
+        assert!(c.contains(inner_b));
+        let outer_b = &doc.elems[2];
+        assert!(!c.contains(outer_b));
+    }
+
+    #[test]
+    fn levels_parents_deweys() {
+        let doc = IntervalDoc::parse(XML).unwrap();
+        assert_eq!(doc.elems[0].level, 1);
+        assert_eq!(doc.elems[1].tag, "@x");
+        assert_eq!(doc.elems[1].level, 2);
+        assert_eq!(doc.elems[1].dewey.to_string(), "0.0");
+        assert_eq!(doc.elems[2].dewey.to_string(), "0.1"); // b after @x
+        assert_eq!(doc.elems[4].dewey.to_string(), "0.2.0");
+        assert_eq!(doc.elems[4].parent, Some(3));
+    }
+
+    #[test]
+    fn values_captured() {
+        let doc = IntervalDoc::parse(XML).unwrap();
+        assert_eq!(doc.elems[1].value.as_deref(), Some("1"));
+        assert_eq!(doc.elems[2].value.as_deref(), Some("t"));
+        assert_eq!(doc.elems[3].value, None); // c has no direct text
+    }
+
+    #[test]
+    fn tag_lists_in_document_order() {
+        let doc = IntervalDoc::parse(XML).unwrap();
+        let bs = doc.tag_list("b");
+        assert_eq!(bs.len(), 2);
+        assert!(doc.elems[bs[0]].start < doc.elems[bs[1]].start);
+        assert!(doc.tag_list("zz").is_empty());
+    }
+}

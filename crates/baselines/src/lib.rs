@@ -1,0 +1,34 @@
+//! # nok-baselines
+//!
+//! The three comparison systems of the paper's evaluation (§6.2), rebuilt so
+//! Table 3 can be regenerated:
+//!
+//! * [`di`] — **DI** (Dynamic Interval, DeHaan et al. SIGMOD'03): interval
+//!   encoding with per-step binary structural merge joins and materialized
+//!   intermediate results; deliberately index-free, selectivity-insensitive
+//!   and topology-sensitive, matching the behaviour the paper measured.
+//! * [`twigstack`] — **TwigStack** (Bruno et al. SIGMOD'02): the holistic
+//!   twig join over per-tag streams sorted in document order, with stacks
+//!   encoding partial solutions and `getNext` skipping.
+//! * [`navdom`] — a navigational engine over a *persistent* paged DOM with
+//!   tag and value B+ tree indexes: our stand-in for the closed-source
+//!   X-Hive/DB (see DESIGN.md for the substitution argument).
+//!
+//! All engines implement [`Engine`] and are verified against the naive
+//! oracle in `nok-core` — and, transitively, against the NoK engine itself.
+
+pub mod di;
+pub mod encode;
+pub mod navdom;
+pub mod twigstack;
+
+use nok_core::{CoreResult, Dewey};
+
+/// A query engine over one loaded document.
+pub trait Engine {
+    /// Short display name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluate a path expression; matches as Dewey ids in document order.
+    fn eval(&self, path: &str) -> CoreResult<Vec<Dewey>>;
+}

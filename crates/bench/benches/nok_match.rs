@@ -1,0 +1,59 @@
+//! Engine-vs-engine microbenchmarks on representative Table 2 queries:
+//! the criterion view of Table 3's headline cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nok_bench::EngineSet;
+use nok_datagen::{generate, DatasetKind};
+
+fn bench_engines(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Dblp, 0.05);
+    let set = EngineSet::build(&ds.xml).expect("build");
+    let cases = [
+        ("hpy_Q1", r#"/dblp/article[keyword="needle-high"]"#),
+        ("hpn_Q2", "/dblp/article/rareitem/subitem"),
+        ("mby_Q7", r#"/dblp/article[keyword="needle-mod"][note="needle-mod"]"#),
+        ("lpn_Q10", "/dblp/article/author"),
+    ];
+    for (label, query) in cases {
+        let mut group = c.benchmark_group(label);
+        for engine in set.all() {
+            if engine.eval(query).is_err() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), ""),
+                &query,
+                |b, q| b.iter(|| black_box(engine.eval(q).unwrap().len())),
+            );
+        }
+        group.finish();
+    }
+}
+
+/// Topology sensitivity (§6.2): path vs bushy at equal selectivity for the
+/// NoK engine — "DI is topology sensitive, but our system is not".
+fn bench_topology(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Address, 0.1);
+    let set = EngineSet::build(&ds.xml).expect("build");
+    let path_q = r#"/addresses/address[keyword="needle-low"]/city"#; // lpy
+    let bushy_q = r#"/addresses/address[keyword="needle-low"][note="needle-low"]"#; // lby
+    let mut group = c.benchmark_group("topology_path_vs_bushy");
+    for engine in set.all() {
+        group.bench_function(BenchmarkId::new(engine.name(), "path"), |b| {
+            b.iter(|| black_box(engine.eval(path_q).unwrap().len()))
+        });
+        group.bench_function(BenchmarkId::new(engine.name(), "bushy"), |b| {
+            b.iter(|| black_box(engine.eval(bushy_q).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines, bench_topology
+}
+criterion_main!(benches);

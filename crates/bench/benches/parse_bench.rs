@@ -1,0 +1,62 @@
+//! XML parsing and storage-build throughput: tokenizer, DOM construction,
+//! succinct-store build, and full database (store + indexes) build.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use nok_core::store::{BuildOptions, StructStore};
+use nok_core::{TagDict, XmlDb};
+use nok_datagen::{generate, DatasetKind};
+use nok_pager::{BufferPool, MemStorage};
+use nok_xml::{Document, Reader};
+
+fn bench_parse(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Dblp, 0.02);
+    let bytes = ds.xml.len() as u64;
+    let mut group = c.benchmark_group("parse");
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("tokenize_events", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for ev in Reader::content_only(&ds.xml) {
+                ev.unwrap();
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("build_dom", |b| {
+        b.iter(|| black_box(Document::parse(&ds.xml).unwrap().len()))
+    });
+
+    group.bench_function("build_struct_store", |b| {
+        b.iter(|| {
+            let pool = Rc::new(BufferPool::new(MemStorage::new()));
+            let mut dict = TagDict::new();
+            let store = StructStore::build(
+                pool,
+                Reader::content_only(&ds.xml),
+                &mut dict,
+                BuildOptions::default(),
+                &mut (),
+            )
+            .unwrap();
+            black_box(store.node_count())
+        })
+    });
+
+    group.bench_function("build_full_database", |b| {
+        b.iter(|| black_box(XmlDb::build_in_memory(&ds.xml).unwrap().node_count()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parse
+}
+criterion_main!(benches);

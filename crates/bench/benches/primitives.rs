@@ -1,0 +1,87 @@
+//! Microbenchmarks for the physical tree primitives (paper Algorithm 2):
+//! FIRST-CHILD, FOLLOWING-SIBLING (with and without the header-directory
+//! skip), subtree-close/interval computation, and full document scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nok_core::cursor;
+use nok_core::XmlDb;
+use nok_datagen::{generate, DatasetKind};
+
+fn bench_primitives(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Catalog, 0.05);
+    let db = XmlDb::build_in_memory(&ds.xml).expect("build");
+    let store = db.store();
+    let root = store.root().unwrap();
+    let first_item = cursor::first_child(store, root).unwrap().unwrap();
+
+    c.bench_function("first_child", |b| {
+        b.iter(|| cursor::first_child(store, black_box(first_item)).unwrap())
+    });
+
+    c.bench_function("following_sibling_near", |b| {
+        b.iter(|| cursor::following_sibling(store, black_box(first_item)).unwrap())
+    });
+
+    // Sibling of a node whose subtree spans pages: exercises the skip.
+    c.bench_function("subtree_close_interval", |b| {
+        b.iter(|| cursor::interval(store, black_box(first_item)).unwrap())
+    });
+
+    c.bench_function("doc_scan_full", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for item in cursor::DocScan::new(store) {
+                item.unwrap();
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+/// The header-skip ablation: jumping over a bulk first child with and
+/// without consulting the in-memory header directory (the "without" case is
+/// emulated by walking entries via next_entry).
+fn bench_header_skip(c: &mut Criterion) {
+    let mut xml = String::from("<r><bulk>");
+    for i in 0..5000 {
+        xml.push_str(&format!("<x><y>{i}</y></x>"));
+    }
+    xml.push_str("</bulk><target/></r>");
+    let db =
+        XmlDb::build_in_memory_with(&xml, nok_core::BuildOptions::default(), 512).expect("build");
+    let store = db.store();
+    let root = store.root().unwrap();
+    let bulk = cursor::first_child(store, root).unwrap().unwrap();
+
+    c.bench_function("sibling_jump_with_header_skip", |b| {
+        b.iter(|| cursor::following_sibling(store, black_box(bulk)).unwrap().unwrap())
+    });
+
+    c.bench_function("sibling_jump_without_skip_emulated", |b| {
+        b.iter(|| {
+            // Walk every entry until the close of bulk — what the scan
+            // would do without the (st, lo, hi) page headers.
+            let end = cursor::subtree_close(store, bulk).unwrap();
+            let mut cur = Some(bulk);
+            let mut steps = 0u64;
+            while let Some(a) = cur {
+                steps += 1;
+                if a == end {
+                    break;
+                }
+                cur = cursor::next_entry(store, a).unwrap();
+            }
+            black_box(steps)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_primitives, bench_header_skip
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Streaming NoK matching throughput vs the stored engine (ablation A3 as
+//! a microbenchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use nok_core::{StreamMatcher, XmlDb};
+use nok_datagen::{generate, DatasetKind};
+
+fn bench_stream(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Address, 0.05);
+    let bytes = ds.xml.len() as u64;
+    let db = XmlDb::build_in_memory(&ds.xml).expect("build");
+
+    let queries = [
+        ("selective", r#"//address[keyword="needle-high"]"#),
+        ("broad", "/addresses/address/city"),
+    ];
+    for (label, query) in queries {
+        let mut group = c.benchmark_group(format!("stream_{label}"));
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function("streaming_single_pass", |b| {
+            b.iter(|| black_box(StreamMatcher::run_str(query, &ds.xml).unwrap().len()))
+        });
+        group.bench_function("stored_engine", |b| {
+            b.iter(|| black_box(db.query(query).unwrap().len()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stream
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Update microbenchmarks (ablation A2 as criterion): last-child insert and
+//! subtree delete against the paged string representation, vs the full
+//! re-encode that rigid interval labels force.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nok_baselines::encode::IntervalDoc;
+use nok_core::{Dewey, XmlDb};
+use nok_datagen::{generate, DatasetKind};
+
+fn bench_updates(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Catalog, 0.05);
+    let fragment =
+        r#"<item id="new"><title>bench insert</title><price currency="USD">1.00</price></item>"#;
+
+    c.bench_function("nok_insert_last_child", |b| {
+        // Fresh database per batch to keep the store size stable.
+        b.iter_batched(
+            || XmlDb::build_in_memory(&ds.xml).unwrap(),
+            |mut db| {
+                let d = db.insert_last_child(&Dewey::root(), fragment).unwrap();
+                black_box(d);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("nok_delete_subtree", |b| {
+        b.iter_batched(
+            || XmlDb::build_in_memory(&ds.xml).unwrap(),
+            |mut db| {
+                let n = db
+                    .delete_subtree(&Dewey::from_components(vec![0, 0]))
+                    .unwrap();
+                black_box(n);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("interval_full_reencode", |b| {
+        b.iter(|| black_box(IntervalDoc::parse(&ds.xml).unwrap().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

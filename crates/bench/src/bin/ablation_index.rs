@@ -1,0 +1,59 @@
+//! Ablation **A1**: the paper's three starting-point strategies (§3) —
+//! sequential scan, tag-name index, value index — compared on queries of
+//! each selectivity class. Reproduces the §6.2 observations: "sometimes
+//! value index is more effective than tag-name index ... and sometimes
+//! tag-name index is more effective".
+//!
+//! ```text
+//! cargo run -p nok-bench --release --bin ablation_index -- [--scale 0.05]
+//! ```
+
+use std::time::Instant;
+
+use nok_bench::{filter_datasets, fmt_secs, Args, NokEngine};
+use nok_core::{QueryOptions, StartStrategy};
+use nok_datagen::{all_datasets, workload};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let reps = args.reps();
+    println!("A1: NoK starting-point strategies (seconds, avg of {reps})");
+    println!(
+        "{:<9} {:<4} {:<5} {:>10} {:>10} {:>10} {:>10}",
+        "file", "q", "cat", "auto", "scan", "tag-index", "value-idx"
+    );
+    for ds in filter_datasets(all_datasets(scale), &args.dataset_filter()) {
+        let engine = NokEngine::new(&ds.xml).expect("build");
+        for (i, spec) in workload(ds.kind) {
+            let Some(spec) = spec else { continue };
+            // Value strategies matter only for 'y' categories; still run all
+            // so the table shows the fallback costs.
+            print!("{:<9} Q{:<3} {:<5}", ds.kind.name(), i, spec.category.code());
+            for strat in [
+                StartStrategy::Auto,
+                StartStrategy::Scan,
+                StartStrategy::TagIndex,
+                StartStrategy::ValueIndex,
+            ] {
+                let opts = QueryOptions { strategy: strat };
+                let start = Instant::now();
+                let mut ok = true;
+                for _ in 0..reps {
+                    if engine.db().query_with(&spec.path, opts).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                let cell = if ok {
+                    fmt_secs(start.elapsed() / reps)
+                } else {
+                    "ERR".to_string()
+                };
+                print!(" {cell:>10}");
+            }
+            println!();
+        }
+        println!();
+    }
+}

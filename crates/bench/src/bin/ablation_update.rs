@@ -1,0 +1,75 @@
+//! Ablation **A2**: update cost. The paper argues (§4.2) that the paged
+//! string representation is "more amenable to update" than interval
+//! encoding, where an insertion renumbers every element to its right. We
+//! measure:
+//!
+//! * NoK `insert_last_child` / `delete_subtree` — incremental, page-local
+//!   structure edits plus index maintenance;
+//! * the interval-encoding equivalent — a full re-encode of the document
+//!   (what DI-style interval labels force in the worst case).
+//!
+//! ```text
+//! cargo run -p nok-bench --release --bin ablation_update -- [--scale 0.05] [--ops 50]
+//! ```
+
+use std::time::Instant;
+
+use nok_baselines::encode::IntervalDoc;
+use nok_bench::Args;
+use nok_core::{Dewey, XmlDb};
+use nok_datagen::{generate, DatasetKind};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let ops: usize = args.get("ops").and_then(|s| s.parse().ok()).unwrap_or(50);
+
+    let ds = generate(DatasetKind::Dblp, scale);
+    println!(
+        "A2: update cost on {} ({} records, {:.1} MB), {ops} operations",
+        ds.kind.name(),
+        ds.records,
+        ds.xml.len() as f64 / 1e6
+    );
+
+    // --- NoK incremental updates.
+    let mut db = XmlDb::build_in_memory(&ds.xml).expect("build");
+    let fragment = r#"<article mdate="2004-01-01" key="article/new"><author>New Author</author><title>inserted record</title><year>2004</year></article>"#;
+    let t = Instant::now();
+    let mut inserted: Vec<Dewey> = Vec::new();
+    for _ in 0..ops {
+        inserted.push(
+            db.insert_last_child(&Dewey::root(), fragment)
+                .expect("insert"),
+        );
+    }
+    let insert_time = t.elapsed();
+    let t = Instant::now();
+    for d in inserted.iter().rev() {
+        db.delete_subtree(d).expect("delete");
+    }
+    let delete_time = t.elapsed();
+    println!(
+        "NoK:      insert {:.2} ms/op, delete {:.2} ms/op (page-local + index upkeep)",
+        insert_time.as_secs_f64() * 1e3 / ops as f64,
+        delete_time.as_secs_f64() * 1e3 / ops as f64
+    );
+
+    // --- Interval encoding: one insert forces a full re-encode (global
+    // renumbering). Measure a single rebuild and report it per op.
+    let t = Instant::now();
+    let rebuilt = IntervalDoc::parse(&ds.xml).expect("encode");
+    let rebuild_time = t.elapsed();
+    println!(
+        "Interval: re-encode {:.2} ms/op ({} elements renumbered per update)",
+        rebuild_time.as_secs_f64() * 1e3,
+        rebuilt.len()
+    );
+    let speedup =
+        rebuild_time.as_secs_f64() / (insert_time.as_secs_f64() / ops as f64).max(1e-9);
+    println!("NoK insert vs interval re-encode: {speedup:.0}x");
+
+    // Sanity: the store still answers queries correctly after the churn.
+    let n = db.query("/dblp/article/title").expect("query").len();
+    println!("(post-churn query check: {n} article titles)");
+}

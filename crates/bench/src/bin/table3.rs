@@ -1,0 +1,116 @@
+//! Regenerates **Table 3** of the paper: running time (seconds) of DI,
+//! NavDOM (the X-Hive substitute), TwigStack and NoK for the Q1–Q12
+//! workload on every dataset.
+//!
+//! ```text
+//! cargo run -p nok-bench --release --bin table3 -- \
+//!     [--scale 0.05] [--reps 3] [--datasets author,dblp] \
+//!     [--descendant]   # use the // query variants
+//!     [--verify]       # cross-check all engines return identical results
+//! ```
+//!
+//! Cells: `NA` — category not applicable to the dataset (same layout as the
+//! paper); `NI` — the engine does not implement the query (e.g. TwigStack
+//! with ordered axes).
+
+use nok_baselines::Engine;
+use nok_bench::{filter_datasets, fmt_secs, time_query, Args, EngineSet};
+use nok_datagen::{all_datasets, workload};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let reps = args.reps();
+    let verify = args.has("verify");
+    let descendant = args.has("descendant");
+
+    println!(
+        "Table 3: running time (s) for DI, NavDOM(X-Hive sub.), TwigStack, NoK \
+         (scale={scale}, avg of {reps} runs{})",
+        if descendant { ", // variants" } else { "" }
+    );
+    let datasets = filter_datasets(all_datasets(scale), &args.dataset_filter());
+    let mut verify_failures = 0u32;
+    for ds in datasets {
+        let build_start = std::time::Instant::now();
+        let set = match EngineSet::build(&ds.xml) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: build failed: {e}", ds.kind.name());
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "# built {} ({} records, {:.1} MB) in {:.1}s",
+            ds.kind.name(),
+            ds.records,
+            ds.xml.len() as f64 / 1e6,
+            build_start.elapsed().as_secs_f64()
+        );
+        let specs = workload(ds.kind);
+        // Header row.
+        print!("{:<9} {:<10}", "file", "system");
+        for (i, _) in &specs {
+            print!(" {:>8}", format!("Q{i}"));
+        }
+        println!();
+        for engine in set.all() {
+            print!("{:<9} {:<10}", ds.kind.name(), engine.name());
+            for (_, spec) in &specs {
+                let cell = match spec {
+                    None => "NA".to_string(),
+                    Some(spec) => {
+                        let path = if descendant {
+                            &spec.descendant_variant
+                        } else {
+                            &spec.path
+                        };
+                        match time_query(engine, path, reps) {
+                            Some(d) => fmt_secs(d),
+                            None => "NI".to_string(),
+                        }
+                    }
+                };
+                print!(" {cell:>8}");
+            }
+            println!();
+        }
+        if verify {
+            for (i, spec) in &specs {
+                let Some(spec) = spec else { continue };
+                let path = if descendant {
+                    &spec.descendant_variant
+                } else {
+                    &spec.path
+                };
+                let reference: Option<Vec<String>> = set
+                    .nok
+                    .eval(path)
+                    .ok()
+                    .map(|v| v.iter().map(|d| d.to_string()).collect());
+                for engine in set.all() {
+                    if let Ok(res) = engine.eval(path) {
+                        let got: Vec<String> = res.iter().map(|d| d.to_string()).collect();
+                        if Some(&got) != reference.as_ref() {
+                            eprintln!(
+                                "VERIFY FAIL: {} Q{i} {}: {} vs NoK",
+                                ds.kind.name(),
+                                path,
+                                engine.name()
+                            );
+                            verify_failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+        println!();
+    }
+    if verify {
+        if verify_failures > 0 {
+            eprintln!("{verify_failures} verification failures");
+            std::process::exit(1);
+        }
+        println!("verification: all engines agree on every supported cell");
+    }
+}

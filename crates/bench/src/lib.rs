@@ -1,0 +1,216 @@
+//! # nok-bench
+//!
+//! The benchmark harness that regenerates the paper's tables:
+//!
+//! * `table1` — dataset statistics (paper Table 1),
+//! * `table3` — running times of DI / NavDOM (X-Hive substitute) /
+//!   TwigStack / NoK over the Q1–Q12 workload on all five datasets,
+//! * `compression` — the §4.2 claims (string-size ratio, page capacity C),
+//! * `ablation_index` — starting-point strategies (scan / tag / value),
+//! * `ablation_update` — subtree insert/delete vs. interval re-encoding,
+//! * `ablation_stream` — streaming NoK throughput,
+//!
+//! plus Criterion microbenchmarks under `benches/`.
+
+use std::time::{Duration, Instant};
+
+use nok_baselines::di::DiEngine;
+use nok_baselines::navdom::NavDomEngine;
+use nok_baselines::twigstack::TwigStackEngine;
+use nok_baselines::Engine;
+use nok_core::{CoreResult, Dewey, XmlDb};
+use nok_datagen::Dataset;
+use nok_pager::MemStorage;
+
+/// The NoK system wrapped as an [`Engine`].
+pub struct NokEngine {
+    db: XmlDb<MemStorage>,
+}
+
+impl NokEngine {
+    /// Build the full NoK storage (store + indexes) from XML.
+    pub fn new(xml: &str) -> CoreResult<NokEngine> {
+        Ok(NokEngine {
+            db: XmlDb::build_in_memory(xml)?,
+        })
+    }
+
+    /// Access the underlying database.
+    pub fn db(&self) -> &XmlDb<MemStorage> {
+        &self.db
+    }
+}
+
+impl Engine for NokEngine {
+    fn name(&self) -> &'static str {
+        "NoK"
+    }
+
+    fn eval(&self, path: &str) -> CoreResult<Vec<Dewey>> {
+        Ok(self
+            .db
+            .query(path)?
+            .into_iter()
+            .map(|m| m.dewey)
+            .collect())
+    }
+}
+
+/// All four engines loaded with one document.
+pub struct EngineSet {
+    /// DI baseline.
+    pub di: DiEngine,
+    /// X-Hive substitute.
+    pub navdom: NavDomEngine,
+    /// TwigStack baseline.
+    pub twigstack: TwigStackEngine,
+    /// The paper's system.
+    pub nok: NokEngine,
+}
+
+impl EngineSet {
+    /// Build every engine from the same XML.
+    pub fn build(xml: &str) -> CoreResult<EngineSet> {
+        Ok(EngineSet {
+            di: DiEngine::new(xml)?,
+            navdom: NavDomEngine::new(xml)?,
+            twigstack: TwigStackEngine::new(xml)?,
+            nok: NokEngine::new(xml)?,
+        })
+    }
+
+    /// The engines in the paper's Table 3 row order.
+    pub fn all(&self) -> [&dyn Engine; 4] {
+        [&self.di, &self.navdom, &self.twigstack, &self.nok]
+    }
+}
+
+/// Time one query: average of `reps` runs (the paper averages three).
+/// Returns `None` when the engine rejects the query (an "NI" cell).
+pub fn time_query(engine: &dyn Engine, path: &str, reps: u32) -> Option<Duration> {
+    // Warm-up + support probe.
+    if engine.eval(path).is_err() {
+        return None;
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = engine.eval(path);
+    }
+    Some(start.elapsed() / reps)
+}
+
+/// Format a duration in seconds with millisecond resolution, like Table 3.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Parse `--flag value` style arguments (tiny, dependency-free).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments.
+    pub fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Value of `--name <v>`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| *a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Presence of a bare `--name` flag.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.contains(&flag)
+    }
+
+    /// `--scale` (default 0.05 — keeps full Table 3 runs in minutes).
+    pub fn scale(&self) -> f64 {
+        self.get("scale").and_then(|s| s.parse().ok()).unwrap_or(0.05)
+    }
+
+    /// `--reps` (default 3, like the paper).
+    pub fn reps(&self) -> u32 {
+        self.get("reps").and_then(|s| s.parse().ok()).unwrap_or(3)
+    }
+
+    /// `--datasets a,b,c` filter.
+    pub fn dataset_filter(&self) -> Option<Vec<String>> {
+        self.get("datasets")
+            .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+    }
+}
+
+/// Apply the dataset filter to a generated list.
+pub fn filter_datasets(datasets: Vec<Dataset>, filter: &Option<Vec<String>>) -> Vec<Dataset> {
+    match filter {
+        None => datasets,
+        Some(names) => datasets
+            .into_iter()
+            .filter(|d| names.iter().any(|n| n == d.kind.name()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_set_agrees_on_a_small_doc() {
+        let xml = r#"<bib><book year="1994"><author><last>Stevens</last></author>
+                     <price>65.95</price></book>
+                     <book year="2000"><author><last>Suciu</last></author>
+                     <price>39.95</price></book></bib>"#;
+        let set = EngineSet::build(xml).unwrap();
+        for q in [
+            "/bib/book",
+            r#"//book[author/last="Stevens"]"#,
+            "//book[price<50]/price",
+        ] {
+            let reference: Vec<String> = set
+                .nok
+                .eval(q)
+                .unwrap()
+                .iter()
+                .map(|d| d.to_string())
+                .collect();
+            for e in set.all() {
+                let got: Vec<String> = e
+                    .eval(q)
+                    .unwrap()
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect();
+                assert_eq!(got, reference, "{} on {q}", e.name());
+            }
+        }
+    }
+
+    #[test]
+    fn time_query_reports_unsupported_as_none() {
+        let set = EngineSet::build("<a><b/><c/></a>").unwrap();
+        // TwigStack rejects ordered axes → NI cell.
+        assert!(time_query(&set.twigstack, "/a/b/following-sibling::c", 1).is_none());
+        assert!(time_query(&set.nok, "/a/b/following-sibling::c", 1).is_some());
+    }
+
+    #[test]
+    fn fmt_and_args_helpers() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.5000");
+        let args = Args { raw: vec!["--scale".into(), "0.2".into(), "--verify".into()] };
+        assert_eq!(args.scale(), 0.2);
+        assert!(args.has("verify"));
+        assert!(!args.has("missing"));
+        assert_eq!(args.reps(), 3);
+    }
+}

@@ -1,0 +1,818 @@
+//! # nok-btree
+//!
+//! A disk-based B+ tree over [`nok_pager`], providing the three auxiliary
+//! indexes of the paper's storage scheme (§4.1): **B+t** on tag names,
+//! **B+v** on hashed data values, and **B+i** on Dewey IDs.
+//!
+//! Characteristics:
+//!
+//! * variable-length byte-string keys and values (slotted pages),
+//! * **multimap** semantics — duplicate keys are allowed and preserved in
+//!   insertion order, which the tag index relies on (one posting per element
+//!   occurrence, inserted in document order),
+//! * point lookups, ordered range scans over the chained leaves,
+//! * deletion (leaf-local, no rebalancing — deleted space is reclaimed by
+//!   in-page compaction; structurally empty leaves stay in the chain, which
+//!   keeps deletion O(log n) and is the classic "lazy deletion" trade-off),
+//! * sorted bulk loading with a configurable fill factor.
+
+pub mod node;
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Bound;
+use std::rc::Rc;
+
+use nok_pager::codec::{get_u32, get_u64, put_u32, put_u64};
+use nok_pager::{BufferPool, PageHandle, PageId, PagerError, Storage};
+
+/// Errors from B+ tree operations.
+#[derive(Debug)]
+pub enum BTreeError {
+    /// Underlying pager failure.
+    Pager(PagerError),
+    /// A key/value pair too large to ever fit in a page.
+    EntryTooLarge {
+        /// Combined encoded size of the offending entry.
+        size: usize,
+        /// Maximum encodable size for this page size.
+        max: usize,
+    },
+    /// Bulk load input was not sorted by key.
+    UnsortedBulkLoad,
+    /// Meta page did not contain a B+ tree.
+    Corrupt(String),
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BTreeError::Pager(e) => write!(f, "pager error: {e}"),
+            BTreeError::EntryTooLarge { size, max } => {
+                write!(f, "entry of {size} bytes exceeds per-page maximum {max}")
+            }
+            BTreeError::UnsortedBulkLoad => write!(f, "bulk load input not sorted"),
+            BTreeError::Corrupt(m) => write!(f, "corrupt B+ tree: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+impl From<PagerError> for BTreeError {
+    fn from(e: PagerError) -> Self {
+        BTreeError::Pager(e)
+    }
+}
+
+/// Result alias for B+ tree operations.
+pub type BTreeResult<T> = Result<T, BTreeError>;
+
+const META_MAGIC: u32 = 0x4E4F_4B42; // "NOKB"
+const META_OFF_MAGIC: usize = 0;
+const META_OFF_ROOT: usize = 4;
+const META_OFF_COUNT: usize = 8;
+
+/// A B+ tree occupying (all pages of) one buffer pool. Page 0 is the meta
+/// page holding the root pointer and the entry count.
+pub struct BTree<S: Storage> {
+    pool: Rc<BufferPool<S>>,
+    root: Cell<PageId>,
+    count: Cell<u64>,
+}
+
+impl<S: Storage> BTree<S> {
+    /// Create a new empty tree in a fresh pool (the pool must be empty).
+    pub fn create(pool: Rc<BufferPool<S>>) -> BTreeResult<Self> {
+        debug_assert_eq!(pool.page_count(), 0, "BTree::create needs an empty pool");
+        let (meta_id, meta) = pool.allocate()?;
+        debug_assert_eq!(meta_id, 0);
+        let (root_id, root) = pool.allocate()?;
+        node::init(&mut root.write(), node::NODE_LEAF);
+        {
+            let mut m = meta.write();
+            put_u32(&mut m, META_OFF_MAGIC, META_MAGIC);
+            put_u32(&mut m, META_OFF_ROOT, root_id);
+            put_u64(&mut m, META_OFF_COUNT, 0);
+        }
+        Ok(BTree {
+            pool,
+            root: Cell::new(root_id),
+            count: Cell::new(0),
+        })
+    }
+
+    /// Open an existing tree from its pool.
+    pub fn open(pool: Rc<BufferPool<S>>) -> BTreeResult<Self> {
+        let meta = pool.get(0)?;
+        let (root, count) = {
+            let m = meta.read();
+            if get_u32(&m, META_OFF_MAGIC) != META_MAGIC {
+                return Err(BTreeError::Corrupt("bad meta magic".into()));
+            }
+            (get_u32(&m, META_OFF_ROOT), get_u64(&m, META_OFF_COUNT))
+        };
+        Ok(BTree {
+            pool,
+            root: Cell::new(root),
+            count: Cell::new(count),
+        })
+    }
+
+    /// Number of key/value entries.
+    pub fn len(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total storage footprint in bytes (pages × page size) — the quantity
+    /// Table 1 of the paper reports for each index.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.pool.page_count() as u64 * self.pool.page_size() as u64
+    }
+
+    /// The buffer pool backing this tree (exposes I/O statistics).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
+    /// Flush all dirty pages to storage.
+    pub fn flush(&self) -> BTreeResult<()> {
+        self.persist_meta()?;
+        self.pool.flush()?;
+        Ok(())
+    }
+
+    fn persist_meta(&self) -> BTreeResult<()> {
+        let meta = self.pool.get(0)?;
+        let mut m = meta.write();
+        put_u32(&mut m, META_OFF_ROOT, self.root.get());
+        put_u64(&mut m, META_OFF_COUNT, self.count.get());
+        Ok(())
+    }
+
+    fn max_entry_size(&self) -> usize {
+        // A page must fit at least two cells so splits can always make room.
+        (self.pool.page_size() - node::HEADER_SIZE) / 2 - 2
+    }
+
+    /// Insert `(key, value)`. Duplicate keys are kept; the new entry is
+    /// placed after any existing entries with an equal key.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> BTreeResult<()> {
+        let size = node::leaf_cell_size(key, value);
+        if size > self.max_entry_size() {
+            return Err(BTreeError::EntryTooLarge {
+                size,
+                max: self.max_entry_size(),
+            });
+        }
+        // Descend right-most among equals, recording the path.
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let mut page_id = self.root.get();
+        loop {
+            let page = self.pool.get(page_id)?;
+            let is_leaf = node::is_leaf(&page.read());
+            if is_leaf {
+                break;
+            }
+            let (child_idx, child) = {
+                let buf = page.read();
+                let idx = node::upper_bound(&buf, key);
+                let child = if idx == 0 {
+                    node::link(&buf)
+                } else {
+                    node::child(&buf, idx - 1)
+                };
+                (idx, child)
+            };
+            path.push((page_id, child_idx));
+            page_id = child;
+        }
+        // Insert into the leaf, splitting up the path as needed.
+        let leaf = self.pool.get(page_id)?;
+        {
+            let mut buf = leaf.write();
+            if node::free_space(&buf) >= size + 2 {
+                let pos = node::upper_bound(&buf, key);
+                node::leaf_insert(&mut buf, pos, key, value);
+                drop(buf);
+                self.bump_count(1)?;
+                return Ok(());
+            }
+        }
+        self.split_leaf_and_insert(leaf, key, value, path)?;
+        self.bump_count(1)?;
+        Ok(())
+    }
+
+    fn bump_count(&self, delta: i64) -> BTreeResult<()> {
+        self.count
+            .set((self.count.get() as i64 + delta).max(0) as u64);
+        self.persist_meta()
+    }
+
+    fn split_leaf_and_insert(
+        &self,
+        left: PageHandle,
+        key: &[u8],
+        value: &[u8],
+        path: Vec<(PageId, usize)>,
+    ) -> BTreeResult<()> {
+        let (right_id, right) = self.pool.allocate()?;
+        let sep: Vec<u8>;
+        {
+            let mut lbuf = left.write();
+            let mut rbuf = right.write();
+            node::init(&mut rbuf, node::NODE_LEAF);
+            let n = node::ncells(&lbuf);
+            let mid = n / 2;
+            node::copy_range(&lbuf, &mut rbuf, mid, n);
+            // Preserve the leaf chain: left -> right -> old successor.
+            node::set_link(&mut rbuf, node::link(&lbuf));
+            node::truncate_to_range(&mut lbuf, 0, mid);
+            node::set_link(&mut lbuf, right_id);
+            sep = node::key(&rbuf, 0).to_vec();
+            // Place the pending entry in whichever side it belongs. Ties go
+            // right (matching the upper-bound descent used to get here).
+            let target = if key < sep.as_slice() {
+                &mut lbuf
+            } else {
+                &mut rbuf
+            };
+            let pos = node::upper_bound(target, key);
+            node::leaf_insert(target, pos, key, value);
+        }
+        self.insert_separator(path, sep, right_id)
+    }
+
+    /// Propagate a separator for a freshly split child up the recorded path.
+    fn insert_separator(
+        &self,
+        mut path: Vec<(PageId, usize)>,
+        mut sep: Vec<u8>,
+        mut new_child: PageId,
+    ) -> BTreeResult<()> {
+        loop {
+            let Some((parent_id, child_idx)) = path.pop() else {
+                // Split reached the root: grow the tree by one level.
+                let old_root = self.root.get();
+                let (new_root_id, new_root) = self.pool.allocate()?;
+                {
+                    let mut buf = new_root.write();
+                    node::init(&mut buf, node::NODE_INTERNAL);
+                    node::set_link(&mut buf, old_root);
+                    node::internal_insert(&mut buf, 0, &sep, new_child);
+                }
+                self.root.set(new_root_id);
+                self.persist_meta()?;
+                return Ok(());
+            };
+            let parent = self.pool.get(parent_id)?;
+            let size = node::internal_cell_size(&sep);
+            {
+                let mut buf = parent.write();
+                if node::free_space(&buf) >= size + 2 {
+                    node::internal_insert(&mut buf, child_idx, &sep, new_child);
+                    return Ok(());
+                }
+            }
+            // Split the internal parent: median key moves up.
+            let (right_id, right) = self.pool.allocate()?;
+            let promoted: Vec<u8>;
+            {
+                let mut lbuf = parent.write();
+                let mut rbuf = right.write();
+                node::init(&mut rbuf, node::NODE_INTERNAL);
+                let n = node::ncells(&lbuf);
+                let mid = n / 2;
+                promoted = node::key(&lbuf, mid).to_vec();
+                node::set_link(&mut rbuf, node::child(&lbuf, mid));
+                node::copy_range(&lbuf, &mut rbuf, mid + 1, n);
+                node::truncate_to_range(&mut lbuf, 0, mid);
+                // Re-apply the pending separator insertion on the proper side.
+                if sep.as_slice() < promoted.as_slice() {
+                    let pos = node::upper_bound(&lbuf, &sep);
+                    node::internal_insert(&mut lbuf, pos, &sep, new_child);
+                } else {
+                    let pos = node::upper_bound(&rbuf, &sep);
+                    node::internal_insert(&mut rbuf, pos, &sep, new_child);
+                }
+            }
+            sep = promoted;
+            new_child = right_id;
+        }
+    }
+
+    /// Descend to the leftmost leaf that can contain `key`.
+    fn descend_left(&self, key: &[u8]) -> BTreeResult<PageId> {
+        let mut page_id = self.root.get();
+        loop {
+            let page = self.pool.get(page_id)?;
+            let buf = page.read();
+            if node::is_leaf(&buf) {
+                return Ok(page_id);
+            }
+            let idx = node::lower_bound(&buf, key); // first separator >= key
+            page_id = if idx == 0 {
+                node::link(&buf)
+            } else {
+                node::child(&buf, idx - 1)
+            };
+        }
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get_first(&self, key: &[u8]) -> BTreeResult<Option<Vec<u8>>> {
+        let mut iter = self.scan_from(key)?;
+        match iter.next() {
+            Some(Ok((k, v))) if k == key => Ok(Some(v)),
+            Some(Err(e)) => Err(e),
+            _ => Ok(None),
+        }
+    }
+
+    /// All values stored under `key`, in insertion order.
+    pub fn get_all(&self, key: &[u8]) -> BTreeResult<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        for item in self.scan_from(key)? {
+            let (k, v) = item?;
+            if k != key {
+                break;
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Whether `key` has at least one entry.
+    pub fn contains(&self, key: &[u8]) -> BTreeResult<bool> {
+        Ok(self.get_first(key)?.is_some())
+    }
+
+    /// Iterate over `(key, value)` pairs with `key` within the given bounds.
+    pub fn range(&self, lo: Bound<&[u8]>, hi: Bound<Vec<u8>>) -> BTreeResult<RangeIter<'_, S>> {
+        let mut iter = match lo {
+            Bound::Unbounded => self.scan_from(&[])?,
+            Bound::Included(k) => self.scan_from(k)?,
+            Bound::Excluded(k) => {
+                let mut it = self.scan_from(k)?;
+                it.skip_key = Some(k.to_vec());
+                it
+            }
+        };
+        iter.upper = hi;
+        Ok(iter)
+    }
+
+    /// Iterate over every entry in key order.
+    pub fn iter_all(&self) -> BTreeResult<RangeIter<'_, S>> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    fn scan_from(&self, key: &[u8]) -> BTreeResult<RangeIter<'_, S>> {
+        let leaf_id = self.descend_left(key)?;
+        let leaf = self.pool.get(leaf_id)?;
+        let slot = node::lower_bound(&leaf.read(), key);
+        Ok(RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            slot,
+            upper: Bound::Unbounded,
+            skip_key: None,
+        })
+    }
+
+    /// Delete one entry with `key`. If `value` is `Some`, only an entry whose
+    /// value matches is removed; otherwise the first entry with the key is.
+    /// Returns whether anything was removed.
+    pub fn delete(&self, key: &[u8], value: Option<&[u8]>) -> BTreeResult<bool> {
+        let mut leaf_id = self.descend_left(key)?;
+        loop {
+            let leaf = self.pool.get(leaf_id)?;
+            let (found, next): (Option<usize>, u32) = {
+                let buf = leaf.read();
+                let mut found = None;
+                let mut past = false;
+                let start = node::lower_bound(&buf, key);
+                for i in start..node::ncells(&buf) {
+                    if node::key(&buf, i) != key {
+                        past = true;
+                        break;
+                    }
+                    if value.is_none_or(|v| node::leaf_value(&buf, i) == v) {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                let next = if past { node::NO_PAGE } else { node::link(&buf) };
+                (found, next)
+            };
+            if let Some(i) = found {
+                node::remove(&mut leaf.write(), i);
+                self.bump_count(-1)?;
+                return Ok(true);
+            }
+            if next == node::NO_PAGE {
+                return Ok(false);
+            }
+            leaf_id = next;
+        }
+    }
+
+    /// Build a tree from an iterator of key-sorted `(key, value)` pairs.
+    /// Much faster than repeated [`BTree::insert`] and produces tightly
+    /// packed pages (≈`fill` fraction full).
+    pub fn bulk_load<I>(pool: Rc<BufferPool<S>>, pairs: I, fill: f64) -> BTreeResult<Self>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let tree = BTree::create(Rc::clone(&pool))?;
+        let fill = fill.clamp(0.3, 1.0);
+        let page_size = pool.page_size();
+        let budget = ((page_size - node::HEADER_SIZE) as f64 * fill) as usize;
+
+        // Level 0: fill leaves left to right.
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
+        let mut cur_id = tree.root.get();
+        let mut cur = pool.get(cur_id)?;
+        let mut used = 0usize;
+        let mut first_key: Option<Vec<u8>> = None;
+        let mut prev_key: Option<Vec<u8>> = None;
+        let mut count = 0u64;
+        for (key, value) in pairs {
+            if prev_key.as_deref().is_some_and(|p| p > key.as_slice()) {
+                return Err(BTreeError::UnsortedBulkLoad);
+            }
+            let size = node::leaf_cell_size(&key, &value) + 2;
+            if size > tree.max_entry_size() {
+                return Err(BTreeError::EntryTooLarge {
+                    size,
+                    max: tree.max_entry_size(),
+                });
+            }
+            if used + size > budget && used > 0 {
+                // Seal this leaf, chain a new one.
+                leaves.push((first_key.take().unwrap_or_default(), cur_id));
+                let (next_id, next) = pool.allocate()?;
+                node::init(&mut next.write(), node::NODE_LEAF);
+                node::set_link(&mut cur.write(), next_id);
+                cur_id = next_id;
+                cur = next;
+                used = 0;
+            }
+            {
+                let mut buf = cur.write();
+                let n = node::ncells(&buf);
+                node::leaf_insert(&mut buf, n, &key, &value);
+            }
+            if first_key.is_none() {
+                first_key = Some(key.clone());
+            }
+            used += size;
+            count += 1;
+            prev_key = Some(key);
+        }
+        leaves.push((first_key.unwrap_or_default(), cur_id));
+
+        // Upper levels: group children under internal nodes.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut iter = level.into_iter();
+            let mut group_first = iter.next().expect("level non-empty");
+            loop {
+                let (node_id, handle) = pool.allocate()?;
+                {
+                    let mut buf = handle.write();
+                    node::init(&mut buf, node::NODE_INTERNAL);
+                    node::set_link(&mut buf, group_first.1);
+                }
+                let group_key = group_first.0.clone();
+                let mut used = 0usize;
+                let mut done = true;
+                for (sep, child) in iter.by_ref() {
+                    let size = node::internal_cell_size(&sep) + 2;
+                    if used + size > budget && used > 0 {
+                        group_first = (sep, child);
+                        done = false;
+                        break;
+                    }
+                    let mut buf = handle.write();
+                    let n = node::ncells(&buf);
+                    node::internal_insert(&mut buf, n, &sep, child);
+                    used += size;
+                }
+                next_level.push((group_key, node_id));
+                if done {
+                    break;
+                }
+            }
+            level = next_level;
+        }
+        tree.root.set(level[0].1);
+        tree.count.set(count);
+        tree.persist_meta()?;
+        Ok(tree)
+    }
+}
+
+/// Ordered iterator over `(key, value)` pairs. Yields `Result` items because
+/// advancing may require page I/O.
+pub struct RangeIter<'a, S: Storage> {
+    tree: &'a BTree<S>,
+    leaf: Option<PageHandle>,
+    slot: usize,
+    upper: Bound<Vec<u8>>,
+    skip_key: Option<Vec<u8>>,
+}
+
+impl<S: Storage> Iterator for RangeIter<'_, S> {
+    type Item = BTreeResult<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf.as_ref()?;
+            #[allow(clippy::type_complexity)]
+            let (item, advance): (Option<(Vec<u8>, Vec<u8>)>, Option<u32>) = {
+                let buf = leaf.read();
+                if self.slot < node::ncells(&buf) {
+                    let k = node::key(&buf, self.slot).to_vec();
+                    let v = node::leaf_value(&buf, self.slot).to_vec();
+                    (Some((k, v)), None)
+                } else {
+                    (None, Some(node::link(&buf)))
+                }
+            };
+            match (item, advance) {
+                (Some((k, v)), _) => {
+                    self.slot += 1;
+                    if let Some(skip) = &self.skip_key {
+                        if *skip == k {
+                            continue;
+                        }
+                        self.skip_key = None;
+                    }
+                    let in_range = match &self.upper {
+                        Bound::Unbounded => true,
+                        Bound::Included(hi) => k.as_slice() <= hi.as_slice(),
+                        Bound::Excluded(hi) => k.as_slice() < hi.as_slice(),
+                    };
+                    if !in_range {
+                        self.leaf = None;
+                        return None;
+                    }
+                    return Some(Ok((k, v)));
+                }
+                (None, Some(next)) => {
+                    if next == node::NO_PAGE {
+                        self.leaf = None;
+                        return None;
+                    }
+                    match self.tree.pool.get(next) {
+                        Ok(h) => {
+                            self.leaf = Some(h);
+                            self.slot = 0;
+                        }
+                        Err(e) => {
+                            self.leaf = None;
+                            return Some(Err(e.into()));
+                        }
+                    }
+                }
+                (None, None) => unreachable!("either an item or a link"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nok_pager::MemStorage;
+
+    fn mem_tree(page_size: usize) -> BTree<MemStorage> {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        BTree::create(pool).unwrap()
+    }
+
+    fn key_of(i: u32) -> Vec<u8> {
+        format!("{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let t = mem_tree(4096);
+        t.insert(b"hello", b"world").unwrap();
+        assert_eq!(t.get_first(b"hello").unwrap().unwrap(), b"world");
+        assert_eq!(t.get_first(b"nope").unwrap(), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let t = mem_tree(256); // tiny pages => deep tree
+        let n = 2000u32;
+        for i in 0..n {
+            t.insert(&key_of(i * 7 % n), &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n as u64);
+        for i in 0..n {
+            assert!(t.get_first(&key_of(i)).unwrap().is_some(), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn duplicates_preserved_in_order() {
+        let t = mem_tree(256);
+        for i in 0..50u32 {
+            t.insert(b"dup", &i.to_le_bytes()).unwrap();
+        }
+        let all = t.get_all(b"dup").unwrap();
+        assert_eq!(all.len(), 50);
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(v.as_slice(), (i as u32).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn duplicates_across_page_splits() {
+        let t = mem_tree(256);
+        // Surround a big duplicate run with other keys.
+        for i in 0..100u32 {
+            t.insert(&key_of(i), b"x").unwrap();
+        }
+        for i in 0..200u32 {
+            t.insert(b"00000050dup", &i.to_le_bytes()).unwrap();
+        }
+        let all = t.get_all(b"00000050dup").unwrap();
+        assert_eq!(all.len(), 200);
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(v.as_slice(), (i as u32).to_le_bytes(), "order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let t = mem_tree(512);
+        for i in (0..500u32).rev() {
+            t.insert(&key_of(i), b"").unwrap();
+        }
+        let lo = key_of(100);
+        let hi = key_of(199);
+        let keys: Vec<_> = t
+            .range(Bound::Included(&lo), Bound::Included(hi))
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(keys.len(), 100);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(keys[0], key_of(100));
+        assert_eq!(keys[99], key_of(199));
+    }
+
+    #[test]
+    fn excluded_lower_bound() {
+        let t = mem_tree(512);
+        for i in 0..10u32 {
+            t.insert(&key_of(i), b"").unwrap();
+        }
+        let lo = key_of(3);
+        let keys: Vec<_> = t
+            .range(Bound::Excluded(&lo), Bound::Unbounded)
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(keys.first().unwrap(), &key_of(4));
+    }
+
+    #[test]
+    fn iter_all_sees_everything() {
+        let t = mem_tree(256);
+        for i in 0..300u32 {
+            t.insert(&key_of((i * 13) % 300), &[]).unwrap();
+        }
+        assert_eq!(t.iter_all().unwrap().count(), 300);
+    }
+
+    #[test]
+    fn delete_specific_value() {
+        let t = mem_tree(512);
+        t.insert(b"k", b"a").unwrap();
+        t.insert(b"k", b"b").unwrap();
+        t.insert(b"k", b"c").unwrap();
+        assert!(t.delete(b"k", Some(b"b")).unwrap());
+        assert_eq!(t.get_all(b"k").unwrap(), vec![b"a".to_vec(), b"c".to_vec()]);
+        assert!(!t.delete(b"k", Some(b"zz")).unwrap());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_first_when_no_value_given() {
+        let t = mem_tree(512);
+        t.insert(b"k", b"a").unwrap();
+        t.insert(b"k", b"b").unwrap();
+        assert!(t.delete(b"k", None).unwrap());
+        assert_eq!(t.get_all(b"k").unwrap(), vec![b"b".to_vec()]);
+    }
+
+    #[test]
+    fn delete_across_leaves() {
+        let t = mem_tree(256);
+        for i in 0..100u32 {
+            t.insert(b"samekey", &i.to_le_bytes()).unwrap();
+        }
+        // Delete a value that lives several leaves into the duplicate run.
+        assert!(t.delete(b"samekey", Some(&95u32.to_le_bytes())).unwrap());
+        assert_eq!(t.get_all(b"samekey").unwrap().len(), 99);
+    }
+
+    #[test]
+    fn entry_too_large_rejected() {
+        let t = mem_tree(256);
+        let big = vec![0u8; 300];
+        assert!(matches!(
+            t.insert(&big, b""),
+            Err(BTreeError::EntryTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_load_round_trip() {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pairs: Vec<_> = (0..1000u32)
+            .map(|i| (key_of(i), i.to_le_bytes().to_vec()))
+            .collect();
+        let t = BTree::bulk_load(pool, pairs, 0.9).unwrap();
+        assert_eq!(t.len(), 1000);
+        for i in (0..1000u32).step_by(37) {
+            assert_eq!(
+                t.get_first(&key_of(i)).unwrap().unwrap(),
+                i.to_le_bytes().to_vec()
+            );
+        }
+        let keys: Vec<_> = t.iter_all().unwrap().map(|r| r.unwrap().0).collect();
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pairs = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
+        assert!(matches!(
+            BTree::bulk_load(pool, pairs, 0.9),
+            Err(BTreeError::UnsortedBulkLoad)
+        ));
+    }
+
+    #[test]
+    fn bulk_load_then_insert_more() {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pairs: Vec<_> = (0..100u32).map(|i| (key_of(i * 2), vec![])).collect();
+        let t = BTree::bulk_load(pool, pairs, 0.8).unwrap();
+        for i in 0..100u32 {
+            t.insert(&key_of(i * 2 + 1), b"odd").unwrap();
+        }
+        assert_eq!(t.len(), 200);
+        let keys: Vec<_> = t.iter_all().unwrap().map(|r| r.unwrap().0).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("nok-btree-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.idx");
+        {
+            let storage = nok_pager::FileStorage::create_with_page_size(&path, 512).unwrap();
+            let t = BTree::create(Rc::new(BufferPool::new(storage))).unwrap();
+            for i in 0..200u32 {
+                t.insert(&key_of(i), &i.to_le_bytes()).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        {
+            let storage = nok_pager::FileStorage::open(&path).unwrap();
+            let t = BTree::open(Rc::new(BufferPool::new(storage))).unwrap();
+            assert_eq!(t.len(), 200);
+            assert_eq!(
+                t.get_first(&key_of(123)).unwrap().unwrap(),
+                123u32.to_le_bytes().to_vec()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = mem_tree(256);
+        assert!(t.is_empty());
+        assert_eq!(t.get_first(b"x").unwrap(), None);
+        assert_eq!(t.iter_all().unwrap().count(), 0);
+        assert!(!t.delete(b"x", None).unwrap());
+    }
+}

@@ -1,0 +1,387 @@
+//! [`XmlDb`]: the assembled storage system — succinct structural store,
+//! detached value file, and the three B+ tree indexes of Figure 3 — with
+//! constructors for in-memory and on-disk instances.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use nok_btree::BTree;
+use nok_pager::{BufferPool, FileStorage, MemStorage, Storage};
+use nok_xml::Reader;
+
+use crate::dewey::Dewey;
+use crate::error::{CoreError, CoreResult};
+use crate::physical::{IdRecord, TagPosting};
+use crate::sigma::{TagCode, TagDict};
+use crate::store::{BuildOptions, BuildSink, NodeRecord, StructStore};
+use crate::values::{hash_key, DataFile};
+
+/// A complete XML database instance over one document.
+pub struct XmlDb<S: Storage> {
+    pub(crate) store: StructStore<S>,
+    pub(crate) dict: TagDict,
+    pub(crate) data: RefCell<DataFile>,
+    /// B+t: tag code → postings (document order).
+    pub(crate) bt_tag: BTree<S>,
+    /// B+v: value hash → dewey keys.
+    pub(crate) bt_val: BTree<S>,
+    /// B+i: dewey key → [`IdRecord`].
+    pub(crate) bt_id: BTree<S>,
+    /// Occurrences per tag (selectivity estimation).
+    pub(crate) tag_counts: HashMap<TagCode, u64>,
+    /// Where the tag dictionary is persisted (on-disk databases only);
+    /// updates can intern new tags, so `flush` rewrites it.
+    pub(crate) dict_path: Option<PathBuf>,
+}
+
+/// Collects node/value records during the build for index construction.
+#[derive(Default)]
+struct IndexSink {
+    nodes: Vec<NodeRecord>,
+    /// `(dewey, data-file offset, len)` per valued node, in close order.
+    values: Vec<(Dewey, u64, u32)>,
+    data: Option<DataFile>,
+}
+
+impl BuildSink for IndexSink {
+    fn node(&mut self, rec: NodeRecord) {
+        self.nodes.push(rec);
+    }
+
+    fn value(&mut self, dewey: &Dewey, text: &str) {
+        let data = self.data.as_mut().expect("data file present during build");
+        // Data-file errors are deferred: an in-memory put cannot fail, and
+        // file-backed puts surface their error on the next sync.
+        if let Ok((off, len)) = data.put(text) {
+            self.values.push((dewey.clone(), off, len));
+        }
+    }
+}
+
+impl XmlDb<MemStorage> {
+    /// Parse `xml` and build a fully indexed in-memory database.
+    pub fn build_in_memory(xml: &str) -> CoreResult<Self> {
+        Self::build_in_memory_with(xml, BuildOptions::default(), nok_pager::DEFAULT_PAGE_SIZE)
+    }
+
+    /// In-memory build with explicit *structural* page size and build
+    /// options (used by benchmarks that sweep the paper's capacity-formula
+    /// parameters). Indexes keep the default page size — tiny pages cannot
+    /// hold index entries.
+    pub fn build_in_memory_with(
+        xml: &str,
+        opts: BuildOptions,
+        struct_page_size: usize,
+    ) -> CoreResult<Self> {
+        let mk = || Rc::new(BufferPool::new(MemStorage::new()));
+        XmlDb::build_with_pools(
+            xml,
+            opts,
+            Rc::new(BufferPool::new(MemStorage::with_page_size(
+                struct_page_size,
+            ))),
+            mk(),
+            mk(),
+            mk(),
+            DataFile::in_memory(),
+        )
+    }
+}
+
+/// File names inside an on-disk database directory.
+const F_STRUCT: &str = "struct.pg";
+const F_TAG: &str = "tags.idx";
+const F_VAL: &str = "values.idx";
+const F_ID: &str = "dewey.idx";
+const F_DATA: &str = "values.dat";
+const F_DICT: &str = "dict.bin";
+
+impl XmlDb<FileStorage> {
+    /// Parse `xml` and build a database persisted under directory `dir`
+    /// (created if missing).
+    pub fn create_on_disk<P: AsRef<Path>>(dir: P, xml: &str) -> CoreResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(nok_pager::PagerError::from)?;
+        let mk = |name: &str| -> CoreResult<Rc<BufferPool<FileStorage>>> {
+            Ok(Rc::new(BufferPool::new(FileStorage::create(
+                dir.join(name),
+            )?)))
+        };
+        let mut db = XmlDb::build_with_pools(
+            xml,
+            BuildOptions::default(),
+            mk(F_STRUCT)?,
+            mk(F_TAG)?,
+            mk(F_VAL)?,
+            mk(F_ID)?,
+            DataFile::create(dir.join(F_DATA))?,
+        )?;
+        db.dict_path = Some(dir.join(F_DICT));
+        db.flush()?;
+        Ok(db)
+    }
+
+    /// Open a database previously created with [`XmlDb::create_on_disk`].
+    pub fn open_dir<P: AsRef<Path>>(dir: P) -> CoreResult<Self> {
+        let dir: PathBuf = dir.as_ref().to_path_buf();
+        let mk = |name: &str| -> CoreResult<Rc<BufferPool<FileStorage>>> {
+            Ok(Rc::new(BufferPool::new(FileStorage::open(dir.join(name))?)))
+        };
+        let store = StructStore::open(mk(F_STRUCT)?)?;
+        let bt_tag = BTree::open(mk(F_TAG)?)?;
+        let bt_val = BTree::open(mk(F_VAL)?)?;
+        let bt_id = BTree::open(mk(F_ID)?)?;
+        let data = DataFile::open(dir.join(F_DATA))?;
+        let dict_bytes = std::fs::read(dir.join(F_DICT)).map_err(nok_pager::PagerError::from)?;
+        let dict = TagDict::from_bytes(&dict_bytes)
+            .ok_or_else(|| CoreError::Corrupt("bad tag dictionary".into()))?;
+        // Rebuild tag counts from the tag index.
+        let mut tag_counts = HashMap::new();
+        for item in bt_tag.iter_all()? {
+            let (k, _) = item?;
+            *tag_counts.entry(TagCode::from_key(&k)).or_insert(0) += 1;
+        }
+        Ok(XmlDb {
+            store,
+            dict,
+            data: RefCell::new(data),
+            bt_tag,
+            bt_val,
+            bt_id,
+            tag_counts,
+            dict_path: Some(dir.join(F_DICT)),
+        })
+    }
+
+    /// Flush all components to disk, including the tag dictionary (updates
+    /// may have interned new tags).
+    pub fn flush(&self) -> CoreResult<()> {
+        if let Some(path) = &self.dict_path {
+            std::fs::write(path, self.dict.to_bytes()).map_err(nok_pager::PagerError::from)?;
+        }
+        self.store.pool().flush()?;
+        self.bt_tag.flush()?;
+        self.bt_val.flush()?;
+        self.bt_id.flush()?;
+        self.data.borrow_mut().sync()?;
+        Ok(())
+    }
+}
+
+impl<S: Storage> XmlDb<S> {
+    /// Build from XML text given pre-created pools (one per component).
+    pub fn build_with_pools(
+        xml: &str,
+        opts: BuildOptions,
+        struct_pool: Rc<BufferPool<S>>,
+        tag_pool: Rc<BufferPool<S>>,
+        val_pool: Rc<BufferPool<S>>,
+        id_pool: Rc<BufferPool<S>>,
+        data: DataFile,
+    ) -> CoreResult<Self> {
+        let mut dict = TagDict::new();
+        let mut sink = IndexSink {
+            nodes: Vec::new(),
+            values: Vec::new(),
+            data: Some(data),
+        };
+        let store = StructStore::build(
+            struct_pool,
+            Reader::content_only(xml),
+            &mut dict,
+            opts,
+            &mut sink,
+        )?;
+        let mut data = sink.data.take().expect("data file retained");
+        data.sync()?;
+
+        // ---- B+i: dewey → IdRecord, bulk-loaded in document (= key) order.
+        let mut value_by_dewey: Vec<(Vec<u8>, (u64, u32))> = sink
+            .values
+            .iter()
+            .map(|(d, off, len)| (d.to_key(), (*off, *len)))
+            .collect();
+        value_by_dewey.sort();
+        let id_pairs: Vec<(Vec<u8>, Vec<u8>)> = sink
+            .nodes
+            .iter()
+            .map(|rec| {
+                let key = rec.dewey.to_key();
+                let value = value_by_dewey
+                    .binary_search_by(|(k, _)| k.as_slice().cmp(&key))
+                    .ok()
+                    .map(|i| value_by_dewey[i].1);
+                (
+                    key,
+                    IdRecord {
+                        addr: rec.addr,
+                        value,
+                    }
+                    .to_bytes()
+                    .to_vec(),
+                )
+            })
+            .collect();
+        let bt_id = BTree::bulk_load(id_pool, id_pairs, 0.9)?;
+
+        // ---- B+t: tag → posting, grouped by tag, document order within.
+        let mut tag_counts: HashMap<TagCode, u64> = HashMap::new();
+        let mut tag_pairs: Vec<(Vec<u8>, Vec<u8>)> = sink
+            .nodes
+            .iter()
+            .map(|rec| {
+                *tag_counts.entry(rec.tag).or_insert(0) += 1;
+                (
+                    rec.tag.to_key().to_vec(),
+                    TagPosting {
+                        addr: rec.addr,
+                        level: rec.level,
+                        dewey: rec.dewey.clone(),
+                    }
+                    .to_bytes(),
+                )
+            })
+            .collect();
+        // Stable sort keeps document order inside each tag group.
+        tag_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let bt_tag = BTree::bulk_load(tag_pool, tag_pairs, 0.9)?;
+
+        // ---- B+v: value hash → dewey key.
+        let mut val_pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(sink.values.len());
+        for (dewey, off, _len) in &sink.values {
+            let text = data.get_record(*off)?;
+            val_pairs.push((hash_key(&text).to_vec(), dewey.to_key()));
+        }
+        val_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let bt_val = BTree::bulk_load(val_pool, val_pairs, 0.9)?;
+
+        Ok(XmlDb {
+            store,
+            dict,
+            data: RefCell::new(data),
+            bt_tag,
+            bt_val,
+            bt_id,
+            tag_counts,
+            dict_path: None,
+        })
+    }
+
+    /// The structural store.
+    pub fn store(&self) -> &StructStore<S> {
+        &self.store
+    }
+
+    /// The tag dictionary.
+    pub fn dict(&self) -> &TagDict {
+        &self.dict
+    }
+
+    /// The tag-name index (B+t).
+    pub fn bt_tag(&self) -> &BTree<S> {
+        &self.bt_tag
+    }
+
+    /// The value index (B+v).
+    pub fn bt_val(&self) -> &BTree<S> {
+        &self.bt_val
+    }
+
+    /// The Dewey index (B+i).
+    pub fn bt_id(&self) -> &BTree<S> {
+        &self.bt_id
+    }
+
+    /// The value data file (shared cell, as the physical access layer
+    /// expects).
+    pub fn data_cell(&self) -> &RefCell<DataFile> {
+        &self.data
+    }
+
+    /// Number of element nodes (attribute nodes included).
+    pub fn node_count(&self) -> u64 {
+        self.store.node_count()
+    }
+
+    /// Occurrences of a tag (0 if unseen).
+    pub fn tag_count(&self, tag: TagCode) -> u64 {
+        self.tag_counts.get(&tag).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP</title><price>65.95</price></book>
+        <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+    </bib>"#;
+
+    #[test]
+    fn build_populates_all_components() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        // bib, 2×book, 2×@year, 2×title, 2×price = 9 nodes.
+        assert_eq!(db.node_count(), 9);
+        assert_eq!(db.bt_id.len(), 9);
+        assert_eq!(db.bt_tag.len(), 9);
+        // Values: 2 years, 2 titles, 2 prices.
+        assert_eq!(db.bt_val.len(), 6);
+        let book = db.dict.lookup("book").unwrap();
+        assert_eq!(db.tag_count(book), 2);
+        assert_eq!(db.tag_count(db.dict.lookup("@year").unwrap()), 2);
+    }
+
+    #[test]
+    fn id_index_resolves_values() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        // The first book's @year is dewey 0.0.0.
+        let key = Dewey::from_components(vec![0, 0, 0]).to_key();
+        let rec = IdRecord::from_bytes(&db.bt_id.get_first(&key).unwrap().unwrap()).unwrap();
+        let (off, _) = rec.value.expect("attribute has a value");
+        assert_eq!(db.data.borrow_mut().get_record(off).unwrap(), "1994");
+    }
+
+    #[test]
+    fn value_index_finds_deweys() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        let hits = db.bt_val.get_all(&hash_key("65.95")).unwrap();
+        assert_eq!(hits.len(), 1);
+        let dewey = Dewey::from_key(&hits[0]).unwrap();
+        assert_eq!(dewey.to_string(), "0.0.2"); // book0's price
+    }
+
+    #[test]
+    fn tag_postings_in_document_order() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        let book = db.dict.lookup("book").unwrap();
+        let postings = db.bt_tag.get_all(&book.to_key()).unwrap();
+        let deweys: Vec<String> = postings
+            .iter()
+            .map(|p| TagPosting::from_bytes(p).unwrap().dewey.to_string())
+            .collect();
+        assert_eq!(deweys, vec!["0.0", "0.1"]);
+    }
+
+    #[test]
+    fn on_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nok-xmldb-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = XmlDb::create_on_disk(&dir, BIB).unwrap();
+            assert_eq!(db.node_count(), 9);
+        }
+        {
+            let db = XmlDb::open_dir(&dir).unwrap();
+            assert_eq!(db.node_count(), 9);
+            assert_eq!(db.bt_id.len(), 9);
+            assert_eq!(db.tag_count(db.dict.lookup("book").unwrap()), 2);
+            // Value still resolvable after reopen.
+            let hits = db.bt_val.get_all(&hash_key("TCP/IP")).unwrap();
+            assert_eq!(hits.len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

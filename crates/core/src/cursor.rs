@@ -1,0 +1,540 @@
+//! Primitive tree operations over the string representation (paper §5,
+//! Algorithm 2): `FIRST-CHILD`, `FOLLOWING-SIBLING`, and the derived
+//! operations (subtree end, descendants, document-order scan, containment
+//! intervals) that everything above is composed from.
+//!
+//! **Page skipping.** The paper skips a page during `FOLLOWING-SIBLING` when
+//! `l-1 ∉ [lo, hi]` (the page cannot contain the `)` of the current node).
+//! The justification: because levels change by ±1 per entry, every relevant
+//! entry — a candidate sibling (an open at level `l`) or the stop signal
+//! (the parent's close, at level `l-2`) — is directly preceded by an entry
+//! at level `l-1`, so the page holding it either contains a level-`l-1`
+//! entry too or *begins* with it. The paper's test misses that second,
+//! page-boundary case (the relevant entry being the first of its page, its
+//! `l-1` predecessor ending the previous page), which can make the scan skip
+//! over a parent close and return a *cousin*. We therefore load a page iff
+//! `lo ≤ l-1 || st == l-1`. The test consults only the in-memory header
+//! directory, so skipped pages cost no I/O — the effect the paper targets.
+
+use crate::dewey::Dewey;
+use crate::error::CoreResult;
+use crate::page::Entry;
+use crate::sigma::TagCode;
+use crate::store::{NodeAddr, StructStore};
+use nok_pager::Storage;
+
+/// Advance to the next entry in chain order (crossing page boundaries,
+/// skipping structurally empty pages). Costs I/O only when a page boundary
+/// is crossed.
+pub fn next_entry<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<Option<NodeAddr>> {
+    let page = store.decoded(addr.page)?;
+    if (addr.entry as usize) + 1 < page.len() {
+        return Ok(Some(NodeAddr {
+            page: addr.page,
+            entry: addr.entry + 1,
+        }));
+    }
+    // Walk the directory (no I/O) to the next non-empty page.
+    let mut r = store.rank(addr.page) + 1;
+    while let Some(de) = store.dir_at(r) {
+        if de.entries > 0 {
+            return Ok(Some(NodeAddr {
+                page: de.id,
+                entry: 0,
+            }));
+        }
+        r += 1;
+    }
+    Ok(None)
+}
+
+/// `FIRST-CHILD`: the first child of the node at `addr`, if any. Per the
+/// pre-order property this is the very next entry iff it is an open entry
+/// (equivalently: iff its level is `l+1`).
+pub fn first_child<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<Option<NodeAddr>> {
+    let (entry, level) = store.entry_at(addr)?;
+    debug_assert!(entry.is_open(), "first_child of a close entry");
+    let Some(next) = next_entry(store, addr)? else {
+        return Ok(None);
+    };
+    let (e, l) = store.entry_at(next)?;
+    Ok(if e.is_open() && l == level + 1 {
+        Some(next)
+    } else {
+        None
+    })
+}
+
+/// `FOLLOWING-SIBLING`: the next sibling of the node at `addr`, if any.
+/// Scans right for an open entry at the same level, stopping at the
+/// parent's close (level `l-2`), and skips pages via the header directory
+/// (see module docs for the corrected skip condition).
+pub fn following_sibling<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<Option<NodeAddr>> {
+    let (entry, l) = store.entry_at(addr)?;
+    debug_assert!(entry.is_open(), "following_sibling of a close entry");
+    if l == 1 {
+        return Ok(None); // the root has no siblings
+    }
+    let stop = l - 2; // level of the parent's close parenthesis
+
+    // Finish the current page first.
+    let page = store.decoded(addr.page)?;
+    for i in (addr.entry as usize + 1)..page.len() {
+        let lev = page.levels[i];
+        if lev <= stop {
+            return Ok(None);
+        }
+        if lev == l && page.entries[i].is_open() {
+            return Ok(Some(NodeAddr {
+                page: addr.page,
+                entry: i as u32,
+            }));
+        }
+    }
+
+    // Subsequent pages: consult headers, load only pages that can matter.
+    let mut r = store.rank(addr.page) + 1;
+    while let Some(de) = store.dir_at(r) {
+        r += 1;
+        if de.entries == 0 {
+            continue;
+        }
+        // Load iff the page may contain an entry at level l-1 (the
+        // predecessor of any candidate or stop) or begins right after one.
+        if !(de.lo < l || de.st == l - 1) {
+            continue; // header-directory skip: no page I/O at all
+        }
+        let page = store.decoded(de.id)?;
+        for i in 0..page.len() {
+            let lev = page.levels[i];
+            if lev <= stop {
+                return Ok(None);
+            }
+            if lev == l && page.entries[i].is_open() {
+                return Ok(Some(NodeAddr {
+                    page: de.id,
+                    entry: i as u32,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Address of the close entry matching the open at `addr` (the first
+/// subsequent close at level `l-1`). Pages that cannot contain any entry at
+/// level `< l` are skipped via the directory.
+pub fn subtree_close<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<NodeAddr> {
+    let (entry, l) = store.entry_at(addr)?;
+    debug_assert!(entry.is_open(), "subtree_close of a close entry");
+
+    let page = store.decoded(addr.page)?;
+    for i in (addr.entry as usize + 1)..page.len() {
+        if page.levels[i] < l {
+            return Ok(NodeAddr {
+                page: addr.page,
+                entry: i as u32,
+            });
+        }
+    }
+    let mut r = store.rank(addr.page) + 1;
+    while let Some(de) = store.dir_at(r) {
+        r += 1;
+        if de.entries == 0 || de.lo >= l {
+            continue;
+        }
+        let page = store.decoded(de.id)?;
+        for i in 0..page.len() {
+            if page.levels[i] < l {
+                return Ok(NodeAddr {
+                    page: de.id,
+                    entry: i as u32,
+                });
+            }
+        }
+    }
+    // A well-formed store always closes every node.
+    Err(crate::error::CoreError::Corrupt(format!(
+        "no matching close for node at {addr}"
+    )))
+}
+
+/// The containment interval `⟨start, end⟩` of the node at `addr`, in linear
+/// positions (paper: `⟨p₁·C+o₁, p₂·C+o₂⟩`). A node `b` is a descendant of
+/// `a` iff `a.start < b.start && b.end < a.end`.
+pub fn interval<S: Storage>(store: &StructStore<S>, addr: NodeAddr) -> CoreResult<(u64, u64)> {
+    let close = subtree_close(store, addr)?;
+    Ok((store.lin(addr), store.lin(close)))
+}
+
+/// Iterator over the open entries of the subtree rooted at `addr`,
+/// *excluding* `addr` itself, in document order.
+pub fn descendants<'a, S: Storage>(
+    store: &'a StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<impl Iterator<Item = CoreResult<(NodeAddr, TagCode, u16)>> + 'a> {
+    let end = subtree_close(store, addr)?;
+    let end_lin = store.lin(end);
+    let mut cur = next_entry(store, addr)?;
+    Ok(std::iter::from_fn(move || loop {
+        let addr = cur?;
+        if store.lin(addr) >= end_lin {
+            cur = None;
+            return None;
+        }
+        let step = (|| -> CoreResult<Option<(NodeAddr, TagCode, u16)>> {
+            let (entry, level) = store.entry_at(addr)?;
+            let out = match entry {
+                Entry::Open(tag) => Some((addr, tag, level)),
+                Entry::Close => None,
+            };
+            cur = next_entry(store, addr)?;
+            Ok(out)
+        })();
+        match step {
+            Ok(Some(item)) => return Some(Ok(item)),
+            Ok(None) => continue,
+            Err(e) => {
+                cur = None;
+                return Some(Err(e));
+            }
+        }
+    }))
+}
+
+/// A document-order scan over every element node, deriving each node's
+/// Dewey id on the fly (the "naive approach" starting-point strategy, and
+/// the proof that Dewey ids need not be stored).
+pub struct DocScan<'a, S: Storage> {
+    store: &'a StructStore<S>,
+    cur: Option<NodeAddr>,
+    /// Child counters per open level; `path` holds the current Dewey
+    /// components.
+    path: Vec<u32>,
+    counters: Vec<u32>,
+}
+
+/// One scanned node.
+#[derive(Debug, Clone)]
+pub struct ScanItem {
+    /// Physical address.
+    pub addr: NodeAddr,
+    /// Tag code.
+    pub tag: TagCode,
+    /// Level (root = 1).
+    pub level: u16,
+    /// Dewey id derived during the scan.
+    pub dewey: Dewey,
+}
+
+impl<'a, S: Storage> DocScan<'a, S> {
+    /// Scan the whole store from the root.
+    pub fn new(store: &'a StructStore<S>) -> Self {
+        DocScan {
+            store,
+            cur: store.root(),
+            path: Vec::new(),
+            counters: vec![0],
+        }
+    }
+}
+
+impl<S: Storage> Iterator for DocScan<'_, S> {
+    type Item = CoreResult<ScanItem>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let addr = self.cur?;
+            let step = (|| -> CoreResult<Option<ScanItem>> {
+                let (entry, level) = self.store.entry_at(addr)?;
+                let item = match entry {
+                    Entry::Open(tag) => {
+                        let counter = self.counters.last_mut().expect("counter stack");
+                        let idx = *counter;
+                        *counter += 1;
+                        self.path.push(idx);
+                        self.counters.push(0);
+                        Some(ScanItem {
+                            addr,
+                            tag,
+                            level,
+                            dewey: Dewey::from_components(self.path.clone()),
+                        })
+                    }
+                    Entry::Close => {
+                        self.path.pop();
+                        self.counters.pop();
+                        None
+                    }
+                };
+                self.cur = next_entry(self.store, addr)?;
+                Ok(item)
+            })();
+            match step {
+                Ok(Some(item)) => return Some(Ok(item)),
+                Ok(None) => continue,
+                Err(e) => {
+                    self.cur = None;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::TagDict;
+    use crate::store::{BuildOptions, StructStore};
+    use nok_pager::{BufferPool, MemStorage};
+    use nok_xml::{Document, NodeId, Reader};
+    use std::rc::Rc;
+
+    fn build(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let mut dict = TagDict::new();
+        let store = StructStore::build(
+            pool,
+            Reader::content_only(xml),
+            &mut dict,
+            BuildOptions::default(),
+            &mut (),
+        )
+        .unwrap();
+        (store, dict)
+    }
+
+    /// The paper's running example document (Figure 1a / Figure 2).
+    pub(crate) const BIB: &str = r#"<bib>
+      <book year="1994">
+        <title>TCP/IP Illustrated</title>
+        <author><last>Stevens</last><first>W.</first></author>
+        <publisher>Addison-Wesley</publisher>
+        <price>65.95</price>
+      </book>
+      <book year="1992">
+        <title>Advanced Programming in the Unix Environment</title>
+        <author><last>Stevens</last><first>W.</first></author>
+        <publisher>Addison-Wesley</publisher>
+        <price>65.95</price>
+      </book>
+      <book year="2000">
+        <title>Data on the Web</title>
+        <author><last>Abiteboul</last><first>Serge</first></author>
+        <author><last>Buneman</last><first>Peter</first></author>
+        <author><last>Suciu</last><first>Dan</first></author>
+        <publisher>Morgan Kaufmann Publishers</publisher>
+        <price>39.95</price>
+      </book>
+      <book year="1999">
+        <title>The Economics of Technology and Content for Digital TV</title>
+        <editor>
+          <last>Gerbarg</last><first>Darcy</first>
+          <affiliation>CITI</affiliation>
+        </editor>
+        <publisher>Kluwer Academic Publishers</publisher>
+        <price>129.95</price>
+      </book>
+    </bib>"#;
+
+    #[test]
+    fn first_child_and_sibling_on_one_page() {
+        let (store, dict) = build(BIB, 4096);
+        let root = store.root().unwrap();
+        let b = dict.lookup("book").unwrap();
+        // Root's first child is the first book.
+        let book1 = first_child(&store, root).unwrap().unwrap();
+        assert_eq!(store.tag_at(book1).unwrap(), b);
+        // The paper's example: the first child of book is the next entry —
+        // its @year attribute node.
+        let year = first_child(&store, book1).unwrap().unwrap();
+        assert_eq!(store.tag_at(year).unwrap(), dict.lookup("@year").unwrap());
+        // Chain of following siblings of book1: 3 more books.
+        let mut count = 0;
+        let mut cur = book1;
+        while let Some(next) = following_sibling(&store, cur).unwrap() {
+            assert_eq!(store.tag_at(next).unwrap(), b);
+            cur = next;
+            count += 1;
+        }
+        assert_eq!(count, 3);
+        // Root has no following sibling.
+        assert_eq!(following_sibling(&store, root).unwrap(), None);
+    }
+
+    /// Exhaustive oracle check: on many page sizes, FIRST-CHILD and
+    /// FOLLOWING-SIBLING must agree with the DOM for every element node.
+    #[test]
+    fn navigation_agrees_with_dom_across_page_sizes() {
+        let doc = Document::parse(BIB).unwrap();
+        for page_size in [64, 96, 128, 256, 4096] {
+            let (store, dict) = build(BIB, page_size);
+            // Walk DOM and store in lockstep (document order).
+            let dom_elems: Vec<NodeId> = doc
+                .preorder()
+                .filter(|&id| doc.tag(id).is_some())
+                .collect();
+            let store_elems: Vec<ScanItem> = DocScan::new(&store)
+                .collect::<CoreResult<Vec<_>>>()
+                .unwrap();
+            // DOM has no attribute child nodes; filter store items on '@'.
+            let store_real: Vec<&ScanItem> = store_elems
+                .iter()
+                .filter(|it| !dict.name(it.tag).starts_with('@'))
+                .collect();
+            assert_eq!(dom_elems.len(), store_real.len(), "page_size={page_size}");
+            let addr_of: std::collections::HashMap<NodeId, NodeAddr> = dom_elems
+                .iter()
+                .copied()
+                .zip(store_real.iter().map(|it| it.addr))
+                .collect();
+            for (&dom_id, item) in dom_elems.iter().zip(store_real.iter()) {
+                assert_eq!(
+                    doc.tag(dom_id).unwrap(),
+                    dict.name(item.tag),
+                    "tag mismatch (page_size={page_size})"
+                );
+                // first element child (skip attr entries in store; DOM has
+                // no attr children so compare against first element child).
+                let dom_fc = doc.child_elements(dom_id).next();
+                let mut store_fc = first_child(&store, item.addr).unwrap();
+                while let Some(fc) = store_fc {
+                    if dict.name(store.tag_at(fc).unwrap()).starts_with('@') {
+                        store_fc = following_sibling(&store, fc).unwrap();
+                    } else {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    dom_fc.map(|id| addr_of[&id]),
+                    store_fc,
+                    "first_child mismatch at {} (page_size={page_size})",
+                    item.dewey
+                );
+                // following element sibling
+                let mut dom_fs = doc.next_sibling(dom_id);
+                while let Some(s) = dom_fs {
+                    if doc.tag(s).is_some() {
+                        break;
+                    }
+                    dom_fs = doc.next_sibling(s);
+                }
+                let store_fs = following_sibling(&store, item.addr).unwrap();
+                assert_eq!(
+                    dom_fs.map(|id| addr_of[&id]),
+                    store_fs,
+                    "following_sibling mismatch at {} (page_size={page_size})",
+                    item.dewey
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_close_and_intervals() {
+        let (store, dict) = build("<a><b><c/><d/></b><e/></a>", 4096);
+        let root = store.root().unwrap();
+        let b = first_child(&store, root).unwrap().unwrap();
+        assert_eq!(store.tag_at(b).unwrap(), dict.lookup("b").unwrap());
+        let (b_start, b_end) = interval(&store, b).unwrap();
+        let c = first_child(&store, b).unwrap().unwrap();
+        let (c_start, c_end) = interval(&store, c).unwrap();
+        let e = following_sibling(&store, b).unwrap().unwrap();
+        let (e_start, _) = interval(&store, e).unwrap();
+        // c inside b
+        assert!(b_start < c_start && c_end < b_end);
+        // e after b
+        assert!(e_start > b_end);
+    }
+
+    #[test]
+    fn descendants_enumerates_subtree_only() {
+        let (store, dict) = build("<a><b><c/><d><x/></d></b><e/></a>", 4096);
+        let root = store.root().unwrap();
+        let b = first_child(&store, root).unwrap().unwrap();
+        let tags: Vec<String> = descendants(&store, b)
+            .unwrap()
+            .map(|r| {
+                let (_, tag, _) = r.unwrap();
+                dict.name(tag).to_string()
+            })
+            .collect();
+        assert_eq!(tags, vec!["c", "d", "x"]);
+    }
+
+    #[test]
+    fn doc_scan_deweys_match_build_deweys() {
+        use crate::store::{BuildSink, NodeRecord};
+        struct Rec(Vec<(String, NodeAddr)>);
+        impl BuildSink for Rec {
+            fn node(&mut self, r: NodeRecord) {
+                self.0.push((r.dewey.to_string(), r.addr));
+            }
+            fn value(&mut self, _d: &Dewey, _t: &str) {}
+        }
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(96)));
+        let mut dict = TagDict::new();
+        let mut sink = Rec(vec![]);
+        let store = StructStore::build(
+            pool,
+            Reader::content_only(BIB),
+            &mut dict,
+            BuildOptions::default(),
+            &mut sink,
+        )
+        .unwrap();
+        let scanned: Vec<(String, NodeAddr)> = DocScan::new(&store)
+            .map(|r| {
+                let it = r.unwrap();
+                (it.dewey.to_string(), it.addr)
+            })
+            .collect();
+        assert_eq!(scanned, sink.0);
+    }
+
+    /// Multi-page sibling search must skip pages through the header
+    /// directory: build a bushy-deep doc, then verify that finding the
+    /// *last* top-level sibling performs fewer page gets than a full scan.
+    #[test]
+    fn sibling_search_skips_pages() {
+        let mut xml = String::from("<r>");
+        // First child has a deep/wide subtree spanning many pages...
+        xml.push_str("<first>");
+        for _ in 0..200 {
+            xml.push_str("<deep><deeper><deepest/></deeper></deep>");
+        }
+        xml.push_str("</first>");
+        // ... followed by one sibling.
+        xml.push_str("<second/></r>");
+        let (store, dict) = build(&xml, 64);
+        assert!(store.page_count() > 10);
+        let root = store.root().unwrap();
+        let first = first_child(&store, root).unwrap().unwrap();
+        store.invalidate_decoded(None);
+        store.pool().clear_cache().unwrap();
+        store.pool().stats().reset();
+        let second = following_sibling(&store, first).unwrap().unwrap();
+        assert_eq!(store.tag_at(second).unwrap(), dict.lookup("second").unwrap());
+        let loaded = store.pool().stats().physical_reads();
+        // All the <deep> pages have lo >= 3 and can't contain level-2
+        // entries or level-0 stops, so they must be skipped.
+        assert!(
+            loaded <= 3,
+            "expected header-directory skipping, loaded {loaded} pages of {}",
+            store.page_count()
+        );
+    }
+}

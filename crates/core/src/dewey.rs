@@ -1,0 +1,182 @@
+//! Dewey IDs (§4.1 of the paper).
+//!
+//! A Dewey ID is the path of child indexes from the root: the root is `0`,
+//! its second child is `0.2`, etc. The paper uses Dewey IDs as the key
+//! connecting the structural string representation with the detached value
+//! file, because they can be *derived for free during tree traversal* — the
+//! matcher counts children as it iterates, so no node id needs to be stored
+//! in the structure.
+//!
+//! Byte encoding: each component as a 4-byte big-endian integer, so the
+//! natural lexicographic byte order of keys in the Dewey B+ tree is exactly
+//! document order (a prefix sorts before its extensions, and sibling order
+//! follows component order).
+
+use std::fmt;
+
+/// A Dewey identifier: the sequence of child indexes from the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dewey(Vec<u32>);
+
+impl Dewey {
+    /// The root node's id (`0`).
+    pub fn root() -> Dewey {
+        Dewey(vec![0])
+    }
+
+    /// Construct from components.
+    pub fn from_components(c: Vec<u32>) -> Dewey {
+        Dewey(c)
+    }
+
+    /// The components of this id.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Depth of the node (root = 1).
+    pub fn level(&self) -> u32 {
+        self.0.len() as u32
+    }
+
+    /// Id of this node's `index`-th child.
+    pub fn child(&self, index: u32) -> Dewey {
+        let mut c = self.0.clone();
+        c.push(index);
+        Dewey(c)
+    }
+
+    /// Id of the next sibling.
+    pub fn next_sibling(&self) -> Dewey {
+        let mut c = self.0.clone();
+        let last = c.last_mut().expect("dewey is never empty");
+        *last += 1;
+        Dewey(c)
+    }
+
+    /// Id of the parent, or `None` for the root.
+    pub fn parent(&self) -> Option<Dewey> {
+        if self.0.len() <= 1 {
+            return None;
+        }
+        Some(Dewey(self.0[..self.0.len() - 1].to_vec()))
+    }
+
+    /// The ancestor at depth `level` (1 = root). `None` if `level` exceeds
+    /// this node's depth.
+    pub fn ancestor_at_level(&self, level: u32) -> Option<Dewey> {
+        if level == 0 || level as usize > self.0.len() {
+            return None;
+        }
+        Some(Dewey(self.0[..level as usize].to_vec()))
+    }
+
+    /// Whether `self` is a proper ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Order-preserving key bytes (4-byte big-endian components).
+    pub fn to_key(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() * 4);
+        for &c in &self.0 {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Dewey::to_key`]. Returns `None` for malformed input.
+    pub fn from_key(key: &[u8]) -> Option<Dewey> {
+        if key.is_empty() || !key.len().is_multiple_of(4) {
+            return None;
+        }
+        let comps = key
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Some(Dewey(comps))
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_ids() {
+        // "the Dewey IDs of the root a and its second child b are 0, and 0.2"
+        // (the paper counts the attribute/first children too; here we just
+        // check the mechanics).
+        let root = Dewey::root();
+        assert_eq!(root.to_string(), "0");
+        let second_child = root.child(2);
+        assert_eq!(second_child.to_string(), "0.2");
+        assert_eq!(second_child.level(), 2);
+        assert_eq!(second_child.parent(), Some(root));
+    }
+
+    #[test]
+    fn sibling_and_child_navigation() {
+        let n = Dewey::root().child(1).child(4);
+        assert_eq!(n.to_string(), "0.1.4");
+        assert_eq!(n.next_sibling().to_string(), "0.1.5");
+        assert_eq!(n.child(0).to_string(), "0.1.4.0");
+    }
+
+    #[test]
+    fn ancestor_relations() {
+        let a = Dewey::root().child(1);
+        let d = a.child(2).child(3);
+        assert!(a.is_ancestor_of(&d));
+        assert!(!d.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a.clone()));
+        assert_eq!(d.ancestor_at_level(2), Some(a));
+        assert_eq!(d.ancestor_at_level(4), Some(d.clone()));
+        assert_eq!(d.ancestor_at_level(5), None);
+        assert_eq!(d.ancestor_at_level(0), None);
+    }
+
+    #[test]
+    fn key_order_is_document_order() {
+        // Document order: ancestors before descendants, siblings in index
+        // order.
+        let root = Dewey::root();
+        let c0 = root.child(0);
+        let c0x = c0.child(7);
+        let c1 = root.child(1);
+        let mut keys = vec![c1.to_key(), c0x.to_key(), c0.to_key(), root.to_key()];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![root.to_key(), c0.to_key(), c0x.to_key(), c1.to_key()]
+        );
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let d = Dewey::from_components(vec![0, 5, 1_000_000, 2]);
+        assert_eq!(Dewey::from_key(&d.to_key()), Some(d));
+        assert_eq!(Dewey::from_key(&[]), None);
+        assert_eq!(Dewey::from_key(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn big_sibling_indexes_order_correctly() {
+        // A u8-per-component encoding would break at 256; ours must not.
+        let a = Dewey::root().child(255);
+        let b = Dewey::root().child(256);
+        assert!(a.to_key() < b.to_key());
+    }
+}

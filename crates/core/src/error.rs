@@ -1,0 +1,87 @@
+//! Unified error type for the core engine.
+
+use std::fmt;
+
+use nok_btree::BTreeError;
+use nok_pager::PagerError;
+use nok_xml::XmlError;
+
+/// Result alias used across `nok-core`.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors surfaced by the storage scheme and query engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// XML parsing failed while building or updating a store.
+    Xml(XmlError),
+    /// Page-level I/O failed.
+    Pager(PagerError),
+    /// Index operation failed.
+    BTree(BTreeError),
+    /// Path-expression syntax error.
+    PathSyntax {
+        /// Byte position in the expression.
+        pos: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A query referenced a tag name absent from the document's alphabet.
+    /// (Not an error for evaluation — such queries return empty — but
+    /// surfaced by APIs that resolve names eagerly.)
+    UnknownTag(String),
+    /// The store's on-disk structures are inconsistent.
+    Corrupt(String),
+    /// An update was rejected (e.g. deleting the root).
+    InvalidUpdate(String),
+    /// The pattern cannot be evaluated in one streaming pass (it needs
+    /// structural joins between distinct subtrees).
+    StreamUnsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Xml(e) => write!(f, "{e}"),
+            CoreError::Pager(e) => write!(f, "{e}"),
+            CoreError::BTree(e) => write!(f, "{e}"),
+            CoreError::PathSyntax { pos, msg } => {
+                write!(f, "path syntax error at byte {pos}: {msg}")
+            }
+            CoreError::UnknownTag(t) => write!(f, "unknown tag name {t:?}"),
+            CoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            CoreError::InvalidUpdate(m) => write!(f, "invalid update: {m}"),
+            CoreError::StreamUnsupported(m) => {
+                write!(f, "pattern not streamable in a single pass: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Xml(e) => Some(e),
+            CoreError::Pager(e) => Some(e),
+            CoreError::BTree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for CoreError {
+    fn from(e: XmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<PagerError> for CoreError {
+    fn from(e: PagerError) -> Self {
+        CoreError::Pager(e)
+    }
+}
+
+impl From<BTreeError> for CoreError {
+    fn from(e: BTreeError) -> Self {
+        CoreError::BTree(e)
+    }
+}

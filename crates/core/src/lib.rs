@@ -1,0 +1,68 @@
+//! # nok-core
+//!
+//! Rust implementation of **"A Succinct Physical Storage Scheme for Efficient
+//! Evaluation of Path Queries in XML"** (Zhang, Kacholia, Özsu — ICDE 2004):
+//! next-of-kin (NoK) pattern matching over a succinct paged string
+//! representation of the XML subject tree.
+//!
+//! The crate is organized bottom-up:
+//!
+//! * [`sigma`] — the tag alphabet Σ; [`dewey`] — Dewey IDs.
+//! * [`page`] / [`store`] — the succinct string representation over chained
+//!   pages with `(st, lo, hi)` headers (paper §4.2).
+//! * [`cursor`] — `FIRST-CHILD` / `FOLLOWING-SIBLING` and derived primitives
+//!   (paper §5, Algorithm 2), with header-directory page skipping.
+//! * [`values`] — the detached value data file and its hashing (paper §4.1).
+//! * [`pattern`] — path-expression parsing; [`pattern_tree`] — pattern trees
+//!   and their partitioning into NoK pattern trees.
+//! * [`nok`] — the NoK pattern-matching algorithm (paper Algorithm 1) over an
+//!   abstract tree interface; [`physical`] — that interface implemented by
+//!   the succinct store (single-pass matching, Proposition 1).
+//! * [`join`] — structural (containment) joins combining NoK partial results.
+//! * [`engine`] — the end-to-end query engine with the paper's
+//!   starting-point heuristics (value index / tag index / sequential scan).
+//! * [`stream`] — NoK matching over streaming SAX events.
+//! * [`update`] — subtree insertion/deletion against the paged string.
+//! * [`stats`] — per-document statistics (Table 1 columns).
+//!
+//! The top-level convenience type is [`XmlDb`]: build it from an XML string
+//! (in memory or on disk) and run path queries.
+//!
+//! ```
+//! use nok_core::XmlDb;
+//!
+//! let xml = r#"<bib><book year="1994"><author><last>Stevens</last></author>
+//!              <price>65.95</price></book></bib>"#;
+//! let db = XmlDb::build_in_memory(xml).unwrap();
+//! let hits = db.query(r#"//book[author/last="Stevens"][price<100]"#).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod build;
+pub mod cursor;
+pub mod dewey;
+pub mod engine;
+pub mod error;
+pub mod join;
+pub mod naive;
+pub mod nok;
+pub mod page;
+pub mod pattern;
+pub mod pattern_tree;
+pub mod physical;
+pub mod serialize;
+pub mod sigma;
+pub mod stats;
+pub mod store;
+pub mod stream;
+pub mod update;
+pub mod values;
+
+pub use build::XmlDb;
+pub use engine::{QueryMatch, QueryOptions, QueryStats, StartStrategy};
+pub use stats::DocStats;
+pub use stream::{StreamHit, StreamMatcher};
+pub use dewey::Dewey;
+pub use error::{CoreError, CoreResult};
+pub use sigma::{TagCode, TagDict};
+pub use store::{BuildOptions, NodeAddr, StructStore};

@@ -1,0 +1,355 @@
+//! A naive, obviously-correct XPath evaluator over the in-memory DOM.
+//!
+//! This is the **test oracle**: it implements the standard existential
+//! semantics of the supported path language by brute force, step by step
+//! over node sets, completely independently of the pattern-tree and NoK
+//! machinery. Every engine in the workspace (NoK physical, NoK streaming,
+//! DI-style interval joins, TwigStack, the navigational baseline) is
+//! verified against it.
+//!
+//! It mirrors the storage model's view of documents: attributes are
+//! synthesized as leading children tagged `@name`, node values are direct
+//! text (whitespace-only text is no value), and Dewey ids are assigned
+//! accordingly — so oracle results can be compared to engine results by
+//! Dewey id.
+
+use std::collections::HashMap;
+
+use nok_xml::{Document, NodeId};
+
+use crate::dewey::Dewey;
+use crate::error::CoreResult;
+use crate::nok::DomNode;
+use crate::pattern::{Axis, NameTest, PathExpr, Predicate, Step};
+
+/// Precomputed document-order and Dewey information for oracle evaluation.
+pub struct NaiveEvaluator<'d> {
+    doc: &'d Document,
+    /// Document-order index of each node.
+    order: HashMap<DomNode, u64>,
+    /// One-past-the-subtree order index (attrs and elements included).
+    subtree_end: HashMap<DomNode, u64>,
+    /// Dewey id of every node (attrs occupy leading child indexes).
+    deweys: HashMap<DomNode, Dewey>,
+    /// All nodes in document order.
+    all: Vec<DomNode>,
+}
+
+impl<'d> NaiveEvaluator<'d> {
+    /// Precompute order/dewey tables for `doc`.
+    pub fn new(doc: &'d Document) -> Self {
+        let mut ev = NaiveEvaluator {
+            doc,
+            order: HashMap::new(),
+            subtree_end: HashMap::new(),
+            deweys: HashMap::new(),
+            all: Vec::new(),
+        };
+        if !doc.is_empty() {
+            let mut counter = 0u64;
+            ev.walk(NodeId::ROOT, &Dewey::root(), &mut counter);
+        }
+        ev
+    }
+
+    fn walk(&mut self, id: NodeId, dewey: &Dewey, counter: &mut u64) {
+        let me: DomNode = (id, None);
+        let start = *counter;
+        *counter += 1;
+        self.order.insert(me, start);
+        self.deweys.insert(me, dewey.clone());
+        self.all.push(me);
+        let mut child_idx = 0u32;
+        for (ai, _) in self.doc.attrs(id).iter().enumerate() {
+            let an: DomNode = (id, Some(ai));
+            let o = *counter;
+            *counter += 1;
+            self.order.insert(an, o);
+            self.subtree_end.insert(an, o + 1);
+            self.deweys.insert(an, dewey.child(child_idx));
+            self.all.push(an);
+            child_idx += 1;
+        }
+        for c in self.doc.children(id) {
+            if self.doc.tag(c).is_some() {
+                self.walk(c, &dewey.child(child_idx), counter);
+                child_idx += 1;
+            }
+        }
+        self.subtree_end.insert(me, *counter);
+    }
+
+    /// Dewey id of a node.
+    pub fn dewey(&self, n: &DomNode) -> &Dewey {
+        &self.deweys[n]
+    }
+
+    /// The node's value (attribute value or direct text).
+    pub fn value(&self, n: &DomNode) -> Option<String> {
+        let (id, attr) = *n;
+        match attr {
+            Some(ai) => Some(self.doc.attrs(id)[ai].value.clone()),
+            None => {
+                let t = self.doc.direct_text(id);
+                if t.trim().is_empty() {
+                    None
+                } else {
+                    Some(t)
+                }
+            }
+        }
+    }
+
+    /// Evaluate a parsed absolute path, returning matches in document order.
+    pub fn eval(&self, path: &PathExpr) -> Vec<DomNode> {
+        // Context: None = the virtual document node.
+        let mut ctx: Vec<Option<DomNode>> = vec![None];
+        let mut result: Vec<DomNode> = Vec::new();
+        for (i, step) in path.steps.iter().enumerate() {
+            let mut next: Vec<DomNode> = Vec::new();
+            for c in &ctx {
+                for cand in self.axis_candidates(*c, step.axis) {
+                    if self.test_matches(&cand, &step.test)
+                        && step.predicates.iter().all(|p| self.pred_holds(&cand, p))
+                    {
+                        next.push(cand);
+                    }
+                }
+            }
+            next.sort_by_key(|n| self.order[n]);
+            next.dedup();
+            if i + 1 == path.steps.len() {
+                result = next;
+                break;
+            }
+            ctx = next.into_iter().map(Some).collect();
+        }
+        result
+    }
+
+    /// Parse and evaluate.
+    pub fn eval_str(&self, path: &str) -> CoreResult<Vec<DomNode>> {
+        Ok(self.eval(&PathExpr::parse(path)?))
+    }
+
+    fn axis_candidates(&self, ctx: Option<DomNode>, axis: Axis) -> Vec<DomNode> {
+        match (ctx, axis) {
+            (None, Axis::Child) => {
+                if self.doc.is_empty() {
+                    vec![]
+                } else {
+                    vec![(NodeId::ROOT, None)]
+                }
+            }
+            (None, Axis::Descendant) => self.all.clone(),
+            (None, _) => vec![],
+            (Some(n), Axis::Child) => self.children_of(n),
+            (Some(n), Axis::Descendant) => {
+                let (start, end) = (self.order[&n], self.subtree_end[&n]);
+                self.all
+                    .iter()
+                    .filter(|m| {
+                        let o = self.order[*m];
+                        o > start && o < end
+                    })
+                    .copied()
+                    .collect()
+            }
+            (Some(n), Axis::FollowingSibling) => self.following_siblings_of(n),
+            (Some(n), Axis::Following) => {
+                let end = self.subtree_end[&n];
+                self.all
+                    .iter()
+                    .filter(|m| self.order[*m] >= end)
+                    .copied()
+                    .collect()
+            }
+        }
+    }
+
+    fn children_of(&self, n: DomNode) -> Vec<DomNode> {
+        let (id, attr) = n;
+        if attr.is_some() {
+            return vec![];
+        }
+        let mut out: Vec<DomNode> = (0..self.doc.attrs(id).len())
+            .map(|ai| (id, Some(ai)))
+            .collect();
+        out.extend(
+            self.doc
+                .children(id)
+                .filter(|&c| self.doc.tag(c).is_some())
+                .map(|c| (c, None)),
+        );
+        out
+    }
+
+    fn following_siblings_of(&self, n: DomNode) -> Vec<DomNode> {
+        let (id, attr) = n;
+        let parent = match attr {
+            Some(_) => Some(id),
+            None => self.doc.parent(id),
+        };
+        let Some(parent) = parent else {
+            return vec![]; // the root element has no siblings
+        };
+        let sibs = self.children_of((parent, None));
+        let my_order = self.order[&n];
+        sibs.into_iter()
+            .filter(|s| self.order[s] > my_order)
+            .collect()
+    }
+
+    fn test_matches(&self, n: &DomNode, test: &NameTest) -> bool {
+        let (id, attr) = *n;
+        match test {
+            NameTest::Wildcard => attr.is_none(),
+            NameTest::Tag(t) => match attr {
+                Some(ai) => t.strip_prefix('@') == Some(self.doc.attrs(id)[ai].name.as_str()),
+                None => self.doc.tag(id) == Some(t.as_str()),
+            },
+        }
+    }
+
+    fn pred_holds(&self, ctx: &DomNode, pred: &Predicate) -> bool {
+        if pred.path.is_empty() {
+            let Some(v) = self.value(ctx) else {
+                return false;
+            };
+            return pred.cmp.as_ref().is_some_and(|c| c.eval(&v));
+        }
+        let targets = self.eval_relative(*ctx, &pred.path);
+        match &pred.cmp {
+            None => !targets.is_empty(),
+            Some(c) => targets
+                .iter()
+                .any(|t| self.value(t).is_some_and(|v| c.eval(&v))),
+        }
+    }
+
+    fn eval_relative(&self, ctx: DomNode, steps: &[Step]) -> Vec<DomNode> {
+        let mut cur = vec![ctx];
+        for step in steps {
+            let mut next = Vec::new();
+            for c in &cur {
+                for cand in self.axis_candidates(Some(*c), step.axis) {
+                    if self.test_matches(&cand, &step.test)
+                        && step.predicates.iter().all(|p| self.pred_holds(&cand, p))
+                    {
+                        next.push(cand);
+                    }
+                }
+            }
+            next.sort_by_key(|n| self.order[n]);
+            next.dedup();
+            cur = next;
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(path: &str, xml: &str) -> Vec<String> {
+        let doc = Document::parse(xml).unwrap();
+        let ev = NaiveEvaluator::new(&doc);
+        ev.eval_str(path)
+            .unwrap()
+            .iter()
+            .map(|n| ev.dewey(n).to_string())
+            .collect()
+    }
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><author><last>Stevens</last></author><price>65.95</price></book>
+        <book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book>
+        <book year="1999"><editor><last>Gerbarg</last></editor><price>129.95</price></book>
+    </bib>"#;
+
+    #[test]
+    fn root_and_child_paths() {
+        assert_eq!(eval("/bib", BIB), vec!["0"]);
+        assert_eq!(eval("/bib/book", BIB).len(), 3);
+        assert_eq!(eval("/nope", BIB).len(), 0);
+    }
+
+    #[test]
+    fn descendant_paths() {
+        assert_eq!(eval("//last", BIB).len(), 3);
+        assert_eq!(eval("//book//last", BIB).len(), 3);
+        assert_eq!(eval("/bib//price", BIB).len(), 3);
+    }
+
+    #[test]
+    fn paper_query() {
+        let hits = eval(r#"//book[author/last="Stevens"][price<100]"#, BIB);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], "0.0");
+    }
+
+    #[test]
+    fn attribute_axis_and_deweys() {
+        // @year is child index 0 of each book.
+        let years = eval("/bib/book/@year", BIB);
+        assert_eq!(years, vec!["0.0.0", "0.1.0", "0.2.0"]);
+        assert_eq!(eval("/bib/book[@year>1995]", BIB).len(), 2);
+    }
+
+    #[test]
+    fn predicates_existential_semantics() {
+        let xml = "<a><b><p>5</p><p>50</p></b></a>";
+        // ∃ p < 10 and ∃ p > 40, satisfied by different p's.
+        assert_eq!(eval("/a/b[p<10][p>40]", xml).len(), 1);
+        assert_eq!(eval("/a/b[p>100]", xml).len(), 0);
+    }
+
+    #[test]
+    fn following_sibling_axis() {
+        let xml = "<a><c/><b/><c/><c/></a>";
+        assert_eq!(eval("/a/b/following-sibling::c", xml).len(), 2);
+        assert_eq!(eval("/a/c/following-sibling::b", xml).len(), 1);
+    }
+
+    #[test]
+    fn following_axis_crosses_subtrees() {
+        let xml = "<a><b><x/></b><c><x/></c></a>";
+        // following from the first x: c and its x (not b's own subtree).
+        assert_eq!(eval("/a/b/x/following::x", xml).len(), 1);
+        assert_eq!(eval("/a/b/following::c", xml).len(), 1);
+        // Descendants of b are NOT following b.
+        assert_eq!(eval("/a/b/following::x", xml).len(), 1);
+    }
+
+    #[test]
+    fn dedup_across_context_nodes() {
+        // Both b's contain the same descendant set overlap scenario.
+        let xml = "<a><b><c><d/></c></b></a>";
+        // //c and /a//c reach the same node once.
+        assert_eq!(eval("//c", xml).len(), 1);
+        assert_eq!(eval("/a//c//d", xml).len(), 1);
+    }
+
+    #[test]
+    fn self_value_predicate() {
+        let xml = "<a><w>x</w><w>y</w></a>";
+        assert_eq!(eval(r#"//w[.="y"]"#, xml).len(), 1);
+    }
+
+    #[test]
+    fn results_in_document_order() {
+        let xml = "<a><b><x i='1'/></b><x i='2'/><b><x i='3'/></b></a>";
+        let hits = eval("//x", xml);
+        assert_eq!(hits.len(), 3);
+        let doc = Document::parse(xml).unwrap();
+        let ev = NaiveEvaluator::new(&doc);
+        let orders: Vec<u64> = ev
+            .eval_str("//x")
+            .unwrap()
+            .iter()
+            .map(|n| ev.order[n])
+            .collect();
+        assert!(orders.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,382 @@
+//! The structural page format (paper §4.2, Figures 4–5).
+//!
+//! A structural page stores a slice of the succinct string representation of
+//! the subject tree:
+//!
+//! ```text
+//! +----+----+----+----------+--------+----------------------+----------+
+//! | st | lo | hi | nextpage | nbytes | string entries ...   | reserved |
+//! | u16| u16| u16| u32      | u16    |                      | (slack)  |
+//! +----+----+----+----------+--------+----------------------+----------+
+//! ```
+//!
+//! * `st` — level of the last entry of the *previous* page (0 for the first
+//!   page), so a page's per-entry levels can be recomputed locally.
+//! * `lo`/`hi` — minimum/maximum entry level in this page; the feather-weight
+//!   index used to skip pages during `FOLLOWING-SIBLING` (paper §5).
+//! * `nextpage` — chain pointer; document order is the chain order, which is
+//!   what makes page insertion (updates) possible.
+//!
+//! String entries are self-delimiting:
+//!
+//! * an **open** entry (a character of Σ) is 2 bytes, `0x80|code_hi`,
+//!   `code_lo` — the high bit of the first byte marks "tag";
+//! * a **close** entry (the `)` character) is the single byte `0x29`.
+//!
+//! A node therefore costs 3 bytes (2-byte Σ char + 1-byte `)`), exactly the
+//! paper's S=2, P=1 accounting, and the capacity formula
+//! `C = (B(1-r) - V - I) / (S + P)` applies verbatim.
+//!
+//! Levels follow the paper's convention: scanning left to right starting
+//! from `st`, an open entry's level is `prev + 1` and a close entry's level
+//! is `prev - 1` (so the `)` of a node at depth `l` carries level `l-1`).
+
+use crate::sigma::TagCode;
+
+/// Byte of the close-parenthesis entry (ASCII `)`; high bit clear).
+pub const CLOSE_BYTE: u8 = 0x29;
+
+/// Header field offsets.
+pub const OFF_ST: usize = 0;
+pub const OFF_LO: usize = 2;
+pub const OFF_HI: usize = 4;
+pub const OFF_NEXT: usize = 6;
+pub const OFF_NBYTES: usize = 10;
+/// Total header size — the paper's V (st,lo,hi = 6) + I (next page, 4) plus
+/// a 2-byte byte-count.
+pub const HEADER_SIZE: usize = 12;
+
+/// Sentinel for "end of chain".
+pub const NO_PAGE: u32 = u32::MAX;
+
+/// One entry of the string representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entry {
+    /// A character of Σ: the open tag of a node.
+    Open(TagCode),
+    /// A `)`: the close of a node.
+    Close,
+}
+
+impl Entry {
+    /// Encoded width in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            Entry::Open(_) => 2,
+            Entry::Close => 1,
+        }
+    }
+
+    /// True for [`Entry::Open`].
+    pub fn is_open(self) -> bool {
+        matches!(self, Entry::Open(_))
+    }
+}
+
+/// The parsed header of a structural page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHeader {
+    /// Level of the last entry of the previous page (0 for the first page).
+    pub st: u16,
+    /// Minimum entry level in this page.
+    pub lo: u16,
+    /// Maximum entry level in this page.
+    pub hi: u16,
+    /// Next page in the chain, or [`NO_PAGE`].
+    pub next: u32,
+    /// Used content bytes.
+    pub nbytes: u16,
+}
+
+/// Read the header fields of a raw page.
+pub fn read_header(buf: &[u8]) -> PageHeader {
+    use nok_pager::codec::{get_u16, get_u32};
+    PageHeader {
+        st: get_u16(buf, OFF_ST),
+        lo: get_u16(buf, OFF_LO),
+        hi: get_u16(buf, OFF_HI),
+        next: get_u32(buf, OFF_NEXT),
+        nbytes: get_u16(buf, OFF_NBYTES),
+    }
+}
+
+/// Write the header fields of a raw page.
+pub fn write_header(buf: &mut [u8], h: &PageHeader) {
+    use nok_pager::codec::{put_u16, put_u32};
+    put_u16(buf, OFF_ST, h.st);
+    put_u16(buf, OFF_LO, h.lo);
+    put_u16(buf, OFF_HI, h.hi);
+    put_u32(buf, OFF_NEXT, h.next);
+    put_u16(buf, OFF_NBYTES, h.nbytes);
+}
+
+/// Encode an entry, appending to `out`.
+pub fn encode_entry(out: &mut Vec<u8>, e: Entry) {
+    match e {
+        Entry::Open(TagCode(code)) => {
+            debug_assert!(code < 1 << 15);
+            out.push(0x80 | (code >> 8) as u8);
+            out.push((code & 0xFF) as u8);
+        }
+        Entry::Close => out.push(CLOSE_BYTE),
+    }
+}
+
+/// Decode the entry starting at `buf[pos]`. Returns the entry and its width.
+/// `None` if the bytes are malformed (truncated open entry).
+pub fn decode_entry(buf: &[u8], pos: usize) -> Option<(Entry, usize)> {
+    let b0 = *buf.get(pos)?;
+    if b0 & 0x80 != 0 {
+        let b1 = *buf.get(pos + 1)?;
+        let code = ((b0 & 0x7F) as u16) << 8 | b1 as u16;
+        Some((Entry::Open(TagCode(code)), 2))
+    } else {
+        Some((Entry::Close, 1))
+    }
+}
+
+/// A structural page decoded into entry/level arrays — the paper's `A[p]`
+/// (content) and `L[p]` (levels) from Algorithm 2's `READ-PAGE`.
+#[derive(Debug, Clone)]
+pub struct DecodedPage {
+    /// Parsed header.
+    pub header: PageHeader,
+    /// Entries in order.
+    pub entries: Vec<Entry>,
+    /// Level of each entry (paper's convention; see module docs).
+    pub levels: Vec<u16>,
+    /// Byte offset of each entry within the content area (for updates).
+    pub byte_offsets: Vec<u16>,
+}
+
+impl DecodedPage {
+    /// Decode a raw page.
+    pub fn decode(buf: &[u8]) -> Option<DecodedPage> {
+        let header = read_header(buf);
+        let content = &buf[HEADER_SIZE..HEADER_SIZE + header.nbytes as usize];
+        let mut entries = Vec::new();
+        let mut levels = Vec::new();
+        let mut byte_offsets = Vec::new();
+        let mut pos = 0usize;
+        let mut level = header.st as i32;
+        while pos < content.len() {
+            let (entry, width) = decode_entry(content, pos)?;
+            byte_offsets.push(pos as u16);
+            match entry {
+                Entry::Open(_) => level += 1,
+                Entry::Close => level -= 1,
+            }
+            if level < 0 {
+                return None; // malformed: more closes than opens ever seen
+            }
+            entries.push(entry);
+            levels.push(level as u16);
+            pos += width;
+        }
+        Some(DecodedPage {
+            header,
+            entries,
+            levels,
+            byte_offsets,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the page holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Level of the last entry (st of the next page), or `header.st` when
+    /// empty.
+    pub fn end_level(&self) -> u16 {
+        self.levels.last().copied().unwrap_or(self.header.st)
+    }
+
+    /// Recompute `lo`/`hi` from the level array.
+    pub fn level_bounds(&self) -> (u16, u16) {
+        match (self.levels.iter().min(), self.levels.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            // An empty page constrains nothing: make [lo,hi] the empty range.
+            _ => (u16::MAX, 0),
+        }
+    }
+}
+
+/// Page capacity in *nodes* (the paper's C): how many 3-byte nodes fit in the
+/// non-reserved content area. `reserve` is the paper's r.
+pub fn capacity(page_size: usize, reserve: f64) -> usize {
+    let usable = ((page_size - HEADER_SIZE) as f64 * (1.0 - reserve)).floor() as usize;
+    usable / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_encoding_round_trip() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, Entry::Open(TagCode(0)));
+        encode_entry(&mut buf, Entry::Close);
+        encode_entry(&mut buf, Entry::Open(TagCode(0x7FFF)));
+        encode_entry(&mut buf, Entry::Open(TagCode(300)));
+        let (e0, w0) = decode_entry(&buf, 0).unwrap();
+        assert_eq!((e0, w0), (Entry::Open(TagCode(0)), 2));
+        let (e1, w1) = decode_entry(&buf, 2).unwrap();
+        assert_eq!((e1, w1), (Entry::Close, 1));
+        let (e2, _) = decode_entry(&buf, 3).unwrap();
+        assert_eq!(e2, Entry::Open(TagCode(0x7FFF)));
+        let (e3, _) = decode_entry(&buf, 5).unwrap();
+        assert_eq!(e3, Entry::Open(TagCode(300)));
+    }
+
+    #[test]
+    fn truncated_open_is_rejected() {
+        let buf = vec![0x80];
+        assert!(decode_entry(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let mut buf = vec![0u8; 64];
+        let h = PageHeader {
+            st: 3,
+            lo: 1,
+            hi: 9,
+            next: 42,
+            nbytes: 17,
+        };
+        write_header(&mut buf, &h);
+        assert_eq!(read_header(&buf), h);
+    }
+
+    /// The paper's worked example: page 1 of Figure 4 contains
+    /// `a b z ) e ) c f ) g ) )` and its level sequence is `123232343432`
+    /// (with st = 0).
+    #[test]
+    fn paper_level_sequence() {
+        let mut content = Vec::new();
+        // a=0, b=1, z=2, e=3, c=4, f=5, g=6
+        let seq: &[Option<u16>] = &[
+            Some(0),
+            Some(1),
+            Some(2),
+            None,
+            Some(3),
+            None,
+            Some(4),
+            Some(5),
+            None,
+            Some(6),
+            None,
+            None,
+        ];
+        for s in seq {
+            match s {
+                Some(code) => encode_entry(&mut content, Entry::Open(TagCode(*code))),
+                None => encode_entry(&mut content, Entry::Close),
+            }
+        }
+        let mut buf = vec![0u8; HEADER_SIZE + content.len()];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: content.len() as u16,
+            },
+        );
+        buf[HEADER_SIZE..].copy_from_slice(&content);
+        let page = DecodedPage::decode(&buf).unwrap();
+        assert_eq!(
+            page.levels,
+            vec![1, 2, 3, 2, 3, 2, 3, 4, 3, 4, 3, 2],
+            "levels must match the paper's 123232343432"
+        );
+        assert_eq!(page.level_bounds(), (1, 4));
+        assert_eq!(page.end_level(), 2);
+    }
+
+    #[test]
+    fn st_offsets_levels_on_later_pages() {
+        // Same content, but pretending it continues a page that ended at
+        // level 5.
+        let mut content = Vec::new();
+        encode_entry(&mut content, Entry::Open(TagCode(0)));
+        encode_entry(&mut content, Entry::Close);
+        let mut buf = vec![0u8; HEADER_SIZE + content.len()];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 5,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: content.len() as u16,
+            },
+        );
+        buf[HEADER_SIZE..].copy_from_slice(&content);
+        let page = DecodedPage::decode(&buf).unwrap();
+        assert_eq!(page.levels, vec![6, 5]);
+    }
+
+    #[test]
+    fn malformed_negative_level_rejected() {
+        // A close at st=0 would drive the level to -1.
+        let mut buf = vec![0u8; HEADER_SIZE + 1];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: 1,
+            },
+        );
+        buf[HEADER_SIZE] = CLOSE_BYTE;
+        assert!(DecodedPage::decode(&buf).is_none());
+    }
+
+    /// The paper: "assume that each page is 4KB, of which 20% of the space is
+    /// reserved for update ... the number of nodes in a page is around 1000."
+    #[test]
+    fn paper_capacity_figure() {
+        let c = capacity(4096, 0.2);
+        assert!((1000..=1200).contains(&c), "C = {c}, paper says ≈1000");
+        // And "the value of C is around 1000 to 3000 by substituting
+        // reasonable values" — e.g. 8K pages with 10% reserve.
+        let c2 = capacity(8192, 0.1);
+        assert!((2000..=3000).contains(&c2), "C = {c2}");
+    }
+
+    #[test]
+    fn byte_offsets_track_variable_width() {
+        let mut content = Vec::new();
+        encode_entry(&mut content, Entry::Open(TagCode(1))); // 2 bytes @0
+        encode_entry(&mut content, Entry::Open(TagCode(2))); // 2 bytes @2
+        encode_entry(&mut content, Entry::Close); // 1 byte @4
+        encode_entry(&mut content, Entry::Close); // 1 byte @5
+        let mut buf = vec![0u8; HEADER_SIZE + content.len()];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: content.len() as u16,
+            },
+        );
+        buf[HEADER_SIZE..].copy_from_slice(&content);
+        let page = DecodedPage::decode(&buf).unwrap();
+        assert_eq!(page.byte_offsets, vec![0, 2, 4, 5]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Physical-level NoK matching (paper §5): [`crate::nok::TreeAccess`]
+//! implemented directly on the succinct store's `FIRST-CHILD` /
+//! `FOLLOWING-SIBLING` primitives, with Dewey ids derived during the
+//! traversal (so node values can be fetched through the Dewey B+ tree and
+//! the data file without any ids stored in the structure).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use nok_btree::BTree;
+use nok_pager::Storage;
+
+use crate::cursor;
+use crate::dewey::Dewey;
+use crate::error::{CoreError, CoreResult};
+use crate::nok::TreeAccess;
+use crate::pattern::NameTest;
+use crate::sigma::{TagCode, TagDict};
+use crate::store::{NodeAddr, StructStore};
+use crate::values::DataFile;
+
+/// A physical subject-tree node: its address plus the Dewey id derived on
+/// the way here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysNode {
+    /// Address in the structural store (sentinel for the document node).
+    pub addr: NodeAddr,
+    /// Dewey id (empty for the document node).
+    pub dewey: Dewey,
+}
+
+/// Sentinel address for the virtual document node.
+pub const DOC_ADDR: NodeAddr = NodeAddr {
+    page: u32::MAX,
+    entry: u32::MAX,
+};
+
+impl PhysNode {
+    /// Is this the virtual document node?
+    pub fn is_doc(&self) -> bool {
+        self.addr == DOC_ADDR
+    }
+}
+
+/// The record stored under each Dewey key in the **B+i** index: the node's
+/// physical address and, if it has a value, the value's location in the
+/// data file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdRecord {
+    /// Physical address of the node.
+    pub addr: NodeAddr,
+    /// `(offset, len)` into the data file, if the node has a value.
+    pub value: Option<(u64, u32)>,
+}
+
+impl IdRecord {
+    /// Serialized size: addr(8) + flag(1) + offset(8) + len(4).
+    pub const SIZE: usize = 21;
+
+    /// Encode for storage.
+    pub fn to_bytes(self) -> [u8; Self::SIZE] {
+        let mut out = [0u8; Self::SIZE];
+        out[..8].copy_from_slice(&self.addr.to_bytes());
+        match self.value {
+            Some((off, len)) => {
+                out[8] = 1;
+                out[9..17].copy_from_slice(&off.to_be_bytes());
+                out[17..21].copy_from_slice(&len.to_be_bytes());
+            }
+            None => out[8] = 0,
+        }
+        out
+    }
+
+    /// Decode from storage.
+    pub fn from_bytes(b: &[u8]) -> CoreResult<IdRecord> {
+        if b.len() != Self::SIZE {
+            return Err(CoreError::Corrupt(format!(
+                "IdRecord of {} bytes (expected {})",
+                b.len(),
+                Self::SIZE
+            )));
+        }
+        let addr = NodeAddr::from_bytes(&b[..8]);
+        let value = if b[8] == 1 {
+            let off = u64::from_be_bytes(b[9..17].try_into().expect("sized"));
+            let len = u32::from_be_bytes(b[17..21].try_into().expect("sized"));
+            Some((off, len))
+        } else {
+            None
+        };
+        Ok(IdRecord { addr, value })
+    }
+}
+
+/// The posting stored under each tag key in the **B+t** index: address,
+/// level, and Dewey id of one occurrence (document order is preserved by
+/// the B+ tree's duplicate handling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagPosting {
+    /// Physical address.
+    pub addr: NodeAddr,
+    /// Node level.
+    pub level: u16,
+    /// Dewey id.
+    pub dewey: Dewey,
+}
+
+impl TagPosting {
+    /// Encode for storage (variable length: dewey is the tail).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10 + self.dewey.components().len() * 4);
+        out.extend_from_slice(&self.addr.to_bytes());
+        out.extend_from_slice(&self.level.to_be_bytes());
+        out.extend_from_slice(&self.dewey.to_key());
+        out
+    }
+
+    /// Decode from storage.
+    pub fn from_bytes(b: &[u8]) -> CoreResult<TagPosting> {
+        if b.len() < 14 {
+            return Err(CoreError::Corrupt("short tag posting".into()));
+        }
+        let addr = NodeAddr::from_bytes(&b[..8]);
+        let level = u16::from_be_bytes([b[8], b[9]]);
+        let dewey = Dewey::from_key(&b[10..])
+            .ok_or_else(|| CoreError::Corrupt("bad dewey in tag posting".into()))?;
+        Ok(TagPosting { addr, level, dewey })
+    }
+}
+
+/// [`TreeAccess`] over the physical store plus the value-side structures.
+pub struct PhysAccess<'a, S: Storage> {
+    store: &'a StructStore<S>,
+    dict: &'a TagDict,
+    bt_id: &'a BTree<S>,
+    data: &'a RefCell<DataFile>,
+    /// Cache of name-test resolutions (string → code).
+    test_cache: RefCell<HashMap<String, Option<TagCode>>>,
+}
+
+impl<'a, S: Storage> PhysAccess<'a, S> {
+    /// Assemble an access façade over the storage components.
+    pub fn new(
+        store: &'a StructStore<S>,
+        dict: &'a TagDict,
+        bt_id: &'a BTree<S>,
+        data: &'a RefCell<DataFile>,
+    ) -> Self {
+        PhysAccess {
+            store,
+            dict,
+            bt_id,
+            data,
+            test_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &StructStore<S> {
+        self.store
+    }
+
+    /// Resolve a tag name to its code, caching the answer.
+    pub fn resolve(&self, name: &str) -> Option<TagCode> {
+        if let Some(c) = self.test_cache.borrow().get(name) {
+            return *c;
+        }
+        let code = self.dict.lookup(name);
+        self.test_cache.borrow_mut().insert(name.to_string(), code);
+        code
+    }
+
+    /// Fetch the value of the node with this Dewey id, if any.
+    pub fn value_of_dewey(&self, dewey: &Dewey) -> CoreResult<Option<String>> {
+        let Some(rec) = self.bt_id.get_first(&dewey.to_key())? else {
+            return Ok(None);
+        };
+        let rec = IdRecord::from_bytes(&rec)?;
+        match rec.value {
+            Some((off, _len)) => Ok(Some(self.data.borrow_mut().get_record(off)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The containment interval of a node (document node ⇒ everything).
+    pub fn interval(&self, n: &PhysNode) -> CoreResult<(u64, u64)> {
+        if n.is_doc() {
+            return Ok((0, u64::MAX));
+        }
+        cursor::interval(self.store, n.addr)
+    }
+}
+
+impl<S: Storage> TreeAccess for PhysAccess<'_, S> {
+    type Node = PhysNode;
+
+    fn doc_node(&self) -> PhysNode {
+        PhysNode {
+            addr: DOC_ADDR,
+            dewey: Dewey::from_components(vec![]),
+        }
+    }
+
+    fn first_child(&self, n: &PhysNode) -> CoreResult<Option<PhysNode>> {
+        if n.is_doc() {
+            return Ok(self.store.root().map(|addr| PhysNode {
+                addr,
+                dewey: Dewey::root(),
+            }));
+        }
+        Ok(cursor::first_child(self.store, n.addr)?.map(|addr| PhysNode {
+            addr,
+            dewey: n.dewey.child(0),
+        }))
+    }
+
+    fn following_sibling(&self, n: &PhysNode) -> CoreResult<Option<PhysNode>> {
+        if n.is_doc() {
+            return Ok(None);
+        }
+        Ok(cursor::following_sibling(self.store, n.addr)?.map(|addr| PhysNode {
+            addr,
+            dewey: n.dewey.next_sibling(),
+        }))
+    }
+
+    fn matches_test(&self, n: &PhysNode, test: &NameTest) -> CoreResult<bool> {
+        if n.is_doc() {
+            return Ok(false);
+        }
+        match test {
+            NameTest::Wildcard => {
+                // '*' selects elements, not the synthesized attribute nodes.
+                let tag = self.store.tag_at(n.addr)?;
+                Ok(!self.dict.name(tag).starts_with('@'))
+            }
+            NameTest::Tag(name) => {
+                let Some(code) = self.resolve(name) else {
+                    return Ok(false); // tag never occurs in this document
+                };
+                Ok(self.store.tag_at(n.addr)? == code)
+            }
+        }
+    }
+
+    fn value(&self, n: &PhysNode) -> CoreResult<Option<String>> {
+        if n.is_doc() {
+            return Ok(None);
+        }
+        self.value_of_dewey(&n.dewey)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_record_round_trip() {
+        let with_val = IdRecord {
+            addr: NodeAddr { page: 7, entry: 42 },
+            value: Some((123456, 17)),
+        };
+        assert_eq!(IdRecord::from_bytes(&with_val.to_bytes()).unwrap(), with_val);
+        let no_val = IdRecord {
+            addr: NodeAddr { page: 0, entry: 0 },
+            value: None,
+        };
+        assert_eq!(IdRecord::from_bytes(&no_val.to_bytes()).unwrap(), no_val);
+        assert!(IdRecord::from_bytes(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn tag_posting_round_trip() {
+        let p = TagPosting {
+            addr: NodeAddr { page: 3, entry: 9 },
+            level: 4,
+            dewey: Dewey::from_components(vec![0, 2, 5]),
+        };
+        assert_eq!(TagPosting::from_bytes(&p.to_bytes()).unwrap(), p);
+        assert!(TagPosting::from_bytes(&[0u8; 3]).is_err());
+    }
+}

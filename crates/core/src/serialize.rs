@@ -1,0 +1,145 @@
+//! Reconstructing XML text from the store — the inverse of building.
+//!
+//! The string representation plus the detached value file contain
+//! everything needed to re-emit a subtree (paper §4.2: "such string
+//! representation contains enough information to reconstruct the tree
+//! structure"). The storage model's one lossy aspect is mixed-content
+//! *interleaving*: a node's direct text is stored as one concatenated
+//! value, so serialization emits it before the element children.
+//! Attribute children (`@name` tags) are folded back into attributes.
+
+use std::fmt::Write as _;
+
+use nok_pager::Storage;
+
+use crate::build::XmlDb;
+use crate::cursor;
+use crate::dewey::Dewey;
+use crate::engine::QueryMatch;
+use crate::error::CoreResult;
+use crate::physical::PhysAccess;
+use crate::store::NodeAddr;
+
+impl<S: Storage> XmlDb<S> {
+    /// Serialize the subtree rooted at a query match back to XML text.
+    pub fn serialize_subtree(&self, m: &QueryMatch) -> CoreResult<String> {
+        let access = PhysAccess::new(&self.store, &self.dict, &self.bt_id, &self.data);
+        let mut out = String::new();
+        self.emit(&access, m.addr, &m.dewey, &mut out)?;
+        Ok(out)
+    }
+
+    /// Serialize the whole document.
+    pub fn serialize_document(&self) -> CoreResult<String> {
+        match self.store.root() {
+            Some(root) => self.serialize_subtree(&QueryMatch {
+                addr: root,
+                dewey: Dewey::root(),
+            }),
+            None => Ok(String::new()),
+        }
+    }
+
+    fn emit(
+        &self,
+        access: &PhysAccess<'_, S>,
+        addr: NodeAddr,
+        dewey: &Dewey,
+        out: &mut String,
+    ) -> CoreResult<()> {
+        let tag = self.dict.name(self.store.tag_at(addr)?).to_string();
+        // Gather children; attributes are the leading `@` children.
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        let mut elems: Vec<(NodeAddr, Dewey)> = Vec::new();
+        let mut child = cursor::first_child(&self.store, addr)?;
+        let mut idx = 0u32;
+        while let Some(c) = child {
+            let cdewey = dewey.child(idx);
+            let cname = self.dict.name(self.store.tag_at(c)?);
+            if let Some(aname) = cname.strip_prefix('@') {
+                let value = access.value_of_dewey(&cdewey)?.unwrap_or_default();
+                attrs.push((aname.to_string(), value));
+            } else {
+                elems.push((c, cdewey));
+            }
+            child = cursor::following_sibling(&self.store, c)?;
+            idx += 1;
+        }
+        out.push('<');
+        out.push_str(&tag);
+        for (name, value) in &attrs {
+            let _ = write!(out, " {name}=\"{}\"", nok_xml::escape::escape_attr(value));
+        }
+        let text = access.value_of_dewey(dewey)?;
+        if elems.is_empty() && text.is_none() {
+            out.push_str("/>");
+            return Ok(());
+        }
+        out.push('>');
+        if let Some(t) = &text {
+            out.push_str(&nok_xml::escape::escape_text(t));
+        }
+        for (caddr, cdewey) in &elems {
+            self.emit(access, *caddr, cdewey, out)?;
+        }
+        let _ = write!(out, "</{tag}>");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::XmlDb;
+
+    #[test]
+    fn round_trips_a_document_without_mixed_content() {
+        let xml = r#"<bib><book year="1994"><title>TCP/IP</title><price>65.95</price></book><book year="2000"><title>Data &amp; Webs</title></book></bib>"#;
+        let db = XmlDb::build_in_memory(xml).unwrap();
+        let out = db.serialize_document().unwrap();
+        // Reparse both and compare event streams (canonical form).
+        let a = nok_xml::Document::parse(xml).unwrap().to_events();
+        let b = nok_xml::Document::parse(&out).unwrap().to_events();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serializes_a_query_match() {
+        let xml = r#"<bib><book><title>A</title></book><book><title>B</title></book></bib>"#;
+        let db = XmlDb::build_in_memory(xml).unwrap();
+        let hits = db.query("/bib/book[title=\"B\"]").unwrap();
+        assert_eq!(
+            db.serialize_subtree(&hits[0]).unwrap(),
+            "<book><title>B</title></book>"
+        );
+    }
+
+    #[test]
+    fn escapes_specials_in_values_and_attrs() {
+        let xml = r#"<a k="x&quot;&lt;y"><b>1 &lt; 2 &amp; 3</b></a>"#;
+        let db = XmlDb::build_in_memory(xml).unwrap();
+        let out = db.serialize_document().unwrap();
+        let reparsed = nok_xml::Document::parse(&out).unwrap();
+        assert_eq!(reparsed.attrs(nok_xml::NodeId::ROOT)[0].value, "x\"<y");
+        let b = reparsed
+            .child_elements(nok_xml::NodeId::ROOT)
+            .next()
+            .unwrap();
+        assert_eq!(reparsed.direct_text(b), "1 < 2 & 3");
+    }
+
+    #[test]
+    fn serialization_reflects_updates() {
+        let mut db = XmlDb::build_in_memory("<r><a>1</a></r>").unwrap();
+        db.insert_last_child(&crate::dewey::Dewey::root(), "<b>2</b>")
+            .unwrap();
+        db.delete_subtree(&crate::dewey::Dewey::from_components(vec![0, 0]))
+            .unwrap();
+        assert_eq!(db.serialize_document().unwrap(), "<r><b>2</b></r>");
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let db = XmlDb::build_in_memory("<r><x/><y></y></r>").unwrap();
+        assert_eq!(db.serialize_document().unwrap(), "<r><x/><y/></r>");
+    }
+}

@@ -1,0 +1,187 @@
+//! The tag alphabet Σ.
+//!
+//! The paper maps tag names to characters of an alphabet Σ so that a node
+//! costs a fixed 2 bytes in the string representation (plus 1 byte for its
+//! closing parenthesis). [`TagDict`] is that mapping: a bijection between
+//! tag-name strings and 15-bit [`TagCode`]s. Attributes are folded into the
+//! alphabet with an `@` prefix, exactly as the paper folds `@year` into the
+//! subject tree as a child node labeled `z`.
+
+use std::collections::HashMap;
+
+/// A compact tag identifier. Only the low 15 bits are used so that the
+/// on-page encoding can reserve the high bit of the first byte as the
+/// "this is a tag, not a `)`" discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagCode(pub u16);
+
+/// Maximum number of distinct tags a document may use (15-bit codes).
+pub const MAX_TAGS: usize = 1 << 15;
+
+impl TagCode {
+    /// Order-preserving big-endian key bytes for the tag-name B+ tree.
+    pub fn to_key(self) -> [u8; 2] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`TagCode::to_key`].
+    pub fn from_key(key: &[u8]) -> TagCode {
+        TagCode(u16::from_be_bytes([key[0], key[1]]))
+    }
+}
+
+/// Bijection between tag names and [`TagCode`]s, in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct TagDict {
+    names: Vec<String>,
+    codes: HashMap<String, TagCode>,
+}
+
+impl TagDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        TagDict::default()
+    }
+
+    /// Code for `name`, allocating one if unseen.
+    ///
+    /// # Panics
+    /// Panics if the document exceeds [`MAX_TAGS`] distinct names — 32768,
+    /// two orders of magnitude above the richest real dataset in the paper
+    /// (Treebank, 250 tags).
+    pub fn intern(&mut self, name: &str) -> TagCode {
+        if let Some(&code) = self.codes.get(name) {
+            return code;
+        }
+        assert!(self.names.len() < MAX_TAGS, "tag alphabet exhausted");
+        let code = TagCode(self.names.len() as u16);
+        self.names.push(name.to_string());
+        self.codes.insert(name.to_string(), code);
+        code
+    }
+
+    /// Intern the synthetic tag for an attribute (`@name`).
+    pub fn intern_attr(&mut self, name: &str) -> TagCode {
+        self.intern(&format!("@{name}"))
+    }
+
+    /// Code for `name` if it has been seen.
+    pub fn lookup(&self, name: &str) -> Option<TagCode> {
+        self.codes.get(name).copied()
+    }
+
+    /// Name for `code`.
+    pub fn name(&self, code: TagCode) -> &str {
+        &self.names[code.0 as usize]
+    }
+
+    /// Number of distinct tags.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no tag has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(code, name)` in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagCode, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagCode(i as u16), n.as_str()))
+    }
+
+    /// Serialize to bytes (length-prefixed names in code order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for n in &self.names {
+            out.extend_from_slice(&(n.len() as u32).to_le_bytes());
+            out.extend_from_slice(n.as_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`TagDict::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<TagDict> {
+        let mut dict = TagDict::new();
+        let mut pos = 0usize;
+        let count = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+        pos += 4;
+        for _ in 0..count {
+            let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            pos += 4;
+            let name = std::str::from_utf8(bytes.get(pos..pos + len)?).ok()?;
+            pos += len;
+            dict.intern(name);
+        }
+        Some(dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TagDict::new();
+        let a = d.intern("book");
+        let b = d.intern("title");
+        let a2 = d.intern("book");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_round_trip() {
+        let mut d = TagDict::new();
+        let c = d.intern("price");
+        assert_eq!(d.lookup("price"), Some(c));
+        assert_eq!(d.lookup("nope"), None);
+        assert_eq!(d.name(c), "price");
+    }
+
+    #[test]
+    fn attr_tags_are_prefixed() {
+        let mut d = TagDict::new();
+        let y = d.intern_attr("year");
+        assert_eq!(d.name(y), "@year");
+        assert_ne!(d.intern("year"), y);
+        assert_eq!(d.intern_attr("year"), y);
+    }
+
+    #[test]
+    fn key_encoding_preserves_order() {
+        let lo = TagCode(3).to_key();
+        let hi = TagCode(300).to_key();
+        assert!(lo < hi);
+        assert_eq!(TagCode::from_key(&hi), TagCode(300));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut d = TagDict::new();
+        for n in ["bib", "book", "@year", "author", "titlé"] {
+            d.intern(n);
+        }
+        let bytes = d.to_bytes();
+        let d2 = TagDict::from_bytes(&bytes).unwrap();
+        assert_eq!(d2.len(), d.len());
+        for (code, name) in d.iter() {
+            assert_eq!(d2.name(code), name);
+            assert_eq!(d2.lookup(name), Some(code));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncated() {
+        let mut d = TagDict::new();
+        d.intern("abc");
+        let bytes = d.to_bytes();
+        assert!(TagDict::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

@@ -1,0 +1,790 @@
+//! The succinct structural store (paper §4.2).
+//!
+//! [`StructStore`] materializes the subject tree as the paper's string
+//! representation over chained pages, and keeps the in-memory page-header
+//! directory (`(st, lo, hi)` per page) that the paper proposes loading
+//! up-front: "If we load the page headers to main memory, we only need
+//! 21MB to 70MB" for a 10-billion-node tree. Header consultations therefore
+//! cost no page I/O — only actual content access goes through the buffer
+//! pool, which is what [`nok_pager::IoStats`] counts.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use nok_pager::{BufferPool, PageId, Storage};
+use nok_xml::Event;
+
+use crate::dewey::Dewey;
+use crate::error::{CoreError, CoreResult};
+use crate::page::{
+    self, DecodedPage, Entry, PageHeader, HEADER_SIZE, NO_PAGE,
+};
+use crate::sigma::{TagCode, TagDict};
+
+/// Address of an entry in the structural store: a page and an entry index
+/// within that page's decoded entry array. This is the `(p, o)` pair of the
+/// paper's Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeAddr {
+    /// Page id.
+    pub page: PageId,
+    /// Entry index within the page.
+    pub entry: u32,
+}
+
+impl NodeAddr {
+    /// Encode to 8 bytes for index postings.
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.page.to_be_bytes());
+        out[4..].copy_from_slice(&self.entry.to_be_bytes());
+        out
+    }
+
+    /// Inverse of [`NodeAddr::to_bytes`].
+    pub fn from_bytes(b: &[u8]) -> NodeAddr {
+        NodeAddr {
+            page: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            entry: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.entry)
+    }
+}
+
+/// One record of the in-memory header directory, in chain (document) order.
+#[derive(Debug, Clone, Copy)]
+pub struct DirEntry {
+    /// Page id.
+    pub id: PageId,
+    /// Header triple mirrored from the page.
+    pub st: u16,
+    /// Minimum level in the page.
+    pub lo: u16,
+    /// Maximum level in the page.
+    pub hi: u16,
+    /// Number of entries in the page (kept so empty pages can be skipped
+    /// without I/O).
+    pub entries: u32,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Directory {
+    /// Directory entries in chain order.
+    order: Vec<DirEntry>,
+    /// page id -> rank in `order`.
+    rank: HashMap<PageId, u32>,
+}
+
+impl Directory {
+    fn rebuild_ranks(&mut self) {
+        self.rank.clear();
+        for (i, e) in self.order.iter().enumerate() {
+            self.rank.insert(e.id, i as u32);
+        }
+    }
+}
+
+/// Options controlling store construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Fraction of each page reserved for future updates (the paper's `r`;
+    /// its running example uses 20%).
+    pub reserve: f64,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { reserve: 0.2 }
+    }
+}
+
+/// Metadata for one element node, emitted during building so callers can
+/// construct the auxiliary indexes without a second pass.
+#[derive(Debug, Clone)]
+pub struct NodeRecord {
+    /// Dewey id (derived during the build traversal, as the paper intends).
+    pub dewey: Dewey,
+    /// Tag code.
+    pub tag: TagCode,
+    /// Physical address of the node's open entry.
+    pub addr: NodeAddr,
+    /// Node level (root = 1).
+    pub level: u16,
+}
+
+/// Receives node metadata and values during building.
+pub trait BuildSink {
+    /// Called for every element (and synthesized attribute) node, in document
+    /// order.
+    fn node(&mut self, rec: NodeRecord);
+    /// Called when a node's value (direct text or attribute value) is known.
+    fn value(&mut self, dewey: &Dewey, text: &str);
+}
+
+/// A sink that discards everything (structure-only builds).
+impl BuildSink for () {
+    fn node(&mut self, _rec: NodeRecord) {}
+    fn value(&mut self, _dewey: &Dewey, _text: &str) {}
+}
+
+/// The paged string representation of one document's subject tree.
+pub struct StructStore<S: Storage> {
+    pool: Rc<BufferPool<S>>,
+    dir: RefCell<Directory>,
+    decoded: RefCell<HashMap<PageId, Rc<DecodedPage>>>,
+    /// One-entry fast path: navigation hits the same page repeatedly.
+    decoded_last: RefCell<Option<(PageId, Rc<DecodedPage>)>>,
+    decode_cache_limit: usize,
+    node_count: u64,
+}
+
+impl<S: Storage> StructStore<S> {
+    /// Build a store from an event stream. Emits node metadata into `sink`.
+    /// The pool must be empty.
+    pub fn build<I, K>(
+        pool: Rc<BufferPool<S>>,
+        events: I,
+        dict: &mut TagDict,
+        opts: BuildOptions,
+        sink: &mut K,
+    ) -> CoreResult<Self>
+    where
+        I: IntoIterator<Item = nok_xml::XmlResult<Event>>,
+        K: BuildSink,
+    {
+        debug_assert_eq!(pool.page_count(), 0, "build needs an empty pool");
+        let page_size = pool.page_size();
+        let budget = (((page_size - HEADER_SIZE) as f64) * (1.0 - opts.reserve.clamp(0.0, 0.9)))
+            .floor() as usize;
+        let budget = budget.max(3); // always fit at least one node
+
+        let mut builder = Builder {
+            pool: &pool,
+            dir: Directory::default(),
+            budget,
+            cur: PageBuf::new(0),
+            cur_allocated: false,
+            node_count: 0,
+        };
+
+        // Traversal state.
+        let mut child_counters: Vec<u32> = Vec::new(); // per open element
+        let mut text_stack: Vec<String> = Vec::new();
+        let mut dewey_path: Vec<u32> = Vec::new();
+
+        for ev in events {
+            match ev? {
+                Event::Start { name, attrs } => {
+                    let tag = dict.intern(&name);
+                    let index = match child_counters.last_mut() {
+                        Some(c) => {
+                            let i = *c;
+                            *c += 1;
+                            i
+                        }
+                        None => 0,
+                    };
+                    dewey_path.push(index);
+                    let dewey = Dewey::from_components(dewey_path.clone());
+                    let level = dewey_path.len() as u16;
+                    let addr = builder.append(Entry::Open(tag), level)?;
+                    sink.node(NodeRecord {
+                        dewey: dewey.clone(),
+                        tag,
+                        addr,
+                        level,
+                    });
+                    child_counters.push(0);
+                    text_stack.push(String::new());
+                    // Attributes become leading children tagged `@name`.
+                    for attr in &attrs {
+                        let atag = dict.intern_attr(&attr.name);
+                        let aindex = {
+                            let c = child_counters.last_mut().expect("element open");
+                            let i = *c;
+                            *c += 1;
+                            i
+                        };
+                        let adewey = dewey.child(aindex);
+                        let alevel = level + 1;
+                        let aaddr = builder.append(Entry::Open(atag), alevel)?;
+                        builder.append(Entry::Close, level)?;
+                        sink.node(NodeRecord {
+                            dewey: adewey.clone(),
+                            tag: atag,
+                            addr: aaddr,
+                            level: alevel,
+                        });
+                        sink.value(&adewey, &attr.value);
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(buf) = text_stack.last_mut() {
+                        buf.push_str(&t);
+                    }
+                }
+                Event::End { .. } => {
+                    let level = dewey_path.len() as u16;
+                    builder.append(Entry::Close, level.saturating_sub(1))?;
+                    let text = text_stack.pop().unwrap_or_default();
+                    if !text.trim().is_empty() {
+                        let dewey = Dewey::from_components(dewey_path.clone());
+                        sink.value(&dewey, &text);
+                    }
+                    child_counters.pop();
+                    dewey_path.pop();
+                }
+                Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+            }
+        }
+        builder.finish()?;
+        let Builder {
+            mut dir,
+            node_count,
+            ..
+        } = builder;
+        dir.rebuild_ranks();
+        Ok(StructStore {
+            pool,
+            dir: RefCell::new(dir),
+            decoded: RefCell::new(HashMap::new()),
+            decoded_last: RefCell::new(None),
+            decode_cache_limit: 1024,
+            node_count,
+        })
+    }
+
+    /// Open a store whose pages already exist in `pool`, rebuilding the
+    /// in-memory header directory by walking the chain (header reads only).
+    pub fn open(pool: Rc<BufferPool<S>>) -> CoreResult<Self> {
+        let mut dir = Directory::default();
+        let mut node_count = 0u64;
+        if pool.page_count() > 0 {
+            let mut pid = 0u32;
+            loop {
+                let handle = pool.get(pid)?;
+                let decoded = DecodedPage::decode(&handle.read())
+                    .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {pid}")))?;
+                node_count += decoded.entries.iter().filter(|e| e.is_open()).count() as u64;
+                let (lo, hi) = (decoded.header.lo, decoded.header.hi);
+                dir.order.push(DirEntry {
+                    id: pid,
+                    st: decoded.header.st,
+                    lo,
+                    hi,
+                    entries: decoded.len() as u32,
+                });
+                if decoded.header.next == NO_PAGE {
+                    break;
+                }
+                pid = decoded.header.next;
+            }
+        }
+        dir.rebuild_ranks();
+        Ok(StructStore {
+            pool,
+            dir: RefCell::new(dir),
+            decoded: RefCell::new(HashMap::new()),
+            decoded_last: RefCell::new(None),
+            decode_cache_limit: 1024,
+            node_count,
+        })
+    }
+
+    /// The buffer pool (exposes I/O statistics).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
+    /// Number of element nodes in the store.
+    pub fn node_count(&self) -> u64 {
+        self.node_count
+    }
+
+    /// Number of structural pages.
+    pub fn page_count(&self) -> u32 {
+        self.dir.borrow().order.len() as u32
+    }
+
+    /// Bytes of string content (the paper's |tree| column in Table 1).
+    /// Every node contributes exactly 3 bytes (2-byte Σ char + 1-byte `)`).
+    pub fn content_bytes(&self) -> u64 {
+        self.node_count * 3
+    }
+
+    /// Total footprint in bytes (pages × page size), the on-disk size.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.page_count() as u64 * self.pool.page_size() as u64
+    }
+
+    /// Address of the root node, or `None` for an empty store.
+    pub fn root(&self) -> Option<NodeAddr> {
+        let dir = self.dir.borrow();
+        let first = dir.order.iter().find(|e| e.entries > 0)?;
+        Some(NodeAddr {
+            page: first.id,
+            entry: 0,
+        })
+    }
+
+    /// Rank of `page` in the chain (document order of pages).
+    pub fn rank(&self, page: PageId) -> u32 {
+        *self
+            .dir
+            .borrow()
+            .rank
+            .get(&page)
+            .expect("page not in chain")
+    }
+
+    /// Directory entry at chain rank `r`, if any.
+    pub fn dir_at(&self, r: u32) -> Option<DirEntry> {
+        self.dir.borrow().order.get(r as usize).copied()
+    }
+
+    /// Number of chained pages (== `page_count`).
+    pub fn chain_len(&self) -> u32 {
+        self.dir.borrow().order.len() as u32
+    }
+
+    /// Linear position of an address: document order as a single `u64`
+    /// (`(rank+1) * 2^32 + entry`). This is the paper's `p·C + o` quantity
+    /// used as the interval endpoint for structural joins. Ranks are offset
+    /// by one so every real position is strictly greater than 0, letting the
+    /// virtual document node own the open interval `(0, u64::MAX)`.
+    pub fn lin(&self, addr: NodeAddr) -> u64 {
+        ((self.rank(addr.page) as u64 + 1) << 32) | addr.entry as u64
+    }
+
+    /// Fetch and decode a page (cached).
+    pub fn decoded(&self, id: PageId) -> CoreResult<Rc<DecodedPage>> {
+        if let Some((last_id, p)) = self.decoded_last.borrow().as_ref() {
+            if *last_id == id {
+                return Ok(Rc::clone(p));
+            }
+        }
+        if let Some(p) = self.decoded.borrow().get(&id) {
+            *self.decoded_last.borrow_mut() = Some((id, Rc::clone(p)));
+            return Ok(Rc::clone(p));
+        }
+        let handle = self.pool.get(id)?;
+        let page = DecodedPage::decode(&handle.read())
+            .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?;
+        let rc = Rc::new(page);
+        let mut cache = self.decoded.borrow_mut();
+        if cache.len() >= self.decode_cache_limit {
+            cache.clear();
+        }
+        cache.insert(id, Rc::clone(&rc));
+        drop(cache);
+        *self.decoded_last.borrow_mut() = Some((id, Rc::clone(&rc)));
+        Ok(rc)
+    }
+
+    /// Drop cached decodes (all pages, or one).
+    pub fn invalidate_decoded(&self, id: Option<PageId>) {
+        match id {
+            Some(id) => {
+                self.decoded.borrow_mut().remove(&id);
+                let stale = self
+                    .decoded_last
+                    .borrow()
+                    .as_ref()
+                    .is_some_and(|(last, _)| *last == id);
+                if stale {
+                    *self.decoded_last.borrow_mut() = None;
+                }
+            }
+            None => {
+                self.decoded.borrow_mut().clear();
+                *self.decoded_last.borrow_mut() = None;
+            }
+        }
+    }
+
+    /// The entry and its level at `addr`.
+    pub fn entry_at(&self, addr: NodeAddr) -> CoreResult<(Entry, u16)> {
+        let page = self.decoded(addr.page)?;
+        let i = addr.entry as usize;
+        if i >= page.len() {
+            return Err(CoreError::Corrupt(format!(
+                "entry index {} out of range in page {}",
+                addr.entry, addr.page
+            )));
+        }
+        Ok((page.entries[i], page.levels[i]))
+    }
+
+    /// Tag code at `addr` (must be an open entry).
+    pub fn tag_at(&self, addr: NodeAddr) -> CoreResult<TagCode> {
+        match self.entry_at(addr)? {
+            (Entry::Open(t), _) => Ok(t),
+            (Entry::Close, _) => Err(CoreError::Corrupt(format!(
+                "expected open entry at {addr}"
+            ))),
+        }
+    }
+
+    /// Level at `addr`.
+    pub fn level_at(&self, addr: NodeAddr) -> CoreResult<u16> {
+        Ok(self.entry_at(addr)?.1)
+    }
+
+    // ---- update support (used by crate::update) ----
+
+    pub(crate) fn dir_mut(&self) -> std::cell::RefMut<'_, Directory> {
+        self.dir.borrow_mut()
+    }
+
+    pub(crate) fn pool_rc(&self) -> Rc<BufferPool<S>> {
+        Rc::clone(&self.pool)
+    }
+
+    pub(crate) fn bump_node_count(&mut self, delta: i64) {
+        self.node_count = (self.node_count as i64 + delta).max(0) as u64;
+    }
+}
+
+impl Directory {
+    pub(crate) fn insert_after(&mut self, after: PageId, entry: DirEntry) {
+        let pos = *self.rank.get(&after).expect("page in chain") as usize;
+        self.order.insert(pos + 1, entry);
+        self.rebuild_ranks();
+    }
+
+    pub(crate) fn update_entry(&mut self, id: PageId, f: impl FnOnce(&mut DirEntry)) {
+        let pos = *self.rank.get(&id).expect("page in chain") as usize;
+        f(&mut self.order[pos]);
+    }
+}
+
+/// Incremental page writer used by [`StructStore::build`].
+struct PageBuf {
+    id: PageId,
+    st: u16,
+    content: Vec<u8>,
+    lo: u16,
+    hi: u16,
+    entries: u32,
+    last_level: u16,
+}
+
+impl PageBuf {
+    fn new(st: u16) -> Self {
+        PageBuf {
+            id: 0,
+            st,
+            content: Vec::new(),
+            lo: u16::MAX,
+            hi: 0,
+            entries: 0,
+            last_level: st,
+        }
+    }
+}
+
+struct Builder<'a, S: Storage> {
+    pool: &'a Rc<BufferPool<S>>,
+    dir: Directory,
+    budget: usize,
+    cur: PageBuf,
+    cur_allocated: bool,
+    node_count: u64,
+}
+
+impl<S: Storage> Builder<'_, S> {
+    /// Append one entry, sealing the current page first if it is full.
+    /// Returns the address of the appended entry.
+    fn append(&mut self, entry: Entry, level: u16) -> CoreResult<NodeAddr> {
+        if !self.cur_allocated {
+            let (id, _) = self.pool.allocate()?;
+            self.cur.id = id;
+            self.cur_allocated = true;
+        }
+        let width = entry.width();
+        if self.cur.content.len() + width > self.budget && !self.cur.content.is_empty() {
+            let (next_id, _) = self.pool.allocate()?;
+            self.seal(next_id)?;
+            let st = self.cur.last_level;
+            let mut fresh = PageBuf::new(st);
+            fresh.id = next_id;
+            self.cur = fresh;
+        }
+        let idx = self.cur.entries;
+        page::encode_entry(&mut self.cur.content, entry);
+        self.cur.entries += 1;
+        self.cur.lo = self.cur.lo.min(level);
+        self.cur.hi = self.cur.hi.max(level);
+        self.cur.last_level = level;
+        if entry.is_open() {
+            self.node_count += 1;
+        }
+        Ok(NodeAddr {
+            page: self.cur.id,
+            entry: idx,
+        })
+    }
+
+    fn seal(&mut self, next: PageId) -> CoreResult<()> {
+        let handle = self.pool.get(self.cur.id)?;
+        let lo = if self.cur.entries == 0 { u16::MAX } else { self.cur.lo };
+        let header = PageHeader {
+            st: self.cur.st,
+            lo,
+            hi: self.cur.hi,
+            next,
+            nbytes: self.cur.content.len() as u16,
+        };
+        {
+            let mut buf = handle.write();
+            page::write_header(&mut buf, &header);
+            buf[HEADER_SIZE..HEADER_SIZE + self.cur.content.len()]
+                .copy_from_slice(&self.cur.content);
+        }
+        self.dir.order.push(DirEntry {
+            id: self.cur.id,
+            st: self.cur.st,
+            lo,
+            hi: self.cur.hi,
+            entries: self.cur.entries,
+        });
+        Ok(())
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        if !self.cur_allocated {
+            // Empty document: still materialize one empty page so `open`
+            // has a chain head.
+            let (id, _) = self.pool.allocate()?;
+            self.cur.id = id;
+            self.cur_allocated = true;
+        }
+        self.seal(NO_PAGE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nok_pager::MemStorage;
+    use nok_xml::Reader;
+
+    pub(crate) fn mem_store(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let mut dict = TagDict::new();
+        let store = StructStore::build(
+            pool,
+            Reader::content_only(xml),
+            &mut dict,
+            BuildOptions::default(),
+            &mut (),
+        )
+        .unwrap();
+        (store, dict)
+    }
+
+    #[test]
+    fn tiny_document_layout() {
+        let (store, dict) = mem_store("<a><b/><c/></a>", 4096);
+        assert_eq!(store.node_count(), 3);
+        assert_eq!(store.page_count(), 1);
+        let root = store.root().unwrap();
+        assert_eq!(store.tag_at(root).unwrap(), dict.lookup("a").unwrap());
+        assert_eq!(store.level_at(root).unwrap(), 1);
+        // Entries: a b ) c ) ) -> 6 entries.
+        let page = store.decoded(root.page).unwrap();
+        assert_eq!(page.len(), 6);
+        assert_eq!(page.levels, vec![1, 2, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn attributes_become_leading_children() {
+        let (store, dict) = mem_store(r#"<a x="1"><b/></a>"#, 4096);
+        assert_eq!(store.node_count(), 3); // a, @x, b
+        let page = store.decoded(0).unwrap();
+        // a @x ) b ) )
+        assert_eq!(page.entries[1], Entry::Open(dict.lookup("@x").unwrap()));
+        assert_eq!(page.levels, vec![1, 2, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn multi_page_build_chains_and_sets_st() {
+        // Page size 64: budget = (64-12)*0.8 = 41 bytes -> ~13 nodes worth.
+        let mut xml = String::from("<r>");
+        for i in 0..100 {
+            xml.push_str(&format!("<e{}/>", i % 10));
+        }
+        xml.push_str("</r>");
+        let (store, _) = mem_store(&xml, 64);
+        assert!(store.page_count() > 2, "should span several pages");
+        assert_eq!(store.node_count(), 101);
+        // Walk the chain; st of each page must equal end level of previous.
+        let mut prev_end: u16 = 0;
+        for r in 0..store.chain_len() {
+            let de = store.dir_at(r).unwrap();
+            let page = store.decoded(de.id).unwrap();
+            assert_eq!(page.header.st, prev_end, "st mismatch at rank {r}");
+            assert_eq!(
+                (page.header.lo, page.header.hi),
+                page.level_bounds(),
+                "lo/hi mismatch at rank {r}"
+            );
+            prev_end = page.end_level();
+        }
+        assert_eq!(prev_end, 0, "document must close back to level 0");
+    }
+
+    #[test]
+    fn sink_receives_nodes_and_values() {
+        struct Collect {
+            nodes: Vec<(String, String, u16)>,
+            values: Vec<(String, String)>,
+            dict_snapshot: Vec<String>,
+        }
+        impl BuildSink for Collect {
+            fn node(&mut self, rec: NodeRecord) {
+                self.nodes
+                    .push((rec.dewey.to_string(), format!("{}", rec.tag.0), rec.level));
+            }
+            fn value(&mut self, dewey: &Dewey, text: &str) {
+                self.values.push((dewey.to_string(), text.to_string()));
+            }
+        }
+        let pool = Rc::new(BufferPool::new(MemStorage::new()));
+        let mut dict = TagDict::new();
+        let mut sink = Collect {
+            nodes: vec![],
+            values: vec![],
+            dict_snapshot: vec![],
+        };
+        let xml = r#"<bib><book year="1994"><title>TCP/IP</title></book></bib>"#;
+        let _store = StructStore::build(
+            pool,
+            Reader::content_only(xml),
+            &mut dict,
+            BuildOptions::default(),
+            &mut sink,
+        )
+        .unwrap();
+        sink.dict_snapshot = dict.iter().map(|(_, n)| n.to_string()).collect();
+        // Nodes in document order: bib(0), book(0.0), @year(0.0.0), title(0.0.1)
+        let deweys: Vec<_> = sink.nodes.iter().map(|(d, _, _)| d.as_str()).collect();
+        assert_eq!(deweys, vec!["0", "0.0", "0.0.0", "0.0.1"]);
+        let levels: Vec<_> = sink.nodes.iter().map(|(_, _, l)| *l).collect();
+        assert_eq!(levels, vec![1, 2, 3, 3]);
+        // Values: @year then title (in close order).
+        assert_eq!(
+            sink.values,
+            vec![
+                ("0.0.0".to_string(), "1994".to_string()),
+                ("0.0.1".to_string(), "TCP/IP".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_only_text_is_not_a_value() {
+        struct Vals(Vec<String>);
+        impl BuildSink for Vals {
+            fn node(&mut self, _r: NodeRecord) {}
+            fn value(&mut self, _d: &Dewey, t: &str) {
+                self.0.push(t.to_string());
+            }
+        }
+        let pool = Rc::new(BufferPool::new(MemStorage::new()));
+        let mut dict = TagDict::new();
+        let mut sink = Vals(vec![]);
+        StructStore::build(
+            pool,
+            Reader::content_only("<a>\n  <b>x</b>\n</a>"),
+            &mut dict,
+            BuildOptions::default(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(sink.0, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn open_rebuilds_directory() {
+        let mut xml = String::from("<r>");
+        for _ in 0..50 {
+            xml.push_str("<x><y/></x>");
+        }
+        xml.push_str("</r>");
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(64)));
+        let mut dict = TagDict::new();
+        let store = StructStore::build(
+            Rc::clone(&pool),
+            Reader::content_only(&xml),
+            &mut dict,
+            BuildOptions::default(),
+            &mut (),
+        )
+        .unwrap();
+        let pages = store.page_count();
+        let nodes = store.node_count();
+        drop(store);
+        let store2 = StructStore::open(pool).unwrap();
+        assert_eq!(store2.page_count(), pages);
+        assert_eq!(store2.node_count(), nodes);
+        assert_eq!(store2.root(), Some(NodeAddr { page: 0, entry: 0 }));
+    }
+
+    #[test]
+    fn lin_is_document_order() {
+        let mut xml = String::from("<r>");
+        for _ in 0..60 {
+            xml.push_str("<x/>");
+        }
+        xml.push_str("</r>");
+        let (store, _) = mem_store(&xml, 64);
+        // Collect all open entries in chain order and check lin monotone.
+        let mut lins = Vec::new();
+        for r in 0..store.chain_len() {
+            let de = store.dir_at(r).unwrap();
+            let page = store.decoded(de.id).unwrap();
+            for (i, e) in page.entries.iter().enumerate() {
+                if e.is_open() {
+                    lins.push(store.lin(NodeAddr {
+                        page: de.id,
+                        entry: i as u32,
+                    }));
+                }
+            }
+        }
+        assert_eq!(lins.len(), 61);
+        assert!(lins.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// §4.2: "the string representation of the tree structure is only about
+    /// 1/20 to 1/100 of the size of the XML document."
+    #[test]
+    fn string_rep_is_a_small_fraction_of_document() {
+        let mut xml = String::from("<bib>");
+        for i in 0..500 {
+            xml.push_str(&format!(
+                "<book year=\"{}\"><title>Title number {i} of this library</title>\
+                 <author><last>Lastname{i}</last><first>First{i}</first></author>\
+                 <publisher>Some Publishing House {i}</publisher>\
+                 <price>{}.95</price></book>",
+                1900 + i % 100,
+                10 + i % 90
+            ));
+        }
+        xml.push_str("</bib>");
+        let (store, _) = mem_store(&xml, 4096);
+        let ratio = xml.len() as f64 / store.content_bytes() as f64;
+        assert!(
+            ratio > 8.0,
+            "string rep should be far smaller than the document (ratio {ratio:.1})"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! NoK pattern matching over streaming XML.
+//!
+//! The paper observes (§4.2) that its physical string representation *is*
+//! the SAX stream — every open tag is a Σ character, every close tag a `)`
+//! — so the NoK matching algorithm carries over to streams, using the
+//! "naïve approach" for starting points (§3): try to start a match at every
+//! node whose tag matches the pattern root.
+//!
+//! [`StreamMatcher`] consumes [`nok_xml::Event`]s one at a time. When an
+//! event opens a node that could start a match, the matcher begins
+//! buffering that node's subtree (nested candidates share the stream but
+//! buffer independently); when the candidate's subtree closes, the buffered
+//! subtree is matched with the ordinary NoK algorithm and any returning
+//! matches are emitted. This realizes the paper's footprint bound
+//! (Proposition 1): memory is bounded by the largest candidate subtree, not
+//! the document.
+//!
+//! Supported patterns are those whose partition needs no structural join
+//! *between distinct subtrees*: a single NoK fragment under either a `/` or
+//! a `//` anchor (e.g. `/bib/book[price<100]`, `//book[author/last]`).
+//! Patterns with interior `//` or `following::` cut edges are rejected with
+//! [`CoreError::StreamUnsupported`] — evaluating those requires the stored
+//! engine.
+
+use nok_xml::{Document, Event};
+
+use crate::dewey::Dewey;
+use crate::error::{CoreError, CoreResult};
+use crate::naive::NaiveEvaluator;
+use crate::nok::{accept_all, DomAccess, NokMatcher};
+use crate::pattern::{NameTest, PathExpr};
+use crate::pattern_tree::{CutKind, PNodeId, PatternTree, DOC_NODE};
+
+/// One match emitted by the streaming matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHit {
+    /// Global Dewey id of the matched node.
+    pub dewey: Dewey,
+    /// Tag name of the matched node.
+    pub tag: String,
+}
+
+struct Candidate {
+    global_dewey: Dewey,
+    start_depth: u32,
+    events: Vec<Event>,
+}
+
+/// Incremental streaming matcher for one path expression.
+pub struct StreamMatcher {
+    tree: PatternTree,
+    frag: usize,
+    match_root: PNodeId,
+    /// `true` for a `//` anchor (any node may start a match); `false` for a
+    /// `/` anchor (only the root element may).
+    anchor_any: bool,
+    root_test: NameTest,
+    depth: u32,
+    /// Dewey derivation state.
+    dewey_path: Vec<u32>,
+    counters: Vec<u32>,
+    active: Vec<Candidate>,
+}
+
+impl StreamMatcher {
+    /// Compile a streaming matcher. Fails with
+    /// [`CoreError::StreamUnsupported`] for patterns that need joins.
+    pub fn new(path: &str) -> CoreResult<StreamMatcher> {
+        let expr = PathExpr::parse(path)?;
+        let tree = PatternTree::from_path(&expr)?;
+        let (frag, match_root, anchor_any) = {
+            let part = tree.partition();
+            match part.fragments.len() {
+                1 => {
+                    // /a/... — everything local; match from the first step.
+                    let root = tree
+                        .local_children(DOC_NODE)
+                        .next()
+                        .ok_or_else(|| CoreError::StreamUnsupported(
+                            "pattern has no steps".into(),
+                        ))?;
+                    (0, root, false)
+                }
+                2 => {
+                    let cut = part.incoming_cut(1).expect("two fragments, one cut");
+                    if cut.src != DOC_NODE || cut.kind != CutKind::Descendant {
+                        return Err(CoreError::StreamUnsupported(
+                            "pattern has an interior global axis".into(),
+                        ));
+                    }
+                    (1, part.fragments[1].root, true)
+                }
+                _ => {
+                    return Err(CoreError::StreamUnsupported(
+                        "pattern partitions into multiple joined fragments".into(),
+                    ))
+                }
+            }
+        };
+        let root_test = tree.nodes[match_root].test.clone();
+        Ok(StreamMatcher {
+            tree,
+            frag,
+            match_root,
+            anchor_any,
+            root_test,
+            depth: 0,
+            dewey_path: Vec::new(),
+            counters: vec![0],
+            active: Vec::new(),
+        })
+    }
+
+    /// Feed one event; returns matches completed by this event.
+    pub fn on_event(&mut self, ev: &Event) -> CoreResult<Vec<StreamHit>> {
+        let mut hits = Vec::new();
+        match ev {
+            Event::Start { name, attrs } => {
+                let idx = {
+                    let c = self.counters.last_mut().expect("counter stack");
+                    let i = *c;
+                    *c += 1;
+                    i
+                };
+                self.dewey_path.push(idx);
+                // Attribute nodes occupy the leading child indexes in the
+                // storage model, so element children start after them.
+                self.counters.push(attrs.len() as u32);
+                self.depth += 1;
+                let tag_ok = match &self.root_test {
+                    NameTest::Wildcard => !name.starts_with('@'),
+                    NameTest::Tag(t) => t == name,
+                };
+                if tag_ok && (self.anchor_any || self.depth == 1) {
+                    self.active.push(Candidate {
+                        global_dewey: Dewey::from_components(self.dewey_path.clone()),
+                        start_depth: self.depth,
+                        events: Vec::new(),
+                    });
+                }
+                for c in &mut self.active {
+                    c.events.push(ev.clone());
+                }
+            }
+            Event::End { .. } => {
+                for c in &mut self.active {
+                    c.events.push(ev.clone());
+                }
+                // The innermost candidate closes iff it started at this depth.
+                if self
+                    .active
+                    .last()
+                    .is_some_and(|c| c.start_depth == self.depth)
+                {
+                    let cand = self.active.pop().expect("checked non-empty");
+                    hits.extend(self.evaluate(cand)?);
+                }
+                self.depth -= 1;
+                self.dewey_path.pop();
+                self.counters.pop();
+            }
+            Event::Text(_) => {
+                for c in &mut self.active {
+                    c.events.push(ev.clone());
+                }
+            }
+            Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+        }
+        Ok(hits)
+    }
+
+    fn evaluate(&self, cand: Candidate) -> CoreResult<Vec<StreamHit>> {
+        let doc = Document::from_events(cand.events.iter().cloned().map(Ok))?;
+        let part = self.tree.partition();
+        let matcher = NokMatcher::with_root(&part, self.frag, self.match_root);
+        let access = DomAccess::new(&doc);
+        let start = (nok_xml::NodeId::ROOT, None);
+        let mut hook = accept_all();
+        let Some(collected) = matcher.match_at(&access, &start, &mut hook)? else {
+            return Ok(Vec::new());
+        };
+        // Map buffer-relative nodes to global Dewey ids.
+        let ev = NaiveEvaluator::new(&doc);
+        let mut hits = Vec::with_capacity(collected.len());
+        for (_, node) in collected {
+            let rel = ev.dewey(&node);
+            let mut comps = cand.global_dewey.components().to_vec();
+            comps.extend_from_slice(&rel.components()[1..]);
+            let tag = match node {
+                (id, Some(ai)) => format!("@{}", doc.attrs(id)[ai].name),
+                (id, None) => doc.tag(id).unwrap_or("?").to_string(),
+            };
+            hits.push(StreamHit {
+                dewey: Dewey::from_components(comps),
+                tag,
+            });
+        }
+        Ok(hits)
+    }
+
+    /// Convenience: run a whole event stream and collect every hit.
+    pub fn run<I>(path: &str, events: I) -> CoreResult<Vec<StreamHit>>
+    where
+        I: IntoIterator<Item = nok_xml::XmlResult<Event>>,
+    {
+        let mut m = StreamMatcher::new(path)?;
+        let mut hits = Vec::new();
+        for ev in events {
+            hits.extend(m.on_event(&ev?)?);
+        }
+        Ok(hits)
+    }
+
+    /// Convenience: run over an XML string.
+    pub fn run_str(path: &str, xml: &str) -> CoreResult<Vec<StreamHit>> {
+        Self::run(path, nok_xml::Reader::content_only(xml))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::XmlDb;
+
+    const BIB: &str = r#"<bib>
+      <book year="1994"><author><last>Stevens</last></author><price>65.95</price></book>
+      <book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book>
+      <book year="1999"><editor><last>Gerbarg</last></editor><price>129.95</price></book>
+    </bib>"#;
+
+    fn stream_deweys(path: &str, xml: &str) -> Vec<String> {
+        StreamMatcher::run_str(path, xml)
+            .unwrap()
+            .iter()
+            .map(|h| h.dewey.to_string())
+            .collect()
+    }
+
+    fn engine_deweys(path: &str, xml: &str) -> Vec<String> {
+        let db = XmlDb::build_in_memory(xml).unwrap();
+        db.query(path)
+            .unwrap()
+            .iter()
+            .map(|m| m.dewey.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn stream_equals_engine_on_bib() {
+        for q in [
+            "/bib/book",
+            "/bib/book/price",
+            "//book",
+            "//book[price<100]",
+            r#"//book[author/last="Stevens"]"#,
+            "//last",
+            "//book/@year",
+            "/bib/book[editor]/price",
+            "//nosuch",
+        ] {
+            let mut s = stream_deweys(q, BIB);
+            let e = engine_deweys(q, BIB);
+            s.sort();
+            let mut e_sorted = e.clone();
+            e_sorted.sort();
+            assert_eq!(s, e_sorted, "query {q}");
+        }
+    }
+
+    #[test]
+    fn nested_candidates_no_duplicates() {
+        let xml = "<b><x/><b><x/><b><x/></b></b></b>";
+        let hits = stream_deweys("//b/x", xml);
+        assert_eq!(hits.len(), 3);
+        let unique: std::collections::HashSet<_> = hits.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn unsupported_patterns_rejected() {
+        assert!(matches!(
+            StreamMatcher::new("/a//b"),
+            Err(CoreError::StreamUnsupported(_))
+        ));
+        assert!(matches!(
+            StreamMatcher::new("//a//b"),
+            Err(CoreError::StreamUnsupported(_))
+        ));
+        assert!(matches!(
+            StreamMatcher::new("/a/b/following::c"),
+            Err(CoreError::StreamUnsupported(_))
+        ));
+        // Descendants inside predicates are joins too.
+        assert!(matches!(
+            StreamMatcher::new("/a[b//c]"),
+            Err(CoreError::StreamUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_emission_order() {
+        // Matches must be emitted as soon as the candidate subtree closes.
+        let mut m = StreamMatcher::new("//b").unwrap();
+        let mut emitted = Vec::new();
+        for ev in nok_xml::Reader::content_only("<a><b/><c/><b/></a>") {
+            emitted.push(m.on_event(&ev.unwrap()).unwrap().len());
+        }
+        // Events: a, b, /b, c, /c, b, /b, /a — hits arrive on each /b.
+        assert_eq!(emitted, vec![0, 0, 1, 0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_candidate_subtrees() {
+        // With a '/' anchor on a leaf-level tag, nothing before the
+        // candidate is buffered.
+        let mut m = StreamMatcher::new("//leaf").unwrap();
+        let mut max_active = 0;
+        for ev in nok_xml::Reader::content_only(
+            "<r><big><x/><x/><x/><x/></big><leaf/><big><x/></big><leaf/></r>",
+        ) {
+            m.on_event(&ev.unwrap()).unwrap();
+            max_active = max_active.max(m.active.len());
+        }
+        assert_eq!(max_active, 1, "only the candidate itself is buffered");
+    }
+
+    #[test]
+    fn following_sibling_is_local_and_streams() {
+        let xml = "<a><c/><b/><c/><c/></a>";
+        let mut hits = stream_deweys("/a/b/following-sibling::c", xml);
+        hits.sort();
+        let mut expect = engine_deweys("/a/b/following-sibling::c", xml);
+        expect.sort();
+        assert_eq!(hits, expect);
+    }
+}

@@ -1,0 +1,940 @@
+//! Updates: subtree insertion and deletion against the paged string
+//! representation (paper §4.2).
+//!
+//! The paper's locality argument: an update touches only the pages holding
+//! the affected region — new content goes into page slack (the reserved
+//! `r` fraction) or into freshly allocated pages *linked into the chain*
+//! between existing ones, so no global relabeling of the structure is
+//! needed (unlike interval encoding, where an insert renumbers everything
+//! to its right). The index side is the admitted cost: "due to the nature
+//! of Dewey IDs, the node ID B+ tree may need to be reconstructed if many
+//! IDs have been updated."
+//!
+//! Implemented operations:
+//!
+//! * [`XmlDb::insert_last_child`] — attach a parsed XML fragment as the last
+//!   child of an existing node. Appending as *last* child leaves every
+//!   sibling's Dewey id unchanged, so index maintenance is local: new nodes
+//!   are added, and nodes whose entries shifted within the touched page get
+//!   their stored addresses refreshed.
+//! * [`XmlDb::delete_subtree`] — remove a node and its subtree. Following
+//!   siblings' Dewey ids shift down by one, so their B+i/B+t/B+v entries
+//!   are rewritten (the paper's admitted re-labeling cost, done here
+//!   incrementally and exactly).
+//!
+//! Structural pages are never unlinked: a page whose entries are all
+//! deleted stays in the chain as an empty page (skipped without I/O via the
+//! header directory).
+
+use std::collections::HashMap;
+
+use nok_pager::Storage;
+
+use crate::build::XmlDb;
+use crate::cursor;
+use crate::dewey::Dewey;
+use crate::error::{CoreError, CoreResult};
+use crate::page::{self, Entry, PageHeader, HEADER_SIZE};
+use crate::physical::{IdRecord, TagPosting};
+use crate::sigma::TagCode;
+use crate::store::{DirEntry, NodeAddr};
+use crate::values::hash_key;
+
+/// Derives Dewey ids while walking raw entries from an arbitrary seed
+/// position (the stack-of-counters trick: ancestors' consumed-child counts
+/// are recoverable from the Dewey components of any node on the path).
+struct DeweyWalker {
+    path: Vec<u32>,
+    counters: Vec<u32>,
+}
+
+impl DeweyWalker {
+    /// Seed a walker positioned just *after* the open of the node with
+    /// components `c` (i.e. about to read its first child or its close).
+    fn after_open(c: &[u32]) -> DeweyWalker {
+        let mut counters: Vec<u32> = c.iter().map(|&x| x + 1).collect();
+        counters.push(0);
+        DeweyWalker {
+            path: c.to_vec(),
+            counters,
+        }
+    }
+
+    fn on_open(&mut self) -> Dewey {
+        let depth = self.path.len();
+        let idx = self.counters[depth];
+        self.counters[depth] += 1;
+        self.path.push(idx);
+        self.counters.push(0);
+        Dewey::from_components(self.path.clone())
+    }
+
+    fn on_close(&mut self) {
+        self.path.pop();
+        self.counters.pop();
+    }
+
+    fn depth(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// A node whose index entries must be rewritten.
+struct Touched {
+    old_dewey: Dewey,
+    new_dewey: Dewey,
+    tag: TagCode,
+    level: u16,
+    old_addr: NodeAddr,
+    new_addr: NodeAddr,
+}
+
+impl<S: Storage> XmlDb<S> {
+    /// Resolve a Dewey id to its physical address.
+    pub fn resolve(&self, dewey: &Dewey) -> CoreResult<NodeAddr> {
+        let rec = self
+            .bt_id
+            .get_first(&dewey.to_key())?
+            .ok_or_else(|| CoreError::InvalidUpdate(format!("no node with id {dewey}")))?;
+        Ok(IdRecord::from_bytes(&rec)?.addr)
+    }
+
+    /// Parse `fragment_xml` (one root element) and insert it as the last
+    /// child of the node identified by `parent`. Returns the Dewey id of
+    /// the inserted root.
+    pub fn insert_last_child(&mut self, parent: &Dewey, fragment_xml: &str) -> CoreResult<Dewey> {
+        let parent_addr = self.resolve(parent)?;
+        let parent_level = parent.level();
+        let close = cursor::subtree_close(&self.store, parent_addr)?;
+
+        // Child index for the new subtree root = current child count.
+        let mut n_children = 0u32;
+        let mut c = cursor::first_child(&self.store, parent_addr)?;
+        while let Some(cc) = c {
+            n_children += 1;
+            c = cursor::following_sibling(&self.store, cc)?;
+        }
+        let base = parent.child(n_children);
+
+        // Build the new entries and node records from the fragment.
+        let mut new_entries: Vec<Entry> = Vec::new();
+        let mut new_nodes: Vec<(Dewey, TagCode, u16, usize)> = Vec::new(); // (.., rel entry idx)
+        let mut new_values: Vec<(Dewey, String)> = Vec::new();
+        {
+            let mut walker = DeweyWalker::after_open(parent.components());
+            // Pretend n_children children were already consumed.
+            *walker.counters.last_mut().expect("nonempty") = n_children;
+            let mut text_stack: Vec<String> = Vec::new();
+            let mut roots = 0;
+            for ev in nok_xml::Reader::content_only(fragment_xml) {
+                match ev? {
+                    nok_xml::Event::Start { name, attrs } => {
+                        if walker.depth() == parent_level as usize {
+                            roots += 1;
+                            if roots > 1 {
+                                return Err(CoreError::InvalidUpdate(
+                                    "fragment must have a single root element".into(),
+                                ));
+                            }
+                        }
+                        let tag = self.dict.intern(&name);
+                        let dewey = walker.on_open();
+                        let level = dewey.level() as u16;
+                        new_nodes.push((dewey.clone(), tag, level, new_entries.len()));
+                        new_entries.push(Entry::Open(tag));
+                        text_stack.push(String::new());
+                        for a in &attrs {
+                            let atag = self.dict.intern_attr(&a.name);
+                            let adewey = walker.on_open();
+                            new_nodes.push((adewey.clone(), atag, level + 1, new_entries.len()));
+                            new_entries.push(Entry::Open(atag));
+                            new_entries.push(Entry::Close);
+                            walker.on_close();
+                            new_values.push((adewey, a.value.clone()));
+                        }
+                    }
+                    nok_xml::Event::Text(t) => {
+                        if let Some(buf) = text_stack.last_mut() {
+                            buf.push_str(&t);
+                        }
+                    }
+                    nok_xml::Event::End { .. } => {
+                        let text = text_stack.pop().unwrap_or_default();
+                        if !text.trim().is_empty() {
+                            new_values
+                                .push((Dewey::from_components(walker.path.clone()), text));
+                        }
+                        new_entries.push(Entry::Close);
+                        walker.on_close();
+                    }
+                    _ => {}
+                }
+            }
+            if new_entries.is_empty() {
+                return Err(CoreError::InvalidUpdate("empty fragment".into()));
+            }
+        }
+
+        // Splice into the parent-close page at the close's entry index.
+        let decoded = self.store.decoded(close.page)?;
+        let ip = close.entry as usize;
+        let old_entries = decoded.entries.clone();
+        let old_next = decoded.header.next;
+        let st = decoded.header.st;
+        drop(decoded);
+
+        // Walk the old tail (starting at the parent's close) to recover the
+        // Dewey id of every shifted node: their ids are unchanged by a
+        // last-child insert, but their addresses move.
+        let tail_opens = self.walk_tail_deweys(parent, n_children + 1, close, &old_entries[ip..])?;
+
+        let mut combined: Vec<Entry> =
+            Vec::with_capacity(old_entries.len() + new_entries.len());
+        combined.extend_from_slice(&old_entries[..ip]);
+        combined.extend_from_slice(&new_entries);
+        combined.extend_from_slice(&old_entries[ip..]);
+
+        // Physically place `combined`, getting the new address of each
+        // combined index.
+        let addr_of = self.place_entries(close.page, st, combined, old_next, ip)?;
+
+        // ---- Index maintenance.
+        // Shifted old tail nodes: refresh stored addresses.
+        for (rel_idx, dewey, tag, level) in tail_opens {
+            let old_addr = NodeAddr {
+                page: close.page,
+                entry: (ip + rel_idx) as u32,
+            };
+            let new_addr = addr_of[ip + new_entries.len() + rel_idx];
+            if new_addr != old_addr {
+                self.refresh_addr(&dewey, tag, level, old_addr, new_addr)?;
+            }
+        }
+        // New nodes: insert into B+i / B+t (+ values into data file, B+v).
+        let mut value_map: HashMap<Vec<u8>, (u64, u32)> = HashMap::new();
+        for (dewey, text) in &new_values {
+            let (off, len) = self.data.borrow_mut().put(text)?;
+            value_map.insert(dewey.to_key(), (off, len));
+            self.bt_val.insert(&hash_key(text), &dewey.to_key())?;
+        }
+        for (dewey, tag, level, rel_idx) in &new_nodes {
+            let addr = addr_of[ip + rel_idx];
+            let key = dewey.to_key();
+            let rec = IdRecord {
+                addr,
+                value: value_map.get(&key).copied(),
+            };
+            self.bt_id.insert(&key, &rec.to_bytes())?;
+            let posting = TagPosting {
+                addr,
+                level: *level,
+                dewey: dewey.clone(),
+            };
+            self.bt_tag.insert(&tag.to_key(), &posting.to_bytes())?;
+            *self.tag_counts.entry(*tag).or_insert(0) += 1;
+        }
+        let opens = new_nodes.len() as i64;
+        self.store.bump_node_count(opens);
+        Ok(base)
+    }
+
+    /// Delete the node identified by `target` and its whole subtree.
+    /// Returns the number of element nodes removed.
+    pub fn delete_subtree(&mut self, target: &Dewey) -> CoreResult<u64> {
+        if target.level() <= 1 {
+            return Err(CoreError::InvalidUpdate(
+                "cannot delete the document root".into(),
+            ));
+        }
+        let addr = self.resolve(target)?;
+        let close = cursor::subtree_close(&self.store, addr)?;
+        let parent_level = target.level() - 1;
+        let target_idx = *target.components().last().expect("non-root");
+
+        // ---- Enumerate the deleted region (A): every node in the subtree.
+        let mut removed: Vec<(Dewey, TagCode, u16, NodeAddr)> = Vec::new();
+        {
+            let mut walker =
+                DeweyWalker::after_open(&target.components()[..target.components().len() - 1]);
+            *walker.counters.last_mut().expect("nonempty") = target_idx;
+            let mut cur = Some(addr);
+            let end_lin = self.store.lin(close);
+            while let Some(a) = cur {
+                let (entry, level) = self.store.entry_at(a)?;
+                match entry {
+                    Entry::Open(tag) => {
+                        let d = walker.on_open();
+                        removed.push((d, tag, level, a));
+                    }
+                    Entry::Close => walker.on_close(),
+                }
+                if self.store.lin(a) >= end_lin {
+                    break;
+                }
+                cur = cursor::next_entry(&self.store, a)?;
+            }
+        }
+
+        // ---- Enumerate affected nodes after the region: following siblings
+        // of the target (Dewey ids shift down) and same-page tail nodes
+        // (addresses shift). One walk covers both domains.
+        let touched = self.collect_after_region(target, close, parent_level)?;
+
+        // ---- Physical removal, page by page.
+        let region_pages = self.pages_between(addr.page, close.page);
+        let level_before = self.store.level_at(addr)?.saturating_sub(1);
+        for (i, pid) in region_pages.iter().enumerate() {
+            let decoded = self.store.decoded(*pid)?;
+            let (keep_head, keep_tail): (usize, usize) = if region_pages.len() == 1 {
+                (addr.entry as usize, decoded.len() - close.entry as usize - 1)
+            } else if i == 0 {
+                (addr.entry as usize, 0)
+            } else if i + 1 == region_pages.len() {
+                (0, decoded.len() - close.entry as usize - 1)
+            } else {
+                (0, 0)
+            };
+            let mut kept: Vec<Entry> = Vec::with_capacity(keep_head + keep_tail);
+            kept.extend_from_slice(&decoded.entries[..keep_head]);
+            kept.extend_from_slice(&decoded.entries[decoded.len() - keep_tail..]);
+            let st = if i == 0 { decoded.header.st } else { level_before };
+            let next = decoded.header.next;
+            drop(decoded);
+            self.rewrite_page(*pid, st, &kept, next)?;
+        }
+
+        // ---- Index maintenance.
+        for (dewey, tag, level, a) in &removed {
+            let key = dewey.to_key();
+            // B+v first (needs the value pointer from B+i).
+            if let Some(rec) = self.bt_id.get_first(&key)? {
+                let rec = IdRecord::from_bytes(&rec)?;
+                if let Some((off, _)) = rec.value {
+                    let text = self.data.borrow_mut().get_record(off)?;
+                    self.bt_val.delete(&hash_key(&text), Some(&key))?;
+                }
+            }
+            self.bt_id.delete(&key, None)?;
+            let posting = TagPosting {
+                addr: *a,
+                level: *level,
+                dewey: dewey.clone(),
+            };
+            self.bt_tag.delete(&tag.to_key(), Some(&posting.to_bytes()))?;
+            if let Some(c) = self.tag_counts.get_mut(tag) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        for t in &touched {
+            self.retag_node(t)?;
+        }
+        let n = removed.len() as u64;
+        self.store.bump_node_count(-(n as i64));
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    /// Chain-ordered pages from `from` to `to` inclusive.
+    fn pages_between(&self, from: u32, to: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut r = self.store.rank(from);
+        let end = self.store.rank(to);
+        while r <= end {
+            out.push(self.store.dir_at(r).expect("rank valid").id);
+            r += 1;
+        }
+        out
+    }
+
+    /// Walk the entries after a deleted region, producing the index fixups:
+    /// following siblings of the target get shifted Dewey ids; nodes in the
+    /// close page's tail get shifted addresses.
+    fn collect_after_region(
+        &self,
+        target: &Dewey,
+        close: NodeAddr,
+        parent_level: u32,
+    ) -> CoreResult<Vec<Touched>> {
+        let mut out = Vec::new();
+        let comps = target.components();
+        let mut walker = DeweyWalker::after_open(&comps[..comps.len() - 1]);
+        // Old numbering: the deleted child was consumed.
+        *walker.counters.last_mut().expect("nonempty") = comps[comps.len() - 1] + 1;
+
+        let close_page_decoded = self.store.decoded(close.page)?;
+        let close_page_len = close_page_decoded.len();
+        drop(close_page_decoded);
+        // How far tail entries in the close page shift left.
+        let region_in_close_page = {
+            // Entries removed from the close page: if the region starts in
+            // this page, from its start entry; else from entry 0.
+            let start_entry = if self.store.rank(close.page)
+                == self.store.rank(self.resolve(target)?.page)
+            {
+                self.resolve(target)?.entry as usize
+            } else {
+                0
+            };
+            close.entry as usize - start_entry + 1
+        };
+
+        let mut in_parent = true; // still inside the parent's subtree?
+        let mut cur = cursor::next_entry(&self.store, close)?;
+        while let Some(a) = cur {
+            // Stop once we have left both domains.
+            let in_close_page = a.page == close.page;
+            if !in_parent && !in_close_page {
+                break;
+            }
+            let (entry, level) = self.store.entry_at(a)?;
+            match entry {
+                Entry::Open(tag) => {
+                    let old_dewey = walker.on_open();
+                    let new_dewey = if in_parent {
+                        // Shift the sibling-level component down by one.
+                        let mut c = old_dewey.components().to_vec();
+                        c[parent_level as usize] -= 1;
+                        Dewey::from_components(c)
+                    } else {
+                        old_dewey.clone()
+                    };
+                    let new_addr = if in_close_page {
+                        NodeAddr {
+                            page: a.page,
+                            entry: a.entry - region_in_close_page as u32,
+                        }
+                    } else {
+                        a
+                    };
+                    if new_dewey != old_dewey || new_addr != a {
+                        out.push(Touched {
+                            old_dewey,
+                            new_dewey,
+                            tag,
+                            level,
+                            old_addr: a,
+                            new_addr,
+                        });
+                    }
+                }
+                Entry::Close => {
+                    walker.on_close();
+                    if in_parent && level < parent_level as u16 {
+                        in_parent = false; // just passed the parent's close
+                    }
+                }
+            }
+            if in_close_page && a.entry as usize + 1 == close_page_len && !in_parent {
+                break;
+            }
+            cur = cursor::next_entry(&self.store, a)?;
+        }
+        Ok(out)
+    }
+
+    /// Rewrite one node's B+i / B+t / B+v entries after a Dewey or address
+    /// change.
+    fn retag_node(&mut self, t: &Touched) -> CoreResult<()> {
+        let old_key = t.old_dewey.to_key();
+        let new_key = t.new_dewey.to_key();
+        let rec = self
+            .bt_id
+            .get_first(&old_key)?
+            .ok_or_else(|| CoreError::Corrupt(format!("missing B+i entry for {}", t.old_dewey)))?;
+        let mut rec = IdRecord::from_bytes(&rec)?;
+        self.bt_id.delete(&old_key, None)?;
+        rec.addr = t.new_addr;
+        self.bt_id.insert(&new_key, &rec.to_bytes())?;
+        // B+t.
+        let old_posting = TagPosting {
+            addr: t.old_addr,
+            level: t.level,
+            dewey: t.old_dewey.clone(),
+        };
+        self.bt_tag
+            .delete(&t.tag.to_key(), Some(&old_posting.to_bytes()))?;
+        let new_posting = TagPosting {
+            addr: t.new_addr,
+            level: t.level,
+            dewey: t.new_dewey.clone(),
+        };
+        self.bt_tag.insert(&t.tag.to_key(), &new_posting.to_bytes())?;
+        // B+v, if the node carries a value and its Dewey changed.
+        if t.old_dewey != t.new_dewey {
+            if let Some((off, _)) = rec.value {
+                let text = self.data.borrow_mut().get_record(off)?;
+                self.bt_val.delete(&hash_key(&text), Some(&old_key))?;
+                self.bt_val.insert(&hash_key(&text), &new_key)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Address-only refresh (insert path: Dewey unchanged).
+    fn refresh_addr(
+        &mut self,
+        dewey: &Dewey,
+        tag: TagCode,
+        level: u16,
+        old_addr: NodeAddr,
+        new_addr: NodeAddr,
+    ) -> CoreResult<()> {
+        self.retag_node(&Touched {
+            old_dewey: dewey.clone(),
+            new_dewey: dewey.clone(),
+            tag,
+            level,
+            old_addr,
+            new_addr,
+        })
+    }
+
+    /// Recover `(relative open index, dewey, tag, level)` for the open
+    /// entries of a page tail starting at the parent's close entry.
+    #[allow(clippy::type_complexity)]
+    fn walk_tail_deweys(
+        &self,
+        parent: &Dewey,
+        consumed_children: u32,
+        close: NodeAddr,
+        tail: &[Entry],
+    ) -> CoreResult<Vec<(usize, Dewey, TagCode, u16)>> {
+        let mut walker = DeweyWalker::after_open(parent.components());
+        *walker.counters.last_mut().expect("nonempty") = consumed_children;
+        let decoded = self.store.decoded(close.page)?;
+        let mut out = Vec::new();
+        for (rel, entry) in tail.iter().enumerate() {
+            match entry {
+                Entry::Open(tag) => {
+                    let d = walker.on_open();
+                    let level = decoded.levels[close.entry as usize + rel];
+                    out.push((rel, d, *tag, level));
+                }
+                Entry::Close => walker.on_close(),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write `entries` starting in `first_page` (head stays there; overflow
+    /// goes to freshly chained pages). Returns the new address of every
+    /// entry index. `pin_head` entries are guaranteed to stay in
+    /// `first_page` (they were there before, so they fit).
+    fn place_entries(
+        &mut self,
+        first_page: u32,
+        st: u16,
+        entries: Vec<Entry>,
+        old_next: u32,
+        pin_head: usize,
+    ) -> CoreResult<Vec<NodeAddr>> {
+        let page_size = self.store.pool().page_size();
+        let capacity = page_size - HEADER_SIZE;
+        let total_bytes: usize = entries.iter().map(|e| e.width()).sum();
+
+        if total_bytes <= capacity {
+            // Fits in place.
+            let addrs = (0..entries.len())
+                .map(|i| NodeAddr {
+                    page: first_page,
+                    entry: i as u32,
+                })
+                .collect();
+            self.rewrite_page(first_page, st, &entries, old_next)?;
+            return Ok(addrs);
+        }
+
+        // Head chunk (the pinned prefix) stays; the rest is distributed over
+        // new pages at the build fill factor, leaving update slack.
+        let budget = ((capacity as f64) * 0.8) as usize;
+        let mut chunks: Vec<Vec<Entry>> = vec![entries[..pin_head].to_vec()];
+        let mut cur: Vec<Entry> = Vec::new();
+        let mut cur_bytes = 0usize;
+        for e in &entries[pin_head..] {
+            if cur_bytes + e.width() > budget && !cur.is_empty() {
+                chunks.push(std::mem::take(&mut cur));
+                cur_bytes = 0;
+            }
+            cur.push(*e);
+            cur_bytes += e.width();
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+
+        // Allocate pages for chunks beyond the first.
+        let pool = self.store.pool_rc();
+        let mut page_ids = vec![first_page];
+        for _ in 1..chunks.len() {
+            let (id, _) = pool.allocate()?;
+            page_ids.push(id);
+        }
+        // Write chunks with chained next pointers and running st.
+        let mut addrs = Vec::with_capacity(entries.len());
+        let mut running_st = st;
+        let mut prev_page = None;
+        for (ci, (pid, chunk)) in page_ids.iter().zip(&chunks).enumerate() {
+            let next = if ci + 1 < page_ids.len() {
+                page_ids[ci + 1]
+            } else {
+                old_next
+            };
+            if ci > 0 {
+                // Insert the fresh page into the in-memory directory.
+                self.store.dir_mut().insert_after(
+                    prev_page.expect("not first"),
+                    DirEntry {
+                        id: *pid,
+                        st: running_st,
+                        lo: u16::MAX,
+                        hi: 0,
+                        entries: 0,
+                    },
+                );
+            }
+            let end_st = self.rewrite_page_with_st(*pid, running_st, chunk, next)?;
+            for i in 0..chunk.len() {
+                addrs.push(NodeAddr {
+                    page: *pid,
+                    entry: i as u32,
+                });
+            }
+            running_st = end_st;
+            prev_page = Some(*pid);
+        }
+        Ok(addrs)
+    }
+
+    /// Rewrite a page's content; returns nothing. See
+    /// [`XmlDb::rewrite_page_with_st`].
+    fn rewrite_page(&mut self, pid: u32, st: u16, entries: &[Entry], next: u32) -> CoreResult<()> {
+        self.rewrite_page_with_st(pid, st, entries, next)?;
+        Ok(())
+    }
+
+    /// Rewrite a page's content, header, and directory entry. Returns the
+    /// page's end level (the st of its successor).
+    fn rewrite_page_with_st(
+        &mut self,
+        pid: u32,
+        st: u16,
+        entries: &[Entry],
+        next: u32,
+    ) -> CoreResult<u16> {
+        let mut content = Vec::new();
+        let mut level = st as i32;
+        let (mut lo, mut hi) = (u16::MAX, 0u16);
+        for e in entries {
+            page::encode_entry(&mut content, *e);
+            match e {
+                Entry::Open(_) => level += 1,
+                Entry::Close => level -= 1,
+            }
+            if level < 0 {
+                return Err(CoreError::Corrupt(
+                    "update produced a negative level".into(),
+                ));
+            }
+            lo = lo.min(level as u16);
+            hi = hi.max(level as u16);
+        }
+        let end_level = level as u16;
+        let pool = self.store.pool_rc();
+        let handle = pool.get(pid)?;
+        {
+            let mut buf = handle.write();
+            if HEADER_SIZE + content.len() > buf.len() {
+                return Err(CoreError::Corrupt("page overflow during update".into()));
+            }
+            page::write_header(
+                &mut buf,
+                &PageHeader {
+                    st,
+                    lo,
+                    hi,
+                    next,
+                    nbytes: content.len() as u16,
+                },
+            );
+            buf[HEADER_SIZE..HEADER_SIZE + content.len()].copy_from_slice(&content);
+        }
+        self.store.dir_mut().update_entry(pid, |e| {
+            e.st = st;
+            e.lo = lo;
+            e.hi = hi;
+            e.entries = entries.len() as u32;
+        });
+        self.store.invalidate_decoded(Some(pid));
+        Ok(end_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEvaluator;
+    use nok_pager::MemStorage;
+    use nok_xml::Document;
+
+    const BIB: &str = r#"<bib>
+      <book year="1994"><author><last>Stevens</last></author><price>65.95</price></book>
+      <book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book>
+    </bib>"#;
+
+    fn db(xml: &str) -> XmlDb<MemStorage> {
+        XmlDb::build_in_memory(xml).unwrap()
+    }
+
+    /// After any update, the database must behave exactly like one freshly
+    /// built from the updated document.
+    fn assert_equivalent(db: &XmlDb<MemStorage>, expected_xml: &str, queries: &[&str]) {
+        let doc = Document::parse(expected_xml).unwrap();
+        let oracle = NaiveEvaluator::new(&doc);
+        for q in queries {
+            let got: Vec<String> = db
+                .query(q)
+                .unwrap()
+                .iter()
+                .map(|m| m.dewey.to_string())
+                .collect();
+            let want: Vec<String> = oracle
+                .eval_str(q)
+                .unwrap()
+                .iter()
+                .map(|n| oracle.dewey(n).to_string())
+                .collect();
+            assert_eq!(got, want, "query {q} after update");
+        }
+    }
+
+    #[test]
+    fn insert_last_child_simple() {
+        let mut db = db(BIB);
+        let root = Dewey::root();
+        let new = db
+            .insert_last_child(
+                &root,
+                r#"<book year="1999"><author><last>Gerbarg</last></author><price>129.95</price></book>"#,
+            )
+            .unwrap();
+        assert_eq!(new.to_string(), "0.2");
+        let expected = r#"<bib>
+          <book year="1994"><author><last>Stevens</last></author><price>65.95</price></book>
+          <book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book>
+          <book year="1999"><author><last>Gerbarg</last></author><price>129.95</price></book>
+        </bib>"#;
+        assert_equivalent(
+            &db,
+            expected,
+            &[
+                "/bib/book",
+                "//last",
+                r#"//book[author/last="Gerbarg"]"#,
+                "//book[price>100]",
+                "/bib/book/@year",
+            ],
+        );
+    }
+
+    #[test]
+    fn insert_into_nested_node() {
+        let mut db = db(BIB);
+        // Add a <first> to the first author.
+        let author = Dewey::from_components(vec![0, 0, 1]);
+        db.insert_last_child(&author, "<first>W.</first>").unwrap();
+        let expected = r#"<bib>
+          <book year="1994"><author><last>Stevens</last><first>W.</first></author><price>65.95</price></book>
+          <book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book>
+        </bib>"#;
+        assert_equivalent(
+            &db,
+            expected,
+            &[
+                "//first",
+                "//author[first]",
+                r#"//book[author/first="W."]/price"#,
+                "//book/price",
+            ],
+        );
+    }
+
+    #[test]
+    fn insert_with_new_tag_names() {
+        let mut db = db(BIB);
+        let root = Dewey::root();
+        db.insert_last_child(&root, "<journal><issn>1234</issn></journal>")
+            .unwrap();
+        let hits = db.query("//journal/issn").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.value_of(&hits[0]).unwrap().unwrap(), "1234");
+    }
+
+    #[test]
+    fn insert_overflowing_page_splits_chain() {
+        // Small pages force the inserted subtree to spill into new pages.
+        let xml = "<r><a/><b/><c/></r>";
+        let mut db = XmlDb::build_in_memory_with(
+            xml,
+            crate::store::BuildOptions::default(),
+            64,
+        )
+        .unwrap();
+        let mut big = String::from("<big>");
+        for i in 0..40 {
+            big.push_str(&format!("<x n=\"{i}\">v{i}</x>"));
+        }
+        big.push_str("</big>");
+        let pages_before = db.store.page_count();
+        db.insert_last_child(&Dewey::root(), &big).unwrap();
+        assert!(db.store.page_count() > pages_before, "new pages chained in");
+        // Structure must remain fully navigable and queryable.
+        let expected = format!(
+            "<r><a/><b/><c/><big>{}</big></r>",
+            (0..40)
+                .map(|i| format!("<x n=\"{i}\">v{i}</x>"))
+                .collect::<String>()
+        );
+        assert_equivalent(
+            &db,
+            &expected,
+            &["//x", "/r/big/x", "//x[@n=\"7\"]", "/r/a", "/r/big"],
+        );
+    }
+
+    #[test]
+    fn repeated_inserts_accumulate() {
+        let mut db = db("<list></list>");
+        for i in 0..25 {
+            db.insert_last_child(&Dewey::root(), &format!("<item>{i}</item>"))
+                .unwrap();
+        }
+        let hits = db.query("//item").unwrap();
+        assert_eq!(hits.len(), 25);
+        // Values readable and in order.
+        let vals: Vec<String> = hits
+            .iter()
+            .map(|m| db.value_of(m).unwrap().unwrap())
+            .collect();
+        assert_eq!(vals[0], "0");
+        assert_eq!(vals[24], "24");
+    }
+
+    #[test]
+    fn delete_leaf_subtree() {
+        let mut db = db(BIB);
+        // Delete the second book entirely.
+        let removed = db
+            .delete_subtree(&Dewey::from_components(vec![0, 1]))
+            .unwrap();
+        assert_eq!(removed, 5); // book, @year, author, last, price
+        let expected = r#"<bib>
+          <book year="1994"><author><last>Stevens</last></author><price>65.95</price></book>
+        </bib>"#;
+        assert_equivalent(
+            &db,
+            expected,
+            &["/bib/book", "//last", "//book[price<50]", "/bib/book/@year"],
+        );
+    }
+
+    #[test]
+    fn delete_shifts_following_sibling_deweys() {
+        let mut db = db("<r><a>1</a><b>2</b><c>3</c><d>4</d></r>");
+        db.delete_subtree(&Dewey::from_components(vec![0, 1])).unwrap(); // drop <b>
+        let expected = "<r><a>1</a><c>3</c><d>4</d></r>";
+        assert_equivalent(&db, expected, &["/r/c", "/r/d", "//c", "/r/*"]);
+        // c must now be 0.1, d 0.2.
+        let hits = db.query("//d").unwrap();
+        assert_eq!(hits[0].dewey.to_string(), "0.2");
+        assert_eq!(db.value_of(&hits[0]).unwrap().unwrap(), "4");
+    }
+
+    #[test]
+    fn delete_multi_page_subtree() {
+        let mut xml = String::from("<r><victim>");
+        for i in 0..60 {
+            xml.push_str(&format!("<v>{i}</v>"));
+        }
+        xml.push_str("</victim><keep>yes</keep></r>");
+        let mut db = XmlDb::build_in_memory_with(
+            &xml,
+            crate::store::BuildOptions::default(),
+            64,
+        )
+        .unwrap();
+        assert!(db.store.page_count() > 3);
+        let removed = db
+            .delete_subtree(&Dewey::from_components(vec![0, 0]))
+            .unwrap();
+        assert_eq!(removed, 61);
+        assert_equivalent(
+            &db,
+            "<r><keep>yes</keep></r>",
+            &["//keep", "/r/keep", "//v", "/r/*"],
+        );
+        let keep = db.query("//keep").unwrap();
+        assert_eq!(keep[0].dewey.to_string(), "0.0"); // shifted down
+        assert_eq!(db.value_of(&keep[0]).unwrap().unwrap(), "yes");
+    }
+
+    #[test]
+    fn delete_then_insert_round_trip() {
+        let mut db = db(BIB);
+        db.delete_subtree(&Dewey::from_components(vec![0, 0])).unwrap();
+        db.insert_last_child(
+            &Dewey::root(),
+            r#"<book year="2004"><author><last>Zhang</last></author><price>10</price></book>"#,
+        )
+        .unwrap();
+        let expected = r#"<bib>
+          <book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book>
+          <book year="2004"><author><last>Zhang</last></author><price>10</price></book>
+        </bib>"#;
+        assert_equivalent(
+            &db,
+            expected,
+            &[
+                "/bib/book",
+                r#"//book[author/last="Zhang"]"#,
+                "//book[price<20]",
+                r#"//book[author/last="Stevens"]"#,
+            ],
+        );
+    }
+
+    #[test]
+    fn cannot_delete_root_or_missing() {
+        let mut db = db(BIB);
+        assert!(matches!(
+            db.delete_subtree(&Dewey::root()),
+            Err(CoreError::InvalidUpdate(_))
+        ));
+        assert!(matches!(
+            db.delete_subtree(&Dewey::from_components(vec![0, 9])),
+            Err(CoreError::InvalidUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn insert_rejects_forests_and_empty() {
+        let mut db = db(BIB);
+        assert!(matches!(
+            db.insert_last_child(&Dewey::root(), "<a/><b/>"),
+            Err(CoreError::InvalidUpdate(_)) | Err(CoreError::Xml(_))
+        ));
+        assert!(db.insert_last_child(&Dewey::root(), "").is_err());
+    }
+
+    #[test]
+    fn node_count_tracks_updates() {
+        let mut db = db("<r><a/><b/></r>");
+        assert_eq!(db.node_count(), 3);
+        db.insert_last_child(&Dewey::root(), "<c><d/></c>").unwrap();
+        assert_eq!(db.node_count(), 5);
+        db.delete_subtree(&Dewey::from_components(vec![0, 2])).unwrap();
+        assert_eq!(db.node_count(), 3);
+    }
+}

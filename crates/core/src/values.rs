@@ -1,0 +1,268 @@
+//! Value information storage (paper §4.1, Figure 3).
+//!
+//! Element contents and attribute values are detached from the structure and
+//! stored sequentially in a *data file* as `(len, value)` records (paper
+//! Example 3). Three auxiliary structures connect values back to structure:
+//!
+//! * **B+v** — hashed value → Dewey IDs of nodes carrying that value ("the
+//!   purpose of the hash function is to map any data value to an integer
+//!   that can be compared quickly; different values hashed to the same key
+//!   can be distinguished by looking up the data file directly"),
+//! * **B+i** — Dewey ID → position of the node's value in the data file
+//!   (extended here to also carry the node's physical [`crate::NodeAddr`],
+//!   so Dewey IDs can be resolved to structure without a root walk),
+//! * duplicate elimination — equal values are stored once and shared ("we
+//!   can keep only one copy and let these nodes point to the same position").
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{CoreError, CoreResult};
+
+/// 64-bit FNV-1a — the hash used as the B+v key.
+pub fn hash_value(value: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for b in value.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Key bytes for the B+v index (big-endian so equal hashes cluster).
+pub fn hash_key(value: &str) -> [u8; 8] {
+    hash_value(value).to_be_bytes()
+}
+
+enum Backing {
+    Mem(Vec<u8>),
+    File(File),
+}
+
+/// The sequential `(len, value)` record file.
+pub struct DataFile {
+    backing: Backing,
+    /// Total bytes written (also the next append offset).
+    len: u64,
+    /// Dedup map: value hash → offsets of records with that hash.
+    dedup: HashMap<u64, Vec<u64>>,
+}
+
+impl DataFile {
+    /// An in-memory data file.
+    pub fn in_memory() -> Self {
+        DataFile {
+            backing: Backing::Mem(Vec::new()),
+            len: 0,
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// Create a new (truncated) data file on disk.
+    pub fn create<P: AsRef<Path>>(path: P) -> CoreResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(nok_pager::PagerError::from)?;
+        Ok(DataFile {
+            backing: Backing::File(file),
+            len: 0,
+            dedup: HashMap::new(),
+        })
+    }
+
+    /// Open an existing data file, rebuilding the dedup map by scanning
+    /// records.
+    pub fn open<P: AsRef<Path>>(path: P) -> CoreResult<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(nok_pager::PagerError::from)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(nok_pager::PagerError::from)?;
+        let mut dedup: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut pos = 0u64;
+        while (pos as usize) < bytes.len() {
+            let p = pos as usize;
+            if p + 4 > bytes.len() {
+                return Err(CoreError::Corrupt("truncated data-file record".into()));
+            }
+            let len =
+                u32::from_le_bytes([bytes[p], bytes[p + 1], bytes[p + 2], bytes[p + 3]]) as usize;
+            if p + 4 + len > bytes.len() {
+                return Err(CoreError::Corrupt("truncated data-file record".into()));
+            }
+            if let Ok(s) = std::str::from_utf8(&bytes[p + 4..p + 4 + len]) {
+                dedup.entry(hash_value(s)).or_default().push(pos);
+            }
+            pos += 4 + len as u64;
+        }
+        Ok(DataFile {
+            backing: Backing::File(file),
+            len: pos,
+            dedup,
+        })
+    }
+
+    /// Total bytes in the file.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Store `value`, reusing an existing record when the same value was
+    /// stored before. Returns `(offset, len)` of the record.
+    pub fn put(&mut self, value: &str) -> CoreResult<(u64, u32)> {
+        let h = hash_value(value);
+        if let Some(offsets) = self.dedup.get(&h) {
+            let candidates = offsets.clone();
+            for off in candidates {
+                // Hash collision safety: verify the stored bytes.
+                if self.get_record(off)? == value {
+                    return Ok((off, value.len() as u32));
+                }
+            }
+        }
+        let off = self.len;
+        let mut rec = Vec::with_capacity(4 + value.len());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(value.as_bytes());
+        match &mut self.backing {
+            Backing::Mem(v) => v.extend_from_slice(&rec),
+            Backing::File(f) => {
+                f.seek(SeekFrom::Start(off))
+                    .map_err(nok_pager::PagerError::from)?;
+                f.write_all(&rec).map_err(nok_pager::PagerError::from)?;
+            }
+        }
+        self.len += rec.len() as u64;
+        self.dedup.entry(h).or_default().push(off);
+        Ok((off, value.len() as u32))
+    }
+
+    /// Read the record starting at `offset`.
+    pub fn get_record(&mut self, offset: u64) -> CoreResult<String> {
+        let mut len_buf = [0u8; 4];
+        self.read_exact_at(offset, &mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; len];
+        self.read_exact_at(offset + 4, &mut payload)?;
+        String::from_utf8(payload).map_err(|_| CoreError::Corrupt("non-UTF8 value record".into()))
+    }
+
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> CoreResult<()> {
+        match &mut self.backing {
+            Backing::Mem(v) => {
+                let start = offset as usize;
+                let end = start + buf.len();
+                if end > v.len() {
+                    return Err(CoreError::Corrupt(format!(
+                        "data-file read past end ({end} > {})",
+                        v.len()
+                    )));
+                }
+                buf.copy_from_slice(&v[start..end]);
+                Ok(())
+            }
+            Backing::File(f) => {
+                f.seek(SeekFrom::Start(offset))
+                    .map_err(nok_pager::PagerError::from)?;
+                f.read_exact(buf).map_err(nok_pager::PagerError::from)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Flush to durable media.
+    pub fn sync(&mut self) -> CoreResult<()> {
+        if let Backing::File(f) = &mut self.backing {
+            f.sync_data().map_err(nok_pager::PagerError::from)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get_round_trip() {
+        let mut df = DataFile::in_memory();
+        let (o1, l1) = df.put("1994").unwrap();
+        let (o2, _) = df.put("TCP/IP Illustrated").unwrap();
+        assert_eq!(l1, 4);
+        assert_eq!(df.get_record(o1).unwrap(), "1994");
+        assert_eq!(df.get_record(o2).unwrap(), "TCP/IP Illustrated");
+    }
+
+    #[test]
+    fn identical_values_are_shared() {
+        let mut df = DataFile::in_memory();
+        let (o1, _) = df.put("Addison-Wesley").unwrap();
+        let before = df.len_bytes();
+        let (o2, _) = df.put("Addison-Wesley").unwrap();
+        assert_eq!(o1, o2, "paper: keep only one copy of equal values");
+        assert_eq!(df.len_bytes(), before);
+    }
+
+    #[test]
+    fn different_values_get_different_offsets() {
+        let mut df = DataFile::in_memory();
+        let (o1, _) = df.put("a").unwrap();
+        let (o2, _) = df.put("b").unwrap();
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn empty_value_is_storable() {
+        let mut df = DataFile::in_memory();
+        let (o, l) = df.put("").unwrap();
+        assert_eq!(l, 0);
+        assert_eq!(df.get_record(o).unwrap(), "");
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        assert_eq!(hash_value("Stevens"), hash_value("Stevens"));
+        assert_ne!(hash_value("Stevens"), hash_value("Stevens "));
+        assert_ne!(hash_value("65.95"), hash_value("39.95"));
+        assert_eq!(hash_key("x"), hash_value("x").to_be_bytes());
+    }
+
+    #[test]
+    fn file_backing_persists() {
+        let dir = std::env::temp_dir().join(format!("nok-values-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("values.dat");
+        let off;
+        {
+            let mut df = DataFile::create(&path).unwrap();
+            off = df.put("persisted value").unwrap().0;
+            df.put("another").unwrap();
+            df.sync().unwrap();
+        }
+        {
+            let mut df = DataFile::open(&path).unwrap();
+            assert_eq!(df.get_record(off).unwrap(), "persisted value");
+            // Dedup map must have been rebuilt: re-putting reuses.
+            assert_eq!(df.put("persisted value").unwrap().0, off);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_read_is_error() {
+        let mut df = DataFile::in_memory();
+        df.put("x").unwrap();
+        assert!(df.get_record(999).is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! The five dataset generators (paper Table 1).
+//!
+//! | name     | paper size | #nodes    | depth avg/max | tags | character |
+//! |----------|-----------:|----------:|---------------|-----:|-----------|
+//! | author   | 1.2 MB     | 15,006    | 3 / 3         | 8    | bushy     |
+//! | address  | 17 MB      | 403,201   | 3 / 3         | 7    | bushy     |
+//! | catalog  | 30 MB      | 620,604   | 5 / 8         | 51   | deep      |
+//! | treebank | 82 MB      | 2,437,666 | 8 / 36        | 250  | deep, recursive |
+//! | dblp     | 133 MB     | 3,332,130 | 3 / 6         | 35   | bushy     |
+//!
+//! `scale = 1.0` targets the paper's node counts; benchmarks typically run
+//! at 0.05–0.2. All generators are deterministic (fixed seeds) and plant
+//! the selectivity needles described in the crate docs.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::text::{phrase, pick, token, CITIES, FIRSTNAMES, PUBLISHERS, SURNAMES};
+use crate::{HIGH_COUNT, LOW_FRACTION, MOD_COUNT};
+
+/// Which of the paper's datasets a generated document mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// XBench `author` (bushy, shallow, small).
+    Author,
+    /// XBench `address` (bushy, shallow, wide).
+    Address,
+    /// XBench `catalog` (deeper, many tags).
+    Catalog,
+    /// UW `Treebank` (deep, recursive, random values).
+    Treebank,
+    /// UW `dblp` (flat, very wide, many record kinds).
+    Dblp,
+}
+
+impl DatasetKind {
+    /// All five, in the paper's Table 1 order.
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Author,
+        DatasetKind::Address,
+        DatasetKind::Catalog,
+        DatasetKind::Treebank,
+        DatasetKind::Dblp,
+    ];
+
+    /// Display name (matching the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Author => "author",
+            DatasetKind::Address => "address",
+            DatasetKind::Catalog => "catalog",
+            DatasetKind::Treebank => "treebank",
+            DatasetKind::Dblp => "dblp",
+        }
+    }
+
+    /// Record count at scale 1.0 (≈ paper node counts / nodes-per-record).
+    fn base_records(self) -> usize {
+        match self {
+            DatasetKind::Author => 1_250,
+            DatasetKind::Address => 40_000,
+            DatasetKind::Catalog => 24_000,
+            DatasetKind::Treebank => 45_000,
+            DatasetKind::Dblp => 260_000,
+        }
+    }
+}
+
+/// A generated dataset.
+pub struct Dataset {
+    /// Which paper dataset this mirrors.
+    pub kind: DatasetKind,
+    /// The XML document.
+    pub xml: String,
+    /// Number of records generated.
+    pub records: usize,
+}
+
+/// Generate one dataset at the given scale (minimum 800 records so the
+/// selectivity bands of the query workload stay meaningful: 15% low
+/// needles must exceed the 100-result band floor).
+pub fn dataset_by_name(name: &str, scale: f64) -> Option<Dataset> {
+    DatasetKind::ALL
+        .iter()
+        .find(|k| k.name() == name)
+        .map(|&k| generate(k, scale))
+}
+
+/// Generate all five datasets.
+pub fn all_datasets(scale: f64) -> Vec<Dataset> {
+    DatasetKind::ALL.iter().map(|&k| generate(k, scale)).collect()
+}
+
+/// Generate one dataset.
+pub fn generate(kind: DatasetKind, scale: f64) -> Dataset {
+    let records = ((kind.base_records() as f64 * scale) as usize).max(800);
+    let xml = match kind {
+        DatasetKind::Author => gen_author(records),
+        DatasetKind::Address => gen_address(records),
+        DatasetKind::Catalog => gen_catalog(records),
+        DatasetKind::Treebank => gen_treebank(records),
+        DatasetKind::Dblp => gen_dblp(records),
+    };
+    Dataset { kind, xml, records }
+}
+
+/// Deterministic selection of the needle-carrying record indexes.
+struct Needles {
+    high: HashSet<usize>,
+    moderate: HashSet<usize>,
+}
+
+impl Needles {
+    fn plan(records: usize, rng: &mut StdRng) -> Needles {
+        let mut idx: Vec<usize> = (0..records).collect();
+        idx.shuffle(rng);
+        let high: HashSet<usize> = idx.iter().copied().take(HIGH_COUNT.min(records)).collect();
+        let moderate: HashSet<usize> = idx
+            .iter()
+            .copied()
+            .skip(HIGH_COUNT)
+            .take(MOD_COUNT.min(records.saturating_sub(HIGH_COUNT)))
+            .collect();
+        Needles { high, moderate }
+    }
+
+    /// The `(keyword, note)` values and structural markers for record `i`.
+    fn for_record(&self, i: usize, rng: &mut StdRng) -> RecordPlan {
+        if self.high.contains(&i) {
+            RecordPlan {
+                keyword: "needle-high".into(),
+                note: "needle-high".into(),
+                rare: true,
+                uncommon: false,
+            }
+        } else if self.moderate.contains(&i) {
+            RecordPlan {
+                keyword: "needle-mod".into(),
+                note: "needle-mod".into(),
+                rare: false,
+                uncommon: true,
+            }
+        } else if rng.gen_bool(LOW_FRACTION) {
+            RecordPlan {
+                keyword: "needle-low".into(),
+                note: "needle-low".into(),
+                rare: false,
+                uncommon: false,
+            }
+        } else {
+            RecordPlan {
+                keyword: token(rng),
+                note: token(rng),
+                rare: false,
+                uncommon: false,
+            }
+        }
+    }
+}
+
+struct RecordPlan {
+    keyword: String,
+    note: String,
+    rare: bool,
+    uncommon: bool,
+}
+
+fn write_plan_fields(out: &mut String, plan: &RecordPlan) {
+    let _ = write!(out, "<keyword>{}</keyword><note>{}</note>", plan.keyword, plan.note);
+    if plan.rare {
+        out.push_str("<rareitem><subitem>deep</subitem></rareitem>");
+    }
+    if plan.uncommon {
+        out.push_str("<uncommonitem><subitem>deep</subitem></uncommonitem>");
+    }
+}
+
+// ---------------------------------------------------------------------
+// author: authors/author{name,email,phone,affiliation,keyword,note}
+// ---------------------------------------------------------------------
+fn gen_author(records: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(0xA01);
+    let needles = Needles::plan(records, &mut rng);
+    let mut out = String::with_capacity(records * 220);
+    out.push_str("<authors>");
+    for i in 0..records {
+        let plan = needles.for_record(i, &mut rng);
+        let last = pick(&mut rng, SURNAMES);
+        let first = pick(&mut rng, FIRSTNAMES);
+        let _ = write!(
+            out,
+            "<author id=\"a{i}\"><name>{first} {last}</name>\
+             <email>{}{i}@example.org</email>\
+             <phone>+1-519-{:07}</phone>\
+             <affiliation>{}</affiliation>",
+            last.to_lowercase(),
+            rng.gen_range(0..10_000_000u32),
+            pick(&mut rng, CITIES),
+        );
+        write_plan_fields(&mut out, &plan);
+        out.push_str("</author>");
+    }
+    out.push_str("</authors>");
+    out
+}
+
+// ---------------------------------------------------------------------
+// address: addresses/address{street,city,zip,country,owner,keyword,note}
+// ---------------------------------------------------------------------
+fn gen_address(records: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(0xADD2);
+    let needles = Needles::plan(records, &mut rng);
+    let mut out = String::with_capacity(records * 200);
+    out.push_str("<addresses>");
+    for i in 0..records {
+        let plan = needles.for_record(i, &mut rng);
+        let _ = write!(
+            out,
+            "<address id=\"ad{i}\"><street>{} {} St.</street>\
+             <city>{}</city><zip>{:05}</zip><country>C{}</country>\
+             <owner>{}</owner>",
+            rng.gen_range(1..999u32),
+            pick(&mut rng, SURNAMES),
+            pick(&mut rng, CITIES),
+            rng.gen_range(0..100_000u32),
+            rng.gen_range(0..40u32),
+            pick(&mut rng, SURNAMES),
+        );
+        write_plan_fields(&mut out, &plan);
+        out.push_str("</address>");
+    }
+    out.push_str("</addresses>");
+    out
+}
+
+// ---------------------------------------------------------------------
+// catalog: catalog/item{title,publisher/name,price,date{year,month},
+//          authors/author{first,last},description/para, ...} — deeper.
+// ---------------------------------------------------------------------
+fn gen_catalog(records: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(0xCA7A);
+    let needles = Needles::plan(records, &mut rng);
+    let mut out = String::with_capacity(records * 420);
+    out.push_str("<catalog>");
+    for i in 0..records {
+        let plan = needles.for_record(i, &mut rng);
+        let _ = write!(
+            out,
+            "<item id=\"it{i}\"><title>{}</title>\
+             <publisher><name>{}</name><contact><addr><city>{}</city></addr></contact></publisher>\
+             <price currency=\"USD\">{}.{:02}</price>\
+             <date><year>{}</year><month>{}</month></date>\
+             <authors>",
+            phrase(&mut rng, 4),
+            pick(&mut rng, PUBLISHERS),
+            pick(&mut rng, CITIES),
+            rng.gen_range(5..250u32),
+            rng.gen_range(0..100u32),
+            1960 + rng.gen_range(0..45u32),
+            1 + rng.gen_range(0..12u32),
+        );
+        for _ in 0..rng.gen_range(1..3u32) {
+            let _ = write!(
+                out,
+                "<author><first>{}</first><last>{}</last></author>",
+                pick(&mut rng, FIRSTNAMES),
+                pick(&mut rng, SURNAMES),
+            );
+        }
+        out.push_str("</authors><description>");
+        for _ in 0..rng.gen_range(1..3u32) {
+            let _ = write!(out, "<para>{}</para>", phrase(&mut rng, 8));
+        }
+        out.push_str("</description>");
+        write_plan_fields(&mut out, &plan);
+        out.push_str("</item>");
+    }
+    out.push_str("</catalog>");
+    out
+}
+
+// ---------------------------------------------------------------------
+// treebank: deep recursive parse trees with random leaf values. Only
+// high-selectivity needles exist (the paper: Treebank values are random,
+// hence highly selective), so moderate/low *value* categories are NA.
+// ---------------------------------------------------------------------
+fn gen_treebank(records: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(0x7EEB);
+    let needles = Needles::plan(records, &mut rng);
+    // 244 recursive category tags + the 6 structural/needle tags ≈ 250.
+    let cats: Vec<String> = (0..244).map(|i| format!("cat{i}")).collect();
+    let mut out = String::with_capacity(records * 900);
+    out.push_str("<treebank>");
+    for i in 0..records {
+        let plan = needles.for_record(i, &mut rng);
+        out.push_str("<s>");
+        // Guaranteed structural children for the bushy categories.
+        out.push_str("<np>");
+        gen_tb_subtree(&mut out, &mut rng, &cats, 3, 30);
+        out.push_str("</np><vp>");
+        gen_tb_subtree(&mut out, &mut rng, &cats, 3, 30);
+        out.push_str("</vp>");
+        if rng.gen_bool(0.5) {
+            let _ = write!(out, "<pp>{}</pp>", token(&mut rng));
+        }
+        // The random deep part.
+        gen_tb_subtree(&mut out, &mut rng, &cats, 2, 32);
+        if plan.rare {
+            out.push_str("<rareitem><subitem>deep</subitem></rareitem>");
+            let _ = write!(out, "<keyword>needle-high</keyword><note>needle-high</note>");
+        }
+        if plan.uncommon {
+            out.push_str("<uncommonitem><subitem>deep</subitem></uncommonitem>");
+        }
+        out.push_str("</s>");
+    }
+    out.push_str("</treebank>");
+    out
+}
+
+fn gen_tb_subtree(out: &mut String, rng: &mut StdRng, cats: &[String], depth: u32, max_depth: u32) {
+    // Subcritical branching (expected growth ≈ 0.55·1.5 ≈ 0.83 per level)
+    // keeps subtrees around 8–40 nodes while the depth tail still reaches
+    // the paper's max of ~36; leaves carry random tokens.
+    if depth >= max_depth || rng.gen_bool(0.45) {
+        out.push_str(&token(rng));
+        return;
+    }
+    let kids = rng.gen_range(1..=2u32);
+    for _ in 0..kids {
+        let tag = &cats[rng.gen_range(0..cats.len())];
+        let _ = write!(out, "<{tag}>");
+        gen_tb_subtree(out, rng, cats, depth + 1, max_depth);
+        let _ = write!(out, "</{tag}>");
+    }
+}
+
+// ---------------------------------------------------------------------
+// dblp: flat bibliography with several record kinds; queries target the
+// dominant <article> records.
+// ---------------------------------------------------------------------
+fn gen_dblp(records: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(0xDB1B);
+    let needles = Needles::plan(records, &mut rng);
+    let mut out = String::with_capacity(records * 330);
+    out.push_str("<dblp>");
+    for i in 0..records {
+        let plan = needles.for_record(i, &mut rng);
+        let kind = rng.gen_range(0..100u32);
+        // Needle-carrying records must be articles (the query target type).
+        let tag = if plan.rare || plan.uncommon || plan.keyword.starts_with("needle") || kind < 60 {
+            "article"
+        } else if kind < 90 {
+            "inproceedings"
+        } else if kind < 95 {
+            "book"
+        } else {
+            "phdthesis"
+        };
+        let _ = write!(
+            out,
+            "<{tag} mdate=\"2004-0{}-1{}\" key=\"{tag}/k{i}\">",
+            1 + rng.gen_range(0..9u32),
+            rng.gen_range(0..10u32)
+        );
+        for _ in 0..rng.gen_range(1..4u32) {
+            let _ = write!(
+                out,
+                "<author>{} {}</author>",
+                pick(&mut rng, FIRSTNAMES),
+                pick(&mut rng, SURNAMES)
+            );
+        }
+        let _ = write!(
+            out,
+            "<title>{}</title><year>{}</year><pages>{}-{}</pages>",
+            phrase(&mut rng, 5),
+            1970 + rng.gen_range(0..34u32),
+            rng.gen_range(1..400u32),
+            rng.gen_range(400..900u32),
+        );
+        match tag {
+            "article" => {
+                let _ = write!(out, "<journal>J{}</journal>", rng.gen_range(0..25u32));
+            }
+            "inproceedings" => {
+                let _ = write!(out, "<booktitle>Conf{}</booktitle>", rng.gen_range(0..20u32));
+            }
+            "book" => {
+                let _ = write!(out, "<publisher>{}</publisher>", pick(&mut rng, PUBLISHERS));
+            }
+            _ => {
+                let _ = write!(out, "<school>U{}</school>", rng.gen_range(0..15u32));
+            }
+        }
+        let _ = write!(out, "<ee>db/j/{i}.html</ee><url>http://example.org/{i}</url>");
+        if tag == "article" {
+            write_plan_fields(&mut out, &plan);
+        }
+        let _ = write!(out, "</{tag}>");
+    }
+    out.push_str("</dblp>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nok_core::XmlDb;
+
+    #[test]
+    fn all_parse_and_have_expected_shapes() {
+        for ds in all_datasets(0.02) {
+            let db = XmlDb::build_in_memory(&ds.xml)
+                .unwrap_or_else(|e| panic!("{} failed to build: {e}", ds.kind.name()));
+            let st = db.stats(ds.xml.len() as u64).unwrap();
+            match ds.kind {
+                DatasetKind::Author | DatasetKind::Address => {
+                    assert!(st.max_depth <= 4, "{}: flat", ds.kind.name());
+                }
+                DatasetKind::Catalog => {
+                    assert!(st.max_depth >= 5, "catalog is deeper");
+                }
+                DatasetKind::Treebank => {
+                    assert!(st.max_depth >= 15, "treebank is deep: {}", st.max_depth);
+                    assert!(st.tags >= 100, "treebank has many tags: {}", st.tags);
+                }
+                DatasetKind::Dblp => {
+                    assert!(st.max_depth <= 4);
+                    assert!(st.tags >= 15, "dblp tag variety: {}", st.tags);
+                }
+            }
+            assert!(st.nodes > 1000, "{}: {} nodes", ds.kind.name(), st.nodes);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DatasetKind::Author, 0.02);
+        let b = generate(DatasetKind::Author, 0.02);
+        assert_eq!(a.xml, b.xml);
+    }
+
+    #[test]
+    fn needle_counts_are_exact() {
+        for kind in [DatasetKind::Author, DatasetKind::Dblp] {
+            let ds = generate(kind, 0.02);
+            let high = ds.xml.matches("needle-high").count();
+            // keyword + note per high record (treebank differs).
+            assert_eq!(high, HIGH_COUNT * 2, "{}", kind.name());
+            let moderate = ds.xml.matches("needle-mod").count();
+            assert_eq!(moderate, MOD_COUNT * 2, "{}", kind.name());
+            let low = ds.xml.matches("needle-low").count() / 2;
+            assert!(
+                low > ds.records / 10 && low < ds.records / 4,
+                "{}: low needles ≈ 15% of {} records, got {low}",
+                kind.name(),
+                ds.records
+            );
+        }
+    }
+
+    #[test]
+    fn scale_scales() {
+        let small = generate(DatasetKind::Address, 0.05);
+        let big = generate(DatasetKind::Address, 0.10);
+        assert!(big.records > small.records);
+        assert!(big.xml.len() > small.xml.len());
+    }
+}

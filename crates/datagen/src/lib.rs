@@ -1,0 +1,37 @@
+//! # nok-datagen
+//!
+//! Deterministic synthetic datasets and query workloads mirroring the
+//! paper's evaluation setup (§6.1).
+//!
+//! The paper uses three XBench data-centric documents (`author`, `address`,
+//! `catalog`) and two real ones (`Treebank`, `dblp`). None are
+//! redistributable here, so each generator synthesizes a document matching
+//! the published *shape* statistics of Table 1 — node counts, average and
+//! maximum depth, tag-alphabet size, bushy vs. deep — at a configurable
+//! scale (`scale = 1.0` ≈ the paper's node counts).
+//!
+//! Selectivity control: every dataset plants
+//!
+//! * **high-selectivity needles** — exactly [`HIGH_COUNT`] records carrying
+//!   the value `"needle-high"` (and a rare structural tag),
+//! * **moderate needles** — [`MOD_COUNT`] records with `"needle-mod"` (and
+//!   an uncommon tag),
+//! * **low needles** — ~15% of records with `"needle-low"`,
+//!
+//! so the twelve query categories of Table 2 (selectivity × topology ×
+//! value-constraints) can be instantiated with known result bands at any
+//! scale (see [`queries::workload`]).
+
+pub mod datasets;
+pub mod queries;
+pub mod text;
+
+pub use datasets::{all_datasets, dataset_by_name, generate, Dataset, DatasetKind};
+pub use queries::{workload, Category, QuerySpec};
+
+/// Records that carry the high-selectivity needle.
+pub const HIGH_COUNT: usize = 3;
+/// Records that carry the moderate-selectivity needle.
+pub const MOD_COUNT: usize = 40;
+/// Fraction of records that carry the low-selectivity needle.
+pub const LOW_FRACTION: f64 = 0.15;

@@ -1,0 +1,282 @@
+//! The query workload — Table 2 of the paper.
+//!
+//! Twelve categories named by a three-letter code: selectivity **h**igh /
+//! **m**oderate / **l**ow, topology **p**ath / **b**ushy, and value
+//! constraints **y**es / **n**o. The tag names and constants are
+//! instantiated per dataset against the planted needles, so each category's
+//! result cardinality lands in its intended band (high: a few; moderate:
+//! 10–100; low: >100) at any generation scale.
+//!
+//! NA cells mirror the paper's Table 3: `author`/`address`/`catalog` lack
+//! the moderate/high bushy-no-value variants the paper marked NA (Q4, Q6,
+//! Q8), and `treebank` — whose values are random and therefore only highly
+//! selective — lacks the moderate/low value categories (Q5, Q7, Q9, Q11).
+//!
+//! Per the paper, "we also tested // axis by randomly substituting it for a
+//! / axis": every spec carries a descendant variant with the leading `/`
+//! step replaced by `//`.
+
+use crate::datasets::DatasetKind;
+
+/// Table 2 category of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Category {
+    /// 'h', 'm' or 'l'.
+    pub selectivity: char,
+    /// 'p' (single path) or 'b' (bushy).
+    pub topology: char,
+    /// 'y' or 'n' — value constraints present.
+    pub value: char,
+}
+
+impl Category {
+    fn new(code: &str) -> Category {
+        let mut ch = code.chars();
+        Category {
+            selectivity: ch.next().expect("3-char code"),
+            topology: ch.next().expect("3-char code"),
+            value: ch.next().expect("3-char code"),
+        }
+    }
+
+    /// The three-letter code, e.g. `hpy`.
+    pub fn code(&self) -> String {
+        format!("{}{}{}", self.selectivity, self.topology, self.value)
+    }
+}
+
+/// One concrete query of the workload.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// `Q1` … `Q12`.
+    pub id: &'static str,
+    /// Table 2 category.
+    pub category: Category,
+    /// The `/`-rooted form.
+    pub path: String,
+    /// The variant with the first step turned into `//`.
+    pub descendant_variant: String,
+}
+
+impl QuerySpec {
+    fn new(id: &'static str, code: &str, path: String) -> QuerySpec {
+        let descendant_variant = if let Some(rest) = path.strip_prefix('/') {
+            // Drop the root-element step: "/authors/author[...]" → "//author[...]".
+            match rest.find('/') {
+                // `rest[i..]` starts with '/', so prefixing one more gives `//`.
+                Some(i) => format!("/{}", &rest[i..]),
+                None => format!("//{rest}"),
+            }
+        } else {
+            path.clone()
+        };
+        QuerySpec {
+            id,
+            category: Category::new(code),
+            path,
+            descendant_variant,
+        }
+    }
+}
+
+/// Field names a record-based dataset exposes to the workload.
+struct Fields {
+    root: &'static str,
+    rec: &'static str,
+    /// Four fields present on every record.
+    common: [&'static str; 4],
+}
+
+fn fields(kind: DatasetKind) -> Fields {
+    match kind {
+        DatasetKind::Author => Fields {
+            root: "authors",
+            rec: "author",
+            common: ["name", "email", "phone", "affiliation"],
+        },
+        DatasetKind::Address => Fields {
+            root: "addresses",
+            rec: "address",
+            common: ["street", "city", "zip", "country"],
+        },
+        DatasetKind::Catalog => Fields {
+            root: "catalog",
+            rec: "item",
+            common: ["title", "publisher", "price", "date"],
+        },
+        DatasetKind::Dblp => Fields {
+            root: "dblp",
+            rec: "article",
+            common: ["author", "title", "year", "pages"],
+        },
+        DatasetKind::Treebank => Fields {
+            root: "treebank",
+            rec: "s",
+            common: ["np", "vp", "keyword", "note"],
+        },
+    }
+}
+
+/// The Q1–Q12 workload for a dataset; `None` entries are the paper's NA
+/// cells.
+pub fn workload(kind: DatasetKind) -> Vec<(usize, Option<QuerySpec>)> {
+    let f = fields(kind);
+    let base = format!("/{}/{}", f.root, f.rec);
+    let [c1, c2, c3, _c4] = f.common;
+    let q = |id, code, path: String| Some(QuerySpec::new(id, code, path));
+
+    let na_mod_high_bushy_n = matches!(
+        kind,
+        DatasetKind::Author | DatasetKind::Address | DatasetKind::Catalog
+    );
+    let na_value_mod_low = kind == DatasetKind::Treebank;
+
+    vec![
+        (1, q("Q1", "hpy", format!(r#"{base}[keyword="needle-high"]"#))),
+        (2, q("Q2", "hpn", format!("{base}/rareitem/subitem"))),
+        (
+            3,
+            q(
+                "Q3",
+                "hby",
+                format!(r#"{base}[keyword="needle-high"][note="needle-high"]/{c1}"#),
+            ),
+        ),
+        (
+            4,
+            if na_mod_high_bushy_n {
+                None
+            } else {
+                q("Q4", "hbn", format!("{base}[rareitem][{c1}][{c2}][{c3}]"))
+            },
+        ),
+        (
+            5,
+            if na_value_mod_low {
+                None
+            } else {
+                q("Q5", "mpy", format!(r#"{base}[keyword="needle-mod"]/{c1}"#))
+            },
+        ),
+        (
+            6,
+            if na_mod_high_bushy_n {
+                None
+            } else {
+                q("Q6", "mpn", format!("{base}/uncommonitem/subitem"))
+            },
+        ),
+        (
+            7,
+            if na_value_mod_low {
+                None
+            } else {
+                q(
+                    "Q7",
+                    "mby",
+                    format!(r#"{base}[keyword="needle-mod"][note="needle-mod"]"#),
+                )
+            },
+        ),
+        (
+            8,
+            if na_mod_high_bushy_n {
+                None
+            } else {
+                q("Q8", "mbn", format!("{base}[uncommonitem][{c1}][{c2}]"))
+            },
+        ),
+        (
+            9,
+            if na_value_mod_low {
+                None
+            } else {
+                q("Q9", "lpy", format!(r#"{base}[keyword="needle-low"]/{c1}"#))
+            },
+        ),
+        (10, q("Q10", "lpn", format!("{base}/{c1}"))),
+        (
+            11,
+            if na_value_mod_low {
+                None
+            } else {
+                q(
+                    "Q11",
+                    "lby",
+                    format!(r#"{base}[keyword="needle-low"][note="needle-low"]"#),
+                )
+            },
+        ),
+        (12, q("Q12", "lbn", format!("{base}[{c1}][{c2}]"))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate, DatasetKind};
+    use nok_core::naive::NaiveEvaluator;
+    use nok_xml::Document;
+
+    #[test]
+    fn category_codes() {
+        let c = Category::new("hpy");
+        assert_eq!(c.code(), "hpy");
+        assert_eq!((c.selectivity, c.topology, c.value), ('h', 'p', 'y'));
+    }
+
+    #[test]
+    fn descendant_variant_rewrites_first_step() {
+        let spec = QuerySpec::new("Q1", "hpy", "/authors/author[x]/name".into());
+        assert_eq!(spec.descendant_variant, "//author[x]/name");
+    }
+
+    #[test]
+    fn na_layout_mirrors_paper() {
+        for kind in [DatasetKind::Author, DatasetKind::Address, DatasetKind::Catalog] {
+            let w = workload(kind);
+            for (i, spec) in &w {
+                let expect_na = matches!(i, 4 | 6 | 8);
+                assert_eq!(spec.is_none(), expect_na, "{} Q{i}", kind.name());
+            }
+        }
+        let w = workload(DatasetKind::Treebank);
+        for (i, spec) in &w {
+            let expect_na = matches!(i, 5 | 7 | 9 | 11);
+            assert_eq!(spec.is_none(), expect_na, "treebank Q{i}");
+        }
+        assert!(workload(DatasetKind::Dblp).iter().all(|(_, s)| s.is_some()));
+    }
+
+    /// The heart of Table 2: each category's result count must land in its
+    /// selectivity band.
+    #[test]
+    fn selectivity_bands_hold() {
+        for kind in DatasetKind::ALL {
+            let ds = generate(kind, 0.05);
+            let doc = Document::parse(&ds.xml).unwrap();
+            let oracle = NaiveEvaluator::new(&doc);
+            for (i, spec) in workload(kind) {
+                let Some(spec) = spec else { continue };
+                let n = oracle.eval_str(&spec.path).unwrap().len();
+                let sel = spec.category.selectivity;
+                let ok = match sel {
+                    'h' => (1..10).contains(&n),
+                    'm' => (10..100).contains(&n),
+                    'l' => n >= 100,
+                    _ => false,
+                };
+                assert!(
+                    ok,
+                    "{} Q{i} ({}) returned {n} results — outside the '{sel}' band: {}",
+                    kind.name(),
+                    spec.category.code(),
+                    spec.path
+                );
+                // The // variant must also parse and subsume the / results.
+                let n2 = oracle.eval_str(&spec.descendant_variant).unwrap().len();
+                assert!(n2 >= n, "{} Q{i} descendant variant lost results", kind.name());
+            }
+        }
+    }
+}

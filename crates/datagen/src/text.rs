@@ -1,0 +1,91 @@
+//! Word pools and deterministic random text for value fields.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A small pool of surnames (used by author-like fields).
+pub const SURNAMES: &[&str] = &[
+    "Stevens", "Abiteboul", "Buneman", "Suciu", "Gerbarg", "Zhang", "Kacholia", "Ozsu", "Codd",
+    "Gray", "Stonebraker", "Ullman", "Widom", "Knuth", "Lamport", "Liskov", "Hoare", "Dijkstra",
+    "Tarjan", "Karp", "Rivest", "Floyd", "Bayer", "Comer", "Aho", "Hopcroft", "Garcia", "Molina",
+    "DeWitt", "Naughton",
+];
+
+/// First names.
+pub const FIRSTNAMES: &[&str] = &[
+    "W.", "Serge", "Peter", "Dan", "Darcy", "Ning", "Varun", "Tamer", "Edgar", "Jim", "Michael",
+    "Jeffrey", "Jennifer", "Donald", "Leslie", "Barbara", "Tony", "Edsger", "Robert", "Richard",
+];
+
+/// Title words.
+pub const TITLE_WORDS: &[&str] = &[
+    "data", "systems", "efficient", "query", "processing", "advanced", "streams", "storage",
+    "indexing", "distributed", "theory", "practice", "scalable", "adaptive", "pattern", "matching",
+    "succinct", "physical", "evaluation", "path", "structures", "algorithms", "networks",
+    "transactions", "optimization", "semantics", "recovery", "concurrency",
+];
+
+/// Cities for address-like fields.
+pub const CITIES: &[&str] = &[
+    "Waterloo", "Toronto", "Bombay", "Seattle", "Madison", "Stanford", "Ithaca", "Cambridge",
+    "Princeton", "Berkeley", "Austin", "Zurich", "Paris", "Athens", "Kyoto", "Sydney",
+];
+
+/// Publishers.
+pub const PUBLISHERS: &[&str] = &[
+    "Addison-Wesley",
+    "Morgan Kaufmann Publishers",
+    "Kluwer Academic Publishers",
+    "Springer",
+    "Prentice Hall",
+    "MIT Press",
+    "ACM Press",
+    "IEEE Computer Society",
+];
+
+/// Pick one item from a pool.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A space-joined phrase of `n` title words.
+pub fn phrase(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, TITLE_WORDS));
+    }
+    out
+}
+
+/// A random 8-character token (high-selectivity values, as in Treebank:
+/// "values in Treebank were randomly generated").
+pub fn token(rng: &mut StdRng) -> String {
+    (0..8)
+        .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(phrase(&mut a, 4), phrase(&mut b, 4));
+        assert_eq!(token(&mut a), token(&mut b));
+    }
+
+    #[test]
+    fn pools_nonempty() {
+        assert!(!SURNAMES.is_empty());
+        assert!(!CITIES.is_empty());
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!pick(&mut r, PUBLISHERS).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Errors produced by the paged-storage layer.
+
+use std::fmt;
+use std::io;
+
+use crate::storage::PageId;
+
+/// Result alias for pager operations.
+pub type PagerResult<T> = Result<T, PagerError>;
+
+/// Errors produced by storages and buffer pools.
+#[derive(Debug)]
+pub enum PagerError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page id beyond the end of the storage was requested.
+    PageOutOfRange {
+        /// Requested page.
+        page: PageId,
+        /// Number of pages in the storage.
+        count: u32,
+    },
+    /// The storage file's header did not match the expected magic/page size.
+    Corrupt(String),
+}
+
+impl fmt::Display for PagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagerError::Io(e) => write!(f, "I/O error: {e}"),
+            PagerError::PageOutOfRange { page, count } => {
+                write!(f, "page {page} out of range (storage has {count} pages)")
+            }
+            PagerError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PagerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PagerError {
+    fn from(e: io::Error) -> Self {
+        PagerError::Io(e)
+    }
+}

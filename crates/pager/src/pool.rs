@@ -1,0 +1,351 @@
+//! The buffer pool.
+//!
+//! Frames are reference-counted: a [`PageHandle`] keeps its frame pinned, and
+//! a frame is evictable exactly when no handle to it is alive. LRU order is
+//! maintained with a monotone clock stamp per frame (simple and adequate for
+//! pool sizes in the thousands).
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::error::PagerResult;
+use crate::stats::IoStats;
+use crate::storage::{PageId, Storage};
+
+#[derive(Debug)]
+struct Frame {
+    data: Rc<RefCell<Box<[u8]>>>,
+    dirty: Rc<std::cell::Cell<bool>>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+}
+
+/// A pinned page. Holding the handle keeps the page in the pool; dropping it
+/// makes the frame evictable again. Obtain the bytes with [`PageHandle::read`]
+/// or [`PageHandle::write`] (the latter marks the page dirty).
+#[derive(Debug, Clone)]
+pub struct PageHandle {
+    id: PageId,
+    data: Rc<RefCell<Box<[u8]>>>,
+    dirty: Rc<std::cell::Cell<bool>>,
+}
+
+impl PageHandle {
+    /// Page id this handle refers to.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Immutable view of the page bytes.
+    pub fn read(&self) -> Ref<'_, [u8]> {
+        Ref::map(self.data.borrow(), |b| &**b)
+    }
+
+    /// Mutable view of the page bytes; marks the page dirty.
+    pub fn write(&self) -> RefMut<'_, [u8]> {
+        self.dirty.set(true);
+        RefMut::map(self.data.borrow_mut(), |b| &mut **b)
+    }
+}
+
+/// An LRU buffer pool over a [`Storage`].
+///
+/// All methods take `&self`; interior mutability keeps cursor code (which
+/// holds handles while requesting more pages) borrow-checker friendly.
+#[derive(Debug)]
+pub struct BufferPool<S: Storage> {
+    storage: RefCell<S>,
+    inner: RefCell<PoolInner>,
+    capacity: usize,
+    stats: IoStats,
+}
+
+impl<S: Storage> BufferPool<S> {
+    /// Default number of frames. The paper's premise is that page *headers*
+    /// fit in memory but page *contents* do not; a modest pool models that.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Create a pool with the default capacity.
+    pub fn new(storage: S) -> Self {
+        Self::with_capacity(storage, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Create a pool holding at most `capacity` unpinned frames. A capacity
+    /// of 0 disables caching entirely (every get is a physical read) — used
+    /// by tests that want raw I/O counts.
+    pub fn with_capacity(storage: S, capacity: usize) -> Self {
+        BufferPool {
+            storage: RefCell::new(storage),
+            inner: RefCell::new(PoolInner::default()),
+            capacity,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Page size of the underlying storage.
+    pub fn page_size(&self) -> usize {
+        self.storage.borrow().page_size()
+    }
+
+    /// Number of pages in the underlying storage.
+    pub fn page_count(&self) -> u32 {
+        self.storage.borrow().page_count()
+    }
+
+    /// I/O statistics (shared counters; reset with `stats().reset()`).
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_frames(&self) -> usize {
+        self.inner.borrow().frames.len()
+    }
+
+    /// Fetch page `id`, reading it from storage on a miss.
+    pub fn get(&self, id: PageId) -> PagerResult<PageHandle> {
+        self.stats.count_get();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(frame) = inner.frames.get_mut(&id) {
+                frame.last_used = clock;
+                return Ok(PageHandle {
+                    id,
+                    data: Rc::clone(&frame.data),
+                    dirty: Rc::clone(&frame.dirty),
+                });
+            }
+        }
+        // Miss: read from storage.
+        let page_size = self.page_size();
+        let mut buf = vec![0u8; page_size].into_boxed_slice();
+        self.storage.borrow_mut().read_page(id, &mut buf)?;
+        self.stats.count_read();
+        self.install(id, buf, false)
+    }
+
+    /// Allocate a fresh zeroed page and return a pinned handle to it.
+    pub fn allocate(&self) -> PagerResult<(PageId, PageHandle)> {
+        let id = self.storage.borrow_mut().allocate_page()?;
+        let buf = vec![0u8; self.page_size()].into_boxed_slice();
+        let handle = self.install(id, buf, true)?;
+        Ok((id, handle))
+    }
+
+    fn install(&self, id: PageId, buf: Box<[u8]>, dirty: bool) -> PagerResult<PageHandle> {
+        let data = Rc::new(RefCell::new(buf));
+        let dirty = Rc::new(std::cell::Cell::new(dirty));
+        if self.capacity == 0 {
+            // Cache-less mode: hand out the frame without retaining it. The
+            // handle itself still works; the page is simply re-read next time.
+            // Dirty data would be lost, so cache-less pools are read-only in
+            // practice (only tests use them).
+            return Ok(PageHandle { id, data, dirty });
+        }
+        self.evict_if_needed()?;
+        let mut inner = self.inner.borrow_mut();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.frames.insert(
+            id,
+            Frame {
+                data: Rc::clone(&data),
+                dirty: Rc::clone(&dirty),
+                last_used: clock,
+            },
+        );
+        Ok(PageHandle { id, data, dirty })
+    }
+
+    /// Evict LRU unpinned frames until there is room for one more. Pinned
+    /// frames (live handles) are never evicted; if everything is pinned the
+    /// pool temporarily grows past `capacity` rather than failing — the
+    /// matcher's correctness never depends on the pool size.
+    fn evict_if_needed(&self) -> PagerResult<()> {
+        loop {
+            let victim = {
+                let inner = self.inner.borrow();
+                if inner.frames.len() < self.capacity {
+                    return Ok(());
+                }
+                inner
+                    .frames
+                    .iter()
+                    .filter(|(_, f)| Rc::strong_count(&f.data) == 1)
+                    .min_by_key(|(_, f)| f.last_used)
+                    .map(|(&id, _)| id)
+            };
+            let Some(id) = victim else {
+                return Ok(()); // everything pinned: grow
+            };
+            let frame = self.inner.borrow_mut().frames.remove(&id).expect("victim exists");
+            if frame.dirty.get() {
+                self.storage
+                    .borrow_mut()
+                    .write_page(id, &frame.data.borrow())?;
+                self.stats.count_write();
+            }
+            self.stats.count_eviction();
+        }
+    }
+
+    /// Write every dirty frame back to storage and sync it.
+    pub fn flush(&self) -> PagerResult<()> {
+        let inner = self.inner.borrow();
+        let mut storage = self.storage.borrow_mut();
+        for (&id, frame) in &inner.frames {
+            if frame.dirty.get() {
+                storage.write_page(id, &frame.data.borrow())?;
+                frame.dirty.set(false);
+                self.stats.count_write();
+            }
+        }
+        storage.sync()?;
+        Ok(())
+    }
+
+    /// Drop every *unpinned* cached frame (flushing dirty ones), so following
+    /// reads are physical. Used between measured queries to cold-start the
+    /// cache.
+    pub fn clear_cache(&self) -> PagerResult<()> {
+        self.flush()?;
+        let mut inner = self.inner.borrow_mut();
+        inner
+            .frames
+            .retain(|_, f| Rc::strong_count(&f.data) > 1);
+        Ok(())
+    }
+
+    /// Consume the pool, flushing and returning the storage.
+    pub fn into_storage(self) -> PagerResult<S> {
+        self.flush()?;
+        Ok(self.storage.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn pool_with_pages(n: u32, capacity: usize) -> BufferPool<MemStorage> {
+        let pool = BufferPool::with_capacity(MemStorage::with_page_size(128), capacity);
+        for i in 0..n {
+            let (id, h) = pool.allocate().unwrap();
+            assert_eq!(id, i);
+            h.write()[0] = i as u8;
+        }
+        pool.flush().unwrap();
+        pool.clear_cache().unwrap();
+        pool.stats().reset();
+        pool
+    }
+
+    #[test]
+    fn get_returns_page_contents() {
+        let pool = pool_with_pages(4, 8);
+        for i in 0..4 {
+            let h = pool.get(i).unwrap();
+            assert_eq!(h.read()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn hits_do_not_touch_storage() {
+        let pool = pool_with_pages(2, 8);
+        pool.get(0).unwrap();
+        pool.get(0).unwrap();
+        pool.get(0).unwrap();
+        assert_eq!(pool.stats().logical_gets(), 3);
+        assert_eq!(pool.stats().physical_reads(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = pool_with_pages(3, 2);
+        pool.get(0).unwrap();
+        pool.get(1).unwrap(); // pool: {0,1}
+        pool.get(2).unwrap(); // evicts 0
+        assert_eq!(pool.stats().evictions(), 1);
+        pool.get(1).unwrap(); // still cached
+        assert_eq!(pool.stats().physical_reads(), 3);
+        pool.get(0).unwrap(); // must re-read
+        assert_eq!(pool.stats().physical_reads(), 4);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let pool = pool_with_pages(4, 2);
+        let pinned = pool.get(0).unwrap();
+        pinned.write()[1] = 99;
+        for i in 1..4 {
+            pool.get(i).unwrap();
+        }
+        // Frame 0 was pinned the whole time: reading it again must be a hit
+        // and must see our modification.
+        let before = pool.stats().physical_reads();
+        let again = pool.get(0).unwrap();
+        assert_eq!(pool.stats().physical_reads(), before);
+        assert_eq!(again.read()[1], 99);
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let pool = pool_with_pages(3, 1);
+        {
+            let h = pool.get(0).unwrap();
+            h.write()[5] = 123;
+        }
+        pool.get(1).unwrap(); // evicts dirty page 0
+        pool.get(2).unwrap();
+        let h = pool.get(0).unwrap();
+        assert_eq!(h.read()[5], 123);
+    }
+
+    #[test]
+    fn flush_persists_into_storage() {
+        let pool = BufferPool::with_capacity(MemStorage::with_page_size(128), 4);
+        let (id, h) = pool.allocate().unwrap();
+        h.write()[3] = 77;
+        drop(h);
+        let mut storage = pool.into_storage().unwrap();
+        let mut buf = vec![0u8; 128];
+        storage.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf[3], 77);
+    }
+
+    #[test]
+    fn clear_cache_forces_physical_reads() {
+        let pool = pool_with_pages(2, 8);
+        pool.get(0).unwrap();
+        pool.clear_cache().unwrap();
+        pool.stats().reset();
+        pool.get(0).unwrap();
+        assert_eq!(pool.stats().physical_reads(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_pool_always_reads() {
+        let pool = pool_with_pages(2, 0);
+        pool.get(0).unwrap();
+        pool.get(0).unwrap();
+        assert_eq!(pool.stats().physical_reads(), 2);
+    }
+
+    #[test]
+    fn handle_clone_shares_frame() {
+        let pool = pool_with_pages(1, 4);
+        let a = pool.get(0).unwrap();
+        let b = a.clone();
+        a.write()[0] = 9;
+        assert_eq!(b.read()[0], 9);
+    }
+}

@@ -1,0 +1,110 @@
+//! I/O statistics counters.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Counters kept by a [`crate::BufferPool`].
+///
+/// `logical_gets` counts every page request; `physical_reads` counts only
+/// those that missed the pool and hit the storage. Proposition 1 of the paper
+/// is verified by asserting `physical_reads ≤ pages_in_store` for a whole
+/// query (each page read at most once).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    logical_gets: Cell<u64>,
+    physical_reads: Cell<u64>,
+    physical_writes: Cell<u64>,
+    evictions: Cell<u64>,
+}
+
+impl IoStats {
+    /// Total page requests served (hits + misses).
+    pub fn logical_gets(&self) -> u64 {
+        self.logical_gets.get()
+    }
+
+    /// Pages actually read from the storage.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.get()
+    }
+
+    /// Pages written back to the storage.
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes.get()
+    }
+
+    /// Frames evicted from the pool.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Buffer-pool hit ratio in `[0, 1]`; 1.0 when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        let gets = self.logical_gets();
+        if gets == 0 {
+            return 1.0;
+        }
+        1.0 - self.physical_reads() as f64 / gets as f64
+    }
+
+    /// Zero every counter (used between measured queries).
+    pub fn reset(&self) {
+        self.logical_gets.set(0);
+        self.physical_reads.set(0);
+        self.physical_writes.set(0);
+        self.evictions.set(0);
+    }
+
+    pub(crate) fn count_get(&self) {
+        self.logical_gets.set(self.logical_gets.get() + 1);
+    }
+
+    pub(crate) fn count_read(&self) {
+        self.physical_reads.set(self.physical_reads.get() + 1);
+    }
+
+    pub(crate) fn count_write(&self) {
+        self.physical_writes.set(self.physical_writes.get() + 1);
+    }
+
+    pub(crate) fn count_eviction(&self) {
+        self.evictions.set(self.evictions.get() + 1);
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gets={} reads={} writes={} evictions={} hit={:.3}",
+            self.logical_gets(),
+            self.physical_reads(),
+            self.physical_writes(),
+            self.evictions(),
+            self.hit_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::default();
+        s.count_get();
+        s.count_get();
+        s.count_read();
+        s.count_write();
+        s.count_eviction();
+        assert_eq!(s.logical_gets(), 2);
+        assert_eq!(s.physical_reads(), 1);
+        assert_eq!(s.physical_writes(), 1);
+        assert_eq!(s.evictions(), 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.logical_gets(), 0);
+        assert_eq!(s.hit_ratio(), 1.0);
+    }
+}

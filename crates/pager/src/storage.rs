@@ -1,0 +1,298 @@
+//! Page storage backends.
+//!
+//! A [`Storage`] is a flat array of fixed-size pages addressed by [`PageId`].
+//! [`MemStorage`] backs tests and benchmarks that want to exclude disk noise;
+//! [`FileStorage`] persists to a single file with a small superblock header
+//! so stores survive process restarts.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{PagerError, PagerResult};
+
+/// Identifier of a page within one storage. Page 0 is the first data page
+/// (the file header lives before it and is not addressable).
+pub type PageId = u32;
+
+/// Default page size used throughout the system — the value the paper's
+/// capacity computation assumes ("assume that each page is 4KB").
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Abstract array-of-pages backend.
+pub trait Storage {
+    /// Size in bytes of every page.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+
+    /// Read page `id` into `buf` (`buf.len() == page_size()`).
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> PagerResult<()>;
+
+    /// Write `buf` to page `id` (`buf.len() == page_size()`).
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> PagerResult<()>;
+
+    /// Append a zeroed page and return its id.
+    fn allocate_page(&mut self) -> PagerResult<PageId>;
+
+    /// Flush to durable media (no-op for memory).
+    fn sync(&mut self) -> PagerResult<()>;
+}
+
+/// In-memory page array.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    page_size: usize,
+    pages: Vec<Box<[u8]>>,
+}
+
+impl MemStorage {
+    /// Create an empty in-memory storage with the default page size.
+    pub fn new() -> Self {
+        Self::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Create an empty in-memory storage with a custom page size (benchmarks
+    /// sweep this to regenerate the paper's capacity table).
+    pub fn with_page_size(page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size too small to hold any header");
+        MemStorage {
+            page_size,
+            pages: Vec::new(),
+        }
+    }
+}
+
+impl Storage for MemStorage {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> PagerResult<()> {
+        let page = self
+            .pages
+            .get(id as usize)
+            .ok_or(PagerError::PageOutOfRange {
+                page: id,
+                count: self.pages.len() as u32,
+            })?;
+        buf.copy_from_slice(page);
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> PagerResult<()> {
+        let count = self.pages.len() as u32;
+        let page = self
+            .pages
+            .get_mut(id as usize)
+            .ok_or(PagerError::PageOutOfRange { page: id, count })?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> PagerResult<PageId> {
+        let id = self.pages.len() as u32;
+        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(id)
+    }
+
+    fn sync(&mut self) -> PagerResult<()> {
+        Ok(())
+    }
+}
+
+const FILE_MAGIC: &[u8; 8] = b"NOKPAGE1";
+const HEADER_LEN: u64 = 16; // magic (8) + page_size (4) + page_count (4)
+
+/// A storage persisted in a single file: 16-byte superblock followed by the
+/// page array.
+#[derive(Debug)]
+pub struct FileStorage {
+    file: File,
+    page_size: usize,
+    page_count: u32,
+}
+
+impl FileStorage {
+    /// Create a new (truncated) storage file with the default page size.
+    pub fn create<P: AsRef<Path>>(path: P) -> PagerResult<Self> {
+        Self::create_with_page_size(path, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Create a new (truncated) storage file with a custom page size.
+    pub fn create_with_page_size<P: AsRef<Path>>(path: P, page_size: usize) -> PagerResult<Self> {
+        assert!(page_size >= 64, "page size too small to hold any header");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[..8].copy_from_slice(FILE_MAGIC);
+        header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&0u32.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(FileStorage {
+            file,
+            page_size,
+            page_count: 0,
+        })
+    }
+
+    /// Open an existing storage file, validating the superblock.
+    pub fn open<P: AsRef<Path>>(path: P) -> PagerResult<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        if &header[..8] != FILE_MAGIC {
+            return Err(PagerError::Corrupt("bad magic in storage file".into()));
+        }
+        let page_size = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+        let page_count = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+        if page_size < 64 {
+            return Err(PagerError::Corrupt(format!(
+                "implausible page size {page_size}"
+            )));
+        }
+        Ok(FileStorage {
+            file,
+            page_size,
+            page_count,
+        })
+    }
+
+    fn offset_of(&self, id: PageId) -> u64 {
+        HEADER_LEN + id as u64 * self.page_size as u64
+    }
+
+    fn persist_page_count(&mut self) -> PagerResult<()> {
+        self.file.seek(SeekFrom::Start(12))?;
+        self.file.write_all(&self.page_count.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+impl Storage for FileStorage {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> PagerResult<()> {
+        if id >= self.page_count {
+            return Err(PagerError::PageOutOfRange {
+                page: id,
+                count: self.page_count,
+            });
+        }
+        let off = self.offset_of(id);
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> PagerResult<()> {
+        if id >= self.page_count {
+            return Err(PagerError::PageOutOfRange {
+                page: id,
+                count: self.page_count,
+            });
+        }
+        let off = self.offset_of(id);
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> PagerResult<PageId> {
+        let id = self.page_count;
+        let zeros = vec![0u8; self.page_size];
+        let off = self.offset_of(id);
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(&zeros)?;
+        self.page_count += 1;
+        self.persist_page_count()?;
+        Ok(id)
+    }
+
+    fn sync(&mut self) -> PagerResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trip() {
+        let mut s = MemStorage::with_page_size(128);
+        let p0 = s.allocate_page().unwrap();
+        let p1 = s.allocate_page().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        let mut buf = vec![7u8; 128];
+        s.write_page(p1, &buf).unwrap();
+        buf.fill(0);
+        s.read_page(p1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+        s.read_page(p0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mem_storage_out_of_range() {
+        let mut s = MemStorage::new();
+        let mut buf = vec![0u8; s.page_size()];
+        assert!(matches!(
+            s.read_page(3, &mut buf),
+            Err(PagerError::PageOutOfRange { page: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn file_storage_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("nok-pager-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.pg");
+        {
+            let mut s = FileStorage::create_with_page_size(&path, 256).unwrap();
+            let p = s.allocate_page().unwrap();
+            let buf = vec![42u8; 256];
+            s.write_page(p, &buf).unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            assert_eq!(s.page_size(), 256);
+            assert_eq!(s.page_count(), 1);
+            let mut buf = vec![0u8; 256];
+            s.read_page(0, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 42));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_storage_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("nok-pager-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.pg");
+        std::fs::write(&path, b"this is not a page file header!!").unwrap();
+        assert!(matches!(
+            FileStorage::open(&path),
+            Err(PagerError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,448 @@
+//! A small arena-based DOM.
+//!
+//! Used as (a) the test oracle against which the succinct store's navigation
+//! primitives are verified, (b) the in-memory tree behind the navigational
+//! baseline engine, and (c) a convenient builder for fixtures. Nodes live in
+//! a flat arena indexed by [`NodeId`]; parent/child/sibling links are indices,
+//! so the structure is cheap to build and traverse.
+
+use crate::error::XmlResult;
+use crate::event::{Attribute, Event};
+use crate::reader::Reader;
+
+/// Index of a node in a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root element of any document.
+    pub const ROOT: NodeId = NodeId(0);
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Payload of an element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElemData {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<Attribute>,
+}
+
+/// A DOM node: either an element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with a name and attributes.
+    Element(ElemData),
+    /// A text node.
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct NodeRec {
+    node: Node,
+    parent: Option<NodeId>,
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    prev_sibling: Option<NodeId>,
+}
+
+/// An owned XML document: an arena of nodes rooted at [`NodeId::ROOT`].
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<NodeRec>,
+}
+
+impl Document {
+    /// Parse `input` into a DOM.
+    pub fn parse(input: &str) -> XmlResult<Document> {
+        let reader = Reader::content_only(input);
+        Document::from_events(reader)
+    }
+
+    /// Build a DOM from a stream of events. Comments and PIs are ignored.
+    pub fn from_events<I>(events: I) -> XmlResult<Document>
+    where
+        I: IntoIterator<Item = XmlResult<Event>>,
+    {
+        let mut doc = Document { nodes: Vec::new() };
+        let mut stack: Vec<NodeId> = Vec::new();
+        for ev in events {
+            match ev? {
+                Event::Start { name, attrs } => {
+                    let id = doc.push_node(Node::Element(ElemData { name, attrs }));
+                    if let Some(&parent) = stack.last() {
+                        doc.attach(parent, id);
+                    }
+                    stack.push(id);
+                }
+                Event::End { .. } => {
+                    stack.pop();
+                }
+                Event::Text(text) => {
+                    if let Some(&parent) = stack.last() {
+                        let id = doc.push_node(Node::Text(text));
+                        doc.attach(parent, id);
+                    }
+                }
+                Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Create a document with just a root element; use [`Document::add_element`]
+    /// and [`Document::add_text`] to grow it.
+    pub fn with_root(name: &str) -> Document {
+        let mut doc = Document { nodes: Vec::new() };
+        doc.push_node(Node::Element(ElemData {
+            name: name.to_string(),
+            attrs: Vec::new(),
+        }));
+        doc
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeRec {
+            node,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        });
+        id
+    }
+
+    fn attach(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[child.idx()].parent = Some(parent);
+        match self.nodes[parent.idx()].last_child {
+            Some(prev) => {
+                self.nodes[prev.idx()].next_sibling = Some(child);
+                self.nodes[child.idx()].prev_sibling = Some(prev);
+            }
+            None => self.nodes[parent.idx()].first_child = Some(child),
+        }
+        self.nodes[parent.idx()].last_child = Some(child);
+    }
+
+    /// Append a new element under `parent`, returning its id.
+    pub fn add_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let id = self.push_node(Node::Element(ElemData {
+            name: name.to_string(),
+            attrs: Vec::new(),
+        }));
+        self.attach(parent, id);
+        id
+    }
+
+    /// Append a text node under `parent`, returning its id.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let id = self.push_node(Node::Text(text.to_string()));
+        self.attach(parent, id);
+        id
+    }
+
+    /// Add an attribute to an element node.
+    ///
+    /// # Panics
+    /// Panics if `id` refers to a text node (builder misuse, not data error).
+    pub fn add_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        match &mut self.nodes[id.idx()].node {
+            Node::Element(e) => e.attrs.push(Attribute {
+                name: name.to_string(),
+                value: value.to_string(),
+            }),
+            Node::Text(_) => panic!("add_attr on a text node"),
+        }
+    }
+
+    /// Number of nodes (elements + text) in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena contains no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()].node
+    }
+
+    /// Parent of `id`, if any.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// First child of `id`, if any.
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].first_child
+    }
+
+    /// Next sibling of `id`, if any.
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].next_sibling
+    }
+
+    /// Previous sibling of `id`, if any.
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].prev_sibling
+    }
+
+    /// Tag name if `id` is an element.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match self.node(id) {
+            Node::Element(e) => Some(&e.name),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Attributes if `id` is an element.
+    pub fn attrs(&self, id: NodeId) -> &[Attribute] {
+        match self.node(id) {
+            Node::Element(e) => &e.attrs,
+            Node::Text(_) => &[],
+        }
+    }
+
+    /// Iterate over the children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.first_child(id),
+        }
+    }
+
+    /// Iterate over the element children of `id` in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .filter(|&c| matches!(self.node(c), Node::Element(_)))
+    }
+
+    /// Concatenated text of the *direct* text children of `id`.
+    ///
+    /// This is the "value" of an element in the paper's sense: element
+    /// contents are detached and stored in the data file.
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for c in self.children(id) {
+            if let Node::Text(t) = self.node(c) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Pre-order (document order) traversal of all nodes from the root.
+    pub fn preorder(&self) -> Preorder<'_> {
+        let start = if self.nodes.is_empty() {
+            None
+        } else {
+            Some(NodeId::ROOT)
+        };
+        Preorder { doc: self, next: start }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `root` (inclusive).
+    pub fn preorder_from(&self, root: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut stack = vec![root];
+        std::iter::from_fn(move || {
+            let id = stack.pop()?;
+            let mut kids: Vec<NodeId> = self.children(id).collect();
+            kids.reverse();
+            stack.extend(kids);
+            Some(id)
+        })
+    }
+
+    /// Depth of `id` (root = 1, matching the paper's level convention).
+    pub fn level(&self, id: NodeId) -> u32 {
+        let mut l = 1;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            l += 1;
+            cur = p;
+        }
+        l
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.node, Node::Element(_)))
+            .count()
+    }
+
+    /// Replay the document as parser events (elements and text only).
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        self.emit(NodeId::ROOT, &mut out);
+        out
+    }
+
+    fn emit(&self, id: NodeId, out: &mut Vec<Event>) {
+        match self.node(id) {
+            Node::Element(e) => {
+                out.push(Event::Start {
+                    name: e.name.clone(),
+                    attrs: e.attrs.clone(),
+                });
+                for c in self.children(id) {
+                    self.emit(c, out);
+                }
+                out.push(Event::End {
+                    name: e.name.clone(),
+                });
+            }
+            Node::Text(t) => out.push(Event::Text(t.clone())),
+        }
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.next_sibling(id);
+        Some(id)
+    }
+}
+
+/// Pre-order iterator over a whole document.
+pub struct Preorder<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        // first child, else next sibling, else climb.
+        self.next = self.doc.first_child(id).or_else(|| {
+            let mut cur = id;
+            loop {
+                if let Some(s) = self.doc.next_sibling(cur) {
+                    return Some(s);
+                }
+                match self.doc.parent(cur) {
+                    Some(p) => cur = p,
+                    None => return None,
+                }
+            }
+        });
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+      <book year="1994"><title>T1</title><price>65.95</price></book>
+      <book year="2000"><title>T2</title><price>39.95</price></book>
+    </bib>"#;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Document::parse(BIB).unwrap();
+        assert_eq!(doc.tag(NodeId::ROOT), Some("bib"));
+        let books: Vec<_> = doc.child_elements(NodeId::ROOT).collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(doc.attrs(books[0])[0].value, "1994");
+        let title = doc.child_elements(books[0]).next().unwrap();
+        assert_eq!(doc.tag(title), Some("title"));
+        assert_eq!(doc.direct_text(title), "T1");
+    }
+
+    #[test]
+    fn sibling_links_consistent() {
+        let doc = Document::parse(BIB).unwrap();
+        let books: Vec<_> = doc.child_elements(NodeId::ROOT).collect();
+        // The whitespace between the two <book> elements is a text node, so
+        // the previous *sibling* is text and the previous *element* is book.
+        let prev = doc.prev_sibling(books[1]).unwrap();
+        assert!(matches!(doc.node(prev), Node::Text(_)));
+        assert_eq!(doc.prev_sibling(prev), Some(books[0]));
+        assert_eq!(doc.parent(books[0]), Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let tags: Vec<_> = doc
+            .preorder()
+            .filter_map(|id| doc.tag(id).map(|s| s.to_string()))
+            .collect();
+        assert_eq!(tags, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn preorder_from_subtree() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let b = doc.child_elements(NodeId::ROOT).next().unwrap();
+        let tags: Vec<_> = doc
+            .preorder_from(b)
+            .filter_map(|id| doc.tag(id).map(str::to_string))
+            .collect();
+        assert_eq!(tags, ["b", "c"]);
+    }
+
+    #[test]
+    fn levels_root_is_one() {
+        let doc = Document::parse("<a><b><c/></b></a>").unwrap();
+        let ids: Vec<_> = doc.preorder().collect();
+        assert_eq!(doc.level(ids[0]), 1);
+        assert_eq!(doc.level(ids[1]), 2);
+        assert_eq!(doc.level(ids[2]), 3);
+    }
+
+    #[test]
+    fn builder_api() {
+        let mut doc = Document::with_root("r");
+        let a = doc.add_element(NodeId::ROOT, "a");
+        doc.add_text(a, "hello");
+        doc.add_attr(a, "k", "v");
+        assert_eq!(doc.direct_text(a), "hello");
+        assert_eq!(doc.attrs(a)[0].name, "k");
+        assert_eq!(doc.element_count(), 2);
+    }
+
+    #[test]
+    fn to_events_round_trips() {
+        let doc = Document::parse("<a><b>x</b><c/></a>").unwrap();
+        let evs = doc.to_events();
+        let doc2 = Document::from_events(evs.into_iter().map(Ok)).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+        let tags1: Vec<_> = doc.preorder().map(|i| doc.node(i).clone()).collect();
+        let tags2: Vec<_> = doc2.preorder().map(|i| doc2.node(i).clone()).collect();
+        assert_eq!(tags1, tags2);
+    }
+
+    #[test]
+    fn direct_text_skips_nested() {
+        let doc = Document::parse("<a>x<b>inner</b>y</a>").unwrap();
+        assert_eq!(doc.direct_text(NodeId::ROOT), "xy");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// Result alias used throughout `nok-xml`.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// A parse error with the byte offset and 1-based line/column where it was
+/// detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes within the line).
+    pub column: u32,
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+}
+
+/// The category of parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot start or continue the current construct.
+    Unexpected { expected: &'static str, found: char },
+    /// `</b>` closing a `<a>`.
+    MismatchedClose { open: String, close: String },
+    /// A close tag with no matching open tag.
+    UnmatchedClose(String),
+    /// Open tags left on the stack at end of input.
+    UnclosedElement(String),
+    /// Same attribute name twice on one element.
+    DuplicateAttribute(String),
+    /// `&foo;` where `foo` is not predefined / numeric.
+    UnknownEntity(String),
+    /// Malformed `&#...;` reference.
+    BadCharRef(String),
+    /// Document has no root element, or text outside the root.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+    /// Non-whitespace character data outside the root element.
+    TextOutsideRoot,
+    /// Name does not start with a valid name-start character.
+    InvalidName,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input while reading {what}")
+            }
+            XmlErrorKind::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            XmlErrorKind::MismatchedClose { open, close } => {
+                write!(f, "closing tag </{close}> does not match open tag <{open}>")
+            }
+            XmlErrorKind::UnmatchedClose(name) => {
+                write!(f, "closing tag </{name}> has no matching open tag")
+            }
+            XmlErrorKind::UnclosedElement(name) => write!(f, "element <{name}> is never closed"),
+            XmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            XmlErrorKind::BadCharRef(text) => write!(f, "bad character reference &#{text};"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::MultipleRoots => write!(f, "document has more than one root element"),
+            XmlErrorKind::TextOutsideRoot => {
+                write!(f, "non-whitespace character data outside the root element")
+            }
+            XmlErrorKind::InvalidName => write!(f, "invalid XML name"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

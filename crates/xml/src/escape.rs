@@ -1,0 +1,102 @@
+//! Escaping and unescaping of character data and attribute values.
+
+use std::borrow::Cow;
+
+/// Escape the characters that must not appear literally in character data
+/// (`&`, `<`, `>`) and, additionally for attribute values, `"`.
+///
+/// Returns a borrowed `Cow` when no escaping was necessary, which is the
+/// common case for the data-centric documents this system stores.
+pub fn escape_text(input: &str) -> Cow<'_, str> {
+    escape_impl(input, false)
+}
+
+/// Escape a value for inclusion inside a double-quoted attribute.
+pub fn escape_attr(input: &str) -> Cow<'_, str> {
+    escape_impl(input, true)
+}
+
+fn escape_impl(input: &str, attr: bool) -> Cow<'_, str> {
+    let needs = input
+        .bytes()
+        .any(|b| b == b'&' || b == b'<' || b == b'>' || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(input);
+    }
+    let mut out = String::with_capacity(input.len() + 8);
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a predefined entity name to its character, if it is one of the
+/// five defined by the XML specification.
+pub fn predefined_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => None,
+    }
+}
+
+/// Parse a numeric character reference body (the part between `&#` and `;`),
+/// e.g. `"65"` or `"x41"`.
+pub fn char_ref(body: &str) -> Option<char> {
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    char::from_u32(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_escapes_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attr_escapes_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+        // Text escaping leaves quotes alone.
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(predefined_entity("amp"), Some('&'));
+        assert_eq!(predefined_entity("lt"), Some('<'));
+        assert_eq!(predefined_entity("gt"), Some('>'));
+        assert_eq!(predefined_entity("apos"), Some('\''));
+        assert_eq!(predefined_entity("quot"), Some('"'));
+        assert_eq!(predefined_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn char_refs_decimal_and_hex() {
+        assert_eq!(char_ref("65"), Some('A'));
+        assert_eq!(char_ref("x41"), Some('A'));
+        assert_eq!(char_ref("X41"), Some('A'));
+        assert_eq!(char_ref("x110000"), None); // beyond Unicode
+        assert_eq!(char_ref("zz"), None);
+    }
+}

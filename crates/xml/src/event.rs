@@ -1,0 +1,67 @@
+//! Pull-parser events.
+//!
+//! The event stream is deliberately shaped like SAX: the paper (§4.2) points
+//! out that its physical string representation is exactly the SAX stream with
+//! every open tag mapped to a Σ character and every close tag mapped to `)`.
+//! [`Event::Start`] / [`Event::End`] are those two signals.
+
+/// One attribute on a start tag, with its value already unescaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written (no namespace processing).
+    pub name: String,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+/// A single parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name a="v" ...>`. Self-closing tags produce a `Start` immediately
+    /// followed by a matching `End`.
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<Attribute>,
+    },
+    /// `</name>` (or the synthetic end of a self-closing tag).
+    End {
+        /// Element name (always matches the corresponding `Start`).
+        name: String,
+    },
+    /// Character data (entities resolved). Adjacent text and CDATA runs are
+    /// merged into a single event.
+    Text(String),
+    /// `<!-- ... -->` contents.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// Everything after the target, trimmed of the leading space.
+        data: String,
+    },
+}
+
+impl Event {
+    /// Convenience constructor for an attribute-less start tag.
+    pub fn start(name: &str) -> Self {
+        Event::Start {
+            name: name.to_string(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for an end tag.
+    pub fn end(name: &str) -> Self {
+        Event::End {
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a text event.
+    pub fn text(data: &str) -> Self {
+        Event::Text(data.to_string())
+    }
+}

@@ -1,0 +1,37 @@
+//! # nok-xml
+//!
+//! A from-scratch, dependency-free XML library providing exactly what the NoK
+//! storage system needs:
+//!
+//! * a pull (StAX-style) parser producing [`Event`]s — the analogue of the SAX
+//!   stream the paper builds its succinct string representation from,
+//! * a small owned DOM ([`Document`] / [`Node`]) used for test oracles and the
+//!   navigational baseline engine,
+//! * escaping helpers and a serializer so generated datasets round-trip.
+//!
+//! The parser handles the XML constructs that occur in data-oriented
+//! documents: elements, attributes (single- or double-quoted), character
+//! data, CDATA sections, comments, processing instructions, the XML
+//! declaration, an (ignored) DOCTYPE, the five predefined entities and
+//! numeric character references. It checks well-formedness (tag balance,
+//! attribute uniqueness, single root) and reports positioned errors.
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod event;
+pub mod reader;
+pub mod writer;
+
+pub use dom::{Document, ElemData, Node, NodeId};
+pub use error::{XmlError, XmlResult};
+pub use event::{Attribute, Event};
+pub use reader::Reader;
+pub use writer::{write_document, write_events};
+
+/// Parse a complete document into a DOM tree.
+///
+/// Convenience wrapper over [`Reader`] + [`dom::Document::from_events`].
+pub fn parse_document(input: &str) -> XmlResult<Document> {
+    Document::parse(input)
+}

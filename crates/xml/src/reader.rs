@@ -1,0 +1,665 @@
+//! The pull parser.
+//!
+//! [`Reader`] walks a `&str` once and yields [`Event`]s. It keeps an open-tag
+//! stack so well-formedness (balance, single root) is checked as it goes, and
+//! resolves entity and character references inside text and attribute values.
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::{char_ref, predefined_entity};
+use crate::event::{Attribute, Event};
+
+/// A streaming XML pull parser over a borrowed input string.
+///
+/// ```
+/// use nok_xml::{Reader, Event};
+/// let mut r = Reader::new("<a x='1'><b/>hi</a>");
+/// assert!(matches!(r.next_event().unwrap(), Some(Event::Start { .. })));
+/// ```
+pub struct Reader<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    /// Stack of currently open element names.
+    stack: Vec<String>,
+    /// Whether the (single) root element has been closed already.
+    root_done: bool,
+    /// Whether any root element has been seen.
+    seen_root: bool,
+    /// Pending synthetic end event for a self-closing tag.
+    pending_end: Option<String>,
+    /// When true, skip comments and processing instructions entirely.
+    skip_non_content: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Reader {
+            input: input.as_bytes(),
+            src: input,
+            pos: 0,
+            stack: Vec::new(),
+            root_done: false,
+            seen_root: false,
+            pending_end: None,
+            skip_non_content: false,
+        }
+    }
+
+    /// Create a parser that silently drops comments and processing
+    /// instructions — the mode the storage builder uses, since the subject
+    /// tree only keeps elements, attributes and values.
+    pub fn content_only(input: &'a str) -> Self {
+        let mut r = Reader::new(input);
+        r.skip_non_content = true;
+        r
+    }
+
+    /// Current depth of open elements (0 outside the root).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        self.err_at(self.pos, kind)
+    }
+
+    fn err_at(&self, offset: usize, kind: XmlErrorKind) -> XmlError {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for &b in &self.input[..offset.min(self.input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError {
+            offset,
+            line,
+            column: col,
+            kind,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> XmlResult<()> {
+        match self.bump() {
+            Some(found) if found == b => Ok(()),
+            Some(found) => Err(self.err_at(
+                self.pos - 1,
+                XmlErrorKind::Unexpected {
+                    expected: what,
+                    found: found as char,
+                },
+            )),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof(what))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Scan until the byte sequence `until` is found; return the slice before
+    /// it and advance past it.
+    fn take_until(&mut self, until: &str, what: &'static str) -> XmlResult<&'a str> {
+        let hay = &self.src[self.pos..];
+        match hay.find(until) {
+            Some(i) => {
+                let out = &hay[..i];
+                self.pos += i + until.len();
+                Ok(out)
+            }
+            None => Err(self.err(XmlErrorKind::UnexpectedEof(what))),
+        }
+    }
+
+    fn read_name(&mut self) -> XmlResult<&'a str> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.pos += 1;
+            }
+            Some(b) if b >= 0x80 => {
+                // Accept any non-ASCII character as a name character; full
+                // Unicode name classification is beyond what data-oriented
+                // documents need.
+                self.pos += 1;
+            }
+            _ => return Err(self.err(XmlErrorKind::InvalidName)),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    /// Pull the next event, or `None` at a well-formed end of input.
+    pub fn next_event(&mut self) -> XmlResult<Option<Event>> {
+        if let Some(name) = self.pending_end.take() {
+            self.close_element();
+            return Ok(Some(Event::End { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if let Some(open) = self.stack.last() {
+                    return Err(self.err(XmlErrorKind::UnclosedElement(open.clone())));
+                }
+                if !self.seen_root {
+                    return Err(self.err(XmlErrorKind::NoRootElement));
+                }
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                match self.lt()? {
+                    Some(ev) => return Ok(Some(ev)),
+                    None => continue, // skipped construct (decl, doctype, …)
+                }
+            } else {
+                let ev = self.text()?;
+                match ev {
+                    Some(ev) => return Ok(Some(ev)),
+                    None => continue, // whitespace outside root
+                }
+            }
+        }
+    }
+
+    /// Handle a construct beginning with `<`. Returns `None` for constructs
+    /// that produce no event (XML declaration, DOCTYPE, skipped comments/PIs).
+    fn lt(&mut self) -> XmlResult<Option<Event>> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        if self.starts_with("<!--") {
+            self.pos += 4;
+            let body = self.take_until("-->", "comment")?;
+            if self.skip_non_content {
+                return Ok(None);
+            }
+            return Ok(Some(Event::Comment(body.to_string())));
+        }
+        if self.starts_with("<![CDATA[") {
+            self.pos += 9;
+            let body = self.take_until("]]>", "CDATA section")?;
+            if self.stack.is_empty() {
+                return Err(self.err(XmlErrorKind::TextOutsideRoot));
+            }
+            return Ok(Some(Event::Text(body.to_string())));
+        }
+        if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+            self.skip_doctype()?;
+            return Ok(None);
+        }
+        if self.starts_with("<?") {
+            self.pos += 2;
+            let target = self.read_name()?.to_string();
+            let data = self.take_until("?>", "processing instruction")?;
+            if self.skip_non_content || target.eq_ignore_ascii_case("xml") {
+                return Ok(None);
+            }
+            return Ok(Some(Event::ProcessingInstruction {
+                target,
+                data: data.trim_start().to_string(),
+            }));
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.read_name()?.to_string();
+            self.skip_ws();
+            self.expect(b'>', "'>' after closing tag name")?;
+            match self.stack.last() {
+                Some(open) if *open == name => {
+                    self.close_element();
+                    Ok(Some(Event::End { name }))
+                }
+                Some(open) => Err(self.err(XmlErrorKind::MismatchedClose {
+                    open: open.clone(),
+                    close: name,
+                })),
+                None => Err(self.err(XmlErrorKind::UnmatchedClose(name))),
+            }
+        } else {
+            self.pos += 1; // consume '<'
+            self.start_tag().map(Some)
+        }
+    }
+
+    fn close_element(&mut self) {
+        self.stack.pop();
+        if self.stack.is_empty() {
+            self.root_done = true;
+        }
+    }
+
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        // `<!DOCTYPE ... >`, possibly with a bracketed internal subset whose
+        // markup declarations contain their own `<...>` pairs.
+        self.pos += 2; // past "<!"
+        let mut in_bracket = false;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => in_bracket = true,
+                b']' => in_bracket = false,
+                b'>' if !in_bracket => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof("DOCTYPE declaration")))
+    }
+
+    fn start_tag(&mut self) -> XmlResult<Event> {
+        if self.root_done {
+            return Err(self.err(XmlErrorKind::MultipleRoots));
+        }
+        let name = self.read_name()?.to_string();
+        let mut attrs: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.seen_root = true;
+                    self.stack.push(name.clone());
+                    return Ok(Event::Start { name, attrs });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "'>' after '/' in self-closing tag")?;
+                    self.seen_root = true;
+                    self.stack.push(name.clone());
+                    self.pending_end = Some(name.clone());
+                    return Ok(Event::Start { name, attrs });
+                }
+                Some(_) => {
+                    let attr_name = self.read_name()?.to_string();
+                    if attrs.iter().any(|a| a.name == attr_name) {
+                        return Err(self.err(XmlErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    self.skip_ws();
+                    self.expect(b'=', "'=' after attribute name")?;
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        Some(found) => {
+                            return Err(self.err_at(
+                                self.pos - 1,
+                                XmlErrorKind::Unexpected {
+                                    expected: "quoted attribute value",
+                                    found: found as char,
+                                },
+                            ))
+                        }
+                        None => {
+                            return Err(self.err(XmlErrorKind::UnexpectedEof("attribute value")))
+                        }
+                    };
+                    let value = self.read_quoted(quote)?;
+                    attrs.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof("start tag"))),
+            }
+        }
+    }
+
+    fn read_quoted(&mut self, quote: u8) -> XmlResult<String> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    let c = self.entity()?;
+                    out.push(c);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.src[start..self.pos]);
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof("attribute value"))),
+            }
+        }
+    }
+
+    fn entity(&mut self) -> XmlResult<char> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        if self.eat(b'#') {
+            let body = self.take_until(";", "character reference")?;
+            char_ref(body).ok_or_else(|| {
+                self.err_at(start, XmlErrorKind::BadCharRef(body.to_string()))
+            })
+        } else {
+            let body = self.take_until(";", "entity reference")?;
+            predefined_entity(body)
+                .ok_or_else(|| self.err_at(start, XmlErrorKind::UnknownEntity(body.to_string())))
+        }
+    }
+
+    /// Read a run of character data up to the next `<`. Returns `None` if the
+    /// run is entirely whitespace outside the root (legal, produces nothing).
+    fn text(&mut self) -> XmlResult<Option<Event>> {
+        let mut out = String::new();
+        let mut all_ws = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => {
+                    let c = self.entity()?;
+                    all_ws &= c.is_whitespace();
+                    out.push(c);
+                }
+                _ => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        if !matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                            all_ws = false;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.src[start..self.pos]);
+                }
+            }
+        }
+        if self.stack.is_empty() {
+            if all_ws {
+                return Ok(None);
+            }
+            return Err(self.err(XmlErrorKind::TextOutsideRoot));
+        }
+        Ok(Some(Event::Text(out)))
+    }
+}
+
+impl Iterator for Reader<'_> {
+    type Item = XmlResult<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
+}
+
+/// Parse all events of `input` into a vector (tests and small inputs).
+pub fn parse_events(input: &str) -> XmlResult<Vec<Event>> {
+    Reader::new(input).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::XmlErrorKind;
+
+    fn events(input: &str) -> Vec<Event> {
+        parse_events(input).expect("parse failed")
+    }
+
+    fn error_kind(input: &str) -> XmlErrorKind {
+        parse_events(input).expect_err("expected failure").kind
+    }
+
+    #[test]
+    fn simple_element() {
+        assert_eq!(
+            events("<a></a>"),
+            vec![Event::start("a"), Event::end("a")]
+        );
+    }
+
+    #[test]
+    fn self_closing_produces_start_end() {
+        assert_eq!(events("<a/>"), vec![Event::start("a"), Event::end("a")]);
+        assert_eq!(
+            events("<a />"),
+            vec![Event::start("a"), Event::end("a")]
+        );
+    }
+
+    #[test]
+    fn nested_with_text() {
+        assert_eq!(
+            events("<a><b>hi</b></a>"),
+            vec![
+                Event::start("a"),
+                Event::start("b"),
+                Event::text("hi"),
+                Event::end("b"),
+                Event::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let evs = events(r#"<a x="1" y='two'/>"#);
+        match &evs[0] {
+            Event::Start { name, attrs } => {
+                assert_eq!(name, "a");
+                assert_eq!(attrs.len(), 2);
+                assert_eq!(attrs[0].name, "x");
+                assert_eq!(attrs[0].value, "1");
+                assert_eq!(attrs[1].name, "y");
+                assert_eq!(attrs[1].value, "two");
+            }
+            other => panic!("expected start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_entities_unescaped() {
+        let evs = events(r#"<a t="a&amp;b &lt;c&gt; &#65;"/>"#);
+        match &evs[0] {
+            Event::Start { attrs, .. } => assert_eq!(attrs[0].value, "a&b <c> A"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_entities_unescaped() {
+        assert_eq!(
+            events("<a>x &amp; y &#x41;</a>")[1],
+            Event::text("x & y A")
+        );
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        assert_eq!(
+            events("<a><![CDATA[<raw> & stuff]]></a>")[1],
+            Event::text("<raw> & stuff")
+        );
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = events("<?xml version=\"1.0\"?><!-- top --><a><?p data?></a>");
+        assert_eq!(evs[0], Event::Comment(" top ".to_string()));
+        assert_eq!(
+            evs[2],
+            Event::ProcessingInstruction {
+                target: "p".to_string(),
+                data: "data".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn content_only_skips_comments_and_pis() {
+        let evs: Vec<_> = Reader::content_only("<!--c--><a><?p d?><b/></a>")
+            .collect::<XmlResult<_>>()
+            .unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                Event::start("a"),
+                Event::start("b"),
+                Event::end("b"),
+                Event::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let evs = events("<!DOCTYPE bib [<!ELEMENT bib (book*)>]><bib/>");
+        assert_eq!(evs, vec![Event::start("bib"), Event::end("bib")]);
+    }
+
+    #[test]
+    fn mismatched_close_is_error() {
+        assert!(matches!(
+            error_kind("<a><b></a></b>"),
+            XmlErrorKind::MismatchedClose { .. }
+        ));
+    }
+
+    #[test]
+    fn unclosed_is_error() {
+        assert!(matches!(
+            error_kind("<a><b></b>"),
+            XmlErrorKind::UnclosedElement(name) if name == "a"
+        ));
+    }
+
+    #[test]
+    fn multiple_roots_is_error() {
+        assert!(matches!(error_kind("<a/><b/>"), XmlErrorKind::MultipleRoots));
+    }
+
+    #[test]
+    fn no_root_is_error() {
+        assert!(matches!(error_kind("   "), XmlErrorKind::NoRootElement));
+        assert!(matches!(
+            error_kind("<!-- only a comment -->"),
+            XmlErrorKind::NoRootElement
+        ));
+    }
+
+    #[test]
+    fn text_outside_root_is_error() {
+        assert!(matches!(
+            error_kind("junk<a/>"),
+            XmlErrorKind::TextOutsideRoot
+        ));
+        assert!(matches!(
+            error_kind("<a/>junk"),
+            XmlErrorKind::TextOutsideRoot
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_error() {
+        assert!(matches!(
+            error_kind(r#"<a x="1" x="2"/>"#),
+            XmlErrorKind::DuplicateAttribute(name) if name == "x"
+        ));
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        assert!(matches!(
+            error_kind("<a>&nope;</a>"),
+            XmlErrorKind::UnknownEntity(name) if name == "nope"
+        ));
+    }
+
+    #[test]
+    fn bad_char_ref_is_error() {
+        assert!(matches!(
+            error_kind("<a>&#xD800;</a>"), // surrogate: not a char
+            XmlErrorKind::BadCharRef(_)
+        ));
+    }
+
+    #[test]
+    fn whitespace_between_roots_ok() {
+        let evs = events("\n  <a>\n</a>\n  ");
+        assert_eq!(evs.len(), 3); // start, text "\n", end
+    }
+
+    #[test]
+    fn error_position_line_column() {
+        let err = parse_events("<a>\n<b></c>").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut doc = String::new();
+        for i in 0..200 {
+            doc.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..200).rev() {
+            doc.push_str(&format!("</n{i}>"));
+        }
+        assert_eq!(events(&doc).len(), 400);
+    }
+
+    #[test]
+    fn paper_bibliography_fragment_parses() {
+        let doc = r#"<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+</bib>"#;
+        let evs = events(doc);
+        let starts = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Start { .. }))
+            .count();
+        assert_eq!(starts, 8); // bib, book, title, author, last, first, publisher, price
+    }
+}

@@ -1,0 +1,117 @@
+//! Serialization of events and documents back to XML text.
+
+use std::fmt::Write as _;
+
+use crate::dom::{Document, Node, NodeId};
+use crate::escape::{escape_attr, escape_text};
+use crate::event::Event;
+
+/// Serialize a sequence of events to XML text.
+///
+/// The writer trusts the events to be balanced (the [`crate::Reader`] and
+/// [`Document::to_events`] both guarantee this); unbalanced input produces
+/// unbalanced output rather than an error, since this is a producer-side API.
+pub fn write_events<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a Event>,
+{
+    let mut out = String::new();
+    for ev in events {
+        match ev {
+            Event::Start { name, attrs } => {
+                out.push('<');
+                out.push_str(name);
+                for a in attrs {
+                    let _ = write!(out, " {}=\"{}\"", a.name, escape_attr(&a.value));
+                }
+                out.push('>');
+            }
+            Event::End { name } => {
+                let _ = write!(out, "</{name}>");
+            }
+            Event::Text(t) => out.push_str(&escape_text(t)),
+            Event::Comment(c) => {
+                let _ = write!(out, "<!--{c}-->");
+            }
+            Event::ProcessingInstruction { target, data } => {
+                if data.is_empty() {
+                    let _ = write!(out, "<?{target}?>");
+                } else {
+                    let _ = write!(out, "<?{target} {data}?>");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serialize a whole document (elements and text only).
+pub fn write_document(doc: &Document) -> String {
+    let mut out = String::new();
+    if !doc.is_empty() {
+        write_node(doc, NodeId::ROOT, &mut out);
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.node(id) {
+        Node::Element(e) => {
+            out.push('<');
+            out.push_str(&e.name);
+            for a in &e.attrs {
+                let _ = write!(out, " {}=\"{}\"", a.name, escape_attr(&a.value));
+            }
+            if doc.first_child(id).is_none() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                let mut child = doc.first_child(id);
+                while let Some(c) = child {
+                    write_node(doc, c, out);
+                    child = doc.next_sibling(c);
+                }
+                let _ = write!(out, "</{}>", e.name);
+            }
+        }
+        Node::Text(t) => out.push_str(&escape_text(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_events;
+
+    #[test]
+    fn round_trip_through_writer() {
+        let src = r#"<a x="1"><b>hi &amp; bye</b><c/></a>"#;
+        let evs = parse_events(src).unwrap();
+        let out = write_events(&evs);
+        // Reparse; event streams must be identical.
+        let evs2 = parse_events(&out).unwrap();
+        assert_eq!(evs, evs2);
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let src = r#"<bib><book year="1994"><title>a&lt;b</title></book></bib>"#;
+        let doc = Document::parse(src).unwrap();
+        let out = write_document(&doc);
+        let doc2 = Document::parse(&out).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = Document::parse("<a><b></b></a>").unwrap();
+        assert_eq!(write_document(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn attr_value_quotes_escaped() {
+        let mut doc = Document::with_root("a");
+        doc.add_attr(NodeId::ROOT, "t", "x\"y");
+        assert_eq!(write_document(&doc), r#"<a t="x&quot;y"/>"#);
+    }
+}

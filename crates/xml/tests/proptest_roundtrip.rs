@@ -1,0 +1,114 @@
+//! Property tests for the XML layer: parse/serialize round-trips, escaping
+//! inverses, and parser robustness on arbitrary byte soup.
+
+use proptest::prelude::*;
+
+use nok_xml::{parse_document, write_document, write_events, Document, Event, Reader};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_-]{0,6}".prop_map(|s| s)
+}
+
+/// Text without the characters the generator would need to escape itself.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[ a-zA-Z0-9.,!?'()-]{0,20}"
+}
+
+fn arb_tree(depth: u32) -> BoxedStrategy<String> {
+    let leaf = (arb_name(), arb_text()).prop_map(|(n, t)| {
+        if t.trim().is_empty() {
+            format!("<{n}/>")
+        } else {
+            format!("<{n}>{t}</{n}>")
+        }
+    });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (
+        arb_name(),
+        prop::collection::vec(arb_tree(depth - 1), 0..4),
+        proptest::option::of((arb_name(), arb_text())),
+    )
+        .prop_map(|(n, kids, attr)| {
+            let attrs = match attr {
+                Some((an, av)) => format!(" {an}=\"{}\"", av.replace('"', "")),
+                None => String::new(),
+            };
+            format!("<{n}{attrs}>{}</{n}>", kids.concat())
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dom_round_trips(xml in arb_tree(3)) {
+        let doc = parse_document(&xml).expect("parse");
+        let out = write_document(&doc);
+        let doc2 = parse_document(&out).expect("reparse");
+        prop_assert_eq!(doc.to_events(), doc2.to_events());
+    }
+
+    #[test]
+    fn event_stream_round_trips(xml in arb_tree(3)) {
+        let events: Vec<Event> = Reader::new(&xml)
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        let out = write_events(&events);
+        let events2: Vec<Event> = Reader::new(&out)
+            .collect::<Result<_, _>>()
+            .expect("reparse");
+        prop_assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn escaping_survives_adversarial_text(text in ".{0,40}") {
+        // Arbitrary unicode text placed as element content and attribute
+        // value must come back byte-identical after escape → parse.
+        let mut doc = Document::with_root("r");
+        let e = doc.add_element(nok_xml::NodeId::ROOT, "e");
+        doc.add_text(e, &text);
+        doc.add_attr(e, "a", &text);
+        let xml = write_document(&doc);
+        let doc2 = parse_document(&xml).expect("reparse escaped");
+        let e2 = doc2.child_elements(nok_xml::NodeId::ROOT).next().expect("child");
+        prop_assert_eq!(doc2.direct_text(e2), text.clone());
+        prop_assert_eq!(&doc2.attrs(e2)[0].value, &text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Errors are fine; panics and hangs are not.
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = parse_document(s);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_almost_xml(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<a/>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("&amp;".to_string()),
+                Just("&".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("x".to_string()),
+                Just("\"".to_string()),
+                Just("a='".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let s = parts.concat();
+        let _ = parse_document(&s); // must terminate without panicking
+    }
+}

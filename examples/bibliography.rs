@@ -1,0 +1,96 @@
+//! The paper's running example (Figure 1): the bibliography document and
+//! the query `//book[author/last="Stevens"][price<100]`, evaluated with
+//! every strategy and every engine in the workspace.
+//!
+//! ```text
+//! cargo run -p nok-bench --example bibliography
+//! ```
+
+use nok_baselines::di::DiEngine;
+use nok_baselines::navdom::NavDomEngine;
+use nok_baselines::twigstack::TwigStackEngine;
+use nok_baselines::Engine;
+use nok_core::{QueryOptions, StartStrategy, XmlDb};
+
+/// Figure 1(a) of the paper, verbatim (with its typos fixed).
+const BIB: &str = r#"<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix Environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor>
+      <last>Gerbarg</last><first>Darcy</first>
+      <affiliation>CITI</affiliation>
+    </editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>"#;
+
+/// The paper's Example 1 query.
+const QUERY: &str = r#"//book[author/last="Stevens"][price<100]"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("query: {QUERY}\n");
+
+    // --- The NoK system, with each starting-point strategy of §3.
+    let db = XmlDb::build_in_memory(BIB)?;
+    for strategy in [
+        StartStrategy::Auto,
+        StartStrategy::Scan,
+        StartStrategy::TagIndex,
+        StartStrategy::ValueIndex,
+    ] {
+        let (hits, stats) = db.query_with(QUERY, QueryOptions { strategy })?;
+        println!(
+            "NoK [{strategy:?}]: {} matches, strategies used per fragment: {:?}",
+            hits.len(),
+            stats.strategies
+        );
+        for m in &hits {
+            println!(
+                "   book at dewey {}, year = {:?}",
+                m.dewey,
+                // @year is child 0 of each book.
+                db.value_of(&nok_core::QueryMatch {
+                    addr: m.addr,
+                    dewey: m.dewey.child(0),
+                })?
+            );
+        }
+    }
+
+    // --- Every engine must agree (the cross-engine invariant the test
+    // suite enforces on all datasets).
+    println!("\nall engines:");
+    let di = DiEngine::new(BIB)?;
+    let nav = NavDomEngine::new(BIB)?;
+    let twig = TwigStackEngine::new(BIB)?;
+    for engine in [&di as &dyn Engine, &nav, &twig] {
+        let hits = engine.eval(QUERY)?;
+        println!(
+            "  {:<10} -> {:?}",
+            engine.name(),
+            hits.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}

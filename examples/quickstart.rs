@@ -1,0 +1,49 @@
+//! Quickstart: build an in-memory NoK store from an XML string and run
+//! path queries against it.
+//!
+//! ```text
+//! cargo run -p nok-bench --example quickstart
+//! ```
+
+use nok_core::XmlDb;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xml = r#"
+    <library>
+      <shelf floor="1">
+        <book><title>A Relational Model of Data</title><year>1970</year></book>
+        <book><title>The Art of Computer Programming</title><year>1968</year></book>
+      </shelf>
+      <shelf floor="2">
+        <book><title>Transaction Processing</title><year>1992</year></book>
+      </shelf>
+    </library>"#;
+
+    // Build the complete storage: the succinct structural string, the
+    // detached value file, and the three B+ tree indexes.
+    let db = XmlDb::build_in_memory(xml)?;
+    println!("loaded {} nodes", db.node_count());
+
+    // A simple path.
+    let hits = db.query("/library/shelf/book/title")?;
+    println!("\nall titles:");
+    for m in &hits {
+        println!("  [{}] {}", m.dewey, db.value_of(m)?.unwrap_or_default());
+    }
+
+    // Predicates: structural + value constraints (the paper's NoK pattern).
+    let hits = db.query("//book[year<1990]/title")?;
+    println!("\npre-1990 titles:");
+    for m in &hits {
+        println!("  [{}] {}", m.dewey, db.value_of(m)?.unwrap_or_default());
+    }
+
+    // Attributes become child nodes tagged `@name`.
+    let hits = db.query(r#"/library/shelf[@floor="2"]/book/title"#)?;
+    println!("\nfloor-2 titles:");
+    for m in &hits {
+        println!("  [{}] {}", m.dewey, db.value_of(m)?.unwrap_or_default());
+    }
+
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Updates against the paged string representation (§4.2): append a
+//! subtree as a last child (page-local) and delete a subtree (following
+//! siblings' Dewey ids are re-labeled incrementally — the cost the paper
+//! acknowledges for its Dewey-keyed indexes).
+//!
+//! ```text
+//! cargo run -p nok-bench --example updates
+//! ```
+
+use nok_core::{Dewey, XmlDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = XmlDb::build_in_memory(
+        r#"<bib>
+            <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+            <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+        </bib>"#,
+    )?;
+    let show = |db: &XmlDb<nok_pager::MemStorage>, label: &str| {
+        let hits = db.query("/bib/book/title").expect("query");
+        println!("{label}:");
+        for m in &hits {
+            println!(
+                "  [{}] {}",
+                m.dewey,
+                db.value_of(m).expect("value").unwrap_or_default()
+            );
+        }
+        println!("  ({} nodes, {} structural pages)\n", db.node_count(), db.store().page_count());
+    };
+    show(&db, "initial");
+
+    // Insert a new book as the last child of <bib> (dewey 0).
+    let new_book = db.insert_last_child(
+        &Dewey::root(),
+        r#"<book year="2004"><title>A Succinct Physical Storage Scheme</title><price>0.00</price></book>"#,
+    )?;
+    println!("inserted subtree rooted at dewey {new_book}");
+    show(&db, "after insert");
+
+    // Delete the first book; following siblings shift down (0.1 -> 0.0 ...).
+    let removed = db.delete_subtree(&Dewey::from_components(vec![0, 0]))?;
+    println!("deleted first book ({removed} nodes removed)");
+    show(&db, "after delete");
+
+    // All indexes remain consistent: value queries still work.
+    let cheap = db.query("//book[price<10]/title")?;
+    println!("books under $10: {}", cheap.len());
+    for m in &cheap {
+        println!("  {}", db.value_of(m)?.unwrap_or_default());
+    }
+    Ok(())
+}

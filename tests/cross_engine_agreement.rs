@@ -1,0 +1,95 @@
+//! The workspace's central correctness invariant: on every dataset and
+//! every workload query (plus the `//` variants), all four engines — NoK,
+//! DI, NavDOM, TwigStack — return exactly the result set of the naive
+//! oracle.
+
+use nok_bench::EngineSet;
+use nok_core::naive::NaiveEvaluator;
+use nok_datagen::{generate, workload, DatasetKind};
+use nok_xml::Document;
+
+fn check_dataset(kind: DatasetKind) {
+    let ds = generate(kind, 0.01); // floor: 800 records
+    let set = EngineSet::build(&ds.xml).expect("engines build");
+    let doc = Document::parse(&ds.xml).expect("parse");
+    let oracle = NaiveEvaluator::new(&doc);
+    for (i, spec) in workload(kind) {
+        let Some(spec) = spec else { continue };
+        for path in [&spec.path, &spec.descendant_variant] {
+            let expected: Vec<String> = oracle
+                .eval_str(path)
+                .expect("oracle eval")
+                .iter()
+                .map(|n| oracle.dewey(n).to_string())
+                .collect();
+            for engine in set.all() {
+                let Ok(got) = engine.eval(path) else {
+                    continue; // engine does not implement this query (NI)
+                };
+                let got: Vec<String> = got.iter().map(|d| d.to_string()).collect();
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} disagrees with oracle on {} Q{i}: {path}",
+                    engine.name(),
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn author_all_engines_match_oracle() {
+    check_dataset(DatasetKind::Author);
+}
+
+#[test]
+fn address_all_engines_match_oracle() {
+    check_dataset(DatasetKind::Address);
+}
+
+#[test]
+fn catalog_all_engines_match_oracle() {
+    check_dataset(DatasetKind::Catalog);
+}
+
+#[test]
+fn treebank_all_engines_match_oracle() {
+    check_dataset(DatasetKind::Treebank);
+}
+
+#[test]
+fn dblp_all_engines_match_oracle() {
+    check_dataset(DatasetKind::Dblp);
+}
+
+/// Ad-hoc queries beyond the Table 2 grid, exercising deep recursion and
+/// repeated tags on the treebank-like data.
+#[test]
+fn treebank_adhoc_structural_queries() {
+    let ds = generate(DatasetKind::Treebank, 0.01);
+    let set = EngineSet::build(&ds.xml).expect("engines build");
+    let doc = Document::parse(&ds.xml).expect("parse");
+    let oracle = NaiveEvaluator::new(&doc);
+    for q in [
+        "/treebank/s/np",
+        "//np//vp",
+        "//s[np][vp]",
+        "//cat0",
+        "//cat1//cat2",
+        "/treebank/s[pp]/np",
+    ] {
+        let expected: Vec<String> = oracle
+            .eval_str(q)
+            .unwrap()
+            .iter()
+            .map(|n| oracle.dewey(n).to_string())
+            .collect();
+        for engine in set.all() {
+            let Ok(got) = engine.eval(q) else { continue };
+            let got: Vec<String> = got.iter().map(|d| d.to_string()).collect();
+            assert_eq!(got, expected, "{} on {q}", engine.name());
+        }
+    }
+}

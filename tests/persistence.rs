@@ -1,0 +1,88 @@
+//! On-disk persistence: create a database directory, drop everything,
+//! reopen, and get identical answers — including after updates.
+
+use nok_core::{Dewey, XmlDb};
+use nok_datagen::{generate, workload, DatasetKind};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nok-persist-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn reopen_answers_workload_identically() {
+    let ds = generate(DatasetKind::Author, 0.01);
+    let dir = temp_dir("author");
+    let fresh_answers: Vec<(String, Vec<String>)> = {
+        let db = XmlDb::create_on_disk(&dir, &ds.xml).expect("create");
+        workload(ds.kind)
+            .into_iter()
+            .filter_map(|(_, spec)| spec)
+            .map(|spec| {
+                let hits = db.query(&spec.path).expect("query");
+                (
+                    spec.path.clone(),
+                    hits.iter().map(|m| m.dewey.to_string()).collect(),
+                )
+            })
+            .collect()
+    };
+    // Everything dropped; reopen from the files alone.
+    let db = XmlDb::open_dir(&dir).expect("open");
+    for (path, expected) in fresh_answers {
+        let hits = db.query(&path).expect("query after reopen");
+        let got: Vec<String> = hits.iter().map(|m| m.dewey.to_string()).collect();
+        assert_eq!(got, expected, "answers changed after reopen for {path}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn updates_persist_across_reopen() {
+    let dir = temp_dir("upd");
+    {
+        let mut db = XmlDb::create_on_disk(
+            &dir,
+            r#"<inventory><item sku="a1"><name>bolt</name></item></inventory>"#,
+        )
+        .expect("create");
+        db.insert_last_child(
+            &Dewey::root(),
+            r#"<item sku="b2"><name>nut</name><qty>7</qty></item>"#,
+        )
+        .expect("insert");
+        db.flush().expect("flush");
+    }
+    let db = XmlDb::open_dir(&dir).expect("open");
+    let hits = db.query("//item/name").expect("query");
+    let names: Vec<String> = hits
+        .iter()
+        .map(|m| db.value_of(m).unwrap().unwrap())
+        .collect();
+    assert_eq!(names, vec!["bolt", "nut"]);
+    let qty = db.query(r#"//item[@sku="b2"]/qty"#).expect("query");
+    assert_eq!(db.value_of(&qty[0]).unwrap().unwrap(), "7");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn values_and_stats_survive_reopen() {
+    let ds = generate(DatasetKind::Catalog, 0.01);
+    let dir = temp_dir("cat");
+    let (nodes, tags) = {
+        let db = XmlDb::create_on_disk(&dir, &ds.xml).expect("create");
+        let st = db.stats(ds.xml.len() as u64).expect("stats");
+        (st.nodes, st.tags)
+    };
+    let db = XmlDb::open_dir(&dir).expect("open");
+    let st = db.stats(ds.xml.len() as u64).expect("stats");
+    assert_eq!(st.nodes, nodes);
+    assert_eq!(st.tags, tags);
+    // A value-indexed query must still route through B+v after reopen.
+    let hits = db
+        .query(r#"/catalog/item[keyword="needle-high"]"#)
+        .expect("query");
+    assert_eq!(hits.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}

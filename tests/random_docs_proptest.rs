@@ -1,0 +1,148 @@
+//! Property-based testing: random documents × random path expressions.
+//!
+//! * The NoK engine must agree with the naive oracle on every generated
+//!   (document, query) pair — this is the strongest correctness property in
+//!   the suite, covering axis combinations, predicates and values that the
+//!   hand-written tests cannot enumerate.
+//! * All baselines must agree too (on the queries they support).
+//! * Documents must round-trip through the XML writer.
+//! * Random update sequences must keep the store equivalent to a rebuild.
+
+use proptest::prelude::*;
+
+use nok_bench::EngineSet;
+use nok_core::naive::NaiveEvaluator;
+use nok_core::XmlDb;
+use nok_xml::Document;
+
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const VALUES: [&str; 4] = ["x", "y", "zz", "42"];
+
+/// A random element tree rendered directly to XML.
+fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
+    let leaf = (0usize..TAGS.len(), proptest::option::of(0usize..VALUES.len())).prop_map(
+        |(t, v)| match v {
+            Some(v) => format!("<{0}>{1}</{0}>", TAGS[t], VALUES[v]),
+            None => format!("<{}/>", TAGS[t]),
+        },
+    );
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = prop::collection::vec(arb_subtree(depth - 1), 0..4);
+    (0usize..TAGS.len(), inner, proptest::option::of(0usize..VALUES.len()))
+        .prop_map(|(t, kids, attr)| {
+            let attr = match attr {
+                Some(v) => format!(" k=\"{}\"", VALUES[v]),
+                None => String::new(),
+            };
+            format!("<{0}{1}>{2}</{0}>", TAGS[t], attr, kids.concat())
+        })
+        .boxed()
+}
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    arb_subtree(3).prop_map(|inner| format!("<r>{inner}</r>"))
+}
+
+/// A random path expression over the same alphabet.
+fn arb_query() -> impl Strategy<Value = String> {
+    let step = (
+        prop::bool::ANY,                                  // '//' vs '/'
+        0usize..TAGS.len() + 1,                           // tag or '*'
+        proptest::option::of((0usize..TAGS.len(), proptest::option::of(0usize..VALUES.len()))),
+    )
+        .prop_map(|(desc, t, pred)| {
+            let axis = if desc { "//" } else { "/" };
+            let name = if t == TAGS.len() { "*" } else { TAGS[t] };
+            let pred = match pred {
+                None => String::new(),
+                Some((pt, None)) => format!("[{}]", TAGS[pt]),
+                Some((pt, Some(pv))) => format!("[{}=\"{}\"]", TAGS[pt], VALUES[pv]),
+            };
+            format!("{axis}{name}{pred}")
+        });
+    prop::collection::vec(step, 1..4).prop_map(|steps| {
+        let mut q = String::from("/r");
+        for s in steps {
+            q.push_str(&s);
+        }
+        q
+    })
+}
+
+fn oracle_answer(xml: &str, query: &str) -> Vec<String> {
+    let doc = Document::parse(xml).expect("parse");
+    let oracle = NaiveEvaluator::new(&doc);
+    oracle
+        .eval_str(query)
+        .expect("oracle eval")
+        .iter()
+        .map(|n| oracle.dewey(n).to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nok_engine_agrees_with_oracle(xml in arb_doc(), query in arb_query()) {
+        let expected = oracle_answer(&xml, &query);
+        let db = XmlDb::build_in_memory(&xml).expect("build");
+        let got: Vec<String> = db
+            .query(&query)
+            .expect("query")
+            .iter()
+            .map(|m| m.dewey.to_string())
+            .collect();
+        prop_assert_eq!(got, expected, "doc: {}", xml);
+    }
+
+    #[test]
+    fn all_baselines_agree_with_oracle(xml in arb_doc(), query in arb_query()) {
+        let expected = oracle_answer(&xml, &query);
+        let set = EngineSet::build(&xml).expect("build");
+        for engine in set.all() {
+            if let Ok(res) = engine.eval(&query) {
+                let got: Vec<String> = res.iter().map(|d| d.to_string()).collect();
+                prop_assert_eq!(&got, &expected, "{} on {} over {}", engine.name(), query, xml);
+            }
+        }
+    }
+
+    #[test]
+    fn documents_round_trip_through_writer(xml in arb_doc()) {
+        let doc = Document::parse(&xml).expect("parse");
+        let rendered = nok_xml::write_document(&doc);
+        let doc2 = Document::parse(&rendered).expect("reparse");
+        prop_assert_eq!(doc.len(), doc2.len());
+        let evs1 = doc.to_events();
+        let evs2 = doc2.to_events();
+        prop_assert_eq!(evs1, evs2);
+    }
+
+    #[test]
+    fn random_tail_inserts_keep_engine_consistent(
+        xml in arb_doc(),
+        extra in prop::collection::vec(arb_subtree(1), 1..4),
+        query in arb_query(),
+    ) {
+        // Insert fragments as last children of the root, then compare the
+        // engine against an oracle over the equivalent document.
+        let mut db = XmlDb::build_in_memory(&xml).expect("build");
+        let mut expected_xml = xml[..xml.len() - "</r>".len()].to_string();
+        for frag in &extra {
+            db.insert_last_child(&nok_core::Dewey::root(), frag).expect("insert");
+            expected_xml.push_str(frag);
+        }
+        expected_xml.push_str("</r>");
+        let expected = oracle_answer(&expected_xml, &query);
+        let got: Vec<String> = db
+            .query(&query)
+            .expect("query")
+            .iter()
+            .map(|m| m.dewey.to_string())
+            .collect();
+        prop_assert_eq!(got, expected, "doc after inserts: {}", expected_xml);
+    }
+}

@@ -1,0 +1,117 @@
+//! Verification of **Proposition 1** (paper §5): one physical NoK matching
+//! run reads every structural page at most once, and the header-directory
+//! optimization keeps `FOLLOWING-SIBLING` from touching pages it can skip.
+//!
+//! The buffer pool's physical-read counter is the measured quantity: with a
+//! cold cache and a pool large enough to avoid re-reads, `physical_reads ≤
+//! structural pages` must hold for a full single-start match.
+
+use std::rc::Rc;
+
+use nok_core::cursor;
+use nok_core::nok::{NokMatcher, TreeAccess};
+use nok_core::pattern_tree::PatternTree;
+use nok_core::physical::PhysAccess;
+use nok_core::store::{BuildOptions, StructStore};
+use nok_core::{TagDict, XmlDb};
+use nok_datagen::{generate, DatasetKind};
+use nok_pager::{BufferPool, MemStorage};
+use nok_xml::Reader;
+
+/// Build just the structural store with a small page size so documents span
+/// many pages.
+fn small_page_store(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
+    let pool = Rc::new(BufferPool::with_capacity(
+        MemStorage::with_page_size(page_size),
+        1 << 20, // effectively unbounded: every page read at most once
+    ));
+    let mut dict = TagDict::new();
+    let store = StructStore::build(
+        pool,
+        Reader::content_only(xml),
+        &mut dict,
+        BuildOptions::default(),
+        &mut (),
+    )
+    .expect("build");
+    (store, dict)
+}
+
+#[test]
+fn proposition1_single_start_reads_each_page_once() {
+    let ds = generate(DatasetKind::Catalog, 0.01);
+    // Build the full database (for the matcher machinery) with small pages.
+    let db = XmlDb::build_in_memory_with(&ds.xml, BuildOptions::default(), 256).expect("build");
+    let pages = db.store().page_count() as u64;
+    assert!(pages > 50, "document must span many pages ({pages})");
+
+    // One NoK matching run from the root over the whole document: the
+    // pattern visits every record ([title] exists on each item).
+    let tree = PatternTree::parse("/catalog/item[title][publisher]").expect("pattern");
+    let part = tree.partition();
+    let matcher = NokMatcher::new(&part, 0);
+    let access = PhysAccess::new(db.store(), db.dict(), db.bt_id(), db.data_cell());
+
+    db.store().invalidate_decoded(None);
+    db.store().pool().clear_cache().expect("clear");
+    db.store().pool().stats().reset();
+    let mut hook = nok_core::nok::accept_all();
+    let out = matcher
+        .match_at(&access, &access.doc_node(), &mut hook)
+        .expect("match");
+    assert!(out.is_some(), "pattern matches the document");
+
+    let reads = db.store().pool().stats().physical_reads();
+    assert!(
+        reads <= pages,
+        "Proposition 1 violated: {reads} physical reads > {pages} pages"
+    );
+    // And it genuinely touched the document, not a cached copy.
+    assert!(reads > 0, "the run must perform real page reads");
+}
+
+#[test]
+fn header_directory_skips_pages_for_sibling_jumps() {
+    // A first child with a huge subtree followed by one sibling: finding
+    // the sibling must not read the subtree's pages.
+    let mut xml = String::from("<r><bulk>");
+    for i in 0..5000 {
+        xml.push_str(&format!("<x><y>{i}</y></x>"));
+    }
+    xml.push_str("</bulk><target/></r>");
+    let (store, dict) = small_page_store(&xml, 256);
+    assert!(store.page_count() > 100);
+
+    let root = store.root().unwrap();
+    let bulk = cursor::first_child(&store, root).unwrap().unwrap();
+    store.invalidate_decoded(None);
+    store.pool().clear_cache().unwrap();
+    store.pool().stats().reset();
+    let target = cursor::following_sibling(&store, bulk).unwrap().unwrap();
+    assert_eq!(store.tag_at(target).unwrap(), dict.lookup("target").unwrap());
+    let reads = store.pool().stats().physical_reads();
+    assert!(
+        reads <= 3,
+        "sibling search should skip the bulk subtree via headers, read {reads} of {}",
+        store.page_count()
+    );
+}
+
+#[test]
+fn full_scan_touches_each_page_once() {
+    // The naive starting-point strategy (document scan) is also single-pass.
+    let ds = generate(DatasetKind::Author, 0.01);
+    let db = XmlDb::build_in_memory_with(&ds.xml, BuildOptions::default(), 512).expect("build");
+    let pages = db.store().page_count() as u64;
+    db.store().invalidate_decoded(None);
+    db.store().pool().clear_cache().unwrap();
+    db.store().pool().stats().reset();
+    let mut count = 0u64;
+    for item in nok_core::cursor::DocScan::new(db.store()) {
+        item.expect("scan");
+        count += 1;
+    }
+    assert_eq!(count, db.node_count());
+    let reads = db.store().pool().stats().physical_reads();
+    assert!(reads <= pages, "{reads} reads for {pages} pages");
+}
