@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, source-analysis lint, build, tests, and an
+# integrity sweep (nokfsck) over a freshly generated corpus. Mirrors
+# .github/workflows/ci.yml so the pipeline can be reproduced offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo build -p nok-datagen --no-default-features (xorshift fallback)"
+cargo build -p nok-datagen --no-default-features
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> nokfsck over a generated corpus"
+corpus="$(mktemp -d)"
+trap 'rm -rf "$corpus"' EXIT
+for ds in author address catalog; do
+  ./target/release/mkdb "$ds" 0.01 "$corpus/$ds"
+  ./target/release/nokfsck --strict "$corpus/$ds"
+done
+
+echo "CI OK"

@@ -85,8 +85,7 @@ impl DiEngine {
                             Axis::Child => {
                                 c == DOC_ID && self.doc.elems[d].level == 1
                                     || c != DOC_ID
-                                        && self.doc.elems[d].level
-                                            == self.doc.elems[c].level + 1
+                                        && self.doc.elems[d].level == self.doc.elems[c].level + 1
                                         && self.contains(c, d)
                             }
                             _ => self.contains(c, d),
@@ -234,7 +233,10 @@ impl Engine for DiEngine {
         let mut ids: Vec<usize> = pairs.into_iter().map(|(_, n)| n).collect();
         ids.sort_by_key(|&n| self.doc.elems[n].start);
         ids.dedup();
-        Ok(ids.into_iter().map(|n| self.doc.elems[n].dewey.clone()).collect())
+        Ok(ids
+            .into_iter()
+            .map(|n| self.doc.elems[n].dewey.clone())
+            .collect())
     }
 }
 

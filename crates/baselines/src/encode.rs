@@ -58,10 +58,10 @@ impl IntervalDoc {
         let mut texts: Vec<String> = Vec::new();
 
         let open = |doc: &mut IntervalDoc,
-                        tag: String,
-                        counter: &mut u64,
-                        stack: &[usize],
-                        path: &[u32]| {
+                    tag: String,
+                    counter: &mut u64,
+                    stack: &[usize],
+                    path: &[u32]| {
             let id = doc.elems.len();
             doc.elems.push(Elem {
                 tag: tag.clone(),
@@ -98,7 +98,13 @@ impl IntervalDoc {
                             i
                         };
                         path.push(aidx);
-                        let aid = open(&mut doc, format!("@{}", a.name), &mut counter, &stack, &path);
+                        let aid = open(
+                            &mut doc,
+                            format!("@{}", a.name),
+                            &mut counter,
+                            &stack,
+                            &path,
+                        );
                         doc.elems[aid].end = counter;
                         counter += 1;
                         doc.elems[aid].value = Some(a.value.clone());

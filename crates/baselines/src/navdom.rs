@@ -144,7 +144,8 @@ impl<S: Storage> NavDomEngine<S> {
                             value: Some((off, len)),
                         });
                         tag_postings.push((atag.to_key().to_vec(), aid.to_be_bytes().to_vec()));
-                        val_postings.push((hash_key(&a.value).to_vec(), aid.to_be_bytes().to_vec()));
+                        val_postings
+                            .push((hash_key(&a.value).to_vec(), aid.to_be_bytes().to_vec()));
                     }
                 }
                 Event::Text(t) => {

@@ -117,9 +117,8 @@ impl TwigStackEngine {
                 }
             }
         }
-        twig.returning = returning_twig.ok_or_else(|| {
-            CoreError::Corrupt("returning node missing from twig".into())
-        })?;
+        twig.returning = returning_twig
+            .ok_or_else(|| CoreError::Corrupt("returning node missing from twig".into()))?;
         Ok((twig, pnode_of, level1))
     }
 
@@ -142,9 +141,9 @@ impl TwigStackEngine {
                 if level1 && e.level != 1 {
                     return false;
                 }
-                node.value_cmps.iter().all(|c| {
-                    e.value.as_deref().is_some_and(|v| c.eval(v))
-                })
+                node.value_cmps
+                    .iter()
+                    .all(|c| e.value.as_deref().is_some_and(|v| c.eval(v)))
             })
             .collect()
     }
@@ -303,22 +302,17 @@ impl Engine for TwigStackEngine {
         // that have a kept child under query node c).
         let order = topo_children_first(&twig);
         let mut kept_intervals: HashMap<usize, IntervalSet> = HashMap::new();
-        let mut kept_pc_parents: HashMap<usize, std::collections::HashSet<usize>> =
-            HashMap::new();
+        let mut kept_pc_parents: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
         for &q in &order {
             let mut kept: Vec<usize> = Vec::new();
             'elem: for &e in &keep[q] {
                 for &c in &twig.children[q] {
                     let ok = if twig.pc_edge[c] {
-                        kept_pc_parents
-                            .get(&c)
-                            .is_some_and(|set| set.contains(&e))
+                        kept_pc_parents.get(&c).is_some_and(|set| set.contains(&e))
                     } else {
-                        kept_intervals
-                            .get(&c)
-                            .is_some_and(|s| {
-                                s.any_within(self.doc.elems[e].start, self.doc.elems[e].end)
-                            })
+                        kept_intervals.get(&c).is_some_and(|s| {
+                            s.any_within(self.doc.elems[e].start, self.doc.elems[e].end)
+                        })
                     };
                     if !ok {
                         continue 'elem;
@@ -361,7 +355,9 @@ impl Engine for TwigStackEngine {
             let parent_ids: std::collections::HashSet<usize> = keep[p].iter().copied().collect();
             keep[c].retain(|&e| {
                 if twig.pc_edge[c] {
-                    doc.elems[e].parent.is_some_and(|pe| parent_ids.contains(&pe))
+                    doc.elems[e]
+                        .parent
+                        .is_some_and(|pe| parent_ids.contains(&pe))
                 } else {
                     parent_set.any_containing(doc.elems[e].start)
                 }

@@ -34,7 +34,10 @@ fn bench_btree(c: &mut Criterion) {
             let lo = b"key00050000".to_vec();
             let hi = b"key00051000".to_vec();
             let n = tree
-                .range(std::ops::Bound::Included(&lo), std::ops::Bound::Excluded(hi))
+                .range(
+                    std::ops::Bound::Included(&lo),
+                    std::ops::Bound::Excluded(hi),
+                )
                 .unwrap()
                 .count();
             black_box(n)
@@ -56,8 +59,11 @@ fn bench_btree(c: &mut Criterion) {
             let pool = Rc::new(BufferPool::new(MemStorage::new()));
             let t = BTree::create(pool).unwrap();
             for i in 0..10_000u32 {
-                t.insert(&(i.wrapping_mul(2654435761)).to_be_bytes(), &i.to_le_bytes())
-                    .unwrap();
+                t.insert(
+                    &(i.wrapping_mul(2654435761)).to_be_bytes(),
+                    &i.to_le_bytes(),
+                )
+                .unwrap();
             }
             black_box(t.len())
         })

@@ -13,7 +13,10 @@ fn bench_engines(c: &mut Criterion) {
     let cases = [
         ("hpy_Q1", r#"/dblp/article[keyword="needle-high"]"#),
         ("hpn_Q2", "/dblp/article/rareitem/subitem"),
-        ("mby_Q7", r#"/dblp/article[keyword="needle-mod"][note="needle-mod"]"#),
+        (
+            "mby_Q7",
+            r#"/dblp/article[keyword="needle-mod"][note="needle-mod"]"#,
+        ),
         ("lpn_Q10", "/dblp/article/author"),
     ];
     for (label, query) in cases {
@@ -22,11 +25,9 @@ fn bench_engines(c: &mut Criterion) {
             if engine.eval(query).is_err() {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), ""),
-                &query,
-                |b, q| b.iter(|| black_box(engine.eval(q).unwrap().len())),
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), ""), &query, |b, q| {
+                b.iter(|| black_box(engine.eval(q).unwrap().len()))
+            });
         }
         group.finish();
     }

@@ -57,7 +57,11 @@ fn bench_header_skip(c: &mut Criterion) {
     let bulk = cursor::first_child(store, root).unwrap().unwrap();
 
     c.bench_function("sibling_jump_with_header_skip", |b| {
-        b.iter(|| cursor::following_sibling(store, black_box(bulk)).unwrap().unwrap())
+        b.iter(|| {
+            cursor::following_sibling(store, black_box(bulk))
+                .unwrap()
+                .unwrap()
+        })
     });
 
     c.bench_function("sibling_jump_without_skip_emulated", |b| {

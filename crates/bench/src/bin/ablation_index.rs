@@ -29,7 +29,12 @@ fn main() {
             let Some(spec) = spec else { continue };
             // Value strategies matter only for 'y' categories; still run all
             // so the table shows the fallback costs.
-            print!("{:<9} Q{:<3} {:<5}", ds.kind.name(), i, spec.category.code());
+            print!(
+                "{:<9} Q{:<3} {:<5}",
+                ds.kind.name(),
+                i,
+                spec.category.code()
+            );
             for strat in [
                 StartStrategy::Auto,
                 StartStrategy::Scan,

@@ -21,7 +21,11 @@ fn main() {
         "{:<9} {:<4} {:>9} {:>12} {:>12} {:>10}",
         "file", "q", "hits", "stream (s)", "stored (s)", "MB/s strm"
     );
-    for kind in [DatasetKind::Address, DatasetKind::Dblp, DatasetKind::Treebank] {
+    for kind in [
+        DatasetKind::Address,
+        DatasetKind::Dblp,
+        DatasetKind::Treebank,
+    ] {
         let ds = generate(kind, scale);
         let mb = ds.xml.len() as f64 / 1e6;
         // Stored engine build once (amortizable, unlike per-pass streaming).

@@ -65,8 +65,7 @@ fn main() {
         rebuild_time.as_secs_f64() * 1e3,
         rebuilt.len()
     );
-    let speedup =
-        rebuild_time.as_secs_f64() / (insert_time.as_secs_f64() / ops as f64).max(1e-9);
+    let speedup = rebuild_time.as_secs_f64() / (insert_time.as_secs_f64() / ops as f64).max(1e-9);
     println!("NoK insert vs interval re-encode: {speedup:.0}x");
 
     // Sanity: the store still answers queries correctly after the churn.

@@ -47,12 +47,7 @@ impl Engine for NokEngine {
     }
 
     fn eval(&self, path: &str) -> CoreResult<Vec<Dewey>> {
-        Ok(self
-            .db
-            .query(path)?
-            .into_iter()
-            .map(|m| m.dewey)
-            .collect())
+        Ok(self.db.query(path)?.into_iter().map(|m| m.dewey).collect())
     }
 }
 
@@ -135,7 +130,9 @@ impl Args {
 
     /// `--scale` (default 0.05 — keeps full Table 3 runs in minutes).
     pub fn scale(&self) -> f64 {
-        self.get("scale").and_then(|s| s.parse().ok()).unwrap_or(0.05)
+        self.get("scale")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.05)
     }
 
     /// `--reps` (default 3, like the paper).
@@ -185,12 +182,7 @@ mod tests {
                 .map(|d| d.to_string())
                 .collect();
             for e in set.all() {
-                let got: Vec<String> = e
-                    .eval(q)
-                    .unwrap()
-                    .iter()
-                    .map(|d| d.to_string())
-                    .collect();
+                let got: Vec<String> = e.eval(q).unwrap().iter().map(|d| d.to_string()).collect();
                 assert_eq!(got, reference, "{} on {q}", e.name());
             }
         }
@@ -207,7 +199,9 @@ mod tests {
     #[test]
     fn fmt_and_args_helpers() {
         assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.5000");
-        let args = Args { raw: vec!["--scale".into(), "0.2".into(), "--verify".into()] };
+        let args = Args {
+            raw: vec!["--scale".into(), "0.2".into(), "--verify".into()],
+        };
         assert_eq!(args.scale(), 0.2);
         assert!(args.has("verify"));
         assert!(!args.has("missing"));

@@ -17,6 +17,7 @@
 //! * sorted bulk loading with a configurable fill factor.
 
 pub mod node;
+pub mod verify;
 
 use std::cell::Cell;
 use std::fmt;
@@ -408,7 +409,11 @@ impl<S: Storage> BTree<S> {
                         break;
                     }
                 }
-                let next = if past { node::NO_PAGE } else { node::link(&buf) };
+                let next = if past {
+                    node::NO_PAGE
+                } else {
+                    node::link(&buf)
+                };
                 (found, next)
             };
             if let Some(i) = found {
@@ -483,7 +488,11 @@ impl<S: Storage> BTree<S> {
         while level.len() > 1 {
             let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
             let mut iter = level.into_iter();
-            let mut group_first = iter.next().expect("level non-empty");
+            let Some(mut group_first) = iter.next() else {
+                return Err(BTreeError::Corrupt(
+                    "bulk load produced an empty index level".into(),
+                ));
+            };
             loop {
                 let (node_id, handle) = pool.allocate()?;
                 {
@@ -583,7 +592,14 @@ impl<S: Storage> Iterator for RangeIter<'_, S> {
                         }
                     }
                 }
-                (None, None) => unreachable!("either an item or a link"),
+                (None, None) => {
+                    // The slot/link split above always yields exactly one
+                    // side; report divergence as corruption, never panic.
+                    self.leaf = None;
+                    return Some(Err(BTreeError::Corrupt(
+                        "leaf cursor lost between item and link".into(),
+                    )));
+                }
             }
         }
     }
@@ -651,7 +667,11 @@ mod tests {
         let all = t.get_all(b"00000050dup").unwrap();
         assert_eq!(all.len(), 200);
         for (i, v) in all.iter().enumerate() {
-            assert_eq!(v.as_slice(), (i as u32).to_le_bytes(), "order broken at {i}");
+            assert_eq!(
+                v.as_slice(),
+                (i as u32).to_le_bytes(),
+                "order broken at {i}"
+            );
         }
     }
 

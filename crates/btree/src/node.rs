@@ -347,6 +347,9 @@ mod tests {
         let mut buf = leaf(256);
         let before = free_space(&buf);
         leaf_insert(&mut buf, 0, b"key", b"value");
-        assert_eq!(before - free_space(&buf), leaf_cell_size(b"key", b"value") + 2);
+        assert_eq!(
+            before - free_space(&buf),
+            leaf_cell_size(b"key", b"value") + 2
+        );
     }
 }

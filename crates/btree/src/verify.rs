@@ -1,0 +1,414 @@
+//! Structural self-verification of a B+ tree.
+//!
+//! [`BTree::verify_structure`] walks the whole tree read-only and checks the
+//! invariants the implementation promises, without trusting any cached
+//! state beyond the meta page:
+//!
+//! * meta-page magic and root pointer validity,
+//! * node types and slotted-page bounds (slot array below `cell_start`,
+//!   every cell fully inside the page),
+//! * key ordering within each node (non-decreasing; duplicates are legal),
+//! * separator routing: every key in a subtree lies within the separator
+//!   bounds that route to it (non-strict on both sides, because duplicate
+//!   runs may straddle a split),
+//! * uniform leaf depth,
+//! * the leaf chain links exactly the leaves in tree order and terminates,
+//! * the persisted entry count equals the number of leaf cells.
+//!
+//! The walk is panic-free by construction: all offsets read from a page are
+//! bounds-checked before use, so it can be pointed at a deliberately
+//! corrupted pool and will report issues instead of crashing. Empty leaves
+//! are *not* an issue — deletion is lazy and keeps empty leaves chained.
+
+use std::collections::HashSet;
+
+use nok_pager::codec::{get_u16, get_u32};
+use nok_pager::{PageId, Storage};
+
+use crate::{node, BTree, BTreeResult, META_MAGIC, META_OFF_MAGIC, META_OFF_ROOT};
+
+/// One structural problem found by [`BTree::verify_structure`].
+#[derive(Debug, Clone)]
+pub struct Issue {
+    /// Page the problem was found on.
+    pub page: PageId,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page {}: {}", self.page, self.detail)
+    }
+}
+
+/// Bounds-checked view of one cell: its key slice plus, for internal nodes,
+/// the child pointer.
+struct Cell<'a> {
+    key: &'a [u8],
+    child: u32,
+}
+
+fn checked_cell<'a>(buf: &'a [u8], i: usize, leaf: bool) -> Result<Cell<'a>, String> {
+    let slot = node::HEADER_SIZE + 2 * i;
+    if slot + 2 > buf.len() {
+        return Err(format!("slot {i} lies outside the page"));
+    }
+    let off = get_u16(buf, slot) as usize;
+    let cell_header = if leaf { 4 } else { 6 };
+    if off + cell_header > buf.len() {
+        return Err(format!("cell {i} header at offset {off} overruns the page"));
+    }
+    let klen = get_u16(buf, off) as usize;
+    let (key_start, tail) = if leaf {
+        let vlen = get_u16(buf, off + 2) as usize;
+        (off + 4, vlen)
+    } else {
+        (off + 6, 0)
+    };
+    if key_start + klen + tail > buf.len() {
+        return Err(format!(
+            "cell {i} payload ({klen}+{tail} bytes at {key_start}) overruns the page"
+        ));
+    }
+    let child = if leaf { 0 } else { get_u32(buf, off + 2) };
+    Ok(Cell {
+        key: &buf[key_start..key_start + klen],
+        child,
+    })
+}
+
+/// Walk state shared across the recursive descent.
+struct Walk<'t, S: Storage> {
+    tree: &'t BTree<S>,
+    issues: Vec<Issue>,
+    visited: HashSet<PageId>,
+    /// Leaves in tree (left-to-right) order.
+    leaves: Vec<PageId>,
+    leaf_depth: Option<usize>,
+    leaf_cells: u64,
+}
+
+impl<S: Storage> Walk<'_, S> {
+    fn issue(&mut self, page: PageId, detail: String) {
+        self.issues.push(Issue { page, detail });
+    }
+
+    fn visit(
+        &mut self,
+        page: PageId,
+        depth: usize,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+    ) -> BTreeResult<()> {
+        if depth > 64 {
+            self.issue(page, "tree deeper than 64 levels (routing loop?)".into());
+            return Ok(());
+        }
+        if page >= self.tree.pool.page_count() {
+            self.issue(page, "child pointer outside the pool".into());
+            return Ok(());
+        }
+        if !self.visited.insert(page) {
+            self.issue(page, "page reachable twice (cycle or shared child)".into());
+            return Ok(());
+        }
+        let handle = self.tree.pool.get(page)?;
+        let buf = handle.read();
+        let ntype = node::node_type(&buf);
+        if ntype != node::NODE_LEAF && ntype != node::NODE_INTERNAL {
+            self.issue(page, format!("invalid node type {ntype}"));
+            return Ok(());
+        }
+        let leaf = ntype == node::NODE_LEAF;
+        let n = node::ncells(&buf);
+        let cell_start = get_u16(&buf, node::OFF_CELL_START) as usize;
+        if node::HEADER_SIZE + 2 * n > cell_start || cell_start > buf.len() {
+            self.issue(
+                page,
+                format!("slot array ({n} cells) collides with cell area (cell_start={cell_start})"),
+            );
+            return Ok(());
+        }
+
+        // Per-cell bounds, in-node key order, separator-bound containment.
+        let mut prev_key: Option<Vec<u8>> = None;
+        let mut children: Vec<(Vec<u8>, u32)> = Vec::new();
+        for i in 0..n {
+            let cell = match checked_cell(&buf, i, leaf) {
+                Ok(c) => c,
+                Err(detail) => {
+                    self.issue(page, detail);
+                    break; // offsets untrustworthy beyond this point
+                }
+            };
+            if let Some(prev) = &prev_key {
+                if prev.as_slice() > cell.key {
+                    self.issue(page, format!("key order violated at cell {i}"));
+                }
+            }
+            if let Some(lo) = lower {
+                if cell.key < lo {
+                    self.issue(page, format!("cell {i} key below its separator bound"));
+                }
+            }
+            if let Some(hi) = upper {
+                if cell.key > hi {
+                    self.issue(page, format!("cell {i} key above its separator bound"));
+                }
+            }
+            prev_key = Some(cell.key.to_vec());
+            if !leaf {
+                children.push((cell.key.to_vec(), cell.child));
+            }
+        }
+
+        if leaf {
+            match self.leaf_depth {
+                None => self.leaf_depth = Some(depth),
+                Some(d) if d != depth => {
+                    self.issue(page, format!("leaf at depth {depth}, expected {d}"));
+                }
+                _ => {}
+            }
+            self.leaves.push(page);
+            self.leaf_cells += n as u64;
+            return Ok(());
+        }
+
+        // Internal: recurse into link (leftmost) child then separator children.
+        drop(buf);
+        let link = {
+            let buf = handle.read();
+            node::link(&buf)
+        };
+        let first_upper = children.first().map(|(k, _)| k.clone());
+        self.visit(link, depth + 1, lower, first_upper.as_deref())?;
+        for (i, (sep, child)) in children.iter().enumerate() {
+            let next_upper = children.get(i + 1).map(|(k, _)| k.as_slice());
+            self.visit(*child, depth + 1, Some(sep), next_upper.or(upper))?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: Storage> BTree<S> {
+    /// Verify the tree's structural invariants (see the module docs).
+    /// Returns the list of problems found — empty means structurally sound.
+    /// `Err` is reserved for I/O failures while reading in-range pages.
+    pub fn verify_structure(&self) -> BTreeResult<Vec<Issue>> {
+        let mut walk = Walk {
+            tree: self,
+            issues: Vec::new(),
+            visited: HashSet::new(),
+            leaves: Vec::new(),
+            leaf_depth: None,
+            leaf_cells: 0,
+        };
+        let page_count = self.pool.page_count();
+        if page_count == 0 {
+            walk.issue(0, "pool holds no pages (missing meta page)".into());
+            return Ok(walk.issues);
+        }
+        let (meta_root, magic) = {
+            let meta = self.pool.get(0)?;
+            let m = meta.read();
+            (get_u32(&m, META_OFF_ROOT), get_u32(&m, META_OFF_MAGIC))
+        };
+        if magic != META_MAGIC {
+            walk.issue(0, format!("bad meta magic {magic:#010x}"));
+            return Ok(walk.issues);
+        }
+        if meta_root != self.root.get() {
+            walk.issue(
+                0,
+                format!(
+                    "meta root {meta_root} differs from in-memory root {}",
+                    self.root.get()
+                ),
+            );
+        }
+        if meta_root == 0 || meta_root >= page_count {
+            walk.issue(0, format!("meta root {meta_root} is not a valid page"));
+            return Ok(walk.issues);
+        }
+        walk.visit(meta_root, 1, None, None)?;
+
+        // Leaf chain must thread exactly the leaves, in tree order.
+        if let Some(&first) = walk.leaves.first() {
+            let mut chain: Vec<PageId> = Vec::new();
+            let mut seen = HashSet::new();
+            let mut pid = first;
+            loop {
+                if !seen.insert(pid) {
+                    walk.issue(pid, "leaf chain cycles".into());
+                    break;
+                }
+                if pid >= page_count {
+                    walk.issue(pid, "leaf chain points outside the pool".into());
+                    break;
+                }
+                chain.push(pid);
+                let next = {
+                    let h = self.pool.get(pid)?;
+                    let b = h.read();
+                    node::link(&b)
+                };
+                if next == node::NO_PAGE {
+                    break;
+                }
+                pid = next;
+            }
+            if chain != walk.leaves {
+                let page = chain
+                    .iter()
+                    .zip(&walk.leaves)
+                    .find(|(a, b)| a != b)
+                    .map(|(a, _)| *a)
+                    .unwrap_or(first);
+                walk.issue(page, "leaf chain disagrees with tree order".into());
+            }
+        }
+
+        if walk.leaf_cells != self.count.get() {
+            walk.issue(
+                0,
+                format!(
+                    "entry count {} in meta, {} cells in leaves",
+                    self.count.get(),
+                    walk.leaf_cells
+                ),
+            );
+        }
+        Ok(walk.issues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::META_OFF_COUNT;
+    use nok_pager::{BufferPool, MemStorage};
+    use std::rc::Rc;
+
+    fn mem_tree(page_size: usize) -> BTree<MemStorage> {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        BTree::create(pool).unwrap()
+    }
+
+    fn key_of(i: u32) -> Vec<u8> {
+        format!("{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn fresh_trees_verify_clean() {
+        let t = mem_tree(256);
+        assert!(t.verify_structure().unwrap().is_empty());
+        for i in 0..500u32 {
+            t.insert(&key_of(i * 7 % 500), &i.to_le_bytes()).unwrap();
+        }
+        assert!(t.verify_structure().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bulk_loaded_trees_verify_clean() {
+        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pairs: Vec<_> = (0..1000u32).map(|i| (key_of(i), vec![1, 2, 3])).collect();
+        let t = BTree::bulk_load(pool, pairs, 0.9).unwrap();
+        assert!(t.verify_structure().unwrap().is_empty());
+    }
+
+    #[test]
+    fn deletions_keep_tree_verifiable() {
+        let t = mem_tree(256);
+        for i in 0..300u32 {
+            t.insert(&key_of(i), b"v").unwrap();
+        }
+        for i in (0..300u32).step_by(2) {
+            assert!(t.delete(&key_of(i), None).unwrap());
+        }
+        assert!(t.verify_structure().unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_order_corruption_is_reported() {
+        let t = mem_tree(256);
+        for i in 0..200u32 {
+            t.insert(&key_of(i), b"v").unwrap();
+        }
+        // Swap the first two slots of some leaf to break in-node key order.
+        let leaf = {
+            let issues = t.verify_structure().unwrap();
+            assert!(issues.is_empty());
+            // Find a leaf with >= 2 cells by scanning pages.
+            (1..t.pool.page_count())
+                .find(|&p| {
+                    let h = t.pool.get(p).unwrap();
+                    let b = h.read();
+                    node::is_leaf(&b) && node::ncells(&b) >= 2
+                })
+                .expect("some leaf has two cells")
+        };
+        {
+            let h = t.pool.get(leaf).unwrap();
+            let mut b = h.write();
+            let s0 = get_u16(&b, node::HEADER_SIZE);
+            let s1 = get_u16(&b, node::HEADER_SIZE + 2);
+            nok_pager::codec::put_u16(&mut b, node::HEADER_SIZE, s1);
+            nok_pager::codec::put_u16(&mut b, node::HEADER_SIZE + 2, s0);
+        }
+        let issues = t.verify_structure().unwrap();
+        assert!(
+            issues.iter().any(|i| i.detail.contains("key order")),
+            "expected a key-order issue, got {issues:?}"
+        );
+    }
+
+    #[test]
+    fn broken_meta_and_count_are_reported() {
+        let t = mem_tree(256);
+        for i in 0..50u32 {
+            t.insert(&key_of(i), b"v").unwrap();
+        }
+        // Desync the persisted count.
+        {
+            let meta = t.pool.get(0).unwrap();
+            let mut m = meta.write();
+            nok_pager::codec::put_u64(&mut m, META_OFF_COUNT, 999);
+        }
+        t.count.set(999);
+        let issues = t.verify_structure().unwrap();
+        assert!(
+            issues.iter().any(|i| i.detail.contains("entry count")),
+            "expected an entry-count issue, got {issues:?}"
+        );
+    }
+
+    #[test]
+    fn overrunning_cell_is_reported_not_panicking() {
+        let t = mem_tree(256);
+        for i in 0..200u32 {
+            t.insert(&key_of(i), b"v").unwrap();
+        }
+        let leaf = (1..t.pool.page_count())
+            .find(|&p| {
+                let h = t.pool.get(p).unwrap();
+                let b = h.read();
+                node::is_leaf(&b) && node::ncells(&b) >= 1
+            })
+            .unwrap();
+        {
+            let h = t.pool.get(leaf).unwrap();
+            let mut b = h.write();
+            // Point the first slot near the end of the page so the cell
+            // header itself overruns.
+            let len = b.len() as u16;
+            nok_pager::codec::put_u16(&mut b, node::HEADER_SIZE, len - 1);
+        }
+        let issues = t.verify_structure().unwrap();
+        assert!(
+            issues.iter().any(|i| i.detail.contains("overruns")),
+            "expected an overrun issue, got {issues:?}"
+        );
+    }
+}

@@ -17,7 +17,7 @@
 //! directory, so skipped pages cost no I/O — the effect the paper targets.
 
 use crate::dewey::Dewey;
-use crate::error::CoreResult;
+use crate::error::{CoreError, CoreResult};
 use crate::page::Entry;
 use crate::sigma::TagCode;
 use crate::store::{NodeAddr, StructStore};
@@ -38,7 +38,7 @@ pub fn next_entry<S: Storage>(
         }));
     }
     // Walk the directory (no I/O) to the next non-empty page.
-    let mut r = store.rank(addr.page) + 1;
+    let mut r = store.rank(addr.page)? + 1;
     while let Some(de) = store.dir_at(r) {
         if de.entries > 0 {
             return Ok(Some(NodeAddr {
@@ -102,7 +102,7 @@ pub fn following_sibling<S: Storage>(
     }
 
     // Subsequent pages: consult headers, load only pages that can matter.
-    let mut r = store.rank(addr.page) + 1;
+    let mut r = store.rank(addr.page)? + 1;
     while let Some(de) = store.dir_at(r) {
         r += 1;
         if de.entries == 0 {
@@ -133,10 +133,7 @@ pub fn following_sibling<S: Storage>(
 /// Address of the close entry matching the open at `addr` (the first
 /// subsequent close at level `l-1`). Pages that cannot contain any entry at
 /// level `< l` are skipped via the directory.
-pub fn subtree_close<S: Storage>(
-    store: &StructStore<S>,
-    addr: NodeAddr,
-) -> CoreResult<NodeAddr> {
+pub fn subtree_close<S: Storage>(store: &StructStore<S>, addr: NodeAddr) -> CoreResult<NodeAddr> {
     let (entry, l) = store.entry_at(addr)?;
     debug_assert!(entry.is_open(), "subtree_close of a close entry");
 
@@ -149,7 +146,7 @@ pub fn subtree_close<S: Storage>(
             });
         }
     }
-    let mut r = store.rank(addr.page) + 1;
+    let mut r = store.rank(addr.page)? + 1;
     while let Some(de) = store.dir_at(r) {
         r += 1;
         if de.entries == 0 || de.lo >= l {
@@ -176,7 +173,7 @@ pub fn subtree_close<S: Storage>(
 /// `a` iff `a.start < b.start && b.end < a.end`.
 pub fn interval<S: Storage>(store: &StructStore<S>, addr: NodeAddr) -> CoreResult<(u64, u64)> {
     let close = subtree_close(store, addr)?;
-    Ok((store.lin(addr), store.lin(close)))
+    Ok((store.lin(addr)?, store.lin(close)?))
 }
 
 /// Iterator over the open entries of the subtree rooted at `addr`,
@@ -186,11 +183,18 @@ pub fn descendants<'a, S: Storage>(
     addr: NodeAddr,
 ) -> CoreResult<impl Iterator<Item = CoreResult<(NodeAddr, TagCode, u16)>> + 'a> {
     let end = subtree_close(store, addr)?;
-    let end_lin = store.lin(end);
+    let end_lin = store.lin(end)?;
     let mut cur = next_entry(store, addr)?;
     Ok(std::iter::from_fn(move || loop {
         let addr = cur?;
-        if store.lin(addr) >= end_lin {
+        let addr_lin = match store.lin(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                cur = None;
+                return Some(Err(e));
+            }
+        };
+        if addr_lin >= end_lin {
             cur = None;
             return None;
         }
@@ -261,7 +265,9 @@ impl<S: Storage> Iterator for DocScan<'_, S> {
                 let (entry, level) = self.store.entry_at(addr)?;
                 let item = match entry {
                     Entry::Open(tag) => {
-                        let counter = self.counters.last_mut().expect("counter stack");
+                        let counter = self.counters.last_mut().ok_or_else(|| {
+                            CoreError::Corrupt("document scan saw more closes than opens".into())
+                        })?;
                         let idx = *counter;
                         *counter += 1;
                         self.path.push(idx);
@@ -383,10 +389,8 @@ mod tests {
         for page_size in [64, 96, 128, 256, 4096] {
             let (store, dict) = build(BIB, page_size);
             // Walk DOM and store in lockstep (document order).
-            let dom_elems: Vec<NodeId> = doc
-                .preorder()
-                .filter(|&id| doc.tag(id).is_some())
-                .collect();
+            let dom_elems: Vec<NodeId> =
+                doc.preorder().filter(|&id| doc.tag(id).is_some()).collect();
             let store_elems: Vec<ScanItem> = DocScan::new(&store)
                 .collect::<CoreResult<Vec<_>>>()
                 .unwrap();
@@ -527,7 +531,10 @@ mod tests {
         store.pool().clear_cache().unwrap();
         store.pool().stats().reset();
         let second = following_sibling(&store, first).unwrap().unwrap();
-        assert_eq!(store.tag_at(second).unwrap(), dict.lookup("second").unwrap());
+        assert_eq!(
+            store.tag_at(second).unwrap(),
+            dict.lookup("second").unwrap()
+        );
         let loaded = store.pool().stats().physical_reads();
         // All the <deep> pages have lo >= 3 and can't contain level-2
         // entries or level-0 stops, so they must be skipped.

@@ -139,12 +139,8 @@ impl<S: Storage> XmlDb<S> {
         chain.reverse(); // root fragment first
 
         // Records of the current fragment that survive ancestor filtering.
-        let mut surviving: Vec<usize> = (0..evals[chain[0]]
-            .as_ref()
-            .expect("evaluated")
-            .records
-            .len())
-            .collect();
+        let mut surviving: Vec<usize> =
+            (0..evals[chain[0]].as_ref().expect("evaluated").records.len()).collect();
         for w in chain.windows(2) {
             let (pf, cf) = (w[0], w[1]);
             let cut = part.incoming_cut(cf).expect("chained fragment has a cut");
@@ -175,13 +171,10 @@ impl<S: Storage> XmlDb<S> {
         let mut out: Vec<QueryMatch> = surviving
             .iter()
             .flat_map(|&ri| {
-                ret_eval.records[ri]
-                    .hot
-                    .iter()
-                    .map(|(n, _)| QueryMatch {
-                        addr: n.addr,
-                        dewey: n.dewey.clone(),
-                    })
+                ret_eval.records[ri].hot.iter().map(|(n, _)| QueryMatch {
+                    addr: n.addr,
+                    dewey: n.dewey.clone(),
+                })
             })
             .collect();
         out.sort_by(|a, b| a.dewey.cmp(&b.dewey));
@@ -216,7 +209,15 @@ impl<S: Storage> XmlDb<S> {
         if pivot == DOC_NODE {
             stats.strategies[f] = "doc";
             let matcher = NokMatcher::new(part, f);
-            return self.match_all(part, f, &matcher, vec![access.doc_node()], access, evals, stats);
+            return self.match_all(
+                part,
+                f,
+                &matcher,
+                vec![access.doc_node()],
+                access,
+                evals,
+                stats,
+            );
         }
         let (mut starts, strategy) = self.locate_starts(part, f, pivot, access, opts)?;
         if root == DOC_NODE && strategy == "scan" {
@@ -224,7 +225,15 @@ impl<S: Storage> XmlDb<S> {
             // root beats scan + per-candidate ancestor verification.
             stats.strategies[f] = "doc-scan";
             let matcher = NokMatcher::new(part, f);
-            return self.match_all(part, f, &matcher, vec![access.doc_node()], access, evals, stats);
+            return self.match_all(
+                part,
+                f,
+                &matcher,
+                vec![access.doc_node()],
+                access,
+                evals,
+                stats,
+            );
         }
         stats.strategies[f] = strategy;
         if root == DOC_NODE {
@@ -267,7 +276,10 @@ impl<S: Storage> XmlDb<S> {
         // (kind, child fragment's root intervals).
         let mut cut_map: HashMap<PNodeId, Vec<(CutKind, usize)>> = HashMap::new();
         for ce in part.cut_edges_from(f) {
-            cut_map.entry(ce.src).or_default().push((ce.kind, ce.child_frag));
+            cut_map
+                .entry(ce.src)
+                .or_default()
+                .push((ce.kind, ce.child_frag));
         }
         let mut hook = |p: PNodeId, n: &PhysNode| -> CoreResult<bool> {
             let Some(conds) = cut_map.get(&p) else {
@@ -527,7 +539,10 @@ impl<S: Storage> XmlDb<S> {
                     continue;
                 };
                 let postings = self.bt_val.get_all(&hash_key(lit))?;
-                if best.as_ref().is_none_or(|(b, _, _)| postings.len() < b.len()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(b, _, _)| postings.len() < b.len())
+                {
                     best = Some((postings, lit.clone(), d));
                 }
             }
@@ -646,7 +661,9 @@ mod tests {
     #[test]
     fn paper_query_end_to_end() {
         let db = XmlDb::build_in_memory(BIB).unwrap();
-        let hits = db.query(r#"//book[author/last="Stevens"][price<100]"#).unwrap();
+        let hits = db
+            .query(r#"//book[author/last="Stevens"][price<100]"#)
+            .unwrap();
         assert_eq!(hits.len(), 2, "the two Stevens books under 100");
         assert_eq!(db.tag_name_of(&hits[0]).unwrap(), "book");
     }
@@ -738,9 +755,7 @@ mod tests {
             StartStrategy::TagIndex,
             StartStrategy::ValueIndex,
         ] {
-            let (hits, stats) = db
-                .query_with(q, QueryOptions { strategy: strat })
-                .unwrap();
+            let (hits, stats) = db.query_with(q, QueryOptions { strategy: strat }).unwrap();
             answers.push((
                 hits.iter().map(|m| m.dewey.to_string()).collect::<Vec<_>>(),
                 stats,
@@ -795,7 +810,10 @@ mod tests {
     fn empty_and_unknown_queries() {
         let db = XmlDb::build_in_memory(BIB).unwrap();
         assert!(db.query("//unknowntag").unwrap().is_empty());
-        assert!(db.query(r#"//book[title="No Such Book"]"#).unwrap().is_empty());
+        assert!(db
+            .query(r#"//book[title="No Such Book"]"#)
+            .unwrap()
+            .is_empty());
         assert!(db.query("/book").unwrap().is_empty()); // root is bib
     }
 
@@ -805,17 +823,22 @@ mod tests {
         assert!(db.query("not a path").is_err());
     }
 
-#[test]
-fn pivot_value_route_collects() {
-    use super::QueryOptions;
-    let xml = r#"<dblp>
+    #[test]
+    fn pivot_value_route_collects() {
+        use super::QueryOptions;
+        let xml = r#"<dblp>
       <article><author>A</author><keyword>needle-high</keyword><note>needle-high</note></article>
       <article><author>B</author><keyword>zzz</keyword><note>yyy</note></article>
       <article><author>C</author><keyword>needle-high</keyword><note>needle-high</note></article>
     </dblp>"#;
-    let db = crate::build::XmlDb::build_in_memory(xml).unwrap();
-    let (hits, stats) = db.query_with(r#"/dblp/article[keyword="needle-high"]"#, QueryOptions::default()).unwrap();
-    eprintln!("stats={stats:?}");
-    assert_eq!(hits.len(), 2);
-}
+        let db = crate::build::XmlDb::build_in_memory(xml).unwrap();
+        let (hits, stats) = db
+            .query_with(
+                r#"/dblp/article[keyword="needle-high"]"#,
+                QueryOptions::default(),
+            )
+            .unwrap();
+        eprintln!("stats={stats:?}");
+        assert_eq!(hits.len(), 2);
+    }
 }

@@ -59,10 +59,10 @@ pub mod update;
 pub mod values;
 
 pub use build::XmlDb;
-pub use engine::{QueryMatch, QueryOptions, QueryStats, StartStrategy};
-pub use stats::DocStats;
-pub use stream::{StreamHit, StreamMatcher};
 pub use dewey::Dewey;
+pub use engine::{QueryMatch, QueryOptions, QueryStats, StartStrategy};
 pub use error::{CoreError, CoreResult};
 pub use sigma::{TagCode, TagDict};
+pub use stats::DocStats;
 pub use store::{BuildOptions, NodeAddr, StructStore};
+pub use stream::{StreamHit, StreamMatcher};

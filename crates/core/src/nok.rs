@@ -28,7 +28,7 @@ use std::collections::{HashMap, HashSet};
 
 use crate::error::CoreResult;
 use crate::pattern::NameTest;
-use crate::pattern_tree::{Partition, PNodeId, PatternTree, DOC_NODE};
+use crate::pattern_tree::{PNodeId, Partition, PatternTree, DOC_NODE};
 
 /// Abstract subject-tree navigation: the only operations Algorithm 1 needs.
 pub trait TreeAccess {
@@ -88,8 +88,7 @@ impl<'p> NokMatcher<'p> {
     /// Compile the matcher for fragment `frag` of `partition`.
     pub fn new(partition: &Partition<'p>, frag: usize) -> NokMatcher<'p> {
         let tree = partition.tree;
-        let members: HashSet<PNodeId> =
-            partition.fragments[frag].members.iter().copied().collect();
+        let members: HashSet<PNodeId> = partition.fragments[frag].members.iter().copied().collect();
         let mut children: HashMap<PNodeId, Vec<PNodeId>> = HashMap::new();
         for &m in &members {
             children.insert(m, tree.local_children(m).collect());
@@ -348,9 +347,7 @@ impl TreeAccess for DomAccess<'_> {
         Ok(match test {
             NameTest::Wildcard => attr.is_none(), // '*' selects elements only
             NameTest::Tag(t) => match attr {
-                Some(ai) => {
-                    t.starts_with('@') && self.doc.attrs(id)[ai].name == t[1..]
-                }
+                Some(ai) => t.starts_with('@') && self.doc.attrs(id)[ai].name == t[1..],
                 None => self.doc.tag(id) == Some(t.as_str()),
             },
         })
@@ -392,7 +389,10 @@ mod tests {
         let doc = Document::parse(xml).unwrap();
         let access = DomAccess::new(&doc);
         let mut hook = accept_all();
-        match matcher.match_at(&access, &access.doc_node(), &mut hook).unwrap() {
+        match matcher
+            .match_at(&access, &access.doc_node(), &mut hook)
+            .unwrap()
+        {
             Some(out) => out.into_iter().map(|(_, n)| n).collect(),
             None => Vec::new(),
         }

@@ -88,16 +88,21 @@ pub struct PageHeader {
     pub nbytes: u16,
 }
 
-/// Read the header fields of a raw page.
-pub fn read_header(buf: &[u8]) -> PageHeader {
+/// Read the header fields of a raw page. `None` when the buffer is shorter
+/// than a header — a corrupt or truncated page must be reportable, never a
+/// slice-bounds panic.
+pub fn read_header(buf: &[u8]) -> Option<PageHeader> {
     use nok_pager::codec::{get_u16, get_u32};
-    PageHeader {
+    if buf.len() < HEADER_SIZE {
+        return None;
+    }
+    Some(PageHeader {
         st: get_u16(buf, OFF_ST),
         lo: get_u16(buf, OFF_LO),
         hi: get_u16(buf, OFF_HI),
         next: get_u32(buf, OFF_NEXT),
         nbytes: get_u16(buf, OFF_NBYTES),
-    }
+    })
 }
 
 /// Write the header fields of a raw page.
@@ -150,10 +155,12 @@ pub struct DecodedPage {
 }
 
 impl DecodedPage {
-    /// Decode a raw page.
+    /// Decode a raw page. `None` on any malformed input: a buffer shorter
+    /// than the header, an `nbytes` count overrunning the page, a truncated
+    /// open entry, or a level sequence dropping below zero.
     pub fn decode(buf: &[u8]) -> Option<DecodedPage> {
-        let header = read_header(buf);
-        let content = &buf[HEADER_SIZE..HEADER_SIZE + header.nbytes as usize];
+        let header = read_header(buf)?;
+        let content = buf.get(HEADER_SIZE..HEADER_SIZE + header.nbytes as usize)?;
         let mut entries = Vec::new();
         let mut levels = Vec::new();
         let mut byte_offsets = Vec::new();
@@ -252,7 +259,7 @@ mod tests {
             nbytes: 17,
         };
         write_header(&mut buf, &h);
-        assert_eq!(read_header(&buf), h);
+        assert_eq!(read_header(&buf), Some(h));
     }
 
     /// The paper's worked example: page 1 of Figure 4 contains
@@ -325,6 +332,47 @@ mod tests {
         buf[HEADER_SIZE..].copy_from_slice(&content);
         let page = DecodedPage::decode(&buf).unwrap();
         assert_eq!(page.levels, vec![6, 5]);
+    }
+
+    #[test]
+    fn short_buffer_header_is_rejected() {
+        assert_eq!(read_header(&[0u8; 4]), None);
+        assert_eq!(read_header(&[]), None);
+        assert!(DecodedPage::decode(&[0u8; 4]).is_none());
+    }
+
+    #[test]
+    fn overrunning_nbytes_is_rejected() {
+        // nbytes claims more content than the buffer holds.
+        let mut buf = vec![0u8; HEADER_SIZE + 2];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: 100,
+            },
+        );
+        assert!(DecodedPage::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn truncated_open_entry_in_page_is_rejected() {
+        let mut buf = vec![0u8; HEADER_SIZE + 1];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: 1,
+            },
+        );
+        buf[HEADER_SIZE] = 0x80; // first byte of a 2-byte open, then nothing
+        assert!(DecodedPage::decode(&buf).is_none());
     }
 
     #[test]

@@ -287,7 +287,8 @@ impl<'a> Parser<'a> {
         let mut steps = Vec::new();
         loop {
             self.skip_ws();
-            #[allow(clippy::if_same_then_else)] // '/' and a bare predicate-initial step both mean Child
+            #[allow(clippy::if_same_then_else)]
+            // '/' and a bare predicate-initial step both mean Child
             let axis = if self.eat_str("//") {
                 Axis::Descendant
             } else if self.eat(b'/') {
@@ -591,10 +592,7 @@ mod tests {
             "/a[b=\"unterminated]",
             "//following-sibling::x",
         ] {
-            assert!(
-                PathExpr::parse(bad).is_err(),
-                "should reject {bad:?}"
-            );
+            assert!(PathExpr::parse(bad).is_err(), "should reject {bad:?}");
         }
     }
 

@@ -102,10 +102,12 @@ impl PatternTree {
                 Axis::Child => self.add_node(step.test.clone(), cur, EdgeKind::Child),
                 Axis::Descendant => self.add_node(step.test.clone(), cur, EdgeKind::Descendant),
                 Axis::FollowingSibling => {
-                    let parent = self.nodes[cur].parent.ok_or_else(|| CoreError::PathSyntax {
-                        pos: 0,
-                        msg: "following-sibling:: from the document node".into(),
-                    })?;
+                    let parent = self.nodes[cur]
+                        .parent
+                        .ok_or_else(|| CoreError::PathSyntax {
+                            pos: 0,
+                            msg: "following-sibling:: from the document node".into(),
+                        })?;
                     let id = self.add_node(step.test.clone(), parent, EdgeKind::Child);
                     self.order_arcs.push((cur, id));
                     id
@@ -126,13 +128,10 @@ impl PatternTree {
 
     fn add_predicate(&mut self, ctx: PNodeId, pred: &Predicate) -> CoreResult<()> {
         if pred.path.is_empty() {
-            let cmp = pred
-                .cmp
-                .clone()
-                .ok_or_else(|| CoreError::PathSyntax {
-                    pos: 0,
-                    msg: "self predicate without comparison".into(),
-                })?;
+            let cmp = pred.cmp.clone().ok_or_else(|| CoreError::PathSyntax {
+                pos: 0,
+                msg: "self predicate without comparison".into(),
+            })?;
             self.nodes[ctx].value_cmps.push(cmp);
             return Ok(());
         }
@@ -454,7 +453,10 @@ mod tests {
         for (i, f) in p.fragments.iter().enumerate() {
             let names: Vec<String> = f.members.iter().map(|&m| tag(&t, m)).collect();
             if names == ["y"] || names == ["c"] {
-                assert!(!p.hot.contains_key(&i), "filter fragment {names:?} got a hot node");
+                assert!(
+                    !p.hot.contains_key(&i),
+                    "filter fragment {names:?} got a hot node"
+                );
             }
         }
     }

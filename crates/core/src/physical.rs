@@ -82,13 +82,20 @@ impl IdRecord {
             )));
         }
         let addr = NodeAddr::from_bytes(&b[..8]);
-        let value = if b[8] == 1 {
-            let off = u64::from_be_bytes(b[9..17].try_into().expect("sized"));
-            let len = u32::from_be_bytes(b[17..21].try_into().expect("sized"));
-            Some((off, len))
-        } else {
-            None
-        };
+        let value =
+            if b[8] == 1 {
+                let off =
+                    u64::from_be_bytes(b[9..17].try_into().map_err(|_| {
+                        CoreError::Corrupt("IdRecord offset field truncated".into())
+                    })?);
+                let len =
+                    u32::from_be_bytes(b[17..21].try_into().map_err(|_| {
+                        CoreError::Corrupt("IdRecord length field truncated".into())
+                    })?);
+                Some((off, len))
+            } else {
+                None
+            };
         Ok(IdRecord { addr, value })
     }
 }
@@ -209,20 +216,24 @@ impl<S: Storage> TreeAccess for PhysAccess<'_, S> {
                 dewey: Dewey::root(),
             }));
         }
-        Ok(cursor::first_child(self.store, n.addr)?.map(|addr| PhysNode {
-            addr,
-            dewey: n.dewey.child(0),
-        }))
+        Ok(
+            cursor::first_child(self.store, n.addr)?.map(|addr| PhysNode {
+                addr,
+                dewey: n.dewey.child(0),
+            }),
+        )
     }
 
     fn following_sibling(&self, n: &PhysNode) -> CoreResult<Option<PhysNode>> {
         if n.is_doc() {
             return Ok(None);
         }
-        Ok(cursor::following_sibling(self.store, n.addr)?.map(|addr| PhysNode {
-            addr,
-            dewey: n.dewey.next_sibling(),
-        }))
+        Ok(
+            cursor::following_sibling(self.store, n.addr)?.map(|addr| PhysNode {
+                addr,
+                dewey: n.dewey.next_sibling(),
+            }),
+        )
     }
 
     fn matches_test(&self, n: &PhysNode, test: &NameTest) -> CoreResult<bool> {
@@ -262,7 +273,10 @@ mod tests {
             addr: NodeAddr { page: 7, entry: 42 },
             value: Some((123456, 17)),
         };
-        assert_eq!(IdRecord::from_bytes(&with_val.to_bytes()).unwrap(), with_val);
+        assert_eq!(
+            IdRecord::from_bytes(&with_val.to_bytes()).unwrap(),
+            with_val
+        );
         let no_val = IdRecord {
             addr: NodeAddr { page: 0, entry: 0 },
             value: None,

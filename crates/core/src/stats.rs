@@ -61,7 +61,16 @@ impl DocStats {
     pub fn header() -> String {
         format!(
             "{:<10} {:>12} {:>9} {:>6} {:>5} {:>5} {:>11} {:>11} {:>11} {:>11}",
-            "data set", "size", "#nodes", "avg.d", "max.d", "tags", "|tree|", "|B+t|", "|B+v|", "|B+i|"
+            "data set",
+            "size",
+            "#nodes",
+            "avg.d",
+            "max.d",
+            "tags",
+            "|tree|",
+            "|B+t|",
+            "|B+v|",
+            "|B+i|"
         )
     }
 }

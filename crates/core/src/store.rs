@@ -18,9 +18,7 @@ use nok_xml::Event;
 
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
-use crate::page::{
-    self, DecodedPage, Entry, PageHeader, HEADER_SIZE, NO_PAGE,
-};
+use crate::page::{self, DecodedPage, Entry, PageHeader, HEADER_SIZE, NO_PAGE};
 use crate::sigma::{TagCode, TagDict};
 
 /// Address of an entry in the structural store: a page and an entry index
@@ -207,7 +205,9 @@ impl<S: Storage> StructStore<S> {
                     for attr in &attrs {
                         let atag = dict.intern_attr(&attr.name);
                         let aindex = {
-                            let c = child_counters.last_mut().expect("element open");
+                            let c = child_counters.last_mut().ok_or_else(|| {
+                                CoreError::Corrupt("attribute outside an open element".into())
+                            })?;
                             let i = *c;
                             *c += 1;
                             i
@@ -334,14 +334,16 @@ impl<S: Storage> StructStore<S> {
         })
     }
 
-    /// Rank of `page` in the chain (document order of pages).
-    pub fn rank(&self, page: PageId) -> u32 {
-        *self
-            .dir
+    /// Rank of `page` in the chain (document order of pages). A page id
+    /// that is not part of the chain means the directory and the store have
+    /// diverged — reported as corruption, never as a panic.
+    pub fn rank(&self, page: PageId) -> CoreResult<u32> {
+        self.dir
             .borrow()
             .rank
             .get(&page)
-            .expect("page not in chain")
+            .copied()
+            .ok_or_else(|| CoreError::Corrupt(format!("page {page} not in chain directory")))
     }
 
     /// Directory entry at chain rank `r`, if any.
@@ -359,8 +361,8 @@ impl<S: Storage> StructStore<S> {
     /// used as the interval endpoint for structural joins. Ranks are offset
     /// by one so every real position is strictly greater than 0, letting the
     /// virtual document node own the open interval `(0, u64::MAX)`.
-    pub fn lin(&self, addr: NodeAddr) -> u64 {
-        ((self.rank(addr.page) as u64 + 1) << 32) | addr.entry as u64
+    pub fn lin(&self, addr: NodeAddr) -> CoreResult<u64> {
+        Ok(((self.rank(addr.page)? as u64 + 1) << 32) | addr.entry as u64)
     }
 
     /// Fetch and decode a page (cached).
@@ -426,9 +428,7 @@ impl<S: Storage> StructStore<S> {
     pub fn tag_at(&self, addr: NodeAddr) -> CoreResult<TagCode> {
         match self.entry_at(addr)? {
             (Entry::Open(t), _) => Ok(t),
-            (Entry::Close, _) => Err(CoreError::Corrupt(format!(
-                "expected open entry at {addr}"
-            ))),
+            (Entry::Close, _) => Err(CoreError::Corrupt(format!("expected open entry at {addr}"))),
         }
     }
 
@@ -453,15 +453,29 @@ impl<S: Storage> StructStore<S> {
 }
 
 impl Directory {
-    pub(crate) fn insert_after(&mut self, after: PageId, entry: DirEntry) {
-        let pos = *self.rank.get(&after).expect("page in chain") as usize;
+    pub(crate) fn insert_after(&mut self, after: PageId, entry: DirEntry) -> CoreResult<()> {
+        let pos = *self
+            .rank
+            .get(&after)
+            .ok_or_else(|| CoreError::Corrupt(format!("page {after} not in chain directory")))?
+            as usize;
         self.order.insert(pos + 1, entry);
         self.rebuild_ranks();
+        Ok(())
     }
 
-    pub(crate) fn update_entry(&mut self, id: PageId, f: impl FnOnce(&mut DirEntry)) {
-        let pos = *self.rank.get(&id).expect("page in chain") as usize;
+    pub(crate) fn update_entry(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut DirEntry),
+    ) -> CoreResult<()> {
+        let pos = *self
+            .rank
+            .get(&id)
+            .ok_or_else(|| CoreError::Corrupt(format!("page {id} not in chain directory")))?
+            as usize;
         f(&mut self.order[pos]);
+        Ok(())
     }
 }
 
@@ -533,8 +547,28 @@ impl<S: Storage> Builder<'_, S> {
     }
 
     fn seal(&mut self, next: PageId) -> CoreResult<()> {
+        // Sealed pages must satisfy the format invariants nok-verify
+        // checks: content within the capacity budget and coherent bounds.
+        debug_assert!(
+            self.cur.content.len() <= self.budget || self.cur.entries <= 1,
+            "page {} seals over budget: {} > {}",
+            self.cur.id,
+            self.cur.content.len(),
+            self.budget
+        );
+        debug_assert!(
+            self.cur.entries == 0 || self.cur.lo <= self.cur.hi,
+            "page {} seals with inverted bounds [{}, {}]",
+            self.cur.id,
+            self.cur.lo,
+            self.cur.hi
+        );
         let handle = self.pool.get(self.cur.id)?;
-        let lo = if self.cur.entries == 0 { u16::MAX } else { self.cur.lo };
+        let lo = if self.cur.entries == 0 {
+            u16::MAX
+        } else {
+            self.cur.lo
+        };
         let header = PageHeader {
             st: self.cur.st,
             lo,
@@ -753,10 +787,14 @@ mod tests {
             let page = store.decoded(de.id).unwrap();
             for (i, e) in page.entries.iter().enumerate() {
                 if e.is_open() {
-                    lins.push(store.lin(NodeAddr {
-                        page: de.id,
-                        entry: i as u32,
-                    }));
+                    lins.push(
+                        store
+                            .lin(NodeAddr {
+                                page: de.id,
+                                entry: i as u32,
+                            })
+                            .unwrap(),
+                    );
                 }
             }
         }

@@ -73,12 +73,9 @@ impl StreamMatcher {
             match part.fragments.len() {
                 1 => {
                     // /a/... — everything local; match from the first step.
-                    let root = tree
-                        .local_children(DOC_NODE)
-                        .next()
-                        .ok_or_else(|| CoreError::StreamUnsupported(
-                            "pattern has no steps".into(),
-                        ))?;
+                    let root = tree.local_children(DOC_NODE).next().ok_or_else(|| {
+                        CoreError::StreamUnsupported("pattern has no steps".into())
+                    })?;
                     (0, root, false)
                 }
                 2 => {

@@ -161,8 +161,7 @@ impl<S: Storage> XmlDb<S> {
                     nok_xml::Event::End { .. } => {
                         let text = text_stack.pop().unwrap_or_default();
                         if !text.trim().is_empty() {
-                            new_values
-                                .push((Dewey::from_components(walker.path.clone()), text));
+                            new_values.push((Dewey::from_components(walker.path.clone()), text));
                         }
                         new_entries.push(Entry::Close);
                         walker.on_close();
@@ -186,10 +185,10 @@ impl<S: Storage> XmlDb<S> {
         // Walk the old tail (starting at the parent's close) to recover the
         // Dewey id of every shifted node: their ids are unchanged by a
         // last-child insert, but their addresses move.
-        let tail_opens = self.walk_tail_deweys(parent, n_children + 1, close, &old_entries[ip..])?;
+        let tail_opens =
+            self.walk_tail_deweys(parent, n_children + 1, close, &old_entries[ip..])?;
 
-        let mut combined: Vec<Entry> =
-            Vec::with_capacity(old_entries.len() + new_entries.len());
+        let mut combined: Vec<Entry> = Vec::with_capacity(old_entries.len() + new_entries.len());
         combined.extend_from_slice(&old_entries[..ip]);
         combined.extend_from_slice(&new_entries);
         combined.extend_from_slice(&old_entries[ip..]);
@@ -258,7 +257,7 @@ impl<S: Storage> XmlDb<S> {
                 DeweyWalker::after_open(&target.components()[..target.components().len() - 1]);
             *walker.counters.last_mut().expect("nonempty") = target_idx;
             let mut cur = Some(addr);
-            let end_lin = self.store.lin(close);
+            let end_lin = self.store.lin(close)?;
             while let Some(a) = cur {
                 let (entry, level) = self.store.entry_at(a)?;
                 match entry {
@@ -268,7 +267,7 @@ impl<S: Storage> XmlDb<S> {
                     }
                     Entry::Close => walker.on_close(),
                 }
-                if self.store.lin(a) >= end_lin {
+                if self.store.lin(a)? >= end_lin {
                     break;
                 }
                 cur = cursor::next_entry(&self.store, a)?;
@@ -281,12 +280,15 @@ impl<S: Storage> XmlDb<S> {
         let touched = self.collect_after_region(target, close, parent_level)?;
 
         // ---- Physical removal, page by page.
-        let region_pages = self.pages_between(addr.page, close.page);
+        let region_pages = self.pages_between(addr.page, close.page)?;
         let level_before = self.store.level_at(addr)?.saturating_sub(1);
         for (i, pid) in region_pages.iter().enumerate() {
             let decoded = self.store.decoded(*pid)?;
             let (keep_head, keep_tail): (usize, usize) = if region_pages.len() == 1 {
-                (addr.entry as usize, decoded.len() - close.entry as usize - 1)
+                (
+                    addr.entry as usize,
+                    decoded.len() - close.entry as usize - 1,
+                )
             } else if i == 0 {
                 (addr.entry as usize, 0)
             } else if i + 1 == region_pages.len() {
@@ -297,7 +299,11 @@ impl<S: Storage> XmlDb<S> {
             let mut kept: Vec<Entry> = Vec::with_capacity(keep_head + keep_tail);
             kept.extend_from_slice(&decoded.entries[..keep_head]);
             kept.extend_from_slice(&decoded.entries[decoded.len() - keep_tail..]);
-            let st = if i == 0 { decoded.header.st } else { level_before };
+            let st = if i == 0 {
+                decoded.header.st
+            } else {
+                level_before
+            };
             let next = decoded.header.next;
             drop(decoded);
             self.rewrite_page(*pid, st, &kept, next)?;
@@ -320,7 +326,8 @@ impl<S: Storage> XmlDb<S> {
                 level: *level,
                 dewey: dewey.clone(),
             };
-            self.bt_tag.delete(&tag.to_key(), Some(&posting.to_bytes()))?;
+            self.bt_tag
+                .delete(&tag.to_key(), Some(&posting.to_bytes()))?;
             if let Some(c) = self.tag_counts.get_mut(tag) {
                 *c = c.saturating_sub(1);
             }
@@ -338,15 +345,15 @@ impl<S: Storage> XmlDb<S> {
     // ------------------------------------------------------------------
 
     /// Chain-ordered pages from `from` to `to` inclusive.
-    fn pages_between(&self, from: u32, to: u32) -> Vec<u32> {
+    fn pages_between(&self, from: u32, to: u32) -> CoreResult<Vec<u32>> {
         let mut out = Vec::new();
-        let mut r = self.store.rank(from);
-        let end = self.store.rank(to);
+        let mut r = self.store.rank(from)?;
+        let end = self.store.rank(to)?;
         while r <= end {
             out.push(self.store.dir_at(r).expect("rank valid").id);
             r += 1;
         }
-        out
+        Ok(out)
     }
 
     /// Walk the entries after a deleted region, producing the index fixups:
@@ -371,13 +378,12 @@ impl<S: Storage> XmlDb<S> {
         let region_in_close_page = {
             // Entries removed from the close page: if the region starts in
             // this page, from its start entry; else from entry 0.
-            let start_entry = if self.store.rank(close.page)
-                == self.store.rank(self.resolve(target)?.page)
-            {
-                self.resolve(target)?.entry as usize
-            } else {
-                0
-            };
+            let start_entry =
+                if self.store.rank(close.page)? == self.store.rank(self.resolve(target)?.page)? {
+                    self.resolve(target)?.entry as usize
+                } else {
+                    0
+                };
             close.entry as usize - start_entry + 1
         };
 
@@ -461,7 +467,8 @@ impl<S: Storage> XmlDb<S> {
             level: t.level,
             dewey: t.new_dewey.clone(),
         };
-        self.bt_tag.insert(&t.tag.to_key(), &new_posting.to_bytes())?;
+        self.bt_tag
+            .insert(&t.tag.to_key(), &new_posting.to_bytes())?;
         // B+v, if the node carries a value and its Dewey changed.
         if t.old_dewey != t.new_dewey {
             if let Some((off, _)) = rec.value {
@@ -549,6 +556,10 @@ impl<S: Storage> XmlDb<S> {
 
         // Head chunk (the pinned prefix) stays; the rest is distributed over
         // new pages at the build fill factor, leaving update slack.
+        debug_assert!(
+            entries[..pin_head].iter().map(|e| e.width()).sum::<usize>() <= capacity,
+            "pinned prefix of page {first_page} no longer fits its page"
+        );
         let budget = ((capacity as f64) * 0.8) as usize;
         let mut chunks: Vec<Vec<Entry>> = vec![entries[..pin_head].to_vec()];
         let mut cur: Vec<Entry> = Vec::new();
@@ -593,7 +604,7 @@ impl<S: Storage> XmlDb<S> {
                         hi: 0,
                         entries: 0,
                     },
-                );
+                )?;
             }
             let end_st = self.rewrite_page_with_st(*pid, running_st, chunk, next)?;
             for i in 0..chunk.len() {
@@ -604,6 +615,20 @@ impl<S: Storage> XmlDb<S> {
             }
             running_st = end_st;
             prev_page = Some(*pid);
+        }
+        // Splits rewrite balanced entry sets, so the chain's end level must
+        // still match what the untouched successor page recorded as its st.
+        #[cfg(debug_assertions)]
+        if old_next != page::NO_PAGE {
+            let handle = pool.get(old_next)?;
+            let succ = page::read_header(&handle.read());
+            if let Some(h) = succ {
+                debug_assert_eq!(
+                    h.st, running_st,
+                    "split left page {old_next} expecting st {} but chain ends at {running_st}",
+                    h.st
+                );
+            }
         }
         Ok(addrs)
     }
@@ -666,7 +691,7 @@ impl<S: Storage> XmlDb<S> {
             e.lo = lo;
             e.hi = hi;
             e.entries = entries.len() as u32;
-        });
+        })?;
         self.store.invalidate_decoded(Some(pid));
         Ok(end_level)
     }
@@ -689,7 +714,9 @@ mod tests {
     }
 
     /// After any update, the database must behave exactly like one freshly
-    /// built from the updated document.
+    /// built from the updated document. (The format-analyzer post-condition
+    /// for updates lives in `tests/update_invariants.rs` — unit tests link
+    /// a different build of this crate than `nok-verify` does.)
     fn assert_equivalent(db: &XmlDb<MemStorage>, expected_xml: &str, queries: &[&str]) {
         let doc = Document::parse(expected_xml).unwrap();
         let oracle = NaiveEvaluator::new(&doc);
@@ -776,12 +803,8 @@ mod tests {
     fn insert_overflowing_page_splits_chain() {
         // Small pages force the inserted subtree to spill into new pages.
         let xml = "<r><a/><b/><c/></r>";
-        let mut db = XmlDb::build_in_memory_with(
-            xml,
-            crate::store::BuildOptions::default(),
-            64,
-        )
-        .unwrap();
+        let mut db =
+            XmlDb::build_in_memory_with(xml, crate::store::BuildOptions::default(), 64).unwrap();
         let mut big = String::from("<big>");
         for i in 0..40 {
             big.push_str(&format!("<x n=\"{i}\">v{i}</x>"));
@@ -843,7 +866,8 @@ mod tests {
     #[test]
     fn delete_shifts_following_sibling_deweys() {
         let mut db = db("<r><a>1</a><b>2</b><c>3</c><d>4</d></r>");
-        db.delete_subtree(&Dewey::from_components(vec![0, 1])).unwrap(); // drop <b>
+        db.delete_subtree(&Dewey::from_components(vec![0, 1]))
+            .unwrap(); // drop <b>
         let expected = "<r><a>1</a><c>3</c><d>4</d></r>";
         assert_equivalent(&db, expected, &["/r/c", "/r/d", "//c", "/r/*"]);
         // c must now be 0.1, d 0.2.
@@ -859,12 +883,8 @@ mod tests {
             xml.push_str(&format!("<v>{i}</v>"));
         }
         xml.push_str("</victim><keep>yes</keep></r>");
-        let mut db = XmlDb::build_in_memory_with(
-            &xml,
-            crate::store::BuildOptions::default(),
-            64,
-        )
-        .unwrap();
+        let mut db =
+            XmlDb::build_in_memory_with(&xml, crate::store::BuildOptions::default(), 64).unwrap();
         assert!(db.store.page_count() > 3);
         let removed = db
             .delete_subtree(&Dewey::from_components(vec![0, 0]))
@@ -883,7 +903,8 @@ mod tests {
     #[test]
     fn delete_then_insert_round_trip() {
         let mut db = db(BIB);
-        db.delete_subtree(&Dewey::from_components(vec![0, 0])).unwrap();
+        db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+            .unwrap();
         db.insert_last_child(
             &Dewey::root(),
             r#"<book year="2004"><author><last>Zhang</last></author><price>10</price></book>"#,
@@ -934,7 +955,8 @@ mod tests {
         assert_eq!(db.node_count(), 3);
         db.insert_last_child(&Dewey::root(), "<c><d/></c>").unwrap();
         assert_eq!(db.node_count(), 5);
-        db.delete_subtree(&Dewey::from_components(vec![0, 2])).unwrap();
+        db.delete_subtree(&Dewey::from_components(vec![0, 2]))
+            .unwrap();
         assert_eq!(db.node_count(), 3);
     }
 }

@@ -7,6 +7,13 @@ use nok_xml::Document;
 
 fn check(xml: &str, query: &str) {
     let db = XmlDb::build_in_memory(xml).unwrap();
+    // Post-condition: a fresh build satisfies every format invariant,
+    // including the strict-only ones.
+    let report = nok_verify::verify_db(&db, nok_verify::VerifyOptions::strict());
+    assert!(
+        report.is_clean(),
+        "analyzer on fresh build of {xml}: {report}"
+    );
     let doc = Document::parse(xml).unwrap();
     let oracle = NaiveEvaluator::new(&doc);
     let expected: Vec<String> = oracle
@@ -67,7 +74,12 @@ fn very_wide_fanout() {
         xml.push_str(&format!("<c i=\"{i}\"/>"));
     }
     xml.push_str("<special/></r>");
-    for q in ["/r/c", "//special", "/r/special", "/r/c/following-sibling::special"] {
+    for q in [
+        "/r/c",
+        "//special",
+        "/r/special",
+        "/r/c/following-sibling::special",
+    ] {
         check(&xml, q);
     }
 }

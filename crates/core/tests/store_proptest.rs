@@ -20,7 +20,10 @@ fn arb_tree(depth: u32) -> BoxedStrategy<String> {
     if depth == 0 {
         return leaf.boxed();
     }
-    (0usize..TAGS.len(), prop::collection::vec(arb_tree(depth - 1), 0..4))
+    (
+        0usize..TAGS.len(),
+        prop::collection::vec(arb_tree(depth - 1), 0..4),
+    )
         .prop_map(|(t, kids)| format!("<{0}>{1}</{0}>", TAGS[t], kids.concat()))
         .boxed()
 }
@@ -40,6 +43,9 @@ fn build(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
         &mut (),
     )
     .expect("build");
+    // Post-condition of every build: the format analyzer finds nothing.
+    let report = nok_verify::verify_store(&store);
+    assert!(report.is_clean(), "analyzer on fresh store: {report}");
     (store, dict)
 }
 

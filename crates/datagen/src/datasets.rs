@@ -15,9 +15,8 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+#[allow(unused_imports)]
+use crate::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 use crate::text::{phrase, pick, token, CITIES, FIRSTNAMES, PUBLISHERS, SURNAMES};
 use crate::{HIGH_COUNT, LOW_FRACTION, MOD_COUNT};
@@ -92,7 +91,10 @@ pub fn dataset_by_name(name: &str, scale: f64) -> Option<Dataset> {
 
 /// Generate all five datasets.
 pub fn all_datasets(scale: f64) -> Vec<Dataset> {
-    DatasetKind::ALL.iter().map(|&k| generate(k, scale)).collect()
+    DatasetKind::ALL
+        .iter()
+        .map(|&k| generate(k, scale))
+        .collect()
 }
 
 /// Generate one dataset.
@@ -170,7 +172,11 @@ struct RecordPlan {
 }
 
 fn write_plan_fields(out: &mut String, plan: &RecordPlan) {
-    let _ = write!(out, "<keyword>{}</keyword><note>{}</note>", plan.keyword, plan.note);
+    let _ = write!(
+        out,
+        "<keyword>{}</keyword><note>{}</note>",
+        plan.keyword, plan.note
+    );
     if plan.rare {
         out.push_str("<rareitem><subitem>deep</subitem></rareitem>");
     }
@@ -311,7 +317,10 @@ fn gen_treebank(records: usize) -> String {
         gen_tb_subtree(&mut out, &mut rng, &cats, 2, 32);
         if plan.rare {
             out.push_str("<rareitem><subitem>deep</subitem></rareitem>");
-            let _ = write!(out, "<keyword>needle-high</keyword><note>needle-high</note>");
+            let _ = write!(
+                out,
+                "<keyword>needle-high</keyword><note>needle-high</note>"
+            );
         }
         if plan.uncommon {
             out.push_str("<uncommonitem><subitem>deep</subitem></uncommonitem>");
@@ -388,7 +397,11 @@ fn gen_dblp(records: usize) -> String {
                 let _ = write!(out, "<journal>J{}</journal>", rng.gen_range(0..25u32));
             }
             "inproceedings" => {
-                let _ = write!(out, "<booktitle>Conf{}</booktitle>", rng.gen_range(0..20u32));
+                let _ = write!(
+                    out,
+                    "<booktitle>Conf{}</booktitle>",
+                    rng.gen_range(0..20u32)
+                );
             }
             "book" => {
                 let _ = write!(out, "<publisher>{}</publisher>", pick(&mut rng, PUBLISHERS));
@@ -397,7 +410,10 @@ fn gen_dblp(records: usize) -> String {
                 let _ = write!(out, "<school>U{}</school>", rng.gen_range(0..15u32));
             }
         }
-        let _ = write!(out, "<ee>db/j/{i}.html</ee><url>http://example.org/{i}</url>");
+        let _ = write!(
+            out,
+            "<ee>db/j/{i}.html</ee><url>http://example.org/{i}</url>"
+        );
         if tag == "article" {
             write_plan_fields(&mut out, &plan);
         }

@@ -24,6 +24,7 @@
 
 pub mod datasets;
 pub mod queries;
+pub mod rng;
 pub mod text;
 
 pub use datasets::{all_datasets, dataset_by_name, generate, Dataset, DatasetKind};

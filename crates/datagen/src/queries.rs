@@ -132,7 +132,10 @@ pub fn workload(kind: DatasetKind) -> Vec<(usize, Option<QuerySpec>)> {
     let na_value_mod_low = kind == DatasetKind::Treebank;
 
     vec![
-        (1, q("Q1", "hpy", format!(r#"{base}[keyword="needle-high"]"#))),
+        (
+            1,
+            q("Q1", "hpy", format!(r#"{base}[keyword="needle-high"]"#)),
+        ),
         (2, q("Q2", "hpn", format!("{base}/rareitem/subitem"))),
         (
             3,
@@ -233,7 +236,11 @@ mod tests {
 
     #[test]
     fn na_layout_mirrors_paper() {
-        for kind in [DatasetKind::Author, DatasetKind::Address, DatasetKind::Catalog] {
+        for kind in [
+            DatasetKind::Author,
+            DatasetKind::Address,
+            DatasetKind::Catalog,
+        ] {
             let w = workload(kind);
             for (i, spec) in &w {
                 let expect_na = matches!(i, 4 | 6 | 8);
@@ -275,7 +282,11 @@ mod tests {
                 );
                 // The // variant must also parse and subsume the / results.
                 let n2 = oracle.eval_str(&spec.descendant_variant).unwrap().len();
-                assert!(n2 >= n, "{} Q{i} descendant variant lost results", kind.name());
+                assert!(
+                    n2 >= n,
+                    "{} Q{i} descendant variant lost results",
+                    kind.name()
+                );
             }
         }
     }

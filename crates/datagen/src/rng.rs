@@ -1,0 +1,149 @@
+//! RNG facade: the generators draw randomness through this module only.
+//!
+//! With the default `rand` feature the items re-export the `rand` crate
+//! (`StdRng`, `Rng`, `SeedableRng`, `SliceRandom`). Without it, a built-in
+//! xorshift64* generator with the same method surface takes their place, so
+//! the crate builds with zero dependencies beyond the workspace
+//! (`--no-default-features`). Streams differ between the two backends;
+//! determinism *within* a backend is all the generators promise.
+
+#[cfg(feature = "rand")]
+pub use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+
+#[cfg(not(feature = "rand"))]
+#[allow(unused_imports)]
+pub use fallback::{FallbackRng as Rng, FallbackSeed as SeedableRng};
+#[cfg(not(feature = "rand"))]
+pub use fallback::{SliceRandom, StdRng};
+
+#[cfg(not(feature = "rand"))]
+mod fallback {
+    /// xorshift64* — tiny, deterministic, and statistically adequate for
+    /// shaping synthetic documents (never used for anything security- or
+    /// statistics-sensitive).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    /// Stand-in for `rand::SeedableRng` (subset: `seed_from_u64`).
+    pub trait FallbackSeed: Sized {
+        /// Build a generator from a 64-bit seed.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+
+    impl FallbackSeed for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // xorshift has a zero fixed point; fold the seed through a
+            // Weyl increment so every seed (including 0) works.
+            StdRng {
+                state: (seed ^ 0x2545_F491_4F6C_DD1D) | 1,
+            }
+        }
+    }
+
+    impl StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Stand-in for `rand::Rng` (subset the generators use).
+    pub trait FallbackRng {
+        /// Uniform sample from `a..b` or `a..=b`.
+        fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+        /// `true` with probability `p`.
+        fn gen_bool(&mut self, p: f64) -> bool;
+    }
+
+    impl FallbackRng for StdRng {
+        fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            if p <= 0.0 {
+                return false;
+            }
+            if p >= 1.0 {
+                return true;
+            }
+            ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+        }
+    }
+
+    /// Integer ranges the generators sample from.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample; panics on an empty range.
+        fn sample(self, rng: &mut StdRng) -> T;
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample(self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    self.start + (rng.next_u64() % (self.end - self.start) as u64) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample(self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    lo + (rng.next_u64() % ((hi - lo) as u64 + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(u8, u16, u32, u64, usize);
+
+    /// Stand-in for `rand::seq::SliceRandom` (subset: `shuffle`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Rng, SeedableRng, SliceRandom, StdRng};
+
+    #[test]
+    fn facade_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn facade_covers_the_surface_the_generators_use() {
+        let mut r = StdRng::seed_from_u64(5);
+        let x: u32 = r.gen_range(1..=12u32);
+        assert!((1..=12).contains(&x));
+        let y: usize = r.gen_range(0..7usize);
+        assert!(y < 7);
+        let _ = r.gen_bool(0.5);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,14 +1,40 @@
 //! Word pools and deterministic random text for value fields.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+#[allow(unused_imports)]
+use crate::rng::{Rng, StdRng};
 
 /// A small pool of surnames (used by author-like fields).
 pub const SURNAMES: &[&str] = &[
-    "Stevens", "Abiteboul", "Buneman", "Suciu", "Gerbarg", "Zhang", "Kacholia", "Ozsu", "Codd",
-    "Gray", "Stonebraker", "Ullman", "Widom", "Knuth", "Lamport", "Liskov", "Hoare", "Dijkstra",
-    "Tarjan", "Karp", "Rivest", "Floyd", "Bayer", "Comer", "Aho", "Hopcroft", "Garcia", "Molina",
-    "DeWitt", "Naughton",
+    "Stevens",
+    "Abiteboul",
+    "Buneman",
+    "Suciu",
+    "Gerbarg",
+    "Zhang",
+    "Kacholia",
+    "Ozsu",
+    "Codd",
+    "Gray",
+    "Stonebraker",
+    "Ullman",
+    "Widom",
+    "Knuth",
+    "Lamport",
+    "Liskov",
+    "Hoare",
+    "Dijkstra",
+    "Tarjan",
+    "Karp",
+    "Rivest",
+    "Floyd",
+    "Bayer",
+    "Comer",
+    "Aho",
+    "Hopcroft",
+    "Garcia",
+    "Molina",
+    "DeWitt",
+    "Naughton",
 ];
 
 /// First names.
@@ -19,16 +45,54 @@ pub const FIRSTNAMES: &[&str] = &[
 
 /// Title words.
 pub const TITLE_WORDS: &[&str] = &[
-    "data", "systems", "efficient", "query", "processing", "advanced", "streams", "storage",
-    "indexing", "distributed", "theory", "practice", "scalable", "adaptive", "pattern", "matching",
-    "succinct", "physical", "evaluation", "path", "structures", "algorithms", "networks",
-    "transactions", "optimization", "semantics", "recovery", "concurrency",
+    "data",
+    "systems",
+    "efficient",
+    "query",
+    "processing",
+    "advanced",
+    "streams",
+    "storage",
+    "indexing",
+    "distributed",
+    "theory",
+    "practice",
+    "scalable",
+    "adaptive",
+    "pattern",
+    "matching",
+    "succinct",
+    "physical",
+    "evaluation",
+    "path",
+    "structures",
+    "algorithms",
+    "networks",
+    "transactions",
+    "optimization",
+    "semantics",
+    "recovery",
+    "concurrency",
 ];
 
 /// Cities for address-like fields.
 pub const CITIES: &[&str] = &[
-    "Waterloo", "Toronto", "Bombay", "Seattle", "Madison", "Stanford", "Ithaca", "Cambridge",
-    "Princeton", "Berkeley", "Austin", "Zurich", "Paris", "Athens", "Kyoto", "Sydney",
+    "Waterloo",
+    "Toronto",
+    "Bombay",
+    "Seattle",
+    "Madison",
+    "Stanford",
+    "Ithaca",
+    "Cambridge",
+    "Princeton",
+    "Berkeley",
+    "Austin",
+    "Zurich",
+    "Paris",
+    "Athens",
+    "Kyoto",
+    "Sydney",
 ];
 
 /// Publishers.
@@ -71,7 +135,8 @@ pub fn token(rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    #[allow(unused_imports)]
+    use crate::rng::SeedableRng;
 
     #[test]
     fn deterministic_given_seed() {

@@ -186,7 +186,12 @@ impl<S: Storage> BufferPool<S> {
             let Some(id) = victim else {
                 return Ok(()); // everything pinned: grow
             };
-            let frame = self.inner.borrow_mut().frames.remove(&id).expect("victim exists");
+            let Some(frame) = self.inner.borrow_mut().frames.remove(&id) else {
+                // The chosen victim vanished between the two borrows (cannot
+                // happen single-threaded); treat it as "nothing evictable"
+                // and let the pool grow rather than panic.
+                return Ok(());
+            };
             if frame.dirty.get() {
                 self.storage
                     .borrow_mut()
@@ -218,9 +223,7 @@ impl<S: Storage> BufferPool<S> {
     pub fn clear_cache(&self) -> PagerResult<()> {
         self.flush()?;
         let mut inner = self.inner.borrow_mut();
-        inner
-            .frames
-            .retain(|_, f| Rc::strong_count(&f.data) > 1);
+        inner.frames.retain(|_, f| Rc::strong_count(&f.data) > 1);
         Ok(())
     }
 

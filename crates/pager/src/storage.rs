@@ -97,7 +97,8 @@ impl Storage for MemStorage {
 
     fn allocate_page(&mut self) -> PagerResult<PageId> {
         let id = self.pages.len() as u32;
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         Ok(id)
     }
 

@@ -10,10 +10,19 @@ use nok_pager::{BufferPool, MemStorage, PageHandle};
 enum Op {
     Allocate,
     /// Write `byte` at offset 0..page_size of page `idx % allocated`.
-    Write { idx: usize, offset: usize, byte: u8 },
-    Read { idx: usize, offset: usize },
+    Write {
+        idx: usize,
+        offset: usize,
+        byte: u8,
+    },
+    Read {
+        idx: usize,
+        offset: usize,
+    },
     /// Pin page `idx` (hold a handle across later ops).
-    Pin { idx: usize },
+    Pin {
+        idx: usize,
+    },
     UnpinAll,
     ClearCache,
     Flush,

@@ -1,0 +1,748 @@
+//! # nok-verify
+//!
+//! Read-only integrity analyzer for the succinct XML storage scheme (the
+//! `fsck` of this repository — shipped as the `nokfsck` binary).
+//!
+//! The paper's storage format carries redundant information by design: page
+//! headers `(st, lo, hi)` duplicate facts derivable from the string itself
+//! (§4.2), the in-memory header directory mirrors the on-page headers, and
+//! the three B+ tree indexes (B+t, B+v, B+i; §4.1 Figure 3) plus the value
+//! data file cross-reference the structure through Dewey IDs and physical
+//! addresses. This crate exploits that redundancy: every fact stored twice
+//! is recomputed from one side and compared against the other, without
+//! executing any query machinery.
+//!
+//! Three entry points of increasing scope:
+//!
+//! * [`verify_chain`] — raw page chain only (works without a
+//!   [`StructStore`], e.g. on a damaged file that refuses to open):
+//!   parenthesis balance, header exactness, chain acyclicity, capacity
+//!   bounds, interval/nesting well-formedness.
+//! * [`verify_store`] — adds in-memory directory agreement (rank map, node
+//!   count) on an opened store.
+//! * [`verify_db`] — adds Dewey↔interval agreement, value-file referential
+//!   integrity, and B+ tree structural invariants on a full [`XmlDb`].
+//!
+//! Every problem is a structured [`Violation`]; the analyzer keeps going
+//! after the first finding wherever that is safe, so one run paints the
+//! whole damage picture. All checks are panic-free on corrupt input.
+
+use std::collections::{HashMap, HashSet};
+
+use nok_core::dewey::Dewey;
+use nok_core::page::{self, HEADER_SIZE, NO_PAGE};
+use nok_core::physical::{IdRecord, TagPosting};
+use nok_core::sigma::TagCode;
+use nok_core::store::{NodeAddr, StructStore};
+use nok_core::values::hash_key;
+use nok_core::XmlDb;
+use nok_pager::{BufferPool, PageId, Storage};
+
+mod report;
+pub use report::{Report, Violation};
+
+/// Which optional (environment-dependent) checks to run.
+///
+/// The defaults are safe for any store, including one that has been through
+/// updates. Strict mode adds checks that only hold for freshly built
+/// databases:
+///
+/// * **value orphans** — deletion is lazy in the append-only data file
+///   (records of deleted nodes are left behind by design), so unreferenced
+///   records are only a defect before any deletion has happened;
+/// * **tag posting order** — the build bulk-loads B+t postings in document
+///   order within each tag, but incremental address refreshes after updates
+///   re-append postings, so the strict order is only promised when fresh.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyOptions {
+    /// Report data-file records referenced by no B+i entry.
+    pub value_orphans: bool,
+    /// Report B+t postings out of document order within a tag group.
+    pub tag_order: bool,
+}
+
+impl VerifyOptions {
+    /// All checks on — valid for freshly built, never-updated databases.
+    pub fn strict() -> VerifyOptions {
+        VerifyOptions {
+            value_orphans: true,
+            tag_order: true,
+        }
+    }
+}
+
+/// A node derived from the raw string representation during the chain scan.
+struct DerivedNode {
+    dewey: Dewey,
+    tag: TagCode,
+    addr: NodeAddr,
+    level: u16,
+    /// Document-order position of the node's open entry (0-based over the
+    /// whole string).
+    order: u64,
+}
+
+/// Everything one raw pass over the page chain produces.
+struct ChainScan {
+    violations: Vec<Violation>,
+    nodes: Vec<DerivedNode>,
+    /// Page ids in chain order.
+    chain: Vec<PageId>,
+    /// Raw header of each chained page (parallel to `chain`).
+    headers: Vec<page::PageHeader>,
+    /// Decoded entry count of each chained page (parallel to `chain`).
+    entries: Vec<u32>,
+    opens: u64,
+    closes: u64,
+    /// The walk reached `NO_PAGE` without a cycle or a broken pointer.
+    completed: bool,
+}
+
+/// Single source of truth for all structural checks: walk the chain from
+/// page 0 following raw `next` pointers, re-deriving levels, Dewey IDs and
+/// balance from the string itself, and comparing the stored headers against
+/// the recomputation.
+fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
+    let mut scan = ChainScan {
+        violations: Vec::new(),
+        nodes: Vec::new(),
+        chain: Vec::new(),
+        headers: Vec::new(),
+        entries: Vec::new(),
+        opens: 0,
+        closes: 0,
+        completed: false,
+    };
+    let page_count = pool.page_count();
+    if page_count == 0 {
+        scan.completed = true;
+        return scan;
+    }
+
+    // Dewey derivation state (the build's stack-of-counters, replayed).
+    let mut dewey_path: Vec<u32> = Vec::new();
+    let mut counters: Vec<u32> = Vec::new();
+    let mut root_opens = 0u32;
+    let mut order = 0u64;
+    // Running level across the whole chain — the ground truth each page's
+    // `st` must equal.
+    let mut level: u16 = 0;
+
+    let mut visited: HashSet<PageId> = HashSet::new();
+    let mut pid: PageId = 0;
+    loop {
+        if pid >= page_count {
+            scan.violations.push(Violation::BrokenChain {
+                page: scan.chain.last().copied().unwrap_or(0),
+                next: pid,
+            });
+            break;
+        }
+        if !visited.insert(pid) {
+            scan.violations.push(Violation::ChainCycle { page: pid });
+            break;
+        }
+        let handle = match pool.get(pid) {
+            Ok(h) => h,
+            Err(e) => {
+                scan.violations.push(Violation::PageUnreadable {
+                    page: pid,
+                    detail: e.to_string(),
+                });
+                break;
+            }
+        };
+        let buf = handle.read();
+        let Some(header) = page::read_header(&buf) else {
+            scan.violations.push(Violation::PageUndecodable {
+                page: pid,
+                detail: format!("page shorter than the {HEADER_SIZE}-byte header"),
+            });
+            break;
+        };
+        scan.chain.push(pid);
+        scan.headers.push(header);
+
+        // Capacity / reserve-slack bound: the used content can never exceed
+        // the content area (updates may consume all slack, but not more).
+        let max_content = buf.len().saturating_sub(HEADER_SIZE);
+        if header.nbytes as usize > max_content {
+            scan.violations.push(Violation::PageOverflow {
+                page: pid,
+                nbytes: header.nbytes,
+                max: max_content as u64,
+            });
+            scan.entries.push(0);
+            // Content bounds are untrustworthy; continue along the chain.
+            drop(buf);
+            if header.next == NO_PAGE {
+                scan.completed = true;
+                break;
+            }
+            pid = header.next;
+            continue;
+        }
+
+        // Header exactness, part 1: st must equal the true end level of the
+        // previous page (0 for the first page).
+        if header.st != level {
+            scan.violations.push(Violation::StMismatch {
+                page: pid,
+                expected: level,
+                found: header.st,
+            });
+        }
+
+        // Decode entries against the *recomputed* running level, so a wrong
+        // `st` does not cascade into bounds noise.
+        let content = &buf[HEADER_SIZE..HEADER_SIZE + header.nbytes as usize];
+        let (mut lo, mut hi) = (u16::MAX, 0u16);
+        let mut pos = 0usize;
+        let mut entry_idx = 0u32;
+        while pos < content.len() {
+            let Some((entry, width)) = page::decode_entry(content, pos) else {
+                scan.violations.push(Violation::PageUndecodable {
+                    page: pid,
+                    detail: format!("truncated entry at content offset {pos}"),
+                });
+                break;
+            };
+            match entry {
+                page::Entry::Open(tag) => {
+                    scan.opens += 1;
+                    level += 1;
+                    let index = match counters.last_mut() {
+                        Some(c) => {
+                            let i = *c;
+                            *c += 1;
+                            i
+                        }
+                        None => {
+                            root_opens += 1;
+                            if root_opens > 1 {
+                                scan.violations.push(Violation::NestingViolation {
+                                    page: pid,
+                                    entry: entry_idx,
+                                    detail: "second top-level open (document forest)".into(),
+                                });
+                            }
+                            0
+                        }
+                    };
+                    dewey_path.push(index);
+                    counters.push(0);
+                    scan.nodes.push(DerivedNode {
+                        dewey: Dewey::from_components(dewey_path.clone()),
+                        tag,
+                        addr: NodeAddr {
+                            page: pid,
+                            entry: entry_idx,
+                        },
+                        level,
+                        order,
+                    });
+                }
+                page::Entry::Close => {
+                    scan.closes += 1;
+                    if level == 0 || counters.is_empty() {
+                        scan.violations.push(Violation::NestingViolation {
+                            page: pid,
+                            entry: entry_idx,
+                            detail: "close with no open node (interval underflow)".into(),
+                        });
+                    } else {
+                        level -= 1;
+                        dewey_path.pop();
+                        counters.pop();
+                    }
+                }
+            }
+            lo = lo.min(level);
+            hi = hi.max(level);
+            pos += width;
+            entry_idx += 1;
+            order += 1;
+        }
+        scan.entries.push(entry_idx);
+
+        // Header exactness, part 2: lo/hi must be the true min/max level.
+        // An empty page stores the empty range (lo=MAX, hi=0) by convention.
+        let (expected_lo, expected_hi) = if entry_idx == 0 {
+            (u16::MAX, 0)
+        } else {
+            (lo, hi)
+        };
+        if header.lo != expected_lo || header.hi != expected_hi {
+            scan.violations.push(Violation::BoundsMismatch {
+                page: pid,
+                expected_lo,
+                expected_hi,
+                found_lo: header.lo,
+                found_hi: header.hi,
+            });
+        }
+
+        drop(buf);
+        if header.next == NO_PAGE {
+            scan.completed = true;
+            break;
+        }
+        pid = header.next;
+    }
+
+    // Chain reachability: every page of the structural pool belongs to the
+    // chain. (Only meaningful when the walk itself terminated cleanly.)
+    if scan.completed {
+        for p in 0..page_count {
+            if !visited.contains(&p) {
+                scan.violations.push(Violation::UnreachablePage { page: p });
+            }
+        }
+    }
+
+    // Parenthesis balance of the whole string.
+    if scan.opens != scan.closes || level != 0 {
+        scan.violations.push(Violation::UnbalancedString {
+            opens: scan.opens,
+            closes: scan.closes,
+            end_level: level,
+        });
+    }
+    scan
+}
+
+/// Verify the raw page chain of a structural pool: balance, header
+/// exactness, chain acyclicity and reachability, capacity bounds, nesting.
+/// Needs no [`StructStore`] — usable on a pool whose store refuses to open.
+pub fn verify_chain<S: Storage>(pool: &BufferPool<S>) -> Report {
+    let scan = scan_chain(pool);
+    Report {
+        violations: scan.violations,
+        pages: scan.chain.len() as u32,
+        nodes: scan.opens,
+    }
+}
+
+/// Verify a [`StructStore`]: everything [`verify_chain`] checks, plus
+/// agreement between the in-memory header directory (rank map, mirrored
+/// headers, entry counts) and the raw pages, and the stored node count.
+pub fn verify_store<S: Storage>(store: &StructStore<S>) -> Report {
+    let mut scan = scan_chain(store.pool());
+    directory_checks(store, &mut scan);
+    Report {
+        violations: scan.violations,
+        pages: scan.chain.len() as u32,
+        nodes: scan.opens,
+    }
+}
+
+fn directory_checks<S: Storage>(store: &StructStore<S>, scan: &mut ChainScan) {
+    if store.chain_len() as u64 != scan.chain.len() as u64 {
+        scan.violations.push(Violation::CountMismatch {
+            what: "chained pages in directory",
+            expected: scan.chain.len() as u64,
+            found: store.chain_len() as u64,
+        });
+    }
+    for (i, (&pid, header)) in scan.chain.iter().zip(&scan.headers).enumerate() {
+        let Some(dir) = store.dir_at(i as u32) else {
+            scan.violations.push(Violation::DirectoryMismatch {
+                page: pid,
+                field: "presence",
+                expected: 1,
+                found: 0,
+            });
+            continue;
+        };
+        let fields: [(&'static str, u64, u64); 5] = [
+            ("id", pid as u64, dir.id as u64),
+            ("st", header.st as u64, dir.st as u64),
+            ("lo", header.lo as u64, dir.lo as u64),
+            ("hi", header.hi as u64, dir.hi as u64),
+            ("entries", scan.entries[i] as u64, dir.entries as u64),
+        ];
+        for (field, expected, found) in fields {
+            if expected != found {
+                scan.violations.push(Violation::DirectoryMismatch {
+                    page: pid,
+                    field,
+                    expected,
+                    found,
+                });
+            }
+        }
+        // The rank map must place the page at its chain position — this is
+        // what makes lin() (and thus every node interval) document-ordered.
+        match store.rank(pid) {
+            Ok(r) if r as usize == i => {}
+            Ok(r) => scan.violations.push(Violation::DirectoryMismatch {
+                page: pid,
+                field: "rank",
+                expected: i as u64,
+                found: r as u64,
+            }),
+            Err(_) => scan.violations.push(Violation::DirectoryMismatch {
+                page: pid,
+                field: "rank",
+                expected: i as u64,
+                found: u64::MAX,
+            }),
+        }
+    }
+    if store.node_count() != scan.opens {
+        scan.violations.push(Violation::CountMismatch {
+            what: "store node count",
+            expected: scan.opens,
+            found: store.node_count(),
+        });
+    }
+}
+
+/// Verify a full [`XmlDb`]: everything [`verify_store`] checks, plus
+/// Dewey↔address agreement through B+i, value-file referential integrity
+/// (B+i → data file, B+v ↔ values), tag-index completeness, and the
+/// structural invariants of all three B+ trees.
+pub fn verify_db<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions) -> Report {
+    let mut scan = scan_chain(db.store().pool());
+    directory_checks(db.store(), &mut scan);
+    index_checks(db, opts, &mut scan);
+    Report {
+        violations: scan.violations,
+        pages: scan.chain.len() as u32,
+        nodes: scan.opens,
+    }
+}
+
+fn btree_checks<S: Storage>(
+    name: &'static str,
+    tree: &nok_btree::BTree<S>,
+    out: &mut Vec<Violation>,
+) {
+    match tree.verify_structure() {
+        Ok(issues) => {
+            for i in issues {
+                out.push(Violation::BTreeStructure {
+                    index: name,
+                    page: i.page,
+                    detail: i.detail,
+                });
+            }
+        }
+        Err(e) => out.push(Violation::BTreeStructure {
+            index: name,
+            page: 0,
+            detail: format!("verification aborted: {e}"),
+        }),
+    }
+}
+
+fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut ChainScan) {
+    let v = &mut scan.violations;
+    btree_checks("B+t", db.bt_tag(), v);
+    btree_checks("B+v", db.bt_val(), v);
+    btree_checks("B+i", db.bt_id(), v);
+
+    // Ground truth from the string representation.
+    let derived: HashMap<Vec<u8>, &DerivedNode> =
+        scan.nodes.iter().map(|n| (n.dewey.to_key(), n)).collect();
+
+    // ---- B+i: every node exactly once, with the right address; every
+    // value pointer resolves in the data file with the right length.
+    let mut seen_ids: HashSet<Vec<u8>> = HashSet::new();
+    let mut referenced_offsets: HashSet<u64> = HashSet::new();
+    // dewey key -> value text (resolved through B+i), for the B+v checks.
+    let mut value_of: HashMap<Vec<u8>, String> = HashMap::new();
+    let mut id_entries = 0u64;
+    let id_iter = match db.bt_id().iter_all() {
+        Ok(it) => Some(it),
+        Err(e) => {
+            v.push(Violation::RecordCorrupt {
+                what: "B+i scan",
+                detail: e.to_string(),
+            });
+            None
+        }
+    };
+    for item in id_iter.into_iter().flatten() {
+        let (key, val) = match item {
+            Ok(kv) => kv,
+            Err(e) => {
+                v.push(Violation::RecordCorrupt {
+                    what: "B+i scan",
+                    detail: e.to_string(),
+                });
+                break;
+            }
+        };
+        id_entries += 1;
+        let Some(dewey) = Dewey::from_key(&key) else {
+            v.push(Violation::RecordCorrupt {
+                what: "B+i key",
+                detail: format!("{} bytes, not a Dewey key", key.len()),
+            });
+            continue;
+        };
+        let rec = match IdRecord::from_bytes(&val) {
+            Ok(r) => r,
+            Err(e) => {
+                v.push(Violation::RecordCorrupt {
+                    what: "B+i record",
+                    detail: format!("{dewey}: {e}"),
+                });
+                continue;
+            }
+        };
+        match derived.get(&key) {
+            None => v.push(Violation::OrphanIdEntry {
+                dewey: dewey.to_string(),
+            }),
+            Some(node) => {
+                if !seen_ids.insert(key.clone()) {
+                    v.push(Violation::RecordCorrupt {
+                        what: "B+i key",
+                        detail: format!("{dewey}: duplicate entry"),
+                    });
+                }
+                if rec.addr != node.addr {
+                    v.push(Violation::IdAddrMismatch {
+                        dewey: dewey.to_string(),
+                        expected: node.addr.to_string(),
+                        found: rec.addr.to_string(),
+                    });
+                }
+            }
+        }
+        if let Some((off, len)) = rec.value {
+            match db.data_cell().borrow_mut().get_record(off) {
+                Ok(text) => {
+                    if text.len() as u32 != len {
+                        v.push(Violation::ValueUnresolvable {
+                            dewey: dewey.to_string(),
+                            offset: off,
+                            detail: format!(
+                                "record holds {} bytes, index claims {len}",
+                                text.len()
+                            ),
+                        });
+                    }
+                    referenced_offsets.insert(off);
+                    value_of.insert(key.clone(), text);
+                }
+                Err(e) => v.push(Violation::ValueUnresolvable {
+                    dewey: dewey.to_string(),
+                    offset: off,
+                    detail: e.to_string(),
+                }),
+            }
+        }
+    }
+    for (key, node) in &derived {
+        if !seen_ids.contains(key) {
+            v.push(Violation::MissingIdEntry {
+                dewey: node.dewey.to_string(),
+            });
+        }
+    }
+    if id_entries != scan.nodes.len() as u64 {
+        v.push(Violation::CountMismatch {
+            what: "B+i entries",
+            expected: scan.nodes.len() as u64,
+            found: id_entries,
+        });
+    }
+
+    // ---- B+v: exactly one posting (hash(value) -> dewey) per valued node.
+    let mut expected_postings: HashMap<(Vec<u8>, Vec<u8>), i64> = HashMap::new();
+    for (key, text) in &value_of {
+        *expected_postings
+            .entry((hash_key(text).to_vec(), key.clone()))
+            .or_insert(0) += 1;
+    }
+    match db.bt_val().iter_all() {
+        Ok(it) => {
+            for item in it {
+                let (h, dk) = match item {
+                    Ok(kv) => kv,
+                    Err(e) => {
+                        v.push(Violation::RecordCorrupt {
+                            what: "B+v scan",
+                            detail: e.to_string(),
+                        });
+                        break;
+                    }
+                };
+                let dewey = Dewey::from_key(&dk)
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| format!("<{} raw bytes>", dk.len()));
+                match expected_postings.get_mut(&(h.clone(), dk.clone())) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => {
+                        if let Some(text) = value_of.get(&dk) {
+                            v.push(Violation::ValueHashMismatch {
+                                dewey,
+                                detail: format!(
+                                    "posting key {:02x?} != hash of stored value {:?}",
+                                    &h[..h.len().min(8)],
+                                    text
+                                ),
+                            });
+                        } else {
+                            v.push(Violation::OrphanValuePosting { dewey });
+                        }
+                    }
+                }
+            }
+        }
+        Err(e) => v.push(Violation::RecordCorrupt {
+            what: "B+v scan",
+            detail: e.to_string(),
+        }),
+    }
+    for ((_, dk), n) in &expected_postings {
+        if *n > 0 {
+            let dewey = Dewey::from_key(dk)
+                .map(|d| d.to_string())
+                .unwrap_or_default();
+            v.push(Violation::MissingValuePosting { dewey });
+        }
+    }
+
+    // ---- B+t: exactly one posting (tag -> (addr, level, dewey)) per node.
+    let mut expected_tags: HashMap<(Vec<u8>, Vec<u8>), i64> = HashMap::new();
+    for n in &scan.nodes {
+        let posting = TagPosting {
+            addr: n.addr,
+            level: n.level,
+            dewey: n.dewey.clone(),
+        };
+        *expected_tags
+            .entry((n.tag.to_key().to_vec(), posting.to_bytes()))
+            .or_insert(0) += 1;
+    }
+    let order_of: HashMap<Vec<u8>, u64> = scan
+        .nodes
+        .iter()
+        .map(|n| (n.dewey.to_key(), n.order))
+        .collect();
+    let mut tag_entries = 0u64;
+    let mut prev_in_group: Option<(Vec<u8>, u64)> = None;
+    match db.bt_tag().iter_all() {
+        Ok(it) => {
+            for item in it {
+                let (tk, pv) = match item {
+                    Ok(kv) => kv,
+                    Err(e) => {
+                        v.push(Violation::RecordCorrupt {
+                            what: "B+t scan",
+                            detail: e.to_string(),
+                        });
+                        break;
+                    }
+                };
+                tag_entries += 1;
+                let tag = if tk.len() == 2 {
+                    TagCode::from_key(&tk).0
+                } else {
+                    u16::MAX
+                };
+                let posting = match TagPosting::from_bytes(&pv) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        v.push(Violation::RecordCorrupt {
+                            what: "B+t posting",
+                            detail: format!("tag {tag}: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                match expected_tags.get_mut(&(tk.clone(), pv.clone())) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => v.push(Violation::OrphanTagPosting {
+                        tag,
+                        detail: format!(
+                            "posting for {} at {} matches no node",
+                            posting.dewey, posting.addr
+                        ),
+                    }),
+                }
+                if opts.tag_order {
+                    if let Some(&ord) = order_of.get(&posting.dewey.to_key()) {
+                        if let Some((ptk, pord)) = &prev_in_group {
+                            if *ptk == tk && *pord > ord {
+                                v.push(Violation::TagOrderViolation {
+                                    tag,
+                                    detail: format!(
+                                        "posting for {} precedes an earlier document position",
+                                        posting.dewey
+                                    ),
+                                });
+                            }
+                        }
+                        prev_in_group = Some((tk.clone(), ord));
+                    }
+                }
+            }
+        }
+        Err(e) => v.push(Violation::RecordCorrupt {
+            what: "B+t scan",
+            detail: e.to_string(),
+        }),
+    }
+    let mut missing_tags: Vec<(u16, &Vec<u8>)> = Vec::new();
+    for ((tk, pv), n) in &expected_tags {
+        if *n > 0 {
+            missing_tags.push((TagCode::from_key(tk).0, pv));
+        }
+    }
+    for (tag, pv) in missing_tags {
+        let dewey = TagPosting::from_bytes(pv)
+            .map(|p| p.dewey.to_string())
+            .unwrap_or_default();
+        v.push(Violation::MissingTagPosting { dewey, tag });
+    }
+    if tag_entries != scan.nodes.len() as u64 {
+        v.push(Violation::CountMismatch {
+            what: "B+t entries",
+            expected: scan.nodes.len() as u64,
+            found: tag_entries,
+        });
+    }
+    // Selectivity counters must agree with the derived per-tag occurrences.
+    let mut derived_tag_counts: HashMap<TagCode, u64> = HashMap::new();
+    for n in &scan.nodes {
+        *derived_tag_counts.entry(n.tag).or_insert(0) += 1;
+    }
+    for (tag, expected) in &derived_tag_counts {
+        let found = db.tag_count(*tag);
+        if found != *expected {
+            v.push(Violation::CountMismatch {
+                what: "tag occurrence counter",
+                expected: *expected,
+                found,
+            });
+        }
+    }
+
+    // ---- Data file: every record reachable from B+i (fresh stores only —
+    // lazy deletion legitimately leaves orphans behind).
+    if opts.value_orphans {
+        let mut off = 0u64;
+        let total = db.data_cell().borrow().len_bytes();
+        while off < total {
+            let text = match db.data_cell().borrow_mut().get_record(off) {
+                Ok(t) => t,
+                Err(e) => {
+                    v.push(Violation::RecordCorrupt {
+                        what: "data-file record",
+                        detail: format!("offset {off}: {e}"),
+                    });
+                    break;
+                }
+            };
+            if !referenced_offsets.contains(&off) {
+                v.push(Violation::OrphanValueRecord { offset: off });
+            }
+            off += 4 + text.len() as u64;
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Corruption-injection suite: for every defect class the analyzer claims
+//! to detect, damage a real store in exactly that way and assert the
+//! matching [`Violation::kind`] is reported (extra collateral kinds are
+//! allowed — damage cascades — but the primary class must be present).
+
+use std::rc::Rc;
+
+use nok_core::dewey::Dewey;
+use nok_core::page::{CLOSE_BYTE, HEADER_SIZE, OFF_LO, OFF_NBYTES, OFF_NEXT, OFF_ST};
+use nok_core::physical::IdRecord;
+use nok_core::store::{BuildOptions, NodeAddr};
+use nok_core::values::{hash_key, DataFile};
+use nok_core::XmlDb;
+use nok_pager::codec::{get_u16, put_u16, put_u32};
+use nok_pager::{BufferPool, MemStorage, PageId};
+use nok_verify::{verify_chain, verify_db, verify_store, VerifyOptions};
+
+const BIB: &str = r#"<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>S.</first></author><price>39.95</price></book>
+</bib>"#;
+
+/// Small structural pages and a wide document so the chain has several
+/// pages to damage.
+fn tiny_db() -> XmlDb<MemStorage> {
+    let mut xml = String::from("<log>");
+    for i in 0..30 {
+        xml.push_str(&format!("<rec><msg>m{i}</msg><lvl>info</lvl></rec>"));
+    }
+    xml.push_str("</log>");
+    let db = XmlDb::build_in_memory_with(&xml, BuildOptions::default(), 64).unwrap();
+    assert!(db.store().chain_len() >= 4, "need a multi-page chain");
+    db
+}
+
+/// Page id at chain position `i` (chain order, not allocation order).
+fn chain_page(db: &XmlDb<MemStorage>, i: u32) -> PageId {
+    db.store().dir_at(i).unwrap().id
+}
+
+/// Overwrite raw bytes of one structural page.
+fn patch(db: &XmlDb<MemStorage>, page: PageId, f: impl FnOnce(&mut [u8])) {
+    let handle = db.store().pool().get(page).unwrap();
+    f(&mut handle.write());
+}
+
+#[test]
+fn st_corruption_is_flagged() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 1);
+    patch(&db, pid, |buf| {
+        let st = get_u16(buf, OFF_ST);
+        put_u16(buf, OFF_ST, st + 3);
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("st-mismatch"), "{rep}");
+    // Levels are recomputed from the running level, not the stored st, so a
+    // wrong st must not cascade into bogus bounds violations.
+    assert!(!rep.has_kind("bounds-mismatch"), "{rep}");
+    // The in-memory directory still mirrors the build-time header, so the
+    // store-level pass additionally reports the directory desync.
+    let rep = verify_store(db.store());
+    assert!(rep.has_kind("directory-mismatch"), "{rep}");
+}
+
+#[test]
+fn bounds_corruption_is_flagged() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 1);
+    patch(&db, pid, |buf| {
+        let lo = get_u16(buf, OFF_LO);
+        put_u16(buf, OFF_LO, lo + 1);
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("bounds-mismatch"), "{rep}");
+    assert!(!rep.has_kind("st-mismatch"), "{rep}");
+}
+
+#[test]
+fn broken_next_pointer_is_flagged() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 0);
+    patch(&db, pid, |buf| put_u32(buf, OFF_NEXT, 9_999));
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("broken-chain"), "{rep}");
+}
+
+#[test]
+fn chain_cycle_is_flagged() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 2);
+    patch(&db, pid, |buf| put_u32(buf, OFF_NEXT, 0));
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("chain-cycle"), "{rep}");
+}
+
+#[test]
+fn nbytes_overflow_is_flagged() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 1);
+    patch(&db, pid, |buf| {
+        let len = buf.len() as u16;
+        put_u16(buf, OFF_NBYTES, len); // claims more than page_size - header
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("page-overflow"), "{rep}");
+}
+
+#[test]
+fn truncated_entry_is_flagged() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 1);
+    patch(&db, pid, |buf| {
+        // Append a lone open high-byte (opens are 2 bytes) as the last
+        // content byte: decoding must fail without panicking.
+        let nbytes = get_u16(buf, OFF_NBYTES) as usize;
+        assert!(HEADER_SIZE + nbytes < buf.len(), "page has slack");
+        buf[HEADER_SIZE + nbytes] = 0x80 | 1;
+        put_u16(buf, OFF_NBYTES, nbytes as u16 + 1);
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("page-undecodable"), "{rep}");
+}
+
+#[test]
+fn stray_close_is_a_nesting_violation() {
+    let db = tiny_db();
+    let last = chain_page(&db, db.store().chain_len() - 1);
+    patch(&db, last, |buf| {
+        // One extra `)` after the root closes: an interval underflow.
+        let nbytes = get_u16(buf, OFF_NBYTES) as usize;
+        assert!(HEADER_SIZE + nbytes < buf.len(), "page has slack");
+        buf[HEADER_SIZE + nbytes] = CLOSE_BYTE;
+        put_u16(buf, OFF_NBYTES, nbytes as u16 + 1);
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("nesting-violation"), "{rep}");
+    assert!(rep.has_kind("unbalanced-string"), "{rep}");
+}
+
+#[test]
+fn dropped_closes_unbalance_the_string() {
+    let db = tiny_db();
+    let last = chain_page(&db, db.store().chain_len() - 1);
+    patch(&db, last, |buf| {
+        // Cut the final close parenthesis: opens > closes, end level != 0.
+        let nbytes = get_u16(buf, OFF_NBYTES);
+        assert!(nbytes >= 1);
+        put_u16(buf, OFF_NBYTES, nbytes - 1);
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("unbalanced-string"), "{rep}");
+}
+
+// ---------------------------------------------------------------------
+// Index-layer injections (default page size; damage via the index APIs).
+// ---------------------------------------------------------------------
+
+#[test]
+fn orphaned_data_record_is_flagged_in_strict_mode() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    db.data_cell().borrow_mut().put("orphan text").unwrap();
+    let lenient = verify_db(&db, VerifyOptions::default());
+    assert!(
+        lenient.is_clean(),
+        "lazy deletion makes orphans legal: {lenient}"
+    );
+    let strict = verify_db(&db, VerifyOptions::strict());
+    assert!(strict.has_kind("orphan-value-record"), "{strict}");
+}
+
+#[test]
+fn orphan_id_entry_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    let ghost = Dewey::from_components(vec![0, 99]);
+    let rec = IdRecord {
+        addr: NodeAddr { page: 0, entry: 0 },
+        value: None,
+    };
+    db.bt_id().insert(&ghost.to_key(), &rec.to_bytes()).unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("orphan-id-entry"), "{rep}");
+}
+
+#[test]
+fn missing_id_entry_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    let victim = db.query("//author").unwrap()[0].dewey.clone();
+    db.bt_id().delete(&victim.to_key(), None).unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("missing-id-entry"), "{rep}");
+}
+
+#[test]
+fn wrong_id_address_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    let victim = db.query("//author").unwrap()[0].dewey.clone();
+    db.bt_id().delete(&victim.to_key(), None).unwrap();
+    let rec = IdRecord {
+        addr: NodeAddr {
+            page: 0,
+            entry: 4_000,
+        },
+        value: None,
+    };
+    db.bt_id()
+        .insert(&victim.to_key(), &rec.to_bytes())
+        .unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("id-addr-mismatch"), "{rep}");
+}
+
+#[test]
+fn missing_tag_posting_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    let (k, v) = db.bt_tag().iter_all().unwrap().next().unwrap().unwrap();
+    db.bt_tag().delete(&k, Some(&v)).unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("missing-tag-posting"), "{rep}");
+    assert!(rep.has_kind("count-mismatch"), "{rep}");
+}
+
+#[test]
+fn missing_value_posting_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    let (k, v) = db.bt_val().iter_all().unwrap().next().unwrap().unwrap();
+    db.bt_val().delete(&k, Some(&v)).unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("missing-value-posting"), "{rep}");
+}
+
+#[test]
+fn orphan_value_posting_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    // The root element holds no text value, so a posting for it is stray.
+    db.bt_val()
+        .insert(&hash_key("ghost"), &Dewey::root().to_key())
+        .unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("orphan-value-posting"), "{rep}");
+}
+
+#[test]
+fn wrong_value_hash_is_flagged() {
+    let db = XmlDb::build_in_memory(BIB).unwrap();
+    // A price node carries "65.95"; file a posting for it under a hash
+    // that does not hash its value.
+    let price = db.query("//price").unwrap()[0].dewey.clone();
+    db.bt_val()
+        .insert(&hash_key("not the value"), &price.to_key())
+        .unwrap();
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("value-hash-mismatch"), "{rep}");
+}
+
+#[test]
+fn btree_page_corruption_is_flagged() {
+    // Build with retained pool handles so the tag tree's pages can be
+    // damaged directly (XmlDb exposes no mutable pool access).
+    let mk = || Rc::new(BufferPool::new(MemStorage::new()));
+    let tag_pool = mk();
+    let db = XmlDb::build_with_pools(
+        BIB,
+        BuildOptions::default(),
+        mk(),
+        Rc::clone(&tag_pool),
+        mk(),
+        mk(),
+        DataFile::in_memory(),
+    )
+    .unwrap();
+
+    // META page 0 stores the root id at offset 4 (LE); the tag tree is
+    // small enough that the root is a single leaf.
+    let root = {
+        let meta = tag_pool.get(0).unwrap();
+        let root = nok_pager::codec::get_u32(&meta.read(), 4);
+        root
+    };
+    {
+        let page = tag_pool.get(root).unwrap();
+        let mut buf = page.write();
+        // Swap the first and last slots: the keys differ (several distinct
+        // tags), so the leaf's key order breaks.
+        let ncells = get_u16(&buf, 1) as usize;
+        assert!(ncells >= 2);
+        let a = get_u16(&buf, 9);
+        let b = get_u16(&buf, 9 + 2 * (ncells - 1));
+        put_u16(&mut buf, 9, b);
+        put_u16(&mut buf, 9 + 2 * (ncells - 1), a);
+    }
+    let rep = verify_db(&db, VerifyOptions::default());
+    assert!(rep.has_kind("btree-structure"), "{rep}");
+}
+
+#[test]
+fn reports_carry_kinds_and_json() {
+    let db = tiny_db();
+    let pid = chain_page(&db, 1);
+    patch(&db, pid, |buf| {
+        let st = get_u16(buf, OFF_ST);
+        put_u16(buf, OFF_ST, st + 1);
+    });
+    let rep = verify_chain(db.store().pool());
+    assert!(!rep.is_clean());
+    assert!(rep.kinds().contains(&"st-mismatch"));
+    let json = rep.to_json();
+    assert!(json.contains("\"clean\":false"), "{json}");
+    assert!(json.contains("\"kind\":\"st-mismatch\""), "{json}");
+}

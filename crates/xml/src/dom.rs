@@ -248,7 +248,10 @@ impl Document {
         } else {
             Some(NodeId::ROOT)
         };
-        Preorder { doc: self, next: start }
+        Preorder {
+            doc: self,
+            next: start,
+        }
     }
 
     /// Pre-order traversal of the subtree rooted at `root` (inclusive).

@@ -366,9 +366,8 @@ impl<'a> Reader<'a> {
         self.pos += 1;
         if self.eat(b'#') {
             let body = self.take_until(";", "character reference")?;
-            char_ref(body).ok_or_else(|| {
-                self.err_at(start, XmlErrorKind::BadCharRef(body.to_string()))
-            })
+            char_ref(body)
+                .ok_or_else(|| self.err_at(start, XmlErrorKind::BadCharRef(body.to_string())))
         } else {
             let body = self.take_until(";", "entity reference")?;
             predefined_entity(body)
@@ -450,19 +449,13 @@ mod tests {
 
     #[test]
     fn simple_element() {
-        assert_eq!(
-            events("<a></a>"),
-            vec![Event::start("a"), Event::end("a")]
-        );
+        assert_eq!(events("<a></a>"), vec![Event::start("a"), Event::end("a")]);
     }
 
     #[test]
     fn self_closing_produces_start_end() {
         assert_eq!(events("<a/>"), vec![Event::start("a"), Event::end("a")]);
-        assert_eq!(
-            events("<a />"),
-            vec![Event::start("a"), Event::end("a")]
-        );
+        assert_eq!(events("<a />"), vec![Event::start("a"), Event::end("a")]);
     }
 
     #[test]
@@ -506,10 +499,7 @@ mod tests {
 
     #[test]
     fn text_entities_unescaped() {
-        assert_eq!(
-            events("<a>x &amp; y &#x41;</a>")[1],
-            Event::text("x & y A")
-        );
+        assert_eq!(events("<a>x &amp; y &#x41;</a>")[1], Event::text("x & y A"));
     }
 
     #[test]
@@ -573,7 +563,10 @@ mod tests {
 
     #[test]
     fn multiple_roots_is_error() {
-        assert!(matches!(error_kind("<a/><b/>"), XmlErrorKind::MultipleRoots));
+        assert!(matches!(
+            error_kind("<a/><b/>"),
+            XmlErrorKind::MultipleRoots
+        ));
     }
 
     #[test]

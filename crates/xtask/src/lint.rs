@@ -1,0 +1,512 @@
+//! A std-only source-analysis lint pass over `crates/**/*.rs`.
+//!
+//! Rules enforced (see DESIGN.md "Format invariants" / README "Tooling"):
+//!
+//! 1. **No panicking calls in hot-path modules.** `.unwrap()`, `.expect(`,
+//!    `panic!(`, `unreachable!(` and `unimplemented!(` are forbidden outside
+//!    `#[cfg(test)]` regions in the modules the query path executes:
+//!    `core/src/{cursor,page,store,physical,nok}.rs`, `pager/src/*.rs`,
+//!    `btree/src/*.rs`. Corruption must surface as `CoreError`/`PagerError`/
+//!    `BTreeError`, never as a crash.
+//! 2. **No stray `dbg!` / `todo!`** anywhere, tests included.
+//! 3. **Every `unsafe` keyword** must have a `// SAFETY:` comment on the same
+//!    line or one of the three lines above it.
+//!
+//! The scanner is deliberately token-ish, not a full parser: it strips
+//! comments, string/char literals and raw strings with a small state
+//! machine, tracks `#[cfg(test)]`-gated item bodies by brace depth, and then
+//! looks for the forbidden patterns in the remaining code text. A finding on
+//! a line whose comment contains `xtask:allow` is suppressed (use sparingly,
+//! with justification).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Hot-path modules where panicking calls are forbidden (workspace-relative
+/// suffix match).
+const HOT_PATH_FILES: &[&str] = &[
+    "core/src/cursor.rs",
+    "core/src/page.rs",
+    "core/src/store.rs",
+    "core/src/physical.rs",
+    "core/src/nok.rs",
+];
+
+/// Directories whose every source file is hot-path.
+const HOT_PATH_DIRS: &[&str] = &["pager/src/", "btree/src/"];
+
+const PANICKY: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "unimplemented!(",
+];
+
+const STRAY: &[&str] = &["dbg!(", "todo!("];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in (as passed to the scanner).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `hot-path-panic`.
+    pub rule: &'static str,
+    /// The offending pattern.
+    pub pattern: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] forbidden `{}`",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.pattern
+        )
+    }
+}
+
+/// Is `path` (workspace-relative) one of the hot-path modules?
+pub fn is_hot_path(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    HOT_PATH_FILES.iter().any(|suffix| p.ends_with(suffix))
+        || HOT_PATH_DIRS
+            .iter()
+            .any(|dir| p.contains(dir) && p.ends_with(".rs"))
+}
+
+/// A source line split into code text (literals/comments blanked) and the
+/// concatenated comment text, plus whether it lies in a `#[cfg(test)]` body.
+struct ScanLine {
+    code: String,
+    comment: String,
+    in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Strip comments and literals while tracking `#[cfg(test)]` item bodies.
+fn scan_lines(source: &str) -> Vec<ScanLine> {
+    let mut out: Vec<ScanLine> = Vec::new();
+    let mut state = LexState::Normal;
+    let mut depth: i64 = 0;
+    // Depth at which an open `#[cfg(test)]` body started; body is the region
+    // strictly above that depth. Only the outermost gated body is tracked —
+    // nested gated items are already inside it.
+    let mut test_region_floor: Option<i64> = None;
+    // A `#[cfg(test)]` attribute was seen; the next `{` at the current item
+    // level opens its body (a `;` first means it gated a non-block item).
+    let mut pending_test_attr = false;
+
+    for raw_line in source.lines() {
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        let in_test_at_line_start = test_region_floor.is_some();
+        let mut chars = raw_line.chars().peekable();
+
+        if state == LexState::LineComment {
+            state = LexState::Normal;
+        }
+
+        while let Some(c) = chars.next() {
+            match state {
+                LexState::LineComment => comment.push(c),
+                LexState::BlockComment(n) => {
+                    if c == '*' && chars.peek() == Some(&'/') {
+                        chars.next();
+                        if n == 1 {
+                            state = LexState::Normal;
+                        } else {
+                            state = LexState::BlockComment(n - 1);
+                        }
+                    } else if c == '/' && chars.peek() == Some(&'*') {
+                        chars.next();
+                        state = LexState::BlockComment(n + 1);
+                    } else {
+                        comment.push(c);
+                    }
+                }
+                LexState::Str => {
+                    if c == '\\' {
+                        chars.next();
+                    } else if c == '"' {
+                        state = LexState::Normal;
+                        code.push('"');
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if c == '"' {
+                        // Check for `"###...` with exactly `hashes` hashes.
+                        let mut n = 0;
+                        while n < hashes && chars.peek() == Some(&'#') {
+                            chars.next();
+                            n += 1;
+                        }
+                        if n == hashes {
+                            state = LexState::Normal;
+                            code.push('"');
+                        }
+                    }
+                }
+                LexState::Char => {
+                    if c == '\\' {
+                        chars.next();
+                    } else if c == '\'' {
+                        state = LexState::Normal;
+                        code.push('\'');
+                    }
+                }
+                LexState::Normal => match c {
+                    '/' if chars.peek() == Some(&'/') => {
+                        chars.next();
+                        state = LexState::LineComment;
+                        code.push(' ');
+                    }
+                    '/' if chars.peek() == Some(&'*') => {
+                        chars.next();
+                        state = LexState::BlockComment(1);
+                        code.push(' ');
+                    }
+                    '"' => {
+                        // Possible raw/byte string prefix already emitted to
+                        // `code` as identifier chars (r, b, #) — harmless.
+                        state = LexState::Str;
+                        code.push('"');
+                    }
+                    'r' | 'b' if matches!(chars.peek(), Some('"') | Some('#')) => {
+                        // Raw (or byte/raw-byte) string start: consume the
+                        // optional second prefix char, hashes, and the quote.
+                        let mut hashes = 0u32;
+                        if chars.peek() == Some(&'#') {
+                            while chars.peek() == Some(&'#') {
+                                chars.next();
+                                hashes += 1;
+                            }
+                        }
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            state = if hashes == 0 {
+                                LexState::Str
+                            } else {
+                                LexState::RawStr(hashes)
+                            };
+                            code.push('"');
+                        } else {
+                            // `r#ident` raw identifier or lone `b`/`r`.
+                            code.push(c);
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a backslash or a closing
+                        // quote two chars ahead means a literal.
+                        let mut look = chars.clone();
+                        let first = look.next();
+                        let second = look.next();
+                        let is_char = matches!(first, Some('\\')) || matches!(second, Some('\''));
+                        if is_char {
+                            state = LexState::Char;
+                        }
+                        code.push('\'');
+                    }
+                    '{' => {
+                        if pending_test_attr {
+                            pending_test_attr = false;
+                            if test_region_floor.is_none() {
+                                test_region_floor = Some(depth);
+                            }
+                        }
+                        depth += 1;
+                        code.push('{');
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if test_region_floor == Some(depth) {
+                            test_region_floor = None;
+                        }
+                        code.push('}');
+                    }
+                    ';' => {
+                        // An attribute gating a non-block item.
+                        if pending_test_attr && depth == 0 {
+                            pending_test_attr = false;
+                        }
+                        code.push(';');
+                    }
+                    _ => code.push(c),
+                },
+            }
+        }
+
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(any(test") {
+            pending_test_attr = true;
+        }
+
+        out.push(ScanLine {
+            code,
+            comment,
+            in_test: in_test_at_line_start || test_region_floor.is_some(),
+        });
+    }
+    out
+}
+
+/// Scan one file's source text. `path` is used for reporting and for the
+/// hot-path classification.
+pub fn scan_source(path: &Path, source: &str) -> Vec<Finding> {
+    let hot = is_hot_path(path);
+    let lines = scan_lines(source);
+    let mut findings = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.comment.contains("xtask:allow") {
+            continue;
+        }
+        let lineno = idx + 1;
+
+        for pat in STRAY {
+            if line.code.contains(pat) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    rule: "stray-debug-macro",
+                    pattern: (*pat).to_string(),
+                });
+            }
+        }
+
+        if hot && !line.in_test {
+            for pat in PANICKY {
+                if line.code.contains(pat) {
+                    findings.push(Finding {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: "hot-path-panic",
+                        pattern: (*pat).to_string(),
+                    });
+                }
+            }
+        }
+
+        if has_word(&line.code, "unsafe") {
+            let documented = line.comment.contains("SAFETY:")
+                || lines[idx.saturating_sub(3)..idx]
+                    .iter()
+                    .any(|l| l.comment.contains("SAFETY:"));
+            if !documented {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    rule: "undocumented-unsafe",
+                    pattern: "unsafe".to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Does `haystack` contain `word` with non-identifier characters around it?
+fn has_word(haystack: &str, word: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || {
+            let b = bytes[after];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `target/`.
+pub fn rust_sources(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() {
+                if name != "target" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_source(Path::new(path), src)
+    }
+
+    #[test]
+    fn catches_unwrap_in_hot_path() {
+        let f = scan(
+            "crates/core/src/cursor.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hot-path-panic");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_unwrap_in_cold_module() {
+        let f = scan(
+            "crates/core/src/naive.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_inside_cfg_test() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!(\"x\"); }
+}
+";
+        let f = scan("crates/pager/src/pool.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn catches_unwrap_after_cfg_test_block_closes() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+fn hot(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let f = scan("crates/btree/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn string_and_comment_contents_are_ignored() {
+        let src = "\
+// this comment says .unwrap() and panic!( freely
+fn f() -> &'static str { \"panic!(no) .unwrap() dbg!(\" }
+";
+        let f = scan("crates/pager/src/pool.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn raw_strings_are_ignored() {
+        let src = "fn f() -> &'static str { r#\"x.unwrap() \"quoted\" panic!(\"# }\n";
+        let f = scan("crates/pager/src/pool.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }\n";
+        let f = scan("crates/core/src/store.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stray_macros_flagged_everywhere_even_in_tests() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { dbg!(1); }
+}
+fn g() { todo!() }
+";
+        let f = scan("crates/xml/src/reader.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "stray-debug-macro"));
+    }
+
+    #[test]
+    fn undocumented_unsafe_flagged_and_safety_comment_accepted() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let f = scan("crates/core/src/lib.rs", bad);
+        assert!(f.iter().any(|x| x.rule == "undocumented-unsafe"));
+
+        let good = "\
+// SAFETY: the index was bounds-checked above.
+fn f() { unsafe { core::hint::unreachable_unchecked() } }
+";
+        let f = scan("crates/core/src/lib.rs", good);
+        assert!(!f.iter().any(|x| x.rule == "undocumented-unsafe"), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_as_substring_not_flagged() {
+        let src = "fn f() { let unsafe_count = 0; let _ = unsafe_count; }\n";
+        let f = scan("crates/core/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn xtask_allow_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask:allow — demo\n";
+        let f = scan("crates/core/src/cursor.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn char_literals_do_not_derail_lexer() {
+        let src = "\
+fn f() -> char { '\"' }
+fn g(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let f = scan("crates/core/src/page.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "\
+fn f<'a>(x: &'a str) -> &'a str { x }
+fn g(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let f = scan("crates/btree/src/node.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+}

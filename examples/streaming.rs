@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Hits are emitted the moment a candidate subtree closes — no
         // buffering of the whole document.
         for hit in matcher.on_event(&ev)? {
-            println!("event #{event_no}: matched <{}> at dewey {}", hit.tag, hit.dewey);
+            println!(
+                "event #{event_no}: matched <{}> at dewey {}",
+                hit.tag, hit.dewey
+            );
         }
     }
 

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 db.value_of(m).expect("value").unwrap_or_default()
             );
         }
-        println!("  ({} nodes, {} structural pages)\n", db.node_count(), db.store().page_count());
+        println!(
+            "  ({} nodes, {} structural pages)\n",
+            db.node_count(),
+            db.store().page_count()
+        );
     };
     show(&db, "initial");
 

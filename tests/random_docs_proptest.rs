@@ -20,17 +20,23 @@ const VALUES: [&str; 4] = ["x", "y", "zz", "42"];
 
 /// A random element tree rendered directly to XML.
 fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
-    let leaf = (0usize..TAGS.len(), proptest::option::of(0usize..VALUES.len())).prop_map(
-        |(t, v)| match v {
+    let leaf = (
+        0usize..TAGS.len(),
+        proptest::option::of(0usize..VALUES.len()),
+    )
+        .prop_map(|(t, v)| match v {
             Some(v) => format!("<{0}>{1}</{0}>", TAGS[t], VALUES[v]),
             None => format!("<{}/>", TAGS[t]),
-        },
-    );
+        });
     if depth == 0 {
         return leaf.boxed();
     }
     let inner = prop::collection::vec(arb_subtree(depth - 1), 0..4);
-    (0usize..TAGS.len(), inner, proptest::option::of(0usize..VALUES.len()))
+    (
+        0usize..TAGS.len(),
+        inner,
+        proptest::option::of(0usize..VALUES.len()),
+    )
         .prop_map(|(t, kids, attr)| {
             let attr = match attr {
                 Some(v) => format!(" k=\"{}\"", VALUES[v]),
@@ -48,9 +54,12 @@ fn arb_doc() -> impl Strategy<Value = String> {
 /// A random path expression over the same alphabet.
 fn arb_query() -> impl Strategy<Value = String> {
     let step = (
-        prop::bool::ANY,                                  // '//' vs '/'
-        0usize..TAGS.len() + 1,                           // tag or '*'
-        proptest::option::of((0usize..TAGS.len(), proptest::option::of(0usize..VALUES.len()))),
+        prop::bool::ANY,        // '//' vs '/'
+        0usize..TAGS.len() + 1, // tag or '*'
+        proptest::option::of((
+            0usize..TAGS.len(),
+            proptest::option::of(0usize..VALUES.len()),
+        )),
     )
         .prop_map(|(desc, t, pred)| {
             let axis = if desc { "//" } else { "/" };

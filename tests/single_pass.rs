@@ -88,7 +88,10 @@ fn header_directory_skips_pages_for_sibling_jumps() {
     store.pool().clear_cache().unwrap();
     store.pool().stats().reset();
     let target = cursor::following_sibling(&store, bulk).unwrap().unwrap();
-    assert_eq!(store.tag_at(target).unwrap(), dict.lookup("target").unwrap());
+    assert_eq!(
+        store.tag_at(target).unwrap(),
+        dict.lookup("target").unwrap()
+    );
     let reads = store.pool().stats().physical_reads();
     assert!(
         reads <= 3,

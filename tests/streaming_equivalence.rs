@@ -19,8 +19,7 @@ fn check(kind: DatasetKind) {
                 Err(e) => panic!("stream error on {path}: {e}"),
             };
             streamable += 1;
-            let mut stream_deweys: Vec<String> =
-                hits.iter().map(|h| h.dewey.to_string()).collect();
+            let mut stream_deweys: Vec<String> = hits.iter().map(|h| h.dewey.to_string()).collect();
             stream_deweys.sort();
             let mut stored: Vec<String> = db
                 .query(path)
@@ -77,7 +76,13 @@ fn incremental_matches_batch() {
     }
     assert_eq!(incremental.len(), batch.len());
     assert_eq!(
-        incremental.iter().map(|h| h.dewey.to_string()).collect::<Vec<_>>(),
-        batch.iter().map(|h| h.dewey.to_string()).collect::<Vec<_>>()
+        incremental
+            .iter()
+            .map(|h| h.dewey.to_string())
+            .collect::<Vec<_>>(),
+        batch
+            .iter()
+            .map(|h| h.dewey.to_string())
+            .collect::<Vec<_>>()
     );
 }

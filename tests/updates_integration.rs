@@ -125,8 +125,10 @@ fn updates_on_generated_dataset() {
     );
 
     // Delete the first two originals: every index must follow the shift.
-    db.delete_subtree(&Dewey::from_components(vec![0, 0])).expect("delete");
-    db.delete_subtree(&Dewey::from_components(vec![0, 0])).expect("delete");
+    db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+        .expect("delete");
+    db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+        .expect("delete");
     assert_eq!(
         db.query("/authors/author").expect("query").len(),
         before + 3
