@@ -20,6 +20,9 @@ cargo build -p nok-datagen --no-default-features
 echo "==> cargo test"
 cargo test -q
 
+echo "==> concurrency stress suite (release)"
+cargo test -p nok-serve --release -q --test stress
+
 echo "==> nokfsck over a generated corpus"
 corpus="$(mktemp -d)"
 trap 'rm -rf "$corpus"' EXIT
@@ -27,5 +30,33 @@ for ds in author address catalog; do
   ./target/release/mkdb "$ds" 0.01 "$corpus/$ds"
   ./target/release/nokfsck --strict "$corpus/$ds"
 done
+
+echo "==> nokd end-to-end (serve a corpus, ~100 queries, diff vs offline)"
+./target/release/mkdb dblp 0.01 "$corpus/dblp"
+./target/release/nokd "$corpus/dblp" --addr 127.0.0.1:0 \
+  --port-file "$corpus/nokd.port" --workers 4 &
+nokd_pid=$!
+for _ in $(seq 1 50); do
+  [ -s "$corpus/nokd.port" ] && break
+  sleep 0.1
+done
+port="$(cat "$corpus/nokd.port")"
+# The dblp workload is 24 queries (12 rooted + 12 descendant variants);
+# five passes ≈ 120 queries through the shared pool.
+./target/release/nokq --workload dblp > "$corpus/queries.txt"
+for _ in 1 2 3 4 5; do cat "$corpus/queries.txt"; done > "$corpus/queries5.txt"
+./target/release/nokq --addr "127.0.0.1:$port" < "$corpus/queries5.txt" \
+  > "$corpus/served.txt"
+./target/release/nokq --offline "$corpus/dblp" < "$corpus/queries5.txt" \
+  > "$corpus/offline.txt"
+diff "$corpus/served.txt" "$corpus/offline.txt"
+./target/release/nokq --addr "127.0.0.1:$port" --shutdown > /dev/null
+wait "$nokd_pid"
+./target/release/nokfsck --strict "$corpus/dblp"
+
+echo "==> serve throughput bench (BENCH_serve.json)"
+cargo run --release -q -p nok-bench --bin serve_throughput -- \
+  --scale 0.01 --duration-ms 300 --threads 1,2,4,8 --out BENCH_serve.json
+grep -q '"threads":8' BENCH_serve.json
 
 echo "CI OK"

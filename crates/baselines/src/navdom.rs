@@ -16,7 +16,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use nok_btree::BTree;
 use nok_core::pattern::{Axis, NameTest, PathExpr, Predicate, Step};
@@ -57,7 +57,7 @@ struct NodeRec {
 
 /// The persistent-DOM navigational engine.
 pub struct NavDomEngine<S: Storage = MemStorage> {
-    pool: Rc<BufferPool<S>>,
+    pool: Arc<BufferPool<S>>,
     dict: TagDict,
     data: RefCell<DataFile>,
     bt_tag: BTree<S>,
@@ -69,9 +69,9 @@ pub struct NavDomEngine<S: Storage = MemStorage> {
 impl NavDomEngine<MemStorage> {
     /// Build an in-memory instance from XML text.
     pub fn new(xml: &str) -> CoreResult<Self> {
-        let pool = Rc::new(BufferPool::new(MemStorage::new()));
-        let tag_pool = Rc::new(BufferPool::new(MemStorage::new()));
-        let val_pool = Rc::new(BufferPool::new(MemStorage::new()));
+        let pool = Arc::new(BufferPool::new(MemStorage::new()));
+        let tag_pool = Arc::new(BufferPool::new(MemStorage::new()));
+        let val_pool = Arc::new(BufferPool::new(MemStorage::new()));
         Self::build(xml, pool, tag_pool, val_pool, DataFile::in_memory())
     }
 }
@@ -80,9 +80,9 @@ impl<S: Storage> NavDomEngine<S> {
     /// Build from XML into the given pools.
     pub fn build(
         xml: &str,
-        pool: Rc<BufferPool<S>>,
-        tag_pool: Rc<BufferPool<S>>,
-        val_pool: Rc<BufferPool<S>>,
+        pool: Arc<BufferPool<S>>,
+        tag_pool: Arc<BufferPool<S>>,
+        val_pool: Arc<BufferPool<S>>,
         mut data: DataFile,
     ) -> CoreResult<Self> {
         let records_per_page = pool.page_size() / RECORD_SIZE;

@@ -4,13 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use nok_btree::BTree;
 use nok_pager::{BufferPool, MemStorage};
 
 fn loaded_tree(n: u32) -> BTree<MemStorage> {
-    let pool = Rc::new(BufferPool::new(MemStorage::new()));
+    let pool = Arc::new(BufferPool::new(MemStorage::new()));
     let pairs: Vec<_> = (0..n)
         .map(|i| (format!("key{i:08}").into_bytes(), i.to_le_bytes().to_vec()))
         .collect();
@@ -45,7 +45,7 @@ fn bench_btree(c: &mut Criterion) {
     });
 
     // Duplicate posting lists (the tag-index access pattern).
-    let dup_pool = Rc::new(BufferPool::new(MemStorage::new()));
+    let dup_pool = Arc::new(BufferPool::new(MemStorage::new()));
     let dup = BTree::create(dup_pool).unwrap();
     for i in 0..5000u32 {
         dup.insert(b"tag", &i.to_le_bytes()).unwrap();
@@ -56,7 +56,7 @@ fn bench_btree(c: &mut Criterion) {
 
     c.bench_function("btree_insert_10k", |b| {
         b.iter(|| {
-            let pool = Rc::new(BufferPool::new(MemStorage::new()));
+            let pool = Arc::new(BufferPool::new(MemStorage::new()));
             let t = BTree::create(pool).unwrap();
             for i in 0..10_000u32 {
                 t.insert(

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use nok_core::store::{BuildOptions, StructStore};
 use nok_core::{TagDict, XmlDb};
@@ -34,7 +34,7 @@ fn bench_parse(c: &mut Criterion) {
 
     group.bench_function("build_struct_store", |b| {
         b.iter(|| {
-            let pool = Rc::new(BufferPool::new(MemStorage::new()));
+            let pool = Arc::new(BufferPool::new(MemStorage::new()));
             let mut dict = TagDict::new();
             let store = StructStore::build(
                 pool,

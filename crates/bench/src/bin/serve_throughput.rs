@@ -1,0 +1,164 @@
+//! Serving throughput: queries/second of the concurrent query service at
+//! 1, 2, 4, and 8 worker threads over one shared on-disk database with the
+//! structural pool capped at 256 frames (the `nokd` default).
+//!
+//! ```text
+//! cargo run -p nok-bench --release --bin serve_throughput -- \
+//!     [--dataset dblp] [--scale 0.05] [--duration-ms 2000] \
+//!     [--threads 1,2,4,8] [--out BENCH_serve.json]
+//! ```
+//!
+//! Emits a machine-readable summary (deterministic key order) to the
+//! `--out` file and a human-readable table to stdout. The interesting
+//! number is the qps scaling 1→4 threads: with a single global pool lock
+//! it would be flat; with the sharded pool it should exceed 1×.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nok_bench::Args;
+use nok_core::XmlDb;
+use nok_datagen::dataset_by_name;
+use nok_serve::{Json, QueryService, ServiceConfig, SERVE_POOL_FRAMES};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve_throughput: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    let dataset = args.get("dataset").unwrap_or("dblp").to_string();
+    let scale = args.scale();
+    let duration = Duration::from_millis(
+        args.get("duration-ms")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2000),
+    );
+    let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+    let thread_counts: Vec<usize> = args
+        .get("threads")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad thread count {s}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let ds =
+        dataset_by_name(&dataset, scale).ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+    let dir = std::env::temp_dir().join(format!("nok-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    XmlDb::create_on_disk(&dir, &ds.xml)
+        .map_err(|e| format!("build: {e}"))?
+        .flush()
+        .map_err(|e| format!("flush: {e}"))?;
+
+    let paths: Vec<String> = nok_datagen::workload(ds.kind)
+        .into_iter()
+        .filter_map(|(_, spec)| spec)
+        .flat_map(|s| {
+            if s.descendant_variant == s.path {
+                vec![s.path]
+            } else {
+                vec![s.path, s.descendant_variant]
+            }
+        })
+        .collect();
+
+    println!(
+        "serve_throughput: dataset={dataset} scale={scale} records={} pool_frames={} \
+         queries={} duration={}ms",
+        ds.records,
+        SERVE_POOL_FRAMES,
+        paths.len(),
+        duration.as_millis()
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10}",
+        "threads", "qps", "p50_us", "p99_us", "served"
+    );
+
+    let mut runs = Vec::new();
+    for &workers in &thread_counts {
+        // Fresh handle per run so pool stats and latency start cold-free
+        // but comparable (warm-up below primes the pool).
+        let db = Arc::new(
+            XmlDb::open_dir_with_capacity(&dir, SERVE_POOL_FRAMES)
+                .map_err(|e| format!("open: {e}"))?,
+        );
+        let svc = Arc::new(QueryService::start(
+            Arc::clone(&db),
+            ServiceConfig {
+                workers,
+                queue_cap: 1024,
+                default_timeout: Duration::from_secs(60),
+            },
+        ));
+        // Warm-up: one pass over the workload.
+        for p in &paths {
+            svc.query(p).map_err(|e| format!("warm-up {p}: {e}"))?;
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        let clients: Vec<_> = (0..workers)
+            .map(|c| {
+                let svc = Arc::clone(&svc);
+                let stop = Arc::clone(&stop);
+                let completed = Arc::clone(&completed);
+                let paths = paths.clone();
+                std::thread::spawn(move || {
+                    let mut i = c;
+                    while !stop.load(Ordering::Relaxed) {
+                        let p = &paths[i % paths.len()];
+                        if svc.query(p).is_ok() {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for c in clients {
+            let _ = c.join();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let served = completed.load(Ordering::Relaxed);
+        let qps = served as f64 / elapsed;
+        let p50 = svc.metrics().latency.quantile_micros(0.50);
+        let p99 = svc.metrics().latency.quantile_micros(0.99);
+        println!("{workers:>8} {qps:>12.1} {p50:>10} {p99:>10} {served:>10}");
+        runs.push(Json::obj(vec![
+            ("threads", Json::Num(workers as f64)),
+            ("qps", Json::Num((qps * 10.0).round() / 10.0)),
+            ("p50_us", Json::Num(p50 as f64)),
+            ("p99_us", Json::Num(p99 as f64)),
+            ("served", Json::Num(served as f64)),
+        ]));
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("serve_throughput".into())),
+        ("dataset", Json::Str(dataset.clone())),
+        ("scale", Json::Num(scale)),
+        ("records", Json::Num(ds.records as f64)),
+        ("pool_frames", Json::Num(SERVE_POOL_FRAMES as f64)),
+        ("duration_ms", Json::Num(duration.as_millis() as f64)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", report.to_string_compact()))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -19,10 +19,10 @@
 pub mod node;
 pub mod verify;
 
-use std::cell::Cell;
 use std::fmt;
 use std::ops::Bound;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use nok_pager::codec::{get_u32, get_u64, put_u32, put_u64};
 use nok_pager::{BufferPool, PageHandle, PageId, PagerError, Storage};
@@ -77,14 +77,14 @@ const META_OFF_COUNT: usize = 8;
 /// A B+ tree occupying (all pages of) one buffer pool. Page 0 is the meta
 /// page holding the root pointer and the entry count.
 pub struct BTree<S: Storage> {
-    pool: Rc<BufferPool<S>>,
-    root: Cell<PageId>,
-    count: Cell<u64>,
+    pool: Arc<BufferPool<S>>,
+    root: AtomicU32,
+    count: AtomicU64,
 }
 
 impl<S: Storage> BTree<S> {
     /// Create a new empty tree in a fresh pool (the pool must be empty).
-    pub fn create(pool: Rc<BufferPool<S>>) -> BTreeResult<Self> {
+    pub fn create(pool: Arc<BufferPool<S>>) -> BTreeResult<Self> {
         debug_assert_eq!(pool.page_count(), 0, "BTree::create needs an empty pool");
         let (meta_id, meta) = pool.allocate()?;
         debug_assert_eq!(meta_id, 0);
@@ -98,13 +98,13 @@ impl<S: Storage> BTree<S> {
         }
         Ok(BTree {
             pool,
-            root: Cell::new(root_id),
-            count: Cell::new(0),
+            root: AtomicU32::new(root_id),
+            count: AtomicU64::new(0),
         })
     }
 
     /// Open an existing tree from its pool.
-    pub fn open(pool: Rc<BufferPool<S>>) -> BTreeResult<Self> {
+    pub fn open(pool: Arc<BufferPool<S>>) -> BTreeResult<Self> {
         let meta = pool.get(0)?;
         let (root, count) = {
             let m = meta.read();
@@ -115,14 +115,14 @@ impl<S: Storage> BTree<S> {
         };
         Ok(BTree {
             pool,
-            root: Cell::new(root),
-            count: Cell::new(count),
+            root: AtomicU32::new(root),
+            count: AtomicU64::new(count),
         })
     }
 
     /// Number of key/value entries.
     pub fn len(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// True when the tree holds no entries.
@@ -151,8 +151,8 @@ impl<S: Storage> BTree<S> {
     fn persist_meta(&self) -> BTreeResult<()> {
         let meta = self.pool.get(0)?;
         let mut m = meta.write();
-        put_u32(&mut m, META_OFF_ROOT, self.root.get());
-        put_u64(&mut m, META_OFF_COUNT, self.count.get());
+        put_u32(&mut m, META_OFF_ROOT, self.root.load(Ordering::Acquire));
+        put_u64(&mut m, META_OFF_COUNT, self.count.load(Ordering::Relaxed));
         Ok(())
     }
 
@@ -173,7 +173,7 @@ impl<S: Storage> BTree<S> {
         }
         // Descend right-most among equals, recording the path.
         let mut path: Vec<(PageId, usize)> = Vec::new();
-        let mut page_id = self.root.get();
+        let mut page_id = self.root.load(Ordering::Acquire);
         loop {
             let page = self.pool.get(page_id)?;
             let is_leaf = node::is_leaf(&page.read());
@@ -211,8 +211,8 @@ impl<S: Storage> BTree<S> {
     }
 
     fn bump_count(&self, delta: i64) -> BTreeResult<()> {
-        self.count
-            .set((self.count.get() as i64 + delta).max(0) as u64);
+        let next = (self.count.load(Ordering::Relaxed) as i64 + delta).max(0) as u64;
+        self.count.store(next, Ordering::Relaxed);
         self.persist_meta()
     }
 
@@ -260,7 +260,7 @@ impl<S: Storage> BTree<S> {
         loop {
             let Some((parent_id, child_idx)) = path.pop() else {
                 // Split reached the root: grow the tree by one level.
-                let old_root = self.root.get();
+                let old_root = self.root.load(Ordering::Acquire);
                 let (new_root_id, new_root) = self.pool.allocate()?;
                 {
                     let mut buf = new_root.write();
@@ -268,7 +268,7 @@ impl<S: Storage> BTree<S> {
                     node::set_link(&mut buf, old_root);
                     node::internal_insert(&mut buf, 0, &sep, new_child);
                 }
-                self.root.set(new_root_id);
+                self.root.store(new_root_id, Ordering::Release);
                 self.persist_meta()?;
                 return Ok(());
             };
@@ -310,7 +310,7 @@ impl<S: Storage> BTree<S> {
 
     /// Descend to the leftmost leaf that can contain `key`.
     fn descend_left(&self, key: &[u8]) -> BTreeResult<PageId> {
-        let mut page_id = self.root.get();
+        let mut page_id = self.root.load(Ordering::Acquire);
         loop {
             let page = self.pool.get(page_id)?;
             let buf = page.read();
@@ -431,18 +431,18 @@ impl<S: Storage> BTree<S> {
     /// Build a tree from an iterator of key-sorted `(key, value)` pairs.
     /// Much faster than repeated [`BTree::insert`] and produces tightly
     /// packed pages (≈`fill` fraction full).
-    pub fn bulk_load<I>(pool: Rc<BufferPool<S>>, pairs: I, fill: f64) -> BTreeResult<Self>
+    pub fn bulk_load<I>(pool: Arc<BufferPool<S>>, pairs: I, fill: f64) -> BTreeResult<Self>
     where
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     {
-        let tree = BTree::create(Rc::clone(&pool))?;
+        let tree = BTree::create(Arc::clone(&pool))?;
         let fill = fill.clamp(0.3, 1.0);
         let page_size = pool.page_size();
         let budget = ((page_size - node::HEADER_SIZE) as f64 * fill) as usize;
 
         // Level 0: fill leaves left to right.
         let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
-        let mut cur_id = tree.root.get();
+        let mut cur_id = tree.root.load(Ordering::Acquire);
         let mut cur = pool.get(cur_id)?;
         let mut used = 0usize;
         let mut first_key: Option<Vec<u8>> = None;
@@ -522,8 +522,8 @@ impl<S: Storage> BTree<S> {
             }
             level = next_level;
         }
-        tree.root.set(level[0].1);
-        tree.count.set(count);
+        tree.root.store(level[0].1, Ordering::Release);
+        tree.count.store(count, Ordering::Relaxed);
         tree.persist_meta()?;
         Ok(tree)
     }
@@ -611,7 +611,7 @@ mod tests {
     use nok_pager::MemStorage;
 
     fn mem_tree(page_size: usize) -> BTree<MemStorage> {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
         BTree::create(pool).unwrap()
     }
 
@@ -762,7 +762,7 @@ mod tests {
 
     #[test]
     fn bulk_load_round_trip() {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let pairs: Vec<_> = (0..1000u32)
             .map(|i| (key_of(i), i.to_le_bytes().to_vec()))
             .collect();
@@ -781,7 +781,7 @@ mod tests {
 
     #[test]
     fn bulk_load_rejects_unsorted() {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let pairs = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
         assert!(matches!(
             BTree::bulk_load(pool, pairs, 0.9),
@@ -791,7 +791,7 @@ mod tests {
 
     #[test]
     fn bulk_load_then_insert_more() {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let pairs: Vec<_> = (0..100u32).map(|i| (key_of(i * 2), vec![])).collect();
         let t = BTree::bulk_load(pool, pairs, 0.8).unwrap();
         for i in 0..100u32 {
@@ -809,7 +809,7 @@ mod tests {
         let path = dir.join("t.idx");
         {
             let storage = nok_pager::FileStorage::create_with_page_size(&path, 512).unwrap();
-            let t = BTree::create(Rc::new(BufferPool::new(storage))).unwrap();
+            let t = BTree::create(Arc::new(BufferPool::new(storage))).unwrap();
             for i in 0..200u32 {
                 t.insert(&key_of(i), &i.to_le_bytes()).unwrap();
             }
@@ -817,7 +817,7 @@ mod tests {
         }
         {
             let storage = nok_pager::FileStorage::open(&path).unwrap();
-            let t = BTree::open(Rc::new(BufferPool::new(storage))).unwrap();
+            let t = BTree::open(Arc::new(BufferPool::new(storage))).unwrap();
             assert_eq!(t.len(), 200);
             assert_eq!(
                 t.get_first(&key_of(123)).unwrap().unwrap(),

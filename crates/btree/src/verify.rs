@@ -219,12 +219,12 @@ impl<S: Storage> BTree<S> {
             walk.issue(0, format!("bad meta magic {magic:#010x}"));
             return Ok(walk.issues);
         }
-        if meta_root != self.root.get() {
+        if meta_root != self.root.load(std::sync::atomic::Ordering::Acquire) {
             walk.issue(
                 0,
                 format!(
                     "meta root {meta_root} differs from in-memory root {}",
-                    self.root.get()
+                    self.root.load(std::sync::atomic::Ordering::Acquire)
                 ),
             );
         }
@@ -270,12 +270,12 @@ impl<S: Storage> BTree<S> {
             }
         }
 
-        if walk.leaf_cells != self.count.get() {
+        if walk.leaf_cells != self.count.load(std::sync::atomic::Ordering::Relaxed) {
             walk.issue(
                 0,
                 format!(
                     "entry count {} in meta, {} cells in leaves",
-                    self.count.get(),
+                    self.count.load(std::sync::atomic::Ordering::Relaxed),
                     walk.leaf_cells
                 ),
             );
@@ -289,10 +289,10 @@ mod tests {
     use super::*;
     use crate::META_OFF_COUNT;
     use nok_pager::{BufferPool, MemStorage};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn mem_tree(page_size: usize) -> BTree<MemStorage> {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
         BTree::create(pool).unwrap()
     }
 
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn bulk_loaded_trees_verify_clean() {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let pairs: Vec<_> = (0..1000u32).map(|i| (key_of(i), vec![1, 2, 3])).collect();
         let t = BTree::bulk_load(pool, pairs, 0.9).unwrap();
         assert!(t.verify_structure().unwrap().is_empty());
@@ -376,7 +376,7 @@ mod tests {
             let mut m = meta.write();
             nok_pager::codec::put_u64(&mut m, META_OFF_COUNT, 999);
         }
-        t.count.set(999);
+        t.count.store(999, std::sync::atomic::Ordering::Relaxed);
         let issues = t.verify_structure().unwrap();
         assert!(
             issues.iter().any(|i| i.detail.contains("entry count")),

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -33,7 +33,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn run_model(ops: &[Op], page_size: usize) {
-    let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+    let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
     let tree = BTree::create(pool).expect("create");
     let mut model: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
 
@@ -120,7 +120,7 @@ proptest! {
         lo in arb_key(),
         hi in arb_key(),
     ) {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let tree = BTree::create(pool).expect("create");
         let mut model: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
         for (i, k) in keys.iter().enumerate() {
@@ -151,9 +151,9 @@ proptest! {
             .map(|(i, k)| (k.clone(), (i as u32).to_le_bytes().to_vec()))
             .collect();
         sorted.sort_by(|a, b| a.0.cmp(&b.0));
-        let bulk_pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let bulk_pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let bulk = BTree::bulk_load(bulk_pool, sorted.clone(), 0.85).expect("bulk");
-        let ins_pool = Rc::new(BufferPool::new(MemStorage::with_page_size(256)));
+        let ins_pool = Arc::new(BufferPool::new(MemStorage::with_page_size(256)));
         let ins = BTree::create(ins_pool).expect("create");
         for (k, v) in &sorted {
             ins.insert(k, v).expect("insert");

@@ -2,10 +2,9 @@
 //! detached value file, and the three B+ tree indexes of Figure 3 — with
 //! constructors for in-memory and on-disk instances.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use nok_btree::BTree;
 use nok_pager::{BufferPool, FileStorage, MemStorage, Storage};
@@ -16,13 +15,13 @@ use crate::error::{CoreError, CoreResult};
 use crate::physical::{IdRecord, TagPosting};
 use crate::sigma::{TagCode, TagDict};
 use crate::store::{BuildOptions, BuildSink, NodeRecord, StructStore};
-use crate::values::{hash_key, DataFile};
+use crate::values::{hash_key, DataFile, LockDataFile};
 
 /// A complete XML database instance over one document.
 pub struct XmlDb<S: Storage> {
     pub(crate) store: StructStore<S>,
     pub(crate) dict: TagDict,
-    pub(crate) data: RefCell<DataFile>,
+    pub(crate) data: Mutex<DataFile>,
     /// B+t: tag code → postings (document order).
     pub(crate) bt_tag: BTree<S>,
     /// B+v: value hash → dewey keys.
@@ -75,11 +74,11 @@ impl XmlDb<MemStorage> {
         opts: BuildOptions,
         struct_page_size: usize,
     ) -> CoreResult<Self> {
-        let mk = || Rc::new(BufferPool::new(MemStorage::new()));
+        let mk = || Arc::new(BufferPool::new(MemStorage::new()));
         XmlDb::build_with_pools(
             xml,
             opts,
-            Rc::new(BufferPool::new(MemStorage::with_page_size(
+            Arc::new(BufferPool::new(MemStorage::with_page_size(
                 struct_page_size,
             ))),
             mk(),
@@ -104,8 +103,8 @@ impl XmlDb<FileStorage> {
     pub fn create_on_disk<P: AsRef<Path>>(dir: P, xml: &str) -> CoreResult<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(nok_pager::PagerError::from)?;
-        let mk = |name: &str| -> CoreResult<Rc<BufferPool<FileStorage>>> {
-            Ok(Rc::new(BufferPool::new(FileStorage::create(
+        let mk = |name: &str| -> CoreResult<Arc<BufferPool<FileStorage>>> {
+            Ok(Arc::new(BufferPool::new(FileStorage::create(
                 dir.join(name),
             )?)))
         };
@@ -125,11 +124,29 @@ impl XmlDb<FileStorage> {
 
     /// Open a database previously created with [`XmlDb::create_on_disk`].
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> CoreResult<Self> {
+        Self::open_dir_with_capacity(dir, nok_pager::BufferPool::<FileStorage>::DEFAULT_CAPACITY)
+    }
+
+    /// Open a database with an explicit buffer-pool frame budget for the
+    /// structural store (index pools keep the default). The serving layer
+    /// uses this to cap the shared pool under concurrent load.
+    pub fn open_dir_with_capacity<P: AsRef<Path>>(
+        dir: P,
+        struct_frames: usize,
+    ) -> CoreResult<Self> {
         let dir: PathBuf = dir.as_ref().to_path_buf();
-        let mk = |name: &str| -> CoreResult<Rc<BufferPool<FileStorage>>> {
-            Ok(Rc::new(BufferPool::new(FileStorage::open(dir.join(name))?)))
+        let mk = |name: &str| -> CoreResult<Arc<BufferPool<FileStorage>>> {
+            Ok(Arc::new(BufferPool::new(FileStorage::open(
+                dir.join(name),
+            )?)))
         };
-        let store = StructStore::open(mk(F_STRUCT)?)?;
+        let mk_struct = || -> CoreResult<Arc<BufferPool<FileStorage>>> {
+            Ok(Arc::new(BufferPool::with_capacity(
+                FileStorage::open(dir.join(F_STRUCT))?,
+                struct_frames,
+            )))
+        };
+        let store = StructStore::open(mk_struct()?)?;
         let bt_tag = BTree::open(mk(F_TAG)?)?;
         let bt_val = BTree::open(mk(F_VAL)?)?;
         let bt_id = BTree::open(mk(F_ID)?)?;
@@ -146,7 +163,7 @@ impl XmlDb<FileStorage> {
         Ok(XmlDb {
             store,
             dict,
-            data: RefCell::new(data),
+            data: Mutex::new(data),
             bt_tag,
             bt_val,
             bt_id,
@@ -165,7 +182,7 @@ impl XmlDb<FileStorage> {
         self.bt_tag.flush()?;
         self.bt_val.flush()?;
         self.bt_id.flush()?;
-        self.data.borrow_mut().sync()?;
+        self.data_cell().lock_data().sync()?;
         Ok(())
     }
 }
@@ -175,10 +192,10 @@ impl<S: Storage> XmlDb<S> {
     pub fn build_with_pools(
         xml: &str,
         opts: BuildOptions,
-        struct_pool: Rc<BufferPool<S>>,
-        tag_pool: Rc<BufferPool<S>>,
-        val_pool: Rc<BufferPool<S>>,
-        id_pool: Rc<BufferPool<S>>,
+        struct_pool: Arc<BufferPool<S>>,
+        tag_pool: Arc<BufferPool<S>>,
+        val_pool: Arc<BufferPool<S>>,
+        id_pool: Arc<BufferPool<S>>,
         data: DataFile,
     ) -> CoreResult<Self> {
         let mut dict = TagDict::new();
@@ -260,7 +277,7 @@ impl<S: Storage> XmlDb<S> {
         Ok(XmlDb {
             store,
             dict,
-            data: RefCell::new(data),
+            data: Mutex::new(data),
             bt_tag,
             bt_val,
             bt_id,
@@ -294,9 +311,9 @@ impl<S: Storage> XmlDb<S> {
         &self.bt_id
     }
 
-    /// The value data file (shared cell, as the physical access layer
+    /// The value data file (shared mutex, as the physical access layer
     /// expects).
-    pub fn data_cell(&self) -> &RefCell<DataFile> {
+    pub fn data_cell(&self) -> &Mutex<DataFile> {
         &self.data
     }
 
@@ -321,6 +338,13 @@ mod tests {
     </bib>"#;
 
     #[test]
+    fn xmldb_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XmlDb<MemStorage>>();
+        assert_send_sync::<XmlDb<FileStorage>>();
+    }
+
+    #[test]
     fn build_populates_all_components() {
         let db = XmlDb::build_in_memory(BIB).unwrap();
         // bib, 2×book, 2×@year, 2×title, 2×price = 9 nodes.
@@ -341,7 +365,7 @@ mod tests {
         let key = Dewey::from_components(vec![0, 0, 0]).to_key();
         let rec = IdRecord::from_bytes(&db.bt_id.get_first(&key).unwrap().unwrap()).unwrap();
         let (off, _) = rec.value.expect("attribute has a value");
-        assert_eq!(db.data.borrow_mut().get_record(off).unwrap(), "1994");
+        assert_eq!(db.data.lock_data().get_record(off).unwrap(), "1994");
     }
 
     #[test]

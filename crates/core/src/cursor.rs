@@ -26,6 +26,7 @@ use nok_pager::Storage;
 /// Advance to the next entry in chain order (crossing page boundaries,
 /// skipping structurally empty pages). Costs I/O only when a page boundary
 /// is crossed.
+#[inline]
 pub fn next_entry<S: Storage>(
     store: &StructStore<S>,
     addr: NodeAddr,
@@ -54,6 +55,7 @@ pub fn next_entry<S: Storage>(
 /// `FIRST-CHILD`: the first child of the node at `addr`, if any. Per the
 /// pre-order property this is the very next entry iff it is an open entry
 /// (equivalently: iff its level is `l+1`).
+#[inline]
 pub fn first_child<S: Storage>(
     store: &StructStore<S>,
     addr: NodeAddr,
@@ -307,10 +309,10 @@ mod tests {
     use crate::store::{BuildOptions, StructStore};
     use nok_pager::{BufferPool, MemStorage};
     use nok_xml::{Document, NodeId, Reader};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn build(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
         let mut dict = TagDict::new();
         let store = StructStore::build(
             pool,
@@ -489,7 +491,7 @@ mod tests {
             }
             fn value(&mut self, _d: &Dewey, _t: &str) {}
         }
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(96)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(96)));
         let mut dict = TagDict::new();
         let mut sink = Rec(vec![]);
         let store = StructStore::build(

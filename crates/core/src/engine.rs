@@ -78,6 +78,40 @@ pub struct QueryStats {
     pub fragment_matches: Vec<u64>,
 }
 
+impl QueryStats {
+    /// Re-dimension for a query of `nfrags` fragments, keeping the vector
+    /// capacities so repeated queries through one scratch allocate nothing.
+    pub fn reset(&mut self, nfrags: usize) {
+        self.fragments = nfrags;
+        self.starting_points.clear();
+        self.starting_points.resize(nfrags, 0);
+        self.strategies.clear();
+        self.strategies.resize(nfrags, "");
+        self.fragment_matches.clear();
+        self.fragment_matches.resize(nfrags, 0);
+    }
+}
+
+/// Reusable per-worker query state. A serving worker keeps one scratch for
+/// its whole lifetime and threads it through [`XmlDb::query_into`], so the
+/// per-query bookkeeping vectors are allocated once, not per request.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    stats: QueryStats,
+}
+
+impl QueryScratch {
+    /// Fresh scratch (empty buffers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics of the most recent query run through this scratch.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+}
+
 /// One successful start: the fragment-root match and the collected hot-node
 /// matches beneath it.
 struct Rec {
@@ -107,27 +141,52 @@ impl<S: Storage> XmlDb<S> {
         self.query_pattern(&tree, opts)
     }
 
+    /// Evaluate into caller-provided buffers, reusing the scratch's stats
+    /// vectors. `out` is cleared first; matches land there in document
+    /// order. This is the allocation-lean path serving workers use.
+    pub fn query_into(
+        &self,
+        path: &str,
+        opts: QueryOptions,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<QueryMatch>,
+    ) -> CoreResult<()> {
+        let expr = PathExpr::parse(path)?;
+        let tree = PatternTree::from_path(&expr)?;
+        self.query_pattern_into(&tree, opts, &mut scratch.stats, out)
+    }
+
     /// Evaluate a pre-built pattern tree.
     pub fn query_pattern(
         &self,
         tree: &PatternTree,
         opts: QueryOptions,
     ) -> CoreResult<(Vec<QueryMatch>, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let mut out = Vec::new();
+        self.query_pattern_into(tree, opts, &mut stats, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// Evaluate a pre-built pattern tree into caller-provided buffers.
+    fn query_pattern_into(
+        &self,
+        tree: &PatternTree,
+        opts: QueryOptions,
+        stats: &mut QueryStats,
+        out: &mut Vec<QueryMatch>,
+    ) -> CoreResult<()> {
+        out.clear();
         let part = tree.partition();
         let access = PhysAccess::new(&self.store, &self.dict, &self.bt_id, &self.data);
         let nfrags = part.fragments.len();
-        let mut stats = QueryStats {
-            fragments: nfrags,
-            starting_points: vec![0; nfrags],
-            strategies: vec![""; nfrags],
-            fragment_matches: vec![0; nfrags],
-        };
+        stats.reset(nfrags);
 
         // ---- Bottom-up pass. Fragment indexes increase downward, so
         // descending order evaluates children before parents.
         let mut evals: Vec<Option<FragEval>> = (0..nfrags).map(|_| None).collect();
         for f in (0..nfrags).rev() {
-            let eval = self.eval_fragment(&part, f, &access, &evals, opts, &mut stats)?;
+            let eval = self.eval_fragment(&part, f, &access, &evals, opts, stats)?;
             evals[f] = Some(eval);
         }
 
@@ -168,18 +227,15 @@ impl<S: Storage> XmlDb<S> {
 
         // ---- Collect returning matches from surviving records.
         let ret_eval = evals[part.returning_fragment].as_ref().expect("evaluated");
-        let mut out: Vec<QueryMatch> = surviving
-            .iter()
-            .flat_map(|&ri| {
-                ret_eval.records[ri].hot.iter().map(|(n, _)| QueryMatch {
-                    addr: n.addr,
-                    dewey: n.dewey.clone(),
-                })
+        out.extend(surviving.iter().flat_map(|&ri| {
+            ret_eval.records[ri].hot.iter().map(|(n, _)| QueryMatch {
+                addr: n.addr,
+                dewey: n.dewey.clone(),
             })
-            .collect();
+        }));
         out.sort_by(|a, b| a.dewey.cmp(&b.dewey));
         out.dedup_by(|a, b| a.addr == b.addr);
-        Ok((out, stats))
+        Ok(())
     }
 
     /// Evaluate one fragment bottom-up: locate starts, match, record.

@@ -60,9 +60,10 @@ pub mod values;
 
 pub use build::XmlDb;
 pub use dewey::Dewey;
-pub use engine::{QueryMatch, QueryOptions, QueryStats, StartStrategy};
+pub use engine::{QueryMatch, QueryOptions, QueryScratch, QueryStats, StartStrategy};
 pub use error::{CoreError, CoreResult};
 pub use sigma::{TagCode, TagDict};
 pub use stats::DocStats;
 pub use store::{BuildOptions, NodeAddr, StructStore};
 pub use stream::{StreamHit, StreamMatcher};
+pub use values::LockDataFile;

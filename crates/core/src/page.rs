@@ -60,6 +60,7 @@ pub enum Entry {
 
 impl Entry {
     /// Encoded width in bytes.
+    #[inline]
     pub fn width(self) -> usize {
         match self {
             Entry::Open(_) => 2,
@@ -68,6 +69,7 @@ impl Entry {
     }
 
     /// True for [`Entry::Open`].
+    #[inline]
     pub fn is_open(self) -> bool {
         matches!(self, Entry::Open(_))
     }
@@ -129,6 +131,7 @@ pub fn encode_entry(out: &mut Vec<u8>, e: Entry) {
 
 /// Decode the entry starting at `buf[pos]`. Returns the entry and its width.
 /// `None` if the bytes are malformed (truncated open entry).
+#[inline]
 pub fn decode_entry(buf: &[u8], pos: usize) -> Option<(Entry, usize)> {
     let b0 = *buf.get(pos)?;
     if b0 & 0x80 != 0 {
@@ -189,17 +192,20 @@ impl DecodedPage {
     }
 
     /// Number of entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// True when the page holds no entries.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Level of the last entry (st of the next page), or `header.st` when
     /// empty.
+    #[inline]
     pub fn end_level(&self) -> u16 {
         self.levels.last().copied().unwrap_or(self.header.st)
     }

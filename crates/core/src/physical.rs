@@ -6,6 +6,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use nok_btree::BTree;
 use nok_pager::Storage;
@@ -17,7 +18,7 @@ use crate::nok::TreeAccess;
 use crate::pattern::NameTest;
 use crate::sigma::{TagCode, TagDict};
 use crate::store::{NodeAddr, StructStore};
-use crate::values::DataFile;
+use crate::values::{DataFile, LockDataFile};
 
 /// A physical subject-tree node: its address plus the Dewey id derived on
 /// the way here.
@@ -37,6 +38,7 @@ pub const DOC_ADDR: NodeAddr = NodeAddr {
 
 impl PhysNode {
     /// Is this the virtual document node?
+    #[inline]
     pub fn is_doc(&self) -> bool {
         self.addr == DOC_ADDR
     }
@@ -141,8 +143,10 @@ pub struct PhysAccess<'a, S: Storage> {
     store: &'a StructStore<S>,
     dict: &'a TagDict,
     bt_id: &'a BTree<S>,
-    data: &'a RefCell<DataFile>,
-    /// Cache of name-test resolutions (string → code).
+    data: &'a Mutex<DataFile>,
+    /// Cache of name-test resolutions (string → code). Per-query local, so
+    /// a plain `RefCell` suffices even under concurrent serving (each query
+    /// thread builds its own `PhysAccess`).
     test_cache: RefCell<HashMap<String, Option<TagCode>>>,
 }
 
@@ -152,7 +156,7 @@ impl<'a, S: Storage> PhysAccess<'a, S> {
         store: &'a StructStore<S>,
         dict: &'a TagDict,
         bt_id: &'a BTree<S>,
-        data: &'a RefCell<DataFile>,
+        data: &'a Mutex<DataFile>,
     ) -> Self {
         PhysAccess {
             store,
@@ -185,7 +189,7 @@ impl<'a, S: Storage> PhysAccess<'a, S> {
         };
         let rec = IdRecord::from_bytes(&rec)?;
         match rec.value {
-            Some((off, _len)) => Ok(Some(self.data.borrow_mut().get_record(off)?)),
+            Some((off, _len)) => Ok(Some(self.data.lock_data().get_record(off)?)),
             None => Ok(None),
         }
     }
@@ -209,6 +213,7 @@ impl<S: Storage> TreeAccess for PhysAccess<'_, S> {
         }
     }
 
+    #[inline]
     fn first_child(&self, n: &PhysNode) -> CoreResult<Option<PhysNode>> {
         if n.is_doc() {
             return Ok(self.store.root().map(|addr| PhysNode {
@@ -224,6 +229,7 @@ impl<S: Storage> TreeAccess for PhysAccess<'_, S> {
         )
     }
 
+    #[inline]
     fn following_sibling(&self, n: &PhysNode) -> CoreResult<Option<PhysNode>> {
         if n.is_doc() {
             return Ok(None);
@@ -236,6 +242,7 @@ impl<S: Storage> TreeAccess for PhysAccess<'_, S> {
         )
     }
 
+    #[inline]
     fn matches_test(&self, n: &PhysNode, test: &NameTest) -> CoreResult<bool> {
         if n.is_doc() {
             return Ok(false);

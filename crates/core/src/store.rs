@@ -8,10 +8,9 @@
 //! cost no page I/O — only actual content access goes through the buffer
 //! pool, which is what [`nok_pager::IoStats`] counts.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use nok_pager::{BufferPool, PageId, Storage};
 use nok_xml::Event;
@@ -34,6 +33,7 @@ pub struct NodeAddr {
 
 impl NodeAddr {
     /// Encode to 8 bytes for index postings.
+    #[inline]
     pub fn to_bytes(self) -> [u8; 8] {
         let mut out = [0u8; 8];
         out[..4].copy_from_slice(&self.page.to_be_bytes());
@@ -42,6 +42,7 @@ impl NodeAddr {
     }
 
     /// Inverse of [`NodeAddr::to_bytes`].
+    #[inline]
     pub fn from_bytes(b: &[u8]) -> NodeAddr {
         NodeAddr {
             page: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
@@ -134,20 +135,29 @@ impl BuildSink for () {
 
 /// The paged string representation of one document's subject tree.
 pub struct StructStore<S: Storage> {
-    pool: Rc<BufferPool<S>>,
-    dir: RefCell<Directory>,
-    decoded: RefCell<HashMap<PageId, Rc<DecodedPage>>>,
-    /// One-entry fast path: navigation hits the same page repeatedly.
-    decoded_last: RefCell<Option<(PageId, Rc<DecodedPage>)>>,
+    pool: Arc<BufferPool<S>>,
+    dir: RwLock<Directory>,
+    decoded: RwLock<HashMap<PageId, Arc<DecodedPage>>>,
     decode_cache_limit: usize,
     node_count: u64,
+}
+
+/// Recover the guard from a poisoned lock. The directory and decode cache
+/// hold plain data that is re-validated on use, so a panicking thread (only
+/// possible in tests) must not wedge every other query thread.
+fn rd<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wr<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl<S: Storage> StructStore<S> {
     /// Build a store from an event stream. Emits node metadata into `sink`.
     /// The pool must be empty.
     pub fn build<I, K>(
-        pool: Rc<BufferPool<S>>,
+        pool: Arc<BufferPool<S>>,
         events: I,
         dict: &mut TagDict,
         opts: BuildOptions,
@@ -253,9 +263,8 @@ impl<S: Storage> StructStore<S> {
         dir.rebuild_ranks();
         Ok(StructStore {
             pool,
-            dir: RefCell::new(dir),
-            decoded: RefCell::new(HashMap::new()),
-            decoded_last: RefCell::new(None),
+            dir: RwLock::new(dir),
+            decoded: RwLock::new(HashMap::new()),
             decode_cache_limit: 1024,
             node_count,
         })
@@ -263,7 +272,7 @@ impl<S: Storage> StructStore<S> {
 
     /// Open a store whose pages already exist in `pool`, rebuilding the
     /// in-memory header directory by walking the chain (header reads only).
-    pub fn open(pool: Rc<BufferPool<S>>) -> CoreResult<Self> {
+    pub fn open(pool: Arc<BufferPool<S>>) -> CoreResult<Self> {
         let mut dir = Directory::default();
         let mut node_count = 0u64;
         if pool.page_count() > 0 {
@@ -290,9 +299,8 @@ impl<S: Storage> StructStore<S> {
         dir.rebuild_ranks();
         Ok(StructStore {
             pool,
-            dir: RefCell::new(dir),
-            decoded: RefCell::new(HashMap::new()),
-            decoded_last: RefCell::new(None),
+            dir: RwLock::new(dir),
+            decoded: RwLock::new(HashMap::new()),
             decode_cache_limit: 1024,
             node_count,
         })
@@ -310,7 +318,7 @@ impl<S: Storage> StructStore<S> {
 
     /// Number of structural pages.
     pub fn page_count(&self) -> u32 {
-        self.dir.borrow().order.len() as u32
+        rd(&self.dir).order.len() as u32
     }
 
     /// Bytes of string content (the paper's |tree| column in Table 1).
@@ -326,7 +334,7 @@ impl<S: Storage> StructStore<S> {
 
     /// Address of the root node, or `None` for an empty store.
     pub fn root(&self) -> Option<NodeAddr> {
-        let dir = self.dir.borrow();
+        let dir = rd(&self.dir);
         let first = dir.order.iter().find(|e| e.entries > 0)?;
         Some(NodeAddr {
             page: first.id,
@@ -337,9 +345,9 @@ impl<S: Storage> StructStore<S> {
     /// Rank of `page` in the chain (document order of pages). A page id
     /// that is not part of the chain means the directory and the store have
     /// diverged — reported as corruption, never as a panic.
+    #[inline]
     pub fn rank(&self, page: PageId) -> CoreResult<u32> {
-        self.dir
-            .borrow()
+        rd(&self.dir)
             .rank
             .get(&page)
             .copied()
@@ -347,13 +355,14 @@ impl<S: Storage> StructStore<S> {
     }
 
     /// Directory entry at chain rank `r`, if any.
+    #[inline]
     pub fn dir_at(&self, r: u32) -> Option<DirEntry> {
-        self.dir.borrow().order.get(r as usize).copied()
+        rd(&self.dir).order.get(r as usize).copied()
     }
 
     /// Number of chained pages (== `page_count`).
     pub fn chain_len(&self) -> u32 {
-        self.dir.borrow().order.len() as u32
+        rd(&self.dir).order.len() as u32
     }
 
     /// Linear position of an address: document order as a single `u64`
@@ -361,57 +370,42 @@ impl<S: Storage> StructStore<S> {
     /// used as the interval endpoint for structural joins. Ranks are offset
     /// by one so every real position is strictly greater than 0, letting the
     /// virtual document node own the open interval `(0, u64::MAX)`.
+    #[inline]
     pub fn lin(&self, addr: NodeAddr) -> CoreResult<u64> {
         Ok(((self.rank(addr.page)? as u64 + 1) << 32) | addr.entry as u64)
     }
 
-    /// Fetch and decode a page (cached).
-    pub fn decoded(&self, id: PageId) -> CoreResult<Rc<DecodedPage>> {
-        if let Some((last_id, p)) = self.decoded_last.borrow().as_ref() {
-            if *last_id == id {
-                return Ok(Rc::clone(p));
-            }
-        }
-        if let Some(p) = self.decoded.borrow().get(&id) {
-            *self.decoded_last.borrow_mut() = Some((id, Rc::clone(p)));
-            return Ok(Rc::clone(p));
+    /// Fetch and decode a page (cached). The cache is shared across query
+    /// threads; a racing double-decode of the same page is harmless (both
+    /// results are identical, the second insert wins).
+    pub fn decoded(&self, id: PageId) -> CoreResult<Arc<DecodedPage>> {
+        if let Some(p) = rd(&self.decoded).get(&id) {
+            return Ok(Arc::clone(p));
         }
         let handle = self.pool.get(id)?;
         let page = DecodedPage::decode(&handle.read())
             .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?;
-        let rc = Rc::new(page);
-        let mut cache = self.decoded.borrow_mut();
+        let arc = Arc::new(page);
+        let mut cache = wr(&self.decoded);
         if cache.len() >= self.decode_cache_limit {
             cache.clear();
         }
-        cache.insert(id, Rc::clone(&rc));
-        drop(cache);
-        *self.decoded_last.borrow_mut() = Some((id, Rc::clone(&rc)));
-        Ok(rc)
+        cache.insert(id, Arc::clone(&arc));
+        Ok(arc)
     }
 
     /// Drop cached decodes (all pages, or one).
     pub fn invalidate_decoded(&self, id: Option<PageId>) {
         match id {
             Some(id) => {
-                self.decoded.borrow_mut().remove(&id);
-                let stale = self
-                    .decoded_last
-                    .borrow()
-                    .as_ref()
-                    .is_some_and(|(last, _)| *last == id);
-                if stale {
-                    *self.decoded_last.borrow_mut() = None;
-                }
+                wr(&self.decoded).remove(&id);
             }
-            None => {
-                self.decoded.borrow_mut().clear();
-                *self.decoded_last.borrow_mut() = None;
-            }
+            None => wr(&self.decoded).clear(),
         }
     }
 
     /// The entry and its level at `addr`.
+    #[inline]
     pub fn entry_at(&self, addr: NodeAddr) -> CoreResult<(Entry, u16)> {
         let page = self.decoded(addr.page)?;
         let i = addr.entry as usize;
@@ -425,6 +419,7 @@ impl<S: Storage> StructStore<S> {
     }
 
     /// Tag code at `addr` (must be an open entry).
+    #[inline]
     pub fn tag_at(&self, addr: NodeAddr) -> CoreResult<TagCode> {
         match self.entry_at(addr)? {
             (Entry::Open(t), _) => Ok(t),
@@ -433,18 +428,19 @@ impl<S: Storage> StructStore<S> {
     }
 
     /// Level at `addr`.
+    #[inline]
     pub fn level_at(&self, addr: NodeAddr) -> CoreResult<u16> {
         Ok(self.entry_at(addr)?.1)
     }
 
     // ---- update support (used by crate::update) ----
 
-    pub(crate) fn dir_mut(&self) -> std::cell::RefMut<'_, Directory> {
-        self.dir.borrow_mut()
+    pub(crate) fn dir_mut(&self) -> RwLockWriteGuard<'_, Directory> {
+        wr(&self.dir)
     }
 
-    pub(crate) fn pool_rc(&self) -> Rc<BufferPool<S>> {
-        Rc::clone(&self.pool)
+    pub(crate) fn pool_rc(&self) -> Arc<BufferPool<S>> {
+        Arc::clone(&self.pool)
     }
 
     pub(crate) fn bump_node_count(&mut self, delta: i64) {
@@ -505,7 +501,7 @@ impl PageBuf {
 }
 
 struct Builder<'a, S: Storage> {
-    pool: &'a Rc<BufferPool<S>>,
+    pool: &'a Arc<BufferPool<S>>,
     dir: Directory,
     budget: usize,
     cur: PageBuf,
@@ -611,7 +607,7 @@ mod tests {
     use nok_xml::Reader;
 
     pub(crate) fn mem_store(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
         let mut dict = TagDict::new();
         let store = StructStore::build(
             pool,
@@ -691,7 +687,7 @@ mod tests {
                 self.values.push((dewey.to_string(), text.to_string()));
             }
         }
-        let pool = Rc::new(BufferPool::new(MemStorage::new()));
+        let pool = Arc::new(BufferPool::new(MemStorage::new()));
         let mut dict = TagDict::new();
         let mut sink = Collect {
             nodes: vec![],
@@ -732,7 +728,7 @@ mod tests {
                 self.0.push(t.to_string());
             }
         }
-        let pool = Rc::new(BufferPool::new(MemStorage::new()));
+        let pool = Arc::new(BufferPool::new(MemStorage::new()));
         let mut dict = TagDict::new();
         let mut sink = Vals(vec![]);
         StructStore::build(
@@ -753,10 +749,10 @@ mod tests {
             xml.push_str("<x><y/></x>");
         }
         xml.push_str("</r>");
-        let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(64)));
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(64)));
         let mut dict = TagDict::new();
         let store = StructStore::build(
-            Rc::clone(&pool),
+            Arc::clone(&pool),
             Reader::content_only(&xml),
             &mut dict,
             BuildOptions::default(),

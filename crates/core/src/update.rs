@@ -38,7 +38,7 @@ use crate::page::{self, Entry, PageHeader, HEADER_SIZE};
 use crate::physical::{IdRecord, TagPosting};
 use crate::sigma::TagCode;
 use crate::store::{DirEntry, NodeAddr};
-use crate::values::hash_key;
+use crate::values::{hash_key, LockDataFile};
 
 /// Derives Dewey ids while walking raw entries from an arbitrary seed
 /// position (the stack-of-counters trick: ancestors' consumed-child counts
@@ -212,7 +212,7 @@ impl<S: Storage> XmlDb<S> {
         // New nodes: insert into B+i / B+t (+ values into data file, B+v).
         let mut value_map: HashMap<Vec<u8>, (u64, u32)> = HashMap::new();
         for (dewey, text) in &new_values {
-            let (off, len) = self.data.borrow_mut().put(text)?;
+            let (off, len) = self.data.lock_data().put(text)?;
             value_map.insert(dewey.to_key(), (off, len));
             self.bt_val.insert(&hash_key(text), &dewey.to_key())?;
         }
@@ -316,7 +316,7 @@ impl<S: Storage> XmlDb<S> {
             if let Some(rec) = self.bt_id.get_first(&key)? {
                 let rec = IdRecord::from_bytes(&rec)?;
                 if let Some((off, _)) = rec.value {
-                    let text = self.data.borrow_mut().get_record(off)?;
+                    let text = self.data.lock_data().get_record(off)?;
                     self.bt_val.delete(&hash_key(&text), Some(&key))?;
                 }
             }
@@ -472,7 +472,7 @@ impl<S: Storage> XmlDb<S> {
         // B+v, if the node carries a value and its Dewey changed.
         if t.old_dewey != t.new_dewey {
             if let Some((off, _)) = rec.value {
-                let text = self.data.borrow_mut().get_record(off)?;
+                let text = self.data.lock_data().get_record(off)?;
                 self.bt_val.delete(&hash_key(&text), Some(&old_key))?;
                 self.bt_val.insert(&hash_key(&text), &new_key)?;
             }

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::error::{CoreError, CoreResult};
 
@@ -187,6 +188,21 @@ impl DataFile {
             f.sync_data().map_err(nok_pager::PagerError::from)?;
         }
         Ok(())
+    }
+}
+
+/// Panic-free locking for a shared [`DataFile`]. Query threads share one
+/// data file behind a `Mutex`; a poisoned lock (a panicking thread, only
+/// possible in tests) is recovered rather than propagated, since the file
+/// holds plain offset-addressed records that stay valid across a panic.
+pub trait LockDataFile {
+    /// Acquire the data file, recovering from poisoning.
+    fn lock_data(&self) -> MutexGuard<'_, DataFile>;
+}
+
+impl LockDataFile for Mutex<DataFile> {
+    fn lock_data(&self) -> MutexGuard<'_, DataFile> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 

@@ -3,7 +3,7 @@
 //! intervals must be properly nested, and the level arrays must satisfy the
 //! paper's invariants.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -33,7 +33,7 @@ fn arb_doc() -> impl Strategy<Value = String> {
 }
 
 fn build(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
-    let pool = Rc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+    let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
     let mut dict = TagDict::new();
     let store = StructStore::build(
         pool,

@@ -22,6 +22,12 @@ pub enum PagerError {
     },
     /// The storage file's header did not match the expected magic/page size.
     Corrupt(String),
+    /// Every frame in the buffer pool is pinned: nothing can be evicted to
+    /// make room for the requested page.
+    PoolExhausted {
+        /// Configured frame capacity of the pool.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for PagerError {
@@ -32,6 +38,9 @@ impl fmt::Display for PagerError {
                 write!(f, "page {page} out of range (storage has {count} pages)")
             }
             PagerError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            PagerError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
         }
     }
 }

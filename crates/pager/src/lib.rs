@@ -12,9 +12,11 @@
 //!   paper bounds ("the physical level NoK pattern matching algorithm reads
 //!   every page at most once").
 //!
-//! The pool is single-threaded by design (the paper's engine is a
-//! single-scan, single-thread algorithm); interior mutability keeps the API
-//! ergonomic for cursors that hold several pages at once.
+//! The pool is thread-safe: frames live in sharded `RwLock` maps, the
+//! storage sits behind a `Mutex`, and stats are atomic, so one pool can be
+//! shared across query threads behind an `Arc`. The capacity is a hard
+//! budget — when every frame is pinned, a miss fails with
+//! [`PagerError::PoolExhausted`] rather than growing the pool.
 
 pub mod error;
 pub mod pool;
@@ -22,7 +24,7 @@ pub mod stats;
 pub mod storage;
 
 pub use error::{PagerError, PagerResult};
-pub use pool::{BufferPool, PageHandle};
+pub use pool::{BufferPool, PageHandle, PageRead, PageWrite};
 pub use stats::IoStats;
 pub use storage::{FileStorage, MemStorage, PageId, Storage, DEFAULT_PAGE_SIZE};
 

@@ -4,27 +4,61 @@
 //! a frame is evictable exactly when no handle to it is alive. LRU order is
 //! maintained with a monotone clock stamp per frame (simple and adequate for
 //! pool sizes in the thousands).
+//!
+//! **Concurrency model.** The pool is fully thread-safe: the frame table is
+//! sharded across [`SHARD_COUNT`] `RwLock`-protected maps (hits take one
+//! shard read lock and touch only atomics), the storage sits behind a
+//! `Mutex`, and [`IoStats`] counters are atomic. Misses and evictions
+//! serialize per shard: a miss holds its shard's write lock across the
+//! check-read-install sequence, and an eviction holds the victim's shard
+//! write lock across the remove-writeback sequence, so a page can never be
+//! re-read from storage while its dirty frame is mid-writeback. At most one
+//! shard lock is held at a time (the storage mutex nests strictly inside),
+//! which rules out lock-order deadlocks.
+//!
+//! **Capacity.** `max_frames` is enforced at miss time: installing a frame
+//! into a full pool first evicts the least-recently-used *unpinned* frame
+//! (flushing it if dirty). If every frame is pinned the pool does not grow;
+//! the miss fails with [`crate::PagerError::PoolExhausted`]. Concurrent
+//! misses may transiently overshoot the cap by at most the number of racing
+//! threads; each subsequent install shrinks the pool back below `max_frames`.
 
-use std::cell::{Ref, RefCell, RefMut};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use crate::error::PagerResult;
+use crate::error::{PagerError, PagerResult};
 use crate::stats::IoStats;
 use crate::storage::{PageId, Storage};
 
-#[derive(Debug)]
-struct Frame {
-    data: Rc<RefCell<Box<[u8]>>>,
-    dirty: Rc<std::cell::Cell<bool>>,
-    last_used: u64,
+/// Number of independently locked frame-map shards. A small power of two:
+/// enough to keep eight query threads from colliding on one lock, cheap
+/// enough to scan exhaustively during eviction.
+const SHARD_COUNT: usize = 16;
+
+#[inline]
+fn shard_of(id: PageId) -> usize {
+    // Fibonacci hashing spreads sequential page ids across shards.
+    (id.wrapping_mul(0x9E37_79B9) >> 16) as usize % SHARD_COUNT
 }
 
-#[derive(Debug, Default)]
-struct PoolInner {
-    frames: HashMap<PageId, Frame>,
-    clock: u64,
+#[derive(Debug)]
+struct Frame {
+    data: Arc<RwLock<Box<[u8]>>>,
+    dirty: Arc<AtomicBool>,
+    last_used: AtomicU64,
 }
+
+impl Frame {
+    /// A frame is pinned while any [`PageHandle`] to it is alive; the map's
+    /// own `Arc` is the only other holder.
+    fn is_pinned(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+}
+
+type Shard = HashMap<PageId, Frame>;
 
 /// A pinned page. Holding the handle keeps the page in the pool; dropping it
 /// makes the frame evictable again. Obtain the bytes with [`PageHandle::read`]
@@ -32,8 +66,55 @@ struct PoolInner {
 #[derive(Debug, Clone)]
 pub struct PageHandle {
     id: PageId,
-    data: Rc<RefCell<Box<[u8]>>>,
-    dirty: Rc<std::cell::Cell<bool>>,
+    data: Arc<RwLock<Box<[u8]>>>,
+    dirty: Arc<AtomicBool>,
+}
+
+/// Shared read access to a page's bytes (an RAII guard).
+pub struct PageRead<'a>(RwLockReadGuard<'a, Box<[u8]>>);
+
+impl Deref for PageRead<'_> {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Exclusive write access to a page's bytes (an RAII guard).
+pub struct PageWrite<'a>(RwLockWriteGuard<'a, Box<[u8]>>);
+
+impl Deref for PageWrite<'_> {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for PageWrite<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Recover the guard from a poisoned lock: the page bytes are plain data
+/// whose invariants are re-checked on decode, so a panic in another thread
+/// (only possible in tests — the query path is panic-free) must not cascade.
+#[inline]
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+#[inline]
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+#[inline]
+fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl PageHandle {
@@ -42,27 +123,34 @@ impl PageHandle {
         self.id
     }
 
-    /// Immutable view of the page bytes.
-    pub fn read(&self) -> Ref<'_, [u8]> {
-        Ref::map(self.data.borrow(), |b| &**b)
+    /// Immutable view of the page bytes. Concurrent readers do not block
+    /// each other; a writer in another thread blocks until they finish.
+    pub fn read(&self) -> PageRead<'_> {
+        PageRead(read_lock(&self.data))
     }
 
     /// Mutable view of the page bytes; marks the page dirty.
-    pub fn write(&self) -> RefMut<'_, [u8]> {
-        self.dirty.set(true);
-        RefMut::map(self.data.borrow_mut(), |b| &mut **b)
+    pub fn write(&self) -> PageWrite<'_> {
+        self.dirty.store(true, Ordering::Release);
+        PageWrite(write_lock(&self.data))
     }
 }
 
 /// An LRU buffer pool over a [`Storage`].
 ///
-/// All methods take `&self`; interior mutability keeps cursor code (which
-/// holds handles while requesting more pages) borrow-checker friendly.
+/// All methods take `&self`; the pool is `Sync` whenever the storage is
+/// `Send`, so one pool can be shared across query threads behind an `Arc`.
 #[derive(Debug)]
 pub struct BufferPool<S: Storage> {
-    storage: RefCell<S>,
-    inner: RefCell<PoolInner>,
+    storage: Mutex<S>,
+    shards: Vec<RwLock<Shard>>,
+    /// Total frames across all shards (may transiently exceed `capacity`
+    /// while concurrent misses race; see module docs).
+    frames: AtomicUsize,
+    /// Monotone LRU clock.
+    clock: AtomicU64,
     capacity: usize,
+    page_size: usize,
     stats: IoStats,
 }
 
@@ -76,26 +164,37 @@ impl<S: Storage> BufferPool<S> {
         Self::with_capacity(storage, Self::DEFAULT_CAPACITY)
     }
 
-    /// Create a pool holding at most `capacity` unpinned frames. A capacity
-    /// of 0 disables caching entirely (every get is a physical read) — used
-    /// by tests that want raw I/O counts.
+    /// Create a pool holding at most `capacity` frames. A capacity of 0
+    /// disables caching entirely (every get is a physical read) — used by
+    /// tests that want raw I/O counts.
     pub fn with_capacity(storage: S, capacity: usize) -> Self {
+        let page_size = storage.page_size();
         BufferPool {
-            storage: RefCell::new(storage),
-            inner: RefCell::new(PoolInner::default()),
+            storage: Mutex::new(storage),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(Shard::new()))
+                .collect(),
+            frames: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
             capacity,
+            page_size,
             stats: IoStats::default(),
         }
     }
 
     /// Page size of the underlying storage.
     pub fn page_size(&self) -> usize {
-        self.storage.borrow().page_size()
+        self.page_size
     }
 
     /// Number of pages in the underlying storage.
     pub fn page_count(&self) -> u32 {
-        self.storage.borrow().page_count()
+        mutex_lock(&self.storage).page_count()
+    }
+
+    /// Maximum number of cached frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// I/O statistics (shared counters; reset with `stats().reset()`).
@@ -105,115 +204,215 @@ impl<S: Storage> BufferPool<S> {
 
     /// Number of frames currently cached.
     pub fn cached_frames(&self) -> usize {
-        self.inner.borrow().frames.len()
+        self.frames.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Fetch page `id`, reading it from storage on a miss.
     pub fn get(&self, id: PageId) -> PagerResult<PageHandle> {
         self.stats.count_get();
+        if self.capacity == 0 {
+            // Cache-less mode: always a physical read, never retained.
+            let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+            mutex_lock(&self.storage).read_page(id, &mut buf)?;
+            self.stats.count_read();
+            return Ok(PageHandle {
+                id,
+                data: Arc::new(RwLock::new(buf)),
+                dirty: Arc::new(AtomicBool::new(false)),
+            });
+        }
+        // Fast path: shard read lock, atomics only.
         {
-            let mut inner = self.inner.borrow_mut();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some(frame) = inner.frames.get_mut(&id) {
-                frame.last_used = clock;
+            let shard = read_lock(&self.shards[shard_of(id)]);
+            if let Some(frame) = shard.get(&id) {
+                frame.last_used.store(self.tick(), Ordering::Relaxed);
                 return Ok(PageHandle {
                     id,
-                    data: Rc::clone(&frame.data),
-                    dirty: Rc::clone(&frame.dirty),
+                    data: Arc::clone(&frame.data),
+                    dirty: Arc::clone(&frame.dirty),
                 });
             }
         }
-        // Miss: read from storage.
-        let page_size = self.page_size();
-        let mut buf = vec![0u8; page_size].into_boxed_slice();
-        self.storage.borrow_mut().read_page(id, &mut buf)?;
-        self.stats.count_read();
-        self.install(id, buf, false)
+        // Miss: make room first (never holding two shard locks at once),
+        // then re-check and read under the target shard's write lock so a
+        // concurrent eviction of the same page cannot interleave its
+        // write-back with our read.
+        self.make_room()?;
+        let handle = {
+            let mut shard = write_lock(&self.shards[shard_of(id)]);
+            if let Some(frame) = shard.get(&id) {
+                // Another thread installed it while we waited.
+                frame.last_used.store(self.tick(), Ordering::Relaxed);
+                PageHandle {
+                    id,
+                    data: Arc::clone(&frame.data),
+                    dirty: Arc::clone(&frame.dirty),
+                }
+            } else {
+                let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+                mutex_lock(&self.storage).read_page(id, &mut buf)?;
+                self.stats.count_read();
+                self.install_into(&mut shard, id, buf, false)
+            }
+        };
+        self.shrink_overshoot();
+        Ok(handle)
     }
 
     /// Allocate a fresh zeroed page and return a pinned handle to it.
     pub fn allocate(&self) -> PagerResult<(PageId, PageHandle)> {
-        let id = self.storage.borrow_mut().allocate_page()?;
-        let buf = vec![0u8; self.page_size()].into_boxed_slice();
-        let handle = self.install(id, buf, true)?;
+        // Make room before touching the storage, so a PoolExhausted failure
+        // does not leak a half-allocated page.
+        if self.capacity > 0 {
+            self.make_room()?;
+        }
+        let id = mutex_lock(&self.storage).allocate_page()?;
+        let buf = vec![0u8; self.page_size].into_boxed_slice();
+        if self.capacity == 0 {
+            // Cache-less mode: hand out the frame without retaining it. The
+            // handle itself still works; the page is simply re-read next
+            // time. Dirty data would be lost, so cache-less pools are
+            // read-only in practice (only tests use them).
+            return Ok((
+                id,
+                PageHandle {
+                    id,
+                    data: Arc::new(RwLock::new(buf)),
+                    dirty: Arc::new(AtomicBool::new(true)),
+                },
+            ));
+        }
+        let handle = {
+            let mut shard = write_lock(&self.shards[shard_of(id)]);
+            self.install_into(&mut shard, id, buf, true)
+        };
+        self.shrink_overshoot();
         Ok((id, handle))
     }
 
-    fn install(&self, id: PageId, buf: Box<[u8]>, dirty: bool) -> PagerResult<PageHandle> {
-        let data = Rc::new(RefCell::new(buf));
-        let dirty = Rc::new(std::cell::Cell::new(dirty));
-        if self.capacity == 0 {
-            // Cache-less mode: hand out the frame without retaining it. The
-            // handle itself still works; the page is simply re-read next time.
-            // Dirty data would be lost, so cache-less pools are read-only in
-            // practice (only tests use them).
-            return Ok(PageHandle { id, data, dirty });
-        }
-        self.evict_if_needed()?;
-        let mut inner = self.inner.borrow_mut();
-        inner.clock += 1;
-        let clock = inner.clock;
-        inner.frames.insert(
+    /// Insert a frame into an already write-locked shard.
+    fn install_into(
+        &self,
+        shard: &mut Shard,
+        id: PageId,
+        buf: Box<[u8]>,
+        dirty: bool,
+    ) -> PageHandle {
+        let data = Arc::new(RwLock::new(buf));
+        let dirty = Arc::new(AtomicBool::new(dirty));
+        shard.insert(
             id,
             Frame {
-                data: Rc::clone(&data),
-                dirty: Rc::clone(&dirty),
-                last_used: clock,
+                data: Arc::clone(&data),
+                dirty: Arc::clone(&dirty),
+                last_used: AtomicU64::new(self.tick()),
             },
         );
-        Ok(PageHandle { id, data, dirty })
+        self.frames.fetch_add(1, Ordering::AcqRel);
+        PageHandle { id, data, dirty }
     }
 
     /// Evict LRU unpinned frames until there is room for one more. Pinned
-    /// frames (live handles) are never evicted; if everything is pinned the
-    /// pool temporarily grows past `capacity` rather than failing — the
-    /// matcher's correctness never depends on the pool size.
-    fn evict_if_needed(&self) -> PagerResult<()> {
-        loop {
-            let victim = {
-                let inner = self.inner.borrow();
-                if inner.frames.len() < self.capacity {
-                    return Ok(());
-                }
-                inner
-                    .frames
-                    .iter()
-                    .filter(|(_, f)| Rc::strong_count(&f.data) == 1)
-                    .min_by_key(|(_, f)| f.last_used)
-                    .map(|(&id, _)| id)
-            };
-            let Some(id) = victim else {
-                return Ok(()); // everything pinned: grow
-            };
-            let Some(frame) = self.inner.borrow_mut().frames.remove(&id) else {
-                // The chosen victim vanished between the two borrows (cannot
-                // happen single-threaded); treat it as "nothing evictable"
-                // and let the pool grow rather than panic.
-                return Ok(());
-            };
-            if frame.dirty.get() {
-                self.storage
-                    .borrow_mut()
-                    .write_page(id, &frame.data.borrow())?;
-                self.stats.count_write();
+    /// frames (live handles) are never evicted; when every frame is pinned
+    /// the miss fails with [`PagerError::PoolExhausted`] instead of growing
+    /// the pool past its budget.
+    fn make_room(&self) -> PagerResult<()> {
+        while self.frames.load(Ordering::Acquire) >= self.capacity {
+            if !self.evict_one()? {
+                return Err(PagerError::PoolExhausted {
+                    capacity: self.capacity,
+                });
             }
-            self.stats.count_eviction();
         }
+        Ok(())
+    }
+
+    /// Best-effort correction after a racing overshoot: evict (without
+    /// failing) until the pool is back within capacity.
+    fn shrink_overshoot(&self) {
+        while self.frames.load(Ordering::Acquire) > self.capacity {
+            match self.evict_one() {
+                Ok(true) => continue,
+                // Nothing evictable or a write-back error: leave the
+                // overshoot for the next miss to repair.
+                Ok(false) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Evict the least-recently-used unpinned frame, if any. Returns whether
+    /// a frame was evicted.
+    fn evict_one(&self) -> PagerResult<bool> {
+        // Scan for the global LRU victim (read locks only).
+        let victim: Option<(PageId, u64)> = {
+            let mut best: Option<(PageId, u64)> = None;
+            for shard in &self.shards {
+                let shard = read_lock(shard);
+                for (&id, frame) in shard.iter() {
+                    if frame.is_pinned() {
+                        continue;
+                    }
+                    let stamp = frame.last_used.load(Ordering::Relaxed);
+                    if best.is_none_or(|(_, b)| stamp < b) {
+                        best = Some((id, stamp));
+                    }
+                }
+            }
+            best
+        };
+        let Some((id, _)) = victim else {
+            return Ok(false);
+        };
+        // Remove under the shard's write lock, re-checking the pin: a get()
+        // may have cloned the frame between our scan and this lock. Holding
+        // the write lock across the dirty write-back keeps any concurrent
+        // miss on the same page ordered after it.
+        let mut shard = write_lock(&self.shards[shard_of(id)]);
+        let still_evictable = shard.get(&id).is_some_and(|f| !f.is_pinned());
+        if !still_evictable {
+            return Ok(true); // someone pinned or evicted it; count as progress
+        }
+        let Some(frame) = shard.remove(&id) else {
+            return Ok(true);
+        };
+        self.frames.fetch_sub(1, Ordering::AcqRel);
+        if frame.dirty.load(Ordering::Acquire) {
+            let result = mutex_lock(&self.storage).write_page(id, &read_lock(&frame.data));
+            if let Err(e) = result {
+                // Reinstall rather than lose the dirty frame.
+                self.frames.fetch_add(1, Ordering::AcqRel);
+                shard.insert(id, frame);
+                return Err(e);
+            }
+            self.stats.count_write();
+        }
+        self.stats.count_eviction();
+        Ok(true)
     }
 
     /// Write every dirty frame back to storage and sync it.
     pub fn flush(&self) -> PagerResult<()> {
-        let inner = self.inner.borrow();
-        let mut storage = self.storage.borrow_mut();
-        for (&id, frame) in &inner.frames {
-            if frame.dirty.get() {
-                storage.write_page(id, &frame.data.borrow())?;
-                frame.dirty.set(false);
-                self.stats.count_write();
+        for shard in &self.shards {
+            let shard = read_lock(shard);
+            for (&id, frame) in shard.iter() {
+                // swap() so a racing write that re-dirties the page after
+                // our write-back is not silently marked clean.
+                if frame.dirty.swap(false, Ordering::AcqRel) {
+                    let result = mutex_lock(&self.storage).write_page(id, &read_lock(&frame.data));
+                    if let Err(e) = result {
+                        frame.dirty.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                    self.stats.count_write();
+                }
             }
         }
-        storage.sync()?;
+        mutex_lock(&self.storage).sync()?;
         Ok(())
     }
 
@@ -222,15 +421,20 @@ impl<S: Storage> BufferPool<S> {
     /// cache.
     pub fn clear_cache(&self) -> PagerResult<()> {
         self.flush()?;
-        let mut inner = self.inner.borrow_mut();
-        inner.frames.retain(|_, f| Rc::strong_count(&f.data) > 1);
+        for shard in &self.shards {
+            let mut shard = write_lock(shard);
+            let before = shard.len();
+            shard.retain(|_, f| f.is_pinned());
+            self.frames
+                .fetch_sub(before - shard.len(), Ordering::AcqRel);
+        }
         Ok(())
     }
 
     /// Consume the pool, flushing and returning the storage.
     pub fn into_storage(self) -> PagerResult<S> {
         self.flush()?;
-        Ok(self.storage.into_inner())
+        Ok(self.storage.into_inner().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -245,6 +449,12 @@ mod tests {
             let (id, h) = pool.allocate().unwrap();
             assert_eq!(id, i);
             h.write()[0] = i as u8;
+            if capacity == 0 {
+                // Cache-less pools never write back; seed storage directly.
+                let mut buf = vec![0u8; 128];
+                buf[0] = i as u8;
+                mutex_lock(&pool.storage).write_page(id, &buf).unwrap();
+            }
         }
         pool.flush().unwrap();
         pool.clear_cache().unwrap();
@@ -350,5 +560,62 @@ mod tests {
         let b = a.clone();
         a.write()[0] = 9;
         assert_eq!(b.read()[0], 9);
+    }
+
+    #[test]
+    fn pool_exhausted_when_every_frame_pinned() {
+        let pool = pool_with_pages(3, 2);
+        let _a = pool.get(0).unwrap();
+        let _b = pool.get(1).unwrap();
+        match pool.get(2) {
+            Err(PagerError::PoolExhausted { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+        // Dropping a pin makes the get succeed again.
+        drop(_a);
+        assert!(pool.get(2).is_ok());
+    }
+
+    #[test]
+    fn capacity_is_enforced_under_churn() {
+        let pool = pool_with_pages(64, 8);
+        for round in 0..4 {
+            for i in 0..64 {
+                pool.get((i * 7 + round) % 64).unwrap();
+                assert!(pool.cached_frames() <= 8, "pool grew past its capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_hammer_returns_correct_bytes() {
+        let pool = std::sync::Arc::new(pool_with_pages(32, 8));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..400u32 {
+                        let id = (i * 13 + t) % 32;
+                        let h = pool.get(id).unwrap();
+                        assert_eq!(h.read()[0], id as u8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Transient overshoot must have settled back within capacity.
+        assert!(pool.cached_frames() <= 8 + 8);
+        let s = pool.stats();
+        assert_eq!(s.logical_gets(), 8 * 400);
+        assert!(s.physical_reads() >= 32 as u64);
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool<MemStorage>>();
+        assert_send_sync::<PageHandle>();
     }
 }

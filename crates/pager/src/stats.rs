@@ -1,7 +1,7 @@
 //! I/O statistics counters.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters kept by a [`crate::BufferPool`].
 ///
@@ -9,33 +9,36 @@ use std::fmt;
 /// those that missed the pool and hit the storage. Proposition 1 of the paper
 /// is verified by asserting `physical_reads ≤ pages_in_store` for a whole
 /// query (each page read at most once).
+///
+/// Counters are atomic (relaxed — they are statistics, not synchronization),
+/// so one stats block can be shared by every query thread of a pool.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    logical_gets: Cell<u64>,
-    physical_reads: Cell<u64>,
-    physical_writes: Cell<u64>,
-    evictions: Cell<u64>,
+    logical_gets: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl IoStats {
     /// Total page requests served (hits + misses).
     pub fn logical_gets(&self) -> u64 {
-        self.logical_gets.get()
+        self.logical_gets.load(Ordering::Relaxed)
     }
 
     /// Pages actually read from the storage.
     pub fn physical_reads(&self) -> u64 {
-        self.physical_reads.get()
+        self.physical_reads.load(Ordering::Relaxed)
     }
 
     /// Pages written back to the storage.
     pub fn physical_writes(&self) -> u64 {
-        self.physical_writes.get()
+        self.physical_writes.load(Ordering::Relaxed)
     }
 
     /// Frames evicted from the pool.
     pub fn evictions(&self) -> u64 {
-        self.evictions.get()
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Buffer-pool hit ratio in `[0, 1]`; 1.0 when nothing was requested.
@@ -49,26 +52,26 @@ impl IoStats {
 
     /// Zero every counter (used between measured queries).
     pub fn reset(&self) {
-        self.logical_gets.set(0);
-        self.physical_reads.set(0);
-        self.physical_writes.set(0);
-        self.evictions.set(0);
+        self.logical_gets.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn count_get(&self) {
-        self.logical_gets.set(self.logical_gets.get() + 1);
+        self.logical_gets.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_read(&self) {
-        self.physical_reads.set(self.physical_reads.get() + 1);
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_write(&self) {
-        self.physical_writes.set(self.physical_writes.get() + 1);
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_eviction(&self) {
-        self.evictions.set(self.evictions.get() + 1);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 }
 

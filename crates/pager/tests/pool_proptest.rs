@@ -4,7 +4,21 @@
 
 use proptest::prelude::*;
 
-use nok_pager::{BufferPool, MemStorage, PageHandle};
+use nok_pager::{BufferPool, MemStorage, PageHandle, PagerError};
+
+/// Fetch a page, treating [`PagerError::PoolExhausted`] as a legal outcome
+/// when (and only when) pinned handles are outstanding — with every frame
+/// pinned the pool refuses to grow past its budget by design.
+fn try_get(pool: &BufferPool<MemStorage>, id: u32, pins_held: bool) -> Option<PageHandle> {
+    match pool.get(id) {
+        Ok(h) => Some(h),
+        Err(PagerError::PoolExhausted { .. }) => {
+            assert!(pins_held, "PoolExhausted with no pinned handles");
+            None
+        }
+        Err(e) => panic!("get({id}): {e}"),
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -57,27 +71,38 @@ proptest! {
         for op in &ops {
             match op {
                 Op::Allocate => {
-                    let (id, _h) = pool.allocate().expect("allocate");
-                    prop_assert_eq!(id as usize, model.len());
-                    model.push(vec![0u8; page_size]);
+                    match pool.allocate() {
+                        Ok((id, _h)) => {
+                            prop_assert_eq!(id as usize, model.len());
+                            model.push(vec![0u8; page_size]);
+                        }
+                        Err(PagerError::PoolExhausted { .. }) => {
+                            prop_assert!(!pinned.is_empty());
+                        }
+                        Err(e) => panic!("allocate: {e}"),
+                    }
                 }
                 Op::Write { idx, offset, byte } => {
                     if model.is_empty() { continue; }
                     let id = idx % model.len();
-                    let h = pool.get(id as u32).expect("get");
-                    h.write()[*offset] = *byte;
-                    model[id][*offset] = *byte;
+                    if let Some(h) = try_get(&pool, id as u32, !pinned.is_empty()) {
+                        h.write()[*offset] = *byte;
+                        model[id][*offset] = *byte;
+                    }
                 }
                 Op::Read { idx, offset } => {
                     if model.is_empty() { continue; }
                     let id = idx % model.len();
-                    let h = pool.get(id as u32).expect("get");
-                    prop_assert_eq!(h.read()[*offset], model[id][*offset]);
+                    if let Some(h) = try_get(&pool, id as u32, !pinned.is_empty()) {
+                        prop_assert_eq!(h.read()[*offset], model[id][*offset]);
+                    }
                 }
                 Op::Pin { idx } => {
                     if model.is_empty() { continue; }
                     let id = idx % model.len();
-                    pinned.push(pool.get(id as u32).expect("get"));
+                    if let Some(h) = try_get(&pool, id as u32, !pinned.is_empty()) {
+                        pinned.push(h);
+                    }
                 }
                 Op::UnpinAll => pinned.clear(),
                 Op::ClearCache => pool.clear_cache().expect("clear"),
@@ -87,12 +112,12 @@ proptest! {
 
         // Final: every page readable with exactly the model's contents,
         // both through the pool and from raw storage after a flush.
+        drop(pinned);
         pool.flush().expect("final flush");
         for (id, expected) in model.iter().enumerate() {
             let h = pool.get(id as u32).expect("get");
             prop_assert_eq!(&*h.read(), expected.as_slice());
         }
-        drop(pinned);
         let mut storage = pool.into_storage().expect("into_storage");
         use nok_pager::Storage;
         let mut buf = vec![0u8; page_size];

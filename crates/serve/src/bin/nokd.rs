@@ -1,0 +1,289 @@
+//! nokd — the query daemon.
+//!
+//! Opens a database directory read-only (structural pool capped at 256
+//! frames by default so serving exercises eviction), starts a
+//! [`QueryService`] worker pool, and speaks the length-prefixed
+//! newline-JSON protocol over TCP. One thread per connection; all
+//! connections share the service's bounded admission queue.
+//!
+//! ```text
+//! nokd <db-dir> [--addr 127.0.0.1:0] [--port-file PATH]
+//!      [--workers N] [--queue N] [--timeout-ms N] [--pool-frames N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (with `--addr
+//! 127.0.0.1:0` the kernel picks the port; `--port-file` writes it where
+//! scripts can read it).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nok_core::{QueryOptions, XmlDb};
+use nok_pager::FileStorage;
+use nok_serve::proto::{error_response, query_ok, read_frame, write_frame, Request, WireMatch};
+use nok_serve::{Json, QueryError, QueryService, ServiceConfig, SERVE_POOL_FRAMES};
+
+struct Args {
+    db_dir: String,
+    addr: String,
+    port_file: Option<String>,
+    workers: usize,
+    queue: usize,
+    timeout_ms: u64,
+    pool_frames: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        db_dir: String::new(),
+        addr: "127.0.0.1:0".to_string(),
+        port_file: None,
+        workers: 4,
+        queue: 128,
+        timeout_ms: 10_000,
+        pool_frames: SERVE_POOL_FRAMES,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => args.addr = take("--addr")?,
+            "--port-file" => args.port_file = Some(take("--port-file")?),
+            "--workers" => {
+                args.workers = take("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?;
+            }
+            "--queue" => {
+                args.queue = take("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer".to_string())?;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = take("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms must be an integer".to_string())?;
+            }
+            "--pool-frames" => {
+                args.pool_frames = take("--pool-frames")?
+                    .parse()
+                    .map_err(|_| "--pool-frames must be an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: nokd <db-dir> [--addr A] [--port-file F] [--workers N] \
+                     [--queue N] [--timeout-ms N] [--pool-frames N]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            positional => {
+                if args.db_dir.is_empty() {
+                    args.db_dir = positional.to_string();
+                } else {
+                    return Err(format!("unexpected argument {positional}"));
+                }
+            }
+        }
+    }
+    if args.db_dir.is_empty() {
+        return Err("usage: nokd <db-dir> [flags]".to_string());
+    }
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("nokd: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let db = Arc::new(
+        XmlDb::open_dir_with_capacity(&args.db_dir, args.pool_frames)
+            .map_err(|e| format!("open {}: {e}", args.db_dir))?,
+    );
+    let svc = Arc::new(QueryService::start(
+        db,
+        ServiceConfig {
+            workers: args.workers,
+            queue_cap: args.queue,
+            default_timeout: Duration::from_millis(args.timeout_ms),
+        },
+    ));
+
+    let listener = TcpListener::bind(&args.addr).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    if let Some(pf) = &args.port_file {
+        std::fs::write(pf, format!("{}\n", local.port()))
+            .map_err(|e| format!("write {pf}: {e}"))?;
+    }
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("nokd: accept: {e}");
+                continue;
+            }
+        };
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        let spawned = std::thread::Builder::new()
+            .name("nokd-conn".to_string())
+            .spawn(move || {
+                if let Err(e) = serve_connection(&stream, &svc, &stop, local) {
+                    // A dropped connection is routine, not fatal.
+                    eprintln!("nokd: connection: {e}");
+                }
+            });
+        if let Err(e) = spawned {
+            eprintln!("nokd: spawn: {e}");
+        }
+    }
+    eprintln!("nokd: {}", svc.metrics().summary());
+    Ok(())
+}
+
+fn serve_connection(
+    stream: &TcpStream,
+    svc: &QueryService<FileStorage>,
+    stop: &AtomicBool,
+    local: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let (response, stopping) = match Json::parse(&payload) {
+            Err(e) => (
+                error_response(0, "bad_request", &format!("bad json: {e}")),
+                false,
+            ),
+            Ok(v) => match Request::from_json(&v) {
+                Err(e) => (error_response(0, "bad_request", &e), false),
+                Ok(req) => dispatch(req, svc),
+            },
+        };
+        // The response must reach the client before the accept loop is
+        // released: once it wakes it exits the process, and an unflushed
+        // shutdown acknowledgement would be lost with it.
+        write_frame(&mut writer, &response.to_string_compact())?;
+        if stopping {
+            stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(local);
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handle one request; the bool asks the connection loop to initiate
+/// server shutdown after the response is flushed.
+fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
+    match req {
+        Request::Query {
+            id,
+            path,
+            timeout_ms,
+        } => {
+            let result = match timeout_ms {
+                Some(ms) => svc.query_with_timeout(
+                    &path,
+                    QueryOptions::default(),
+                    Duration::from_millis(ms),
+                ),
+                None => svc.query(&path),
+            };
+            let response = match result {
+                Ok(matches) => {
+                    let wire: Vec<WireMatch> = matches
+                        .iter()
+                        .map(|m| WireMatch {
+                            dewey: m.dewey.to_string(),
+                            addr: m.addr.to_string(),
+                        })
+                        .collect();
+                    query_ok(id, &wire)
+                }
+                Err(e) => {
+                    let code = match e {
+                        QueryError::Timeout => "timeout",
+                        QueryError::QueueFull => "queue_full",
+                        QueryError::Engine(_) => "engine",
+                        QueryError::Shutdown => "shutdown",
+                    };
+                    error_response(id, code, &e.to_string())
+                }
+            };
+            (response, false)
+        }
+        Request::Stats { id } => {
+            let m = svc.metrics();
+            let response = Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("status", Json::Str("ok".into())),
+                (
+                    "stats",
+                    Json::obj(vec![
+                        ("served", Json::Num(m.served.load(Ordering::Relaxed) as f64)),
+                        (
+                            "rejected",
+                            Json::Num(m.rejected.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "timed_out",
+                            Json::Num(m.timed_out.load(Ordering::Relaxed) as f64),
+                        ),
+                        ("failed", Json::Num(m.failed.load(Ordering::Relaxed) as f64)),
+                        (
+                            "queue_depth",
+                            Json::Num(m.queue_depth.load(Ordering::Relaxed) as f64),
+                        ),
+                        ("p50_us", Json::Num(m.latency.quantile_micros(0.50) as f64)),
+                        ("p99_us", Json::Num(m.latency.quantile_micros(0.99) as f64)),
+                        ("mean_us", Json::Num(m.latency.mean_micros() as f64)),
+                        ("pool_hit_ratio", Json::Num(svc.pool_hit_ratio())),
+                    ]),
+                ),
+            ]);
+            (response, false)
+        }
+        Request::Ping { id } => (
+            Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("status", Json::Str("ok".into())),
+                ("pong", Json::Bool(true)),
+            ]),
+            false,
+        ),
+        Request::Shutdown { id } => (
+            Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("status", Json::Str("ok".into())),
+                ("stopping", Json::Bool(true)),
+            ]),
+            true,
+        ),
+    }
+}

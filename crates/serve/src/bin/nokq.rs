@@ -1,0 +1,200 @@
+//! nokq — the query client.
+//!
+//! Three modes, all emitting the same canonical one-line-per-query format
+//! (`path<TAB>count<TAB>dewey;dewey;...`) so outputs diff byte-for-byte:
+//!
+//! * **server**: `nokq --addr HOST:PORT [query ...]` sends each query over
+//!   the wire protocol (reads queries from stdin when none are given, one
+//!   per line, `#` comments and blanks skipped).
+//! * **offline**: `nokq --offline <db-dir> [query ...]` evaluates the same
+//!   queries in-process against the database directory — the e2e oracle.
+//! * **workload**: `nokq --workload <dataset>` prints the paper's Q1–Q12
+//!   workload paths for a dataset, including the `//` descendant variants,
+//!   one per line — pipe it back into either mode above.
+//!
+//! Extras for scripting: `--stats` and `--shutdown` (server mode only),
+//! `--timeout-ms N` per-query deadline.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use nok_core::XmlDb;
+use nok_serve::proto::{
+    parse_query_response, read_frame, result_line, write_frame, Request, WireMatch,
+};
+use nok_serve::Json;
+
+struct Args {
+    addr: Option<String>,
+    offline: Option<String>,
+    workload: Option<String>,
+    timeout_ms: Option<u64>,
+    stats: bool,
+    shutdown: bool,
+    queries: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        offline: None,
+        workload: None,
+        timeout_ms: None,
+        stats: false,
+        shutdown: false,
+        queries: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => args.addr = Some(take("--addr")?),
+            "--offline" => args.offline = Some(take("--offline")?),
+            "--workload" => args.workload = Some(take("--workload")?),
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    take("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms must be an integer".to_string())?,
+                );
+            }
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: nokq --addr HOST:PORT [--timeout-ms N] [--stats] [--shutdown] [query ...]\n\
+                     \x20      nokq --offline <db-dir> [query ...]\n\
+                     \x20      nokq --workload <dataset>   (author|address|catalog|treebank|dblp)\n\
+                     queries are read from stdin when none are given"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            q => args.queries.push(q.to_string()),
+        }
+    }
+    let modes =
+        args.addr.is_some() as u8 + args.offline.is_some() as u8 + args.workload.is_some() as u8;
+    if modes != 1 {
+        return Err("pick exactly one of --addr, --offline, --workload".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("nokq: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if let Some(dataset) = &args.workload {
+        return print_workload(dataset);
+    }
+    // No explicit queries: read them from stdin — always for a pipe, and
+    // for an interactive terminal only when not doing a pure
+    // --stats/--shutdown call.
+    let stdin_piped = !std::io::IsTerminal::is_terminal(&std::io::stdin());
+    let queries = if args.queries.is_empty() && (stdin_piped || (!args.stats && !args.shutdown)) {
+        read_queries_from_stdin()?
+    } else {
+        args.queries.clone()
+    };
+    if let Some(dir) = &args.offline {
+        return run_offline(dir, &queries);
+    }
+    if let Some(addr) = &args.addr {
+        return run_server(addr, &queries, &args);
+    }
+    Ok(())
+}
+
+fn read_queries_from_stdin() -> Result<Vec<String>, String> {
+    let stdin = std::io::stdin();
+    let mut queries = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(line.to_string());
+    }
+    Ok(queries)
+}
+
+fn print_workload(dataset: &str) -> Result<(), String> {
+    let kind = nok_datagen::DatasetKind::ALL
+        .iter()
+        .find(|k| k.name() == dataset)
+        .copied()
+        .ok_or_else(|| {
+            format!("unknown dataset `{dataset}` (try: author address catalog treebank dblp)")
+        })?;
+    let mut out = std::io::stdout().lock();
+    for (_, spec) in nok_datagen::workload(kind) {
+        let Some(spec) = spec else { continue };
+        writeln!(out, "{}", spec.path).map_err(|e| e.to_string())?;
+        if spec.descendant_variant != spec.path {
+            writeln!(out, "{}", spec.descendant_variant).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn run_offline(dir: &str, queries: &[String]) -> Result<(), String> {
+    let db = XmlDb::open_dir(dir).map_err(|e| format!("open {dir}: {e}"))?;
+    let mut out = std::io::stdout().lock();
+    for q in queries {
+        let matches = db.query(q).map_err(|e| format!("{q}: {e}"))?;
+        let wire: Vec<WireMatch> = matches
+            .iter()
+            .map(|m| WireMatch {
+                dewey: m.dewey.to_string(),
+                addr: m.addr.to_string(),
+            })
+            .collect();
+        writeln!(out, "{}", result_line(q, &wire)).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn run_server(addr: &str, queries: &[String], args: &Args) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    let mut out = std::io::stdout().lock();
+    let mut id = 0u64;
+    let mut round_trip = |req: Request| -> Result<Json, String> {
+        write_frame(&mut writer, &req.to_json().to_string_compact()).map_err(|e| e.to_string())?;
+        let payload = read_frame(&mut reader)
+            .map_err(|e| e.to_string())?
+            .ok_or("server closed connection")?;
+        Json::parse(&payload)
+    };
+    for q in queries {
+        id += 1;
+        let resp = round_trip(Request::Query {
+            id,
+            path: q.clone(),
+            timeout_ms: args.timeout_ms,
+        })?;
+        let matches = parse_query_response(&resp).map_err(|e| format!("{q}: {e}"))?;
+        writeln!(out, "{}", result_line(q, &matches)).map_err(|e| e.to_string())?;
+    }
+    if args.stats {
+        id += 1;
+        let resp = round_trip(Request::Stats { id })?;
+        writeln!(out, "{}", resp.to_string_compact()).map_err(|e| e.to_string())?;
+    }
+    if args.shutdown {
+        id += 1;
+        let resp = round_trip(Request::Shutdown { id })?;
+        writeln!(out, "{}", resp.to_string_compact()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

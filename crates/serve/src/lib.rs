@@ -1,0 +1,38 @@
+//! nok-serve: a concurrent query service over the succinct XML store.
+//!
+//! The paper's engine ([`nok_core::XmlDb`]) evaluates one query at a time;
+//! this crate turns a read-only database directory into a *service*:
+//!
+//! * [`QueryService`] — a worker-pool executor sharing one
+//!   `Arc<XmlDb<S>>` snapshot behind the thread-safe buffer pool, with a
+//!   bounded admission queue, per-query deadlines, and aggregate metrics.
+//! * [`proto`] — the length-prefixed newline-JSON wire protocol spoken by
+//!   the `nokd` server binary and the `nokq` client binary.
+//! * [`metrics`] — lock-free counters and a log2-bucket latency histogram
+//!   (p50/p99 without per-request allocation).
+//! * [`json`] — the minimal JSON reader/writer the protocol rides on
+//!   (the build is offline, so no serde).
+//!
+//! Concurrency model in one paragraph: the database is opened once and
+//! never mutated while served. Every worker reads pages through the sharded
+//! buffer pool, which evicts unpinned LRU frames when the configured
+//! capacity (`nokd` caps the structural pool at 256 frames) is exceeded.
+//! Overload degrades gracefully: a full queue rejects with
+//! [`QueryError::QueueFull`], a missed deadline returns
+//! [`QueryError::Timeout`], and worker threads survive both engine errors
+//! and timeouts. See DESIGN.md §9 for the full treatment.
+
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod service;
+
+pub use json::Json;
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use proto::{read_frame, result_line, write_frame, Request, WireMatch};
+pub use service::{QueryError, QueryService, ServiceConfig};
+
+/// Default frame capacity `nokd` imposes on the shared structural buffer
+/// pool — small enough that the paper's datasets do not fit resident, so
+/// concurrent serving actually exercises eviction.
+pub const SERVE_POOL_FRAMES: usize = 256;

@@ -1,0 +1,325 @@
+//! Wire protocol: length-prefixed newline-JSON frames plus the typed
+//! request/response shapes that ride in them.
+//!
+//! A frame is:
+//!
+//! ```text
+//! <decimal ASCII payload byte length> '\n' <payload bytes> '\n'
+//! ```
+//!
+//! The explicit length makes framing robust against newlines inside JSON
+//! strings, while the trailing newline keeps a captured session readable
+//! (`nc` output is one JSON document per line). The payload is always a
+//! single JSON object.
+
+use std::io::{self, BufRead, Write};
+
+use crate::json::Json;
+
+/// Hard cap on a single frame's payload, to bound memory on hostile input.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Write one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    write!(w, "{}\n{}\n", payload.len(), payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF (connection closed
+/// between frames); a torn frame is an error.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut nl = [0u8; 1];
+    r.read_exact(&mut nl)?;
+    if nl[0] != b'\n' {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame missing trailing newline",
+        ));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not utf-8"))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate a path query.
+    Query {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The path expression.
+        path: String,
+        /// Per-request deadline override in milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Fetch aggregate server metrics.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Ask the server to exit gracefully.
+    Shutdown {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Serialize to the wire JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Query {
+                id,
+                path,
+                timeout_ms,
+            } => {
+                let mut pairs = vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("op", Json::Str("query".into())),
+                    ("path", Json::Str(path.clone())),
+                ];
+                if let Some(t) = timeout_ms {
+                    pairs.push(("timeout_ms", Json::Num(*t as f64)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Stats { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("op", Json::Str("stats".into())),
+            ]),
+            Request::Ping { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("op", Json::Str("ping".into())),
+            ]),
+            Request::Shutdown { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("op", Json::Str("shutdown".into())),
+            ]),
+        }
+    }
+
+    /// Parse from the wire JSON.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let id = v
+            .get("id")
+            .and_then(Json::as_num)
+            .ok_or("missing numeric `id`")? as u64;
+        let op = v.get("op").and_then(Json::as_str).ok_or("missing `op`")?;
+        match op {
+            "query" => {
+                let path = v
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or("query without `path`")?
+                    .to_string();
+                let timeout_ms = v.get("timeout_ms").and_then(Json::as_num).map(|n| n as u64);
+                Ok(Request::Query {
+                    id,
+                    path,
+                    timeout_ms,
+                })
+            }
+            "stats" => Ok(Request::Stats { id }),
+            "ping" => Ok(Request::Ping { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// One match in a query response: the Dewey id and physical address,
+/// rendered in their canonical display forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMatch {
+    /// `a.b.c` Dewey path.
+    pub dewey: String,
+    /// `page:entry` physical address.
+    pub addr: String,
+}
+
+/// Build a successful query response.
+pub fn query_ok(id: u64, matches: &[WireMatch]) -> Json {
+    Json::obj(vec![
+        ("id", Json::Num(id as f64)),
+        ("status", Json::Str("ok".into())),
+        ("count", Json::Num(matches.len() as f64)),
+        (
+            "matches",
+            Json::Arr(
+                matches
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("dewey", Json::Str(m.dewey.clone())),
+                            ("addr", Json::Str(m.addr.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Build an error response. `code` is a stable machine-readable tag
+/// (`timeout`, `queue_full`, `engine`, `shutdown`, `bad_request`).
+pub fn error_response(id: u64, code: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("id", Json::Num(id as f64)),
+        ("status", Json::Str("error".into())),
+        ("code", Json::Str(code.into())),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+/// Extract the matches from a query response, or the error text.
+pub fn parse_query_response(v: &Json) -> Result<Vec<WireMatch>, String> {
+    match v.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            let arr = v.get("matches").and_then(Json::as_arr).unwrap_or(&[]);
+            let mut out = Vec::with_capacity(arr.len());
+            for m in arr {
+                out.push(WireMatch {
+                    dewey: m
+                        .get("dewey")
+                        .and_then(Json::as_str)
+                        .ok_or("match without dewey")?
+                        .to_string(),
+                    addr: m
+                        .get("addr")
+                        .and_then(Json::as_str)
+                        .ok_or("match without addr")?
+                        .to_string(),
+                });
+            }
+            Ok(out)
+        }
+        Some("error") => Err(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error")
+            .to_string()),
+        _ => Err("malformed response".into()),
+    }
+}
+
+/// Canonical one-line rendering of a query result, shared by `nokq`'s
+/// server and `--offline` modes so their outputs diff byte-identically:
+/// `path<TAB>count<TAB>dewey;dewey;...`.
+pub fn result_line(path: &str, matches: &[WireMatch]) -> String {
+    let deweys: Vec<&str> = matches.iter().map(|m| m.dewey.as_str()).collect();
+    format!("{path}\t{}\t{}", matches.len(), deweys.join(";"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"id":1}"#).unwrap();
+        write_frame(&mut buf, "with\nnewline").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), r#"{"id":1}"#);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "with\nnewline");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frames_error() {
+        // Truncated payload.
+        let mut r = BufReader::new(&b"10\nshort"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Bad length header.
+        let mut r = BufReader::new(&b"xyz\nbody\n"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Missing trailing newline.
+        let mut r = BufReader::new(&b"4\nbodyX"[..]);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Query {
+                id: 7,
+                path: "//a/b".into(),
+                timeout_ms: Some(250),
+            },
+            Request::Query {
+                id: 8,
+                path: "/x".into(),
+                timeout_ms: None,
+            },
+            Request::Stats { id: 1 },
+            Request::Ping { id: 2 },
+            Request::Shutdown { id: 3 },
+        ] {
+            let json = req.to_json();
+            let text = json.to_string_compact();
+            let parsed = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let matches = vec![
+            WireMatch {
+                dewey: "1.2.3".into(),
+                addr: "4:7".into(),
+            },
+            WireMatch {
+                dewey: "1.9".into(),
+                addr: "2:0".into(),
+            },
+        ];
+        let ok = query_ok(42, &matches);
+        let parsed = parse_query_response(&Json::parse(&ok.to_string_compact()).unwrap()).unwrap();
+        assert_eq!(parsed, matches);
+
+        let err = error_response(42, "timeout", "query deadline exceeded");
+        let msg =
+            parse_query_response(&Json::parse(&err.to_string_compact()).unwrap()).unwrap_err();
+        assert_eq!(msg, "query deadline exceeded");
+    }
+
+    #[test]
+    fn result_lines_are_stable() {
+        let matches = vec![
+            WireMatch {
+                dewey: "1.2".into(),
+                addr: "0:1".into(),
+            },
+            WireMatch {
+                dewey: "1.4".into(),
+                addr: "0:2".into(),
+            },
+        ];
+        assert_eq!(result_line("//a", &matches), "//a\t2\t1.2;1.4");
+        assert_eq!(result_line("//b", &[]), "//b\t0\t");
+    }
+}

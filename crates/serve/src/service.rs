@@ -1,0 +1,404 @@
+//! The concurrent query service: a fixed worker pool draining a bounded
+//! admission queue over one shared, read-only [`XmlDb`] snapshot.
+//!
+//! Design notes:
+//!
+//! * **Snapshot sharing.** The database handle is `Arc<XmlDb<S>>`; every
+//!   worker evaluates against the same storage through the thread-safe
+//!   buffer pool. Writes are not served — the snapshot is immutable for the
+//!   service's lifetime (see DESIGN.md §9).
+//! * **Bounded admission.** `submit` fails fast with
+//!   [`QueryError::QueueFull`] when `queue_cap` requests are already
+//!   waiting, so overload degrades by rejecting instead of by growing
+//!   without bound.
+//! * **Graceful timeout.** A query that misses its deadline returns
+//!   [`QueryError::Timeout`] to the caller; the worker thread is never
+//!   killed. If the worker was mid-evaluation, its eventual result lands in
+//!   an abandoned response slot and is dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nok_core::{QueryMatch, QueryOptions, QueryScratch, XmlDb};
+use nok_pager::Storage;
+
+use crate::metrics::ServerMetrics;
+
+/// Errors surfaced to a query submitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The admission queue was full; try again later.
+    QueueFull,
+    /// The query did not complete before its deadline.
+    Timeout,
+    /// The engine rejected or failed the query (parse error, I/O error).
+    Engine(String),
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::QueueFull => write!(f, "admission queue full"),
+            QueryError::Timeout => write!(f, "query deadline exceeded"),
+            QueryError::Engine(msg) => write!(f, "query failed: {msg}"),
+            QueryError::Shutdown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads. 0 is allowed (useful in tests: nothing is ever
+    /// executed, so admission and timeout behavior become deterministic).
+    pub workers: usize,
+    /// Maximum queued (admitted but unstarted) queries.
+    pub queue_cap: usize,
+    /// Deadline applied when the caller does not pass one.
+    pub default_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_cap: 128,
+            default_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One-shot result slot: the submitting thread waits on it, the worker
+/// fills it.
+struct ResponseSlot {
+    result: Mutex<Option<Result<Vec<QueryMatch>, QueryError>>>,
+    cv: Condvar,
+}
+
+struct Job {
+    path: String,
+    opts: QueryOptions,
+    enqueued: Instant,
+    deadline: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+struct Inner<S: Storage> {
+    db: Arc<XmlDb<S>>,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: ServerMetrics,
+    queue_cap: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running query service. Dropping it shuts the workers down.
+pub struct QueryService<S: Storage + Send + 'static> {
+    inner: Arc<Inner<S>>,
+    default_timeout: Duration,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: Storage + Send + 'static> QueryService<S> {
+    /// Start `config.workers` worker threads over a shared database.
+    pub fn start(db: Arc<XmlDb<S>>, config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            db,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: ServerMetrics::default(),
+            queue_cap: config.queue_cap,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("nok-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .unwrap_or_else(|e| {
+                        // Thread spawn only fails on resource exhaustion at
+                        // startup; surface it loudly rather than serving
+                        // with a silently smaller pool.
+                        eprintln!("nok-serve: failed to spawn worker {i}: {e}");
+                        std::process::exit(1);
+                    })
+            })
+            .collect();
+        QueryService {
+            inner,
+            default_timeout: config.default_timeout,
+            workers,
+        }
+    }
+
+    /// Submit a query and wait for its result with the default deadline.
+    pub fn query(&self, path: &str) -> Result<Vec<QueryMatch>, QueryError> {
+        self.query_with_timeout(path, QueryOptions::default(), self.default_timeout)
+    }
+
+    /// Submit a query and wait for its result, failing with
+    /// [`QueryError::Timeout`] if `timeout` elapses first.
+    pub fn query_with_timeout(
+        &self,
+        path: &str,
+        opts: QueryOptions,
+        timeout: Duration,
+    ) -> Result<Vec<QueryMatch>, QueryError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(QueryError::Shutdown);
+        }
+        let now = Instant::now();
+        let slot = Arc::new(ResponseSlot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut queue = lock(&inner.queue);
+            if queue.len() >= inner.queue_cap {
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(QueryError::QueueFull);
+            }
+            queue.push_back(Job {
+                path: path.to_string(),
+                opts,
+                enqueued: now,
+                deadline: now + timeout,
+                slot: Arc::clone(&slot),
+            });
+            inner
+                .metrics
+                .queue_depth
+                .store(queue.len() as u64, Ordering::Relaxed);
+        }
+        inner.cv.notify_one();
+
+        // Wait for the worker, bounded by the deadline.
+        let mut guard = lock(&slot.result);
+        while guard.is_none() {
+            let remaining = timeout.saturating_sub(now.elapsed());
+            if remaining.is_zero() {
+                inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Err(QueryError::Timeout);
+            }
+            let (g, _timed_out) = slot
+                .cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        // The worker has delivered (take() so the slot can be dropped).
+        match guard.take() {
+            Some(r) => r,
+            None => Err(QueryError::Shutdown),
+        }
+    }
+
+    /// Aggregate server metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.inner.metrics
+    }
+
+    /// Buffer-pool hit ratio of the structural store (the shared pool the
+    /// serving layer exists to exercise).
+    pub fn pool_hit_ratio(&self) -> f64 {
+        self.inner.db.store().pool().stats().hit_ratio()
+    }
+
+    /// The shared database handle.
+    pub fn db(&self) -> &Arc<XmlDb<S>> {
+        &self.inner.db
+    }
+
+    /// Stop accepting work, finish nothing further, and join the workers.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<S: Storage + Send + 'static> Drop for QueryService<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
+    // Per-worker scratch: stats vectors and the result buffer live for the
+    // worker's lifetime, so steady-state queries avoid fresh allocations
+    // for bookkeeping.
+    let mut scratch = QueryScratch::new();
+    let mut results: Vec<QueryMatch> = Vec::new();
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    inner
+                        .metrics
+                        .queue_depth
+                        .store(queue.len() as u64, Ordering::Relaxed);
+                    break job;
+                }
+                queue = inner.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let now = Instant::now();
+        if now >= job.deadline {
+            // Expired while queued: don't waste engine time on it.
+            inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            deliver(&job.slot, Err(QueryError::Timeout));
+            continue;
+        }
+        let outcome = inner
+            .db
+            .query_into(&job.path, job.opts, &mut scratch, &mut results);
+        match outcome {
+            Ok(()) => {
+                inner.metrics.served.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.latency.record(job.enqueued.elapsed());
+                deliver(&job.slot, Ok(results.clone()));
+            }
+            Err(e) => {
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                deliver(&job.slot, Err(QueryError::Engine(e.to_string())));
+            }
+        }
+    }
+}
+
+fn deliver(slot: &ResponseSlot, result: Result<Vec<QueryMatch>, QueryError>) {
+    let mut guard = lock(&slot.result);
+    *guard = Some(result);
+    slot.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nok_pager::MemStorage;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP</title><price>65.95</price></book>
+        <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+    </bib>"#;
+
+    fn service(workers: usize, queue_cap: usize) -> QueryService<MemStorage> {
+        let db = Arc::new(XmlDb::build_in_memory(BIB).unwrap());
+        QueryService::start(
+            db,
+            ServiceConfig {
+                workers,
+                queue_cap,
+                default_timeout: Duration::from_secs(5),
+            },
+        )
+    }
+
+    #[test]
+    fn serves_a_query() {
+        let svc = service(2, 16);
+        let hits = svc.query("//book/title").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(svc.metrics().served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn engine_errors_are_reported_not_fatal() {
+        let svc = service(1, 16);
+        let err = svc.query("not a path").unwrap_err();
+        assert!(matches!(err, QueryError::Engine(_)));
+        // The worker survives and serves the next query.
+        assert_eq!(svc.query("//book").unwrap().len(), 2);
+        assert_eq!(svc.metrics().failed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_workers_time_out_gracefully() {
+        let svc = service(0, 16);
+        let err = svc
+            .query_with_timeout("//book", QueryOptions::default(), Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, QueryError::Timeout);
+        assert_eq!(svc.metrics().timed_out.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let svc = service(0, 2);
+        // With no workers the queue never drains: the 3rd submit must be
+        // rejected. Submit via threads since submits block on their slot.
+        let svc = Arc::new(svc);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let _ = svc.query_with_timeout(
+                    "//book",
+                    QueryOptions::default(),
+                    Duration::from_millis(300),
+                );
+            }));
+        }
+        // Wait until both jobs are queued.
+        while svc.metrics().queue_depth.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        let err = svc
+            .query_with_timeout("//book", QueryOptions::default(), Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err, QueryError::QueueFull);
+        assert_eq!(svc.metrics().rejected.load(Ordering::Relaxed), 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_all_answer() {
+        let svc = Arc::new(service(4, 64));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let hits = svc.query("//book[price<50]").unwrap();
+                        assert_eq!(hits.len(), 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(svc.metrics().served.load(Ordering::Relaxed), 200);
+        assert!(svc.metrics().latency.count() == 200);
+        assert!(svc.pool_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let mut svc = service(3, 8);
+        svc.query("//book").unwrap();
+        svc.shutdown();
+        assert_eq!(svc.query("//book").unwrap_err(), QueryError::Shutdown);
+    }
+}

@@ -1,0 +1,215 @@
+//! Concurrency stress suite: the serving layer must return *byte-identical*
+//! results to the single-threaded engine on every paper dataset, under a
+//! shared buffer pool small enough that eviction actually happens, and the
+//! on-disk store must pass a strict integrity check after being hammered.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nok_core::XmlDb;
+use nok_datagen::{generate, DatasetKind};
+use nok_serve::proto::{result_line, WireMatch};
+use nok_serve::{QueryService, ServiceConfig};
+use nok_verify::{verify_db, VerifyOptions};
+
+const THREADS: usize = 8;
+const POOL_FRAMES: usize = 256;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nok-serve-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every `/`-rooted workload query plus its `//` descendant variant.
+fn workload_paths(kind: DatasetKind) -> Vec<String> {
+    let mut paths = Vec::new();
+    for (_, spec) in nok_datagen::workload(kind) {
+        let Some(spec) = spec else { continue };
+        paths.push(spec.path.clone());
+        if spec.descendant_variant != spec.path {
+            paths.push(spec.descendant_variant.clone());
+        }
+    }
+    paths
+}
+
+/// Render results in the canonical client format so "byte-identical" is
+/// literal: the same strings the e2e harness diffs.
+fn render(db: &XmlDb<nok_pager::FileStorage>, path: &str) -> String {
+    let matches = db.query(path).expect("single-threaded query failed");
+    let wire: Vec<WireMatch> = matches
+        .iter()
+        .map(|m| WireMatch {
+            dewey: m.dewey.to_string(),
+            addr: m.addr.to_string(),
+        })
+        .collect();
+    result_line(path, &wire)
+}
+
+/// 8 threads × all five paper datasets × the full Q1–Q12 workload
+/// (including descendant variants), through a service whose structural
+/// pool is capped at 256 frames: every concurrent result must equal the
+/// single-threaded baseline byte for byte.
+#[test]
+fn workload_is_byte_identical_across_threads() {
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, 0.01);
+        let dir = fresh_dir(kind.name());
+        XmlDb::create_on_disk(&dir, &ds.xml)
+            .expect("build")
+            .flush()
+            .expect("flush");
+
+        let db = Arc::new(
+            XmlDb::open_dir_with_capacity(&dir, POOL_FRAMES).expect("reopen with capped pool"),
+        );
+        let paths = workload_paths(kind);
+        let baseline: Vec<String> = paths.iter().map(|p| render(&db, p)).collect();
+
+        let svc = Arc::new(QueryService::start(
+            Arc::clone(&db),
+            ServiceConfig {
+                workers: THREADS,
+                queue_cap: 256,
+                default_timeout: Duration::from_secs(60),
+            },
+        ));
+        let threads: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                let paths = paths.clone();
+                std::thread::spawn(move || {
+                    // Stagger starting offsets so threads collide on
+                    // different pages at the same time.
+                    let n = paths.len();
+                    (0..n)
+                        .map(|i| {
+                            let p = &paths[(i + t * 3) % n];
+                            let matches = svc.query(p).expect("served query failed");
+                            let wire: Vec<WireMatch> = matches
+                                .iter()
+                                .map(|m| WireMatch {
+                                    dewey: m.dewey.to_string(),
+                                    addr: m.addr.to_string(),
+                                })
+                                .collect();
+                            ((i + t * 3) % n, result_line(p, &wire))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for t in threads {
+            for (idx, line) in t.join().expect("client thread panicked") {
+                assert_eq!(
+                    line,
+                    baseline[idx],
+                    "{}: concurrent result diverged from single-threaded baseline",
+                    kind.name()
+                );
+            }
+        }
+
+        let served = svc
+            .metrics()
+            .served
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(served as usize, THREADS * paths.len());
+
+        // The capacity bound held (transient overshoot ≤ one frame per
+        // concurrently-faulting thread).
+        let cached = db.store().pool().cached_frames();
+        assert!(
+            cached <= POOL_FRAMES + THREADS,
+            "{}: pool over budget: {cached} frames cached (cap {POOL_FRAMES})",
+            kind.name()
+        );
+
+        drop(svc);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Hammer a handful of hot pages from 8 threads, then require a strict
+/// integrity pass over the on-disk store: concurrent reads through the
+/// shared pool must not corrupt anything, even with constant eviction.
+#[test]
+fn hot_page_hammer_leaves_store_clean() {
+    let ds = generate(DatasetKind::Author, 0.005);
+    let dir = fresh_dir("hammer");
+    XmlDb::create_on_disk(&dir, &ds.xml)
+        .expect("build")
+        .flush()
+        .expect("flush");
+
+    // A tiny pool forces every thread to fault and evict continuously.
+    let db = Arc::new(XmlDb::open_dir_with_capacity(&dir, 8).expect("reopen"));
+    let baseline = render(&db, "//author/name");
+
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    assert_eq!(render(&db, "//author/name"), baseline);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("hammer thread panicked");
+    }
+
+    let report = verify_db(&db, VerifyOptions::strict());
+    assert!(report.is_clean(), "post-hammer integrity: {report}");
+
+    // And again from a completely fresh handle, straight off disk.
+    drop(db);
+    let db = XmlDb::open_dir(&dir).expect("reopen post-hammer");
+    let report = verify_db(&db, VerifyOptions::strict());
+    assert!(report.is_clean(), "fresh-open integrity: {report}");
+    assert_eq!(render(&db, "//author/name"), baseline);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sanity: the serving layer over MemStorage agrees with the engine when
+/// queries are submitted concurrently with wildly different shapes.
+#[test]
+fn mixed_query_shapes_agree() {
+    let ds = generate(DatasetKind::Catalog, 0.005);
+    let db = Arc::new(XmlDb::build_in_memory(&ds.xml).expect("build"));
+    let paths = workload_paths(DatasetKind::Catalog);
+    let baseline: Vec<Vec<nok_core::QueryMatch>> = paths
+        .iter()
+        .map(|p| db.query(p).expect("baseline"))
+        .collect();
+
+    let svc = Arc::new(QueryService::start(
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 4,
+            queue_cap: 64,
+            default_timeout: Duration::from_secs(60),
+        },
+    ));
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let paths = paths.clone();
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                for (i, p) in paths.iter().enumerate().skip(t % 2) {
+                    assert_eq!(svc.query(p).expect("served"), baseline[i], "{p}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread panicked");
+    }
+}

@@ -35,6 +35,7 @@ use nok_core::physical::{IdRecord, TagPosting};
 use nok_core::sigma::TagCode;
 use nok_core::store::{NodeAddr, StructStore};
 use nok_core::values::hash_key;
+use nok_core::LockDataFile;
 use nok_core::XmlDb;
 use nok_pager::{BufferPool, PageId, Storage};
 
@@ -513,7 +514,7 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
             }
         }
         if let Some((off, len)) = rec.value {
-            match db.data_cell().borrow_mut().get_record(off) {
+            match db.data_cell().lock_data().get_record(off) {
                 Ok(text) => {
                     if text.len() as u32 != len {
                         v.push(Violation::ValueUnresolvable {
@@ -727,9 +728,9 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
     // lazy deletion legitimately leaves orphans behind).
     if opts.value_orphans {
         let mut off = 0u64;
-        let total = db.data_cell().borrow().len_bytes();
+        let total = db.data_cell().lock_data().len_bytes();
         while off < total {
-            let text = match db.data_cell().borrow_mut().get_record(off) {
+            let text = match db.data_cell().lock_data().get_record(off) {
                 Ok(t) => t,
                 Err(e) => {
                     v.push(Violation::RecordCorrupt {

@@ -3,13 +3,14 @@
 //! matching [`Violation::kind`] is reported (extra collateral kinds are
 //! allowed — damage cascades — but the primary class must be present).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use nok_core::dewey::Dewey;
 use nok_core::page::{CLOSE_BYTE, HEADER_SIZE, OFF_LO, OFF_NBYTES, OFF_NEXT, OFF_ST};
 use nok_core::physical::IdRecord;
 use nok_core::store::{BuildOptions, NodeAddr};
 use nok_core::values::{hash_key, DataFile};
+use nok_core::LockDataFile;
 use nok_core::XmlDb;
 use nok_pager::codec::{get_u16, put_u16, put_u32};
 use nok_pager::{BufferPool, MemStorage, PageId};
@@ -161,7 +162,7 @@ fn dropped_closes_unbalance_the_string() {
 #[test]
 fn orphaned_data_record_is_flagged_in_strict_mode() {
     let db = XmlDb::build_in_memory(BIB).unwrap();
-    db.data_cell().borrow_mut().put("orphan text").unwrap();
+    db.data_cell().lock_data().put("orphan text").unwrap();
     let lenient = verify_db(&db, VerifyOptions::default());
     assert!(
         lenient.is_clean(),
@@ -259,13 +260,13 @@ fn wrong_value_hash_is_flagged() {
 fn btree_page_corruption_is_flagged() {
     // Build with retained pool handles so the tag tree's pages can be
     // damaged directly (XmlDb exposes no mutable pool access).
-    let mk = || Rc::new(BufferPool::new(MemStorage::new()));
+    let mk = || Arc::new(BufferPool::new(MemStorage::new()));
     let tag_pool = mk();
     let db = XmlDb::build_with_pools(
         BIB,
         BuildOptions::default(),
         mk(),
-        Rc::clone(&tag_pool),
+        Arc::clone(&tag_pool),
         mk(),
         mk(),
         DataFile::in_memory(),

@@ -6,7 +6,7 @@
 //! cold cache and a pool large enough to avoid re-reads, `physical_reads ≤
 //! structural pages` must hold for a full single-start match.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use nok_core::cursor;
 use nok_core::nok::{NokMatcher, TreeAccess};
@@ -21,7 +21,7 @@ use nok_xml::Reader;
 /// Build just the structural store with a small page size so documents span
 /// many pages.
 fn small_page_store(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
-    let pool = Rc::new(BufferPool::with_capacity(
+    let pool = Arc::new(BufferPool::with_capacity(
         MemStorage::with_page_size(page_size),
         1 << 20, // effectively unbounded: every page read at most once
     ));
