@@ -59,4 +59,11 @@ cargo run --release -q -p nok-bench --bin serve_throughput -- \
   --scale 0.01 --duration-ms 300 --threads 1,2,4,8 --out BENCH_serve.json
 grep -q '"threads":8' BENCH_serve.json
 
+echo "==> navigation kernels bench (BENCH_nav.json)"
+# nav_bench exits nonzero if the indexed path examines < 5x fewer entries
+# on the deep/wide sibling chain or loads more pages than the linear oracle.
+cargo run --release -q -p nok-bench --bin nav_bench -- \
+  --scale 0.01 --reps 3 --out BENCH_nav.json
+grep -q '"gates_passed":true' BENCH_nav.json
+
 echo "CI OK"

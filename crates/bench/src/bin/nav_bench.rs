@@ -1,0 +1,333 @@
+//! Navigation-kernel benchmark: indexed cursor primitives (block summaries
+//! + directory skip index) versus the retained `linear_*` oracles.
+//!
+//! ```text
+//! cargo run -p nok-bench --release --bin nav_bench -- \
+//!     [--scale 0.05] [--reps 3] [--out BENCH_nav.json]
+//! ```
+//!
+//! Workloads:
+//!
+//! * `deepwide_*` — a synthetic document of many top-level siblings each
+//!   carrying a deep single-child chain, built at a small page size so both
+//!   layers of the navigation index matter. This is the workload the
+//!   acceptance gate runs on: the sibling chain must examine ≥ 5× fewer
+//!   entries through the indexed path, and no workload may load more pages
+//!   than the linear oracle.
+//! * one sibling-chain / subtree-close / descendant-scan triple per datagen
+//!   dataset (reported, not gated — real corpora are mostly shallow).
+//!
+//! Both variants are measured identically: caches and counters are reset
+//! before every repetition, the best wall time is kept, and the counters of
+//! the final (cold) pass are reported.
+
+use std::time::Instant;
+
+use nok_bench::Args;
+use nok_core::cursor::{
+    descendants, first_child, following_sibling, linear_descendants, linear_following_sibling,
+    linear_subtree_close, subtree_close,
+};
+use nok_core::{BuildOptions, CoreResult, NodeAddr, StructStore, TagDict};
+use nok_datagen::all_datasets;
+use nok_pager::{BufferPool, MemStorage};
+use nok_serve::Json;
+use nok_xml::Reader;
+use std::sync::Arc;
+
+type Store = StructStore<MemStorage>;
+type SibFn = fn(&Store, NodeAddr) -> CoreResult<Option<NodeAddr>>;
+type CloseFn = fn(&Store, NodeAddr) -> CoreResult<NodeAddr>;
+
+/// Page size for every store in this bench: small enough that deep corpora
+/// span many pages, so directory behavior is visible.
+const PAGE_SIZE: usize = 256;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("nav_bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn build_store(xml: &str) -> Result<Store, String> {
+    let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(PAGE_SIZE)));
+    let mut dict = TagDict::new();
+    StructStore::build(
+        pool,
+        Reader::content_only(xml),
+        &mut dict,
+        BuildOptions::default(),
+        &mut (),
+    )
+    .map_err(|e| format!("build: {e}"))
+}
+
+/// The deep/wide gate corpus: `siblings` top-level chains, each `depth`
+/// nodes deep, so every sibling hop crosses several mostly-deep pages.
+fn deepwide_xml(siblings: usize, depth: usize) -> String {
+    let mut xml = String::from("<r>");
+    for _ in 0..siblings {
+        xml.push_str("<s>");
+        for _ in 0..depth {
+            xml.push_str("<d>");
+        }
+        for _ in 0..depth {
+            xml.push_str("</d>");
+        }
+        xml.push_str("</s>");
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+struct Measure {
+    ns_per_op: f64,
+    ops: u64,
+    entries: u64,
+    dir_entries: u64,
+    reads: u64,
+}
+
+/// Run `work` `reps` times from a cold cache, keeping the best wall time
+/// and the per-pass counters.
+fn measure(
+    store: &Store,
+    reps: usize,
+    work: &dyn Fn(&Store) -> Result<u64, String>,
+) -> Result<Measure, String> {
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..reps.max(1) {
+        store.invalidate_decoded(None);
+        store
+            .pool()
+            .clear_cache()
+            .map_err(|e| format!("clear: {e}"))?;
+        store.pool().stats().reset();
+        let t = Instant::now();
+        ops = work(store)?;
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    let st = store.pool().stats();
+    Ok(Measure {
+        ns_per_op: if ops == 0 { 0.0 } else { best / ops as f64 },
+        ops,
+        entries: st.entries_examined(),
+        dir_entries: st.dir_entries_examined(),
+        reads: st.physical_reads(),
+    })
+}
+
+fn root_of(store: &Store) -> Result<NodeAddr, String> {
+    store.root().ok_or_else(|| "empty store".into())
+}
+
+/// Walk the whole top-level sibling chain; ops = hops.
+fn sibling_chain(store: &Store, sib: SibFn) -> Result<u64, String> {
+    let root = root_of(store)?;
+    let mut cur = first_child(store, root)
+        .map_err(|e| format!("first_child: {e}"))?
+        .ok_or("root has no children")?;
+    let mut hops = 0u64;
+    while let Some(next) = sib(store, cur).map_err(|e| format!("sibling: {e}"))? {
+        cur = next;
+        hops += 1;
+    }
+    Ok(hops)
+}
+
+/// Close every top-level record's subtree; ops = records closed.
+fn close_records(store: &Store, close: CloseFn, cap: usize) -> Result<u64, String> {
+    let root = root_of(store)?;
+    let mut cur = first_child(store, root)
+        .map_err(|e| format!("first_child: {e}"))?
+        .ok_or("root has no children")?;
+    let mut ops = 0u64;
+    loop {
+        close(store, cur).map_err(|e| format!("close: {e}"))?;
+        ops += 1;
+        if ops as usize >= cap {
+            break;
+        }
+        match following_sibling(store, cur).map_err(|e| format!("sibling: {e}"))? {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    Ok(ops)
+}
+
+/// `//*`-style scan: enumerate every descendant of the root; ops = nodes.
+fn descendant_scan(store: &Store, linear: bool) -> Result<u64, String> {
+    let root = root_of(store)?;
+    let mut n = 0u64;
+    if linear {
+        for item in linear_descendants(store, root).map_err(|e| format!("descendants: {e}"))? {
+            item.map_err(|e| format!("descendants: {e}"))?;
+            n += 1;
+        }
+    } else {
+        for item in descendants(store, root).map_err(|e| format!("descendants: {e}"))? {
+            item.map_err(|e| format!("descendants: {e}"))?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+struct WorkloadResult {
+    name: String,
+    linear: Measure,
+    indexed: Measure,
+}
+
+impl WorkloadResult {
+    fn entries_ratio(&self) -> f64 {
+        if self.indexed.entries == 0 {
+            f64::INFINITY
+        } else {
+            self.linear.entries as f64 / self.indexed.entries as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let side = |m: &Measure| {
+            Json::obj(vec![
+                ("ns_per_op", Json::Num((m.ns_per_op * 10.0).round() / 10.0)),
+                ("ops", Json::Num(m.ops as f64)),
+                ("entries_examined", Json::Num(m.entries as f64)),
+                ("dir_entries_examined", Json::Num(m.dir_entries as f64)),
+                ("physical_reads", Json::Num(m.reads as f64)),
+            ])
+        };
+        let ratio = self.entries_ratio();
+        Json::obj(vec![
+            ("workload", Json::Str(self.name.clone())),
+            ("linear", side(&self.linear)),
+            ("indexed", side(&self.indexed)),
+            (
+                "entries_ratio",
+                Json::Num(if ratio.is_finite() {
+                    (ratio * 100.0).round() / 100.0
+                } else {
+                    -1.0
+                }),
+            ),
+        ])
+    }
+}
+
+fn run_triple(
+    store: &Store,
+    label: &str,
+    reps: usize,
+    close_cap: usize,
+    out: &mut Vec<WorkloadResult>,
+) -> Result<(), String> {
+    out.push(WorkloadResult {
+        name: format!("{label}_sibling_chain"),
+        linear: measure(store, reps, &|s| sibling_chain(s, linear_following_sibling))?,
+        indexed: measure(store, reps, &|s| sibling_chain(s, following_sibling))?,
+    });
+    out.push(WorkloadResult {
+        name: format!("{label}_subtree_close"),
+        linear: measure(store, reps, &|s| {
+            close_records(s, linear_subtree_close, close_cap)
+        })?,
+        indexed: measure(store, reps, &|s| close_records(s, subtree_close, close_cap))?,
+    });
+    out.push(WorkloadResult {
+        name: format!("{label}_descendant_scan"),
+        linear: measure(store, reps, &|s| descendant_scan(s, true))?,
+        indexed: measure(store, reps, &|s| descendant_scan(s, false))?,
+    });
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    let scale = args.scale();
+    let reps = args.reps() as usize;
+    let out_path = args.get("out").unwrap_or("BENCH_nav.json").to_string();
+
+    let mut results: Vec<WorkloadResult> = Vec::new();
+
+    // Gate corpus.
+    let deepwide = build_store(&deepwide_xml(300, 100))?;
+    run_triple(&deepwide, "deepwide", reps, usize::MAX, &mut results)?;
+
+    // The five paper datasets (reported, not gated).
+    for ds in all_datasets(scale) {
+        let store = build_store(&ds.xml)?;
+        run_triple(&store, ds.kind.name(), reps, 500, &mut results)?;
+    }
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12} {:>7} {:>6} {:>6}",
+        "workload",
+        "lin ns/op",
+        "idx ns/op",
+        "lin entries",
+        "idx entries",
+        "ratio",
+        "lin rd",
+        "idx rd"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>12} {:>12} {:>7.1} {:>6} {:>6}",
+            r.name,
+            r.linear.ns_per_op,
+            r.indexed.ns_per_op,
+            r.linear.entries,
+            r.indexed.entries,
+            r.entries_ratio(),
+            r.linear.reads,
+            r.indexed.reads,
+        );
+    }
+
+    // ---- Acceptance gates.
+    let mut failures = Vec::new();
+    for r in &results {
+        if r.indexed.reads > r.linear.reads {
+            failures.push(format!(
+                "{}: indexed path loaded more pages ({} > {})",
+                r.name, r.indexed.reads, r.linear.reads
+            ));
+        }
+    }
+    if let Some(r) = results.iter().find(|r| r.name == "deepwide_sibling_chain") {
+        if r.entries_ratio() < 5.0 {
+            failures.push(format!(
+                "deepwide_sibling_chain: entries ratio {:.2} < 5.0 (linear={} indexed={})",
+                r.entries_ratio(),
+                r.linear.entries,
+                r.indexed.entries
+            ));
+        }
+    } else {
+        failures.push("deepwide_sibling_chain workload missing".into());
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("nav".into())),
+        ("scale", Json::Num(scale)),
+        ("reps", Json::Num(reps as f64)),
+        ("page_size", Json::Num(PAGE_SIZE as f64)),
+        (
+            "workloads",
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        ),
+        ("gates_passed", Json::Bool(failures.is_empty())),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", report.to_string_compact()))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The block-summary/skip-index navigation path must be indistinguishable
+//! from the naive per-entry oracle (`cursor::linear_*`) on every node of
+//! all five datagen datasets — the corpora exercise bushy, deep, and
+//! recursive shapes at page boundaries the synthetic unit tests don't hit.
+
+use std::sync::Arc;
+
+use nok_core::cursor::{
+    following_sibling, linear_following_sibling, linear_next_entry, linear_subtree_close,
+    next_entry, subtree_close, DocScan, ScanItem,
+};
+use nok_core::{BuildOptions, CoreResult, StructStore, TagDict};
+use nok_datagen::all_datasets;
+use nok_pager::{BufferPool, MemStorage};
+use nok_xml::Reader;
+
+/// Small pages so every corpus spans many of them.
+const PAGE_SIZE: usize = 256;
+
+/// Per-dataset cap on verified nodes (stride-sampled past it) so the debug
+/// test binary stays fast; the stride still covers the whole document.
+const MAX_CHECKS: usize = 4000;
+
+#[test]
+fn indexed_navigation_matches_linear_oracle_on_all_datasets() {
+    for ds in all_datasets(0.01) {
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(PAGE_SIZE)));
+        let mut dict = TagDict::new();
+        let store = StructStore::build(
+            pool,
+            Reader::content_only(&ds.xml),
+            &mut dict,
+            BuildOptions::default(),
+            &mut (),
+        )
+        .unwrap();
+        let items: Vec<ScanItem> = DocScan::new(&store)
+            .collect::<CoreResult<Vec<_>>>()
+            .unwrap();
+        let name = ds.kind.name();
+        assert!(!items.is_empty(), "{name}: empty scan");
+        let stride = (items.len() / MAX_CHECKS).max(1);
+        for it in items.iter().step_by(stride) {
+            assert_eq!(
+                following_sibling(&store, it.addr).unwrap(),
+                linear_following_sibling(&store, it.addr).unwrap(),
+                "{name}: following_sibling diverges at {}",
+                it.dewey
+            );
+            assert_eq!(
+                subtree_close(&store, it.addr).unwrap(),
+                linear_subtree_close(&store, it.addr).unwrap(),
+                "{name}: subtree_close diverges at {}",
+                it.dewey
+            );
+            assert_eq!(
+                next_entry(&store, it.addr).unwrap(),
+                linear_next_entry(&store, it.addr).unwrap(),
+                "{name}: next_entry diverges at {}",
+                it.dewey
+            );
+        }
+    }
+}

@@ -15,13 +15,37 @@
 //! over a parent close and return a *cousin*. We therefore load a page iff
 //! `lo ≤ l-1 || st == l-1`. The test consults only the in-memory header
 //! directory, so skipped pages cost no I/O — the effect the paper targets.
+//!
+//! **Navigation index.** On top of the paper's page-granular test sit two
+//! derived structures, both built lazily and never persisted:
+//!
+//! * *In-page block summaries* ([`crate::page::BlockSummary`], computed at
+//!   decode time): per-[`BLOCK_ENTRIES`] `min`/`max` levels plus first-entry
+//!   bookkeeping let the per-entry loops skip whole blocks that cannot hold
+//!   a candidate sibling, a stop, or a close — the same ±1 argument as page
+//!   skipping, applied at block granularity.
+//! * *A directory skip index* (`store::SkipIndex`): level-bucketed rank
+//!   lists over the header directory answer "next page a scan at level `l`
+//!   must load" in a handful of probes instead of a linear walk over every
+//!   directory entry, using the key `min(lo, st)` for sibling scans (proved
+//!   I/O-equivalent to the strict test in the store module) and `lo` for
+//!   close scans.
+//!
+//! The pre-index implementations are retained as `linear_*` — they are the
+//! per-entry/per-directory-record oracle the tests and `nav_bench` compare
+//! against, with identical page-load behavior.
+//!
+//! Both layers report work into [`nok_pager::IoStats`]: `entries_examined`
+//! counts per-entry loop iterations inside loaded pages, and
+//! `dir_entries_examined` counts directory records (or skip-index bucket
+//! probes) consulted.
 
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
-use crate::page::Entry;
+use crate::page::{DecodedPage, Entry, BLOCK_ENTRIES};
 use crate::sigma::TagCode;
 use crate::store::{NodeAddr, StructStore};
-use nok_pager::Storage;
+use nok_pager::{PageId, Storage};
 
 /// Advance to the next entry in chain order (crossing page boundaries,
 /// skipping structurally empty pages). Costs I/O only when a page boundary
@@ -38,18 +62,54 @@ pub fn next_entry<S: Storage>(
             entry: addr.entry + 1,
         }));
     }
-    // Walk the directory (no I/O) to the next non-empty page.
-    let mut r = store.rank(addr.page)? + 1;
-    while let Some(de) = store.dir_at(r) {
-        if de.entries > 0 {
-            return Ok(Some(NodeAddr {
+    // One skip-index probe replaces the linear directory walk.
+    let r = store.rank(addr.page)? + 1;
+    store.pool().stats().add_dir_entries_examined(1);
+    match store.skip_index().next_nonempty(r) {
+        None => Ok(None),
+        Some(r2) => {
+            let de = store
+                .dir_at(r2)
+                .ok_or_else(|| CoreError::Corrupt(format!("skip index rank {r2} out of range")))?;
+            Ok(Some(NodeAddr {
                 page: de.id,
                 entry: 0,
-            }));
+            }))
+        }
+    }
+}
+
+/// Pre-index [`next_entry`]: walk the directory linearly to the next
+/// non-empty page. Retained as the oracle/baseline for tests and
+/// `nav_bench`; identical results and page loads, more directory work.
+#[inline]
+pub fn linear_next_entry<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<Option<NodeAddr>> {
+    let page = store.decoded(addr.page)?;
+    if (addr.entry as usize) + 1 < page.len() {
+        return Ok(Some(NodeAddr {
+            page: addr.page,
+            entry: addr.entry + 1,
+        }));
+    }
+    let mut dir_examined = 0u64;
+    let mut r = store.rank(addr.page)? + 1;
+    let mut out = None;
+    while let Some(de) = store.dir_at(r) {
+        dir_examined += 1;
+        if de.entries > 0 {
+            out = Some(NodeAddr {
+                page: de.id,
+                entry: 0,
+            });
+            break;
         }
         r += 1;
     }
-    Ok(None)
+    store.pool().stats().add_dir_entries_examined(dir_examined);
+    Ok(out)
 }
 
 /// `FIRST-CHILD`: the first child of the node at `addr`, if any. Per the
@@ -73,10 +133,50 @@ pub fn first_child<S: Storage>(
     })
 }
 
+/// Scan one page for a following sibling at level `l`, starting at entry
+/// `from`, skipping blocks whose summary admits neither a candidate nor a
+/// stop. `Some(Some(addr))` = found, `Some(None)` = stop reached (no
+/// sibling), `None` = page exhausted, continue on the next page.
+fn scan_sibling_blocks(
+    page: &DecodedPage,
+    pid: PageId,
+    from: usize,
+    l: u16,
+    stop: u16,
+    examined: &mut u64,
+) -> Option<Option<NodeAddr>> {
+    let mut i = from;
+    while i < page.len() {
+        let b = i / BLOCK_ENTRIES;
+        let end = ((b + 1) * BLOCK_ENTRIES).min(page.len());
+        // Whole blocks can only be skipped from their first entry: the
+        // first-open-at-`l` exception reasons about the block boundary.
+        if i == b * BLOCK_ENTRIES && !page.blocks[b].admits_sibling(l) {
+            i = end;
+            continue;
+        }
+        for j in i..end {
+            *examined += 1;
+            let lev = page.levels[j];
+            if lev <= stop {
+                return Some(None);
+            }
+            if lev == l && page.entries[j].is_open() {
+                return Some(Some(NodeAddr {
+                    page: pid,
+                    entry: j as u32,
+                }));
+            }
+        }
+        i = end;
+    }
+    None
+}
+
 /// `FOLLOWING-SIBLING`: the next sibling of the node at `addr`, if any.
 /// Scans right for an open entry at the same level, stopping at the
-/// parent's close (level `l-2`), and skips pages via the header directory
-/// (see module docs for the corrected skip condition).
+/// parent's close (level `l-2`); skips pages via the directory skip index
+/// and entry blocks via the decode-time block summaries.
 pub fn following_sibling<S: Storage>(
     store: &StructStore<S>,
     addr: NodeAddr,
@@ -87,87 +187,237 @@ pub fn following_sibling<S: Storage>(
         return Ok(None); // the root has no siblings
     }
     let stop = l - 2; // level of the parent's close parenthesis
+    let mut examined = 0u64;
+    let mut probes = 0u64;
 
-    // Finish the current page first.
-    let page = store.decoded(addr.page)?;
-    for i in (addr.entry as usize + 1)..page.len() {
-        let lev = page.levels[i];
-        if lev <= stop {
-            return Ok(None);
+    let result = (|| {
+        // Finish the current page first.
+        let page = store.decoded(addr.page)?;
+        if let Some(res) = scan_sibling_blocks(
+            &page,
+            addr.page,
+            addr.entry as usize + 1,
+            l,
+            stop,
+            &mut examined,
+        ) {
+            return Ok(res);
         }
-        if lev == l && page.entries[i].is_open() {
-            return Ok(Some(NodeAddr {
-                page: addr.page,
-                entry: i as u32,
-            }));
+        // Subsequent pages: hop straight to the next admissible one.
+        let skip = store.skip_index();
+        let mut r = store.rank(addr.page)? + 1;
+        loop {
+            let Some(r2) = skip.next_sibling_page(r, l, &mut probes) else {
+                return Ok(None);
+            };
+            let de = store
+                .dir_at(r2)
+                .ok_or_else(|| CoreError::Corrupt(format!("skip index rank {r2} out of range")))?;
+            let page = store.decoded(de.id)?;
+            if let Some(res) = scan_sibling_blocks(&page, de.id, 0, l, stop, &mut examined) {
+                return Ok(res);
+            }
+            r = r2 + 1;
         }
+    })();
+    let stats = store.pool().stats();
+    stats.add_entries_examined(examined);
+    stats.add_dir_entries_examined(probes);
+    result
+}
+
+/// Pre-index [`following_sibling`]: per-entry loops and a linear directory
+/// walk with the corrected per-page test (see module docs). Retained as the
+/// oracle/baseline; identical results and page loads.
+pub fn linear_following_sibling<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<Option<NodeAddr>> {
+    let (entry, l) = store.entry_at(addr)?;
+    debug_assert!(entry.is_open(), "following_sibling of a close entry");
+    if l == 1 {
+        return Ok(None); // the root has no siblings
     }
+    let stop = l - 2; // level of the parent's close parenthesis
+    let mut examined = 0u64;
+    let mut dir_examined = 0u64;
 
-    // Subsequent pages: consult headers, load only pages that can matter.
-    let mut r = store.rank(addr.page)? + 1;
-    while let Some(de) = store.dir_at(r) {
-        r += 1;
-        if de.entries == 0 {
-            continue;
-        }
-        // Load iff the page may contain an entry at level l-1 (the
-        // predecessor of any candidate or stop) or begins right after one.
-        if !(de.lo < l || de.st == l - 1) {
-            continue; // header-directory skip: no page I/O at all
-        }
-        let page = store.decoded(de.id)?;
-        for i in 0..page.len() {
+    let result = (|| {
+        // Finish the current page first.
+        let page = store.decoded(addr.page)?;
+        for i in (addr.entry as usize + 1)..page.len() {
+            examined += 1;
             let lev = page.levels[i];
             if lev <= stop {
                 return Ok(None);
             }
             if lev == l && page.entries[i].is_open() {
                 return Ok(Some(NodeAddr {
-                    page: de.id,
+                    page: addr.page,
                     entry: i as u32,
                 }));
             }
         }
+
+        // Subsequent pages: consult headers, load only pages that can matter.
+        let mut r = store.rank(addr.page)? + 1;
+        while let Some(de) = store.dir_at(r) {
+            dir_examined += 1;
+            r += 1;
+            if de.entries == 0 {
+                continue;
+            }
+            // Load iff the page may contain an entry at level l-1 (the
+            // predecessor of any candidate or stop) or begins right after one.
+            if !(de.lo < l || de.st == l - 1) {
+                continue; // header-directory skip: no page I/O at all
+            }
+            let page = store.decoded(de.id)?;
+            for i in 0..page.len() {
+                examined += 1;
+                let lev = page.levels[i];
+                if lev <= stop {
+                    return Ok(None);
+                }
+                if lev == l && page.entries[i].is_open() {
+                    return Ok(Some(NodeAddr {
+                        page: de.id,
+                        entry: i as u32,
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    })();
+    let stats = store.pool().stats();
+    stats.add_entries_examined(examined);
+    stats.add_dir_entries_examined(dir_examined);
+    result
+}
+
+/// Scan one page for the first entry at level `< l` starting at `from`,
+/// skipping blocks whose min level rules it out. `Some(addr)` = found,
+/// `None` = continue on the next page.
+fn scan_close_blocks(
+    page: &DecodedPage,
+    pid: PageId,
+    from: usize,
+    l: u16,
+    examined: &mut u64,
+) -> Option<NodeAddr> {
+    let mut i = from;
+    while i < page.len() {
+        let b = i / BLOCK_ENTRIES;
+        let end = ((b + 1) * BLOCK_ENTRIES).min(page.len());
+        if i == b * BLOCK_ENTRIES && !page.blocks[b].admits_close(l) {
+            i = end;
+            continue;
+        }
+        for j in i..end {
+            *examined += 1;
+            if page.levels[j] < l {
+                return Some(NodeAddr {
+                    page: pid,
+                    entry: j as u32,
+                });
+            }
+        }
+        i = end;
     }
-    Ok(None)
+    None
 }
 
 /// Address of the close entry matching the open at `addr` (the first
 /// subsequent close at level `l-1`). Pages that cannot contain any entry at
-/// level `< l` are skipped via the directory.
+/// level `< l` are skipped via the directory skip index; blocks that cannot
+/// are skipped via the decode-time summaries.
 pub fn subtree_close<S: Storage>(store: &StructStore<S>, addr: NodeAddr) -> CoreResult<NodeAddr> {
     let (entry, l) = store.entry_at(addr)?;
     debug_assert!(entry.is_open(), "subtree_close of a close entry");
+    let mut examined = 0u64;
+    let mut probes = 0u64;
 
-    let page = store.decoded(addr.page)?;
-    for i in (addr.entry as usize + 1)..page.len() {
-        if page.levels[i] < l {
-            return Ok(NodeAddr {
-                page: addr.page,
-                entry: i as u32,
-            });
+    let result = (|| {
+        let page = store.decoded(addr.page)?;
+        if let Some(found) =
+            scan_close_blocks(&page, addr.page, addr.entry as usize + 1, l, &mut examined)
+        {
+            return Ok(found);
         }
-    }
-    let mut r = store.rank(addr.page)? + 1;
-    while let Some(de) = store.dir_at(r) {
-        r += 1;
-        if de.entries == 0 || de.lo >= l {
-            continue;
+        let skip = store.skip_index();
+        let mut r = store.rank(addr.page)? + 1;
+        loop {
+            let Some(r2) = skip.next_close_page(r, l, &mut probes) else {
+                // A well-formed store always closes every node.
+                return Err(CoreError::Corrupt(format!(
+                    "no matching close for node at {addr}"
+                )));
+            };
+            let de = store
+                .dir_at(r2)
+                .ok_or_else(|| CoreError::Corrupt(format!("skip index rank {r2} out of range")))?;
+            let page = store.decoded(de.id)?;
+            if let Some(found) = scan_close_blocks(&page, de.id, 0, l, &mut examined) {
+                return Ok(found);
+            }
+            r = r2 + 1;
         }
-        let page = store.decoded(de.id)?;
-        for i in 0..page.len() {
+    })();
+    let stats = store.pool().stats();
+    stats.add_entries_examined(examined);
+    stats.add_dir_entries_examined(probes);
+    result
+}
+
+/// Pre-index [`subtree_close`]: per-entry loops and a linear directory
+/// walk. Retained as the oracle/baseline; identical results and page loads.
+pub fn linear_subtree_close<S: Storage>(
+    store: &StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<NodeAddr> {
+    let (entry, l) = store.entry_at(addr)?;
+    debug_assert!(entry.is_open(), "subtree_close of a close entry");
+    let mut examined = 0u64;
+    let mut dir_examined = 0u64;
+
+    let result = (|| {
+        let page = store.decoded(addr.page)?;
+        for i in (addr.entry as usize + 1)..page.len() {
+            examined += 1;
             if page.levels[i] < l {
                 return Ok(NodeAddr {
-                    page: de.id,
+                    page: addr.page,
                     entry: i as u32,
                 });
             }
         }
-    }
-    // A well-formed store always closes every node.
-    Err(crate::error::CoreError::Corrupt(format!(
-        "no matching close for node at {addr}"
-    )))
+        let mut r = store.rank(addr.page)? + 1;
+        while let Some(de) = store.dir_at(r) {
+            dir_examined += 1;
+            r += 1;
+            if de.entries == 0 || de.lo >= l {
+                continue;
+            }
+            let page = store.decoded(de.id)?;
+            for i in 0..page.len() {
+                examined += 1;
+                if page.levels[i] < l {
+                    return Ok(NodeAddr {
+                        page: de.id,
+                        entry: i as u32,
+                    });
+                }
+            }
+        }
+        // A well-formed store always closes every node.
+        Err(CoreError::Corrupt(format!(
+            "no matching close for node at {addr}"
+        )))
+    })();
+    let stats = store.pool().stats();
+    stats.add_entries_examined(examined);
+    stats.add_dir_entries_examined(dir_examined);
+    result
 }
 
 /// The containment interval `⟨start, end⟩` of the node at `addr`, in linear
@@ -179,14 +429,53 @@ pub fn interval<S: Storage>(store: &StructStore<S>, addr: NodeAddr) -> CoreResul
 }
 
 /// Iterator over the open entries of the subtree rooted at `addr`,
-/// *excluding* `addr` itself, in document order.
+/// *excluding* `addr` itself, in document order. Terminates by comparing
+/// each address against the precomputed close address — no per-step
+/// directory rank lookup.
 pub fn descendants<'a, S: Storage>(
     store: &'a StructStore<S>,
     addr: NodeAddr,
 ) -> CoreResult<impl Iterator<Item = CoreResult<(NodeAddr, TagCode, u16)>> + 'a> {
     let end = subtree_close(store, addr)?;
-    let end_lin = store.lin(end)?;
     let mut cur = next_entry(store, addr)?;
+    Ok(std::iter::from_fn(move || loop {
+        let addr = cur?;
+        // Document-order iteration visits every entry exactly once, so the
+        // subtree's close entry is hit by equality — no linearization needed.
+        if addr == end {
+            cur = None;
+            return None;
+        }
+        let step = (|| -> CoreResult<Option<(NodeAddr, TagCode, u16)>> {
+            let (entry, level) = store.entry_at(addr)?;
+            let out = match entry {
+                Entry::Open(tag) => Some((addr, tag, level)),
+                Entry::Close => None,
+            };
+            cur = next_entry(store, addr)?;
+            Ok(out)
+        })();
+        match step {
+            Ok(Some(item)) => return Some(Ok(item)),
+            Ok(None) => continue,
+            Err(e) => {
+                cur = None;
+                return Some(Err(e));
+            }
+        }
+    }))
+}
+
+/// Pre-index [`descendants`]: tests subtree end by linearizing every visited
+/// address (a directory rank lookup per step) and advances with
+/// [`linear_next_entry`]. Retained as the oracle/baseline.
+pub fn linear_descendants<'a, S: Storage>(
+    store: &'a StructStore<S>,
+    addr: NodeAddr,
+) -> CoreResult<impl Iterator<Item = CoreResult<(NodeAddr, TagCode, u16)>> + 'a> {
+    let end = linear_subtree_close(store, addr)?;
+    let end_lin = store.lin(end)?;
+    let mut cur = linear_next_entry(store, addr)?;
     Ok(std::iter::from_fn(move || loop {
         let addr = cur?;
         let addr_lin = match store.lin(addr) {
@@ -206,7 +495,7 @@ pub fn descendants<'a, S: Storage>(
                 Entry::Open(tag) => Some((addr, tag, level)),
                 Entry::Close => None,
             };
-            cur = next_entry(store, addr)?;
+            cur = linear_next_entry(store, addr)?;
             Ok(out)
         })();
         match step {
@@ -278,7 +567,10 @@ impl<S: Storage> Iterator for DocScan<'_, S> {
                             addr,
                             tag,
                             level,
-                            dewey: Dewey::from_components(self.path.clone()),
+                            // Snapshot the scratch path without moving it —
+                            // inline small-vec for shallow nodes, one copy
+                            // either way, no intermediate Vec.
+                            dewey: Dewey::from_slice(&self.path),
                         })
                     }
                     Entry::Close => {
@@ -357,6 +649,16 @@ mod tests {
         <price>129.95</price>
       </book>
     </bib>"#;
+
+    /// A deep/wide document whose subtrees span many small pages.
+    fn deep_wide_xml(siblings: usize) -> String {
+        let mut xml = String::from("<r>");
+        for _ in 0..siblings {
+            xml.push_str("<deep><deeper><deepest/></deeper></deep>");
+        }
+        xml.push_str("</r>");
+        xml
+    }
 
     #[test]
     fn first_child_and_sibling_on_one_page() {
@@ -447,6 +749,177 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The indexed primitives and the retained linear oracles must return
+    /// identical results for every node, on every page size (blocks and
+    /// pages fall on different boundaries in each configuration).
+    #[test]
+    fn indexed_primitives_match_linear_oracle_across_page_sizes() {
+        let deep = deep_wide_xml(60);
+        for xml in [BIB, deep.as_str()] {
+            for page_size in [64, 96, 128, 256, 4096] {
+                let (store, _) = build(xml, page_size);
+                let items: Vec<ScanItem> = DocScan::new(&store)
+                    .collect::<CoreResult<Vec<_>>>()
+                    .unwrap();
+                for it in &items {
+                    assert_eq!(
+                        following_sibling(&store, it.addr).unwrap(),
+                        linear_following_sibling(&store, it.addr).unwrap(),
+                        "following_sibling at {} (page_size={page_size})",
+                        it.dewey
+                    );
+                    assert_eq!(
+                        subtree_close(&store, it.addr).unwrap(),
+                        linear_subtree_close(&store, it.addr).unwrap(),
+                        "subtree_close at {} (page_size={page_size})",
+                        it.dewey
+                    );
+                    assert_eq!(
+                        next_entry(&store, it.addr).unwrap(),
+                        linear_next_entry(&store, it.addr).unwrap(),
+                        "next_entry at {} (page_size={page_size})",
+                        it.dewey
+                    );
+                    let a: Vec<_> = descendants(&store, it.addr)
+                        .unwrap()
+                        .collect::<CoreResult<Vec<_>>>()
+                        .unwrap();
+                    let b: Vec<_> = linear_descendants(&store, it.addr)
+                        .unwrap()
+                        .collect::<CoreResult<Vec<_>>>()
+                        .unwrap();
+                    assert_eq!(a, b, "descendants at {} (page_size={page_size})", it.dewey);
+                }
+            }
+        }
+    }
+
+    /// Regression for the page-boundary case the module docs describe: a
+    /// candidate sibling that is the *first* entry of its page, with its
+    /// `l-1` predecessor ending the previous page (`lo ≥ l`, `st == l-1` —
+    /// the configuration the paper's test would skip). Pin that such a page
+    /// exists in the corpus and that the sibling scan lands exactly on it.
+    #[test]
+    fn page_boundary_first_entry_candidate_is_found() {
+        // Siblings whose subtrees span multiple pages, with jittered depths
+        // so page boundaries land on sibling opens in several alignments.
+        let mut xml = String::from("<r>");
+        for i in 0..150 {
+            let depth = 8 + (i % 13);
+            xml.push_str("<s>");
+            for _ in 0..depth {
+                xml.push_str("<d>");
+            }
+            for _ in 0..depth {
+                xml.push_str("</d>");
+            }
+            xml.push_str("</s>");
+        }
+        xml.push_str("</r>");
+        let mut exercised = 0;
+        for page_size in [64, 96, 128, 256] {
+            let (store, _) = build(&xml, page_size);
+            let items: Vec<ScanItem> = DocScan::new(&store)
+                .collect::<CoreResult<Vec<_>>>()
+                .unwrap();
+            let addr_of: std::collections::HashMap<&Dewey, NodeAddr> =
+                items.iter().map(|it| (&it.dewey, it.addr)).collect();
+            for it in &items {
+                let l = it.level;
+                if it.addr.entry != 0 || l < 2 {
+                    continue;
+                }
+                let de = store.dir_at(store.rank(it.addr.page).unwrap()).unwrap();
+                if !(de.lo >= l && de.st == l - 1) {
+                    continue; // not the boundary configuration
+                }
+                // Find the preceding sibling via the Dewey id.
+                let comps = it.dewey.components();
+                let Some((&last, prefix)) = comps.split_last() else {
+                    continue;
+                };
+                if last == 0 {
+                    continue;
+                }
+                let mut prev = prefix.to_vec();
+                prev.push(last - 1);
+                let prev = Dewey::from_components(prev);
+                let Some(&prev_addr) = addr_of.get(&prev) else {
+                    continue;
+                };
+                assert_eq!(
+                    following_sibling(&store, prev_addr).unwrap(),
+                    Some(it.addr),
+                    "page-boundary sibling missed at {} (page_size={page_size})",
+                    it.dewey
+                );
+                assert_eq!(
+                    linear_following_sibling(&store, prev_addr).unwrap(),
+                    Some(it.addr),
+                    "oracle page-boundary sibling missed at {} (page_size={page_size})",
+                    it.dewey
+                );
+                exercised += 1;
+            }
+        }
+        assert!(
+            exercised > 0,
+            "corpus never produced the page-boundary configuration"
+        );
+    }
+
+    /// The block summaries must pay off: a long sibling chain over deep
+    /// subtrees examines far fewer entries through the indexed path than
+    /// through the per-entry oracle, with identical page loads.
+    #[test]
+    fn block_summaries_reduce_entries_examined() {
+        let mut xml = String::from("<r>");
+        for _ in 0..50 {
+            xml.push_str("<s>");
+            for _ in 0..40 {
+                xml.push_str("<d>");
+            }
+            for _ in 0..40 {
+                xml.push_str("</d>");
+            }
+            xml.push_str("</s>");
+        }
+        xml.push_str("</r>");
+        let (store, _) = build(&xml, 512);
+
+        let chain = |sib: fn(
+            &StructStore<MemStorage>,
+            NodeAddr,
+        ) -> CoreResult<Option<NodeAddr>>|
+         -> (u64, u64) {
+            store.invalidate_decoded(None);
+            store.pool().clear_cache().unwrap();
+            store.pool().stats().reset();
+            let mut cur = first_child(&store, store.root().unwrap()).unwrap().unwrap();
+            let mut hops = 0;
+            while let Some(next) = sib(&store, cur).unwrap() {
+                cur = next;
+                hops += 1;
+            }
+            assert_eq!(hops, 49);
+            (
+                store.pool().stats().entries_examined(),
+                store.pool().stats().physical_reads(),
+            )
+        };
+
+        let (linear_entries, linear_reads) = chain(linear_following_sibling);
+        let (indexed_entries, indexed_reads) = chain(following_sibling);
+        assert!(
+            indexed_entries * 5 <= linear_entries,
+            "expected ≥5× reduction: indexed={indexed_entries} linear={linear_entries}"
+        );
+        assert!(
+            indexed_reads <= linear_reads,
+            "indexed path must not load more pages: {indexed_reads} > {linear_reads}"
+        );
     }
 
     #[test]

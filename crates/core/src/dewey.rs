@@ -11,76 +11,141 @@
 //! natural lexicographic byte order of keys in the Dewey B+ tree is exactly
 //! document order (a prefix sorts before its extensions, and sibling order
 //! follows component order).
+//!
+//! Representation: ids up to [`INLINE_CAP`] components live inline on the
+//! stack; deeper ids spill to a heap vector. Full-document scans mint one id
+//! per node, and real-world XML is overwhelmingly shallower than the cap, so
+//! the common case allocates nothing.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Components stored inline before spilling to the heap.
+const INLINE_CAP: usize = 8;
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u32; INLINE_CAP] },
+    Heap(Vec<u32>),
+}
 
 /// A Dewey identifier: the sequence of child indexes from the root.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Dewey(Vec<u32>);
+pub struct Dewey(Repr);
 
 impl Dewey {
     /// The root node's id (`0`).
     pub fn root() -> Dewey {
-        Dewey(vec![0])
+        Dewey::from_slice(&[0])
     }
 
     /// Construct from components.
     pub fn from_components(c: Vec<u32>) -> Dewey {
-        Dewey(c)
+        if c.len() <= INLINE_CAP {
+            Dewey::inline(&c)
+        } else {
+            Dewey(Repr::Heap(c))
+        }
+    }
+
+    /// Construct by copying a component slice (no intermediate `Vec` for
+    /// ids that fit inline).
+    pub fn from_slice(c: &[u32]) -> Dewey {
+        if c.len() <= INLINE_CAP {
+            Dewey::inline(c)
+        } else {
+            Dewey(Repr::Heap(c.to_vec()))
+        }
+    }
+
+    fn inline(c: &[u32]) -> Dewey {
+        debug_assert!(c.len() <= INLINE_CAP);
+        let mut buf = [0u32; INLINE_CAP];
+        buf[..c.len()].copy_from_slice(c);
+        Dewey(Repr::Inline {
+            len: c.len() as u8,
+            buf,
+        })
     }
 
     /// The components of this id.
     pub fn components(&self) -> &[u32] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    fn components_mut(&mut self) -> &mut [u32] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Depth of the node (root = 1).
     pub fn level(&self) -> u32 {
-        self.0.len() as u32
+        self.components().len() as u32
     }
 
     /// Id of this node's `index`-th child.
     pub fn child(&self, index: u32) -> Dewey {
-        let mut c = self.0.clone();
-        c.push(index);
-        Dewey(c)
+        let c = self.components();
+        if c.len() < INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..c.len()].copy_from_slice(c);
+            buf[c.len()] = index;
+            Dewey(Repr::Inline {
+                len: c.len() as u8 + 1,
+                buf,
+            })
+        } else {
+            let mut v = Vec::with_capacity(c.len() + 1);
+            v.extend_from_slice(c);
+            v.push(index);
+            Dewey(Repr::Heap(v))
+        }
     }
 
     /// Id of the next sibling.
     pub fn next_sibling(&self) -> Dewey {
-        let mut c = self.0.clone();
-        let last = c.last_mut().expect("dewey is never empty");
+        let mut d = self.clone();
+        let last = d.components_mut().last_mut().expect("dewey is never empty");
         *last += 1;
-        Dewey(c)
+        d
     }
 
     /// Id of the parent, or `None` for the root.
     pub fn parent(&self) -> Option<Dewey> {
-        if self.0.len() <= 1 {
+        let c = self.components();
+        if c.len() <= 1 {
             return None;
         }
-        Some(Dewey(self.0[..self.0.len() - 1].to_vec()))
+        Some(Dewey::from_slice(&c[..c.len() - 1]))
     }
 
     /// The ancestor at depth `level` (1 = root). `None` if `level` exceeds
     /// this node's depth.
     pub fn ancestor_at_level(&self, level: u32) -> Option<Dewey> {
-        if level == 0 || level as usize > self.0.len() {
+        let c = self.components();
+        if level == 0 || level as usize > c.len() {
             return None;
         }
-        Some(Dewey(self.0[..level as usize].to_vec()))
+        Some(Dewey::from_slice(&c[..level as usize]))
     }
 
     /// Whether `self` is a proper ancestor of `other`.
     pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
-        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+        let (a, b) = (self.components(), other.components());
+        a.len() < b.len() && b[..a.len()] == a[..]
     }
 
     /// Order-preserving key bytes (4-byte big-endian components).
     pub fn to_key(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.0.len() * 4);
-        for &c in &self.0 {
-            out.extend_from_slice(&c.to_be_bytes());
+        let c = self.components();
+        let mut out = Vec::with_capacity(c.len() * 4);
+        for &comp in c {
+            out.extend_from_slice(&comp.to_be_bytes());
         }
         out
     }
@@ -90,17 +155,75 @@ impl Dewey {
         if key.is_empty() || !key.len().is_multiple_of(4) {
             return None;
         }
-        let comps = key
-            .chunks_exact(4)
-            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
-        Some(Dewey(comps))
+        let mut d = Dewey::from_slice(&[]);
+        if key.len() / 4 > INLINE_CAP {
+            d = Dewey(Repr::Heap(Vec::with_capacity(key.len() / 4)));
+        }
+        for c in key.chunks_exact(4) {
+            let comp = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            d = match d.0 {
+                Repr::Heap(mut v) => {
+                    v.push(comp);
+                    Dewey(Repr::Heap(v))
+                }
+                Repr::Inline { .. } => d.child(comp),
+            };
+        }
+        Some(d)
+    }
+}
+
+// The two representations must compare, hash, and print identically for
+// equal component sequences, so every structural trait delegates to
+// `components()` instead of being derived over `Repr`.
+
+impl Clone for Dewey {
+    fn clone(&self) -> Dewey {
+        Dewey(self.0.clone())
+    }
+}
+
+impl Default for Dewey {
+    fn default() -> Dewey {
+        Dewey::from_slice(&[])
+    }
+}
+
+impl fmt::Debug for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Dewey").field(&self.components()).finish()
+    }
+}
+
+impl PartialEq for Dewey {
+    fn eq(&self, other: &Dewey) -> bool {
+        self.components() == other.components()
+    }
+}
+
+impl Eq for Dewey {}
+
+impl Hash for Dewey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.components().hash(state);
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Dewey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dewey {
+    fn cmp(&self, other: &Dewey) -> Ordering {
+        self.components().cmp(other.components())
     }
 }
 
 impl fmt::Display for Dewey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, c) in self.0.iter().enumerate() {
+        for (i, c) in self.components().iter().enumerate() {
             if i > 0 {
                 f.write_str(".")?;
             }
@@ -178,5 +301,41 @@ mod tests {
         let a = Dewey::root().child(255);
         let b = Dewey::root().child(256);
         assert!(a.to_key() < b.to_key());
+    }
+
+    /// Inline and heap representations must be indistinguishable: ids
+    /// crossing the [`INLINE_CAP`] boundary keep equality, ordering,
+    /// hashing, and navigation behavior.
+    #[test]
+    fn inline_and_heap_representations_agree() {
+        use std::collections::HashSet;
+        // Grow one component at a time across the spill boundary.
+        let mut d = Dewey::root();
+        for i in 1..(INLINE_CAP as u32 + 4) {
+            let next = d.child(i);
+            assert_eq!(next.level(), d.level() + 1);
+            assert_eq!(next.parent(), Some(d.clone()));
+            assert!(d.is_ancestor_of(&next));
+            assert!(d < next, "document order across the spill boundary");
+            d = next;
+        }
+        let comps: Vec<u32> = d.components().to_vec();
+        assert_eq!(comps.len(), INLINE_CAP + 4);
+        // All construction paths agree.
+        let via_vec = Dewey::from_components(comps.clone());
+        let via_slice = Dewey::from_slice(&comps);
+        let via_key = Dewey::from_key(&d.to_key()).unwrap();
+        assert_eq!(d, via_vec);
+        assert_eq!(d, via_slice);
+        assert_eq!(d, via_key);
+        let set: HashSet<Dewey> = [d.clone(), via_vec, via_slice, via_key].into();
+        assert_eq!(set.len(), 1, "equal ids must hash equally");
+        // A shallow id truncated from the deep one is inline and still
+        // compares correctly against the heap representation.
+        let shallow = d.ancestor_at_level(3).unwrap();
+        assert_eq!(shallow.components(), &comps[..3]);
+        assert!(shallow.is_ancestor_of(&d));
+        assert!(shallow < d);
+        assert_eq!(shallow.next_sibling().components().last(), Some(&3));
     }
 }

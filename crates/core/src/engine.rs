@@ -76,6 +76,13 @@ pub struct QueryStats {
     pub strategies: Vec<&'static str>,
     /// Successful fragment-root matches, per fragment.
     pub fragment_matches: Vec<u64>,
+    /// String entries examined by navigation primitives during this query
+    /// (delta of the pool-wide counter, so approximate when other threads
+    /// query the same pool concurrently).
+    pub entries_examined: u64,
+    /// Directory records / skip-index probes consulted during this query
+    /// (same pool-wide-delta caveat).
+    pub dir_entries_examined: u64,
 }
 
 impl QueryStats {
@@ -89,6 +96,8 @@ impl QueryStats {
         self.strategies.resize(nfrags, "");
         self.fragment_matches.clear();
         self.fragment_matches.resize(nfrags, 0);
+        self.entries_examined = 0;
+        self.dir_entries_examined = 0;
     }
 }
 
@@ -181,6 +190,9 @@ impl<S: Storage> XmlDb<S> {
         let access = PhysAccess::new(&self.store, &self.dict, &self.bt_id, &self.data);
         let nfrags = part.fragments.len();
         stats.reset(nfrags);
+        let pool_stats = self.store.pool().stats();
+        let entries_before = pool_stats.entries_examined();
+        let dir_before = pool_stats.dir_entries_examined();
 
         // ---- Bottom-up pass. Fragment indexes increase downward, so
         // descending order evaluates children before parents.
@@ -235,6 +247,9 @@ impl<S: Storage> XmlDb<S> {
         }));
         out.sort_by(|a, b| a.dewey.cmp(&b.dewey));
         out.dedup_by(|a, b| a.addr == b.addr);
+        let pool_stats = self.store.pool().stats();
+        stats.entries_examined = pool_stats.entries_examined().saturating_sub(entries_before);
+        stats.dir_entries_examined = pool_stats.dir_entries_examined().saturating_sub(dir_before);
         Ok(())
     }
 

@@ -143,6 +143,49 @@ pub fn decode_entry(buf: &[u8], pos: usize) -> Option<(Entry, usize)> {
     }
 }
 
+/// Entries per block summary. Small enough that the deep/wide workloads the
+/// paper cares about (tens to a few hundred entries between siblings) skip
+/// most of a page, large enough that the summary array stays tiny (a 4 KB
+/// page of ~1300 entries carries ~82 summaries).
+pub const BLOCK_ENTRIES: usize = 16;
+
+/// Per-block min/max levels over a [`BLOCK_ENTRIES`]-entry slice of a page,
+/// plus first-entry bookkeeping for the block-boundary case (an open entry
+/// at the very start of a block whose `l-1` predecessor ends the previous
+/// block — the block-granular analogue of the page-boundary case in the
+/// cursor module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Minimum entry level in the block.
+    pub min_level: u16,
+    /// Maximum entry level in the block.
+    pub max_level: u16,
+    /// Level of the block's first entry.
+    pub first_level: u16,
+    /// Whether the block's first entry is an open.
+    pub first_is_open: bool,
+}
+
+impl BlockSummary {
+    /// Can this block contain anything a `FOLLOWING-SIBLING` scan at level
+    /// `l` reacts to — a candidate sibling (open at `l`) or a stop entry
+    /// (level ≤ `l-2`)? Levels change by ±1 per entry, so an open at `l`
+    /// anywhere but the block's first entry forces a level-`l-1` predecessor
+    /// inside the block (`min_level < l`); a stop forces `min_level ≤ l-2`.
+    /// The only remaining case is the block *beginning* with an open at `l`.
+    #[inline]
+    pub fn admits_sibling(&self, l: u16) -> bool {
+        self.min_level < l || (self.first_is_open && self.first_level == l)
+    }
+
+    /// Can this block contain the close of a node at level `l` (an entry at
+    /// level `< l`)? Exact: the close carries level `l-1 < l`.
+    #[inline]
+    pub fn admits_close(&self, l: u16) -> bool {
+        self.min_level < l
+    }
+}
+
 /// A structural page decoded into entry/level arrays — the paper's `A[p]`
 /// (content) and `L[p]` (levels) from Algorithm 2's `READ-PAGE`.
 #[derive(Debug, Clone)]
@@ -155,6 +198,10 @@ pub struct DecodedPage {
     pub levels: Vec<u16>,
     /// Byte offset of each entry within the content area (for updates).
     pub byte_offsets: Vec<u16>,
+    /// Per-[`BLOCK_ENTRIES`] block summaries (`ceil(len / BLOCK_ENTRIES)` of
+    /// them), computed at decode time and cached with the page — never
+    /// persisted, so the on-disk format is unchanged.
+    pub blocks: Vec<BlockSummary>,
 }
 
 impl DecodedPage {
@@ -183,11 +230,13 @@ impl DecodedPage {
             levels.push(level as u16);
             pos += width;
         }
+        let blocks = summarize_blocks(&entries, &levels);
         Some(DecodedPage {
             header,
             entries,
             levels,
             byte_offsets,
+            blocks,
         })
     }
 
@@ -218,6 +267,29 @@ impl DecodedPage {
             _ => (u16::MAX, 0),
         }
     }
+}
+
+/// Compute the per-block summaries for an entry/level array pair.
+fn summarize_blocks(entries: &[Entry], levels: &[u16]) -> Vec<BlockSummary> {
+    let mut blocks = Vec::with_capacity(levels.len().div_ceil(BLOCK_ENTRIES));
+    let mut start = 0usize;
+    while start < levels.len() {
+        let end = (start + BLOCK_ENTRIES).min(levels.len());
+        let mut min_level = levels[start];
+        let mut max_level = levels[start];
+        for &lev in &levels[start + 1..end] {
+            min_level = min_level.min(lev);
+            max_level = max_level.max(lev);
+        }
+        blocks.push(BlockSummary {
+            min_level,
+            max_level,
+            first_level: levels[start],
+            first_is_open: entries[start].is_open(),
+        });
+        start = end;
+    }
+    blocks
 }
 
 /// Page capacity in *nodes* (the paper's C): how many 3-byte nodes fit in the
@@ -432,5 +504,59 @@ mod tests {
         buf[HEADER_SIZE..].copy_from_slice(&content);
         let page = DecodedPage::decode(&buf).unwrap();
         assert_eq!(page.byte_offsets, vec![0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn block_summaries_cover_every_block() {
+        // 20 opens then 20 closes: levels 1..=20 then 19..=0.
+        let mut content = Vec::new();
+        for i in 0..20 {
+            encode_entry(&mut content, Entry::Open(TagCode(i)));
+        }
+        for _ in 0..20 {
+            encode_entry(&mut content, Entry::Close);
+        }
+        let mut buf = vec![0u8; HEADER_SIZE + content.len()];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: content.len() as u16,
+            },
+        );
+        buf[HEADER_SIZE..].copy_from_slice(&content);
+        let page = DecodedPage::decode(&buf).unwrap();
+        assert_eq!(page.len(), 40);
+        assert_eq!(page.blocks.len(), 40usize.div_ceil(BLOCK_ENTRIES));
+        for (b, s) in page.blocks.iter().enumerate() {
+            let start = b * BLOCK_ENTRIES;
+            let end = (start + BLOCK_ENTRIES).min(page.len());
+            let lv = &page.levels[start..end];
+            assert_eq!(s.min_level, *lv.iter().min().unwrap(), "block {b}");
+            assert_eq!(s.max_level, *lv.iter().max().unwrap(), "block {b}");
+            assert_eq!(s.first_level, lv[0], "block {b}");
+            assert_eq!(s.first_is_open, page.entries[start].is_open());
+        }
+        // Second block (entries 16..32): opens at 17..=20, then closes at
+        // 19 down to 8.
+        let s = page.blocks[1];
+        assert_eq!((s.min_level, s.max_level), (8, 20));
+        assert!(s.first_is_open && s.first_level == 17);
+        // Admit predicates: a sibling scan at l=8 has nothing here (no open
+        // at 8, no entry below 8); at l=9 the min-level rule admits.
+        assert!(!s.admits_sibling(8));
+        assert!(s.admits_sibling(9));
+        assert!(!s.admits_close(8));
+        assert!(s.admits_close(9));
+        // First block is all opens at 1..=16: a sibling scan at l=1 is
+        // admitted only through the first-entry-open exception, and a close
+        // scan at l=1 is (correctly) not.
+        let s0 = page.blocks[0];
+        assert_eq!((s0.min_level, s0.max_level), (1, 16));
+        assert!(s0.admits_sibling(1));
+        assert!(!s0.admits_close(1));
     }
 }

@@ -5,7 +5,6 @@
 //! the data file without any ids stored in the structure).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Mutex;
 
 use nok_btree::BTree;
@@ -146,8 +145,10 @@ pub struct PhysAccess<'a, S: Storage> {
     data: &'a Mutex<DataFile>,
     /// Cache of name-test resolutions (string → code). Per-query local, so
     /// a plain `RefCell` suffices even under concurrent serving (each query
-    /// thread builds its own `PhysAccess`).
-    test_cache: RefCell<HashMap<String, Option<TagCode>>>,
+    /// thread builds its own `PhysAccess`). A query's distinct name tests
+    /// number a handful, so a linear probe over a small vec beats hashing —
+    /// and hits neither hash nor allocate.
+    test_cache: RefCell<Vec<(String, Option<TagCode>)>>,
 }
 
 impl<'a, S: Storage> PhysAccess<'a, S> {
@@ -163,7 +164,7 @@ impl<'a, S: Storage> PhysAccess<'a, S> {
             dict,
             bt_id,
             data,
-            test_cache: RefCell::new(HashMap::new()),
+            test_cache: RefCell::new(Vec::new()),
         }
     }
 
@@ -172,13 +173,14 @@ impl<'a, S: Storage> PhysAccess<'a, S> {
         self.store
     }
 
-    /// Resolve a tag name to its code, caching the answer.
+    /// Resolve a tag name to its code, caching the answer. Hits are
+    /// allocation-free; only the first probe of a distinct name copies it.
     pub fn resolve(&self, name: &str) -> Option<TagCode> {
-        if let Some(c) = self.test_cache.borrow().get(name) {
+        if let Some((_, c)) = self.test_cache.borrow().iter().find(|(n, _)| n == name) {
             return *c;
         }
         let code = self.dict.lookup(name);
-        self.test_cache.borrow_mut().insert(name.to_string(), code);
+        self.test_cache.borrow_mut().push((name.to_string(), code));
         code
     }
 

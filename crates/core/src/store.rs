@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use nok_pager::{BufferPool, PageId, Storage};
@@ -90,6 +92,175 @@ impl Directory {
     }
 }
 
+/// Level buckets in the directory skip index. Keys at or above the cap share
+/// the last bucket and are verified individually — documents deeper than 63
+/// levels pay a short verification scan there, everything else gets exact
+/// buckets.
+pub(crate) const SKIP_LEVEL_CAP: usize = 64;
+
+/// Sentinel rank for "no such page".
+const NO_RANK: u32 = u32::MAX;
+
+/// A level-bucketed skip structure over the directory, answering "first rank
+/// ≥ r whose page a navigation scan at level `l` must load" without walking
+/// every directory entry. Built lazily from a directory snapshot, tagged
+/// with the directory generation it was built at, and discarded wholesale on
+/// any directory mutation (see [`StructStore::dir_mut`]).
+///
+/// Two key functions are indexed:
+///
+/// * **sibling key** `min(lo, st)` — a `FOLLOWING-SIBLING` scan at level `l`
+///   loads the next page with `min(lo, st) < l`. This relaxes the strict
+///   per-page test (`lo < l || st == l-1`, cursor module docs) without
+///   changing which pages are actually loaded: a minimal next rank with
+///   `st ≤ l-2` cannot exist mid-scan, because every page skipped since the
+///   last loaded one has all entries at level ≥ l (so ends ≥ l), and the
+///   last loaded page ended ≥ l-1 (the scan would have stopped otherwise) —
+///   so the chain's running level, and hence `st`, never drops below l-1
+///   between loads.
+/// * **close key** `lo` — a subtree-close scan at level `l` loads the next
+///   page with `lo < l`, exactly the linear walk's test.
+#[derive(Debug)]
+pub(crate) struct SkipIndex {
+    /// Directory generation this index reflects.
+    gen: u64,
+    /// `next_nonempty[r]` = smallest rank ≥ r with entries, or [`NO_RANK`];
+    /// one trailing sentinel slot so `r == len` is a valid probe.
+    next_nonempty: Vec<u32>,
+    /// Nonempty ranks bucketed by `min(lo, st)`, ascending within a bucket.
+    sib_buckets: Vec<Vec<u32>>,
+    /// Per-rank sibling key, for verifying candidates in the capped bucket.
+    sib_keys: Vec<u16>,
+    /// Nonempty ranks bucketed by `lo`, ascending within a bucket.
+    close_buckets: Vec<Vec<u32>>,
+    /// Per-rank close key, for verifying candidates in the capped bucket.
+    close_keys: Vec<u16>,
+}
+
+impl SkipIndex {
+    fn build(order: &[DirEntry], gen: u64) -> SkipIndex {
+        let n = order.len();
+        let mut next_nonempty = vec![NO_RANK; n + 1];
+        let mut nxt = NO_RANK;
+        for r in (0..n).rev() {
+            if order[r].entries > 0 {
+                nxt = r as u32;
+            }
+            next_nonempty[r] = nxt;
+        }
+        let mut sib_buckets = vec![Vec::new(); SKIP_LEVEL_CAP];
+        let mut close_buckets = vec![Vec::new(); SKIP_LEVEL_CAP];
+        let mut sib_keys = vec![0u16; n];
+        let mut close_keys = vec![0u16; n];
+        for (r, de) in order.iter().enumerate() {
+            if de.entries == 0 {
+                continue; // structurally empty pages never need loading
+            }
+            let sk = de.lo.min(de.st);
+            let ck = de.lo;
+            sib_keys[r] = sk;
+            close_keys[r] = ck;
+            sib_buckets[(sk as usize).min(SKIP_LEVEL_CAP - 1)].push(r as u32);
+            close_buckets[(ck as usize).min(SKIP_LEVEL_CAP - 1)].push(r as u32);
+        }
+        SkipIndex {
+            gen,
+            next_nonempty,
+            sib_buckets,
+            sib_keys,
+            close_buckets,
+            close_keys,
+        }
+    }
+
+    /// Smallest nonempty rank ≥ r, if any.
+    pub(crate) fn next_nonempty(&self, r: u32) -> Option<u32> {
+        match self.next_nonempty.get(r as usize) {
+            Some(&v) if v != NO_RANK => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Smallest rank ≥ r whose key is < l: minimum over the first hit of
+    /// each bucket that can hold such keys. Buckets below the cap hold one
+    /// exact key each; the capped bucket mixes keys ≥ cap-1 and verifies
+    /// candidates against the per-rank key array. `probes` counts directory
+    /// consultations (one per bucket search / verification step).
+    fn next_admissible(
+        buckets: &[Vec<u32>],
+        keys: &[u16],
+        r: u32,
+        l: u16,
+        probes: &mut u64,
+    ) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        let exact = (l as usize).min(SKIP_LEVEL_CAP - 1);
+        for b in &buckets[..exact] {
+            *probes += 1;
+            let i = b.partition_point(|&x| x < r);
+            if let Some(&cand) = b.get(i) {
+                if best.is_none_or(|bst| cand < bst) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if l as usize > SKIP_LEVEL_CAP - 1 {
+            let b = &buckets[SKIP_LEVEL_CAP - 1];
+            let mut i = b.partition_point(|&x| x < r);
+            while let Some(&cand) = b.get(i) {
+                *probes += 1;
+                if best.is_some_and(|bst| cand >= bst) {
+                    break;
+                }
+                if keys.get(cand as usize).is_some_and(|&k| k < l) {
+                    best = Some(cand);
+                    break;
+                }
+                i += 1;
+            }
+        }
+        best
+    }
+
+    /// First rank ≥ r a sibling scan at level `l` must load.
+    pub(crate) fn next_sibling_page(&self, r: u32, l: u16, probes: &mut u64) -> Option<u32> {
+        Self::next_admissible(&self.sib_buckets, &self.sib_keys, r, l, probes)
+    }
+
+    /// First rank ≥ r a subtree-close scan at level `l` must load.
+    pub(crate) fn next_close_page(&self, r: u32, l: u16, probes: &mut u64) -> Option<u32> {
+        Self::next_admissible(&self.close_buckets, &self.close_keys, r, l, probes)
+    }
+}
+
+/// Write guard over the directory that keeps the generation protocol: odd
+/// while a mutation is in flight, bumped back to even on drop. Derefs to
+/// [`Directory`] so update paths use it exactly like the raw guard.
+pub(crate) struct DirWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, Directory>,
+    generation: &'a AtomicU64,
+}
+
+impl Deref for DirWriteGuard<'_> {
+    type Target = Directory;
+    fn deref(&self) -> &Directory {
+        &self.guard
+    }
+}
+
+impl DerefMut for DirWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Directory {
+        &mut self.guard
+    }
+}
+
+impl Drop for DirWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Odd (in flight) → next even (stable, new generation).
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
 /// Options controlling store construction.
 #[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
@@ -140,6 +311,11 @@ pub struct StructStore<S: Storage> {
     decoded: RwLock<HashMap<PageId, Arc<DecodedPage>>>,
     decode_cache_limit: usize,
     node_count: u64,
+    /// Lazily built directory skip index; valid only while its generation
+    /// matches `dir_generation`.
+    skip: RwLock<Option<Arc<SkipIndex>>>,
+    /// Directory generation: even = stable, odd = mutation in flight.
+    dir_generation: AtomicU64,
 }
 
 /// Recover the guard from a poisoned lock. The directory and decode cache
@@ -200,7 +376,7 @@ impl<S: Storage> StructStore<S> {
                         None => 0,
                     };
                     dewey_path.push(index);
-                    let dewey = Dewey::from_components(dewey_path.clone());
+                    let dewey = Dewey::from_slice(&dewey_path);
                     let level = dewey_path.len() as u16;
                     let addr = builder.append(Entry::Open(tag), level)?;
                     sink.node(NodeRecord {
@@ -245,7 +421,7 @@ impl<S: Storage> StructStore<S> {
                     builder.append(Entry::Close, level.saturating_sub(1))?;
                     let text = text_stack.pop().unwrap_or_default();
                     if !text.trim().is_empty() {
-                        let dewey = Dewey::from_components(dewey_path.clone());
+                        let dewey = Dewey::from_slice(&dewey_path);
                         sink.value(&dewey, &text);
                     }
                     child_counters.pop();
@@ -267,6 +443,8 @@ impl<S: Storage> StructStore<S> {
             decoded: RwLock::new(HashMap::new()),
             decode_cache_limit: 1024,
             node_count,
+            skip: RwLock::new(None),
+            dir_generation: AtomicU64::new(0),
         })
     }
 
@@ -303,6 +481,8 @@ impl<S: Storage> StructStore<S> {
             decoded: RwLock::new(HashMap::new()),
             decode_cache_limit: 1024,
             node_count,
+            skip: RwLock::new(None),
+            dir_generation: AtomicU64::new(0),
         })
     }
 
@@ -433,10 +613,44 @@ impl<S: Storage> StructStore<S> {
         Ok(self.entry_at(addr)?.1)
     }
 
+    /// The directory skip index for the current generation, building it on
+    /// first use after any directory mutation. When a mutation is in flight
+    /// (odd generation — theoretical, updates take `&mut`), the freshly
+    /// built index is still returned for this caller (it reflects the
+    /// directory snapshot read under the lock) but is not cached.
+    pub(crate) fn skip_index(&self) -> Arc<SkipIndex> {
+        let g0 = self.dir_generation.load(Ordering::Acquire);
+        if g0 & 1 == 0 {
+            if let Some(idx) = rd(&self.skip).as_ref() {
+                if idx.gen == g0 {
+                    return Arc::clone(idx);
+                }
+            }
+        }
+        let idx = {
+            let dir = rd(&self.dir);
+            Arc::new(SkipIndex::build(&dir.order, g0))
+        };
+        // Publish only if no mutation started since the snapshot was taken.
+        if g0 & 1 == 0 && self.dir_generation.load(Ordering::Acquire) == g0 {
+            *wr(&self.skip) = Some(Arc::clone(&idx));
+        }
+        idx
+    }
+
     // ---- update support (used by crate::update) ----
 
-    pub(crate) fn dir_mut(&self) -> RwLockWriteGuard<'_, Directory> {
-        wr(&self.dir)
+    pub(crate) fn dir_mut(&self) -> DirWriteGuard<'_> {
+        // Mark the generation in flight (odd) and drop the cached skip
+        // index *before* taking the write lock, so a builder racing past
+        // the lock can never cache an index for the pre-mutation directory
+        // under the post-mutation generation.
+        self.dir_generation.fetch_add(1, Ordering::AcqRel);
+        *wr(&self.skip) = None;
+        DirWriteGuard {
+            guard: wr(&self.dir),
+            generation: &self.dir_generation,
+        }
     }
 
     pub(crate) fn pool_rc(&self) -> Arc<BufferPool<S>> {
@@ -796,6 +1010,70 @@ mod tests {
         }
         assert_eq!(lins.len(), 61);
         assert!(lins.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The skip index must agree with a linear directory walk for both key
+    /// functions at every (rank, level), including levels past the bucket
+    /// cap (the verification branch).
+    #[test]
+    fn skip_index_agrees_with_linear_directory_walk() {
+        // Deep nested chain (depth 80 > SKIP_LEVEL_CAP) plus wide tail.
+        let mut xml = String::new();
+        for i in 0..80 {
+            xml.push_str(&format!("<d{i}>"));
+        }
+        for i in (0..80).rev() {
+            xml.push_str(&format!("</d{i}>"));
+        }
+        let xml = format!("<r>{xml}<x/><y/><z/></r>");
+        let (store, _) = mem_store(&xml, 64);
+        assert!(store.page_count() > 4);
+        let skip = store.skip_index();
+        for l in [1u16, 2, 3, 5, 50, 63, 64, 65, 70, 81, 90] {
+            for r in 0..=store.chain_len() {
+                let linear = |admit: &dyn Fn(&DirEntry) -> bool| {
+                    (r..store.chain_len())
+                        .find(|&rr| store.dir_at(rr).map(|de| admit(&de)).unwrap_or(false))
+                };
+                let mut probes = 0u64;
+                assert_eq!(
+                    skip.next_sibling_page(r, l, &mut probes),
+                    linear(&|de| de.entries > 0 && de.lo.min(de.st) < l),
+                    "sibling r={r} l={l}"
+                );
+                assert_eq!(
+                    skip.next_close_page(r, l, &mut probes),
+                    linear(&|de| de.entries > 0 && de.lo < l),
+                    "close r={r} l={l}"
+                );
+                assert_eq!(
+                    skip.next_nonempty(r),
+                    linear(&|de| de.entries > 0),
+                    "nonempty r={r}"
+                );
+            }
+        }
+    }
+
+    /// `dir_mut` must invalidate the cached skip index and advance the
+    /// generation back to even when the guard drops.
+    #[test]
+    fn skip_index_invalidated_by_directory_mutation() {
+        let (store, _) = mem_store("<a><b/><c/></a>", 4096);
+        let idx1 = store.skip_index();
+        assert!(
+            Arc::ptr_eq(&idx1, &store.skip_index()),
+            "stable directory must reuse the cached index"
+        );
+        assert_eq!(idx1.gen, 0);
+        drop(store.dir_mut()); // a (no-op) mutation window
+        let idx2 = store.skip_index();
+        assert!(
+            !Arc::ptr_eq(&idx1, &idx2),
+            "mutation must discard the cached index"
+        );
+        assert_eq!(idx2.gen, 2, "generation advances by 2 per mutation");
+        assert!(Arc::ptr_eq(&idx2, &store.skip_index()));
     }
 
     /// §4.2: "the string representation of the tree structure is only about

@@ -130,7 +130,7 @@ impl StreamMatcher {
                 };
                 if tag_ok && (self.anchor_any || self.depth == 1) {
                     self.active.push(Candidate {
-                        global_dewey: Dewey::from_components(self.dewey_path.clone()),
+                        global_dewey: Dewey::from_slice(&self.dewey_path),
                         start_depth: self.depth,
                         events: Vec::new(),
                     });

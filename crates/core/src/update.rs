@@ -66,7 +66,7 @@ impl DeweyWalker {
         self.counters[depth] += 1;
         self.path.push(idx);
         self.counters.push(0);
-        Dewey::from_components(self.path.clone())
+        Dewey::from_slice(&self.path)
     }
 
     fn on_close(&mut self) {
@@ -161,7 +161,7 @@ impl<S: Storage> XmlDb<S> {
                     nok_xml::Event::End { .. } => {
                         let text = text_stack.pop().unwrap_or_default();
                         if !text.trim().is_empty() {
-                            new_values.push((Dewey::from_components(walker.path.clone()), text));
+                            new_values.push((Dewey::from_slice(&walker.path), text));
                         }
                         new_entries.push(Entry::Close);
                         walker.on_close();

@@ -18,12 +18,44 @@ pub struct IoStats {
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     evictions: AtomicU64,
+    entries_examined: AtomicU64,
+    dir_entries_examined: AtomicU64,
 }
 
 impl IoStats {
     /// Total page requests served (hits + misses).
     pub fn logical_gets(&self) -> u64 {
         self.logical_gets.load(Ordering::Relaxed)
+    }
+
+    /// String entries examined by navigation primitives (per-entry loop
+    /// iterations inside loaded pages). The pager doesn't increment this
+    /// itself; the navigation layer above batches its counts in via
+    /// [`IoStats::add_entries_examined`] so entry work and page I/O land in
+    /// one stats block.
+    pub fn entries_examined(&self) -> u64 {
+        self.entries_examined.load(Ordering::Relaxed)
+    }
+
+    /// Directory probes by navigation primitives (header records consulted,
+    /// or skip-index bucket probes). Incremented by the navigation layer via
+    /// [`IoStats::add_dir_entries_examined`].
+    pub fn dir_entries_examined(&self) -> u64 {
+        self.dir_entries_examined.load(Ordering::Relaxed)
+    }
+
+    /// Batch-add to the entries-examined counter (one atomic op per call).
+    pub fn add_entries_examined(&self, n: u64) {
+        if n > 0 {
+            self.entries_examined.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Batch-add to the directory-probes counter (one atomic op per call).
+    pub fn add_dir_entries_examined(&self, n: u64) {
+        if n > 0 {
+            self.dir_entries_examined.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Pages actually read from the storage.
@@ -56,6 +88,8 @@ impl IoStats {
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.entries_examined.store(0, Ordering::Relaxed);
+        self.dir_entries_examined.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn count_get(&self) {
@@ -79,12 +113,14 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "gets={} reads={} writes={} evictions={} hit={:.3}",
+            "gets={} reads={} writes={} evictions={} hit={:.3} entries={} dir_entries={}",
             self.logical_gets(),
             self.physical_reads(),
             self.physical_writes(),
             self.evictions(),
-            self.hit_ratio()
+            self.hit_ratio(),
+            self.entries_examined(),
+            self.dir_entries_examined()
         )
     }
 }
@@ -101,13 +137,21 @@ mod tests {
         s.count_read();
         s.count_write();
         s.count_eviction();
+        s.add_entries_examined(10);
+        s.add_entries_examined(0); // no-op, must not touch the counter
+        s.add_dir_entries_examined(4);
         assert_eq!(s.logical_gets(), 2);
         assert_eq!(s.physical_reads(), 1);
         assert_eq!(s.physical_writes(), 1);
         assert_eq!(s.evictions(), 1);
+        assert_eq!(s.entries_examined(), 10);
+        assert_eq!(s.dir_entries_examined(), 4);
         assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+        assert!(s.to_string().contains("entries=10"));
         s.reset();
         assert_eq!(s.logical_gets(), 0);
+        assert_eq!(s.entries_examined(), 0);
+        assert_eq!(s.dir_entries_examined(), 0);
         assert_eq!(s.hit_ratio(), 1.0);
     }
 }

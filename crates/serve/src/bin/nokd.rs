@@ -240,6 +240,7 @@ fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
         }
         Request::Stats { id } => {
             let m = svc.metrics();
+            let io = svc.db().store().pool().stats();
             let response = Json::obj(vec![
                 ("id", Json::Num(id as f64)),
                 ("status", Json::Str("ok".into())),
@@ -264,6 +265,11 @@ fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
                         ("p99_us", Json::Num(m.latency.quantile_micros(0.99) as f64)),
                         ("mean_us", Json::Num(m.latency.mean_micros() as f64)),
                         ("pool_hit_ratio", Json::Num(svc.pool_hit_ratio())),
+                        ("entries_examined", Json::Num(io.entries_examined() as f64)),
+                        (
+                            "dir_entries_examined",
+                            Json::Num(io.dir_entries_examined() as f64),
+                        ),
                     ]),
                 ),
             ]);

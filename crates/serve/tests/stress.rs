@@ -177,6 +177,76 @@ fn hot_page_hammer_leaves_store_clean() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The navigation index (block summaries + directory skip index) under
+/// thread pressure: 8 threads drive the indexed cursor primitives over a
+/// shared store with a small pool (constant faulting and eviction, plus a
+/// racy first build of the lazily-cached skip index) and every result must
+/// equal the single-threaded `linear_*` oracle baseline.
+#[test]
+fn navigation_primitives_agree_under_threads() {
+    use nok_core::cursor::{
+        following_sibling, linear_following_sibling, linear_subtree_close, subtree_close, DocScan,
+    };
+
+    let ds = generate(DatasetKind::Treebank, 0.005);
+    let dir = fresh_dir("navprims");
+    XmlDb::create_on_disk(&dir, &ds.xml)
+        .expect("build")
+        .flush()
+        .expect("flush");
+    let db = Arc::new(XmlDb::open_dir_with_capacity(&dir, 64).expect("reopen"));
+
+    // Single-threaded oracle baseline over a document-spanning sample.
+    let items: Vec<_> = DocScan::new(db.store())
+        .collect::<Result<Vec<_>, _>>()
+        .expect("scan");
+    let stride = (items.len() / 2000).max(1);
+    let sample: Vec<_> = items
+        .iter()
+        .step_by(stride)
+        .map(|it| {
+            (
+                it.addr,
+                linear_following_sibling(db.store(), it.addr).expect("oracle sibling"),
+                linear_subtree_close(db.store(), it.addr).expect("oracle close"),
+            )
+        })
+        .collect();
+    // Drop every decoded page (and its block summaries) so the threads
+    // below race to re-decode and re-summarize shared pages.
+    db.store().invalidate_decoded(None);
+
+    let sample = Arc::new(sample);
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let sample = Arc::clone(&sample);
+            std::thread::spawn(move || {
+                let n = sample.len();
+                for i in 0..n {
+                    let (addr, sib, close) = sample[(i + t * 251) % n];
+                    assert_eq!(
+                        following_sibling(db.store(), addr).expect("sibling"),
+                        sib,
+                        "indexed following_sibling diverged under threads"
+                    );
+                    assert_eq!(
+                        subtree_close(db.store(), addr).expect("close"),
+                        close,
+                        "indexed subtree_close diverged under threads"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("nav thread panicked");
+    }
+
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Sanity: the serving layer over MemStorage agrees with the engine when
 /// queries are submitted concurrently with wildly different shapes.
 #[test]

@@ -233,7 +233,7 @@ fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
                     dewey_path.push(index);
                     counters.push(0);
                     scan.nodes.push(DerivedNode {
-                        dewey: Dewey::from_components(dewey_path.clone()),
+                        dewey: Dewey::from_slice(&dewey_path),
                         tag,
                         addr: NodeAddr {
                             page: pid,
