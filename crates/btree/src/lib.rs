@@ -141,6 +141,28 @@ impl<S: Storage> BTree<S> {
         &self.pool
     }
 
+    /// A shared handle to the backing pool (for transaction scoping).
+    pub fn pool_rc(&self) -> Arc<BufferPool<S>> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Re-read the root pointer and entry count from the meta page. Used
+    /// after a rollback discarded this tree's dirty frames: the in-memory
+    /// atomics may reflect the undone mutation.
+    pub fn reload_meta(&self) -> BTreeResult<()> {
+        let meta = self.pool.get(0)?;
+        let (root, count) = {
+            let m = meta.read();
+            if get_u32(&m, META_OFF_MAGIC) != META_MAGIC {
+                return Err(BTreeError::Corrupt("bad meta magic".into()));
+            }
+            (get_u32(&m, META_OFF_ROOT), get_u64(&m, META_OFF_COUNT))
+        };
+        self.root.store(root, Ordering::Release);
+        self.count.store(count, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Flush all dirty pages to storage.
     pub fn flush(&self) -> BTreeResult<()> {
         self.persist_meta()?;

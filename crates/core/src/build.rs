@@ -7,12 +7,15 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use nok_btree::BTree;
-use nok_pager::{BufferPool, FileStorage, MemStorage, Storage};
+use nok_pager::{
+    BufferPool, FailPlan, FileStorage, MemStorage, Storage, TxnHandle, Wal, WalRecord,
+};
 use nok_xml::Reader;
 
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
-use crate::physical::{IdRecord, TagPosting};
+use crate::physical::{tag_posting_key, IdRecord, TagPosting};
+use crate::recovery::RecoveryReport;
 use crate::sigma::{TagCode, TagDict};
 use crate::store::{BuildOptions, BuildSink, NodeRecord, StructStore};
 use crate::values::{hash_key, DataFile, LockDataFile};
@@ -33,6 +36,14 @@ pub struct XmlDb<S: Storage> {
     /// Where the tag dictionary is persisted (on-disk databases only);
     /// updates can intern new tags, so `flush` rewrites it.
     pub(crate) dict_path: Option<PathBuf>,
+    /// Write-ahead log (durable on-disk databases only). When present,
+    /// every multi-page update commits through it.
+    pub(crate) wal: Option<Wal>,
+    /// What recovery found when this database was opened.
+    pub(crate) recovery: Option<RecoveryReport>,
+    /// Data-file offsets tombstoned by the update in flight; applied (and
+    /// logged) at commit, discarded on rollback.
+    pub(crate) pending_dead: Vec<u64>,
 }
 
 /// Collects node/value records during the build for index construction.
@@ -94,8 +105,13 @@ const F_STRUCT: &str = "struct.pg";
 const F_TAG: &str = "tags.idx";
 const F_VAL: &str = "values.idx";
 const F_ID: &str = "dewey.idx";
-const F_DATA: &str = "values.dat";
-const F_DICT: &str = "dict.bin";
+pub(crate) const F_DATA: &str = "values.dat";
+pub(crate) const F_DICT: &str = "dict.bin";
+pub(crate) const F_WAL: &str = "wal.log";
+
+/// Paged component files in WAL component order (the `comp` byte of a
+/// [`WalRecord::PageImage`] indexes this array).
+pub(crate) const COMPONENT_FILES: [&str; 4] = [F_STRUCT, F_TAG, F_VAL, F_ID];
 
 impl XmlDb<FileStorage> {
     /// Parse `xml` and build a database persisted under directory `dir`
@@ -119,6 +135,11 @@ impl XmlDb<FileStorage> {
         )?;
         db.dict_path = Some(dir.join(F_DICT));
         db.flush()?;
+        // Seed the write-ahead log with a baseline checkpoint so the first
+        // crash-recovery pass knows the committed data-file length.
+        let mut wal = Wal::open_or_create(dir.join(F_WAL))?;
+        wal.checkpoint(&[WalRecord::DataLen(db.data.lock_data().len_bytes())])?;
+        db.wal = Some(wal);
         Ok(db)
     }
 
@@ -134,42 +155,7 @@ impl XmlDb<FileStorage> {
         dir: P,
         struct_frames: usize,
     ) -> CoreResult<Self> {
-        let dir: PathBuf = dir.as_ref().to_path_buf();
-        let mk = |name: &str| -> CoreResult<Arc<BufferPool<FileStorage>>> {
-            Ok(Arc::new(BufferPool::new(FileStorage::open(
-                dir.join(name),
-            )?)))
-        };
-        let mk_struct = || -> CoreResult<Arc<BufferPool<FileStorage>>> {
-            Ok(Arc::new(BufferPool::with_capacity(
-                FileStorage::open(dir.join(F_STRUCT))?,
-                struct_frames,
-            )))
-        };
-        let store = StructStore::open(mk_struct()?)?;
-        let bt_tag = BTree::open(mk(F_TAG)?)?;
-        let bt_val = BTree::open(mk(F_VAL)?)?;
-        let bt_id = BTree::open(mk(F_ID)?)?;
-        let data = DataFile::open(dir.join(F_DATA))?;
-        let dict_bytes = std::fs::read(dir.join(F_DICT)).map_err(nok_pager::PagerError::from)?;
-        let dict = TagDict::from_bytes(&dict_bytes)
-            .ok_or_else(|| CoreError::Corrupt("bad tag dictionary".into()))?;
-        // Rebuild tag counts from the tag index.
-        let mut tag_counts = HashMap::new();
-        for item in bt_tag.iter_all()? {
-            let (k, _) = item?;
-            *tag_counts.entry(TagCode::from_key(&k)).or_insert(0) += 1;
-        }
-        Ok(XmlDb {
-            store,
-            dict,
-            data: Mutex::new(data),
-            bt_tag,
-            bt_val,
-            bt_id,
-            tag_counts,
-            dict_path: Some(dir.join(F_DICT)),
-        })
+        Self::open_dir_with(dir, struct_frames, |s| s)
     }
 
     /// Flush all components to disk, including the tag dictionary (updates
@@ -188,6 +174,56 @@ impl XmlDb<FileStorage> {
 }
 
 impl<S: Storage> XmlDb<S> {
+    /// Open an on-disk database with the component files wrapped by `wrap`
+    /// (identity for plain [`FileStorage`]; the fault-injection harness
+    /// wraps them in `FailpointStorage`). Runs crash recovery on the
+    /// directory **before** any component file is opened.
+    pub fn open_dir_with<P, F>(dir: P, struct_frames: usize, wrap: F) -> CoreResult<XmlDb<S>>
+    where
+        P: AsRef<Path>,
+        F: Fn(FileStorage) -> S,
+    {
+        let dir: PathBuf = dir.as_ref().to_path_buf();
+        let report = crate::recovery::recover_dir(&dir)?;
+        let mk = |name: &str| -> CoreResult<Arc<BufferPool<S>>> {
+            Ok(Arc::new(BufferPool::new(wrap(FileStorage::open(
+                dir.join(name),
+            )?))))
+        };
+        let store = StructStore::open(Arc::new(BufferPool::with_capacity(
+            wrap(FileStorage::open(dir.join(F_STRUCT))?),
+            struct_frames,
+        )))?;
+        let bt_tag = BTree::open(mk(F_TAG)?)?;
+        let bt_val = BTree::open(mk(F_VAL)?)?;
+        let bt_id = BTree::open(mk(F_ID)?)?;
+        let data = DataFile::open(dir.join(F_DATA))?;
+        let dict_bytes = std::fs::read(dir.join(F_DICT)).map_err(nok_pager::PagerError::from)?;
+        let dict = TagDict::from_bytes(&dict_bytes)
+            .ok_or_else(|| CoreError::Corrupt("bad tag dictionary".into()))?;
+        // Rebuild tag counts from the tag index (composite keys carry the
+        // tag code in their first two bytes).
+        let mut tag_counts = HashMap::new();
+        for item in bt_tag.iter_all()? {
+            let (k, _) = item?;
+            *tag_counts.entry(TagCode::from_key(&k)).or_insert(0) += 1;
+        }
+        let wal = Wal::open_or_create(dir.join(F_WAL))?;
+        Ok(XmlDb {
+            store,
+            dict,
+            data: Mutex::new(data),
+            bt_tag,
+            bt_val,
+            bt_id,
+            tag_counts,
+            dict_path: Some(dir.join(F_DICT)),
+            wal: Some(wal),
+            recovery: Some(report),
+            pending_dead: Vec::new(),
+        })
+    }
+
     /// Build from XML text given pre-created pools (one per component).
     pub fn build_with_pools(
         xml: &str,
@@ -243,7 +279,10 @@ impl<S: Storage> XmlDb<S> {
             .collect();
         let bt_id = BTree::bulk_load(id_pool, id_pairs, 0.9)?;
 
-        // ---- B+t: tag → posting, grouped by tag, document order within.
+        // ---- B+t: composite (tag, dewey) key → posting. Dewey keys order
+        // lexicographically in document order, so sorting groups each tag
+        // with its postings already in document order — and makes every key
+        // unique, which is what lets updates delete one posting in place.
         let mut tag_counts: HashMap<TagCode, u64> = HashMap::new();
         let mut tag_pairs: Vec<(Vec<u8>, Vec<u8>)> = sink
             .nodes
@@ -251,7 +290,7 @@ impl<S: Storage> XmlDb<S> {
             .map(|rec| {
                 *tag_counts.entry(rec.tag).or_insert(0) += 1;
                 (
-                    rec.tag.to_key().to_vec(),
+                    tag_posting_key(rec.tag, &rec.dewey),
                     TagPosting {
                         addr: rec.addr,
                         level: rec.level,
@@ -261,7 +300,6 @@ impl<S: Storage> XmlDb<S> {
                 )
             })
             .collect();
-        // Stable sort keeps document order inside each tag group.
         tag_pairs.sort_by(|a, b| a.0.cmp(&b.0));
         let bt_tag = BTree::bulk_load(tag_pool, tag_pairs, 0.9)?;
 
@@ -283,6 +321,9 @@ impl<S: Storage> XmlDb<S> {
             bt_id,
             tag_counts,
             dict_path: None,
+            wal: None,
+            recovery: None,
+            pending_dead: Vec::new(),
         })
     }
 
@@ -326,6 +367,203 @@ impl<S: Storage> XmlDb<S> {
     pub fn tag_count(&self, tag: TagCode) -> u64 {
         self.tag_counts.get(&tag).copied().unwrap_or(0)
     }
+
+    /// All B+t postings for `tag`, in document order (a range scan over the
+    /// composite-key prefix).
+    pub fn tag_postings(&self, tag: TagCode) -> CoreResult<Vec<Vec<u8>>> {
+        use std::ops::Bound;
+        let lo = tag.to_key();
+        let code = u16::from_be_bytes(lo);
+        let hi = if code == u16::MAX {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded((code + 1).to_be_bytes().to_vec())
+        };
+        let mut out = Vec::new();
+        for item in self.bt_tag.range(Bound::Included(&lo[..]), hi)? {
+            let (_k, v) = item?;
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// What recovery found when this database was opened (on-disk opens
+    /// only).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Drop the write-ahead log for this handle: updates still commit
+    /// atomically in memory but are no longer crash-durable. Benchmarks use
+    /// this to measure the log's overhead.
+    pub fn disable_wal(&mut self) {
+        self.wal = None;
+    }
+
+    /// Route all mutating I/O (log, data file) through a fault-injection
+    /// plan. The paged components are wrapped at open time via
+    /// [`XmlDb::open_dir_with`].
+    pub fn set_failpoint(&mut self, plan: Arc<FailPlan>) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_failpoint(Arc::clone(&plan));
+        }
+        self.data.lock_data().set_failpoint(plan);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-page transactions
+    // ------------------------------------------------------------------
+
+    /// Start a multi-page transaction: one no-steal handle per paged
+    /// component plus snapshots of the side state the pager cannot roll
+    /// back (data-file length, dictionary, tag counts).
+    pub(crate) fn txn_begin(&mut self) -> CoreResult<TxnCtx<S>> {
+        self.pending_dead.clear();
+        let struct_txn = self.store.pool_rc().begin_txn()?;
+        let tag_txn = self.bt_tag.pool_rc().begin_txn()?;
+        let val_txn = self.bt_val.pool_rc().begin_txn()?;
+        let id_txn = self.bt_id.pool_rc().begin_txn()?;
+        Ok(TxnCtx {
+            handles: [struct_txn, tag_txn, val_txn, id_txn],
+            data_len0: self.data.lock_data().len_bytes(),
+            dict_bytes0: self.dict.to_bytes(),
+            tag_counts0: self.tag_counts.clone(),
+        })
+    }
+
+    /// Commit: fsync the data file, write the whole transaction to the log
+    /// with one fsync (the commit point), then move pages and side files
+    /// into place and checkpoint. A failure before the commit point rolls
+    /// back; after it, the state is recoverable from the log and the caller
+    /// is told to reopen.
+    pub(crate) fn txn_commit(&mut self, mut ctx: TxnCtx<S>) -> CoreResult<()> {
+        if let Err(e) = self.txn_commit_log(&ctx) {
+            return Err(self.fail_with_rollback(ctx, e));
+        }
+        // ---- Commit point passed: the transaction is durable in the log.
+        if let Err(e) = self.txn_commit_apply(&mut ctx) {
+            for h in &mut ctx.handles {
+                h.detach();
+            }
+            return Err(CoreError::Corrupt(format!(
+                "commit interrupted after its log record became durable ({e}); \
+                 reopen the database to recover"
+            )));
+        }
+        if let Some(wal) = &mut self.wal {
+            let len = self.data.lock_data().len_bytes();
+            if let Err(e) = wal.checkpoint(&[WalRecord::DataLen(len)]) {
+                return Err(CoreError::Corrupt(format!(
+                    "checkpoint failed after commit ({e}); reopen the database to recover"
+                )));
+            }
+        }
+        self.pending_dead.clear();
+        Ok(())
+    }
+
+    /// Phase 1 of commit: everything up to and including the log fsync.
+    fn txn_commit_log(&mut self, ctx: &TxnCtx<S>) -> CoreResult<()> {
+        // Data-file appends must be durable before the commit record: the
+        // log only records the committed length, not the bytes.
+        self.data.lock_data().sync()?;
+        let Some(wal) = &mut self.wal else {
+            return Ok(());
+        };
+        let mut records = Vec::new();
+        for (comp, h) in ctx.handles.iter().enumerate() {
+            records.push(WalRecord::PageCount {
+                comp: comp as u8,
+                count: h.pool().page_count(),
+            });
+            for (page, data) in h.dirty_images() {
+                records.push(WalRecord::PageImage {
+                    comp: comp as u8,
+                    page,
+                    data,
+                });
+            }
+        }
+        records.push(WalRecord::DataLen(self.data.lock_data().len_bytes()));
+        records.extend(
+            self.pending_dead
+                .iter()
+                .map(|&off| WalRecord::DataDead(off)),
+        );
+        let dict_bytes = self.dict.to_bytes();
+        if dict_bytes != ctx.dict_bytes0 {
+            records.push(WalRecord::DictBlob(dict_bytes));
+        }
+        wal.append_txn(&records)?;
+        Ok(())
+    }
+
+    /// Phase 2 of commit: apply tombstones, persist the dictionary, flush
+    /// the component pages. All of it is re-doable from the log.
+    fn txn_commit_apply(&mut self, ctx: &mut TxnCtx<S>) -> CoreResult<()> {
+        if !self.pending_dead.is_empty() {
+            let mut data = self.data.lock_data();
+            for off in &self.pending_dead {
+                data.mark_dead(*off)?;
+            }
+            data.sync()?;
+        }
+        // The checkpoint drops the log's dictionary copy, so the file must
+        // be durable first.
+        if self.wal.is_some() && self.dict.to_bytes() != ctx.dict_bytes0 {
+            if let Some(path) = &self.dict_path {
+                use std::io::Write;
+                let mut f = std::fs::File::create(path).map_err(nok_pager::PagerError::from)?;
+                f.write_all(&self.dict.to_bytes())
+                    .map_err(nok_pager::PagerError::from)?;
+                f.sync_data().map_err(nok_pager::PagerError::from)?;
+            }
+        }
+        for h in &mut ctx.handles {
+            h.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Roll back after a pre-commit-point failure, folding a rollback
+    /// failure into the returned error.
+    pub(crate) fn fail_with_rollback(&mut self, mut ctx: TxnCtx<S>, e: CoreError) -> CoreError {
+        match self.txn_rollback(&mut ctx) {
+            Ok(()) => e,
+            Err(r) => CoreError::Corrupt(format!(
+                "transaction failed ({e}) and rollback also failed ({r}); \
+                 reopen the database to recover"
+            )),
+        }
+    }
+
+    /// Undo an uncommitted transaction: discard dirty pages, truncate the
+    /// data file, restore the dictionary and tag counts, and reload the
+    /// in-memory structures derived from the rolled-back pages.
+    pub(crate) fn txn_rollback(&mut self, ctx: &mut TxnCtx<S>) -> CoreResult<()> {
+        self.pending_dead.clear();
+        for h in &mut ctx.handles {
+            h.abort()?;
+        }
+        self.data.lock_data().truncate_to(ctx.data_len0)?;
+        self.dict = TagDict::from_bytes(&ctx.dict_bytes0)
+            .ok_or_else(|| CoreError::Corrupt("dictionary snapshot corrupt".into()))?;
+        self.tag_counts = ctx.tag_counts0.clone();
+        self.store.reload()?;
+        self.bt_tag.reload_meta()?;
+        self.bt_val.reload_meta()?;
+        self.bt_id.reload_meta()?;
+        Ok(())
+    }
+}
+
+/// In-flight transaction state held between [`XmlDb::txn_begin`] and
+/// commit/rollback. Handle order matches [`COMPONENT_FILES`].
+pub(crate) struct TxnCtx<S: Storage> {
+    handles: [TxnHandle<S>; 4],
+    data_len0: u64,
+    dict_bytes0: Vec<u8>,
+    tag_counts0: HashMap<TagCode, u64>,
 }
 
 #[cfg(test)]
@@ -381,7 +619,7 @@ mod tests {
     fn tag_postings_in_document_order() {
         let db = XmlDb::build_in_memory(BIB).unwrap();
         let book = db.dict.lookup("book").unwrap();
-        let postings = db.bt_tag.get_all(&book.to_key()).unwrap();
+        let postings = db.tag_postings(book).unwrap();
         let deweys: Vec<String> = postings
             .iter()
             .map(|p| TagPosting::from_bytes(p).unwrap().dewey.to_string())

@@ -578,7 +578,7 @@ impl<S: Storage> XmlDb<S> {
             return Ok(Vec::new());
         };
         let mut out = Vec::new();
-        for posting in self.bt_tag.get_all(&code.to_key())? {
+        for posting in self.tag_postings(code)? {
             let p = TagPosting::from_bytes(&posting)?;
             out.push(PhysNode {
                 addr: p.addr,

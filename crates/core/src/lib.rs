@@ -50,6 +50,7 @@ pub mod page;
 pub mod pattern;
 pub mod pattern_tree;
 pub mod physical;
+pub mod recovery;
 pub mod serialize;
 pub mod sigma;
 pub mod stats;
@@ -62,6 +63,7 @@ pub use build::XmlDb;
 pub use dewey::Dewey;
 pub use engine::{QueryMatch, QueryOptions, QueryScratch, QueryStats, StartStrategy};
 pub use error::{CoreError, CoreResult};
+pub use recovery::RecoveryReport;
 pub use sigma::{TagCode, TagDict};
 pub use stats::DocStats;
 pub use store::{BuildOptions, NodeAddr, StructStore};

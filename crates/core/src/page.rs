@@ -49,6 +49,14 @@ pub const HEADER_SIZE: usize = 12;
 /// Sentinel for "end of chain".
 pub const NO_PAGE: u32 = u32::MAX;
 
+/// Canonical `st` for a structurally empty page (`entries == 0`), in both
+/// the page header and the directory. An empty page has no start level — a
+/// stale pre-delete `st` would mislead the skip index's level buckets — so
+/// it takes the same sentinel its `lo` does (`lo = u16::MAX, hi = 0`).
+/// Navigation never consults an empty page's levels: every path checks
+/// `entries == 0` first.
+pub const EMPTY_PAGE_ST: u16 = u16::MAX;
+
 /// One entry of the string representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Entry {

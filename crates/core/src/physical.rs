@@ -137,6 +137,19 @@ impl TagPosting {
     }
 }
 
+/// Composite **B+t** key: 2-byte big-endian tag code followed by the Dewey
+/// key of the occurrence. Dewey keys compare lexicographically in document
+/// order, so a range scan over one tag prefix yields postings in document
+/// order — and every key is unique, which is what makes tag postings
+/// updatable in place (duplicate keys cannot be deleted selectively).
+pub fn tag_posting_key(tag: TagCode, dewey: &Dewey) -> Vec<u8> {
+    let dk = dewey.to_key();
+    let mut out = Vec::with_capacity(2 + dk.len());
+    out.extend_from_slice(&tag.to_key());
+    out.extend_from_slice(&dk);
+    out
+}
+
 /// [`TreeAccess`] over the physical store plus the value-side structures.
 pub struct PhysAccess<'a, S: Storage> {
     store: &'a StructStore<S>,

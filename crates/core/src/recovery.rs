@@ -1,0 +1,162 @@
+//! Crash recovery for on-disk databases: replay the write-ahead log into
+//! the component files before any of them is opened.
+//!
+//! The commit protocol (see `build.rs`) makes the single fsync of the log's
+//! commit record the commit point. Everything a committed transaction did —
+//! page images, page counts, the data-file length, tombstones, the tag
+//! dictionary — is in the log until the post-commit checkpoint confirms it
+//! reached the component files. Recovery therefore only has to redo:
+//!
+//! 1. read the committed transactions (a torn tail is uncommitted and
+//!    ignored),
+//! 2. replay page counts and page images into the four paged components,
+//! 3. truncate `values.dat` to the last committed length (cutting off
+//!    appends from a transaction that never committed) and re-apply
+//!    committed tombstones,
+//! 4. restore `dict.bin` from the last logged dictionary blob,
+//! 5. checkpoint the log with the committed data length as the new
+//!    baseline.
+//!
+//! Every step is idempotent, so a crash *during* recovery is handled by
+//! simply recovering again.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use nok_pager::{FileStorage, PagerError, Wal, WalRecord};
+
+use crate::build::{COMPONENT_FILES, F_DATA, F_DICT, F_WAL};
+use crate::error::{CoreError, CoreResult};
+use crate::values::DEAD_BIT;
+
+/// What [`recover_dir`] found and did. All counters are zero for a cleanly
+/// shut-down database.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Committed transactions read from the log (including the checkpoint
+    /// baseline, so a clean log yields 1).
+    pub replayed_txns: usize,
+    /// Page images written back into the component files.
+    pub pages_applied: u64,
+    /// Committed `values.dat` length after recovery.
+    pub data_len: u64,
+    /// Uncommitted bytes cut off the end of `values.dat`.
+    pub data_truncated_by: u64,
+    /// Committed tombstones re-applied.
+    pub deads_reapplied: usize,
+    /// Whether `dict.bin` was rewritten from the log.
+    pub dict_restored: bool,
+    /// The directory predates the log; a baseline was seeded for it.
+    pub legacy: bool,
+}
+
+impl RecoveryReport {
+    /// True when recovery actually changed something on disk (i.e. the
+    /// database was not shut down cleanly).
+    pub fn was_dirty(&self) -> bool {
+        self.pages_applied > 0
+            || self.data_truncated_by > 0
+            || self.deads_reapplied > 0
+            || self.dict_restored
+    }
+}
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::from(PagerError::from(e))
+}
+
+/// Recover the database directory `dir` in place. Must run before the
+/// component files are opened — it rewrites them directly.
+pub fn recover_dir(dir: &Path) -> CoreResult<RecoveryReport> {
+    let wal_path = dir.join(F_WAL);
+    let data_path = dir.join(F_DATA);
+    let mut report = RecoveryReport::default();
+
+    if !wal_path.exists() {
+        // A directory created before the log existed. Adopt it: seed a log
+        // whose baseline records the data file as-is.
+        report.legacy = true;
+        report.data_len = std::fs::metadata(&data_path).map(|m| m.len()).unwrap_or(0);
+        let mut wal = Wal::open_or_create(&wal_path)?;
+        wal.checkpoint(&[WalRecord::DataLen(report.data_len)])?;
+        return Ok(report);
+    }
+
+    let mut wal = Wal::open_or_create(&wal_path)?;
+    let txns = wal.committed_txns()?;
+    report.replayed_txns = txns.len();
+
+    // Redo page-level effects into the component stores. `open_for_repair`
+    // skips the length/count cross-check that a torn commit can violate —
+    // replay is exactly what repairs it.
+    let mut storages: Vec<FileStorage> = Vec::with_capacity(COMPONENT_FILES.len());
+    for name in COMPONENT_FILES {
+        storages.push(FileStorage::open_for_repair(dir.join(name))?);
+    }
+    let outcome = {
+        let mut refs: Vec<&mut FileStorage> = storages.iter_mut().collect();
+        nok_pager::wal::replay(&txns, &mut refs)?
+    };
+    report.pages_applied = outcome.pages_applied;
+
+    // The committed data-file length is authoritative: bytes past it were
+    // appended by a transaction that never reached its commit record.
+    let disk_len = std::fs::metadata(&data_path).map(|m| m.len()).unwrap_or(0);
+    let committed_len = outcome.data_len.unwrap_or(disk_len);
+    if disk_len < committed_len {
+        return Err(CoreError::Corrupt(format!(
+            "values.dat is {disk_len} bytes but the log committed {committed_len} \
+             (committed data was fsynced before its commit record, so it cannot be missing)"
+        )));
+    }
+    if disk_len > committed_len {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(&data_path)
+            .map_err(io_err)?;
+        f.set_len(committed_len).map_err(io_err)?;
+        f.sync_data().map_err(io_err)?;
+        report.data_truncated_by = disk_len - committed_len;
+    }
+    report.data_len = committed_len;
+
+    // Re-apply committed tombstones: set the dead bit on each record's
+    // length word. Setting an already-set bit is a no-op.
+    if !outcome.data_dead.is_empty() {
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&data_path)
+            .map_err(io_err)?;
+        for off in &outcome.data_dead {
+            if off + 4 > committed_len {
+                return Err(CoreError::Corrupt(format!(
+                    "log tombstones offset {off} past the committed data length {committed_len}"
+                )));
+            }
+            let mut word = [0u8; 4];
+            f.seek(SeekFrom::Start(*off)).map_err(io_err)?;
+            f.read_exact(&mut word).map_err(io_err)?;
+            let raw = u32::from_le_bytes(word) | DEAD_BIT;
+            f.seek(SeekFrom::Start(*off)).map_err(io_err)?;
+            f.write_all(&raw.to_le_bytes()).map_err(io_err)?;
+            report.deads_reapplied += 1;
+        }
+        f.sync_data().map_err(io_err)?;
+    }
+
+    // The dictionary blob from the last committed transaction that changed
+    // it. The checkpoint below drops the log copy, so fsync the file.
+    if let Some(blob) = &outcome.dict {
+        let mut f = std::fs::File::create(dir.join(F_DICT)).map_err(io_err)?;
+        f.write_all(blob).map_err(io_err)?;
+        f.sync_data().map_err(io_err)?;
+        report.dict_restored = true;
+    }
+
+    // Everything redone above is durable: restart the log at a baseline
+    // recording the committed data length. This also discards a torn tail.
+    wal.checkpoint(&[WalRecord::DataLen(committed_len)])?;
+    Ok(report)
+}

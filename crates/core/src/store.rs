@@ -491,6 +491,25 @@ impl<S: Storage> StructStore<S> {
         &self.pool
     }
 
+    /// A shared handle to the backing pool (for transaction scoping).
+    pub fn pool_rc(&self) -> Arc<BufferPool<S>> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Rebuild the in-memory directory, node count, decode cache and skip
+    /// index from storage, exactly as [`StructStore::open`] does. Called
+    /// after a rollback discarded this store's dirty frames: the in-memory
+    /// views may reflect the undone mutation.
+    pub fn reload(&mut self) -> CoreResult<()> {
+        let fresh = StructStore::open(Arc::clone(&self.pool))?;
+        *wr(&self.dir) = fresh.dir.into_inner().unwrap_or_else(|e| e.into_inner());
+        wr(&self.decoded).clear();
+        *wr(&self.skip) = None;
+        self.node_count = fresh.node_count;
+        self.dir_generation.fetch_add(2, Ordering::AcqRel);
+        Ok(())
+    }
+
     /// Number of element nodes in the store.
     pub fn node_count(&self) -> u64 {
         self.node_count
@@ -653,10 +672,6 @@ impl<S: Storage> StructStore<S> {
         }
     }
 
-    pub(crate) fn pool_rc(&self) -> Arc<BufferPool<S>> {
-        Arc::clone(&self.pool)
-    }
-
     pub(crate) fn bump_node_count(&mut self, delta: i64) {
         self.node_count = (self.node_count as i64 + delta).max(0) as u64;
     }
@@ -774,13 +789,15 @@ impl<S: Storage> Builder<'_, S> {
             self.cur.hi
         );
         let handle = self.pool.get(self.cur.id)?;
-        let lo = if self.cur.entries == 0 {
-            u16::MAX
+        // Empty pages take the canonical sentinel bounds AND sentinel st
+        // (page::EMPTY_PAGE_ST): they have no start level to report.
+        let (st, lo) = if self.cur.entries == 0 {
+            (page::EMPTY_PAGE_ST, u16::MAX)
         } else {
-            self.cur.lo
+            (self.cur.st, self.cur.lo)
         };
         let header = PageHeader {
-            st: self.cur.st,
+            st,
             lo,
             hi: self.cur.hi,
             next,
@@ -794,7 +811,7 @@ impl<S: Storage> Builder<'_, S> {
         }
         self.dir.order.push(DirEntry {
             id: self.cur.id,
-            st: self.cur.st,
+            st,
             lo,
             hi: self.cur.hi,
             entries: self.cur.entries,

@@ -35,7 +35,7 @@ use crate::cursor;
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
 use crate::page::{self, Entry, PageHeader, HEADER_SIZE};
-use crate::physical::{IdRecord, TagPosting};
+use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::sigma::TagCode;
 use crate::store::{DirEntry, NodeAddr};
 use crate::values::{hash_key, LockDataFile};
@@ -85,7 +85,6 @@ struct Touched {
     new_dewey: Dewey,
     tag: TagCode,
     level: u16,
-    old_addr: NodeAddr,
     new_addr: NodeAddr,
 }
 
@@ -102,7 +101,18 @@ impl<S: Storage> XmlDb<S> {
     /// Parse `fragment_xml` (one root element) and insert it as the last
     /// child of the node identified by `parent`. Returns the Dewey id of
     /// the inserted root.
+    ///
+    /// The whole insert is one transaction: on a durable database it either
+    /// commits through the write-ahead log or leaves no trace.
     pub fn insert_last_child(&mut self, parent: &Dewey, fragment_xml: &str) -> CoreResult<Dewey> {
+        let ctx = self.txn_begin()?;
+        match self.insert_last_child_inner(parent, fragment_xml) {
+            Ok(dewey) => self.txn_commit(ctx).map(|()| dewey),
+            Err(e) => Err(self.fail_with_rollback(ctx, e)),
+        }
+    }
+
+    fn insert_last_child_inner(&mut self, parent: &Dewey, fragment_xml: &str) -> CoreResult<Dewey> {
         let parent_addr = self.resolve(parent)?;
         let parent_level = parent.level();
         let close = cursor::subtree_close(&self.store, parent_addr)?;
@@ -206,7 +216,7 @@ impl<S: Storage> XmlDb<S> {
             };
             let new_addr = addr_of[ip + new_entries.len() + rel_idx];
             if new_addr != old_addr {
-                self.refresh_addr(&dewey, tag, level, old_addr, new_addr)?;
+                self.refresh_addr(&dewey, tag, level, new_addr)?;
             }
         }
         // New nodes: insert into B+i / B+t (+ values into data file, B+v).
@@ -229,7 +239,8 @@ impl<S: Storage> XmlDb<S> {
                 level: *level,
                 dewey: dewey.clone(),
             };
-            self.bt_tag.insert(&tag.to_key(), &posting.to_bytes())?;
+            self.bt_tag
+                .insert(&tag_posting_key(*tag, dewey), &posting.to_bytes())?;
             *self.tag_counts.entry(*tag).or_insert(0) += 1;
         }
         let opens = new_nodes.len() as i64;
@@ -239,7 +250,19 @@ impl<S: Storage> XmlDb<S> {
 
     /// Delete the node identified by `target` and its whole subtree.
     /// Returns the number of element nodes removed.
+    ///
+    /// Runs as one transaction, like [`XmlDb::insert_last_child`]. Value
+    /// records whose last referencing node is deleted are tombstoned in the
+    /// data file at commit.
     pub fn delete_subtree(&mut self, target: &Dewey) -> CoreResult<u64> {
+        let ctx = self.txn_begin()?;
+        match self.delete_subtree_inner(target) {
+            Ok(n) => self.txn_commit(ctx).map(|()| n),
+            Err(e) => Err(self.fail_with_rollback(ctx, e)),
+        }
+    }
+
+    fn delete_subtree_inner(&mut self, target: &Dewey) -> CoreResult<u64> {
         if target.level() <= 1 {
             return Err(CoreError::InvalidUpdate(
                 "cannot delete the document root".into(),
@@ -310,24 +333,33 @@ impl<S: Storage> XmlDb<S> {
         }
 
         // ---- Index maintenance.
-        for (dewey, tag, level, a) in &removed {
+        for (dewey, tag, _level, _addr) in &removed {
             let key = dewey.to_key();
             // B+v first (needs the value pointer from B+i).
             if let Some(rec) = self.bt_id.get_first(&key)? {
                 let rec = IdRecord::from_bytes(&rec)?;
                 if let Some((off, _)) = rec.value {
                     let text = self.data.lock_data().get_record(off)?;
-                    self.bt_val.delete(&hash_key(&text), Some(&key))?;
+                    let h = hash_key(&text);
+                    self.bt_val.delete(&h, Some(&key))?;
+                    // Tombstone the record at commit unless another node
+                    // (deduplicated values are shared) still points at it.
+                    let mut shared = false;
+                    for dk in self.bt_val.get_all(&h)? {
+                        if let Some(other) = self.bt_id.get_first(&dk)? {
+                            if IdRecord::from_bytes(&other)?.value.map(|(o, _)| o) == Some(off) {
+                                shared = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !shared {
+                        self.pending_dead.push(off);
+                    }
                 }
             }
             self.bt_id.delete(&key, None)?;
-            let posting = TagPosting {
-                addr: *a,
-                level: *level,
-                dewey: dewey.clone(),
-            };
-            self.bt_tag
-                .delete(&tag.to_key(), Some(&posting.to_bytes()))?;
+            self.bt_tag.delete(&tag_posting_key(*tag, dewey), None)?;
             if let Some(c) = self.tag_counts.get_mut(tag) {
                 *c = c.saturating_sub(1);
             }
@@ -421,7 +453,6 @@ impl<S: Storage> XmlDb<S> {
                             new_dewey,
                             tag,
                             level,
-                            old_addr: a,
                             new_addr,
                         });
                     }
@@ -454,21 +485,18 @@ impl<S: Storage> XmlDb<S> {
         self.bt_id.delete(&old_key, None)?;
         rec.addr = t.new_addr;
         self.bt_id.insert(&new_key, &rec.to_bytes())?;
-        // B+t.
-        let old_posting = TagPosting {
-            addr: t.old_addr,
-            level: t.level,
-            dewey: t.old_dewey.clone(),
-        };
+        // B+t: composite keys make the old posting addressable directly.
         self.bt_tag
-            .delete(&t.tag.to_key(), Some(&old_posting.to_bytes()))?;
+            .delete(&tag_posting_key(t.tag, &t.old_dewey), None)?;
         let new_posting = TagPosting {
             addr: t.new_addr,
             level: t.level,
             dewey: t.new_dewey.clone(),
         };
-        self.bt_tag
-            .insert(&t.tag.to_key(), &new_posting.to_bytes())?;
+        self.bt_tag.insert(
+            &tag_posting_key(t.tag, &t.new_dewey),
+            &new_posting.to_bytes(),
+        )?;
         // B+v, if the node carries a value and its Dewey changed.
         if t.old_dewey != t.new_dewey {
             if let Some((off, _)) = rec.value {
@@ -486,7 +514,6 @@ impl<S: Storage> XmlDb<S> {
         dewey: &Dewey,
         tag: TagCode,
         level: u16,
-        old_addr: NodeAddr,
         new_addr: NodeAddr,
     ) -> CoreResult<()> {
         self.retag_node(&Touched {
@@ -494,7 +521,6 @@ impl<S: Storage> XmlDb<S> {
             new_dewey: dewey.clone(),
             tag,
             level,
-            old_addr,
             new_addr,
         })
     }
@@ -623,11 +649,14 @@ impl<S: Storage> XmlDb<S> {
             let handle = pool.get(old_next)?;
             let succ = page::read_header(&handle.read());
             if let Some(h) = succ {
-                debug_assert_eq!(
-                    h.st, running_st,
-                    "split left page {old_next} expecting st {} but chain ends at {running_st}",
-                    h.st
-                );
+                // Empty successors carry the sentinel st, not a level.
+                if h.st != page::EMPTY_PAGE_ST {
+                    debug_assert_eq!(
+                        h.st, running_st,
+                        "split left page {old_next} expecting st {} but chain ends at {running_st}",
+                        h.st
+                    );
+                }
             }
         }
         Ok(addrs)
@@ -642,6 +671,11 @@ impl<S: Storage> XmlDb<S> {
 
     /// Rewrite a page's content, header, and directory entry. Returns the
     /// page's end level (the st of its successor).
+    ///
+    /// A page left with no entries is written with the canonical
+    /// empty-page header ([`page::EMPTY_PAGE_ST`], `lo = u16::MAX`,
+    /// `hi = 0`) in both the page and the directory, so its metadata never
+    /// leaks stale levels from the content it used to hold.
     fn rewrite_page_with_st(
         &mut self,
         pid: u32,
@@ -667,17 +701,26 @@ impl<S: Storage> XmlDb<S> {
             hi = hi.max(level as u16);
         }
         let end_level = level as u16;
+        let hdr_st = if entries.is_empty() {
+            page::EMPTY_PAGE_ST
+        } else {
+            st
+        };
+        // Validate *everything* before mutating anything: the overflow
+        // check and the directory lookup must both pass, or the pool
+        // buffer and the directory would come apart.
         let pool = self.store.pool_rc();
+        if HEADER_SIZE + content.len() > pool.page_size() {
+            return Err(CoreError::Corrupt("page overflow during update".into()));
+        }
+        self.store.rank(pid)?; // page must be in the directory
         let handle = pool.get(pid)?;
         {
             let mut buf = handle.write();
-            if HEADER_SIZE + content.len() > buf.len() {
-                return Err(CoreError::Corrupt("page overflow during update".into()));
-            }
             page::write_header(
                 &mut buf,
                 &PageHeader {
-                    st,
+                    st: hdr_st,
                     lo,
                     hi,
                     next,
@@ -686,13 +729,16 @@ impl<S: Storage> XmlDb<S> {
             );
             buf[HEADER_SIZE..HEADER_SIZE + content.len()].copy_from_slice(&content);
         }
-        self.store.dir_mut().update_entry(pid, |e| {
-            e.st = st;
+        let dir_res = self.store.dir_mut().update_entry(pid, |e| {
+            e.st = hdr_st;
             e.lo = lo;
             e.hi = hi;
             e.entries = entries.len() as u32;
-        })?;
+        });
+        // Invalidate the decode cache even if the directory update failed —
+        // the buffer above has already changed.
         self.store.invalidate_decoded(Some(pid));
+        dir_res?;
         Ok(end_level)
     }
 }
@@ -947,6 +993,79 @@ mod tests {
             Err(CoreError::InvalidUpdate(_)) | Err(CoreError::Xml(_))
         ));
         assert!(db.insert_last_child(&Dewey::root(), "").is_err());
+    }
+
+    #[test]
+    fn failed_rewrite_leaves_buffer_untouched() {
+        // Regression: rewrite_page_with_st used to mutate the pool buffer
+        // before discovering the directory had no entry for the page,
+        // leaving buffer and directory inconsistent (and the decode cache
+        // stale). Validation must come first.
+        let mut db = db(BIB);
+        let pool = db.store.pool_rc();
+        let (pid, _h) = pool.allocate().unwrap(); // in the pool, not in the directory
+        let err = db.rewrite_page_with_st(pid, 1, &[Entry::Close], page::NO_PAGE);
+        assert!(err.is_err(), "page outside the directory must be rejected");
+        let handle = pool.get(pid).unwrap();
+        assert!(
+            handle.read().iter().all(|&b| b == 0),
+            "rejected rewrite must not touch the page buffer"
+        );
+        drop(handle);
+        // The database is still fully consistent and queryable.
+        assert_equivalent(&db, BIB, &["/bib/book", "//last"]);
+    }
+
+    #[test]
+    fn emptied_pages_get_canonical_headers() {
+        let mut xml = String::from("<r><victim>");
+        for i in 0..60 {
+            xml.push_str(&format!("<v>{i}</v>"));
+        }
+        xml.push_str("</victim><keep>yes</keep></r>");
+        let mut db =
+            XmlDb::build_in_memory_with(&xml, crate::store::BuildOptions::default(), 64).unwrap();
+        db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+            .unwrap();
+        let pool = db.store.pool_rc();
+        let mut empties = 0;
+        let mut rank = 0u32;
+        while let Some(e) = db.store.dir_at(rank) {
+            if e.entries == 0 {
+                empties += 1;
+                assert_eq!(e.st, page::EMPTY_PAGE_ST, "directory st of empty page");
+                assert_eq!(e.lo, u16::MAX);
+                assert_eq!(e.hi, 0);
+                let h = page::read_header(&pool.get(e.id).unwrap().read())
+                    .expect("empty page keeps a valid header");
+                assert_eq!(h.st, page::EMPTY_PAGE_ST, "page-header st of empty page");
+                assert_eq!(h.nbytes, 0);
+            }
+            rank += 1;
+        }
+        assert!(empties > 0, "multi-page delete must leave empty pages");
+        assert_equivalent(&db, "<r><keep>yes</keep></r>", &["//keep", "/r/*"]);
+    }
+
+    #[test]
+    fn delete_tombstones_unshared_values_only() {
+        let mut db = db("<r><a>dup</a><b>dup</b><c>unique</c></r>");
+        let off_of = |db: &XmlDb<MemStorage>, comps: &[u32]| {
+            let key = Dewey::from_components(comps.to_vec()).to_key();
+            let rec = IdRecord::from_bytes(&db.bt_id.get_first(&key).unwrap().unwrap()).unwrap();
+            rec.value.unwrap().0
+        };
+        let off_dup = off_of(&db, &[0, 0]);
+        assert_eq!(off_dup, off_of(&db, &[0, 1]), "equal values share a record");
+        let off_unique = off_of(&db, &[0, 2]);
+        // <c>'s value has no other referent: deleting it kills the record.
+        db.delete_subtree(&Dewey::from_components(vec![0, 2]))
+            .unwrap();
+        assert!(db.data.lock_data().get_record(off_unique).is_err());
+        // <a>'s value is still referenced by <b>: the record survives.
+        db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+            .unwrap();
+        assert_eq!(db.data.lock_data().get_record(off_dup).unwrap(), "dup");
     }
 
     #[test]

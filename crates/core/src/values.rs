@@ -18,9 +18,17 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use nok_pager::FailPlan;
 
 use crate::error::{CoreError, CoreResult};
+
+/// High bit of a record's `len` field: set when the record is a tombstone.
+/// Deletion cannot compact the append-only file (every later offset is
+/// referenced by B+i records), so dead records keep their bytes but are
+/// excluded from dedup and rejected by [`DataFile::get_record`].
+pub const DEAD_BIT: u32 = 0x8000_0000;
 
 /// 64-bit FNV-1a — the hash used as the B+v key.
 pub fn hash_value(value: &str) -> u64 {
@@ -49,8 +57,10 @@ pub struct DataFile {
     backing: Backing,
     /// Total bytes written (also the next append offset).
     len: u64,
-    /// Dedup map: value hash → offsets of records with that hash.
+    /// Dedup map: value hash → offsets of **live** records with that hash.
     dedup: HashMap<u64, Vec<u64>>,
+    /// Optional fault-injection plan gating mutating I/O.
+    failpoint: Option<Arc<FailPlan>>,
 }
 
 impl DataFile {
@@ -60,6 +70,7 @@ impl DataFile {
             backing: Backing::Mem(Vec::new()),
             len: 0,
             dedup: HashMap::new(),
+            failpoint: None,
         }
     }
 
@@ -76,11 +87,12 @@ impl DataFile {
             backing: Backing::File(file),
             len: 0,
             dedup: HashMap::new(),
+            failpoint: None,
         })
     }
 
-    /// Open an existing data file, rebuilding the dedup map by scanning
-    /// records.
+    /// Open an existing data file, rebuilding the dedup map by scanning the
+    /// live (non-tombstoned) records.
     pub fn open<P: AsRef<Path>>(path: P) -> CoreResult<Self> {
         let mut file = OpenOptions::new()
             .read(true)
@@ -97,13 +109,16 @@ impl DataFile {
             if p + 4 > bytes.len() {
                 return Err(CoreError::Corrupt("truncated data-file record".into()));
             }
-            let len =
-                u32::from_le_bytes([bytes[p], bytes[p + 1], bytes[p + 2], bytes[p + 3]]) as usize;
+            let raw = u32::from_le_bytes([bytes[p], bytes[p + 1], bytes[p + 2], bytes[p + 3]]);
+            let dead = raw & DEAD_BIT != 0;
+            let len = (raw & !DEAD_BIT) as usize;
             if p + 4 + len > bytes.len() {
                 return Err(CoreError::Corrupt("truncated data-file record".into()));
             }
-            if let Ok(s) = std::str::from_utf8(&bytes[p + 4..p + 4 + len]) {
-                dedup.entry(hash_value(s)).or_default().push(pos);
+            if !dead {
+                if let Ok(s) = std::str::from_utf8(&bytes[p + 4..p + 4 + len]) {
+                    dedup.entry(hash_value(s)).or_default().push(pos);
+                }
             }
             pos += 4 + len as u64;
         }
@@ -111,7 +126,20 @@ impl DataFile {
             backing: Backing::File(file),
             len: pos,
             dedup,
+            failpoint: None,
         })
+    }
+
+    /// Route this file's mutating I/O through a fault-injection plan.
+    pub fn set_failpoint(&mut self, plan: Arc<FailPlan>) {
+        self.failpoint = Some(plan);
+    }
+
+    fn check_failpoint(&self) -> CoreResult<()> {
+        if let Some(plan) = &self.failpoint {
+            plan.check()?;
+        }
+        Ok(())
     }
 
     /// Total bytes in the file.
@@ -132,6 +160,10 @@ impl DataFile {
                 }
             }
         }
+        if value.len() as u32 & DEAD_BIT != 0 {
+            return Err(CoreError::Corrupt("value too large for data file".into()));
+        }
+        self.check_failpoint()?;
         let off = self.len;
         let mut rec = Vec::with_capacity(4 + value.len());
         rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
@@ -149,14 +181,92 @@ impl DataFile {
         Ok((off, value.len() as u32))
     }
 
-    /// Read the record starting at `offset`.
+    /// Read the record starting at `offset`. Tombstoned records are an
+    /// error: nothing should still reference them.
     pub fn get_record(&mut self, offset: u64) -> CoreResult<String> {
-        let mut len_buf = [0u8; 4];
-        self.read_exact_at(offset, &mut len_buf)?;
-        let len = u32::from_le_bytes(len_buf) as usize;
-        let mut payload = vec![0u8; len];
+        let (len, dead) = self.record_span(offset)?;
+        if dead {
+            return Err(CoreError::Corrupt(format!(
+                "read of tombstoned data record at offset {offset}"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
         self.read_exact_at(offset + 4, &mut payload)?;
         String::from_utf8(payload).map_err(|_| CoreError::Corrupt("non-UTF8 value record".into()))
+    }
+
+    /// Payload length and tombstone flag of the record at `offset` — the
+    /// raw accessor integrity scans use to walk the file without tripping
+    /// over dead records.
+    pub fn record_span(&mut self, offset: u64) -> CoreResult<(u32, bool)> {
+        let mut len_buf = [0u8; 4];
+        self.read_exact_at(offset, &mut len_buf)?;
+        let raw = u32::from_le_bytes(len_buf);
+        Ok((raw & !DEAD_BIT, raw & DEAD_BIT != 0))
+    }
+
+    /// Tombstone the record at `offset`: set the dead bit in its length
+    /// field and drop it from dedup. Idempotent — recovery may replay it.
+    pub fn mark_dead(&mut self, offset: u64) -> CoreResult<()> {
+        let (len, dead) = self.record_span(offset)?;
+        if dead {
+            return Ok(());
+        }
+        // Drop the offset from dedup before touching the file, so a failed
+        // write cannot leave a dead record shareable.
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact_at(offset + 4, &mut payload)?;
+        if let Ok(s) = std::str::from_utf8(&payload) {
+            let h = hash_value(s);
+            if let Some(offsets) = self.dedup.get_mut(&h) {
+                offsets.retain(|&o| o != offset);
+                if offsets.is_empty() {
+                    self.dedup.remove(&h);
+                }
+            }
+        }
+        self.check_failpoint()?;
+        let raw = len | DEAD_BIT;
+        match &mut self.backing {
+            Backing::Mem(v) => {
+                v[offset as usize..offset as usize + 4].copy_from_slice(&raw.to_le_bytes());
+            }
+            Backing::File(f) => {
+                f.seek(SeekFrom::Start(offset))
+                    .map_err(nok_pager::PagerError::from)?;
+                f.write_all(&raw.to_le_bytes())
+                    .map_err(nok_pager::PagerError::from)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll back to a previous length: drop every byte and dedup entry at
+    /// or past `len` (the file is append-only, so everything after a
+    /// remembered watermark belongs to the transaction being undone).
+    pub fn truncate_to(&mut self, len: u64) -> CoreResult<()> {
+        if len > self.len {
+            return Err(CoreError::Corrupt(format!(
+                "data-file truncate_to({len}) beyond current length {}",
+                self.len
+            )));
+        }
+        if len == self.len {
+            return Ok(());
+        }
+        self.check_failpoint()?;
+        match &mut self.backing {
+            Backing::Mem(v) => v.truncate(len as usize),
+            Backing::File(f) => {
+                f.set_len(len).map_err(nok_pager::PagerError::from)?;
+            }
+        }
+        self.len = len;
+        self.dedup.retain(|_, offsets| {
+            offsets.retain(|&o| o < len);
+            !offsets.is_empty()
+        });
+        Ok(())
     }
 
     fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> CoreResult<()> {
@@ -184,6 +294,10 @@ impl DataFile {
 
     /// Flush to durable media.
     pub fn sync(&mut self) -> CoreResult<()> {
+        if matches!(self.backing, Backing::Mem(_)) {
+            return Ok(());
+        }
+        self.check_failpoint()?;
         if let Backing::File(f) = &mut self.backing {
             f.sync_data().map_err(nok_pager::PagerError::from)?;
         }
@@ -280,5 +394,58 @@ mod tests {
         let mut df = DataFile::in_memory();
         df.put("x").unwrap();
         assert!(df.get_record(999).is_err());
+    }
+
+    #[test]
+    fn tombstones_stop_sharing_and_reads() {
+        let mut df = DataFile::in_memory();
+        let (o1, _) = df.put("ghost").unwrap();
+        let (o2, _) = df.put("alive").unwrap();
+        df.mark_dead(o1).unwrap();
+        df.mark_dead(o1).unwrap(); // idempotent
+        assert!(df.get_record(o1).is_err());
+        assert_eq!(df.record_span(o1).unwrap(), (5, true));
+        assert_eq!(df.get_record(o2).unwrap(), "alive");
+        // A fresh put of the dead value must get a new record.
+        let (o3, _) = df.put("ghost").unwrap();
+        assert_ne!(o3, o1);
+        assert_eq!(df.get_record(o3).unwrap(), "ghost");
+    }
+
+    #[test]
+    fn tombstones_survive_reopen_outside_dedup() {
+        let dir = std::env::temp_dir().join(format!("nok-values-dead-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("values.dat");
+        let (dead_off, live_off);
+        {
+            let mut df = DataFile::create(&path).unwrap();
+            dead_off = df.put("condemned").unwrap().0;
+            live_off = df.put("kept").unwrap().0;
+            df.mark_dead(dead_off).unwrap();
+            df.sync().unwrap();
+        }
+        {
+            let mut df = DataFile::open(&path).unwrap();
+            assert!(df.get_record(dead_off).is_err());
+            assert_eq!(df.get_record(live_off).unwrap(), "kept");
+            assert_ne!(df.put("condemned").unwrap().0, dead_off);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_to_rolls_back_appends() {
+        let mut df = DataFile::in_memory();
+        let (o1, _) = df.put("base").unwrap();
+        let mark = df.len_bytes();
+        df.put("txn-value").unwrap();
+        df.truncate_to(mark).unwrap();
+        assert_eq!(df.len_bytes(), mark);
+        assert_eq!(df.get_record(o1).unwrap(), "base");
+        // The rolled-back value must not be shareable.
+        let (o2, _) = df.put("txn-value").unwrap();
+        assert_eq!(o2, mark);
+        assert!(df.truncate_to(mark + 999).is_err());
     }
 }

@@ -22,6 +22,16 @@ pub enum PagerError {
     },
     /// The storage file's header did not match the expected magic/page size.
     Corrupt(String),
+    /// The storage file's length disagrees with its persisted page count —
+    /// the file was torn by a crash (or truncated by something else).
+    SizeMismatch {
+        /// Page count the superblock claims.
+        pages: u32,
+        /// Page size the superblock claims.
+        page_size: usize,
+        /// Actual byte length of the file.
+        file_len: u64,
+    },
     /// Every frame in the buffer pool is pinned: nothing can be evicted to
     /// make room for the requested page.
     PoolExhausted {
@@ -38,6 +48,15 @@ impl fmt::Display for PagerError {
                 write!(f, "page {page} out of range (storage has {count} pages)")
             }
             PagerError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            PagerError::SizeMismatch {
+                pages,
+                page_size,
+                file_len,
+            } => write!(
+                f,
+                "storage file is {file_len} bytes but its header declares \
+                 {pages} pages of {page_size} bytes (torn by a crash?)"
+            ),
             PagerError::PoolExhausted { capacity } => {
                 write!(f, "buffer pool exhausted: all {capacity} frames pinned")
             }

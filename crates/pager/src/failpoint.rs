@@ -1,0 +1,160 @@
+//! Fault injection for crash-consistency testing.
+//!
+//! A [`FailPlan`] counts mutating I/O operations and "crashes" on the k-th
+//! one: the operation fails, and — because a real crash stops the process,
+//! while the test harness keeps executing — **every subsequent mutating
+//! operation fails too**. Code under test therefore cannot repair anything
+//! after the injected crash; whatever reached the files before the trip is
+//! exactly what recovery gets to work with.
+//!
+//! [`FailpointStorage`] wraps any [`Storage`] and routes its mutating
+//! operations through a shared plan; [`crate::wal::Wal`] and the data file
+//! take the same plan via `set_failpoint`, so one counter spans every
+//! durability-relevant write in a store.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{PagerError, PagerResult};
+use crate::storage::{PageId, Storage};
+
+/// A shared fault-injection plan: trip on the `fail_at`-th mutating I/O
+/// (1-based), or never when `fail_at == 0` (counting mode).
+#[derive(Debug)]
+pub struct FailPlan {
+    fail_at: u64,
+    ios: AtomicU64,
+    tripped: AtomicBool,
+}
+
+impl FailPlan {
+    /// Count mutating I/Os without ever failing — used for the first pass
+    /// of a sweep to learn how many injection points a workload has.
+    pub fn counting() -> Arc<FailPlan> {
+        Self::at(0)
+    }
+
+    /// Fail the `k`-th mutating I/O and every one after it (`k >= 1`).
+    pub fn at(k: u64) -> Arc<FailPlan> {
+        Arc::new(FailPlan {
+            fail_at: k,
+            ios: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        })
+    }
+
+    /// Mutating I/Os observed before the trip.
+    pub fn count(&self) -> u64 {
+        self.ios.load(Ordering::Acquire)
+    }
+
+    /// Has the simulated crash happened?
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// Gate one mutating I/O.
+    pub fn check(&self) -> PagerResult<()> {
+        if self.tripped.load(Ordering::Acquire) {
+            return Err(Self::crash_error());
+        }
+        let n = self.ios.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.fail_at != 0 && n >= self.fail_at {
+            self.tripped.store(true, Ordering::Release);
+            return Err(Self::crash_error());
+        }
+        Ok(())
+    }
+
+    fn crash_error() -> PagerError {
+        PagerError::Io(std::io::Error::other("failpoint: injected crash"))
+    }
+}
+
+/// A [`Storage`] whose mutating operations are gated by a [`FailPlan`].
+/// Reads are never failed: after the simulated crash the harness still needs
+/// to observe the torn files, just like a post-restart process would.
+#[derive(Debug)]
+pub struct FailpointStorage<S: Storage> {
+    inner: S,
+    plan: Arc<FailPlan>,
+}
+
+impl<S: Storage> FailpointStorage<S> {
+    /// Wrap a storage with a shared plan.
+    pub fn new(inner: S, plan: Arc<FailPlan>) -> Self {
+        FailpointStorage { inner, plan }
+    }
+
+    /// The shared plan.
+    pub fn plan(&self) -> &Arc<FailPlan> {
+        &self.plan
+    }
+}
+
+impl<S: Storage> Storage for FailpointStorage<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> PagerResult<()> {
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> PagerResult<()> {
+        self.plan.check()?;
+        self.inner.write_page(id, buf)
+    }
+
+    fn allocate_page(&mut self) -> PagerResult<PageId> {
+        self.plan.check()?;
+        self.inner.allocate_page()
+    }
+
+    fn sync(&mut self) -> PagerResult<()> {
+        self.plan.check()?;
+        self.inner.sync()
+    }
+
+    fn truncate_pages(&mut self, count: u32) -> PagerResult<()> {
+        self.plan.check()?;
+        self.inner.truncate_pages(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn counting_mode_never_trips() {
+        let plan = FailPlan::counting();
+        let mut s = FailpointStorage::new(MemStorage::with_page_size(64), Arc::clone(&plan));
+        for _ in 0..10 {
+            s.allocate_page().unwrap();
+        }
+        s.sync().unwrap();
+        assert_eq!(plan.count(), 11);
+        assert!(!plan.is_tripped());
+    }
+
+    #[test]
+    fn trips_on_kth_io_and_stays_down() {
+        let plan = FailPlan::at(3);
+        let mut s = FailpointStorage::new(MemStorage::with_page_size(64), Arc::clone(&plan));
+        s.allocate_page().unwrap();
+        s.allocate_page().unwrap();
+        assert!(s.allocate_page().is_err());
+        assert!(plan.is_tripped());
+        // Everything mutating now fails; reads still work.
+        assert!(s.sync().is_err());
+        assert!(s.write_page(0, &[0u8; 64]).is_err());
+        let mut buf = [0u8; 64];
+        s.read_page(0, &mut buf).unwrap();
+    }
+}

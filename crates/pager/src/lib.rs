@@ -19,14 +19,18 @@
 //! [`PagerError::PoolExhausted`] rather than growing the pool.
 
 pub mod error;
+pub mod failpoint;
 pub mod pool;
 pub mod stats;
 pub mod storage;
+pub mod wal;
 
 pub use error::{PagerError, PagerResult};
-pub use pool::{BufferPool, PageHandle, PageRead, PageWrite};
+pub use failpoint::{FailPlan, FailpointStorage};
+pub use pool::{BufferPool, PageHandle, PageRead, PageWrite, TxnHandle};
 pub use stats::IoStats;
 pub use storage::{FileStorage, MemStorage, PageId, Storage, DEFAULT_PAGE_SIZE};
+pub use wal::{ReplayOutcome, Wal, WalRecord};
 
 /// Little-endian integer read/write helpers over page byte slices.
 ///

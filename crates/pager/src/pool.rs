@@ -152,6 +152,10 @@ pub struct BufferPool<S: Storage> {
     capacity: usize,
     page_size: usize,
     stats: IoStats,
+    /// While a [`TxnHandle`] is open, dirty frames must not be written back
+    /// (no-steal): rollback discards them, and the write-ahead log has not
+    /// seen them yet. Eviction skips dirty frames while this is set.
+    txn_active: AtomicBool,
 }
 
 impl<S: Storage> BufferPool<S> {
@@ -179,6 +183,7 @@ impl<S: Storage> BufferPool<S> {
             capacity,
             page_size,
             stats: IoStats::default(),
+            txn_active: AtomicBool::new(false),
         }
     }
 
@@ -348,13 +353,14 @@ impl<S: Storage> BufferPool<S> {
     /// Evict the least-recently-used unpinned frame, if any. Returns whether
     /// a frame was evicted.
     fn evict_one(&self) -> PagerResult<bool> {
+        let no_steal = self.txn_active.load(Ordering::Acquire);
         // Scan for the global LRU victim (read locks only).
         let victim: Option<(PageId, u64)> = {
             let mut best: Option<(PageId, u64)> = None;
             for shard in &self.shards {
                 let shard = read_lock(shard);
                 for (&id, frame) in shard.iter() {
-                    if frame.is_pinned() {
+                    if frame.is_pinned() || (no_steal && frame.dirty.load(Ordering::Acquire)) {
                         continue;
                     }
                     let stamp = frame.last_used.load(Ordering::Relaxed);
@@ -373,7 +379,9 @@ impl<S: Storage> BufferPool<S> {
         // the write lock across the dirty write-back keeps any concurrent
         // miss on the same page ordered after it.
         let mut shard = write_lock(&self.shards[shard_of(id)]);
-        let still_evictable = shard.get(&id).is_some_and(|f| !f.is_pinned());
+        let still_evictable = shard
+            .get(&id)
+            .is_some_and(|f| !f.is_pinned() && !(no_steal && f.dirty.load(Ordering::Acquire)));
         if !still_evictable {
             return Ok(true); // someone pinned or evicted it; count as progress
         }
@@ -435,6 +443,134 @@ impl<S: Storage> BufferPool<S> {
     pub fn into_storage(self) -> PagerResult<S> {
         self.flush()?;
         Ok(self.storage.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Is any frame dirty?
+    fn has_dirty(&self) -> bool {
+        self.shards.iter().any(|s| {
+            read_lock(s)
+                .values()
+                .any(|f| f.dirty.load(Ordering::Acquire))
+        })
+    }
+
+    /// Snapshot every dirty frame as `(page id, bytes)`, sorted by id. The
+    /// caller must ensure no concurrent writers (updates hold `&mut` on the
+    /// owning database).
+    pub fn dirty_images(&self) -> Vec<(PageId, Vec<u8>)> {
+        let mut images = Vec::new();
+        for shard in &self.shards {
+            let shard = read_lock(shard);
+            for (&id, frame) in shard.iter() {
+                if frame.dirty.load(Ordering::Acquire) {
+                    images.push((id, read_lock(&frame.data).to_vec()));
+                }
+            }
+        }
+        images.sort_by_key(|(id, _)| *id);
+        images
+    }
+
+    /// Drop every dirty frame without writing it back (rollback).
+    fn discard_dirty(&self) {
+        for shard in &self.shards {
+            let mut shard = write_lock(shard);
+            let before = shard.len();
+            shard.retain(|_, f| !f.dirty.load(Ordering::Acquire));
+            self.frames
+                .fetch_sub(before - shard.len(), Ordering::AcqRel);
+        }
+    }
+
+    /// Begin a transaction: flush any pre-existing dirty frames (rollback
+    /// must only discard *this* transaction's work), then switch the pool to
+    /// no-steal mode.
+    pub fn begin_txn(self: &Arc<Self>) -> PagerResult<TxnHandle<S>> {
+        if self.has_dirty() {
+            self.flush()?;
+        }
+        self.txn_active.store(true, Ordering::Release);
+        Ok(TxnHandle {
+            start_pages: self.page_count(),
+            pool: Arc::clone(self),
+            done: false,
+        })
+    }
+}
+
+/// One pool's share of a multi-pool transaction (see `nok-core`'s update
+/// path): created by [`BufferPool::begin_txn`], ended by exactly one of
+/// [`TxnHandle::commit`], [`TxnHandle::abort`] or [`TxnHandle::detach`].
+/// Dropping an unfinished handle aborts best-effort.
+///
+/// While the handle lives, the pool is in no-steal mode: dirty frames stay
+/// in memory, so [`TxnHandle::dirty_images`] is exactly the transaction's
+/// write set and [`TxnHandle::abort`] can undo it by discarding frames and
+/// truncating the storage back to its starting page count.
+#[derive(Debug)]
+pub struct TxnHandle<S: Storage> {
+    pool: Arc<BufferPool<S>>,
+    start_pages: u32,
+    done: bool,
+}
+
+impl<S: Storage> TxnHandle<S> {
+    /// The pool this transaction covers.
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
+    /// Page count when the transaction began.
+    pub fn start_pages(&self) -> u32 {
+        self.start_pages
+    }
+
+    /// This transaction's write set (every dirty frame, sorted by id).
+    pub fn dirty_images(&self) -> Vec<(PageId, Vec<u8>)> {
+        self.pool.dirty_images()
+    }
+
+    /// Make the write set durable: leave no-steal mode, write every dirty
+    /// frame back and sync the storage. Call only after the write-ahead log
+    /// holds the images (or when running non-durably by choice).
+    pub fn commit(&mut self) -> PagerResult<()> {
+        if self.done {
+            return Ok(());
+        }
+        self.pool.txn_active.store(false, Ordering::Release);
+        self.pool.flush()?;
+        self.done = true;
+        Ok(())
+    }
+
+    /// Undo the write set: discard dirty frames and truncate the storage
+    /// back to the starting page count.
+    pub fn abort(&mut self) -> PagerResult<()> {
+        if self.done {
+            return Ok(());
+        }
+        self.done = true;
+        self.pool.discard_dirty();
+        self.pool.txn_active.store(false, Ordering::Release);
+        mutex_lock(&self.pool.storage).truncate_pages(self.start_pages)?;
+        Ok(())
+    }
+
+    /// End the transaction *without* flushing or discarding — used when the
+    /// commit point already passed in the write-ahead log but applying the
+    /// pages failed: the frames stay dirty for a later retry, and recovery
+    /// can always redo them from the log.
+    pub fn detach(&mut self) {
+        self.done = true;
+        self.pool.txn_active.store(false, Ordering::Release);
+    }
+}
+
+impl<S: Storage> Drop for TxnHandle<S> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.abort();
+        }
     }
 }
 
@@ -610,6 +746,92 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.logical_gets(), 8 * 400);
         assert!(s.physical_reads() >= 32 as u64);
+    }
+
+    #[test]
+    fn txn_abort_restores_pre_transaction_state() {
+        let pool = Arc::new(BufferPool::with_capacity(
+            MemStorage::with_page_size(128),
+            8,
+        ));
+        let (p0, h) = pool.allocate().unwrap();
+        h.write()[0] = 1;
+        drop(h);
+        pool.flush().unwrap();
+
+        let mut txn = pool.begin_txn().unwrap();
+        pool.get(p0).unwrap().write()[0] = 99;
+        let (p1, h1) = pool.allocate().unwrap();
+        h1.write()[0] = 42;
+        drop(h1);
+        let images = txn.dirty_images();
+        assert_eq!(
+            images.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![p0, p1]
+        );
+        txn.abort().unwrap();
+
+        assert_eq!(pool.page_count(), 1);
+        assert_eq!(pool.get(p0).unwrap().read()[0], 1);
+    }
+
+    #[test]
+    fn txn_commit_persists_and_drop_aborts() {
+        let pool = Arc::new(BufferPool::with_capacity(
+            MemStorage::with_page_size(128),
+            8,
+        ));
+        {
+            let mut txn = pool.begin_txn().unwrap();
+            let (_, h) = pool.allocate().unwrap();
+            h.write()[0] = 7;
+            drop(h);
+            txn.commit().unwrap();
+        }
+        assert_eq!(pool.page_count(), 1);
+        {
+            let _txn = pool.begin_txn().unwrap();
+            let (_, h) = pool.allocate().unwrap();
+            h.write()[0] = 8;
+            drop(h);
+            // Dropped without commit: aborts.
+        }
+        assert_eq!(pool.page_count(), 1);
+        assert_eq!(pool.get(0).unwrap().read()[0], 7);
+    }
+
+    #[test]
+    fn no_steal_keeps_dirty_frames_during_txn() {
+        // Capacity 2, both frames dirty inside a txn: a miss on a third page
+        // must fail with PoolExhausted rather than steal (write back) an
+        // uncommitted frame.
+        let pool = Arc::new(BufferPool::with_capacity(
+            MemStorage::with_page_size(128),
+            2,
+        ));
+        for _ in 0..3 {
+            pool.allocate().unwrap();
+        }
+        pool.flush().unwrap();
+        pool.clear_cache().unwrap();
+        let mut txn = pool.begin_txn().unwrap();
+        for i in 0..2 {
+            pool.get(i).unwrap().write()[0] = i as u8 + 1;
+        }
+        assert!(matches!(pool.get(2), Err(PagerError::PoolExhausted { .. })));
+        let mut storage_view = vec![0u8; 128];
+        mutex_lock(&pool.storage)
+            .read_page(0, &mut storage_view)
+            .unwrap();
+        assert_eq!(storage_view[0], 0, "dirty frame leaked to storage mid-txn");
+        assert_eq!(txn.dirty_images().len(), 2);
+        txn.commit().unwrap();
+        mutex_lock(&pool.storage)
+            .read_page(0, &mut storage_view)
+            .unwrap();
+        assert_eq!(storage_view[0], 1);
+        // Out of the txn, the miss succeeds again.
+        assert!(pool.get(2).is_ok());
     }
 
     #[test]

@@ -33,11 +33,19 @@ pub trait Storage {
     /// Write `buf` to page `id` (`buf.len() == page_size()`).
     fn write_page(&mut self, id: PageId, buf: &[u8]) -> PagerResult<()>;
 
-    /// Append a zeroed page and return its id.
+    /// Append a zeroed page and return its id. File-backed storages defer
+    /// the actual file growth to [`Storage::sync`] so a crashed transaction
+    /// leaves no orphan pages behind.
     fn allocate_page(&mut self) -> PagerResult<PageId>;
 
-    /// Flush to durable media (no-op for memory).
+    /// Flush to durable media (no-op for memory). For [`FileStorage`] this
+    /// is the moment allocations materialize and the page count persists.
     fn sync(&mut self) -> PagerResult<()>;
+
+    /// Drop every page with id `>= count` — the rollback inverse of
+    /// [`Storage::allocate_page`]. `count` must not exceed the current
+    /// page count.
+    fn truncate_pages(&mut self, count: u32) -> PagerResult<()>;
 }
 
 /// In-memory page array.
@@ -105,6 +113,17 @@ impl Storage for MemStorage {
     fn sync(&mut self) -> PagerResult<()> {
         Ok(())
     }
+
+    fn truncate_pages(&mut self, count: u32) -> PagerResult<()> {
+        if count as usize > self.pages.len() {
+            return Err(PagerError::Corrupt(format!(
+                "truncate_pages({count}) beyond the {} pages present",
+                self.pages.len()
+            )));
+        }
+        self.pages.truncate(count as usize);
+        Ok(())
+    }
 }
 
 const FILE_MAGIC: &[u8; 8] = b"NOKPAGE1";
@@ -112,11 +131,22 @@ const HEADER_LEN: u64 = 16; // magic (8) + page_size (4) + page_count (4)
 
 /// A storage persisted in a single file: 16-byte superblock followed by the
 /// page array.
+///
+/// Allocation is deferred: [`Storage::allocate_page`] only bumps the
+/// in-memory count, and the file grows when pages are written (or at
+/// [`Storage::sync`], which extends the file to the full allocated length
+/// before persisting the page count). An allocated-but-never-written page
+/// reads as zeros. The invariant a synced file satisfies — and
+/// [`FileStorage::open`] enforces — is
+/// `file_len == HEADER_LEN + page_count * page_size`.
 #[derive(Debug)]
 pub struct FileStorage {
     file: File,
     page_size: usize,
     page_count: u32,
+    /// Current byte length of the file (pages beyond it are allocated but
+    /// not yet materialized; they read as zeros).
+    file_len: u64,
 }
 
 impl FileStorage {
@@ -143,11 +173,30 @@ impl FileStorage {
             file,
             page_size,
             page_count: 0,
+            file_len: HEADER_LEN,
         })
     }
 
-    /// Open an existing storage file, validating the superblock.
+    /// Open an existing storage file, validating the superblock **and** that
+    /// the file length matches the persisted page count. A short or
+    /// over-long file fails here with [`PagerError::SizeMismatch`] rather
+    /// than deep inside the first query that reads past the tear.
     pub fn open<P: AsRef<Path>>(path: P) -> PagerResult<Self> {
+        let storage = Self::open_for_repair(path)?;
+        let expected = HEADER_LEN + storage.page_count as u64 * storage.page_size as u64;
+        if storage.file_len != expected {
+            return Err(PagerError::SizeMismatch {
+                pages: storage.page_count,
+                page_size: storage.page_size,
+                file_len: storage.file_len,
+            });
+        }
+        Ok(storage)
+    }
+
+    /// Open without the length check — only for WAL replay, which is about
+    /// to repair exactly the mismatch [`FileStorage::open`] rejects.
+    pub fn open_for_repair<P: AsRef<Path>>(path: P) -> PagerResult<Self> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut header = [0u8; HEADER_LEN as usize];
         file.seek(SeekFrom::Start(0))?;
@@ -162,10 +211,12 @@ impl FileStorage {
                 "implausible page size {page_size}"
             )));
         }
+        let file_len = file.metadata()?.len();
         Ok(FileStorage {
             file,
             page_size,
             page_count,
+            file_len,
         })
     }
 
@@ -176,6 +227,20 @@ impl FileStorage {
     fn persist_page_count(&mut self) -> PagerResult<()> {
         self.file.seek(SeekFrom::Start(12))?;
         self.file.write_all(&self.page_count.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Force the page count during WAL replay (may grow past pages that were
+    /// never materialized — they read as zeros until their images land).
+    pub(crate) fn set_page_count_for_replay(&mut self, count: u32) -> PagerResult<()> {
+        self.page_count = count;
+        let want = self.offset_of(count);
+        if self.file_len > want {
+            // The crash happened after pages past the committed count were
+            // materialized (an interrupted later transaction): drop them.
+            self.file.set_len(want)?;
+            self.file_len = want;
+        }
         Ok(())
     }
 }
@@ -197,8 +262,15 @@ impl Storage for FileStorage {
             });
         }
         let off = self.offset_of(id);
+        if off >= self.file_len {
+            // Allocated but never materialized: defined to be zeros.
+            buf.fill(0);
+            return Ok(());
+        }
         self.file.seek(SeekFrom::Start(off))?;
-        self.file.read_exact(buf)?;
+        let avail = (self.file_len - off).min(buf.len() as u64) as usize;
+        self.file.read_exact(&mut buf[..avail])?;
+        buf[avail..].fill(0);
         Ok(())
     }
 
@@ -212,22 +284,48 @@ impl Storage for FileStorage {
         let off = self.offset_of(id);
         self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(buf)?;
+        self.file_len = self.file_len.max(off + buf.len() as u64);
         Ok(())
     }
 
     fn allocate_page(&mut self) -> PagerResult<PageId> {
+        // Deferred: the file grows when the page is written or at sync().
+        // A transaction that never commits therefore leaves no trace.
         let id = self.page_count;
-        let zeros = vec![0u8; self.page_size];
-        let off = self.offset_of(id);
-        self.file.seek(SeekFrom::Start(off))?;
-        self.file.write_all(&zeros)?;
         self.page_count += 1;
-        self.persist_page_count()?;
         Ok(id)
     }
 
     fn sync(&mut self) -> PagerResult<()> {
+        // Ordering matters: (1) materialize the full allocated extent and
+        // make the page bytes durable, (2) only then persist the page count
+        // that declares them reachable, (3) make the header durable. A crash
+        // inside this window leaves a length/count mismatch that open()
+        // rejects loudly and WAL replay repairs.
+        let want = self.offset_of(self.page_count);
+        if self.file_len < want {
+            self.file.set_len(want)?;
+            self.file_len = want;
+        }
         self.file.sync_data()?;
+        self.persist_page_count()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate_pages(&mut self, count: u32) -> PagerResult<()> {
+        if count > self.page_count {
+            return Err(PagerError::Corrupt(format!(
+                "truncate_pages({count}) beyond the {} pages present",
+                self.page_count
+            )));
+        }
+        self.page_count = count;
+        let want = self.offset_of(count);
+        if self.file_len > want {
+            self.file.set_len(want)?;
+            self.file_len = want;
+        }
         Ok(())
     }
 }
@@ -281,6 +379,85 @@ mod tests {
             s.read_page(0, &mut buf).unwrap();
             assert!(buf.iter().all(|&b| b == 42));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_storage_open_rejects_length_mismatch() {
+        let dir = std::env::temp_dir().join(format!("nok-pager-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.pg");
+        {
+            let mut s = FileStorage::create_with_page_size(&path, 128).unwrap();
+            for _ in 0..4 {
+                s.allocate_page().unwrap();
+            }
+            s.sync().unwrap();
+        }
+        // Tear the file: drop half of the last page.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 64).unwrap();
+        drop(f);
+        match FileStorage::open(&path) {
+            Err(PagerError::SizeMismatch {
+                pages, file_len, ..
+            }) => {
+                assert_eq!(pages, 4);
+                assert_eq!(file_len, len - 64);
+            }
+            other => panic!("expected SizeMismatch, got {other:?}"),
+        }
+        // Repair mode still opens it (that's what WAL replay uses).
+        assert!(FileStorage::open_for_repair(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deferred_allocation_materializes_at_sync() {
+        let dir = std::env::temp_dir().join(format!("nok-pager-test4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("defer.pg");
+        let mut s = FileStorage::create_with_page_size(&path, 128).unwrap();
+        s.allocate_page().unwrap();
+        s.allocate_page().unwrap();
+        // Nothing written yet: the file is still just the header, but the
+        // allocated pages read as zeros.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN);
+        let mut buf = vec![9u8; 128];
+        s.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        s.sync().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN + 256);
+        assert!(FileStorage::open(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_pages_rolls_back_allocations() {
+        let mut m = MemStorage::with_page_size(64);
+        m.allocate_page().unwrap();
+        m.allocate_page().unwrap();
+        m.truncate_pages(1).unwrap();
+        assert_eq!(m.page_count(), 1);
+        assert!(m.truncate_pages(5).is_err());
+
+        let dir = std::env::temp_dir().join(format!("nok-pager-test5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.pg");
+        let mut s = FileStorage::create_with_page_size(&path, 128).unwrap();
+        let p0 = s.allocate_page().unwrap();
+        s.write_page(p0, &vec![1u8; 128]).unwrap();
+        s.sync().unwrap();
+        let p1 = s.allocate_page().unwrap();
+        s.write_page(p1, &vec![2u8; 128]).unwrap();
+        s.truncate_pages(1).unwrap();
+        s.sync().unwrap();
+        let mut s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.page_count(), 1);
+        let mut buf = vec![0u8; 128];
+        s.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -113,6 +113,19 @@ fn run() -> Result<(), String> {
         XmlDb::open_dir_with_capacity(&args.db_dir, args.pool_frames)
             .map_err(|e| format!("open {}: {e}", args.db_dir))?,
     );
+    if let Some(r) = db.recovery_report() {
+        if r.was_dirty() {
+            eprintln!(
+                "nokd: recovered {}: {} txn(s) replayed, {} page(s) restored, \
+                 {} data byte(s) truncated, {} tombstone(s) re-applied",
+                args.db_dir,
+                r.replayed_txns,
+                r.pages_applied,
+                r.data_truncated_by,
+                r.deads_reapplied
+            );
+        }
+    }
     let svc = Arc::new(QueryService::start(
         db,
         ServiceConfig {

@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 
 use nok_core::dewey::Dewey;
 use nok_core::page::{self, HEADER_SIZE, NO_PAGE};
-use nok_core::physical::{IdRecord, TagPosting};
+use nok_core::physical::{tag_posting_key, IdRecord, TagPosting};
 use nok_core::sigma::TagCode;
 use nok_core::store::{NodeAddr, StructStore};
 use nok_core::values::hash_key;
@@ -42,18 +42,16 @@ use nok_pager::{BufferPool, PageId, Storage};
 mod report;
 pub use report::{Report, Violation};
 
-/// Which optional (environment-dependent) checks to run.
+/// Which optional checks to run.
 ///
-/// The defaults are safe for any store, including one that has been through
-/// updates. Strict mode adds checks that only hold for freshly built
-/// databases:
+/// Strict mode adds two checks that used to hold only for freshly built
+/// databases but now hold after updates too:
 ///
-/// * **value orphans** — deletion is lazy in the append-only data file
-///   (records of deleted nodes are left behind by design), so unreferenced
-///   records are only a defect before any deletion has happened;
-/// * **tag posting order** — the build bulk-loads B+t postings in document
-///   order within each tag, but incremental address refreshes after updates
-///   re-append postings, so the strict order is only promised when fresh.
+/// * **value orphans** — deletes tombstone a data record once its last
+///   referent is gone, so a live record reachable from no B+i entry is a
+///   defect;
+/// * **tag posting order** — B+t keys are composite `(tag, dewey)`, so key
+///   order *is* document order within each tag group, fresh or updated.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VerifyOptions {
     /// Report data-file records referenced by no B+i entry.
@@ -185,11 +183,18 @@ fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
         }
 
         // Header exactness, part 1: st must equal the true end level of the
-        // previous page (0 for the first page).
-        if header.st != level {
+        // previous page (0 for the first page). A page holding no entries
+        // stores the canonical sentinel instead — it passes the running
+        // level through and must not claim any level of its own.
+        let expected_st = if header.nbytes == 0 {
+            page::EMPTY_PAGE_ST
+        } else {
+            level
+        };
+        if header.st != expected_st {
             scan.violations.push(Violation::StMismatch {
                 page: pid,
-                expected: level,
+                expected: expected_st,
                 found: header.st,
             });
         }
@@ -608,7 +613,8 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
         }
     }
 
-    // ---- B+t: exactly one posting (tag -> (addr, level, dewey)) per node.
+    // ---- B+t: exactly one posting per node, stored under the composite
+    // (tag, dewey) key.
     let mut expected_tags: HashMap<(Vec<u8>, Vec<u8>), i64> = HashMap::new();
     for n in &scan.nodes {
         let posting = TagPosting {
@@ -617,7 +623,7 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
             dewey: n.dewey.clone(),
         };
         *expected_tags
-            .entry((n.tag.to_key().to_vec(), posting.to_bytes()))
+            .entry((tag_posting_key(n.tag, &n.dewey), posting.to_bytes()))
             .or_insert(0) += 1;
     }
     let order_of: HashMap<Vec<u8>, u64> = scan
@@ -641,7 +647,7 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
                     }
                 };
                 tag_entries += 1;
-                let tag = if tk.len() == 2 {
+                let tag = if tk.len() >= 2 {
                     TagCode::from_key(&tk).0
                 } else {
                     u16::MAX
@@ -666,10 +672,12 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
                         ),
                     }),
                 }
-                if opts.tag_order {
+                if opts.tag_order && tk.len() >= 2 {
+                    // Group by the 2-byte tag prefix of the composite key.
+                    let group = tk[..2].to_vec();
                     if let Some(&ord) = order_of.get(&posting.dewey.to_key()) {
                         if let Some((ptk, pord)) = &prev_in_group {
-                            if *ptk == tk && *pord > ord {
+                            if *ptk == group && *pord > ord {
                                 v.push(Violation::TagOrderViolation {
                                     tag,
                                     detail: format!(
@@ -679,7 +687,7 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
                                 });
                             }
                         }
-                        prev_in_group = Some((tk.clone(), ord));
+                        prev_in_group = Some((group, ord));
                     }
                 }
             }
@@ -724,14 +732,15 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
         }
     }
 
-    // ---- Data file: every record reachable from B+i (fresh stores only —
-    // lazy deletion legitimately leaves orphans behind).
+    // ---- Data file: every live record reachable from B+i. Records whose
+    // last referent was deleted carry a tombstone (the dead bit in the
+    // length word) and are skipped, so this holds after updates too.
     if opts.value_orphans {
         let mut off = 0u64;
         let total = db.data_cell().lock_data().len_bytes();
         while off < total {
-            let text = match db.data_cell().lock_data().get_record(off) {
-                Ok(t) => t,
+            let (len, dead) = match db.data_cell().lock_data().record_span(off) {
+                Ok(s) => s,
                 Err(e) => {
                     v.push(Violation::RecordCorrupt {
                         what: "data-file record",
@@ -740,10 +749,10 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
                     break;
                 }
             };
-            if !referenced_offsets.contains(&off) {
+            if !dead && !referenced_offsets.contains(&off) {
                 v.push(Violation::OrphanValueRecord { offset: off });
             }
-            off += 4 + text.len() as u64;
+            off += 4 + len as u64;
         }
     }
 }

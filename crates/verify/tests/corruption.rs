@@ -67,6 +67,31 @@ fn st_corruption_is_flagged() {
 }
 
 #[test]
+fn stale_empty_page_st_is_flagged() {
+    // Delete a multi-page subtree so the chain keeps empty pages, then give
+    // one of them a plausible-looking level instead of the canonical
+    // sentinel. Both the raw scan and the directory cross-check must object.
+    let mut xml = String::from("<r><victim>");
+    for i in 0..60 {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</victim><keep>yes</keep></r>");
+    let mut db = XmlDb::build_in_memory_with(&xml, BuildOptions::default(), 64).unwrap();
+    db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+        .unwrap();
+    let empty = (0..db.store().chain_len() as u32)
+        .map(|r| db.store().dir_at(r).unwrap())
+        .find(|e| e.entries == 0)
+        .expect("multi-page delete leaves an empty page");
+    assert_eq!(empty.st, nok_core::page::EMPTY_PAGE_ST);
+    patch(&db, empty.id, |buf| put_u16(buf, OFF_ST, 2));
+    let rep = verify_chain(db.store().pool());
+    assert!(rep.has_kind("st-mismatch"), "{rep}");
+    let rep = verify_store(db.store());
+    assert!(rep.has_kind("directory-mismatch"), "{rep}");
+}
+
+#[test]
 fn bounds_corruption_is_flagged() {
     let db = tiny_db();
     let pid = chain_page(&db, 1);

@@ -11,6 +11,11 @@
 //! 2. **No stray `dbg!` / `todo!`** anywhere, tests included.
 //! 3. **Every `unsafe` keyword** must have a `// SAFETY:` comment on the same
 //!    line or one of the three lines above it.
+//! 4. **No raw page I/O outside the pager.** `.write_page(` and
+//!    `.allocate_page(` bypass both the buffer pool's no-steal transaction
+//!    tracking and the write-ahead log, so a call anywhere outside
+//!    `crates/pager/src/` can silently break crash atomicity. Everything
+//!    else must go through `BufferPool` / `TxnHandle`.
 //!
 //! The scanner is deliberately token-ish, not a full parser: it strips
 //! comments, string/char literals and raw strings with a small state
@@ -45,6 +50,10 @@ const PANICKY: &[&str] = &[
 
 const STRAY: &[&str] = &["dbg!(", "todo!("];
 
+/// Raw [`Storage`] mutations that skip the buffer pool and the write-ahead
+/// log. Legal only inside the pager crate itself.
+const RAW_PAGE_IO: &[&str] = &[".write_page(", ".allocate_page("];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -78,6 +87,12 @@ pub fn is_hot_path(path: &Path) -> bool {
         || HOT_PATH_DIRS
             .iter()
             .any(|dir| p.contains(dir) && p.ends_with(".rs"))
+}
+
+/// Is `path` inside the pager crate, where raw page I/O is implemented?
+pub fn is_pager_internal(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("pager/src/")
 }
 
 /// A source line split into code text (literals/comments blanked) and the
@@ -303,6 +318,19 @@ pub fn scan_source(path: &Path, source: &str) -> Vec<Finding> {
             }
         }
 
+        if !is_pager_internal(path) {
+            for pat in RAW_PAGE_IO {
+                if line.code.contains(pat) {
+                    findings.push(Finding {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: "raw-page-io",
+                        pattern: (*pat).to_string(),
+                    });
+                }
+            }
+        }
+
         if has_word(&line.code, "unsafe") {
             let documented = line.comment.contains("SAFETY:")
                 || lines[idx.saturating_sub(3)..idx]
@@ -458,6 +486,21 @@ fn g() { todo!() }
         let f = scan("crates/xml/src/reader.rs", src);
         assert_eq!(f.len(), 2, "{f:?}");
         assert!(f.iter().all(|x| x.rule == "stray-debug-macro"));
+    }
+
+    #[test]
+    fn raw_page_io_flagged_outside_pager() {
+        let src = "fn f(s: &mut MemStorage) { s.allocate_page(); s.write_page(0, &[]); }\n";
+        let f = scan("crates/core/src/update.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "raw-page-io"));
+    }
+
+    #[test]
+    fn raw_page_io_allowed_inside_pager() {
+        let src = "fn f(s: &mut MemStorage) { s.write_page(0, &[]); }\n";
+        let f = scan("crates/pager/src/wal.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

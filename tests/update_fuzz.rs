@@ -1,0 +1,298 @@
+//! Differential update fuzzing: seeded random insert/delete interleavings
+//! over every generated dataset, cross-checked against the Naive oracle
+//! and the storage-format analyzer after **every** step.
+//!
+//! The dataset XML is split into its top-level record subtrees and
+//! re-serialized canonically (comments and PIs dropped, entities
+//! re-escaped); the same canonical strings feed both the database build
+//! and the string mirror, so the mirror document is byte-identical to
+//! what the database was told. Each step either inserts a record from the
+//! unused pool at the end of the root or deletes a random record, then:
+//!
+//! 1. `verify_db(VerifyOptions::strict())` must report zero violations
+//!    (strict includes value-orphan and tag-order checks, which hold
+//!    after updates thanks to tombstones and composite B+t keys), and
+//! 2. a set of dataset-derived path queries must answer identically to
+//!    [`NaiveEvaluator`] on the mirror document.
+//!
+//! The sweep runs all five datasets at structural page sizes 256, 1024,
+//! and 4096 — small pages force splits and chain rewiring mid-workload.
+
+use nok_core::naive::NaiveEvaluator;
+use nok_core::{BuildOptions, Dewey, XmlDb};
+use nok_datagen::{generate, DatasetKind};
+use nok_pager::MemStorage;
+use nok_verify::{verify_db, VerifyOptions};
+use nok_xml::reader::parse_events;
+use nok_xml::{Document, Event};
+
+/// Structural page sizes the sweep exercises.
+const PAGE_SIZES: &[usize] = &[256, 1024, 4096];
+/// Records initially in the database; the rest of the pool feeds inserts.
+const BASE_RECORDS: usize = 40;
+/// Total records kept from each dataset (base + insert pool).
+const KEEP_RECORDS: usize = 120;
+/// Random update steps per (dataset, page size) combination.
+const STEPS: usize = 12;
+
+// ---------------------------------------------------------------------
+// Deterministic PRNG (xorshift64*)
+// ---------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical record splitting
+// ---------------------------------------------------------------------
+
+fn esc_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn write_event(ev: &Event, out: &mut String) {
+    match ev {
+        Event::Start { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for a in attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                esc_into(&a.value, out);
+                out.push('"');
+            }
+            out.push('>');
+        }
+        Event::End { name } => {
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        Event::Text(t) => esc_into(t, out),
+        // Comments and PIs carry no queryable structure; dropping them on
+        // both sides keeps the mirror and the database identical.
+        Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+    }
+}
+
+/// A dataset decomposed into a canonical root wrapper plus its top-level
+/// record subtrees, re-serialized so the mirror can be reassembled
+/// byte-identically.
+struct Split {
+    root_open: String,
+    root_close: String,
+    /// Attribute nodes occupy the leading child indexes under the root,
+    /// so record `j` lives at dewey `[0, root_attrs + j]`.
+    root_attrs: u32,
+    records: Vec<String>,
+}
+
+impl Split {
+    fn render(&self, records: &[String]) -> String {
+        let mut s = String::with_capacity(
+            self.root_open.len()
+                + self.root_close.len()
+                + records.iter().map(String::len).sum::<usize>(),
+        );
+        s.push_str(&self.root_open);
+        for r in records {
+            s.push_str(r);
+        }
+        s.push_str(&self.root_close);
+        s
+    }
+}
+
+fn split_dataset(xml: &str, keep: usize) -> Split {
+    let events = parse_events(xml).expect("parse dataset");
+    let mut it = events.iter();
+    let (root_open, root_name, root_attrs) = loop {
+        match it.next().expect("dataset has a root element") {
+            Event::Start { name, attrs } => {
+                let mut s = String::new();
+                write_event(
+                    &Event::Start {
+                        name: name.clone(),
+                        attrs: attrs.clone(),
+                    },
+                    &mut s,
+                );
+                break (s, name.clone(), attrs.len() as u32);
+            }
+            _ => continue,
+        }
+    };
+
+    let mut records = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ev in it {
+        match ev {
+            Event::Start { .. } => {
+                depth += 1;
+                write_event(ev, &mut cur);
+            }
+            Event::End { name } => {
+                if depth == 0 {
+                    assert_eq!(name, &root_name, "unbalanced dataset document");
+                    break;
+                }
+                depth -= 1;
+                write_event(ev, &mut cur);
+                if depth == 0 {
+                    records.push(std::mem::take(&mut cur));
+                    if records.len() >= keep {
+                        break;
+                    }
+                }
+            }
+            Event::Text(t) => {
+                if depth == 0 {
+                    // Inter-record whitespace; mixed content at the root
+                    // would desynchronize the mirror's dewey numbering.
+                    assert!(t.trim().is_empty(), "dataset has mixed content at the root");
+                } else {
+                    write_event(ev, &mut cur);
+                }
+            }
+            Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+        }
+    }
+    assert!(
+        records.len() > BASE_RECORDS,
+        "dataset too small to fuzz ({} records)",
+        records.len()
+    );
+    Split {
+        root_open,
+        root_close: format!("</{root_name}>"),
+        root_attrs,
+        records,
+    }
+}
+
+/// Dataset-derived queries: the record path, a descendant sweep of the
+/// record tag, and a descendant sweep of the record's first child tag.
+fn derive_queries(split: &Split) -> Vec<String> {
+    let root_name = split.root_open[1..]
+        .split([' ', '>'])
+        .next()
+        .expect("root tag name")
+        .to_string();
+    let rec_events = parse_events(&split.records[0]).expect("parse record");
+    let rec_tag = match &rec_events[0] {
+        Event::Start { name, .. } => name.clone(),
+        other => panic!("record does not start with an element: {other:?}"),
+    };
+    let mut queries = vec![format!("/{root_name}/{rec_tag}"), format!("//{rec_tag}")];
+    if let Some(Event::Start { name, .. }) = rec_events
+        .iter()
+        .skip(1)
+        .find(|e| matches!(e, Event::Start { .. }))
+    {
+        queries.push(format!("//{name}"));
+        queries.push(format!("/{root_name}/{rec_tag}/{name}"));
+    }
+    queries
+}
+
+fn assert_matches_oracle(
+    db: &XmlDb<MemStorage>,
+    expected_xml: &str,
+    queries: &[String],
+    ctx: &str,
+) {
+    let doc = Document::parse(expected_xml).expect("parse mirror");
+    let oracle = NaiveEvaluator::new(&doc);
+    for q in queries {
+        let got: Vec<String> = db
+            .query(q)
+            .unwrap_or_else(|e| panic!("{ctx}: query {q}: {e}"))
+            .iter()
+            .map(|m| m.dewey.to_string())
+            .collect();
+        let want: Vec<String> = oracle
+            .eval_str(q)
+            .unwrap_or_else(|e| panic!("{ctx}: oracle {q}: {e}"))
+            .iter()
+            .map(|n| oracle.dewey(n).to_string())
+            .collect();
+        assert_eq!(got, want, "{ctx}: divergence on {q}");
+    }
+}
+
+fn fuzz_one(kind: DatasetKind, page_size: usize, seed: u64) {
+    let ds = generate(kind, 0.02);
+    let split = split_dataset(&ds.xml, KEEP_RECORDS);
+    let queries = derive_queries(&split);
+
+    let mut mirror: Vec<String> = split.records[..BASE_RECORDS].to_vec();
+    let pool: Vec<String> = split.records[BASE_RECORDS..].to_vec();
+    let mut db =
+        XmlDb::build_in_memory_with(&split.render(&mirror), BuildOptions::default(), page_size)
+            .expect("build");
+
+    let mut rng = XorShift::new(seed);
+    for step in 0..STEPS {
+        let ctx = format!("{} ps={page_size} step={step}", ds.kind.name());
+        if mirror.is_empty() || rng.next() % 10 < 6 {
+            let rec = &pool[rng.below(pool.len())];
+            db.insert_last_child(&Dewey::root(), rec)
+                .unwrap_or_else(|e| panic!("{ctx}: insert: {e}"));
+            mirror.push(rec.clone());
+        } else {
+            let j = rng.below(mirror.len());
+            db.delete_subtree(&Dewey::from_components(vec![
+                0,
+                split.root_attrs + j as u32,
+            ]))
+            .unwrap_or_else(|e| panic!("{ctx}: delete [0,{j}]: {e}"));
+            mirror.remove(j);
+        }
+
+        let report = verify_db(&db, VerifyOptions::strict());
+        assert!(
+            report.is_clean(),
+            "{ctx}: strict verify failed: {}",
+            report.to_json()
+        );
+        assert_matches_oracle(&db, &split.render(&mirror), &queries, &ctx);
+    }
+}
+
+#[test]
+fn differential_update_fuzz_all_datasets() {
+    for (di, kind) in DatasetKind::ALL.iter().enumerate() {
+        for (pi, &ps) in PAGE_SIZES.iter().enumerate() {
+            let seed = 0x9E37_79B9_7F4A_7C15u64 ^ ((di as u64) << 32) ^ (pi as u64);
+            fuzz_one(*kind, ps, seed);
+        }
+    }
+}
