@@ -50,6 +50,11 @@ for _ in 1 2 3 4 5; do cat "$corpus/queries.txt"; done > "$corpus/queries5.txt"
 ./target/release/nokq --offline "$corpus/dblp" < "$corpus/queries5.txt" \
   > "$corpus/offline.txt"
 diff "$corpus/served.txt" "$corpus/offline.txt"
+# EXPLAIN over the wire and offline both end in the collect operator.
+./target/release/nokq --addr "127.0.0.1:$port" --explain \
+  '//article[year="1995"]//author' | grep -q 'collect'
+./target/release/nokq --offline "$corpus/dblp" --explain \
+  '//article[year="1995"]//author' | grep -q 'collect'
 ./target/release/nokq --addr "127.0.0.1:$port" --shutdown > /dev/null
 wait "$nokd_pid"
 ./target/release/nokfsck --strict "$corpus/dblp"
@@ -65,6 +70,19 @@ echo "==> navigation kernels bench (BENCH_nav.json)"
 cargo run --release -q -p nok-bench --bin nav_bench -- \
   --scale 0.01 --reps 3 --out BENCH_nav.json
 grep -q '"gates_passed":true' BENCH_nav.json
+
+echo "==> planner/executor differential battery (release)"
+# Every workload query x every dataset: cost-ordered plan == fixed order
+# == forced scan == the naive oracle, plus the explain snapshot.
+cargo test --release -q -p nok-bench --test plan_differential
+
+echo "==> planner bench (BENCH_plan.json)"
+# Gates: the cost-ordered plan never examines more index entries than the
+# legacy fixed order (strictly fewer on the pessimal sibling-cut query),
+# and a plan-cache hit reuses the cached allocation with exactly one miss.
+cargo run --release -q -p nok-bench --bin plan_bench -- \
+  --reps 3 --out BENCH_plan.json
+grep -q '"gates_passed":true' BENCH_plan.json
 
 echo "==> crash-recovery failpoint sweep + differential update fuzz (release)"
 # Bounded k-sweep by default; NOK_FAILPOINT_FULL=1 probes every injected

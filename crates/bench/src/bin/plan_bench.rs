@@ -1,0 +1,251 @@
+//! plan_bench — the cost-based planner versus fixed-order evaluation, and
+//! the serve-layer plan cache's hit path.
+//!
+//! ```text
+//! cargo run -p nok-bench --release --bin plan_bench -- \
+//!     [--reps 5] [--out BENCH_plan.json]
+//! ```
+//!
+//! The pessimal query is `//a[.//nosuch]//filler` over a document with
+//! thousands of `filler` nodes and **zero** `nosuch` nodes. Its two cut
+//! fragments are siblings, so fragment order is the planner's to choose:
+//! the legacy fixed order (highest fragment index first) evaluates the
+//! unselective `filler` fragment with a full document scan before
+//! discovering `nosuch` is empty, while the cost-ordered plan evaluates
+//! the zero-cost `nosuch` fragment first and proves the query empty
+//! without touching the fillers.
+//!
+//! Gates (the process exits nonzero when any fails):
+//!
+//! * On every measured query the planned order examines no more index
+//!   entries than the fixed order, and on the pessimal query strictly
+//!   fewer.
+//! * Both orders return identical results.
+//! * The plan-cache hit path allocates no plan: over many lookups of one
+//!   query, exactly one miss plans, and every hit returns the same
+//!   allocation (`Arc::ptr_eq`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nok_bench::Args;
+use nok_core::{PlanConfig, PlannedQuery, QueryOptions, QueryScratch, XmlDb};
+use nok_pager::MemStorage;
+use nok_serve::{normalize_query, Json, PlanCache};
+
+const PESSIMAL: &str = "//a[.//nosuch]//filler";
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("plan_bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// One subtree of mostly-`filler` content; no `nosuch` anywhere.
+fn pessimal_xml(sections: usize, fillers_per_section: usize) -> String {
+    let mut xml = String::from("<r>");
+    for _ in 0..sections {
+        xml.push_str("<a><meta>x</meta>");
+        for _ in 0..fillers_per_section {
+            xml.push_str("<filler/>");
+        }
+        xml.push_str("</a>");
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+struct Measure {
+    ns: f64,
+    entries: u64,
+    dir_entries: u64,
+    matches: u64,
+    deweys: Vec<String>,
+}
+
+/// Execute a prepared plan `reps` times; best wall time, last-pass stats.
+fn measure(db: &XmlDb<MemStorage>, planned: &PlannedQuery, reps: usize) -> Result<Measure, String> {
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        db.store().invalidate_decoded(None);
+        db.store()
+            .pool()
+            .clear_cache()
+            .map_err(|e| format!("clear: {e}"))?;
+        let t = Instant::now();
+        db.execute_plan(planned, &mut scratch, &mut out)
+            .map_err(|e| format!("execute: {e}"))?;
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    let stats = scratch.stats();
+    Ok(Measure {
+        ns: best,
+        entries: stats.entries_examined,
+        dir_entries: stats.dir_entries_examined,
+        matches: out.len() as u64,
+        deweys: out.iter().map(|m| m.dewey.to_string()).collect(),
+    })
+}
+
+struct QueryResult {
+    query: String,
+    planned: Measure,
+    fixed: Measure,
+}
+
+impl QueryResult {
+    fn to_json(&self) -> Json {
+        let side = |m: &Measure| {
+            Json::obj(vec![
+                ("ns", Json::Num(m.ns)),
+                ("entries_examined", Json::Num(m.entries as f64)),
+                ("dir_entries_examined", Json::Num(m.dir_entries as f64)),
+                ("matches", Json::Num(m.matches as f64)),
+            ])
+        };
+        Json::obj(vec![
+            ("query", Json::Str(self.query.clone())),
+            ("planned", side(&self.planned)),
+            ("fixed", side(&self.fixed)),
+        ])
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    let reps = args.reps() as usize;
+    let out_path = args.get("out").unwrap_or("BENCH_plan.json").to_string();
+
+    let db = XmlDb::build_in_memory(&pessimal_xml(40, 400)).map_err(|e| format!("build: {e}"))?;
+
+    let queries = [PESSIMAL, "//a//filler", "//a[.//meta]//filler", "//nosuch"];
+    let mut results = Vec::new();
+    for q in queries {
+        let planned = db
+            .plan_query(q, QueryOptions::default())
+            .map_err(|e| format!("plan {q}: {e}"))?;
+        let fixed = db
+            .plan_query_with(
+                q,
+                QueryOptions::default(),
+                PlanConfig {
+                    cost_ordered: false,
+                },
+            )
+            .map_err(|e| format!("plan {q}: {e}"))?;
+        results.push(QueryResult {
+            query: q.to_string(),
+            planned: measure(&db, &planned, reps)?,
+            fixed: measure(&db, &fixed, reps)?,
+        });
+    }
+
+    // ---- Plan-cache hit path: one miss plans, every hit reuses the same
+    // allocation.
+    let cache = PlanCache::new(8);
+    let key = normalize_query(PESSIMAL);
+    let generation = db.commit_generation();
+    let lookups = 1000usize;
+    let mut misses = 0usize;
+    let mut reused_allocation = true;
+    let mut cached: Option<Arc<PlannedQuery>> = None;
+    let t = Instant::now();
+    for _ in 0..lookups {
+        match cache.lookup(&key, generation).plan {
+            Some(p) => {
+                if let Some(first) = &cached {
+                    reused_allocation &= Arc::ptr_eq(first, &p);
+                }
+            }
+            None => {
+                misses += 1;
+                let p = Arc::new(
+                    db.plan_query(PESSIMAL, QueryOptions::default())
+                        .map_err(|e| format!("plan: {e}"))?,
+                );
+                cache.insert(key.clone(), generation, Arc::clone(&p));
+                cached = Some(p);
+            }
+        }
+    }
+    let cache_ns_per_lookup = t.elapsed().as_nanos() as f64 / lookups as f64;
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>12} {:>12}",
+        "query", "planned entr", "fixed entr", "planned ms", "fixed ms"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>14} {:>14} {:>12.3} {:>12.3}",
+            r.query,
+            r.planned.entries,
+            r.fixed.entries,
+            r.planned.ns / 1e6,
+            r.fixed.ns / 1e6,
+        );
+    }
+    println!(
+        "plan cache: {lookups} lookups, {misses} miss(es), \
+         {cache_ns_per_lookup:.0} ns/lookup, reused_allocation={reused_allocation}"
+    );
+
+    // ---- Gates.
+    let mut failures = Vec::new();
+    for r in &results {
+        if r.planned.entries > r.fixed.entries {
+            failures.push(format!(
+                "{}: planned order examined more entries ({} > {})",
+                r.query, r.planned.entries, r.fixed.entries
+            ));
+        }
+        if r.planned.deweys != r.fixed.deweys {
+            failures.push(format!("{}: planned and fixed orders disagree", r.query));
+        }
+    }
+    if let Some(r) = results.iter().find(|r| r.query == PESSIMAL) {
+        if r.planned.entries >= r.fixed.entries {
+            failures.push(format!(
+                "pessimal query: planned order must examine strictly fewer entries \
+                 (planned={} fixed={})",
+                r.planned.entries, r.fixed.entries
+            ));
+        }
+    }
+    if misses != 1 {
+        failures.push(format!("plan cache: expected exactly 1 miss, saw {misses}"));
+    }
+    if !reused_allocation {
+        failures.push("plan cache: a hit returned a different allocation".into());
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("plan".into())),
+        ("reps", Json::Num(reps as f64)),
+        ("node_count", Json::Num(db.node_count() as f64)),
+        (
+            "queries",
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        ),
+        (
+            "plan_cache",
+            Json::obj(vec![
+                ("lookups", Json::Num(lookups as f64)),
+                ("misses", Json::Num(misses as f64)),
+                ("ns_per_lookup", Json::Num(cache_ns_per_lookup.round())),
+                ("reused_allocation", Json::Bool(reused_allocation)),
+            ]),
+        ),
+        ("gates_passed", Json::Bool(failures.is_empty())),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", report.to_string_compact()))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(())
+}

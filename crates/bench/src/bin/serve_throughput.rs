@@ -98,6 +98,7 @@ fn run() -> Result<(), String> {
                 workers,
                 queue_cap: 1024,
                 default_timeout: Duration::from_secs(60),
+                ..ServiceConfig::default()
             },
         ));
         // Warm-up: one pass over the workload.

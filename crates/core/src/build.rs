@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use nok_btree::BTree;
@@ -17,8 +18,8 @@ use crate::error::{CoreError, CoreResult};
 use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::recovery::RecoveryReport;
 use crate::sigma::{TagCode, TagDict};
-use crate::store::{BuildOptions, BuildSink, NodeRecord, StructStore};
-use crate::values::{hash_key, DataFile, LockDataFile};
+use crate::store::{BuildOptions, BuildSink, NodeRecord, StatsBlock, StructStore};
+use crate::values::{hash_key, hash_value, DataFile, LockDataFile};
 
 /// A complete XML database instance over one document.
 pub struct XmlDb<S: Storage> {
@@ -33,6 +34,13 @@ pub struct XmlDb<S: Storage> {
     pub(crate) bt_id: BTree<S>,
     /// Occurrences per tag (selectivity estimation).
     pub(crate) tag_counts: HashMap<TagCode, u64>,
+    /// Occurrences per value hash (planner selectivity estimation).
+    pub(crate) value_counts: HashMap<u64, u64>,
+    /// Bumped once per successfully committed update transaction; the
+    /// serve-layer plan cache keys its invalidation on it.
+    pub(crate) generation: AtomicU64,
+    /// Where the planner stats block is persisted (on-disk databases only).
+    pub(crate) stats_path: Option<PathBuf>,
     /// Where the tag dictionary is persisted (on-disk databases only);
     /// updates can intern new tags, so `flush` rewrites it.
     pub(crate) dict_path: Option<PathBuf>,
@@ -108,6 +116,7 @@ const F_ID: &str = "dewey.idx";
 pub(crate) const F_DATA: &str = "values.dat";
 pub(crate) const F_DICT: &str = "dict.bin";
 pub(crate) const F_WAL: &str = "wal.log";
+pub(crate) const F_STATS: &str = "stats.blk";
 
 /// Paged component files in WAL component order (the `comp` byte of a
 /// [`WalRecord::PageImage`] indexes this array).
@@ -134,6 +143,7 @@ impl XmlDb<FileStorage> {
             DataFile::create(dir.join(F_DATA))?,
         )?;
         db.dict_path = Some(dir.join(F_DICT));
+        db.stats_path = Some(dir.join(F_STATS));
         db.flush()?;
         // Seed the write-ahead log with a baseline checkpoint so the first
         // crash-recovery pass knows the committed data-file length.
@@ -164,6 +174,7 @@ impl XmlDb<FileStorage> {
         if let Some(path) = &self.dict_path {
             std::fs::write(path, self.dict.to_bytes()).map_err(nok_pager::PagerError::from)?;
         }
+        self.persist_stats()?;
         self.store.pool().flush()?;
         self.bt_tag.flush()?;
         self.bt_val.flush()?;
@@ -201,15 +212,48 @@ impl<S: Storage> XmlDb<S> {
         let dict_bytes = std::fs::read(dir.join(F_DICT)).map_err(nok_pager::PagerError::from)?;
         let dict = TagDict::from_bytes(&dict_bytes)
             .ok_or_else(|| CoreError::Corrupt("bad tag dictionary".into()))?;
-        // Rebuild tag counts from the tag index (composite keys carry the
-        // tag code in their first two bytes).
-        let mut tag_counts = HashMap::new();
-        for item in bt_tag.iter_all()? {
-            let (k, _) = item?;
-            *tag_counts.entry(TagCode::from_key(&k)).or_insert(0) += 1;
-        }
+        // Planner statistics: trust the persisted stats block only when
+        // recovery was clean and the block matches the store it sits next
+        // to; otherwise rebuild both counter maps from the indexes (the
+        // composite B+t keys carry the tag code in their first two bytes,
+        // the B+v keys are the 8-byte value hashes).
+        let stats_path = dir.join(F_STATS);
+        let loaded = if report.was_dirty() {
+            None
+        } else {
+            std::fs::read(&stats_path)
+                .ok()
+                .and_then(|b| StatsBlock::from_bytes(&b))
+                .filter(|block| block.node_count == store.node_count())
+        };
+        let (tag_counts, value_counts, stats_stale) = match loaded {
+            Some(block) => (
+                block
+                    .tag_counts
+                    .iter()
+                    .map(|&(code, n)| (TagCode::from_key(&code.to_be_bytes()), n))
+                    .collect(),
+                block.value_counts.iter().copied().collect(),
+                false,
+            ),
+            None => {
+                let mut tag_counts = HashMap::new();
+                for item in bt_tag.iter_all()? {
+                    let (k, _) = item?;
+                    *tag_counts.entry(TagCode::from_key(&k)).or_insert(0) += 1;
+                }
+                let mut value_counts: HashMap<u64, u64> = HashMap::new();
+                for item in bt_val.iter_all()? {
+                    let (k, _) = item?;
+                    if let Ok(bytes) = <[u8; 8]>::try_from(&k[..]) {
+                        *value_counts.entry(u64::from_be_bytes(bytes)).or_insert(0) += 1;
+                    }
+                }
+                (tag_counts, value_counts, true)
+            }
+        };
         let wal = Wal::open_or_create(dir.join(F_WAL))?;
-        Ok(XmlDb {
+        let db = XmlDb {
             store,
             dict,
             data: Mutex::new(data),
@@ -217,11 +261,18 @@ impl<S: Storage> XmlDb<S> {
             bt_val,
             bt_id,
             tag_counts,
+            value_counts,
+            generation: AtomicU64::new(0),
+            stats_path: Some(stats_path),
             dict_path: Some(dir.join(F_DICT)),
             wal: Some(wal),
             recovery: Some(report),
             pending_dead: Vec::new(),
-        })
+        };
+        if stats_stale {
+            db.persist_stats()?;
+        }
+        Ok(db)
     }
 
     /// Build from XML text given pre-created pools (one per component).
@@ -304,9 +355,11 @@ impl<S: Storage> XmlDb<S> {
         let bt_tag = BTree::bulk_load(tag_pool, tag_pairs, 0.9)?;
 
         // ---- B+v: value hash → dewey key.
+        let mut value_counts: HashMap<u64, u64> = HashMap::new();
         let mut val_pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(sink.values.len());
         for (dewey, off, _len) in &sink.values {
             let text = data.get_record(*off)?;
+            *value_counts.entry(hash_value(&text)).or_insert(0) += 1;
             val_pairs.push((hash_key(&text).to_vec(), dewey.to_key()));
         }
         val_pairs.sort_by(|a, b| a.0.cmp(&b.0));
@@ -320,6 +373,9 @@ impl<S: Storage> XmlDb<S> {
             bt_val,
             bt_id,
             tag_counts,
+            value_counts,
+            generation: AtomicU64::new(0),
+            stats_path: None,
             dict_path: None,
             wal: None,
             recovery: None,
@@ -366,6 +422,52 @@ impl<S: Storage> XmlDb<S> {
     /// Occurrences of a tag (0 if unseen).
     pub fn tag_count(&self, tag: TagCode) -> u64 {
         self.tag_counts.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Occurrences of a value hash (0 if unseen) — the planner's
+    /// selectivity estimate for `= "literal"` constraints. Hash collisions
+    /// make this an upper bound; the executor re-verifies the actual text.
+    pub fn value_count(&self, hash: u64) -> u64 {
+        self.value_counts.get(&hash).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct value hashes tracked by the stats block.
+    pub fn distinct_value_count(&self) -> u64 {
+        self.value_counts.len() as u64
+    }
+
+    /// Monotonic counter bumped by every successfully committed update
+    /// transaction. Plan caches compare it to decide invalidation.
+    pub fn commit_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the in-memory statistics as a persistable block.
+    pub(crate) fn stats_snapshot(&self) -> StatsBlock {
+        let mut tag_counts: Vec<(u16, u64)> = self
+            .tag_counts
+            .iter()
+            .map(|(t, &n)| (u16::from_be_bytes(t.to_key()), n))
+            .collect();
+        tag_counts.sort_unstable();
+        let mut value_counts: Vec<(u64, u64)> =
+            self.value_counts.iter().map(|(&h, &n)| (h, n)).collect();
+        value_counts.sort_unstable();
+        StatsBlock {
+            node_count: self.node_count(),
+            tag_counts,
+            value_counts,
+        }
+    }
+
+    /// Persist the stats block next to the other components (no-op for
+    /// in-memory databases).
+    pub(crate) fn persist_stats(&self) -> CoreResult<()> {
+        if let Some(path) = &self.stats_path {
+            std::fs::write(path, self.stats_snapshot().to_bytes())
+                .map_err(nok_pager::PagerError::from)?;
+        }
+        Ok(())
     }
 
     /// All B+t postings for `tag`, in document order (a range scan over the
@@ -428,6 +530,7 @@ impl<S: Storage> XmlDb<S> {
             data_len0: self.data.lock_data().len_bytes(),
             dict_bytes0: self.dict.to_bytes(),
             tag_counts0: self.tag_counts.clone(),
+            value_counts0: self.value_counts.clone(),
         })
     }
 
@@ -459,6 +562,9 @@ impl<S: Storage> XmlDb<S> {
             }
         }
         self.pending_dead.clear();
+        // The commit is fully durable: let plan caches know their plans
+        // (and the stats they were costed from) may now be stale.
+        self.generation.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -522,6 +628,11 @@ impl<S: Storage> XmlDb<S> {
         for h in &mut ctx.handles {
             h.commit()?;
         }
+        // Persist the refreshed planner statistics **before** the
+        // checkpoint: a crash anywhere up to the checkpoint leaves the log
+        // dirty, so the next open rebuilds (or re-writes) the stats block
+        // instead of silently trusting a stale one.
+        self.persist_stats()?;
         Ok(())
     }
 
@@ -549,6 +660,7 @@ impl<S: Storage> XmlDb<S> {
         self.dict = TagDict::from_bytes(&ctx.dict_bytes0)
             .ok_or_else(|| CoreError::Corrupt("dictionary snapshot corrupt".into()))?;
         self.tag_counts = ctx.tag_counts0.clone();
+        self.value_counts = ctx.value_counts0.clone();
         self.store.reload()?;
         self.bt_tag.reload_meta()?;
         self.bt_val.reload_meta()?;
@@ -564,6 +676,7 @@ pub(crate) struct TxnCtx<S: Storage> {
     data_len0: u64,
     dict_bytes0: Vec<u8>,
     tag_counts0: HashMap<TagCode, u64>,
+    value_counts0: HashMap<u64, u64>,
 }
 
 #[cfg(test)]

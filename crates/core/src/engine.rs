@@ -1,37 +1,32 @@
-//! The query engine: starting-point location, per-fragment NoK matching,
-//! and structural joins over the cut edges (paper §3 opening + §6.2's index
-//! heuristics).
+//! The query engine façade: parse → plan → execute.
 //!
-//! Evaluation plan for a partitioned pattern tree:
+//! The actual machinery lives in three sibling modules (the explicit
+//! pipeline the planner refactor introduced):
 //!
-//! 1. **Bottom-up** over the fragment forest (children before parents):
-//!    locate starting points for the fragment root (value index → tag index
-//!    → sequential scan, per the paper's heuristic), run physical NoK
-//!    matching from each, and — through the matcher hook — require every
-//!    cut-edge source to structurally contain (or precede) a match of the
-//!    already-evaluated child fragment. This is the structural *semijoin*
-//!    folded into the navigational pass.
-//! 2. **Top-down** along the path from the root fragment to the returning
-//!    fragment: keep only records whose fragment-root match lies under (or
-//!    after) a surviving hot-node match of the parent fragment.
-//! 3. The surviving returning-fragment records contribute their collected
-//!    returning-node matches: deduplicated, in document order.
-
-use std::collections::HashMap;
+//! - [`crate::plan`] — the plan IR: fragments, seed choices, and
+//!   semijoin/filter steps as enum operators.
+//! - [`crate::planner`] — the cost-based planner: picks each fragment's
+//!   seed and the fragment evaluation order from the persisted build-time
+//!   statistics (§6.2's heuristics, in explicit cost units).
+//! - [`crate::exec`] — the operator executor: interprets the plan against
+//!   `PhysAccess`/`NokMatcher`/`IntervalSet`.
+//!
+//! This module keeps the stable entry points (`query`, `query_with`,
+//! `query_into`, `query_pattern`) plus the option/stats types they take
+//! and return.
 
 use nok_pager::Storage;
 
 use crate::build::XmlDb;
-use crate::cursor::DocScan;
 use crate::dewey::Dewey;
 use crate::error::CoreResult;
-use crate::join::IntervalSet;
-use crate::nok::{NokMatcher, TreeAccess};
-use crate::pattern::{CmpOp, Literal, NameTest, PathExpr};
-use crate::pattern_tree::{CutKind, PNodeId, Partition, PatternTree, DOC_NODE};
-use crate::physical::{PhysAccess, PhysNode, TagPosting};
+use crate::exec::EvalPool;
+use crate::pattern::PathExpr;
+use crate::pattern_tree::PatternTree;
+use crate::physical::PhysAccess;
+use crate::plan::StrategyUsed;
+use crate::planner::PlanConfig;
 use crate::store::NodeAddr;
-use crate::values::hash_key;
 
 /// One query result: a subject-tree node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +38,8 @@ pub struct QueryMatch {
 }
 
 /// How starting points for a fragment are located (§3's three options).
+/// Under `Auto` the planner decides; the other variants are planner
+/// overrides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StartStrategy {
     /// The paper's heuristic: value index if a string-equality constraint
@@ -61,7 +58,8 @@ pub enum StartStrategy {
 /// Per-query execution knobs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryOptions {
-    /// Starting-point strategy.
+    /// Starting-point strategy (a planner override; `Auto` lets the
+    /// cost-based planner choose).
     pub strategy: StartStrategy,
 }
 
@@ -72,10 +70,14 @@ pub struct QueryStats {
     pub fragments: usize,
     /// Starting points tried, per fragment.
     pub starting_points: Vec<u64>,
-    /// Strategy actually used, per fragment.
-    pub strategies: Vec<&'static str>,
+    /// Strategy actually used, per fragment ([`StrategyUsed::Skipped`]
+    /// when an earlier empty fragment proved the query empty).
+    pub strategies: Vec<StrategyUsed>,
     /// Successful fragment-root matches, per fragment.
     pub fragment_matches: Vec<u64>,
+    /// Surviving records after each top-down semijoin filter step, in
+    /// chain order (root fragment downward).
+    pub chain_survivors: Vec<u64>,
     /// String entries examined by navigation primitives during this query
     /// (delta of the pool-wide counter, so approximate when other threads
     /// query the same pool concurrently).
@@ -93,20 +95,23 @@ impl QueryStats {
         self.starting_points.clear();
         self.starting_points.resize(nfrags, 0);
         self.strategies.clear();
-        self.strategies.resize(nfrags, "");
+        self.strategies.resize(nfrags, StrategyUsed::Pending);
         self.fragment_matches.clear();
         self.fragment_matches.resize(nfrags, 0);
+        self.chain_survivors.clear();
         self.entries_examined = 0;
         self.dir_entries_examined = 0;
     }
 }
 
 /// Reusable per-worker query state. A serving worker keeps one scratch for
-/// its whole lifetime and threads it through [`XmlDb::query_into`], so the
-/// per-query bookkeeping vectors are allocated once, not per request.
+/// its whole lifetime and threads it through [`XmlDb::query_into`], so both
+/// the per-query bookkeeping vectors *and* the per-fragment record buffers
+/// are allocated once, not per request.
 #[derive(Debug, Default)]
 pub struct QueryScratch {
-    stats: QueryStats,
+    pub(crate) stats: QueryStats,
+    pub(crate) pool: EvalPool,
 }
 
 impl QueryScratch {
@@ -119,18 +124,6 @@ impl QueryScratch {
     pub fn stats(&self) -> &QueryStats {
         &self.stats
     }
-}
-
-/// One successful start: the fragment-root match and the collected hot-node
-/// matches beneath it.
-struct Rec {
-    root_start: u64,
-    hot: Vec<(PhysNode, (u64, u64))>,
-}
-
-struct FragEval {
-    records: Vec<Rec>,
-    root_intervals: IntervalSet,
 }
 
 impl<S: Storage> XmlDb<S> {
@@ -151,8 +144,9 @@ impl<S: Storage> XmlDb<S> {
     }
 
     /// Evaluate into caller-provided buffers, reusing the scratch's stats
-    /// vectors. `out` is cleared first; matches land there in document
-    /// order. This is the allocation-lean path serving workers use.
+    /// vectors and fragment record pools. `out` is cleared first; matches
+    /// land there in document order. This is the allocation-lean path
+    /// serving workers use.
     pub fn query_into(
         &self,
         path: &str,
@@ -162,7 +156,8 @@ impl<S: Storage> XmlDb<S> {
     ) -> CoreResult<()> {
         let expr = PathExpr::parse(path)?;
         let tree = PatternTree::from_path(&expr)?;
-        self.query_pattern_into(&tree, opts, &mut scratch.stats, out)
+        let plan = self.plan_pattern(&tree, opts, PlanConfig::default());
+        self.execute_pattern_plan(&tree, &plan, scratch, out)
     }
 
     /// Evaluate a pre-built pattern tree.
@@ -171,489 +166,11 @@ impl<S: Storage> XmlDb<S> {
         tree: &PatternTree,
         opts: QueryOptions,
     ) -> CoreResult<(Vec<QueryMatch>, QueryStats)> {
-        let mut stats = QueryStats::default();
+        let mut scratch = QueryScratch::new();
         let mut out = Vec::new();
-        self.query_pattern_into(tree, opts, &mut stats, &mut out)?;
-        Ok((out, stats))
-    }
-
-    /// Evaluate a pre-built pattern tree into caller-provided buffers.
-    fn query_pattern_into(
-        &self,
-        tree: &PatternTree,
-        opts: QueryOptions,
-        stats: &mut QueryStats,
-        out: &mut Vec<QueryMatch>,
-    ) -> CoreResult<()> {
-        out.clear();
-        let part = tree.partition();
-        let access = PhysAccess::new(&self.store, &self.dict, &self.bt_id, &self.data);
-        let nfrags = part.fragments.len();
-        stats.reset(nfrags);
-        let pool_stats = self.store.pool().stats();
-        let entries_before = pool_stats.entries_examined();
-        let dir_before = pool_stats.dir_entries_examined();
-
-        // ---- Bottom-up pass. Fragment indexes increase downward, so
-        // descending order evaluates children before parents.
-        let mut evals: Vec<Option<FragEval>> = (0..nfrags).map(|_| None).collect();
-        for f in (0..nfrags).rev() {
-            let eval = self.eval_fragment(&part, f, &access, &evals, opts, stats)?;
-            evals[f] = Some(eval);
-        }
-
-        // ---- Top-down pass along the fragment path to the returning one.
-        let mut chain = vec![part.returning_fragment];
-        while let Some(cut) = part.incoming_cut(*chain.last().expect("nonempty")) {
-            chain.push(cut.parent_frag);
-        }
-        chain.reverse(); // root fragment first
-
-        // Records of the current fragment that survive ancestor filtering.
-        let mut surviving: Vec<usize> =
-            (0..evals[chain[0]].as_ref().expect("evaluated").records.len()).collect();
-        for w in chain.windows(2) {
-            let (pf, cf) = (w[0], w[1]);
-            let cut = part.incoming_cut(cf).expect("chained fragment has a cut");
-            let parent = evals[pf].as_ref().expect("evaluated");
-            let allowed = IntervalSet::new(
-                surviving
-                    .iter()
-                    .flat_map(|&ri| parent.records[ri].hot.iter().map(|(_, iv)| *iv))
-                    .collect(),
-            );
-            let child = evals[cf].as_ref().expect("evaluated");
-            surviving = (0..child.records.len())
-                .filter(|&ri| {
-                    let start = child.records[ri].root_start;
-                    match cut.kind {
-                        CutKind::Descendant => allowed.any_containing(start),
-                        CutKind::Following => allowed.any_ending_before(start),
-                    }
-                })
-                .collect();
-            if surviving.is_empty() {
-                break;
-            }
-        }
-
-        // ---- Collect returning matches from surviving records.
-        let ret_eval = evals[part.returning_fragment].as_ref().expect("evaluated");
-        out.extend(surviving.iter().flat_map(|&ri| {
-            ret_eval.records[ri].hot.iter().map(|(n, _)| QueryMatch {
-                addr: n.addr,
-                dewey: n.dewey.clone(),
-            })
-        }));
-        out.sort_by(|a, b| a.dewey.cmp(&b.dewey));
-        out.dedup_by(|a, b| a.addr == b.addr);
-        let pool_stats = self.store.pool().stats();
-        stats.entries_examined = pool_stats.entries_examined().saturating_sub(entries_before);
-        stats.dir_entries_examined = pool_stats.dir_entries_examined().saturating_sub(dir_before);
-        Ok(())
-    }
-
-    /// Evaluate one fragment bottom-up: locate starts, match, record.
-    fn eval_fragment(
-        &self,
-        part: &Partition<'_>,
-        f: usize,
-        access: &PhysAccess<'_, S>,
-        evals: &[Option<FragEval>],
-        opts: QueryOptions,
-        stats: &mut QueryStats,
-    ) -> CoreResult<FragEval> {
-        // Starting points. For the document-rooted fragment, the paper's
-        // index heuristics still apply: descend through the bare spine
-        // prefix (nodes with no constraints and a single `/` child) to a
-        // *pivot* step, locate candidates for the pivot via the indexes,
-        // verify the spine tags above each candidate through the Dewey
-        // index, and run the matcher rooted at the pivot. This is §3's
-        // "locating the nodes in the subject tree to start pattern
-        // matching" for absolute paths.
-        let root = part.fragments[f].root;
-        let pivot = if root == DOC_NODE {
-            self.doc_pivot(part)
-        } else {
-            root
-        };
-        if pivot == DOC_NODE {
-            stats.strategies[f] = "doc";
-            let matcher = NokMatcher::new(part, f);
-            return self.match_all(
-                part,
-                f,
-                &matcher,
-                vec![access.doc_node()],
-                access,
-                evals,
-                stats,
-            );
-        }
-        let (mut starts, strategy) = self.locate_starts(part, f, pivot, access, opts)?;
-        if root == DOC_NODE && strategy == "scan" {
-            // Low selectivity everywhere: one navigational pass from the
-            // root beats scan + per-candidate ancestor verification.
-            stats.strategies[f] = "doc-scan";
-            let matcher = NokMatcher::new(part, f);
-            return self.match_all(
-                part,
-                f,
-                &matcher,
-                vec![access.doc_node()],
-                access,
-                evals,
-                stats,
-            );
-        }
-        stats.strategies[f] = strategy;
-        if root == DOC_NODE {
-            // Fixed-depth pivot: enforce level and the spine above it.
-            let spine = self.spine_above(part, pivot);
-            let pivot_depth = spine.len() as u32 + 1;
-            let mut verified = Vec::with_capacity(starts.len());
-            for node in starts.drain(..) {
-                if node.dewey.level() == pivot_depth
-                    && self.ancestor_chain_ok(access, &node.dewey, &spine)?
-                {
-                    verified.push(node);
-                }
-            }
-            starts = verified;
-        }
-        let matcher = if pivot == root {
-            NokMatcher::new(part, f)
-        } else {
-            NokMatcher::with_root(part, f, pivot)
-        };
-        self.match_all(part, f, &matcher, starts, access, evals, stats)
-    }
-
-    /// Run the matcher from each starting point, enforcing cut-edge
-    /// (structural-join) conditions through the match hook, and record the
-    /// surviving matches.
-    #[allow(clippy::too_many_arguments)]
-    fn match_all(
-        &self,
-        part: &Partition<'_>,
-        f: usize,
-        matcher: &NokMatcher<'_>,
-        starts: Vec<PhysNode>,
-        access: &PhysAccess<'_, S>,
-        evals: &[Option<FragEval>],
-        stats: &mut QueryStats,
-    ) -> CoreResult<FragEval> {
-        // Cut conditions checked during matching: src pattern node →
-        // (kind, child fragment's root intervals).
-        let mut cut_map: HashMap<PNodeId, Vec<(CutKind, usize)>> = HashMap::new();
-        for ce in part.cut_edges_from(f) {
-            cut_map
-                .entry(ce.src)
-                .or_default()
-                .push((ce.kind, ce.child_frag));
-        }
-        let mut hook = |p: PNodeId, n: &PhysNode| -> CoreResult<bool> {
-            let Some(conds) = cut_map.get(&p) else {
-                return Ok(true);
-            };
-            let (s, e) = access.interval(n)?;
-            for (kind, g) in conds {
-                let cg = &evals[*g].as_ref().expect("child evaluated").root_intervals;
-                let ok = match kind {
-                    CutKind::Descendant => cg.any_within(s, e),
-                    CutKind::Following => cg.any_starting_after(e),
-                };
-                if !ok {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        };
-        let mut records = Vec::new();
-        let mut root_ints = Vec::new();
-        for start in starts {
-            stats.starting_points[f] += 1;
-            if let Some(collected) = matcher.match_at(access, &start, &mut hook)? {
-                stats.fragment_matches[f] += 1;
-                let root_iv = access.interval(&start)?;
-                let mut hot = Vec::with_capacity(collected.len());
-                for (_, n) in collected {
-                    let iv = access.interval(&n)?;
-                    hot.push((n, iv));
-                }
-                records.push(Rec {
-                    root_start: root_iv.0,
-                    hot,
-                });
-                root_ints.push(root_iv);
-            }
-        }
-        Ok(FragEval {
-            records,
-            root_intervals: IntervalSet::new(root_ints),
-        })
-    }
-
-    /// Descend from the virtual document node through the *bare* spine
-    /// prefix: nodes with no value constraints, no cut-edge sources, and
-    /// exactly one local (`/`) child. The node where the walk stops is the
-    /// pivot for index-based starting-point location.
-    fn doc_pivot(&self, part: &Partition<'_>) -> PNodeId {
-        let tree = part.tree;
-        // Never descend past the fragment's hot node (the returning node or
-        // the cut source toward it): the matcher must still collect it.
-        let hot = part.hot.get(&0).copied().unwrap_or(DOC_NODE);
-        let mut cur = DOC_NODE;
-        loop {
-            if cur == hot {
-                return cur;
-            }
-            let n = &tree.nodes[cur];
-            if cur != DOC_NODE && !n.value_cmps.is_empty() {
-                return cur;
-            }
-            let mut it = n.children.iter();
-            match (it.next(), it.next()) {
-                (Some(&(crate::pattern_tree::EdgeKind::Child, c)), None) => cur = c,
-                _ => return cur,
-            }
-        }
-    }
-
-    /// The name tests of the spine nodes strictly between the document node
-    /// and `pivot`, outermost first (levels 1..pivot_depth-1).
-    fn spine_above(&self, part: &Partition<'_>, pivot: PNodeId) -> Vec<NameTest> {
-        let tree = part.tree;
-        let mut chain = Vec::new();
-        let mut cur = tree.nodes[pivot].parent;
-        while let Some(n) = cur {
-            if n == DOC_NODE {
-                break;
-            }
-            chain.push(tree.nodes[n].test.clone());
-            cur = tree.nodes[n].parent;
-        }
-        chain.reverse();
-        chain
-    }
-
-    /// Verify that the ancestors of `dewey` (levels 1..) match the spine
-    /// tests, via Dewey-index lookups.
-    fn ancestor_chain_ok(
-        &self,
-        access: &PhysAccess<'_, S>,
-        dewey: &Dewey,
-        spine: &[NameTest],
-    ) -> CoreResult<bool> {
-        for (i, test) in spine.iter().enumerate() {
-            let level = i as u32 + 1;
-            let Some(anc) = dewey.ancestor_at_level(level) else {
-                return Ok(false);
-            };
-            let Some(rec) = self.bt_id.get_first(&anc.to_key())? else {
-                return Ok(false);
-            };
-            let rec = crate::physical::IdRecord::from_bytes(&rec)?;
-            let node = PhysNode {
-                addr: rec.addr,
-                dewey: anc,
-            };
-            if !access.matches_test(&node, test)? {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    }
-
-    /// The paper's starting-point heuristic (§6.2): "whenever there are
-    /// value constraints, we always use the value index ... If there are no
-    /// value constraints, we pick the tag name which has the highest
-    /// selectivity. If the selectivity is high we use the tag-name index,
-    /// otherwise we use a sequential scan."
-    fn locate_starts(
-        &self,
-        part: &Partition<'_>,
-        f: usize,
-        pivot: PNodeId,
-        access: &PhysAccess<'_, S>,
-        opts: QueryOptions,
-    ) -> CoreResult<(Vec<PhysNode>, &'static str)> {
-        let _ = f;
-        let strategy = opts.strategy;
-        // Value-index route: the most selective string-equality constraint.
-        if matches!(strategy, StartStrategy::Auto | StartStrategy::ValueIndex) {
-            if let Some(starts) = self.value_index_starts(part, pivot, access)? {
-                return Ok((starts, "value-index"));
-            }
-        }
-        // Tag route: "we pick the tag name which has the highest
-        // selectivity" — among every fragment member reachable from the
-        // pivot by `/` edges (fixed relative depth), not just the pivot.
-        let root_test = &part.tree.nodes[pivot].test;
-        if strategy != StartStrategy::Scan {
-            let mut best: Option<(u64, &str, u32)> = None; // (count, name, depth)
-            for (&n, &d) in self.pivot_depths(part, pivot).iter() {
-                if let NameTest::Tag(name) = &part.tree.nodes[n].test {
-                    let count = match self.dict.lookup(name) {
-                        None => 0, // tag unseen: the whole query is empty
-                        Some(code) => self.tag_count(code),
-                    };
-                    if best.is_none_or(|(b, _, _)| count < b) {
-                        best = Some((count, name.as_str(), d));
-                    }
-                }
-            }
-            if let Some((count, name, d)) = best {
-                let selective_enough = match strategy {
-                    StartStrategy::TagIndex => true,
-                    // Heuristic threshold: a tag covering more than a quarter
-                    // of the document gains nothing over one sequential pass.
-                    _ => count * 4 <= self.node_count(),
-                };
-                if selective_enough {
-                    let postings = self.tag_index_starts(name)?;
-                    if d == 0 {
-                        return Ok((postings, "tag-index"));
-                    }
-                    // Lift to the pivot-level ancestor, like the value route.
-                    let mut out = Vec::new();
-                    let mut seen = std::collections::HashSet::new();
-                    for node in postings {
-                        let level = node.dewey.level();
-                        if level <= d {
-                            continue;
-                        }
-                        let Some(anc) = node.dewey.ancestor_at_level(level - d) else {
-                            continue;
-                        };
-                        if !seen.insert(anc.to_key()) {
-                            continue;
-                        }
-                        let Some(rec) = self.bt_id.get_first(&anc.to_key())? else {
-                            continue;
-                        };
-                        let rec = crate::physical::IdRecord::from_bytes(&rec)?;
-                        out.push(PhysNode {
-                            addr: rec.addr,
-                            dewey: anc,
-                        });
-                    }
-                    out.sort_by(|a, b| a.dewey.cmp(&b.dewey));
-                    return Ok((out, "tag-index"));
-                }
-            }
-        }
-        // Sequential scan over the document.
-        let mut starts = Vec::new();
-        for item in DocScan::new(&self.store) {
-            let item = item?;
-            let node = PhysNode {
-                addr: item.addr,
-                dewey: item.dewey,
-            };
-            if access.matches_test(&node, root_test)? {
-                starts.push(node);
-            }
-        }
-        Ok((starts, "scan"))
-    }
-
-    /// Fixed `/`-chain depth of each fragment member below `pivot`.
-    fn pivot_depths(&self, part: &Partition<'_>, pivot: PNodeId) -> HashMap<PNodeId, u32> {
-        let tree = part.tree;
-        let mut depth: HashMap<PNodeId, u32> = HashMap::new();
-        depth.insert(pivot, 0);
-        let mut frontier = vec![pivot];
-        while let Some(n) = frontier.pop() {
-            for c in tree.local_children(n) {
-                depth.insert(c, depth[&n] + 1);
-                frontier.push(c);
-            }
-        }
-        depth
-    }
-
-    fn tag_index_starts(&self, name: &str) -> CoreResult<Vec<PhysNode>> {
-        let Some(code) = self.dict.lookup(name) else {
-            return Ok(Vec::new());
-        };
-        let mut out = Vec::new();
-        for posting in self.tag_postings(code)? {
-            let p = TagPosting::from_bytes(&posting)?;
-            out.push(PhysNode {
-                addr: p.addr,
-                dewey: p.dewey,
-            });
-        }
-        Ok(out)
-    }
-
-    /// Try the value index: pick the fragment's most selective `= "literal"`
-    /// constraint, look up matching nodes, and lift each to the ancestor at
-    /// the fragment root's depth.
-    fn value_index_starts(
-        &self,
-        part: &Partition<'_>,
-        pivot: PNodeId,
-        access: &PhysAccess<'_, S>,
-    ) -> CoreResult<Option<Vec<PhysNode>>> {
-        let tree = part.tree;
-        let depth = self.pivot_depths(part, pivot);
-        // Candidate constraints: (postings, literal, node depth).
-        let mut best: Option<(Vec<Vec<u8>>, String, u32)> = None;
-        for (&n, &d) in &depth {
-            for cmp in &tree.nodes[n].value_cmps {
-                if cmp.op != CmpOp::Eq {
-                    continue;
-                }
-                let Literal::Str(lit) = &cmp.rhs else {
-                    continue;
-                };
-                let postings = self.bt_val.get_all(&hash_key(lit))?;
-                if best
-                    .as_ref()
-                    .is_none_or(|(b, _, _)| postings.len() < b.len())
-                {
-                    best = Some((postings, lit.clone(), d));
-                }
-            }
-        }
-        let Some((postings, lit, d)) = best else {
-            return Ok(None);
-        };
-        let mut starts = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for p in postings {
-            let Some(dewey) = Dewey::from_key(&p) else {
-                continue;
-            };
-            // Hash-collision safety: verify the actual value.
-            if access.value_of_dewey(&dewey)?.as_deref() != Some(lit.as_str()) {
-                continue;
-            }
-            let level = dewey.level();
-            if level <= d {
-                continue; // too shallow to have the required ancestor
-            }
-            let Some(anc) = dewey.ancestor_at_level(level - d) else {
-                continue;
-            };
-            if !seen.insert(anc.to_key()) {
-                continue;
-            }
-            let Some(rec) = self.bt_id.get_first(&anc.to_key())? else {
-                continue;
-            };
-            let rec = crate::physical::IdRecord::from_bytes(&rec)?;
-            starts.push(PhysNode {
-                addr: rec.addr,
-                dewey: anc,
-            });
-        }
-        // Starting points must be tried in document order so results come
-        // out ordered fragment-locally.
-        starts.sort_by(|a, b| a.dewey.cmp(&b.dewey));
-        Ok(Some(starts))
+        let plan = self.plan_pattern(tree, opts, PlanConfig::default());
+        self.execute_pattern_plan(tree, &plan, &mut scratch, &mut out)?;
+        Ok((out, scratch.stats))
     }
 
     /// The value of a matched node, if it has one.
@@ -665,251 +182,5 @@ impl<S: Storage> XmlDb<S> {
     /// The tag name of a matched node.
     pub fn tag_name_of(&self, m: &QueryMatch) -> CoreResult<&str> {
         Ok(self.dict.name(self.store.tag_at(m.addr)?))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::naive::NaiveEvaluator;
-    use nok_xml::Document;
-
-    const BIB: &str = r#"<bib>
-      <book year="1994">
-        <title>TCP/IP Illustrated</title>
-        <author><last>Stevens</last><first>W.</first></author>
-        <publisher>Addison-Wesley</publisher>
-        <price>65.95</price>
-      </book>
-      <book year="1992">
-        <title>Advanced Programming in the Unix Environment</title>
-        <author><last>Stevens</last><first>W.</first></author>
-        <publisher>Addison-Wesley</publisher>
-        <price>65.95</price>
-      </book>
-      <book year="2000">
-        <title>Data on the Web</title>
-        <author><last>Abiteboul</last><first>Serge</first></author>
-        <author><last>Buneman</last><first>Peter</first></author>
-        <author><last>Suciu</last><first>Dan</first></author>
-        <publisher>Morgan Kaufmann Publishers</publisher>
-        <price>39.95</price>
-      </book>
-      <book year="1999">
-        <title>The Economics of Technology and Content for Digital TV</title>
-        <editor>
-          <last>Gerbarg</last><first>Darcy</first>
-          <affiliation>CITI</affiliation>
-        </editor>
-        <publisher>Kluwer Academic Publishers</publisher>
-        <price>129.95</price>
-      </book>
-    </bib>"#;
-
-    fn deweys(db: &XmlDb<nok_pager::MemStorage>, q: &str) -> Vec<String> {
-        db.query(q)
-            .unwrap()
-            .iter()
-            .map(|m| m.dewey.to_string())
-            .collect()
-    }
-
-    /// Engine results must equal the naive oracle on this document/query.
-    fn check_against_oracle(xml: &str, query: &str) {
-        let db = XmlDb::build_in_memory(xml).unwrap();
-        let doc = Document::parse(xml).unwrap();
-        let oracle = NaiveEvaluator::new(&doc);
-        let expected: Vec<String> = oracle
-            .eval_str(query)
-            .unwrap()
-            .iter()
-            .map(|n| oracle.dewey(n).to_string())
-            .collect();
-        let got = deweys(&db, query);
-        assert_eq!(got, expected, "query {query} on {} bytes", xml.len());
-    }
-
-    #[test]
-    fn paper_query_end_to_end() {
-        let db = XmlDb::build_in_memory(BIB).unwrap();
-        let hits = db
-            .query(r#"//book[author/last="Stevens"][price<100]"#)
-            .unwrap();
-        assert_eq!(hits.len(), 2, "the two Stevens books under 100");
-        assert_eq!(db.tag_name_of(&hits[0]).unwrap(), "book");
-    }
-
-    #[test]
-    fn oracle_agreement_basic() {
-        for q in [
-            "/bib",
-            "/bib/book",
-            "/bib/book/title",
-            "//last",
-            "//book//last",
-            "/bib/book/author/last",
-            "/bib/book/@year",
-            "/nope",
-            "//nope",
-            "/bib/nope/deeper",
-        ] {
-            check_against_oracle(BIB, q);
-        }
-    }
-
-    #[test]
-    fn oracle_agreement_predicates() {
-        for q in [
-            r#"//book[author/last="Stevens"]"#,
-            r#"//book[author/last="Stevens"][price<100]"#,
-            "//book[price>100]",
-            "//book[price>=129.95]",
-            "//book[@year>1993]/title",
-            "//book[editor]",
-            "//book[author][editor]",
-            r#"//book[publisher="Addison-Wesley"]/price"#,
-            r#"//last[.="Stevens"]"#,
-            "//book[author/first]",
-        ] {
-            check_against_oracle(BIB, q);
-        }
-    }
-
-    #[test]
-    fn oracle_agreement_descendants_and_wildcards() {
-        for q in [
-            "//author/*",
-            "/bib/*/title",
-            "/bib//last",
-            "//*[affiliation]",
-            "/bib/book//first",
-        ] {
-            check_against_oracle(BIB, q);
-        }
-    }
-
-    #[test]
-    fn oracle_agreement_multi_fragment() {
-        for q in [
-            "/bib//author/last",
-            "//book//first",
-            "/bib//editor//affiliation",
-            "/bib/book[.//affiliation]/title",
-            "//author[last]//first",
-        ] {
-            check_against_oracle(BIB, q);
-        }
-    }
-
-    #[test]
-    fn oracle_agreement_following() {
-        let xml = "<a><b><x/></b><c><x/><y/></c><b2/><x/></a>";
-        for q in [
-            "/a/b/following::x",
-            "/a/b/following::c",
-            "/a/c/x/following-sibling::y",
-            "/a/b/following::y",
-            "//x/following::x",
-        ] {
-            check_against_oracle(xml, q);
-        }
-    }
-
-    #[test]
-    fn strategies_agree_with_each_other() {
-        let db = XmlDb::build_in_memory(BIB).unwrap();
-        let q = r#"//book[author/last="Stevens"][price<100]"#;
-        let mut answers = Vec::new();
-        for strat in [
-            StartStrategy::Auto,
-            StartStrategy::Scan,
-            StartStrategy::TagIndex,
-            StartStrategy::ValueIndex,
-        ] {
-            let (hits, stats) = db.query_with(q, QueryOptions { strategy: strat }).unwrap();
-            answers.push((
-                hits.iter().map(|m| m.dewey.to_string()).collect::<Vec<_>>(),
-                stats,
-            ));
-        }
-        for (a, _) in &answers[1..] {
-            assert_eq!(*a, answers[0].0);
-        }
-        // Auto must have chosen the value index here (paper's heuristic).
-        assert!(answers[0].1.strategies.contains(&"value-index"));
-    }
-
-    #[test]
-    fn value_index_prunes_starting_points() {
-        let db = XmlDb::build_in_memory(BIB).unwrap();
-        let (_, stats) = db
-            .query_with(
-                r#"//book[author/last="Abiteboul"]"#,
-                QueryOptions {
-                    strategy: StartStrategy::ValueIndex,
-                },
-            )
-            .unwrap();
-        // Only one book contains that author: exactly one starting point
-        // for the book fragment (fragment 1; fragment 0 is the virtual doc).
-        assert_eq!(stats.strategies[1], "value-index");
-        assert_eq!(stats.starting_points[1], 1);
-    }
-
-    #[test]
-    fn results_are_in_document_order_and_deduped() {
-        let xml = "<a><b><c/><c/></b><b><c/></b></a>";
-        let db = XmlDb::build_in_memory(xml).unwrap();
-        let hits = deweys(&db, "//c");
-        assert_eq!(hits, vec!["0.0.0", "0.0.1", "0.1.0"]);
-        // A query reachable through two fragment routes must not duplicate.
-        check_against_oracle(xml, "/a//c");
-    }
-
-    #[test]
-    fn query_match_value_access() {
-        let db = XmlDb::build_in_memory(BIB).unwrap();
-        let hits = db.query("//book/price").unwrap();
-        let vals: Vec<_> = hits
-            .iter()
-            .map(|m| db.value_of(m).unwrap().unwrap())
-            .collect();
-        assert_eq!(vals, vec!["65.95", "65.95", "39.95", "129.95"]);
-    }
-
-    #[test]
-    fn empty_and_unknown_queries() {
-        let db = XmlDb::build_in_memory(BIB).unwrap();
-        assert!(db.query("//unknowntag").unwrap().is_empty());
-        assert!(db
-            .query(r#"//book[title="No Such Book"]"#)
-            .unwrap()
-            .is_empty());
-        assert!(db.query("/book").unwrap().is_empty()); // root is bib
-    }
-
-    #[test]
-    fn syntax_error_surfaces() {
-        let db = XmlDb::build_in_memory(BIB).unwrap();
-        assert!(db.query("not a path").is_err());
-    }
-
-    #[test]
-    fn pivot_value_route_collects() {
-        use super::QueryOptions;
-        let xml = r#"<dblp>
-      <article><author>A</author><keyword>needle-high</keyword><note>needle-high</note></article>
-      <article><author>B</author><keyword>zzz</keyword><note>yyy</note></article>
-      <article><author>C</author><keyword>needle-high</keyword><note>needle-high</note></article>
-    </dblp>"#;
-        let db = crate::build::XmlDb::build_in_memory(xml).unwrap();
-        let (hits, stats) = db
-            .query_with(
-                r#"/dblp/article[keyword="needle-high"]"#,
-                QueryOptions::default(),
-            )
-            .unwrap();
-        eprintln!("stats={stats:?}");
-        assert_eq!(hits.len(), 2);
     }
 }

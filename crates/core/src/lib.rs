@@ -19,8 +19,10 @@
 //!   abstract tree interface; [`physical`] — that interface implemented by
 //!   the succinct store (single-pass matching, Proposition 1).
 //! * [`join`] — structural (containment) joins combining NoK partial results.
-//! * [`engine`] — the end-to-end query engine with the paper's
-//!   starting-point heuristics (value index / tag index / sequential scan).
+//! * [`plan`] — the query-plan IR; [`planner`] — the cost-based planner
+//!   (the paper's §6.2 starting-point heuristics in explicit cost units,
+//!   plus cost-ordered fragment evaluation); [`exec`] — the operator
+//!   executor; [`engine`] — the stable query façade over the three.
 //! * [`stream`] — NoK matching over streaming SAX events.
 //! * [`update`] — subtree insertion/deletion against the paged string.
 //! * [`stats`] — per-document statistics (Table 1 columns).
@@ -43,6 +45,7 @@ pub mod cursor;
 pub mod dewey;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod join;
 pub mod naive;
 pub mod nok;
@@ -50,6 +53,8 @@ pub mod page;
 pub mod pattern;
 pub mod pattern_tree;
 pub mod physical;
+pub mod plan;
+pub mod planner;
 pub mod recovery;
 pub mod serialize;
 pub mod sigma;
@@ -63,6 +68,10 @@ pub use build::XmlDb;
 pub use dewey::Dewey;
 pub use engine::{QueryMatch, QueryOptions, QueryScratch, QueryStats, StartStrategy};
 pub use error::{CoreError, CoreResult};
+pub use plan::{
+    Explain, ExplainRow, FragmentPlan, PlanStep, PlannedQuery, QueryPlan, SeedChoice, StrategyUsed,
+};
+pub use planner::PlanConfig;
 pub use recovery::RecoveryReport;
 pub use sigma::{TagCode, TagDict};
 pub use stats::DocStats;

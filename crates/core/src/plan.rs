@@ -1,0 +1,261 @@
+//! The logical/physical plan IR: what the cost-based planner produces and
+//! the operator executor interprets.
+//!
+//! A [`QueryPlan`] makes the engine's previously implicit control flow
+//! explicit: per-fragment seed choices (`SeedChoice`), the fragment
+//! evaluation order, and the semijoin/filter/collect steps ([`PlanStep`])
+//! are plain data that can be inspected (EXPLAIN), cached (the serve-layer
+//! plan cache), and reordered by cost.
+//!
+//! Only `core::{plan, planner, exec}` may construct plan operators; the
+//! xtask lint enforces this the way it guards raw page I/O.
+
+use std::fmt;
+
+use crate::pattern_tree::{CutKind, PNodeId, PatternTree};
+
+/// How a fragment's starting points were (or will be) located. This is the
+/// typed replacement for the old `&'static str` strategy labels; `Display`
+/// keeps the wire/JSON spelling identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyUsed {
+    /// Not yet evaluated.
+    #[default]
+    Pending,
+    /// Navigated from the virtual document node (bare-spine pivot is the
+    /// document node itself).
+    Doc,
+    /// Scan strategy resolved on a document-rooted fragment: one
+    /// navigational pass from the root.
+    DocScan,
+    /// Seeded from the value index (B+v).
+    ValueIndex,
+    /// Seeded from the tag-name index (B+t).
+    TagIndex,
+    /// Seeded by a sequential document scan.
+    Scan,
+    /// Skipped: an earlier fragment proved the query empty.
+    Skipped,
+}
+
+impl fmt::Display for StrategyUsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StrategyUsed::Pending => "pending",
+            StrategyUsed::Doc => "doc",
+            StrategyUsed::DocScan => "doc-scan",
+            StrategyUsed::ValueIndex => "value-index",
+            StrategyUsed::TagIndex => "tag-index",
+            StrategyUsed::Scan => "scan",
+            StrategyUsed::Skipped => "skipped",
+        })
+    }
+}
+
+/// The planner's seed decision for one fragment: where its starting points
+/// come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedChoice {
+    /// Start a navigational pass from the virtual document node.
+    DocNavigate,
+    /// Probe the value index for `literal`, then lift each hit `lift`
+    /// levels to the pivot ancestor.
+    ValueIndex {
+        /// The string-equality literal probed.
+        literal: String,
+        /// Levels between the valued node and the pivot.
+        lift: u32,
+    },
+    /// Scan the tag index postings of `name`, lifting `lift` levels.
+    TagIndex {
+        /// Tag whose postings seed the fragment.
+        name: String,
+        /// Levels between the tagged node and the pivot.
+        lift: u32,
+    },
+    /// Sequential scan of the whole document.
+    Scan,
+}
+
+impl fmt::Display for SeedChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeedChoice::DocNavigate => write!(f, "doc-navigate"),
+            SeedChoice::ValueIndex { literal, lift } => {
+                write!(f, "value-index({literal:?}, lift {lift})")
+            }
+            SeedChoice::TagIndex { name, lift } => write!(f, "tag-index({name}, lift {lift})"),
+            SeedChoice::Scan => write!(f, "scan"),
+        }
+    }
+}
+
+/// The complete plan for one fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentPlan {
+    /// Fragment index in the partition.
+    pub frag: usize,
+    /// Pattern node the fragment is rooted at.
+    pub root: PNodeId,
+    /// Pattern node pattern matching actually starts from (may sit below
+    /// `root` for document-rooted fragments, per §3's bare-spine descent).
+    pub pivot: PNodeId,
+    /// Where the starting points come from.
+    pub seed: SeedChoice,
+    /// Whether index-located candidates must have their ancestor spine
+    /// verified through the Dewey index (document-rooted fragments only).
+    pub verify_spine: bool,
+    /// Estimated number of starting points.
+    pub est_starts: u64,
+    /// Estimated cost (paper §6.2 units: 4× index probes, or a full scan).
+    pub est_cost: u64,
+}
+
+/// One step of the physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Run NoK matching for one fragment (children of its cut edges must
+    /// already be evaluated).
+    EvalFragment {
+        /// Fragment to evaluate.
+        frag: usize,
+    },
+    /// Top-down semijoin filter: keep `child` records lying under (or
+    /// after) a surviving hot match of `parent`.
+    FilterChain {
+        /// Parent fragment (already filtered).
+        parent: usize,
+        /// Child fragment being filtered.
+        child: usize,
+        /// The cut kind between them.
+        kind: CutKind,
+    },
+    /// Emit the surviving returning-fragment matches, sorted and deduped.
+    Collect {
+        /// The returning fragment.
+        frag: usize,
+    },
+}
+
+/// A fully planned query over a partitioned pattern tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Per-fragment plans, indexed by fragment id.
+    pub fragments: Vec<FragmentPlan>,
+    /// Execution order: evaluation, filtering, collection.
+    pub steps: Vec<PlanStep>,
+    /// Fragment whose hot-node matches are the query result.
+    pub returning_fragment: usize,
+    /// Whether fragment evaluation was ordered by estimated cost (false:
+    /// the legacy fixed bottom-up order).
+    pub cost_ordered: bool,
+}
+
+/// An owned, cacheable planned query: the pattern tree plus its plan. The
+/// partition is recomputed at execution time (it is deterministic and
+/// borrows the tree).
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The parsed pattern tree.
+    pub tree: PatternTree,
+    /// The plan over its partition.
+    pub plan: QueryPlan,
+}
+
+/// One row of an EXPLAIN rendering: an operator with estimated and actual
+/// cardinalities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainRow {
+    /// Operator kind: `eval`, `filter`, or `collect`.
+    pub op: String,
+    /// Human-readable operator detail.
+    pub detail: String,
+    /// Estimated cardinality, when the planner produced one.
+    pub est: Option<u64>,
+    /// Actual cardinality observed at execution, when the step ran.
+    pub actual: Option<u64>,
+}
+
+/// A rendered plan: one row per operator, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Explain {
+    /// Operator rows in execution order.
+    pub rows: Vec<ExplainRow>,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let num = |v: Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "-".to_string(),
+        };
+        let mut width_op = "op".len();
+        let mut width_est = "est".len();
+        let mut width_act = "actual".len();
+        for r in &self.rows {
+            width_op = width_op.max(r.op.len());
+            width_est = width_est.max(num(r.est).len());
+            width_act = width_act.max(num(r.actual).len());
+        }
+        writeln!(
+            f,
+            "{:<width_op$}  {:>width_est$}  {:>width_act$}  detail",
+            "op", "est", "actual"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<width_op$}  {:>width_est$}  {:>width_act$}  {}",
+                r.op,
+                num(r.est),
+                num(r.actual),
+                r.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_display_matches_legacy_strings() {
+        for (s, want) in [
+            (StrategyUsed::Doc, "doc"),
+            (StrategyUsed::DocScan, "doc-scan"),
+            (StrategyUsed::ValueIndex, "value-index"),
+            (StrategyUsed::TagIndex, "tag-index"),
+            (StrategyUsed::Scan, "scan"),
+            (StrategyUsed::Pending, "pending"),
+            (StrategyUsed::Skipped, "skipped"),
+        ] {
+            assert_eq!(s.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn explain_renders_aligned_table() {
+        let e = Explain {
+            rows: vec![
+                ExplainRow {
+                    op: "eval".into(),
+                    detail: "fragment 1".into(),
+                    est: Some(12),
+                    actual: Some(3),
+                },
+                ExplainRow {
+                    op: "collect".into(),
+                    detail: "returning fragment".into(),
+                    est: None,
+                    actual: Some(3),
+                },
+            ],
+        };
+        let text = e.to_string();
+        assert!(text.contains("est"), "{text}");
+        assert!(text.contains("eval"), "{text}");
+        assert!(text.contains('-'), "absent estimate renders as '-': {text}");
+    }
+}

@@ -1,0 +1,457 @@
+//! The cost-based planner: turns a partitioned pattern tree into a
+//! [`QueryPlan`] using the build-time statistics (per-tag posting counts,
+//! per-value-hash selectivities) persisted with the store.
+//!
+//! The cost model reproduces the paper's §6.2 heuristic in explicit units:
+//! an index-seeded fragment costs four times its posting count (probe +
+//! lift + verify per hit), a sequential scan costs one pass over the
+//! document. Under `StartStrategy::Auto` a value-index seed is chosen
+//! whenever a string-equality constraint exists ("whenever there are value
+//! constraints, we always use the value index"), so the planner's choices
+//! coincide with the legacy engine's — what changes is that fragment
+//! *evaluation order* now follows estimated cost (cheapest ready fragment
+//! first, children before parents), which lets the executor prove a query
+//! empty before touching its expensive fragments.
+
+use std::collections::HashMap;
+
+use nok_pager::Storage;
+
+use crate::build::XmlDb;
+use crate::error::CoreResult;
+use crate::pattern::{CmpOp, Literal, NameTest, PathExpr};
+use crate::pattern_tree::{EdgeKind, PNodeId, Partition, PatternTree, DOC_NODE};
+use crate::plan::{FragmentPlan, PlanStep, PlannedQuery, QueryPlan, SeedChoice};
+use crate::values::hash_value;
+use crate::{QueryOptions, StartStrategy};
+
+/// Planner knobs. Not part of [`QueryOptions`] so existing option literals
+/// keep compiling; benchmarks use this to compare orders.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Order fragment evaluation by estimated cost (default). `false`
+    /// reproduces the legacy fixed bottom-up walk.
+    pub cost_ordered: bool,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig { cost_ordered: true }
+    }
+}
+
+impl<S: Storage> XmlDb<S> {
+    /// Plan a path expression (parse, partition, cost).
+    pub fn plan_query(&self, path: &str, opts: QueryOptions) -> CoreResult<PlannedQuery> {
+        self.plan_query_with(path, opts, PlanConfig::default())
+    }
+
+    /// Plan with explicit planner configuration.
+    pub fn plan_query_with(
+        &self,
+        path: &str,
+        opts: QueryOptions,
+        cfg: PlanConfig,
+    ) -> CoreResult<PlannedQuery> {
+        let expr = PathExpr::parse(path)?;
+        let tree = PatternTree::from_path(&expr)?;
+        let plan = self.plan_pattern(&tree, opts, cfg);
+        Ok(PlannedQuery { tree, plan })
+    }
+
+    /// Plan a pre-built pattern tree. Consults only in-memory statistics,
+    /// so planning never touches the page pools.
+    pub(crate) fn plan_pattern(
+        &self,
+        tree: &PatternTree,
+        opts: QueryOptions,
+        cfg: PlanConfig,
+    ) -> QueryPlan {
+        let part = tree.partition();
+        let nfrags = part.fragments.len();
+        let mut fragments = Vec::with_capacity(nfrags);
+        for f in 0..nfrags {
+            fragments.push(self.plan_fragment(&part, f, opts));
+        }
+
+        // ---- Fragment evaluation order. Children must precede parents
+        // (their root intervals feed the parent's cut-edge hook).
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); nfrags]; // f → children
+        for f in 0..nfrags {
+            for ce in part.cut_edges_from(f) {
+                deps[f].push(ce.child_frag);
+            }
+        }
+        let order: Vec<usize> = if cfg.cost_ordered {
+            let mut done = vec![false; nfrags];
+            let mut order = Vec::with_capacity(nfrags);
+            while order.len() < nfrags {
+                // Ready: all children evaluated. Among ready, cheapest
+                // first; ties resolve to the highest index (the legacy
+                // bottom-up direction).
+                let next = (0..nfrags)
+                    .filter(|&f| !done[f] && deps[f].iter().all(|&g| done[g]))
+                    .min_by_key(|&f| (fragments[f].est_cost, usize::MAX - f));
+                match next {
+                    Some(f) => {
+                        done[f] = true;
+                        order.push(f);
+                    }
+                    // Unreachable for well-formed partitions (the fragment
+                    // forest is acyclic); bail out rather than spin.
+                    None => break,
+                }
+            }
+            order
+        } else {
+            (0..nfrags).rev().collect()
+        };
+
+        let mut steps: Vec<PlanStep> = order
+            .into_iter()
+            .map(|frag| PlanStep::EvalFragment { frag })
+            .collect();
+
+        // ---- Top-down filter chain from the root fragment down to the
+        // returning fragment, then the final collect.
+        let mut chain = vec![part.returning_fragment];
+        while let Some(cut) = part.incoming_cut(chain[chain.len() - 1]) {
+            chain.push(cut.parent_frag);
+        }
+        chain.reverse();
+        for w in chain.windows(2) {
+            let kind = part
+                .incoming_cut(w[1])
+                .map(|c| c.kind)
+                .unwrap_or(crate::pattern_tree::CutKind::Descendant);
+            steps.push(PlanStep::FilterChain {
+                parent: w[0],
+                child: w[1],
+                kind,
+            });
+        }
+        steps.push(PlanStep::Collect {
+            frag: part.returning_fragment,
+        });
+
+        QueryPlan {
+            fragments,
+            steps,
+            returning_fragment: part.returning_fragment,
+            cost_ordered: cfg.cost_ordered,
+        }
+    }
+
+    /// Seed choice + cost estimate for one fragment (§6.2's heuristic, in
+    /// statistics form).
+    fn plan_fragment(&self, part: &Partition<'_>, f: usize, opts: QueryOptions) -> FragmentPlan {
+        let root = part.fragments[f].root;
+        let pivot = if root == DOC_NODE {
+            doc_pivot(part)
+        } else {
+            root
+        };
+        let node_count = self.node_count();
+        if pivot == DOC_NODE {
+            return FragmentPlan {
+                frag: f,
+                root,
+                pivot,
+                seed: SeedChoice::DocNavigate,
+                verify_spine: false,
+                est_starts: 1,
+                est_cost: node_count,
+            };
+        }
+        let strategy = opts.strategy;
+        let depths = pivot_depths(part, pivot);
+
+        // Value route: the most selective `= "literal"` constraint, by the
+        // persisted per-hash counts.
+        if matches!(strategy, StartStrategy::Auto | StartStrategy::ValueIndex) {
+            let mut best: Option<(u64, &str, u32)> = None; // (count, literal, depth)
+            for (&n, &d) in &depths {
+                for cmp in &part.tree.nodes[n].value_cmps {
+                    if cmp.op != CmpOp::Eq {
+                        continue;
+                    }
+                    let Literal::Str(lit) = &cmp.rhs else {
+                        continue;
+                    };
+                    let count = self.value_count(hash_value(lit));
+                    if best.is_none_or(|(b, _, _)| count < b) {
+                        best = Some((count, lit.as_str(), d));
+                    }
+                }
+            }
+            if let Some((count, lit, d)) = best {
+                return FragmentPlan {
+                    frag: f,
+                    root,
+                    pivot,
+                    seed: SeedChoice::ValueIndex {
+                        literal: lit.to_string(),
+                        lift: d,
+                    },
+                    verify_spine: root == DOC_NODE,
+                    est_starts: count,
+                    est_cost: count.saturating_mul(4),
+                };
+            }
+        }
+
+        // Tag route: the most selective tag among the `/`-connected members.
+        if strategy != StartStrategy::Scan {
+            let mut best: Option<(u64, &str, u32)> = None;
+            for (&n, &d) in &depths {
+                if let NameTest::Tag(name) = &part.tree.nodes[n].test {
+                    let count = match self.dict.lookup(name) {
+                        None => 0, // tag unseen: the whole query is empty
+                        Some(code) => self.tag_count(code),
+                    };
+                    if best.is_none_or(|(b, _, _)| count < b) {
+                        best = Some((count, name.as_str(), d));
+                    }
+                }
+            }
+            if let Some((count, name, d)) = best {
+                let selective_enough = match strategy {
+                    StartStrategy::TagIndex => true,
+                    // A tag covering more than a quarter of the document
+                    // gains nothing over one sequential pass.
+                    _ => count.saturating_mul(4) <= node_count,
+                };
+                if selective_enough {
+                    return FragmentPlan {
+                        frag: f,
+                        root,
+                        pivot,
+                        seed: SeedChoice::TagIndex {
+                            name: name.to_string(),
+                            lift: d,
+                        },
+                        verify_spine: root == DOC_NODE,
+                        est_starts: count,
+                        est_cost: count.saturating_mul(4),
+                    };
+                }
+            }
+        }
+
+        // Sequential scan. A document-rooted fragment runs it as one
+        // navigational pass from the root instead (the executor maps a
+        // doc-rooted Scan seed to a DocNavigate pass).
+        let est_starts = match &part.tree.nodes[pivot].test {
+            NameTest::Tag(name) => match self.dict.lookup(name) {
+                None => 0,
+                Some(code) => self.tag_count(code),
+            },
+            _ => node_count,
+        };
+        if root == DOC_NODE {
+            return FragmentPlan {
+                frag: f,
+                root,
+                pivot,
+                seed: SeedChoice::DocNavigate,
+                verify_spine: false,
+                est_starts: 1,
+                est_cost: node_count,
+            };
+        }
+        FragmentPlan {
+            frag: f,
+            root,
+            pivot,
+            seed: SeedChoice::Scan,
+            verify_spine: false,
+            est_starts,
+            est_cost: node_count,
+        }
+    }
+}
+
+/// Descend from the virtual document node through the *bare* spine prefix:
+/// nodes with no value constraints and exactly one local (`/`) child. The
+/// node where the walk stops is the pivot for index-based starting-point
+/// location. Never descends past the fragment's hot node (the matcher must
+/// still collect it).
+pub(crate) fn doc_pivot(part: &Partition<'_>) -> PNodeId {
+    let tree = part.tree;
+    let hot = part.hot.get(&0).copied().unwrap_or(DOC_NODE);
+    let mut cur = DOC_NODE;
+    loop {
+        if cur == hot {
+            return cur;
+        }
+        let n = &tree.nodes[cur];
+        if cur != DOC_NODE && !n.value_cmps.is_empty() {
+            return cur;
+        }
+        let mut it = n.children.iter();
+        match (it.next(), it.next()) {
+            (Some(&(EdgeKind::Child, c)), None) => cur = c,
+            _ => return cur,
+        }
+    }
+}
+
+/// The name tests of the spine nodes strictly between the document node and
+/// `pivot`, outermost first (levels `1..pivot_depth-1`).
+pub(crate) fn spine_above(part: &Partition<'_>, pivot: PNodeId) -> Vec<NameTest> {
+    let tree = part.tree;
+    let mut chain = Vec::new();
+    let mut cur = tree.nodes[pivot].parent;
+    while let Some(n) = cur {
+        if n == DOC_NODE {
+            break;
+        }
+        chain.push(tree.nodes[n].test.clone());
+        cur = tree.nodes[n].parent;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Fixed `/`-chain depth of each fragment member below `pivot`.
+pub(crate) fn pivot_depths(part: &Partition<'_>, pivot: PNodeId) -> HashMap<PNodeId, u32> {
+    let tree = part.tree;
+    let mut depth: HashMap<PNodeId, u32> = HashMap::new();
+    depth.insert(pivot, 0);
+    let mut frontier = vec![pivot];
+    while let Some(n) = frontier.pop() {
+        for c in tree.local_children(n) {
+            depth.insert(c, depth[&n] + 1);
+            frontier.push(c);
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+      <book><title>A</title><author><last>Stevens</last></author></book>
+      <book><title>B</title><author><last>Suciu</last></author></book>
+    </bib>"#;
+
+    fn plan(db: &XmlDb<nok_pager::MemStorage>, q: &str) -> PlannedQuery {
+        db.plan_query(q, QueryOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn value_constraint_selects_value_index() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        let p = plan(&db, r#"//book[author/last="Stevens"]"#);
+        let frag = p
+            .plan
+            .fragments
+            .iter()
+            .find(|fp| matches!(fp.seed, SeedChoice::ValueIndex { .. }))
+            .expect("one fragment seeds from the value index");
+        assert!(frag.verify_spine || frag.root != DOC_NODE);
+    }
+
+    #[test]
+    fn value_estimates_come_from_stats() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        let p = plan(&db, r#"//book[author/last="Stevens"]"#);
+        let frag = p
+            .plan
+            .fragments
+            .iter()
+            .find(|fp| matches!(fp.seed, SeedChoice::ValueIndex { .. }))
+            .unwrap();
+        assert_eq!(frag.est_starts, 1, "exactly one last=Stevens node");
+        assert_eq!(frag.est_cost, 4);
+    }
+
+    #[test]
+    fn unselective_tag_falls_back_to_scan() {
+        // Every node shares one tag: tag route is never selective enough.
+        let xml = "<r><r><r/></r><r/><r><r/><r/></r></r>";
+        let db = XmlDb::build_in_memory(xml).unwrap();
+        let p = db
+            .plan_query("//r[r]", QueryOptions::default())
+            .unwrap()
+            .plan;
+        assert!(p
+            .fragments
+            .iter()
+            .any(|fp| matches!(fp.seed, SeedChoice::Scan) && fp.est_cost == db.node_count()));
+    }
+
+    #[test]
+    fn strategy_override_forces_seed() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        let p = db
+            .plan_query(
+                r#"//book[author/last="Stevens"]"#,
+                QueryOptions {
+                    strategy: StartStrategy::TagIndex,
+                },
+            )
+            .unwrap();
+        assert!(p
+            .plan
+            .fragments
+            .iter()
+            .all(|fp| !matches!(fp.seed, SeedChoice::ValueIndex { .. })));
+    }
+
+    #[test]
+    fn cost_order_puts_cheap_fragments_first() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        // `//title` (2 hits) vs `//nosuchtag` (0 hits): the planner must
+        // schedule the empty fragment before the populated one.
+        let p = plan(&db, "//book[nosuchtag]/title");
+        let evals: Vec<usize> = p
+            .plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::EvalFragment { frag } => Some(*frag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evals.len(), p.plan.fragments.len());
+        let costs: Vec<u64> = evals
+            .iter()
+            .map(|&f| p.plan.fragments[f].est_cost)
+            .collect();
+        // Children-before-parents still holds, and the cheapest ready
+        // fragment (the empty one) runs first.
+        assert_eq!(
+            costs[0],
+            p.plan.fragments.iter().map(|fp| fp.est_cost).min().unwrap()
+        );
+    }
+
+    #[test]
+    fn legacy_order_is_reverse_index() {
+        let db = XmlDb::build_in_memory(BIB).unwrap();
+        let p = db
+            .plan_query_with(
+                "//book//last",
+                QueryOptions::default(),
+                PlanConfig {
+                    cost_ordered: false,
+                },
+            )
+            .unwrap();
+        let evals: Vec<usize> = p
+            .plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::EvalFragment { frag } => Some(*frag),
+                _ => None,
+            })
+            .collect();
+        let want: Vec<usize> = (0..p.plan.fragments.len()).rev().collect();
+        assert_eq!(evals, want);
+        assert!(!p.plan.cost_ordered);
+    }
+}

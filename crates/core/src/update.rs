@@ -38,7 +38,7 @@ use crate::page::{self, Entry, PageHeader, HEADER_SIZE};
 use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::sigma::TagCode;
 use crate::store::{DirEntry, NodeAddr};
-use crate::values::{hash_key, LockDataFile};
+use crate::values::{hash_key, hash_value, LockDataFile};
 
 /// Derives Dewey ids while walking raw entries from an arbitrary seed
 /// position (the stack-of-counters trick: ancestors' consumed-child counts
@@ -225,6 +225,7 @@ impl<S: Storage> XmlDb<S> {
             let (off, len) = self.data.lock_data().put(text)?;
             value_map.insert(dewey.to_key(), (off, len));
             self.bt_val.insert(&hash_key(text), &dewey.to_key())?;
+            *self.value_counts.entry(hash_value(text)).or_insert(0) += 1;
         }
         for (dewey, tag, level, rel_idx) in &new_nodes {
             let addr = addr_of[ip + rel_idx];
@@ -342,6 +343,13 @@ impl<S: Storage> XmlDb<S> {
                     let text = self.data.lock_data().get_record(off)?;
                     let h = hash_key(&text);
                     self.bt_val.delete(&h, Some(&key))?;
+                    let hv = hash_value(&text);
+                    if let Some(c) = self.value_counts.get_mut(&hv) {
+                        *c = c.saturating_sub(1);
+                        if *c == 0 {
+                            self.value_counts.remove(&hv);
+                        }
+                    }
                     // Tombstone the record at commit unless another node
                     // (deduplicated values are shared) still points at it.
                     let mut shared = false;

@@ -2,7 +2,7 @@
 //! unusual documents, pathological patterns, and strategy interactions.
 
 use nok_core::naive::NaiveEvaluator;
-use nok_core::{QueryOptions, StartStrategy, XmlDb};
+use nok_core::{QueryOptions, StartStrategy, StrategyUsed, XmlDb};
 use nok_xml::Document;
 
 fn check(xml: &str, query: &str) {
@@ -184,8 +184,8 @@ fn query_stats_reflect_plan_choices() {
     let (_, stats) = db
         .query_with(r#"/r/a[k="v1"]"#, QueryOptions::default())
         .unwrap();
-    assert!(stats.strategies.contains(&"value-index"));
+    assert!(stats.strategies.contains(&StrategyUsed::ValueIndex));
     // No value constraint, selective tag → tag index.
     let (_, stats) = db.query_with("//k", QueryOptions::default()).unwrap();
-    assert!(stats.strategies.contains(&"tag-index"));
+    assert!(stats.strategies.contains(&StrategyUsed::TagIndex));
 }

@@ -23,7 +23,9 @@ use std::time::Duration;
 
 use nok_core::{QueryOptions, XmlDb};
 use nok_pager::FileStorage;
-use nok_serve::proto::{error_response, query_ok, read_frame, write_frame, Request, WireMatch};
+use nok_serve::proto::{
+    error_response, explain_ok, query_ok, read_frame, write_frame, Request, WireMatch,
+};
 use nok_serve::{Json, QueryError, QueryService, ServiceConfig, SERVE_POOL_FRAMES};
 
 struct Args {
@@ -132,6 +134,7 @@ fn run() -> Result<(), String> {
             workers: args.workers,
             queue_cap: args.queue,
             default_timeout: Duration::from_millis(args.timeout_ms),
+            ..ServiceConfig::default()
         },
     ));
 
@@ -251,6 +254,16 @@ fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
             };
             (response, false)
         }
+        Request::Explain { id, path } => {
+            // Explain runs on the connection thread, not through the worker
+            // queue: it is a diagnostic, planned and executed afresh so the
+            // estimated-vs-actual comparison reflects this exact run.
+            let response = match svc.db().explain(&path, QueryOptions::default()) {
+                Ok((matches, explain)) => explain_ok(id, matches.len(), &explain),
+                Err(e) => error_response(id, "engine", &e.to_string()),
+            };
+            (response, false)
+        }
         Request::Stats { id } => {
             let m = svc.metrics();
             let io = svc.db().store().pool().stats();
@@ -274,6 +287,19 @@ fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
                             "queue_depth",
                             Json::Num(m.queue_depth.load(Ordering::Relaxed) as f64),
                         ),
+                        (
+                            "plan_cache_hits",
+                            Json::Num(m.plan_hits.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "plan_cache_misses",
+                            Json::Num(m.plan_misses.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "plan_cache_invalidations",
+                            Json::Num(m.plan_invalidations.load(Ordering::Relaxed) as f64),
+                        ),
+                        ("plan_cache_size", Json::Num(svc.plan_cache_len() as f64)),
                         ("p50_us", Json::Num(m.latency.quantile_micros(0.50) as f64)),
                         ("p99_us", Json::Num(m.latency.quantile_micros(0.99) as f64)),
                         ("mean_us", Json::Num(m.latency.mean_micros() as f64)),

@@ -13,14 +13,17 @@
 //!   one per line — pipe it back into either mode above.
 //!
 //! Extras for scripting: `--stats` and `--shutdown` (server mode only),
-//! `--timeout-ms N` per-query deadline.
+//! `--timeout-ms N` per-query deadline, and `--explain` (server and
+//! offline modes) which prints each query's plan — one row per operator
+//! with estimated vs actual cardinalities — instead of the result line.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
-use nok_core::XmlDb;
+use nok_core::{QueryOptions, XmlDb};
 use nok_serve::proto::{
-    parse_query_response, read_frame, result_line, write_frame, Request, WireMatch,
+    parse_explain_response, parse_query_response, read_frame, result_line, write_frame, Request,
+    WireMatch,
 };
 use nok_serve::Json;
 
@@ -31,6 +34,7 @@ struct Args {
     timeout_ms: Option<u64>,
     stats: bool,
     shutdown: bool,
+    explain: bool,
     queries: Vec<String>,
 }
 
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: None,
         stats: false,
         shutdown: false,
+        explain: false,
         queries: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -62,10 +67,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
+            "--explain" => args.explain = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: nokq --addr HOST:PORT [--timeout-ms N] [--stats] [--shutdown] [query ...]\n\
-                     \x20      nokq --offline <db-dir> [query ...]\n\
+                    "usage: nokq --addr HOST:PORT [--timeout-ms N] [--stats] [--shutdown] [--explain] [query ...]\n\
+                     \x20      nokq --offline <db-dir> [--explain] [query ...]\n\
                      \x20      nokq --workload <dataset>   (author|address|catalog|treebank|dblp)\n\
                      queries are read from stdin when none are given"
                 );
@@ -105,7 +111,7 @@ fn run() -> Result<(), String> {
         args.queries.clone()
     };
     if let Some(dir) = &args.offline {
-        return run_offline(dir, &queries);
+        return run_offline(dir, &queries, args.explain);
     }
     if let Some(addr) = &args.addr {
         return run_server(addr, &queries, &args);
@@ -146,10 +152,17 @@ fn print_workload(dataset: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run_offline(dir: &str, queries: &[String]) -> Result<(), String> {
+fn run_offline(dir: &str, queries: &[String], explain: bool) -> Result<(), String> {
     let db = XmlDb::open_dir(dir).map_err(|e| format!("open {dir}: {e}"))?;
     let mut out = std::io::stdout().lock();
     for q in queries {
+        if explain {
+            let (matches, plan) = db
+                .explain(q, QueryOptions::default())
+                .map_err(|e| format!("{q}: {e}"))?;
+            writeln!(out, "{q}  ({} matches)\n{plan}", matches.len()).map_err(|e| e.to_string())?;
+            continue;
+        }
         let matches = db.query(q).map_err(|e| format!("{q}: {e}"))?;
         let wire: Vec<WireMatch> = matches
             .iter()
@@ -178,6 +191,16 @@ fn run_server(addr: &str, queries: &[String], args: &Args) -> Result<(), String>
     };
     for q in queries {
         id += 1;
+        if args.explain {
+            let resp = round_trip(Request::Explain {
+                id,
+                path: q.clone(),
+            })?;
+            let text = parse_explain_response(&resp).map_err(|e| format!("{q}: {e}"))?;
+            let count = resp.get("count").and_then(Json::as_num).unwrap_or(0.0) as u64;
+            writeln!(out, "{q}  ({count} matches)\n{text}").map_err(|e| e.to_string())?;
+            continue;
+        }
         let resp = round_trip(Request::Query {
             id,
             path: q.clone(),

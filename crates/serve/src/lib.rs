@@ -10,6 +10,8 @@
 //!   the `nokd` server binary and the `nokq` client binary.
 //! * [`metrics`] — lock-free counters and a log2-bucket latency histogram
 //!   (p50/p99 without per-request allocation).
+//! * [`plan_cache`] — a bounded cache of planned queries keyed by
+//!   normalized query text, invalidated by the store's commit generation.
 //! * [`json`] — the minimal JSON reader/writer the protocol rides on
 //!   (the build is offline, so no serde).
 //!
@@ -24,11 +26,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod plan_cache;
 pub mod proto;
 pub mod service;
 
 pub use json::Json;
 pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use plan_cache::{normalize_query, PlanCache};
 pub use proto::{read_frame, result_line, write_frame, Request, WireMatch};
 pub use service::{QueryError, QueryService, ServiceConfig};
 

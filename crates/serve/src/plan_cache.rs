@@ -1,0 +1,223 @@
+//! A bounded plan cache keyed by normalized query text.
+//!
+//! Planning is cheap but not free (parse + partition + cost), and a serving
+//! workload repeats a small set of query shapes; caching the planned query
+//! lets the worker hot path go straight to the executor. Invalidation is by
+//! **commit generation**: [`nok_core::XmlDb::commit_generation`] bumps once
+//! per durably committed update transaction, and a lookup presented with a
+//! newer generation than the cache was filled under clears the whole cache
+//! (the stats every cached plan was costed from are stale). Rolled-back
+//! transactions do not bump the generation and do not invalidate.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use nok_core::PlannedQuery;
+
+/// Outcome of one cache lookup.
+#[derive(Debug)]
+pub struct CacheLookup {
+    /// The cached plan, if the key was present under the current
+    /// generation.
+    pub plan: Option<Arc<PlannedQuery>>,
+    /// Whether this lookup observed a generation change and dropped the
+    /// cache contents.
+    pub invalidated: bool,
+}
+
+struct CacheInner {
+    /// Commit generation the current contents were planned under.
+    generation: u64,
+    map: HashMap<String, Arc<PlannedQuery>>,
+    /// Insertion order, oldest first (FIFO eviction at capacity).
+    order: VecDeque<String>,
+}
+
+/// A bounded, generation-invalidated plan cache. Thread-safe; shared by all
+/// service workers.
+pub struct PlanCache {
+    cap: usize,
+    inner: Mutex<CacheInner>,
+}
+
+fn lock(m: &Mutex<CacheInner>) -> MutexGuard<'_, CacheInner> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl PlanCache {
+    /// A cache holding at most `cap` plans (0 disables caching: every
+    /// lookup misses and inserts are dropped).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            cap,
+            inner: Mutex::new(CacheInner {
+                generation: 0,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Look `key` up under commit generation `generation`. A generation
+    /// newer than the cache contents clears them first.
+    pub fn lookup(&self, key: &str, generation: u64) -> CacheLookup {
+        let mut inner = lock(&self.inner);
+        let mut invalidated = false;
+        if inner.generation != generation {
+            invalidated = !inner.map.is_empty();
+            inner.map.clear();
+            inner.order.clear();
+            inner.generation = generation;
+        }
+        CacheLookup {
+            plan: inner.map.get(key).cloned(),
+            invalidated,
+        }
+    }
+
+    /// Insert a plan computed under commit generation `generation`. Ignored
+    /// if the cache has moved to a different generation in the meantime (the
+    /// plan may already be stale).
+    pub fn insert(&self, key: String, generation: u64, plan: Arc<PlannedQuery>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = lock(&self.inner);
+        if inner.generation != generation {
+            return;
+        }
+        if inner.map.contains_key(&key) {
+            inner.map.insert(key, plan);
+            return;
+        }
+        while inner.map.len() >= self.cap {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, plan);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Normalize query text for cache keying: collapse whitespace outside
+/// string literals (inside quotes every byte is significant).
+pub fn normalize_query(q: &str) -> String {
+    let mut out = String::with_capacity(q.len());
+    let mut in_str = false;
+    for c in q.chars() {
+        if in_str {
+            out.push(c);
+            if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+            out.push(c);
+        } else if !c.is_whitespace() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nok_core::{QueryOptions, XmlDb};
+
+    fn planned(db: &XmlDb<nok_pager::MemStorage>, q: &str) -> Arc<PlannedQuery> {
+        Arc::new(db.plan_query(q, QueryOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_outside_literals() {
+        assert_eq!(normalize_query(" //a / b "), "//a/b");
+        assert_eq!(
+            normalize_query(r#"//a[x = "hello  world"]"#),
+            r#"//a[x="hello  world"]"#
+        );
+    }
+
+    #[test]
+    fn hit_after_insert_same_generation() {
+        let db = XmlDb::build_in_memory("<a><b/></a>").unwrap();
+        let cache = PlanCache::new(4);
+        let key = normalize_query("//b");
+        assert!(cache.lookup(&key, 0).plan.is_none());
+        cache.insert(key.clone(), 0, planned(&db, "//b"));
+        assert!(cache.lookup(&key, 0).plan.is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn generation_change_invalidates() {
+        let db = XmlDb::build_in_memory("<a><b/></a>").unwrap();
+        let cache = PlanCache::new(4);
+        cache.insert("//b".into(), 0, planned(&db, "//b"));
+        let l = cache.lookup("//b", 1);
+        assert!(l.plan.is_none());
+        assert!(l.invalidated);
+        assert!(cache.is_empty());
+        // Subsequent lookups at the new generation are plain misses.
+        assert!(!cache.lookup("//b", 1).invalidated);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let db = XmlDb::build_in_memory("<a><b/><c/><d/></a>").unwrap();
+        let cache = PlanCache::new(2);
+        cache.insert("//b".into(), 0, planned(&db, "//b"));
+        cache.insert("//c".into(), 0, planned(&db, "//c"));
+        cache.insert("//d".into(), 0, planned(&db, "//d"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("//b", 0).plan.is_none(), "oldest evicted");
+        assert!(cache.lookup("//d", 0).plan.is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let db = XmlDb::build_in_memory("<a><b/></a>").unwrap();
+        let cache = PlanCache::new(0);
+        cache.insert("//b".into(), 0, planned(&db, "//b"));
+        assert!(cache.lookup("//b", 0).plan.is_none());
+    }
+
+    #[test]
+    fn committed_update_bumps_generation_and_invalidates() {
+        let mut db = XmlDb::build_in_memory("<a><b>x</b></a>").unwrap();
+        let cache = PlanCache::new(4);
+        let g0 = db.commit_generation();
+        cache.insert("//b".into(), g0, planned(&db, "//b"));
+        assert!(cache.lookup("//b", g0).plan.is_some());
+
+        // A committed update transaction must bump the generation…
+        let target = db.query("/a").unwrap()[0].dewey.clone();
+        db.insert_last_child(&target, "<c>new</c>").unwrap();
+        let g1 = db.commit_generation();
+        assert!(g1 > g0, "commit must bump the generation");
+        let l = cache.lookup("//b", g1);
+        assert!(l.plan.is_none());
+        assert!(l.invalidated, "committed txn invalidates cached plans");
+
+        // …and a failed (rolled-back) update must not.
+        cache.insert("//b".into(), g1, planned(&db, "//b"));
+        let err = db.insert_last_child(&target, "<unclosed>");
+        assert!(err.is_err(), "malformed fragment must be rejected");
+        assert_eq!(db.commit_generation(), g1, "rollback must not bump");
+        assert!(cache.lookup("//b", g1).plan.is_some());
+    }
+}

@@ -69,6 +69,14 @@ pub enum Request {
         /// Per-request deadline override in milliseconds.
         timeout_ms: Option<u64>,
     },
+    /// Plan a path query and evaluate it, returning per-operator
+    /// estimated vs actual cardinalities alongside the match count.
+    Explain {
+        /// Correlation id.
+        id: u64,
+        /// The path expression.
+        path: String,
+    },
     /// Fetch aggregate server metrics.
     Stats {
         /// Correlation id.
@@ -105,6 +113,11 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::Explain { id, path } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("op", Json::Str("explain".into())),
+                ("path", Json::Str(path.clone())),
+            ]),
             Request::Stats { id } => Json::obj(vec![
                 ("id", Json::Num(*id as f64)),
                 ("op", Json::Str("stats".into())),
@@ -140,6 +153,14 @@ impl Request {
                     path,
                     timeout_ms,
                 })
+            }
+            "explain" => {
+                let path = v
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or("explain without `path`")?
+                    .to_string();
+                Ok(Request::Explain { id, path })
             }
             "stats" => Ok(Request::Stats { id }),
             "ping" => Ok(Request::Ping { id }),
@@ -180,6 +201,57 @@ pub fn query_ok(id: u64, matches: &[WireMatch]) -> Json {
             ),
         ),
     ])
+}
+
+/// Build a successful explain response: the match count, one JSON row per
+/// plan operator (est/actual are `null` when not applicable), and the
+/// rendered table under `text` for direct display.
+pub fn explain_ok(id: u64, count: usize, explain: &nok_core::Explain) -> Json {
+    let opt = |v: Option<u64>| match v {
+        Some(n) => Json::Num(n as f64),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("id", Json::Num(id as f64)),
+        ("status", Json::Str("ok".into())),
+        ("count", Json::Num(count as f64)),
+        (
+            "plan",
+            Json::Arr(
+                explain
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("op", Json::Str(r.op.clone())),
+                            ("detail", Json::Str(r.detail.clone())),
+                            ("est", opt(r.est)),
+                            ("actual", opt(r.actual)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("text", Json::Str(explain.to_string())),
+    ])
+}
+
+/// Extract the rendered plan table from an explain response, or the error
+/// text.
+pub fn parse_explain_response(v: &Json) -> Result<String, String> {
+    match v.get("status").and_then(Json::as_str) {
+        Some("ok") => Ok(v
+            .get("text")
+            .and_then(Json::as_str)
+            .ok_or("explain response without text")?
+            .to_string()),
+        Some("error") => Err(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error")
+            .to_string()),
+        _ => Err("malformed response".into()),
+    }
 }
 
 /// Build an error response. `code` is a stable machine-readable tag
@@ -274,6 +346,10 @@ mod tests {
                 path: "/x".into(),
                 timeout_ms: None,
             },
+            Request::Explain {
+                id: 9,
+                path: "//a[b]".into(),
+            },
             Request::Stats { id: 1 },
             Request::Ping { id: 2 },
             Request::Shutdown { id: 3 },
@@ -305,6 +381,38 @@ mod tests {
         let msg =
             parse_query_response(&Json::parse(&err.to_string_compact()).unwrap()).unwrap_err();
         assert_eq!(msg, "query deadline exceeded");
+    }
+
+    #[test]
+    fn explain_responses_round_trip() {
+        let explain = nok_core::Explain {
+            rows: vec![
+                nok_core::ExplainRow {
+                    op: "eval".into(),
+                    detail: "fragment 0".into(),
+                    est: Some(3),
+                    actual: Some(2),
+                },
+                nok_core::ExplainRow {
+                    op: "collect".into(),
+                    detail: "returning fragment 0".into(),
+                    est: None,
+                    actual: Some(2),
+                },
+            ],
+        };
+        let ok = explain_ok(5, 2, &explain);
+        let parsed = Json::parse(&ok.to_string_compact()).unwrap();
+        let text = parse_explain_response(&parsed).unwrap();
+        assert!(text.contains("eval"));
+        let plan = parsed.get("plan").and_then(Json::as_arr).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(plan[1].get("est"), Some(Json::Null)));
+        // Errors surface through the same parser.
+        let err = error_response(5, "engine", "no such tag");
+        let msg =
+            parse_explain_response(&Json::parse(&err.to_string_compact()).unwrap()).unwrap_err();
+        assert_eq!(msg, "no such tag");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use nok_core::{QueryMatch, QueryOptions, QueryScratch, XmlDb};
 use nok_pager::Storage;
 
 use crate::metrics::ServerMetrics;
+use crate::plan_cache::{normalize_query, PlanCache};
 
 /// Errors surfaced to a query submitter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +64,8 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// Deadline applied when the caller does not pass one.
     pub default_timeout: Duration,
+    /// Maximum cached query plans (0 disables the plan cache).
+    pub plan_cache_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +74,7 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_cap: 128,
             default_timeout: Duration::from_secs(10),
+            plan_cache_cap: 256,
         }
     }
 }
@@ -97,6 +101,7 @@ struct Inner<S: Storage> {
     shutdown: AtomicBool,
     metrics: ServerMetrics,
     queue_cap: usize,
+    plan_cache: PlanCache,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -120,6 +125,7 @@ impl<S: Storage + Send + 'static> QueryService<S> {
             shutdown: AtomicBool::new(false),
             metrics: ServerMetrics::default(),
             queue_cap: config.queue_cap,
+            plan_cache: PlanCache::new(config.plan_cache_cap),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -222,6 +228,11 @@ impl<S: Storage + Send + 'static> QueryService<S> {
         &self.inner.db
     }
 
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.inner.plan_cache.len()
+    }
+
     /// Stop accepting work, finish nothing further, and join the workers.
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
@@ -268,9 +279,7 @@ fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
             deliver(&job.slot, Err(QueryError::Timeout));
             continue;
         }
-        let outcome = inner
-            .db
-            .query_into(&job.path, job.opts, &mut scratch, &mut results);
+        let outcome = run_query(inner, &job, &mut scratch, &mut results);
         match outcome {
             Ok(()) => {
                 inner.metrics.served.fetch_add(1, Ordering::Relaxed);
@@ -283,6 +292,41 @@ fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
             }
         }
     }
+}
+
+/// Evaluate one job: look the plan up in the shared cache (keyed by the
+/// forced strategy + normalized query text, under the store's commit
+/// generation), planning from scratch on a miss, then execute it with the
+/// worker's pooled scratch buffers. The cache-hit path parses nothing and
+/// plans nothing — it goes straight to the operator executor.
+fn run_query<S: Storage + Send + 'static>(
+    inner: &Inner<S>,
+    job: &Job,
+    scratch: &mut QueryScratch,
+    results: &mut Vec<QueryMatch>,
+) -> nok_core::CoreResult<()> {
+    let key = format!("{:?}|{}", job.opts.strategy, normalize_query(&job.path));
+    let generation = inner.db.commit_generation();
+    let looked = inner.plan_cache.lookup(&key, generation);
+    if looked.invalidated {
+        inner
+            .metrics
+            .plan_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let planned = match looked.plan {
+        Some(p) => {
+            inner.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+            p
+        }
+        None => {
+            inner.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            let p = Arc::new(inner.db.plan_query(&job.path, job.opts)?);
+            inner.plan_cache.insert(key, generation, Arc::clone(&p));
+            p
+        }
+    };
+    inner.db.execute_plan(&planned, scratch, results)
 }
 
 fn deliver(slot: &ResponseSlot, result: Result<Vec<QueryMatch>, QueryError>) {
@@ -309,6 +353,7 @@ mod tests {
                 workers,
                 queue_cap,
                 default_timeout: Duration::from_secs(5),
+                plan_cache_cap: 64,
             },
         )
     }
@@ -392,6 +437,32 @@ mod tests {
         assert_eq!(svc.metrics().served.load(Ordering::Relaxed), 200);
         assert!(svc.metrics().latency.count() == 200);
         assert!(svc.pool_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let svc = service(1, 16);
+        for _ in 0..5 {
+            // Whitespace variants normalize to the same cache key.
+            assert_eq!(svc.query("//book/title").unwrap().len(), 2);
+            assert_eq!(svc.query(" //book / title ").unwrap().len(), 2);
+        }
+        let m = svc.metrics();
+        assert_eq!(m.plan_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(m.plan_hits.load(Ordering::Relaxed), 9);
+        assert_eq!(svc.plan_cache_len(), 1);
+    }
+
+    #[test]
+    fn distinct_queries_occupy_distinct_slots() {
+        let svc = service(1, 16);
+        svc.query("//book").unwrap();
+        svc.query("//title").unwrap();
+        svc.query("//book").unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.plan_misses.load(Ordering::Relaxed), 2);
+        assert_eq!(m.plan_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.plan_cache_len(), 2);
     }
 
     #[test]

@@ -74,6 +74,7 @@ fn workload_is_byte_identical_across_threads() {
                 workers: THREADS,
                 queue_cap: 256,
                 default_timeout: Duration::from_secs(60),
+                ..ServiceConfig::default()
             },
         ));
         let threads: Vec<_> = (0..THREADS)
@@ -265,6 +266,7 @@ fn mixed_query_shapes_agree() {
             workers: 4,
             queue_cap: 64,
             default_timeout: Duration::from_secs(60),
+            ..ServiceConfig::default()
         },
     ));
     let threads: Vec<_> = (0..4)

@@ -34,7 +34,7 @@ use nok_core::page::{self, HEADER_SIZE, NO_PAGE};
 use nok_core::physical::{tag_posting_key, IdRecord, TagPosting};
 use nok_core::sigma::TagCode;
 use nok_core::store::{NodeAddr, StructStore};
-use nok_core::values::hash_key;
+use nok_core::values::{hash_key, hash_value};
 use nok_core::LockDataFile;
 use nok_core::XmlDb;
 use nok_pager::{BufferPool, PageId, Storage};
@@ -730,6 +730,30 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
                 found,
             });
         }
+    }
+    // Likewise the per-value-hash counters the cost-based planner estimates
+    // selectivities from, plus the distinct-hash total (which catches stale
+    // counters for values that no longer exist).
+    let mut derived_value_counts: HashMap<u64, u64> = HashMap::new();
+    for text in value_of.values() {
+        *derived_value_counts.entry(hash_value(text)).or_insert(0) += 1;
+    }
+    for (hash, expected) in &derived_value_counts {
+        let found = db.value_count(*hash);
+        if found != *expected {
+            v.push(Violation::CountMismatch {
+                what: "value occurrence counter",
+                expected: *expected,
+                found,
+            });
+        }
+    }
+    if db.distinct_value_count() != derived_value_counts.len() as u64 {
+        v.push(Violation::CountMismatch {
+            what: "distinct value hashes",
+            expected: derived_value_counts.len() as u64,
+            found: db.distinct_value_count(),
+        });
     }
 
     // ---- Data file: every live record reachable from B+i. Records whose

@@ -16,6 +16,13 @@
 //!    tracking and the write-ahead log, so a call anywhere outside
 //!    `crates/pager/src/` can silently break crash atomicity. Everything
 //!    else must go through `BufferPool` / `TxnHandle`.
+//! 5. **No plan-operator construction outside the planner pipeline.**
+//!    `PlanStep::` and `SeedChoice::` tokens outside
+//!    `core/src/{plan,planner,exec}.rs` would let other layers fabricate
+//!    or rewrite plans behind the cost model's back. Everyone else
+//!    consumes plans opaquely through `plan_query`/`execute_plan` and
+//!    reads outcomes from `QueryStats`/`Explain`, so the scanner forbids
+//!    the operator tokens entirely outside the pipeline modules.
 //!
 //! The scanner is deliberately token-ish, not a full parser: it strips
 //! comments, string/char literals and raw strings with a small state
@@ -53,6 +60,11 @@ const STRAY: &[&str] = &["dbg!(", "todo!("];
 /// Raw [`Storage`] mutations that skip the buffer pool and the write-ahead
 /// log. Legal only inside the pager crate itself.
 const RAW_PAGE_IO: &[&str] = &[".write_page(", ".allocate_page("];
+
+/// Plan-operator tokens. Legal only inside the planner pipeline
+/// (`core/src/{plan,planner,exec}.rs`); everyone else consumes plans
+/// opaquely via `plan_query`/`execute_plan`.
+const PLAN_OPERATORS: &[&str] = &["PlanStep::", "SeedChoice::"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +105,19 @@ pub fn is_hot_path(path: &Path) -> bool {
 pub fn is_pager_internal(path: &Path) -> bool {
     let p = path.to_string_lossy().replace('\\', "/");
     p.contains("pager/src/")
+}
+
+/// Is `path` one of the planner-pipeline modules allowed to construct plan
+/// operators?
+pub fn is_plan_internal(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    [
+        "core/src/plan.rs",
+        "core/src/planner.rs",
+        "core/src/exec.rs",
+    ]
+    .iter()
+    .any(|suffix| p.ends_with(suffix))
 }
 
 /// A source line split into code text (literals/comments blanked) and the
@@ -331,6 +356,19 @@ pub fn scan_source(path: &Path, source: &str) -> Vec<Finding> {
             }
         }
 
+        if !is_plan_internal(path) {
+            for pat in PLAN_OPERATORS {
+                if line.code.contains(pat) {
+                    findings.push(Finding {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: "plan-operator-construction",
+                        pattern: (*pat).to_string(),
+                    });
+                }
+            }
+        }
+
         if has_word(&line.code, "unsafe") {
             let documented = line.comment.contains("SAFETY:")
                 || lines[idx.saturating_sub(3)..idx]
@@ -501,6 +539,31 @@ fn g() { todo!() }
         let src = "fn f(s: &mut MemStorage) { s.write_page(0, &[]); }\n";
         let f = scan("crates/pager/src/wal.rs", src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn plan_operators_flagged_outside_pipeline() {
+        let src = "fn f() -> PlanStep { PlanStep::Collect { frag: 0 } }\n";
+        let f = scan("crates/serve/src/service.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "plan-operator-construction");
+
+        let src = "fn f() -> SeedChoice { SeedChoice::Scan }\n";
+        let f = scan("crates/core/src/engine.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn plan_operators_allowed_inside_pipeline() {
+        let src = "fn f() -> SeedChoice { SeedChoice::Scan }\n";
+        for path in [
+            "crates/core/src/plan.rs",
+            "crates/core/src/planner.rs",
+            "crates/core/src/exec.rs",
+        ] {
+            let f = scan(path, src);
+            assert!(f.is_empty(), "{path}: {f:?}");
+        }
     }
 
     #[test]

@@ -132,6 +132,12 @@ const SELF_TEST_FIXTURES: &[(&str, &str, &str, &str)] = &[
         "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
         "undocumented-unsafe",
     ),
+    (
+        "plan-operator-outside-pipeline",
+        "crates/serve/src/service.rs",
+        "fn f() -> PlanStep { PlanStep::Collect { frag: 0 } }\n",
+        "plan-operator-construction",
+    ),
 ];
 
 /// Fixtures that must be *clean*: the exemptions the lint promises.
@@ -150,6 +156,11 @@ const SELF_TEST_CLEAN: &[(&str, &str, &str)] = &[
         "documented-unsafe",
         "crates/core/src/page.rs",
         "// SAFETY: fixture — pointer is valid by construction.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    ),
+    (
+        "plan-operator-inside-pipeline",
+        "crates/core/src/exec.rs",
+        "fn f() -> SeedChoice { SeedChoice::Scan }\n",
     ),
 ];
 

@@ -1,0 +1,190 @@
+//! Planner/executor differential battery: on every dataset and every
+//! workload query (plus the `//` variants), the cost-ordered plan, the
+//! legacy fixed-order plan, and a forced full-scan plan must all return
+//! exactly the result set of the naive oracle — the planner may change
+//! evaluation *order* and *seeding*, never *answers*. A final snapshot
+//! test pins the explain output's operator sequence on a deep/wide
+//! synthetic document.
+
+use nok_core::naive::NaiveEvaluator;
+use nok_core::{PlanConfig, QueryOptions, QueryScratch, StartStrategy, StrategyUsed, XmlDb};
+use nok_datagen::{generate, workload, DatasetKind};
+use nok_xml::Document;
+
+fn execute(
+    db: &XmlDb<nok_pager::MemStorage>,
+    path: &str,
+    opts: QueryOptions,
+    cfg: PlanConfig,
+    scratch: &mut QueryScratch,
+) -> Vec<String> {
+    let planned = db.plan_query_with(path, opts, cfg).expect("plan");
+    let mut out = Vec::new();
+    db.execute_plan(&planned, scratch, &mut out)
+        .expect("execute");
+    out.iter().map(|m| m.dewey.to_string()).collect()
+}
+
+fn check_dataset(kind: DatasetKind) {
+    let ds = generate(kind, 0.01); // floor: 800 records
+    let db = XmlDb::build_in_memory(&ds.xml).expect("build");
+    let doc = Document::parse(&ds.xml).expect("parse");
+    let oracle = NaiveEvaluator::new(&doc);
+    // One scratch across every query: pooled buffers must never leak state
+    // between plans of different shapes.
+    let mut scratch = QueryScratch::new();
+    for (i, spec) in workload(kind) {
+        let Some(spec) = spec else { continue };
+        for path in [&spec.path, &spec.descendant_variant] {
+            let expected: Vec<String> = oracle
+                .eval_str(path)
+                .expect("oracle eval")
+                .iter()
+                .map(|n| oracle.dewey(n).to_string())
+                .collect();
+            let planned = execute(
+                &db,
+                path,
+                QueryOptions::default(),
+                PlanConfig::default(),
+                &mut scratch,
+            );
+            assert_eq!(
+                planned,
+                expected,
+                "cost-ordered plan disagrees with oracle on {} Q{i}: {path}",
+                kind.name()
+            );
+            let fixed = execute(
+                &db,
+                path,
+                QueryOptions::default(),
+                PlanConfig {
+                    cost_ordered: false,
+                },
+                &mut scratch,
+            );
+            assert_eq!(
+                fixed,
+                expected,
+                "fixed-order plan disagrees with oracle on {} Q{i}: {path}",
+                kind.name()
+            );
+            let scanned = execute(
+                &db,
+                path,
+                QueryOptions {
+                    strategy: StartStrategy::Scan,
+                },
+                PlanConfig::default(),
+                &mut scratch,
+            );
+            assert_eq!(
+                scanned,
+                expected,
+                "forced-scan plan disagrees with oracle on {} Q{i}: {path}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn author_plans_match_oracle() {
+    check_dataset(DatasetKind::Author);
+}
+
+#[test]
+fn address_plans_match_oracle() {
+    check_dataset(DatasetKind::Address);
+}
+
+#[test]
+fn catalog_plans_match_oracle() {
+    check_dataset(DatasetKind::Catalog);
+}
+
+#[test]
+fn treebank_plans_match_oracle() {
+    check_dataset(DatasetKind::Treebank);
+}
+
+#[test]
+fn dblp_plans_match_oracle() {
+    check_dataset(DatasetKind::Dblp);
+}
+
+/// A deep/wide synthetic document (many sections, each a deep chain plus a
+/// wide run of leaves) where the explain output is predictable enough to
+/// snapshot: operator sequence, seed kinds, and the est/actual agreement
+/// for exact-count seeds.
+#[test]
+fn deepwide_explain_snapshot() {
+    let mut xml = String::from("<corpus>");
+    for i in 0..30 {
+        xml.push_str("<section>");
+        xml.push_str("<head><title>deep</title></head>");
+        for _ in 0..40 {
+            xml.push_str("<leaf/>");
+        }
+        if i == 7 {
+            xml.push_str("<rare>needle</rare>");
+        }
+        xml.push_str("</section>");
+    }
+    xml.push_str("</corpus>");
+    let db = XmlDb::build_in_memory(&xml).expect("build");
+
+    // Multi-fragment query with a value constraint: the planner must seed
+    // the rare fragment from the value index and the explain rows must
+    // walk eval* -> filter* -> collect.
+    let (hits, explain) = db
+        .explain(r#"//section[rare="needle"]//leaf"#, QueryOptions::default())
+        .expect("explain");
+    assert_eq!(hits.len(), 40, "only section 7's leaves survive");
+
+    let ops: Vec<&str> = explain.rows.iter().map(|r| r.op.as_str()).collect();
+    let evals = ops.iter().filter(|o| **o == "eval").count();
+    let filters = ops.iter().filter(|o| **o == "filter").count();
+    assert!(evals >= 2, "multi-fragment query: {explain}");
+    assert!(filters >= 1, "cut edge implies a semijoin row: {explain}");
+    assert_eq!(*ops.last().unwrap(), "collect", "{explain}");
+    // Operator order: all evals strictly before all filters, collect last.
+    let last_eval = ops.iter().rposition(|o| *o == "eval").unwrap();
+    let first_filter = ops.iter().position(|o| *o == "filter").unwrap();
+    assert!(last_eval < first_filter, "{explain}");
+
+    // The value-seeded fragment estimates exactly the one needle posting,
+    // and the executor confirms it.
+    let value_row = explain
+        .rows
+        .iter()
+        .find(|r| r.detail.contains("value-index"))
+        .unwrap_or_else(|| panic!("value constraint must seed from the value index: {explain}"));
+    assert_eq!(value_row.est, Some(1), "{explain}");
+    assert_eq!(value_row.actual, Some(1), "{explain}");
+    let collect = explain.rows.last().unwrap();
+    assert_eq!(collect.actual, Some(40), "{explain}");
+
+    // An impossible sibling constraint early-exits: some fragment reports
+    // the skipped strategy and the rendered table still ends in collect.
+    let (hits, explain) = db
+        .explain("//section[.//nosuch]//leaf", QueryOptions::default())
+        .expect("explain");
+    assert!(hits.is_empty());
+    assert!(
+        explain
+            .rows
+            .iter()
+            .any(|r| r.detail.contains("strategy=skipped")),
+        "{explain}"
+    );
+    let rendered = explain.to_string();
+    assert!(rendered.contains("collect"), "{rendered}");
+
+    // Strategy bookkeeping for the skipped path is typed, not stringly.
+    let (_, stats) = db
+        .query_with("//section[.//nosuch]//leaf", QueryOptions::default())
+        .expect("query");
+    assert!(stats.strategies.contains(&StrategyUsed::Skipped));
+}
