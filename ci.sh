@@ -8,8 +8,12 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask lint"
-cargo xtask lint
+echo "==> cargo xtask analyze (self-test, then workspace)"
+cargo xtask analyze --self-test
+cargo xtask analyze
+# Machine-readable report for tooling; must parse and agree (zero findings).
+cargo xtask analyze --json > ANALYZE.json
+grep -q '"findings": \[\]' ANALYZE.json
 
 echo "==> cargo build --release"
 cargo build --release
@@ -22,6 +26,31 @@ cargo test -q
 
 echo "==> concurrency stress suite (release)"
 cargo test -p nok-serve --release -q --test stress
+
+echo "==> loom concurrency models (seqlock, plan cache, buffer pool)"
+RUSTFLAGS="--cfg loom" cargo test -q -p nok-core --test loom_seqlock
+RUSTFLAGS="--cfg loom" cargo test -q -p nok-serve --test loom_plan_cache
+RUSTFLAGS="--cfg loom" cargo test -q -p nok-pager --test loom_pool
+
+# ThreadSanitizer over the serve stress suite and Miri over the pager/btree
+# unit tests need nightly with rust-src / miri; the GitHub nightly jobs run
+# them unconditionally (see ci.yml), locally they are skipped when absent.
+if rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^rust-src (installed)'; then
+  echo "==> ThreadSanitizer stress suite (nightly)"
+  RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std -q -p nok-serve --release --test stress \
+    --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+  echo "==> ThreadSanitizer: skipped (nightly rust-src not installed)"
+fi
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  echo "==> Miri (pager + btree unit tests, nightly)"
+  cargo +nightly miri test -q -p nok-pager --lib
+  cargo +nightly miri test -q -p nok-btree --lib
+else
+  echo "==> Miri: skipped (nightly miri not installed)"
+fi
 
 echo "==> nokfsck over a generated corpus"
 corpus="$(mktemp -d)"

@@ -1,0 +1,312 @@
+//! Comment extraction and `analyze: allow(...)` directives.
+//!
+//! The token parser (`syn`) drops comments, but two rule mechanisms live in
+//! them: `// SAFETY:` justifications for `unsafe`, and
+//! `// analyze: allow(rule-id, ...): reason` suppressions. This module runs
+//! a small comment-aware state machine over the raw source and returns the
+//! concatenated comment text per line, plus the parsed allow directives.
+//!
+//! Directive grammar (one per comment):
+//!
+//! ```text
+//! // analyze: allow(rule-a, rule-b): why this exception is sound
+//! ```
+//!
+//! A directive suppresses findings of the named rules on its own line and on
+//! the line directly below (so it can sit on its own line above a long
+//! expression). A directive with an empty reason is itself reported as a
+//! `bare-allow` finding: every exception must say why.
+
+use std::collections::HashMap;
+
+/// One parsed `analyze: allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive comment is on.
+    pub line: usize,
+    /// Rule ids listed in the parentheses.
+    pub rules: Vec<String>,
+    /// Justification text after the closing parenthesis (trimmed of
+    /// separator punctuation). Empty = `bare-allow` violation.
+    pub reason: String,
+}
+
+/// Per-file comment map: comment text by 1-based line, plus directives and
+/// the *code* text per line (comments and string/char contents blanked).
+#[derive(Debug, Default)]
+pub struct CommentMap {
+    comments: HashMap<usize, String>,
+    code: Vec<String>,
+    pub allows: Vec<AllowDirective>,
+}
+
+impl CommentMap {
+    /// The comment text on `line` (empty string when none).
+    pub fn on_line(&self, line: usize) -> &str {
+        self.comments.get(&line).map_or("", String::as_str)
+    }
+
+    /// Lines (1-based) whose code text contains the word `unsafe` — exact
+    /// with respect to strings and comments, so `"unsafe"` in a literal or
+    /// a doc comment never counts.
+    pub fn unsafe_sites(&self) -> Vec<usize> {
+        self.code
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| contains_word(l, "unsafe"))
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Does any comment on `line` or the `above` lines before it contain
+    /// `needle`?
+    pub fn contains_near(&self, line: usize, above: usize, needle: &str) -> bool {
+        let lo = line.saturating_sub(above);
+        (lo..=line).any(|l| self.on_line(l).contains(needle))
+    }
+
+    /// Is a finding of `rule` on `line` suppressed by an allow directive
+    /// (same line or the line directly above)?
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Extract comments per line. This intentionally re-lexes rather than
+/// reusing `syn`: the parser throws comments away by design.
+pub fn scan_comments(source: &str) -> CommentMap {
+    let mut map = CommentMap::default();
+    let mut state = LexState::Normal;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut comment = String::new();
+        let mut code = String::new();
+        let mut is_doc = false;
+        let mut chars = raw_line.chars().peekable();
+
+        if state == LexState::LineComment {
+            state = LexState::Normal;
+        }
+
+        while let Some(c) = chars.next() {
+            match state {
+                LexState::LineComment => comment.push(c),
+                LexState::BlockComment(n) => {
+                    if c == '*' && chars.peek() == Some(&'/') {
+                        chars.next();
+                        state = if n == 1 {
+                            LexState::Normal
+                        } else {
+                            LexState::BlockComment(n - 1)
+                        };
+                    } else if c == '/' && chars.peek() == Some(&'*') {
+                        chars.next();
+                        state = LexState::BlockComment(n + 1);
+                    } else {
+                        comment.push(c);
+                    }
+                }
+                LexState::Str => {
+                    code.push(' ');
+                    if c == '\\' {
+                        chars.next();
+                    } else if c == '"' {
+                        state = LexState::Normal;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    code.push(' ');
+                    if c == '"' {
+                        let mut n = 0;
+                        while n < hashes && chars.peek() == Some(&'#') {
+                            chars.next();
+                            n += 1;
+                        }
+                        if n == hashes {
+                            state = LexState::Normal;
+                        }
+                    }
+                }
+                LexState::Char => {
+                    code.push(' ');
+                    if c == '\\' {
+                        chars.next();
+                    } else if c == '\'' {
+                        state = LexState::Normal;
+                    }
+                }
+                LexState::Normal => match c {
+                    '/' if chars.peek() == Some(&'/') => {
+                        chars.next();
+                        // `///` and `//!` are doc comments: prose, not
+                        // directives. Their text still lands in the comment
+                        // map, but `analyze: allow` examples inside docs
+                        // must not act as suppressions.
+                        if matches!(chars.peek(), Some('/') | Some('!')) {
+                            is_doc = true;
+                        }
+                        state = LexState::LineComment;
+                    }
+                    '/' if chars.peek() == Some(&'*') => {
+                        chars.next();
+                        state = LexState::BlockComment(1);
+                    }
+                    '"' => {
+                        code.push(' ');
+                        state = LexState::Str;
+                    }
+                    'r' | 'b' if matches!(chars.peek(), Some('"') | Some('#')) => {
+                        code.push(c);
+                        let mut hashes = 0u32;
+                        while chars.peek() == Some(&'#') {
+                            chars.next();
+                            code.push(' ');
+                            hashes += 1;
+                        }
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            code.push(' ');
+                            state = if hashes == 0 {
+                                LexState::Str
+                            } else {
+                                LexState::RawStr(hashes)
+                            };
+                        }
+                    }
+                    '\'' => {
+                        code.push(' ');
+                        let mut look = chars.clone();
+                        let first = look.next();
+                        let second = look.next();
+                        if matches!(first, Some('\\')) || matches!(second, Some('\'')) {
+                            state = LexState::Char;
+                        }
+                    }
+                    _ => code.push(c),
+                },
+            }
+        }
+
+        if !comment.is_empty() {
+            if !is_doc {
+                if let Some(directive) = parse_allow(&comment, lineno) {
+                    map.allows.push(directive);
+                }
+            }
+            map.comments.insert(lineno, comment);
+        }
+        map.code.push(code);
+    }
+    map
+}
+
+/// Does `line` contain `word` with non-identifier characters (or the line
+/// boundary) on both sides?
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !line[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Parse `analyze: allow(rule, ...): reason` out of a comment.
+fn parse_allow(comment: &str, line: usize) -> Option<AllowDirective> {
+    let at = comment.find("analyze:")?;
+    let rest = comment[at + "analyze:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = rest[close + 1..]
+        .trim_start_matches([':', '-', '—', ' ', '\u{2014}'])
+        .trim()
+        .to_string();
+    Some(AllowDirective {
+        line,
+        rules,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_extracted_per_line() {
+        let m = scan_comments("let x = 1; // tail comment\n/* block */ let y = 2;\n");
+        assert!(m.on_line(1).contains("tail comment"));
+        assert!(m.on_line(2).contains("block"));
+        assert_eq!(m.on_line(3), "");
+    }
+
+    #[test]
+    fn comment_patterns_inside_strings_ignored() {
+        let m = scan_comments("let s = \"// not a comment\";\n");
+        assert_eq!(m.on_line(1), "");
+    }
+
+    #[test]
+    fn allow_directive_parsed_with_reason() {
+        let m = scan_comments("x(); // analyze: allow(atomic-ordering): counter is advisory\n");
+        assert_eq!(m.allows.len(), 1);
+        assert_eq!(m.allows[0].rules, vec!["atomic-ordering"]);
+        assert_eq!(m.allows[0].reason, "counter is advisory");
+        assert!(m.is_allowed("atomic-ordering", 1));
+        assert!(m.is_allowed("atomic-ordering", 2), "covers the next line");
+        assert!(!m.is_allowed("lock-order", 1));
+    }
+
+    #[test]
+    fn allow_directive_multiple_rules_and_empty_reason() {
+        let m = scan_comments("// analyze: allow(lock-order, lock-reentry)\n");
+        assert_eq!(m.allows[0].rules.len(), 2);
+        assert!(m.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn unsafe_sites_are_word_exact() {
+        let m = scan_comments(
+            "unsafe { x() }\nlet s = \"unsafe\";\n// unsafe in a comment\nlet unsafer = 1;\nunsafe fn f() {}\n",
+        );
+        assert_eq!(m.unsafe_sites(), vec![1, 5]);
+    }
+
+    #[test]
+    fn safety_near_lookup() {
+        let m = scan_comments("// SAFETY: checked above\n\nlet x = 1;\n");
+        assert!(m.contains_near(3, 3, "SAFETY:"));
+        assert!(!m.contains_near(3, 1, "SAFETY:"));
+    }
+}

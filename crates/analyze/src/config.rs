@@ -1,0 +1,393 @@
+//! Declarative configuration: the lock hierarchy, the critical-atomics
+//! contract, helper-function tables, and path-based rule scopes.
+//!
+//! This is the single place where the workspace's concurrency design is
+//! written down in machine-checkable form; DESIGN.md §13 is the prose twin
+//! and the two must be kept in sync.
+
+/// How a lock is acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqMode {
+    Read,
+    Write,
+}
+
+/// A lock class in the declared hierarchy. Locks must be acquired in
+/// strictly increasing `rank` order; two locks of the same class must never
+/// be held together (see `lock-reentry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockClass {
+    /// Stable id used in reports (`core.directory`, `pager.pool_shard`, ...).
+    pub name: &'static str,
+    pub rank: u32,
+}
+
+/// Field-name → lock-class table. Classification is by the *last field
+/// segment* of the receiver/argument (`self.dir` → `dir`,
+/// `self.shards[i]` → `shards`) plus the crate the code lives in, because
+/// one field name can mean different locks in different crates (`data` is
+/// the data-file mutex in `core` and the frame payload in `pager`).
+struct LockEntry {
+    field: &'static str,
+    /// `None` = any crate.
+    in_crate: Option<&'static str>,
+    class: LockClass,
+}
+
+pub const SERVE_QUEUE: LockClass = LockClass {
+    name: "serve.queue",
+    rank: 10,
+};
+pub const SERVE_SLOT: LockClass = LockClass {
+    name: "serve.slot",
+    rank: 12,
+};
+pub const SERVE_PLAN_CACHE: LockClass = LockClass {
+    name: "serve.plan_cache",
+    rank: 14,
+};
+pub const CORE_DECODE_CACHE: LockClass = LockClass {
+    name: "core.decode_cache",
+    rank: 20,
+};
+pub const CORE_SKIP_INDEX: LockClass = LockClass {
+    name: "core.skip_index",
+    rank: 22,
+};
+pub const CORE_DIRECTORY: LockClass = LockClass {
+    name: "core.directory",
+    rank: 24,
+};
+pub const CORE_DATA_FILE: LockClass = LockClass {
+    name: "core.data_file",
+    rank: 30,
+};
+pub const PAGER_POOL_SHARD: LockClass = LockClass {
+    name: "pager.pool_shard",
+    rank: 40,
+};
+pub const PAGER_STORAGE: LockClass = LockClass {
+    name: "pager.storage",
+    rank: 44,
+};
+pub const PAGER_FRAME: LockClass = LockClass {
+    name: "pager.frame",
+    rank: 48,
+};
+
+/// Every lock class, in hierarchy (rank) order.
+pub const ALL_CLASSES: &[LockClass] = &[
+    SERVE_QUEUE,
+    SERVE_SLOT,
+    SERVE_PLAN_CACHE,
+    CORE_DECODE_CACHE,
+    CORE_SKIP_INDEX,
+    CORE_DIRECTORY,
+    CORE_DATA_FILE,
+    PAGER_POOL_SHARD,
+    PAGER_STORAGE,
+    PAGER_FRAME,
+];
+
+const LOCK_TABLE: &[LockEntry] = &[
+    LockEntry {
+        field: "queue",
+        in_crate: Some("serve"),
+        class: SERVE_QUEUE,
+    },
+    LockEntry {
+        field: "result",
+        in_crate: Some("serve"),
+        class: SERVE_SLOT,
+    },
+    LockEntry {
+        field: "inner",
+        in_crate: Some("serve"),
+        class: SERVE_PLAN_CACHE,
+    },
+    LockEntry {
+        field: "decoded",
+        in_crate: Some("core"),
+        class: CORE_DECODE_CACHE,
+    },
+    LockEntry {
+        field: "skip",
+        in_crate: Some("core"),
+        class: CORE_SKIP_INDEX,
+    },
+    LockEntry {
+        field: "dir",
+        in_crate: Some("core"),
+        class: CORE_DIRECTORY,
+    },
+    LockEntry {
+        field: "data",
+        in_crate: Some("core"),
+        class: CORE_DATA_FILE,
+    },
+    LockEntry {
+        field: "shards",
+        in_crate: Some("pager"),
+        class: PAGER_POOL_SHARD,
+    },
+    LockEntry {
+        field: "storage",
+        in_crate: Some("pager"),
+        class: PAGER_STORAGE,
+    },
+    LockEntry {
+        field: "data",
+        in_crate: Some("pager"),
+        class: PAGER_FRAME,
+    },
+    // `handle.read()` / `handle.write()` on a pinned PageHandle locks the
+    // frame payload; the variable-name convention is part of the contract.
+    LockEntry {
+        field: "handle",
+        in_crate: None,
+        class: PAGER_FRAME,
+    },
+];
+
+/// Resolve a field segment to a lock class for code living in `krate`.
+pub fn lock_for_field(krate: &str, field: &str) -> Option<LockClass> {
+    LOCK_TABLE
+        .iter()
+        .find(|e| e.field == field && e.in_crate.is_none_or(|c| c == krate))
+        .map(|e| e.class)
+}
+
+/// Poison-recovering lock helpers: free functions whose argument names the
+/// lock field and whose return value is a guard.
+pub fn helper_mode(name: &str) -> Option<AcqMode> {
+    match name {
+        "rd" | "read_lock" => Some(AcqMode::Read),
+        "wr" | "write_lock" | "mutex_lock" | "lock" => Some(AcqMode::Write),
+        _ => None,
+    }
+}
+
+/// Guard-returning methods: `recv.lock()/.read()/.write()` classify by the
+/// receiver field; `lock_data()` is the DataFile mutex helper trait.
+pub fn method_mode(name: &str) -> Option<AcqMode> {
+    match name {
+        "read" => Some(AcqMode::Read),
+        "write" | "lock" | "lock_data" => Some(AcqMode::Write),
+        _ => None,
+    }
+}
+
+/// Functions that *return* a held guard to their caller, so a call makes the
+/// caller hold the lock for the rest of the statement (or the block, when
+/// let-bound).
+pub fn guard_returning_fn(name: &str) -> Option<LockClass> {
+    match name {
+        "dir_mut" => Some(CORE_DIRECTORY),
+        _ => None,
+    }
+}
+
+/// Atomics under the `atomic-ordering` contract: `Ordering::Relaxed` on any
+/// of these fields is an error (each is a publication/synchronization
+/// point, not a counter). Everything else — IO statistics, service metrics,
+/// clock hands, `last_used` stamps — is advisory and exempt.
+pub const CRITICAL_ATOMICS: &[&str] = &[
+    "dir_generation", // seqlock generation for the page directory
+    "txn_active",     // no-steal barrier between pool and WAL commit
+    "shutdown",       // service stop flag gating queue drain
+    "dirty",          // frame dirty bit read by flush without the frame lock
+    "frames",         // pool occupancy accounting used by make_room
+];
+
+/// The seqlock generation field: reads of it participate in the
+/// `seqlock-recheck` rule (a reader must validate with a second load).
+pub const SEQLOCK_FIELDS: &[&str] = &["dir_generation"];
+
+/// Files whose non-test code must not contain panic paths (ports the old
+/// `hot-path-panic` scope verbatim).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/cursor.rs",
+    "crates/core/src/page.rs",
+    "crates/core/src/store.rs",
+    "crates/core/src/physical.rs",
+    "crates/core/src/nok.rs",
+];
+
+const HOT_PATH_DIRS: &[&str] = &["crates/pager/src/", "crates/btree/src/"];
+
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH_FILES.iter().any(|f| rel == *f) || HOT_PATH_DIRS.iter().any(|d| rel.starts_with(d))
+}
+
+/// Worker-path files in the serve crate: request handling must degrade, not
+/// panic. Binaries (`src/bin/`) are CLI entry points and exempt.
+pub fn is_serve_worker_path(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/") && !rel.starts_with("crates/serve/src/bin/")
+}
+
+/// Raw page IO (`write_page` / `allocate_page`) is the pager's business.
+pub fn is_pager_internal(rel: &str) -> bool {
+    rel.starts_with("crates/pager/src/")
+}
+
+/// Plan operators are constructed only by the planner and executed by the
+/// executor.
+pub fn is_plan_internal(rel: &str) -> bool {
+    rel == "crates/core/src/plan.rs"
+        || rel == "crates/core/src/planner.rs"
+        || rel == "crates/core/src/exec.rs"
+}
+
+/// Integration tests, benches and examples are test code wholesale.
+pub fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/")
+}
+
+/// The crate short name (`core`, `pager`, ...) for a workspace-relative
+/// path, or `""` outside `crates/`.
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Direct crate dependencies (normal + dev), mirroring the `Cargo.toml`s.
+/// Call-graph edges may only follow this graph: a name match in a crate the
+/// caller cannot depend on is a coincidence, not a call target.
+const CRATE_DEPS: &[(&str, &[&str])] = &[
+    ("xml", &[]),
+    ("pager", &[]),
+    ("btree", &["pager"]),
+    ("core", &["xml", "pager", "btree", "verify"]),
+    ("verify", &["core", "btree", "pager", "datagen"]),
+    ("datagen", &["xml", "core"]),
+    ("serve", &["pager", "core", "datagen", "verify"]),
+    ("baselines", &["xml", "pager", "btree", "core"]),
+    (
+        "bench",
+        &[
+            "xml",
+            "pager",
+            "btree",
+            "core",
+            "baselines",
+            "datagen",
+            "serve",
+            "verify",
+        ],
+    ),
+    ("analyze", &[]),
+    ("xtask", &["analyze"]),
+];
+
+/// Can code in crate `from` call code in crate `to`? (Reflexive, transitive
+/// over `CRATE_DEPS`; unknown crates only reach themselves. Dev-dependency
+/// edges make the graph cyclic — `core`'s tests use `verify` — so this walks
+/// with a visited set.)
+pub fn crate_reachable(from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![from];
+    while let Some(c) = stack.pop() {
+        if c == to {
+            return true;
+        }
+        if let Some((_, deps)) = CRATE_DEPS.iter().find(|(k, _)| *k == c) {
+            for d in *deps {
+                if !seen.contains(d) {
+                    seen.push(d);
+                    stack.push(d);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Every rule id the analyzer can emit; `allow` directives naming anything
+/// else are themselves flagged (`unknown-allow`).
+pub const ALL_RULES: &[&str] = &[
+    "lock-order",
+    "lock-reentry",
+    "atomic-ordering",
+    "seqlock-recheck",
+    "serve-worker-panic",
+    "lock-unwrap",
+    "hot-path-panic",
+    "stray-debug-macro",
+    "undocumented-unsafe",
+    "raw-page-io",
+    "plan-operator-construction",
+    "bare-allow",
+    "unknown-allow",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_classification_is_crate_sensitive() {
+        assert_eq!(
+            lock_for_field("core", "data").map(|c| c.name),
+            Some("core.data_file")
+        );
+        assert_eq!(
+            lock_for_field("pager", "data").map(|c| c.name),
+            Some("pager.frame")
+        );
+        assert_eq!(lock_for_field("serve", "data"), None);
+        assert_eq!(
+            lock_for_field("core", "handle").map(|c| c.name),
+            Some("pager.frame")
+        );
+    }
+
+    #[test]
+    fn hierarchy_ranks_are_distinct() {
+        let all = [
+            SERVE_QUEUE,
+            SERVE_SLOT,
+            SERVE_PLAN_CACHE,
+            CORE_DECODE_CACHE,
+            CORE_SKIP_INDEX,
+            CORE_DIRECTORY,
+            CORE_DATA_FILE,
+            PAGER_POOL_SHARD,
+            PAGER_STORAGE,
+            PAGER_FRAME,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.rank, b.rank, "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn crate_reachability_follows_dependencies() {
+        assert!(crate_reachable("serve", "core"));
+        assert!(crate_reachable("serve", "pager"), "transitive");
+        assert!(crate_reachable("core", "core"), "reflexive");
+        assert!(
+            !crate_reachable("pager", "core"),
+            "pager cannot call upward into core"
+        );
+        assert!(
+            !crate_reachable("btree", "serve"),
+            "btree cannot call into serve"
+        );
+        // The dev-dep cycle core <-> verify must terminate, not recurse.
+        assert!(crate_reachable("core", "verify"));
+        assert!(!crate_reachable("core", "serve"));
+    }
+
+    #[test]
+    fn path_scopes() {
+        assert!(is_hot_path("crates/pager/src/pool.rs"));
+        assert!(!is_hot_path("crates/core/src/naive.rs"));
+        assert!(is_serve_worker_path("crates/serve/src/service.rs"));
+        assert!(!is_serve_worker_path("crates/serve/src/bin/nokd.rs"));
+        assert!(is_test_path("crates/core/tests/loom_seqlock.rs"));
+        assert_eq!(crate_of("crates/core/src/store.rs"), "core");
+    }
+}

@@ -1,0 +1,145 @@
+//! Findings and their human / JSON renderings.
+
+use std::fmt;
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`lock-order`, `atomic-ordering`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation.
+    pub message: String,
+    /// For lock rules: the offending acquisition order, `held -> acquired`.
+    pub lock_path: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        if let Some(p) = &self.lock_path {
+            write!(f, " (lock path: {p})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of one analyzer run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub functions_modeled: usize,
+    pub allows_used: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render for terminals: one line per finding plus a summary.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "analyze: {} finding(s) in {} file(s), {} function(s) modeled, {} allow(s) honored\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.functions_modeled,
+            self.allows_used
+        ));
+        out
+    }
+
+    /// Machine-readable output for `cargo xtask analyze --json`.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            if let Some(p) = &f.lock_path {
+                out.push_str(&format!(", \"lock_path\": {}", json_str(p)));
+            }
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"functions_modeled\": {},\n",
+            self.functions_modeled
+        ));
+        out.push_str(&format!("  \"allows_used\": {}\n", self.allows_used));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escape (no external deps in the workspace).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "lock-order",
+                file: "crates/pager/src/pool.rs".to_string(),
+                line: 42,
+                message: "out of order".to_string(),
+                lock_path: Some("pager.storage -> pager.pool_shard".to_string()),
+            }],
+            files_scanned: 1,
+            functions_modeled: 3,
+            allows_used: 0,
+        };
+        let j = r.json();
+        assert!(j.contains("\"rule\": \"lock-order\""));
+        assert!(j.contains("\"line\": 42"));
+        assert!(j.contains("\"lock_path\": \"pager.storage -> pager.pool_shard\""));
+        assert!(j.contains("\"files_scanned\": 1"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -8,7 +8,8 @@
 //! plan cache), and reordered by cost.
 //!
 //! Only `core::{plan, planner, exec}` may construct plan operators; the
-//! xtask lint enforces this the way it guards raw page I/O.
+//! `plan-operator-construction` rule in `cargo xtask analyze` enforces
+//! this the way it guards raw page I/O.
 
 use std::fmt;
 

@@ -261,6 +261,40 @@ impl Drop for DirWriteGuard<'_> {
     }
 }
 
+/// Unwind protection for the window inside [`StructStore::dir_mut`] between
+/// the opening generation bump (even → odd) and the construction of the
+/// [`DirWriteGuard`] whose `Drop` performs the closing bump. A panic in that
+/// window (lock-poison recovery, allocation failure, injected faults) would
+/// otherwise leave the generation odd *forever*: every seqlock reader would
+/// fail validation from then on, and the skip index could never be cached
+/// again. This guard bumps back to the next even generation on unwind; the
+/// directory is untouched at that point, so readers simply revalidate
+/// against an unchanged snapshot.
+struct GenRearm<'a>(Option<&'a AtomicU64>);
+
+impl GenRearm<'_> {
+    /// Hand responsibility for the closing bump to the `DirWriteGuard`.
+    fn disarm(&mut self) {
+        self.0 = None;
+    }
+}
+
+impl Drop for GenRearm<'_> {
+    fn drop(&mut self) {
+        if let Some(generation) = self.0 {
+            generation.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Test-only fault injection: make the next `dir_mut` call panic after
+    /// the opening generation bump but before the write guard exists.
+    pub(crate) static DIR_MUT_PANIC_AFTER_BUMP: std::cell::Cell<bool> =
+        const { std::cell::Cell::new(false) };
+}
+
 /// Options controlling store construction.
 #[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
@@ -665,9 +699,23 @@ impl<S: Storage> StructStore<S> {
         // the lock can never cache an index for the pre-mutation directory
         // under the post-mutation generation.
         self.dir_generation.fetch_add(1, Ordering::AcqRel);
+        // From here until the DirWriteGuard exists, the closing bump has no
+        // owner — GenRearm restores an even generation if anything below
+        // unwinds (see its docs; regression-tested with injected panics).
+        let mut rearm = GenRearm(Some(&self.dir_generation));
+
+        #[cfg(test)]
+        DIR_MUT_PANIC_AFTER_BUMP.with(|f| {
+            if f.replace(false) {
+                panic!("injected: dir_mut unwound before arming the write guard");
+            }
+        });
+
         *wr(&self.skip) = None;
+        let guard = wr(&self.dir);
+        rearm.disarm();
         DirWriteGuard {
-            guard: wr(&self.dir),
+            guard,
             generation: &self.dir_generation,
         }
     }
@@ -1182,6 +1230,34 @@ mod tests {
         );
         assert_eq!(idx2.gen, 2, "generation advances by 2 per mutation");
         assert!(Arc::ptr_eq(&idx2, &store.skip_index()));
+    }
+
+    /// A panic inside `dir_mut` *between* the opening generation bump and
+    /// the construction of the write guard must not strand the generation
+    /// at an odd value: `GenRearm` bumps it back to even on unwind, and the
+    /// store keeps working (readers validate, mutations reopen).
+    #[test]
+    fn dir_mut_panic_before_guard_leaves_generation_even() {
+        let (store, _) = mem_store("<a><b/><c/></a>", 4096);
+        let g0 = store.dir_generation.load(Ordering::Acquire);
+        assert_eq!(g0 & 1, 0);
+
+        DIR_MUT_PANIC_AFTER_BUMP.with(|f| f.set(true));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = store.dir_mut();
+        }));
+        assert!(unwound.is_err(), "injected panic must fire");
+
+        let g1 = store.dir_generation.load(Ordering::Acquire);
+        assert_eq!(g1 & 1, 0, "generation must be even after the unwind");
+        assert!(g1 > g0, "the aborted window still advances the generation");
+
+        // The store remains fully usable: readers cache again and a real
+        // mutation window opens and closes normally.
+        let idx = store.skip_index();
+        assert!(Arc::ptr_eq(&idx, &store.skip_index()));
+        drop(store.dir_mut());
+        assert_eq!(store.dir_generation.load(Ordering::Acquire) & 1, 0);
     }
 
     /// §4.2: "the string representation of the tree structure is only about

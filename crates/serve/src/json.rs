@@ -165,7 +165,11 @@ impl Parser<'_> {
     }
 
     fn eat(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        let matches = self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(lit.as_bytes()));
+        if matches {
             self.pos += lit.len();
             Ok(())
         } else {
@@ -246,7 +250,7 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
+        std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or_default())
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
             .map(Json::Num)
@@ -302,7 +306,7 @@ impl Parser<'_> {
                 }
                 _ => {
                     // Consume one UTF-8 character (multibyte-safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    let rest = std::str::from_utf8(self.bytes.get(self.pos..).unwrap_or_default())
                         .map_err(|_| "invalid utf-8".to_string())?;
                     let Some(c) = rest.chars().next() else {
                         return Err("unterminated string".into());
@@ -316,11 +320,11 @@ impl Parser<'_> {
 
     fn hex4(&mut self) -> Result<u32, String> {
         let end = self.pos + 4;
-        if end > self.bytes.len() {
-            return Err("truncated \\u escape".into());
-        }
-        let s = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| "bad \\u escape".to_string())?;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(digits).map_err(|_| "bad \\u escape".to_string())?;
         let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
         self.pos = end;
         Ok(v)

@@ -34,6 +34,7 @@ impl LatencyHistogram {
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        // analyze: allow(serve-worker-panic): idx is clamped to BUCKETS-1 on the line above
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);

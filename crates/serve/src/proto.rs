@@ -46,7 +46,7 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
     r.read_exact(&mut payload)?;
     let mut nl = [0u8; 1];
     r.read_exact(&mut nl)?;
-    if nl[0] != b'\n' {
+    if nl != [b'\n'] {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "frame missing trailing newline",

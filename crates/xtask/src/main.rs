@@ -1,17 +1,22 @@
-//! `cargo xtask` — repository automation, std-only (the build environment is
-//! offline; this crate must never grow an external dependency).
+//! `cargo xtask` — repository automation.
 //!
 //! Subcommands:
 //!
-//! * `cargo xtask lint` — source-analysis pass over `crates/**/*.rs`
-//!   enforcing the repo's panic-freedom and hygiene rules (see `lint.rs`).
-//!   Exits nonzero when any finding is reported.
-//! * `cargo xtask lint --self-test` — verifies the scanner still catches
-//!   every forbidden-pattern class by running it over embedded fixtures that
-//!   each reintroduce one violation. Exits nonzero if any class goes
-//!   undetected (i.e. the lint wall has a hole).
-
-mod lint;
+//! * `cargo xtask analyze` — static concurrency analysis over
+//!   `crates/**/*.rs` via the `nok-analyze` crate: lock-order hierarchy
+//!   with call-graph propagation, atomic-ordering audit, seqlock read
+//!   validation, panic-path rules, and the five historical hygiene rules
+//!   re-implemented on the AST. Exits nonzero when any finding is reported.
+//! * `cargo xtask analyze --json` — same, machine-readable output (rule id,
+//!   file:line, message, lock path) for CI artifacts.
+//! * `cargo xtask analyze --self-test` — runs the analyzer over embedded
+//!   fixtures that each reintroduce one violation class (plus clean
+//!   counterparts), and fails if any rule stops firing.
+//! * `cargo xtask lint` — alias for `analyze`, kept for muscle memory and
+//!   old scripts.
+//!
+//! Everything is path-vendored; this crate must never grow a registry
+//! dependency (the build environment is offline).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -27,168 +32,59 @@ fn workspace_root() -> &'static Path {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
+        Some("analyze") | Some("lint") => {
             if args.iter().any(|a| a == "--self-test") {
-                lint_self_test()
+                self_test()
             } else {
-                run_lint()
+                run_analyze(args.iter().any(|a| a == "--json"))
             }
         }
         Some(other) => {
             eprintln!("unknown xtask subcommand: {other}");
-            eprintln!("usage: cargo xtask lint [--self-test]");
-            ExitCode::FAILURE
+            usage()
         }
-        None => {
-            eprintln!("usage: cargo xtask lint [--self-test]");
-            ExitCode::FAILURE
-        }
+        None => usage(),
     }
 }
 
-fn run_lint() -> ExitCode {
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask analyze [--json] [--self-test]");
+    eprintln!("       cargo xtask lint     (alias for analyze)");
+    ExitCode::FAILURE
+}
+
+fn run_analyze(json: bool) -> ExitCode {
     let root = workspace_root();
-    let crates_dir = root.join("crates");
-    let sources = match lint::rust_sources(&crates_dir) {
-        Ok(s) => s,
+    let report = match nok_analyze::analyze_workspace(root) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("xtask lint: cannot walk {}: {e}", crates_dir.display());
+            eprintln!("xtask analyze: {e}");
             return ExitCode::FAILURE;
         }
     };
 
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
-    for path in &sources {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        findings.extend(lint::scan_source(rel, &source));
-        scanned += 1;
+    if json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human());
     }
 
-    if findings.is_empty() {
-        println!("xtask lint: {scanned} files clean");
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
-            println!("{f}");
-        }
-        println!(
-            "xtask lint: {} finding(s) in {scanned} files",
-            findings.len()
-        );
         ExitCode::FAILURE
     }
 }
 
-/// One fixture per forbidden-pattern class: (name, hot-path file it claims to
-/// be, source that must produce at least one finding of `rule`).
-const SELF_TEST_FIXTURES: &[(&str, &str, &str, &str)] = &[
-    (
-        "unwrap-in-hot-path",
-        "crates/core/src/cursor.rs",
-        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
-        "hot-path-panic",
-    ),
-    (
-        "expect-in-hot-path",
-        "crates/pager/src/pool.rs",
-        "fn f(x: Option<u8>) -> u8 { x.expect(\"msg\") }\n",
-        "hot-path-panic",
-    ),
-    (
-        "panic-in-hot-path",
-        "crates/btree/src/lib.rs",
-        "fn f() { panic!(\"boom\") }\n",
-        "hot-path-panic",
-    ),
-    (
-        "unreachable-in-hot-path",
-        "crates/core/src/store.rs",
-        "fn f() { unreachable!() }\n",
-        "hot-path-panic",
-    ),
-    (
-        "stray-dbg",
-        "crates/xml/src/reader.rs",
-        "fn f() { dbg!(42); }\n",
-        "stray-debug-macro",
-    ),
-    (
-        "stray-todo",
-        "crates/core/src/engine.rs",
-        "fn f() { todo!() }\n",
-        "stray-debug-macro",
-    ),
-    (
-        "undocumented-unsafe",
-        "crates/core/src/page.rs",
-        "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
-        "undocumented-unsafe",
-    ),
-    (
-        "plan-operator-outside-pipeline",
-        "crates/serve/src/service.rs",
-        "fn f() -> PlanStep { PlanStep::Collect { frag: 0 } }\n",
-        "plan-operator-construction",
-    ),
-];
-
-/// Fixtures that must be *clean*: the exemptions the lint promises.
-const SELF_TEST_CLEAN: &[(&str, &str, &str)] = &[
-    (
-        "cfg-test-exemption",
-        "crates/core/src/cursor.rs",
-        "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
-    ),
-    (
-        "cold-module-exemption",
-        "crates/core/src/naive.rs",
-        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
-    ),
-    (
-        "documented-unsafe",
-        "crates/core/src/page.rs",
-        "// SAFETY: fixture — pointer is valid by construction.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n",
-    ),
-    (
-        "plan-operator-inside-pipeline",
-        "crates/core/src/exec.rs",
-        "fn f() -> SeedChoice { SeedChoice::Scan }\n",
-    ),
-];
-
-fn lint_self_test() -> ExitCode {
-    let mut failures = 0usize;
-    for (name, path, src, want_rule) in SELF_TEST_FIXTURES {
-        let findings = lint::scan_source(Path::new(path), src);
-        if findings.iter().any(|f| f.rule == *want_rule) {
-            println!("self-test {name}: caught ({want_rule})");
-        } else {
-            println!("self-test {name}: NOT CAUGHT — lint wall has a hole");
-            failures += 1;
+fn self_test() -> ExitCode {
+    match nok_analyze::selftest::run() {
+        Ok(()) => {
+            println!("xtask analyze --self-test: all rule fixtures behave");
+            ExitCode::SUCCESS
         }
-    }
-    for (name, path, src) in SELF_TEST_CLEAN {
-        let findings = lint::scan_source(Path::new(path), src);
-        if findings.is_empty() {
-            println!("self-test {name}: clean as expected");
-        } else {
-            println!("self-test {name}: FALSE POSITIVE — {findings:?}");
-            failures += 1;
+        Err(e) => {
+            eprintln!("xtask analyze --self-test FAILED:\n{e}");
+            ExitCode::FAILURE
         }
-    }
-    if failures == 0 {
-        println!("xtask lint --self-test: all classes detected");
-        ExitCode::SUCCESS
-    } else {
-        println!("xtask lint --self-test: {failures} failure(s)");
-        ExitCode::FAILURE
     }
 }

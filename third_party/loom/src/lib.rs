@@ -1,0 +1,634 @@
+//! Offline drop-in subset of the [`loom`] model-checker API.
+//!
+//! The build environment has no network access, so the real `loom` crate is
+//! replaced by this shim, which keeps the same surface (`loom::model`,
+//! `loom::thread`, `loom::sync::{Mutex, RwLock, Arc, atomic}`) and the same
+//! spirit: run a closure many times, forcing a *different thread
+//! interleaving* each time, and fail loudly on assertion violations,
+//! deadlocks, or stray panics.
+//!
+//! Differences from real loom, stated honestly:
+//!
+//! - **Exploration is seeded-random, not exhaustive.** Real loom enumerates
+//!   all interleavings up to a preemption bound (DPOR); this shim samples
+//!   `LOOM_ITERS` random schedules (default 64, deterministic per seed).
+//!   A passing run raises confidence; it is not a proof.
+//! - **Memory orderings are not weakened.** Every atomic op is executed
+//!   `SeqCst` under a serializing scheduler, so ordering bugs that require
+//!   genuinely weak memory are out of scope; interleaving bugs (torn
+//!   multi-step updates, lost wakeups, double-drop, broken invariants
+//!   between operations) are in scope — and those are what the workspace
+//!   models assert.
+//! - Deadlock detection is exact for modeled primitives: if no runnable
+//!   thread remains while unfinished ones do, the model panics.
+//!
+//! Environment knobs: `LOOM_ITERS` (iteration count), `LOOM_SEED` (base
+//! seed). Both default to fixed values so CI runs are reproducible.
+
+mod sched;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc as StdArc;
+
+/// Run `f` under many seeded interleavings.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let seed: u64 = std::env::var("LOOM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+
+    for it in 0..iters {
+        let sched = StdArc::new(sched::Scheduler::new(
+            seed ^ (it.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        ));
+        sched::set_ctx(Some((sched.clone(), 0)));
+        let body = catch_unwind(AssertUnwindSafe(&f));
+        match body {
+            Ok(()) => {
+                let done = catch_unwind(AssertUnwindSafe(|| sched.wait_all_finished(0)));
+                sched::set_ctx(None);
+                if let Err(p) = done {
+                    eprintln!("loom: failing iteration {it} (seed base {seed:#x})");
+                    resume_unwind(p);
+                }
+            }
+            Err(p) => {
+                sched.abort_all();
+                sched::set_ctx(None);
+                eprintln!("loom: failing iteration {it} (seed base {seed:#x})");
+                resume_unwind(p);
+            }
+        }
+    }
+}
+
+/// Minimal stand-in for `loom::model::Builder`.
+pub mod builder {
+    /// Collects knobs, then runs [`super::model`]; the knobs are accepted
+    /// for API compatibility and do not change the sampling strategy.
+    #[derive(Default)]
+    pub struct Builder {
+        pub preemption_bound: Option<usize>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            super::model(f);
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+
+    use super::sched;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    enum Mode<T> {
+        /// Spawned inside a model: scheduled cooperatively.
+        Model {
+            sched: Arc<sched::Scheduler>,
+            parent: usize,
+            tid: usize,
+            slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+            os: Option<std::thread::JoinHandle<()>>,
+        },
+        /// Spawned outside a model: plain std thread.
+        Std(std::thread::JoinHandle<T>),
+    }
+
+    pub struct JoinHandle<T> {
+        mode: Mode<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Like `std::thread::JoinHandle::join`: returns the closure's value
+        /// or the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.mode {
+                Mode::Std(h) => h.join(),
+                Mode::Model {
+                    sched,
+                    parent,
+                    tid,
+                    slot,
+                    os,
+                } => {
+                    sched.join_wait(parent, tid);
+                    if let Some(h) = os {
+                        let _ = h.join();
+                    }
+                    let out = match slot.lock() {
+                        Ok(mut g) => g.take(),
+                        Err(p) => p.into_inner().take(),
+                    };
+                    match out {
+                        Some(Ok(v)) => Ok(v),
+                        Some(Err(p)) => {
+                            sched.consume_panic(&super::panic_message(&p));
+                            Err(p)
+                        }
+                        // The slot is always filled before `finish`.
+                        None => unreachable!("loom: joined thread left no result"),
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match sched::ctx() {
+            None => JoinHandle {
+                mode: Mode::Std(std::thread::spawn(f)),
+            },
+            Some((sched, parent)) => {
+                let tid = sched.register();
+                let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+                let slot2 = slot.clone();
+                let sched2 = sched.clone();
+                let os = std::thread::spawn(move || {
+                    sched::set_ctx(Some((sched2.clone(), tid)));
+                    // Wait for our first turn before touching shared state.
+                    sched2.switch_point(tid);
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    let msg = r.as_ref().err().map(|p| super::panic_message(p));
+                    match slot2.lock() {
+                        Ok(mut g) => *g = Some(r),
+                        Err(p) => *p.into_inner() = Some(r),
+                    }
+                    sched2.finish(tid, msg);
+                    sched::set_ctx(None);
+                });
+                JoinHandle {
+                    mode: Mode::Model {
+                        sched,
+                        parent,
+                        tid,
+                        slot,
+                        os: Some(os),
+                    },
+                }
+            }
+        }
+    }
+
+    /// A pure switch point.
+    pub fn yield_now() {
+        sched::op_switch_point();
+    }
+}
+
+/// Render a panic payload for bookkeeping.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+pub mod hint {
+    /// Spin-loop hint: in a model this is a switch point so retry loops make
+    /// progress under every schedule.
+    pub fn spin_loop() {
+        super::sched::op_switch_point();
+    }
+}
+
+pub mod sync {
+    //! Model-aware `Mutex`, `RwLock`, `Arc`, and atomics.
+
+    pub use std::sync::Arc;
+    use std::sync::LockResult;
+
+    use super::sched;
+
+    fn acquire(key: usize, write: bool) {
+        if let Some((s, me)) = sched::ctx() {
+            s.acquire(me, key, write);
+        }
+    }
+
+    fn release(key: usize, write: bool) {
+        if let Some((s, me)) = sched::ctx() {
+            s.release(me, key, write);
+        }
+    }
+
+    /// Rebuild a `LockResult` around a shim guard, preserving poison state.
+    fn map_poison<G>(poisoned: bool, guard: G) -> LockResult<G> {
+        if poisoned {
+            Err(std::sync::PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        key: usize,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(t: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let key = self as *const _ as usize;
+            acquire(key, true);
+            // The scheduler serialized us: the std lock is uncontended.
+            let (g, poisoned) = match self.inner.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            map_poison(
+                poisoned,
+                MutexGuard {
+                    inner: Some(g),
+                    key,
+                },
+            )
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_deref().unwrap_or_else(|| unreachable!())
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_deref_mut().unwrap_or_else(|| unreachable!())
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None; // free the std lock first
+            release(self.key, true);
+        }
+    }
+
+    pub struct RwLock<T> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    pub struct RwLockReadGuard<'a, T> {
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+        key: usize,
+    }
+
+    pub struct RwLockWriteGuard<'a, T> {
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        key: usize,
+    }
+
+    impl<T> RwLock<T> {
+        pub fn new(t: T) -> Self {
+            RwLock {
+                inner: std::sync::RwLock::new(t),
+            }
+        }
+
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            let key = self as *const _ as usize;
+            acquire(key, false);
+            let (g, poisoned) = match self.inner.read() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            map_poison(
+                poisoned,
+                RwLockReadGuard {
+                    inner: Some(g),
+                    key,
+                },
+            )
+        }
+
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            let key = self as *const _ as usize;
+            acquire(key, true);
+            let (g, poisoned) = match self.inner.write() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            map_poison(
+                poisoned,
+                RwLockWriteGuard {
+                    inner: Some(g),
+                    key,
+                },
+            )
+        }
+    }
+
+    impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_deref().unwrap_or_else(|| unreachable!())
+        }
+    }
+
+    impl<T> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None;
+            release(self.key, false);
+        }
+    }
+
+    impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_deref().unwrap_or_else(|| unreachable!())
+        }
+    }
+
+    impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_deref_mut().unwrap_or_else(|| unreachable!())
+        }
+    }
+
+    impl<T> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None;
+            release(self.key, true);
+        }
+    }
+
+    pub mod atomic {
+        //! Instrumented atomics: every operation is a switch point. Values
+        //! are held in `SeqCst` std atomics — the shim explores
+        //! interleavings, not weak-memory reorderings (see crate docs).
+
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::sched::op_switch_point;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $t:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    pub fn new(v: $t) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.load(SeqCst)
+                    }
+
+                    pub fn store(&self, v: $t, _o: Ordering) {
+                        op_switch_point();
+                        self.inner.store(v, SeqCst)
+                    }
+
+                    pub fn swap(&self, v: $t, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.swap(v, SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $t,
+                        new: $t,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$t, $t> {
+                        op_switch_point();
+                        self.inner.compare_exchange(cur, new, SeqCst, SeqCst)
+                    }
+
+                    pub fn compare_exchange_weak(
+                        &self,
+                        cur: $t,
+                        new: $t,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$t, $t> {
+                        op_switch_point();
+                        self.inner.compare_exchange(cur, new, SeqCst, SeqCst)
+                    }
+
+                    pub fn fetch_or(&self, v: $t, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.fetch_or(v, SeqCst)
+                    }
+
+                    pub fn fetch_and(&self, v: $t, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.fetch_and(v, SeqCst)
+                    }
+
+                    pub fn into_inner(self) -> $t {
+                        self.inner.into_inner()
+                    }
+                }
+            };
+        }
+
+        macro_rules! shim_atomic_arith {
+            ($name:ident, $t:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, v: $t, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.fetch_add(v, SeqCst)
+                    }
+
+                    pub fn fetch_sub(&self, v: $t, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.fetch_sub(v, SeqCst)
+                    }
+
+                    pub fn fetch_max(&self, v: $t, _o: Ordering) -> $t {
+                        op_switch_point();
+                        self.inner.fetch_max(v, SeqCst)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        shim_atomic_arith!(AtomicU32, u32);
+        shim_atomic_arith!(AtomicU64, u64);
+        shim_atomic_arith!(AtomicUsize, usize);
+
+        /// Fence: a switch point; ordering is already `SeqCst` throughout.
+        pub fn fence(_o: Ordering) {
+            op_switch_point();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn counter_increments_survive_all_schedules() {
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn mutex_is_mutual_exclusion() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = m.clone();
+            let h = super::thread::spawn(move || {
+                for _ in 0..4 {
+                    let mut g = m2.lock().expect("lock");
+                    let v = *g;
+                    super::thread::yield_now();
+                    *g = v + 1; // no lost update despite the yield
+                }
+            });
+            for _ in 0..4 {
+                let mut g = m.lock().expect("lock");
+                let v = *g;
+                super::thread::yield_now();
+                *g = v + 1;
+            }
+            h.join().expect("worker");
+            assert_eq!(*m.lock().expect("lock"), 8);
+        });
+    }
+
+    #[test]
+    fn rwlock_readers_see_consistent_pairs() {
+        super::model(|| {
+            let rw = Arc::new(RwLock::new((0u64, 0u64)));
+            let w = rw.clone();
+            let h = super::thread::spawn(move || {
+                for i in 1..3u64 {
+                    let mut g = w.write().expect("write");
+                    g.0 = i;
+                    g.1 = i * 10;
+                }
+            });
+            for _ in 0..3 {
+                let g = rw.read().expect("read");
+                assert_eq!(g.0 * 10, g.1, "pair must never be torn");
+            }
+            h.join().expect("writer");
+        });
+    }
+
+    #[test]
+    fn join_returns_value() {
+        super::model(|| {
+            let h = super::thread::spawn(|| 41 + 1);
+            assert_eq!(h.join().expect("join"), 42);
+        });
+    }
+
+    #[test]
+    fn joined_panic_is_captured_not_stray() {
+        super::model(|| {
+            let h = super::thread::spawn(|| panic!("intentional"));
+            assert!(h.join().is_err());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn opposite_order_acquisition_deadlocks() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let h = super::thread::spawn(move || {
+                let _ga = a2.lock().expect("a");
+                super::thread::yield_now();
+                let _gb = b2.lock().expect("b");
+            });
+            let _gb = b.lock().expect("b");
+            super::thread::yield_now();
+            let _ga = a.lock().expect("a");
+            drop((_gb, _ga));
+            let _ = h.join();
+        });
+    }
+
+    #[test]
+    fn interleavings_actually_vary() {
+        use std::sync::atomic::{AtomicBool, Ordering as O};
+        // At least one schedule must let the spawned thread win the race,
+        // and at least one must let the main thread win.
+        static SPAWNED_FIRST: AtomicBool = AtomicBool::new(false);
+        static MAIN_FIRST: AtomicBool = AtomicBool::new(false);
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = n.clone();
+            let h = super::thread::spawn(move || {
+                n2.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .ok();
+            });
+            n.compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst)
+                .ok();
+            h.join().expect("racer");
+            match n.load(Ordering::SeqCst) {
+                1 => SPAWNED_FIRST.store(true, O::SeqCst),
+                2 => MAIN_FIRST.store(true, O::SeqCst),
+                v => panic!("impossible winner {v}"),
+            }
+        });
+        assert!(SPAWNED_FIRST.load(O::SeqCst), "spawned thread never won");
+        assert!(MAIN_FIRST.load(O::SeqCst), "main thread never won");
+    }
+}

@@ -1,0 +1,295 @@
+//! The cooperative scheduler behind the shim.
+//!
+//! Exactly one model thread runs at a time. Every instrumented operation
+//! (atomic access, lock acquire/release, yield, join) is a *switch point*
+//! where the scheduler may hand the turn to a different runnable thread,
+//! chosen by a seeded xorshift RNG. Running many iterations with different
+//! seeds explores distinct interleavings.
+//!
+//! Threads park on a single `Condvar` and wake when `current` names them.
+//! Blocking states (`BlockedLock`, `BlockedJoin`) are tracked explicitly so
+//! the scheduler can detect deadlock: no runnable thread while unfinished
+//! threads remain.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Safety valve for livelocked models (e.g. a retry loop that never wins the
+/// race under an adversarial schedule would otherwise spin forever).
+const SWITCH_BUDGET: u64 = 2_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for a lock (keyed by address) to become available.
+    BlockedLock(usize),
+    /// Waiting for another thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+struct State {
+    current: usize,
+    status: Vec<Status>,
+    locks: HashMap<usize, LockState>,
+    rng: u64,
+    switches: u64,
+    /// Set when no runnable thread exists but unfinished ones do; every
+    /// parked thread wakes and panics.
+    dead: bool,
+    /// Messages from spawned threads that panicked and were never joined.
+    stray_panics: Vec<String>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Install (scheduler, tid) for the current OS thread.
+pub(crate) fn set_ctx(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The current thread's scheduler context, if it is a model thread.
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Scheduler {
+    /// A scheduler with the main model thread registered as tid 0.
+    pub(crate) fn new(seed: u64) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                current: 0,
+                status: vec![Status::Runnable],
+                locks: HashMap::new(),
+                rng: seed | 1,
+                switches: 0,
+                dead: false,
+                stray_panics: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn st(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Register a newly spawned model thread; it starts runnable but does
+    /// not run until scheduled.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.st();
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    }
+
+    fn next_u64(st: &mut State) -> u64 {
+        // xorshift64*: deterministic per seed.
+        let mut x = st.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        st.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Pick the next thread to run among the runnable ones. Flags deadlock
+    /// when none is runnable but unfinished threads remain.
+    fn pick(&self, st: &mut State) {
+        st.switches += 1;
+        if st.switches > SWITCH_BUDGET {
+            st.dead = true;
+            st.stray_panics
+                .push("model exceeded switch-point budget (livelock?)".to_string());
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.status.iter().any(|s| *s != Status::Finished) {
+                st.dead = true;
+            }
+        } else {
+            let r = Self::next_u64(st) as usize % runnable.len();
+            st.current = runnable[r];
+        }
+        self.cv.notify_all();
+    }
+
+    /// Park until it is `me`'s turn (or panic on detected deadlock).
+    fn wait_turn(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.dead {
+                drop(st);
+                panic!("loom: deadlock detected (no runnable thread)");
+            }
+            if st.current == me && st.status[me] == Status::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// A switch point: optionally hand the turn to another thread.
+    pub(crate) fn switch_point(&self, me: usize) {
+        let mut st = self.st();
+        st.status[me] = Status::Runnable;
+        self.pick(&mut st);
+        self.wait_turn(st, me);
+    }
+
+    /// Acquire the lock at `key` (write = exclusive). Blocks (yielding the
+    /// turn) until available.
+    pub(crate) fn acquire(&self, me: usize, key: usize, write: bool) {
+        self.switch_point(me);
+        loop {
+            let mut st = self.st();
+            let ls = st.locks.entry(key).or_default();
+            let free = if write {
+                ls.writer.is_none() && ls.readers.is_empty()
+            } else {
+                ls.writer.is_none()
+            };
+            if free {
+                if write {
+                    ls.writer = Some(me);
+                } else {
+                    ls.readers.push(me);
+                }
+                return;
+            }
+            st.status[me] = Status::BlockedLock(key);
+            self.pick(&mut st);
+            self.wait_turn(st, me);
+        }
+    }
+
+    /// Release the lock at `key` and wake its waiters.
+    pub(crate) fn release(&self, me: usize, key: usize, write: bool) {
+        let dead = {
+            let mut st = self.st();
+            let ls = st.locks.entry(key).or_default();
+            if write {
+                ls.writer = None;
+            } else {
+                ls.readers.retain(|r| *r != me);
+            }
+            for s in st.status.iter_mut() {
+                if *s == Status::BlockedLock(key) {
+                    *s = Status::Runnable;
+                }
+            }
+            self.cv.notify_all();
+            st.dead
+        };
+        // Guards drop during unwinding (assertion failures, deadlock
+        // propagation); re-entering the scheduler would panic inside a
+        // destructor and abort. Releasing the lock state above is enough.
+        if !dead && !std::thread::panicking() {
+            self.switch_point(me);
+        }
+    }
+
+    /// Block until thread `target` finishes.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let mut st = self.st();
+            if st.status[target] == Status::Finished {
+                return;
+            }
+            st.status[me] = Status::BlockedJoin(target);
+            self.pick(&mut st);
+            self.wait_turn(st, me);
+        }
+    }
+
+    /// Mark `me` finished, wake joiners, and schedule someone else.
+    pub(crate) fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.st();
+        st.status[me] = Status::Finished;
+        if let Some(m) = panic_msg {
+            st.stray_panics.push(m);
+        }
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedJoin(me) {
+                *s = Status::Runnable;
+            }
+        }
+        self.pick(&mut st);
+    }
+
+    /// A joiner consumed the panic of a joined thread: it is no longer stray.
+    pub(crate) fn consume_panic(&self, msg: &str) {
+        let mut st = self.st();
+        if let Some(pos) = st.stray_panics.iter().position(|m| m == msg) {
+            st.stray_panics.remove(pos);
+        }
+    }
+
+    /// Called by the main model thread after the model body returns: keep
+    /// scheduling until every spawned thread finishes.
+    pub(crate) fn wait_all_finished(&self, me: usize) {
+        let mut st = self.st();
+        st.status[me] = Status::Finished;
+        self.pick(&mut st);
+        loop {
+            if st.status.iter().all(|s| *s == Status::Finished) {
+                let strays = std::mem::take(&mut st.stray_panics);
+                drop(st);
+                if let Some(m) = strays.first() {
+                    panic!("loom: spawned thread panicked (unjoined): {m}");
+                }
+                return;
+            }
+            if st.dead {
+                drop(st);
+                panic!("loom: deadlock detected (no runnable thread)");
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Tear down after a panic in the model body: release every parked
+    /// thread so the process is not left with dangling waiters.
+    pub(crate) fn abort_all(&self) {
+        let mut st = self.st();
+        st.dead = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Switch point helper used by the instrumented primitives; a no-op outside
+/// a model run (std fallback).
+pub(crate) fn op_switch_point() {
+    if let Some((sched, me)) = ctx() {
+        sched.switch_point(me);
+    }
+}

@@ -1,0 +1,361 @@
+//! The lexer: raw Rust source → a flat token list with line numbers.
+//!
+//! Handles every surface form the workspace uses: line/block comments
+//! (nested), string / raw / byte / byte-raw strings, char literals vs
+//! lifetimes, raw identifiers, numeric literals (ints, floats, exponents,
+//! suffixes), multi-char punctuation (emitted as single-char `Punct`s, which
+//! is all a pattern scanner needs), and a leading shebang.
+
+use crate::{Error, Span};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RawKind {
+    Ident,
+    Punct,
+    Literal,
+    OpenDelim(char),
+    CloseDelim(char),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RawTok {
+    pub kind: RawKind,
+    pub text: String,
+    pub span: Span,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<RawTok>, Error> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Shebang (must be the very first bytes and not an inner attribute).
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while i < bytes.len() && bytes[i] != '\n' {
+            i += 1;
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if peek(&bytes, i + 1) == Some('/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if peek(&bytes, i + 1) == Some('*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && peek(&bytes, i + 1) == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && peek(&bytes, i + 1) == Some('/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(Error::new(line, "unterminated block comment"));
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (text, ni, nl) = lex_string(&bytes, i, line)
+                    .ok_or_else(|| Error::new(start_line, "unterminated string literal"))?;
+                toks.push(RawTok {
+                    kind: RawKind::Literal,
+                    text,
+                    span: Span { line: start_line },
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if is_string_prefix(&bytes, i) => {
+                let start_line = line;
+                let (text, ni, nl) = lex_prefixed_string(&bytes, i, line)
+                    .ok_or_else(|| Error::new(start_line, "unterminated raw/byte string"))?;
+                toks.push(RawTok {
+                    kind: RawKind::Literal,
+                    text,
+                    span: Span { line: start_line },
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Char literal vs lifetime: `'x'` / `'\n'` are literals,
+                // `'a` followed by a non-quote is a lifetime.
+                let is_char = match (peek(&bytes, i + 1), peek(&bytes, i + 2)) {
+                    (Some('\\'), _) => true,
+                    (Some(_), Some('\'')) => true,
+                    _ => false,
+                };
+                if is_char {
+                    let start = i;
+                    i += 1; // opening quote
+                    if peek(&bytes, i) == Some('\\') {
+                        i += 2;
+                        // Multi-char escapes: \u{..}, \x41.
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                    if peek(&bytes, i) != Some('\'') {
+                        return Err(Error::new(line, "unterminated char literal"));
+                    }
+                    i += 1;
+                    toks.push(RawTok {
+                        kind: RawKind::Literal,
+                        text: bytes[start..i].iter().collect(),
+                        span: Span { line },
+                    });
+                } else {
+                    // Lifetime: emit as punct + ident so `'a` never pairs
+                    // with a later `'`.
+                    toks.push(RawTok {
+                        kind: RawKind::Punct,
+                        text: "'".to_string(),
+                        span: Span { line },
+                    });
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                    if i > start {
+                        toks.push(RawTok {
+                            kind: RawKind::Ident,
+                            text: bytes[start..i].iter().collect(),
+                            span: Span { line },
+                        });
+                    }
+                }
+            }
+            '(' | '[' | '{' => {
+                toks.push(RawTok {
+                    kind: RawKind::OpenDelim(c),
+                    text: c.to_string(),
+                    span: Span { line },
+                });
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                toks.push(RawTok {
+                    kind: RawKind::CloseDelim(c),
+                    text: c.to_string(),
+                    span: Span { line },
+                });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Integer / hex / octal / binary body with underscores.
+                while i < bytes.len() && (is_ident_char(bytes[i])) {
+                    i += 1;
+                }
+                // Fraction: a dot followed by a digit (not `..` and not a
+                // method call like `1.max(2)`).
+                if peek(&bytes, i) == Some('.')
+                    && peek(&bytes, i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                // Exponent sign: `1e-5` stops the ident scan at `-`. Guard
+                // against hex literals (`0xAE-5` is subtraction, not an
+                // exponent).
+                let is_radix_prefixed = bytes[start] == '0'
+                    && peek(&bytes, start + 1)
+                        .is_some_and(|p| matches!(p, 'x' | 'X' | 'b' | 'B' | 'o' | 'O'));
+                if matches!(peek(&bytes, i), Some('+') | Some('-'))
+                    && bytes[i - 1].eq_ignore_ascii_case(&'e')
+                    && !is_radix_prefixed
+                {
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                toks.push(RawTok {
+                    kind: RawKind::Literal,
+                    text: bytes[start..i].iter().collect(),
+                    span: Span { line },
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                // Raw identifier `r#ident`.
+                if c == 'r' && peek(&bytes, i) == Some('#') && {
+                    peek(&bytes, i + 1).is_some_and(is_ident_start)
+                } {
+                    i += 1;
+                }
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(RawTok {
+                    kind: RawKind::Ident,
+                    text: bytes[start..i].iter().collect(),
+                    span: Span { line },
+                });
+            }
+            _ => {
+                toks.push(RawTok {
+                    kind: RawKind::Punct,
+                    text: c.to_string(),
+                    span: Span { line },
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn peek(bytes: &[char], i: usize) -> Option<char> {
+    bytes.get(i).copied()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Is position `i` (at `r` or `b`) the start of a raw/byte string or raw
+/// byte string (`r"`, `r#"`, `b"`, `b'`, `br"`, `rb` is not legal)?
+fn is_string_prefix(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    // At most two prefix letters: b, r (in either legal combination).
+    for _ in 0..2 {
+        match peek(bytes, j) {
+            Some('r') | Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    // Optional hashes (raw strings only).
+    let mut k = j;
+    while peek(bytes, k) == Some('#') {
+        k += 1;
+    }
+    match peek(bytes, k) {
+        Some('"') => {
+            // `r#ident` is a raw identifier, not a string: hashes without a
+            // quote directly after them only count when the quote follows.
+            true
+        }
+        Some('\'') if peek(bytes, i) == Some('b') && j == i + 1 => true, // b'x'
+        _ => false,
+    }
+}
+
+/// Lex a plain `"..."` string starting at the opening quote. Returns the
+/// literal text, the index just past it, and the updated line number.
+fn lex_string(bytes: &[char], start: usize, mut line: usize) -> Option<(String, usize, usize)> {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            '\\' => i += 2,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '"' => {
+                return Some((bytes[start..=i].iter().collect(), i + 1, line));
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Lex a string with an `r`/`b`/`br`/`rb` prefix (raw, byte, or byte char).
+fn lex_prefixed_string(
+    bytes: &[char],
+    start: usize,
+    mut line: usize,
+) -> Option<(String, usize, usize)> {
+    let mut i = start;
+    let mut raw = false;
+    for _ in 0..2 {
+        match peek(bytes, i) {
+            Some('r') => {
+                raw = true;
+                i += 1;
+            }
+            Some('b') => i += 1,
+            _ => break,
+        }
+    }
+    if peek(bytes, i) == Some('\'') {
+        // Byte char literal b'x' / b'\n'.
+        i += 1;
+        if peek(bytes, i) == Some('\\') {
+            i += 2;
+            while i < bytes.len() && bytes[i] != '\'' {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+        if peek(bytes, i) != Some('\'') {
+            return None;
+        }
+        return Some((bytes[start..=i].iter().collect(), i + 1, line));
+    }
+    let mut hashes = 0usize;
+    while peek(bytes, i) == Some('#') {
+        hashes += 1;
+        i += 1;
+    }
+    if peek(bytes, i) != Some('"') {
+        return None;
+    }
+    i += 1;
+    if !raw && hashes > 0 {
+        return None;
+    }
+    while i < bytes.len() {
+        match bytes[i] {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '\\' if !raw => i += 2,
+            '"' => {
+                let mut n = 0usize;
+                while n < hashes && peek(bytes, i + 1 + n) == Some('#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    let end = i + hashes;
+                    return Some((bytes[start..=end].iter().collect(), end + 1, line));
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}

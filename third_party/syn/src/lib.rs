@@ -1,0 +1,794 @@
+//! Offline drop-in subset of the `syn` API.
+//!
+//! The build environment is offline (crates-io is source-replaced with an
+//! unreachable registry), so the real `syn` cannot be fetched. This shim
+//! implements the slice of its API the workspace's static analyzer uses:
+//!
+//! * [`parse_file`] — full Rust lexer (comments, strings, raw strings, char
+//!   literals vs lifetimes, numeric literals) plus an **item-granular**
+//!   parser: functions, inherent/trait impls, modules (inline and declared),
+//!   traits, and everything else as opaque items.
+//! * Function bodies are exposed as [`TokenStream`]s of nested
+//!   [`TokenTree`]s (groups by delimiter, idents, puncts, literals), each
+//!   carrying a line-number [`Span`]. This mirrors how `syn` is typically
+//!   used by pattern-level lints: item structure parsed, expression
+//!   structure matched over token trees.
+//! * Attributes are parsed (path + argument tokens) so `#[cfg(test)]`
+//!   gating is structural, not textual.
+//!
+//! Not implemented: full expression/type ASTs, spans beyond line numbers,
+//! `quote`/printing, and procedural-macro plumbing. The analyzer does not
+//! need them; anything that does must be rewritten when a real `syn` is
+//! available.
+
+mod lex;
+
+use lex::{RawKind, RawTok};
+use std::fmt;
+
+/// A parse error with the 1-based line it was detected on.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub line: usize,
+    pub message: String,
+}
+
+impl Error {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Error {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A source location: the 1-based line a token starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+}
+
+/// Group delimiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    Parenthesis,
+    Brace,
+    Bracket,
+}
+
+/// One node of a token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    Group(Group),
+    Ident(Ident),
+    Punct(Punct),
+    Literal(Literal),
+}
+
+impl TokenTree {
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+}
+
+/// A delimited token sequence.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub delimiter: Delimiter,
+    pub stream: TokenStream,
+    pub span: Span,
+}
+
+/// An identifier or keyword.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    pub text: String,
+    pub span: Span,
+}
+
+impl Ident {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// A single punctuation character (multi-char operators arrive as adjacent
+/// puncts, which is all a pattern scanner needs).
+#[derive(Debug, Clone)]
+pub struct Punct {
+    pub ch: char,
+    pub span: Span,
+}
+
+/// A literal (string, char, byte, or numeric), verbatim.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    pub text: String,
+    pub span: Span,
+}
+
+/// A flat sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream(pub Vec<TokenTree>);
+
+impl TokenStream {
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, TokenTree> {
+        self.0.iter()
+    }
+
+    /// Does any token (recursively) satisfy `pred`?
+    pub fn any_token(&self, pred: &mut dyn FnMut(&TokenTree) -> bool) -> bool {
+        for t in &self.0 {
+            if pred(t) {
+                return true;
+            }
+            if let TokenTree::Group(g) = t {
+                if g.stream.any_token(pred) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// An outer attribute: `#[path(tokens)]` / `#[path = ...]` / `#[path]`.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// The attribute path (`cfg`, `inline`, `derive`, `cfg_attr`, …),
+    /// joined with `::` when qualified.
+    pub path: String,
+    /// The tokens inside the attribute after the path (arguments), if any.
+    pub tokens: TokenStream,
+    pub span: Span,
+}
+
+impl Attribute {
+    /// Is this a `#[cfg(...)]` (or `#[cfg_attr(...)]`) whose arguments
+    /// mention the bare configuration name `name` (e.g. `test`, `loom`)?
+    pub fn cfg_mentions(&self, name: &str) -> bool {
+        if self.path != "cfg" && self.path != "cfg_attr" {
+            return false;
+        }
+        self.tokens
+            .any_token(&mut |t| matches!(t, TokenTree::Ident(i) if i.text == name))
+    }
+}
+
+/// A parsed item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    Fn(ItemFn),
+    Mod(ItemMod),
+    Impl(ItemImpl),
+    Trait(ItemTrait),
+    /// Anything else (struct, enum, use, const, static, type, macro
+    /// invocation, extern block…), kept opaquely with its tokens so pattern
+    /// rules can still scan initializer expressions.
+    Other(ItemOther),
+}
+
+impl Item {
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(f) => &f.attrs,
+            Item::Mod(m) => &m.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Trait(t) => &t.attrs,
+            Item::Other(o) => &o.attrs,
+        }
+    }
+}
+
+/// A free or associated function.
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    pub attrs: Vec<Attribute>,
+    pub ident: Ident,
+    /// Signature tokens between `fn name` and the body (params, return
+    /// type, where clauses).
+    pub sig_tokens: TokenStream,
+    /// The `{ ... }` body, absent for trait-method declarations.
+    pub block: Option<Group>,
+}
+
+/// An inline or declared module.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    pub attrs: Vec<Attribute>,
+    pub ident: Ident,
+    /// `Some(items)` for `mod m { ... }`, `None` for `mod m;`.
+    pub content: Option<Vec<Item>>,
+}
+
+/// An `impl` block (inherent or trait).
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    pub attrs: Vec<Attribute>,
+    /// First identifier of the implemented-for type (`BufferPool` for
+    /// `impl<S: Storage> BufferPool<S>`).
+    pub self_ty: String,
+    /// First identifier of the trait, for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// Associated functions (other associated items are skipped).
+    pub fns: Vec<ItemFn>,
+}
+
+/// A trait definition; only default-method bodies are retained.
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    pub attrs: Vec<Attribute>,
+    pub ident: Ident,
+    pub fns: Vec<ItemFn>,
+}
+
+/// An opaque item: every token, so initializers are still scannable.
+#[derive(Debug, Clone)]
+pub struct ItemOther {
+    pub attrs: Vec<Attribute>,
+    /// Leading keyword (`struct`, `use`, `const`, …), when identifiable.
+    pub keyword: Option<String>,
+    pub tokens: TokenStream,
+    pub span: Span,
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// Parse a complete source file.
+pub fn parse_file(src: &str) -> Result<File> {
+    let raw = lex::lex(src)?;
+    let (stream, rest) = build_stream(&raw, 0, None)?;
+    debug_assert_eq!(rest, raw.len());
+    let items = parse_items(&stream.0)?;
+    Ok(File { items })
+}
+
+/// Build nested token trees from the flat token list. Returns the stream
+/// and the index just past the consumed tokens.
+fn build_stream(raw: &[RawTok], mut i: usize, until: Option<char>) -> Result<(TokenStream, usize)> {
+    let mut out = Vec::new();
+    while i < raw.len() {
+        let t = &raw[i];
+        match &t.kind {
+            RawKind::OpenDelim(open) => {
+                let close = matching(*open);
+                let (inner, ni) = build_stream(raw, i + 1, Some(close))?;
+                out.push(TokenTree::Group(Group {
+                    delimiter: delim_of(*open),
+                    stream: inner,
+                    span: t.span,
+                }));
+                i = ni;
+            }
+            RawKind::CloseDelim(c) => {
+                if until == Some(*c) {
+                    return Ok((TokenStream(out), i + 1));
+                }
+                return Err(Error::new(t.span.line, format!("unbalanced `{c}`")));
+            }
+            RawKind::Ident => {
+                out.push(TokenTree::Ident(Ident {
+                    text: t.text.clone(),
+                    span: t.span,
+                }));
+                i += 1;
+            }
+            RawKind::Punct => {
+                out.push(TokenTree::Punct(Punct {
+                    ch: t.text.chars().next().unwrap_or('?'),
+                    span: t.span,
+                }));
+                i += 1;
+            }
+            RawKind::Literal => {
+                out.push(TokenTree::Literal(Literal {
+                    text: t.text.clone(),
+                    span: t.span,
+                }));
+                i += 1;
+            }
+        }
+    }
+    if let Some(c) = until {
+        let line = raw.last().map_or(0, |t| t.span.line);
+        return Err(Error::new(line, format!("missing closing `{c}`")));
+    }
+    Ok((TokenStream(out), i))
+}
+
+fn matching(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+fn delim_of(open: char) -> Delimiter {
+    match open {
+        '(' => Delimiter::Parenthesis,
+        '[' => Delimiter::Bracket,
+        _ => Delimiter::Brace,
+    }
+}
+
+/// Item keywords that terminate at the first top-level brace group (or a
+/// semicolon, whichever comes first, e.g. `struct S;` / trait method
+/// declarations).
+const BRACE_TERMINATED: &[&str] = &[
+    "fn", "mod", "impl", "trait", "struct", "enum", "union", "extern", "unsafe",
+];
+
+fn parse_items(tokens: &[TokenTree]) -> Result<Vec<Item>> {
+    let mut items = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Inner attributes `#![...]` and stray semicolons.
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.ch == ';' {
+                i += 1;
+                continue;
+            }
+            if p.ch == '#'
+                && matches!(tokens.get(i + 1), Some(TokenTree::Punct(b)) if b.ch == '!')
+                && matches!(tokens.get(i + 2), Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Bracket)
+            {
+                i += 3;
+                continue;
+            }
+        }
+
+        // Outer attributes.
+        let mut attrs = Vec::new();
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+            (tokens.get(i), tokens.get(i + 1))
+        {
+            if p.ch != '#' || g.delimiter != Delimiter::Bracket {
+                break;
+            }
+            attrs.push(parse_attribute(g));
+            i += 2;
+        }
+
+        if i >= tokens.len() {
+            // Attributes at end of stream (shouldn't happen in valid code).
+            break;
+        }
+
+        // Find the item's extent and leading keyword.
+        let start = i;
+        let kw = leading_keyword(tokens, i);
+        let brace_terminated = kw
+            .as_deref()
+            .is_some_and(|k| BRACE_TERMINATED.contains(&k) || k == "macro_rules");
+        let mut end = i;
+        let mut body: Option<&Group> = None;
+        while end < tokens.len() {
+            match &tokens[end] {
+                TokenTree::Punct(p) if p.ch == ';' => {
+                    end += 1;
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace && brace_terminated => {
+                    body = Some(g);
+                    end += 1;
+                    break;
+                }
+                // `=` switches const/static/type items into expression
+                // position; they still end at `;`, which the first arm
+                // handles. Nothing special to do.
+                _ => end += 1,
+            }
+        }
+
+        let item_tokens = &tokens[start..end];
+        items.push(classify_item(attrs, kw, item_tokens, body)?);
+        i = end;
+    }
+    Ok(items)
+}
+
+/// The keyword that determines the item kind, skipping visibility
+/// (`pub`, `pub(crate)`) and `unsafe`/`async`/`const`/`extern` qualifiers
+/// when they prefix `fn`/`impl`/`trait`.
+fn leading_keyword(tokens: &[TokenTree], mut i: usize) -> Option<String> {
+    loop {
+        match tokens.get(i)? {
+            TokenTree::Ident(id) => match id.text.as_str() {
+                "pub" => {
+                    i += 1;
+                    // Optional restriction group `pub(crate)`.
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                "unsafe" | "async" | "const" | "extern" => {
+                    // `const` can itself be the item keyword (`const X: ...`)
+                    // or a qualifier (`const fn`). Same for `unsafe` and
+                    // `extern`; peek ahead.
+                    match tokens.get(i + 1) {
+                        Some(TokenTree::Ident(next))
+                            if matches!(next.text.as_str(), "fn" | "impl" | "trait") =>
+                        {
+                            return Some(next.text.clone());
+                        }
+                        Some(TokenTree::Literal(_)) if id.text == "extern" => {
+                            // `extern "C" fn` / `extern "C" { ... }`.
+                            match tokens.get(i + 2) {
+                                Some(TokenTree::Ident(next2)) if next2.text == "fn" => {
+                                    return Some("fn".to_string());
+                                }
+                                _ => return Some("extern".to_string()),
+                            }
+                        }
+                        _ => return Some(id.text.clone()),
+                    }
+                }
+                other => return Some(other.to_string()),
+            },
+            _ => return None,
+        }
+    }
+}
+
+fn parse_attribute(g: &Group) -> Attribute {
+    let mut path = String::new();
+    let mut args = TokenStream::default();
+    for (idx, t) in g.stream.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) => {
+                if !path.is_empty() {
+                    path.push_str("::");
+                }
+                path.push_str(&id.text);
+            }
+            TokenTree::Punct(p) if p.ch == ':' => {}
+            TokenTree::Group(inner) => {
+                args = inner.stream.clone();
+                break;
+            }
+            _ => {
+                // `#[path = "..."]` style: everything after `=` is args.
+                args = TokenStream(g.stream.0[idx..].to_vec());
+                break;
+            }
+        }
+    }
+    Attribute {
+        path,
+        tokens: args,
+        span: g.span,
+    }
+}
+
+fn classify_item(
+    attrs: Vec<Attribute>,
+    kw: Option<String>,
+    tokens: &[TokenTree],
+    body: Option<&Group>,
+) -> Result<Item> {
+    let span = tokens.first().map_or(Span { line: 0 }, |t| t.span());
+    match kw.as_deref() {
+        Some("fn") => Ok(Item::Fn(parse_fn(attrs, tokens, body))),
+        Some("mod") => {
+            let ident = ident_after(tokens, "mod").unwrap_or(Ident {
+                text: String::new(),
+                span,
+            });
+            let content = match body {
+                Some(g) => Some(parse_items(&g.stream.0)?),
+                None => None,
+            };
+            Ok(Item::Mod(ItemMod {
+                attrs,
+                ident,
+                content,
+            }))
+        }
+        Some("impl") => {
+            let (self_ty, trait_name) = impl_names(tokens);
+            let fns = match body {
+                Some(g) => collect_fns(&g.stream.0)?,
+                None => Vec::new(),
+            };
+            Ok(Item::Impl(ItemImpl {
+                attrs,
+                self_ty,
+                trait_name,
+                fns,
+            }))
+        }
+        Some("trait") => {
+            let ident = ident_after(tokens, "trait").unwrap_or(Ident {
+                text: String::new(),
+                span,
+            });
+            let fns = match body {
+                Some(g) => collect_fns(&g.stream.0)?,
+                None => Vec::new(),
+            };
+            Ok(Item::Trait(ItemTrait { attrs, ident, fns }))
+        }
+        _ => Ok(Item::Other(ItemOther {
+            attrs,
+            keyword: kw,
+            tokens: TokenStream(tokens.to_vec()),
+            span,
+        })),
+    }
+}
+
+fn parse_fn(attrs: Vec<Attribute>, tokens: &[TokenTree], body: Option<&Group>) -> ItemFn {
+    let ident = ident_after(tokens, "fn").unwrap_or(Ident {
+        text: String::new(),
+        span: tokens.first().map_or(Span { line: 0 }, |t| t.span()),
+    });
+    // Signature tokens: everything after the fn name, excluding the body.
+    let mut sig = Vec::new();
+    let mut seen_name = false;
+    for t in tokens {
+        match t {
+            TokenTree::Ident(id) if !seen_name && id.text == ident.text => {
+                seen_name = true;
+            }
+            TokenTree::Group(g)
+                if g.delimiter == Delimiter::Brace && body.is_some_and(|b| std::ptr::eq(b, g)) => {}
+            _ if seen_name => sig.push(t.clone()),
+            _ => {}
+        }
+    }
+    // The trailing body group sits in `tokens` only for nested parses; for
+    // top-level items the caller already cut it off. Either way it is not
+    // in `sig` (matched by pointer above or absent).
+    ItemFn {
+        attrs,
+        ident,
+        sig_tokens: TokenStream(sig),
+        block: body.cloned(),
+    }
+}
+
+/// Parse the associated functions inside an impl/trait body. Associated
+/// consts/types are skipped; nested items inside method bodies stay inside
+/// their body groups untouched.
+fn collect_fns(tokens: &[TokenTree]) -> Result<Vec<ItemFn>> {
+    let items = parse_items(tokens)?;
+    Ok(items
+        .into_iter()
+        .filter_map(|it| match it {
+            Item::Fn(f) => Some(f),
+            _ => None,
+        })
+        .collect())
+}
+
+/// First identifier directly after the keyword `kw`.
+fn ident_after(tokens: &[TokenTree], kw: &str) -> Option<Ident> {
+    let mut seen_kw = false;
+    for t in tokens {
+        match t {
+            TokenTree::Ident(id) => {
+                if seen_kw {
+                    return Some(id.clone());
+                }
+                if id.text == kw {
+                    seen_kw = true;
+                }
+            }
+            _ if seen_kw => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract (self type, trait name) from an impl header: skip the generic
+/// parameter list after `impl` (matching `<`/`>` puncts), then the first
+/// path identifier is either the trait (when followed by `for`) or the
+/// self type.
+fn impl_names(tokens: &[TokenTree]) -> (String, Option<String>) {
+    // Position after `impl`.
+    let mut i = match tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(id) if id.text == "impl"))
+    {
+        Some(p) => p + 1,
+        None => return (String::new(), None),
+    };
+    // Skip generics `<...>` by angle-depth over puncts.
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.ch == '<') {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.ch == '<' {
+                    depth += 1;
+                } else if p.ch == '>' {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    // Split at a top-level `for` (angle-depth 0).
+    let mut depth = 0i32;
+    let mut for_pos = None;
+    for (j, t) in tokens.iter().enumerate().skip(i) {
+        match t {
+            TokenTree::Punct(p) if p.ch == '<' => depth += 1,
+            TokenTree::Punct(p) if p.ch == '>' => depth -= 1,
+            TokenTree::Ident(id) if id.text == "for" && depth == 0 => {
+                for_pos = Some(j);
+                break;
+            }
+            TokenTree::Ident(id) if id.text == "where" && depth == 0 => break,
+            _ => {}
+        }
+    }
+    let first_path_ident = |from: usize| -> String {
+        for t in tokens.iter().skip(from) {
+            if let TokenTree::Ident(id) = t {
+                if !matches!(id.text.as_str(), "dyn" | "for" | "where" | "mut") {
+                    return id.text.clone();
+                }
+            }
+        }
+        String::new()
+    };
+    match for_pos {
+        Some(fp) => (first_path_ident(fp + 1), Some(first_path_ident(i))),
+        None => (first_path_ident(i), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> File {
+        parse_file(src).expect("parse")
+    }
+
+    #[test]
+    fn parses_free_functions_with_bodies() {
+        let f = parse("fn a() { let x = 1; }\npub fn b(y: u8) -> u8 { y }\n");
+        assert_eq!(f.items.len(), 2);
+        match (&f.items[0], &f.items[1]) {
+            (Item::Fn(a), Item::Fn(b)) => {
+                assert_eq!(a.ident.text, "a");
+                assert_eq!(b.ident.text, "b");
+                assert!(a.block.is_some());
+                assert_eq!(b.block.as_ref().map(|g| g.span.line), Some(2));
+            }
+            other => panic!("unexpected items: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_impl_blocks_with_self_type_and_trait() {
+        let f = parse(
+            "impl<S: Storage> BufferPool<S> { fn get(&self) {} }\n\
+             impl Drop for TxnHandle<'_> { fn drop(&mut self) {} }\n",
+        );
+        match (&f.items[0], &f.items[1]) {
+            (Item::Impl(a), Item::Impl(b)) => {
+                assert_eq!(a.self_ty, "BufferPool");
+                assert_eq!(a.trait_name, None);
+                assert_eq!(a.fns.len(), 1);
+                assert_eq!(b.self_ty, "TxnHandle");
+                assert_eq!(b.trait_name.as_deref(), Some("Drop"));
+            }
+            other => panic!("unexpected items: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cfg_test_attribute_is_structural() {
+        let f = parse("#[cfg(test)]\nmod tests { fn t() {} }\nfn real() {}\n");
+        match &f.items[0] {
+            Item::Mod(m) => {
+                assert!(m.attrs.iter().any(|a| a.cfg_mentions("test")));
+                assert_eq!(m.content.as_ref().map(Vec::len), Some(1));
+            }
+            other => panic!("expected mod: {other:?}"),
+        }
+        assert!(f.items[1].attrs().is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let f = parse("// fn not_an_item() {}\nfn f() -> &'static str { \"fn g() {}\" }\n");
+        assert_eq!(f.items.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_char_literals() {
+        let f = parse("fn f<'a>(x: &'a str) -> char { 'x' }\nfn g() {}\n");
+        assert_eq!(f.items.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let f = parse(
+            "fn f() -> &'static str { r#\"quote \" inside\"# }\n/* outer /* inner */ still */ fn g() {}\n",
+        );
+        assert_eq!(f.items.len(), 2);
+    }
+
+    #[test]
+    fn const_static_use_end_at_semicolon() {
+        let f = parse(
+            "use std::sync::{Arc, Mutex};\nconst N: usize = { 1 + 2 };\nstatic S: u8 = 0;\nfn f() {}\n",
+        );
+        assert_eq!(f.items.len(), 4);
+        assert!(matches!(&f.items[3], Item::Fn(_)));
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!(parse_file("fn f() {").is_err());
+        assert!(parse_file("fn f() )").is_err());
+    }
+
+    #[test]
+    fn trait_with_default_method() {
+        let f = parse("trait T { fn decl(&self); fn dflt(&self) { () } }\n");
+        match &f.items[0] {
+            Item::Trait(t) => {
+                assert_eq!(t.ident.text, "T");
+                assert_eq!(t.fns.len(), 2);
+                assert!(t.fns[0].block.is_none());
+                assert!(t.fns[1].block.is_some());
+            }
+            other => panic!("expected trait: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_carry_line_numbers() {
+        let f = parse("fn a() {}\n\n\nfn b() {\n    call();\n}\n");
+        match &f.items[1] {
+            Item::Fn(b) => {
+                assert_eq!(b.ident.span.line, 4);
+                let body = b.block.as_ref().expect("body");
+                let call_line = body
+                    .stream
+                    .iter()
+                    .find_map(|t| match t {
+                        TokenTree::Ident(i) if i.text == "call" => Some(i.span.line),
+                        _ => None,
+                    })
+                    .expect("call ident");
+                assert_eq!(call_line, 5);
+            }
+            other => panic!("expected fn: {other:?}"),
+        }
+    }
+}
