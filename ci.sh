@@ -27,10 +27,11 @@ cargo test -q
 echo "==> concurrency stress suite (release)"
 cargo test -p nok-serve --release -q --test stress
 
-echo "==> loom concurrency models (seqlock, plan cache, buffer pool)"
+echo "==> loom concurrency models (seqlock, plan cache, buffer pool, mvcc)"
 RUSTFLAGS="--cfg loom" cargo test -q -p nok-core --test loom_seqlock
 RUSTFLAGS="--cfg loom" cargo test -q -p nok-serve --test loom_plan_cache
 RUSTFLAGS="--cfg loom" cargo test -q -p nok-pager --test loom_pool
+RUSTFLAGS="--cfg loom" cargo test -q -p nok-pager --test loom_mvcc
 
 # ThreadSanitizer over the serve stress suite and Miri over the pager/btree
 # unit tests need nightly with rust-src / miri; the GitHub nightly jobs run
@@ -88,10 +89,15 @@ diff "$corpus/served.txt" "$corpus/offline.txt"
 wait "$nokd_pid"
 ./target/release/nokfsck --strict "$corpus/dblp"
 
-echo "==> serve throughput bench (BENCH_serve.json)"
+echo "==> serve throughput bench, read-only + mixed writer (BENCH_serve.json)"
 cargo run --release -q -p nok-bench --bin serve_throughput -- \
-  --scale 0.01 --duration-ms 300 --threads 1,2,4,8 --out BENCH_serve.json
+  --scale 0.01 --duration-ms 300 --threads 1,2,4,8 --write-rate 50 \
+  --out BENCH_serve.json
 grep -q '"threads":8' BENCH_serve.json
+# The mixed section (8 readers + 1 writer on MVCC snapshots) must be present
+# and the writer must have actually committed.
+grep -q '"mixed"' BENCH_serve.json
+grep -q '"writes_committed"' BENCH_serve.json
 
 echo "==> navigation kernels bench (BENCH_nav.json)"
 # nav_bench exits nonzero if the indexed path examines < 5x fewer entries

@@ -34,6 +34,15 @@ struct LockEntry {
     class: LockClass,
 }
 
+/// The MVCC epoch pin (`EpochArc`/`GenerationTable` in `pager::mvcc`,
+/// acquired through `snapshot()`). Rank 0 in the hierarchy: a reader pins
+/// its generation before touching anything else, and every other lock may
+/// be taken under it. It is a refcount, not a mutex — re-entrant by design
+/// (see `guard-across-writer` for the rule that *does* constrain it).
+pub const PAGER_MVCC_EPOCH: LockClass = LockClass {
+    name: "pager.mvcc_epoch",
+    rank: 5,
+};
 pub const SERVE_QUEUE: LockClass = LockClass {
     name: "serve.queue",
     rank: 10,
@@ -77,6 +86,7 @@ pub const PAGER_FRAME: LockClass = LockClass {
 
 /// Every lock class, in hierarchy (rank) order.
 pub const ALL_CLASSES: &[LockClass] = &[
+    PAGER_MVCC_EPOCH,
     SERVE_QUEUE,
     SERVE_SLOT,
     SERVE_PLAN_CACHE,
@@ -183,8 +193,23 @@ pub fn method_mode(name: &str) -> Option<AcqMode> {
 pub fn guard_returning_fn(name: &str) -> Option<LockClass> {
     match name {
         "dir_mut" => Some(CORE_DIRECTORY),
+        // `db.snapshot()` / `source.snapshot()` return a pinned
+        // `SnapshotGuard`-backed view: the caller holds the epoch pin for
+        // as long as the binding lives.
+        "snapshot" => Some(PAGER_MVCC_EPOCH),
         _ => None,
     }
+}
+
+/// Writer entry points: calling one starts (or contains) a transaction,
+/// which must never happen while the calling thread holds a snapshot pin
+/// (`guard-across-writer`) — the guard pins retired generations and its
+/// view predates the commit the writer is about to publish.
+pub fn is_writer_entry(name: &str) -> bool {
+    matches!(
+        name,
+        "txn_begin" | "insert_last_child" | "delete_subtree" | "checkpoint"
+    )
 }
 
 /// Atomics under the `atomic-ordering` contract: `Ordering::Relaxed` on any
@@ -197,6 +222,8 @@ pub const CRITICAL_ATOMICS: &[&str] = &[
     "shutdown",       // service stop flag gating queue drain
     "dirty",          // frame dirty bit read by flush without the frame lock
     "frames",         // pool occupancy accounting used by make_room
+    "ctrl",           // EpochArc control word: pin registration vs swing
+    "debt",           // EpochArc repaid-pin counter gating slot reclamation
 ];
 
 /// The seqlock generation field: reads of it participate in the
@@ -317,6 +344,7 @@ pub const ALL_RULES: &[&str] = &[
     "undocumented-unsafe",
     "raw-page-io",
     "plan-operator-construction",
+    "guard-across-writer",
     "bare-allow",
     "unknown-allow",
 ];
@@ -345,6 +373,7 @@ mod tests {
     #[test]
     fn hierarchy_ranks_are_distinct() {
         let all = [
+            PAGER_MVCC_EPOCH,
             SERVE_QUEUE,
             SERVE_SLOT,
             SERVE_PLAN_CACHE,

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use crate::comments::CommentMap;
-use crate::config::{self, LockClass};
+use crate::config::{self, AcqMode, LockClass};
 use crate::model::{Event, FnModel};
 use crate::report::Finding;
 
@@ -34,6 +34,10 @@ const MAX_CALL_CANDIDATES: usize = 4;
 struct Pair {
     held: LockClass,
     acquired: LockClass,
+    /// How `acquired` was taken. Call-graph pairs (`via` set) default to
+    /// `Write` — conservative for the ordering rules, which ignore mode;
+    /// the mode-aware `guard-across-writer` rule only consults local pairs.
+    acq_mode: AcqMode,
     line: usize,
     via: Option<String>,
 }
@@ -99,15 +103,16 @@ fn scan_fn(m: &FnModel) -> FnScan {
             }
             Event::Acquire {
                 class,
+                mode,
                 let_bound,
                 var,
                 line,
-                ..
             } => {
                 for h in &held {
                     scan.pairs.push(Pair {
                         held: h.class,
                         acquired: *class,
+                        acq_mode: *mode,
                         line: *line,
                         via: None,
                     });
@@ -375,6 +380,7 @@ pub fn run(models: &[FnModel], comments: &HashMap<String, CommentMap>) -> (Vec<F
                         pairs.push(Pair {
                             held: *h,
                             acquired: acq,
+                            acq_mode: AcqMode::Write,
                             line: c.line,
                             via: Some(c.name.clone()),
                         });
@@ -394,7 +400,40 @@ pub fn run(models: &[FnModel], comments: &HashMap<String, CommentMap>) -> (Vec<F
                     .as_ref()
                     .map(|v| format!(" (via call to `{v}`)"))
                     .unwrap_or_default();
+                // Mode-aware MVCC rule: a snapshot pin held across a
+                // *write*-mode acquisition of the directory (the writer's
+                // structural lock) is writer work under a reader guard.
+                if p.held.rank == config::PAGER_MVCC_EPOCH.rank
+                    && p.acquired.rank == config::CORE_DIRECTORY.rank
+                    && p.acq_mode == AcqMode::Write
+                    && p.via.is_none()
+                {
+                    push(
+                        Finding {
+                            rule: "guard-across-writer",
+                            file: m.file.clone(),
+                            line: p.line,
+                            message: format!(
+                                "`{}` takes the directory write lock while holding a \
+                                 snapshot pin; the pin keeps retired generations alive \
+                                 and its view predates the mutation — drop the guard \
+                                 before writer work (see DESIGN.md §14)",
+                                m.name
+                            ),
+                            lock_path: Some(format!("{} -> {}", p.held.name, p.acquired.name)),
+                        },
+                        comments,
+                        &mut allows_used,
+                        &mut findings,
+                    );
+                    continue;
+                }
                 if p.held.rank == p.acquired.rank {
+                    // The epoch pin is a refcount: pinning again under a
+                    // held pin is re-entrant by design, not a reentry bug.
+                    if p.held.rank == config::PAGER_MVCC_EPOCH.rank {
+                        continue;
+                    }
                     push(
                         Finding {
                             rule: "lock-reentry",
@@ -423,6 +462,39 @@ pub fn run(models: &[FnModel], comments: &HashMap<String, CommentMap>) -> (Vec<F
                                 m.name, p.acquired.name, p.acquired.rank, p.held.name, p.held.rank
                             ),
                             lock_path: Some(format!("{} -> {}", p.held.name, p.acquired.name)),
+                        },
+                        comments,
+                        &mut allows_used,
+                        &mut findings,
+                    );
+                }
+            }
+
+            // A snapshot pin held across a transaction entry point is the
+            // other `guard-across-writer` shape: the writer publishes a new
+            // generation while this thread's view pins the old one.
+            for c in &scan.calls {
+                if config::is_writer_entry(&c.name)
+                    && c.held
+                        .iter()
+                        .any(|h| h.rank == config::PAGER_MVCC_EPOCH.rank)
+                {
+                    push(
+                        Finding {
+                            rule: "guard-across-writer",
+                            file: m.file.clone(),
+                            line: c.line,
+                            message: format!(
+                                "`{}` calls writer entry point `{}` while holding a \
+                                 snapshot pin; drop the guard before beginning a \
+                                 transaction (see DESIGN.md §14)",
+                                m.name, c.name
+                            ),
+                            lock_path: Some(format!(
+                                "{} -> txn:{}",
+                                config::PAGER_MVCC_EPOCH.name,
+                                c.name
+                            )),
                         },
                         comments,
                         &mut allows_used,

@@ -125,6 +125,18 @@ const FAIL: &[FailFixture] = &[
         expect: &["lock-unwrap"],
     },
     FailFixture {
+        name: "snapshot pin held across txn begin",
+        path: "crates/core/src/update.rs",
+        source: "impl XmlDb {\n    fn bad(&mut self, parent: &Dewey) {\n        let snap = self.snapshot();\n        self.insert_last_child(parent, \"<x/>\").ok();\n        let _ = snap;\n    }\n}\n",
+        expect: &["guard-across-writer"],
+    },
+    FailFixture {
+        name: "snapshot pin held across directory write lock",
+        path: "crates/core/src/store.rs",
+        source: "impl StructStore {\n    fn bad(&self) {\n        let snap = self.snapshot();\n        let d = wr(&self.dir);\n        let _ = (snap, d);\n    }\n}\n",
+        expect: &["guard-across-writer"],
+    },
+    FailFixture {
         name: "allow without a reason",
         path: "crates/core/src/store.rs",
         source: "impl StructStore {\n    fn generation(&self) -> u64 {\n        // analyze: allow(atomic-ordering, seqlock-recheck)\n        self.dir_generation.load(Ordering::Relaxed)\n    }\n}\n",
@@ -223,6 +235,27 @@ const PASS: &[PassFixture] = &[
         name: "collection method name does not resolve to workspace fn",
         path: "crates/pager/src/pool.rs",
         source: "impl BufferPool {\n    fn get(&self, id: u64) {\n        let sh = write_lock(&self.shards[0]);\n        let _ = (sh, id);\n    }\n    fn probe(&self, map: &HashMap<u64, u64>) -> Option<u64> {\n        let sh = write_lock(&self.shards[1]);\n        let v = map.get(&1).copied();\n        let _ = sh;\n        v\n    }\n}\n",
+    },
+    PassFixture {
+        // Read-path locks under a snapshot pin are the normal reader shape;
+        // only *write*-mode directory acquisition is writer work.
+        name: "snapshot pin over read-path locks is fine",
+        path: "crates/core/src/store.rs",
+        source: "impl StructStore {\n    fn ok(&self) -> u64 {\n        let snap = self.snapshot();\n        let d = rd(&self.dir);\n        let _ = (snap, d);\n        0\n    }\n}\n",
+    },
+    PassFixture {
+        // Dropping the guard first is the prescribed fix for
+        // guard-across-writer.
+        name: "snapshot pin dropped before the writer runs",
+        path: "crates/core/src/update.rs",
+        source: "impl XmlDb {\n    fn ok(&mut self, parent: &Dewey) {\n        let snap = self.snapshot();\n        drop(snap);\n        self.insert_last_child(parent, \"<x/>\").ok();\n    }\n}\n",
+    },
+    PassFixture {
+        // The epoch pin is a refcount: re-pinning under a held pin is not
+        // lock re-entry.
+        name: "nested snapshot pins are re-entrant refcounts",
+        path: "crates/serve/src/service.rs",
+        source: "impl QueryService {\n    fn ok(&self) {\n        let a = self.snapshot();\n        let b = self.snapshot();\n        let _ = (a, b);\n    }\n}\n",
     },
     PassFixture {
         // Slice types in struct declarations (`&'a [u8]`) are not indexing.

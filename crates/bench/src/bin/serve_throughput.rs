@@ -5,20 +5,27 @@
 //! ```text
 //! cargo run -p nok-bench --release --bin serve_throughput -- \
 //!     [--dataset dblp] [--scale 0.05] [--duration-ms 2000] \
-//!     [--threads 1,2,4,8] [--out BENCH_serve.json]
+//!     [--threads 1,2,4,8] [--write-rate 50] [--out BENCH_serve.json]
 //! ```
 //!
 //! Emits a machine-readable summary (deterministic key order) to the
 //! `--out` file and a human-readable table to stdout. The interesting
 //! number is the qps scaling 1→4 threads: with a single global pool lock
 //! it would be flat; with the sharded pool it should exceed 1×.
+//!
+//! After the read-only sweep, a **mixed** run repeats the highest thread
+//! count with one writer thread committing update transactions at a fixed
+//! rate (`--write-rate`, commits/second) while the readers serve from
+//! pinned MVCC snapshots. The `mixed` section of the JSON reports read
+//! qps alongside the read-only qps at the same thread count: with
+//! lock-free snapshot pinning the ratio should stay near 1.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nok_bench::Args;
-use nok_core::XmlDb;
+use nok_core::{Dewey, XmlDb};
 use nok_datagen::dataset_by_name;
 use nok_serve::{Json, QueryService, ServiceConfig, SERVE_POOL_FRAMES};
 
@@ -39,6 +46,10 @@ fn run() -> Result<(), String> {
             .unwrap_or(2000),
     );
     let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+    let write_rate: u64 = args
+        .get("write-rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     let thread_counts: Vec<usize> = args
         .get("threads")
         .unwrap_or("1,2,4,8")
@@ -85,6 +96,7 @@ fn run() -> Result<(), String> {
     );
 
     let mut runs = Vec::new();
+    let mut read_only_qps: Vec<(usize, f64)> = Vec::new();
     for &workers in &thread_counts {
         // Fresh handle per run so pool stats and latency start cold-free
         // but comparable (warm-up below primes the pool).
@@ -106,38 +118,11 @@ fn run() -> Result<(), String> {
             svc.query(p).map_err(|e| format!("warm-up {p}: {e}"))?;
         }
 
-        let stop = Arc::new(AtomicBool::new(false));
-        let completed = Arc::new(AtomicU64::new(0));
-        let start = Instant::now();
-        let clients: Vec<_> = (0..workers)
-            .map(|c| {
-                let svc = Arc::clone(&svc);
-                let stop = Arc::clone(&stop);
-                let completed = Arc::clone(&completed);
-                let paths = paths.clone();
-                std::thread::spawn(move || {
-                    let mut i = c;
-                    while !stop.load(Ordering::Relaxed) {
-                        let p = &paths[i % paths.len()];
-                        if svc.query(p).is_ok() {
-                            completed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        i += 1;
-                    }
-                })
-            })
-            .collect();
-        std::thread::sleep(duration);
-        stop.store(true, Ordering::Relaxed);
-        for c in clients {
-            let _ = c.join();
-        }
-        let elapsed = start.elapsed().as_secs_f64();
-        let served = completed.load(Ordering::Relaxed);
-        let qps = served as f64 / elapsed;
+        let (qps, served) = drive_readers(&svc, &paths, workers, duration);
         let p50 = svc.metrics().latency.quantile_micros(0.50);
         let p99 = svc.metrics().latency.quantile_micros(0.99);
         println!("{workers:>8} {qps:>12.1} {p50:>10} {p99:>10} {served:>10}");
+        read_only_qps.push((workers, qps));
         runs.push(Json::obj(vec![
             ("threads", Json::Num(workers as f64)),
             ("qps", Json::Num((qps * 10.0).round() / 10.0)),
@@ -147,6 +132,97 @@ fn run() -> Result<(), String> {
         ]));
     }
 
+    // Mixed read/write: the highest thread count again, with one writer
+    // thread committing update transactions at `--write-rate` while the
+    // readers serve from pinned MVCC snapshots. The writer owns the
+    // database exclusively (`&mut`); the service reads through a detached
+    // `SnapshotSource`, so reader pinning takes no lock the writer holds.
+    let readers = thread_counts.iter().copied().max().unwrap_or(8);
+    let baseline = read_only_qps
+        .iter()
+        .rev()
+        .find(|(t, _)| *t == readers)
+        .map(|(_, q)| *q)
+        .unwrap_or(0.0);
+    let mut db = XmlDb::open_dir_with_capacity(&dir, SERVE_POOL_FRAMES)
+        .map_err(|e| format!("open (mixed): {e}"))?;
+    let svc = Arc::new(QueryService::start_from_source(
+        db.snapshot_source(),
+        ServiceConfig {
+            workers: readers,
+            queue_cap: 1024,
+            default_timeout: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        },
+    ));
+    for p in &paths {
+        svc.query(p)
+            .map_err(|e| format!("warm-up (mixed) {p}: {e}"))?;
+    }
+    let stop_writer = Arc::new(AtomicBool::new(false));
+    let commits = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let stop = Arc::clone(&stop_writer);
+        let commits = Arc::clone(&commits);
+        std::thread::spawn(move || -> Result<(), String> {
+            let root = Dewey::root();
+            let interval = Duration::from_secs_f64(1.0 / write_rate.max(1) as f64);
+            while !stop.load(Ordering::Relaxed) {
+                // One insert commit, one delete commit: the document is
+                // back to its original shape after every pair, so the run
+                // length does not change what the readers measure.
+                let d = db
+                    .insert_last_child(&root, "<benchnote>mixed</benchnote>")
+                    .map_err(|e| format!("writer insert: {e}"))?;
+                commits.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(interval);
+                db.delete_subtree(&d)
+                    .map_err(|e| format!("writer delete: {e}"))?;
+                commits.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(interval);
+            }
+            Ok(())
+        })
+    };
+    let (mixed_qps, mixed_served) = drive_readers(&svc, &paths, readers, duration);
+    stop_writer.store(true, Ordering::Relaxed);
+    writer
+        .join()
+        .map_err(|_| "writer thread panicked".to_string())??;
+    let writes = commits.load(Ordering::Relaxed);
+    let p50 = svc.metrics().latency.quantile_micros(0.50);
+    let p99 = svc.metrics().latency.quantile_micros(0.99);
+    let ratio = if baseline > 0.0 {
+        mixed_qps / baseline
+    } else {
+        0.0
+    };
+    println!(
+        "{:>8} {mixed_qps:>12.1} {p50:>10} {p99:>10} {mixed_served:>10}  \
+         (mixed: +1 writer, {writes} commits, {:.0}% of read-only)",
+        format!("{readers}+1w"),
+        ratio * 100.0
+    );
+    let mixed = Json::obj(vec![
+        ("threads", Json::Num(readers as f64)),
+        ("write_rate", Json::Num(write_rate as f64)),
+        ("writes_committed", Json::Num(writes as f64)),
+        ("qps", Json::Num((mixed_qps * 10.0).round() / 10.0)),
+        ("p50_us", Json::Num(p50 as f64)),
+        ("p99_us", Json::Num(p99 as f64)),
+        ("served", Json::Num(mixed_served as f64)),
+        ("read_only_qps", Json::Num((baseline * 10.0).round() / 10.0)),
+        ("qps_ratio", Json::Num((ratio * 1000.0).round() / 1000.0)),
+        (
+            "plan_stale",
+            Json::Num(svc.metrics().plan_stale.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "generations_retired",
+            Json::Num(svc.generation_stats().retired_generations() as f64),
+        ),
+    ]);
+
     let report = Json::obj(vec![
         ("bench", Json::Str("serve_throughput".into())),
         ("dataset", Json::Str(dataset.clone())),
@@ -155,6 +231,7 @@ fn run() -> Result<(), String> {
         ("pool_frames", Json::Num(SERVE_POOL_FRAMES as f64)),
         ("duration_ms", Json::Num(duration.as_millis() as f64)),
         ("runs", Json::Arr(runs)),
+        ("mixed", mixed),
     ]);
     std::fs::write(&out_path, format!("{}\n", report.to_string_compact()))
         .map_err(|e| format!("write {out_path}: {e}"))?;
@@ -162,4 +239,43 @@ fn run() -> Result<(), String> {
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
+}
+
+/// Hammer the service with `readers` client threads cycling the workload
+/// for `duration`; returns `(qps, served)`.
+fn drive_readers<S: nok_pager::Storage + Send + 'static>(
+    svc: &Arc<QueryService<S>>,
+    paths: &[String],
+    readers: usize,
+    duration: Duration,
+) -> (f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let clients: Vec<_> = (0..readers)
+        .map(|c| {
+            let svc = Arc::clone(svc);
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            let paths = paths.to_vec();
+            std::thread::spawn(move || {
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let p = &paths[i % paths.len()];
+                    if svc.query(p).is_ok() {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        let _ = c.join();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let served = completed.load(Ordering::Relaxed);
+    (served as f64 / elapsed, served)
 }

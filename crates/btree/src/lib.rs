@@ -25,7 +25,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nok_pager::codec::{get_u32, get_u64, put_u32, put_u64};
-use nok_pager::{BufferPool, PageHandle, PageId, PagerError, Storage};
+use nok_pager::mvcc::{resolve_page, SnapView};
+use nok_pager::{BufferPool, PageHandle, PageId, PageRead, PagerError, Storage};
 
 /// Errors from B+ tree operations.
 #[derive(Debug)]
@@ -76,10 +77,49 @@ const META_OFF_COUNT: usize = 8;
 
 /// A B+ tree occupying (all pages of) one buffer pool. Page 0 is the meta
 /// page holding the root pointer and the entry count.
+///
+/// A tree constructed with [`BTree::snapshot_view`] is a read-only *view*
+/// pinned to an MVCC generation: its root comes from the generation (not
+/// the meta page) and every page read resolves through the generation's
+/// before-image overlay, so a concurrent writer never tears a scan.
 pub struct BTree<S: Storage> {
     pool: Arc<BufferPool<S>>,
     root: AtomicU32,
     count: AtomicU64,
+    view: Option<SnapView>,
+}
+
+/// Page bytes as seen by a tree: a live pinned frame, or an immutable image
+/// resolved through a snapshot overlay.
+enum PageBytes {
+    Handle(PageHandle),
+    Owned(Arc<[u8]>),
+}
+
+/// Borrowed page bytes (frame read guard or overlay image).
+enum PageBytesRef<'a> {
+    Guard(PageRead<'a>),
+    Owned(&'a [u8]),
+}
+
+impl PageBytes {
+    fn read(&self) -> PageBytesRef<'_> {
+        match self {
+            PageBytes::Handle(h) => PageBytesRef::Guard(h.read()),
+            PageBytes::Owned(b) => PageBytesRef::Owned(b),
+        }
+    }
+}
+
+impl std::ops::Deref for PageBytesRef<'_> {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match self {
+            PageBytesRef::Guard(g) => g,
+            PageBytesRef::Owned(b) => b,
+        }
+    }
 }
 
 impl<S: Storage> BTree<S> {
@@ -100,6 +140,7 @@ impl<S: Storage> BTree<S> {
             pool,
             root: AtomicU32::new(root_id),
             count: AtomicU64::new(0),
+            view: None,
         })
     }
 
@@ -117,7 +158,34 @@ impl<S: Storage> BTree<S> {
             pool,
             root: AtomicU32::new(root),
             count: AtomicU64::new(count),
+            view: None,
         })
+    }
+
+    /// A read-only tree pinned to an MVCC generation: `root` and `count`
+    /// are the values captured at the generation's commit, and every page
+    /// read resolves through `view`'s overlay. Mutating methods fail.
+    pub fn snapshot_view(pool: Arc<BufferPool<S>>, root: u32, count: u64, view: SnapView) -> Self {
+        BTree {
+            pool,
+            root: AtomicU32::new(root),
+            count: AtomicU64::new(count),
+            view: Some(view),
+        }
+    }
+
+    /// Fetch a page for reading: through the snapshot overlay on a view,
+    /// straight from the pool otherwise.
+    fn page(&self, id: PageId) -> BTreeResult<PageBytes> {
+        match &self.view {
+            Some(view) => Ok(PageBytes::Owned(resolve_page(&self.pool, view, id)?)),
+            None => Ok(PageBytes::Handle(self.pool.get(id)?)),
+        }
+    }
+
+    /// Current root page id (captured into MVCC generations at commit).
+    pub fn root_page(&self) -> u32 {
+        self.root.load(Ordering::Acquire)
     }
 
     /// Number of key/value entries.
@@ -186,6 +254,9 @@ impl<S: Storage> BTree<S> {
     /// Insert `(key, value)`. Duplicate keys are kept; the new entry is
     /// placed after any existing entries with an equal key.
     pub fn insert(&self, key: &[u8], value: &[u8]) -> BTreeResult<()> {
+        if self.view.is_some() {
+            return Err(BTreeError::Corrupt("insert on a snapshot view".into()));
+        }
         let size = node::leaf_cell_size(key, value);
         if size > self.max_entry_size() {
             return Err(BTreeError::EntryTooLarge {
@@ -334,7 +405,7 @@ impl<S: Storage> BTree<S> {
     fn descend_left(&self, key: &[u8]) -> BTreeResult<PageId> {
         let mut page_id = self.root.load(Ordering::Acquire);
         loop {
-            let page = self.pool.get(page_id)?;
+            let page = self.page(page_id)?;
             let buf = page.read();
             if node::is_leaf(&buf) {
                 return Ok(page_id);
@@ -398,7 +469,7 @@ impl<S: Storage> BTree<S> {
 
     fn scan_from(&self, key: &[u8]) -> BTreeResult<RangeIter<'_, S>> {
         let leaf_id = self.descend_left(key)?;
-        let leaf = self.pool.get(leaf_id)?;
+        let leaf = self.page(leaf_id)?;
         let slot = node::lower_bound(&leaf.read(), key);
         Ok(RangeIter {
             tree: self,
@@ -413,6 +484,9 @@ impl<S: Storage> BTree<S> {
     /// value matches is removed; otherwise the first entry with the key is.
     /// Returns whether anything was removed.
     pub fn delete(&self, key: &[u8], value: Option<&[u8]>) -> BTreeResult<bool> {
+        if self.view.is_some() {
+            return Err(BTreeError::Corrupt("delete on a snapshot view".into()));
+        }
         let mut leaf_id = self.descend_left(key)?;
         loop {
             let leaf = self.pool.get(leaf_id)?;
@@ -555,7 +629,7 @@ impl<S: Storage> BTree<S> {
 /// advancing may require page I/O.
 pub struct RangeIter<'a, S: Storage> {
     tree: &'a BTree<S>,
-    leaf: Option<PageHandle>,
+    leaf: Option<PageBytes>,
     slot: usize,
     upper: Bound<Vec<u8>>,
     skip_key: Option<Vec<u8>>,
@@ -603,7 +677,7 @@ impl<S: Storage> Iterator for RangeIter<'_, S> {
                         self.leaf = None;
                         return None;
                     }
-                    match self.tree.pool.get(next) {
+                    match self.tree.page(next) {
                         Ok(h) => {
                             self.leaf = Some(h);
                             self.slot = 0;

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use nok_btree::BTree;
+use nok_pager::mvcc::GenerationTable;
 use nok_pager::{
     BufferPool, FailPlan, FileStorage, MemStorage, Storage, TxnHandle, Wal, WalRecord,
 };
@@ -18,24 +19,30 @@ use crate::error::{CoreError, CoreResult};
 use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::recovery::RecoveryReport;
 use crate::sigma::{TagCode, TagDict};
+use crate::snapshot::{initial_generations, DbGeneration};
 use crate::store::{BuildOptions, BuildSink, NodeRecord, StatsBlock, StructStore};
 use crate::values::{hash_key, hash_value, DataFile, LockDataFile};
 
 /// A complete XML database instance over one document.
 pub struct XmlDb<S: Storage> {
     pub(crate) store: StructStore<S>,
-    pub(crate) dict: TagDict,
-    pub(crate) data: Mutex<DataFile>,
+    /// Tag dictionary. `Arc` so MVCC generations can capture it by clone;
+    /// updates intern through `Arc::make_mut` (copy-on-write when a pinned
+    /// snapshot still shares it).
+    pub(crate) dict: Arc<TagDict>,
+    /// Value data file, shared with every snapshot view of this database.
+    pub(crate) data: Arc<Mutex<DataFile>>,
     /// B+t: tag code → postings (document order).
     pub(crate) bt_tag: BTree<S>,
     /// B+v: value hash → dewey keys.
     pub(crate) bt_val: BTree<S>,
     /// B+i: dewey key → [`IdRecord`].
     pub(crate) bt_id: BTree<S>,
-    /// Occurrences per tag (selectivity estimation).
-    pub(crate) tag_counts: HashMap<TagCode, u64>,
+    /// Occurrences per tag (selectivity estimation); copy-on-write like
+    /// the dictionary.
+    pub(crate) tag_counts: Arc<HashMap<TagCode, u64>>,
     /// Occurrences per value hash (planner selectivity estimation).
-    pub(crate) value_counts: HashMap<u64, u64>,
+    pub(crate) value_counts: Arc<HashMap<u64, u64>>,
     /// Bumped once per successfully committed update transaction; the
     /// serve-layer plan cache keys its invalidation on it.
     pub(crate) generation: AtomicU64,
@@ -52,6 +59,9 @@ pub struct XmlDb<S: Storage> {
     /// Data-file offsets tombstoned by the update in flight; applied (and
     /// logged) at commit, discarded on rollback.
     pub(crate) pending_dead: Vec<u64>,
+    /// Published MVCC generations (see [`crate::snapshot`]). Shared with
+    /// snapshot views so their stats and re-pins reach the live table.
+    pub(crate) gens: Arc<GenerationTable<DbGeneration>>,
 }
 
 /// Collects node/value records during the build for index construction.
@@ -253,10 +263,35 @@ impl<S: Storage> XmlDb<S> {
             }
         };
         let wal = Wal::open_or_create(dir.join(F_WAL))?;
+        let dict = Arc::new(dict);
+        let tag_counts = Arc::new(tag_counts);
+        let value_counts = Arc::new(value_counts);
+        // Publish the recovered state as generation 0: every reader that
+        // pins before the first post-open commit sees exactly what recovery
+        // established.
+        let gens = initial_generations(
+            [
+                Arc::clone(store.pool().capture_cell()),
+                Arc::clone(bt_tag.pool_rc().capture_cell()),
+                Arc::clone(bt_val.pool_rc().capture_cell()),
+                Arc::clone(bt_id.pool_rc().capture_cell()),
+            ],
+            store.dir_arc(),
+            store.node_count(),
+            Arc::clone(&dict),
+            Arc::clone(&tag_counts),
+            Arc::clone(&value_counts),
+            [
+                (bt_tag.root_page(), bt_tag.len()),
+                (bt_val.root_page(), bt_val.len()),
+                (bt_id.root_page(), bt_id.len()),
+            ],
+            data.len_bytes(),
+        );
         let db = XmlDb {
             store,
             dict,
-            data: Mutex::new(data),
+            data: Arc::new(Mutex::new(data)),
             bt_tag,
             bt_val,
             bt_id,
@@ -268,6 +303,7 @@ impl<S: Storage> XmlDb<S> {
             wal: Some(wal),
             recovery: Some(report),
             pending_dead: Vec::new(),
+            gens,
         };
         if stats_stale {
             db.persist_stats()?;
@@ -365,10 +401,32 @@ impl<S: Storage> XmlDb<S> {
         val_pairs.sort_by(|a, b| a.0.cmp(&b.0));
         let bt_val = BTree::bulk_load(val_pool, val_pairs, 0.9)?;
 
+        let dict = Arc::new(dict);
+        let tag_counts = Arc::new(tag_counts);
+        let value_counts = Arc::new(value_counts);
+        let gens = initial_generations(
+            [
+                Arc::clone(store.pool().capture_cell()),
+                Arc::clone(bt_tag.pool_rc().capture_cell()),
+                Arc::clone(bt_val.pool_rc().capture_cell()),
+                Arc::clone(bt_id.pool_rc().capture_cell()),
+            ],
+            store.dir_arc(),
+            store.node_count(),
+            Arc::clone(&dict),
+            Arc::clone(&tag_counts),
+            Arc::clone(&value_counts),
+            [
+                (bt_tag.root_page(), bt_tag.len()),
+                (bt_val.root_page(), bt_val.len()),
+                (bt_id.root_page(), bt_id.len()),
+            ],
+            data.len_bytes(),
+        );
         Ok(XmlDb {
             store,
             dict,
-            data: Mutex::new(data),
+            data: Arc::new(Mutex::new(data)),
             bt_tag,
             bt_val,
             bt_id,
@@ -380,6 +438,7 @@ impl<S: Storage> XmlDb<S> {
             wal: None,
             recovery: None,
             pending_dead: Vec::new(),
+            gens,
         })
     }
 
@@ -521,6 +580,12 @@ impl<S: Storage> XmlDb<S> {
     /// back (data-file length, dictionary, tag counts).
     pub(crate) fn txn_begin(&mut self) -> CoreResult<TxnCtx<S>> {
         self.pending_dead.clear();
+        // Arm copy-on-write capture from the first transaction on (the
+        // initial bulk build must not capture). Idempotent after that.
+        let epoch = self.generation.load(Ordering::Acquire);
+        for cell in self.capture_cells() {
+            cell.activate(epoch);
+        }
         let struct_txn = self.store.pool_rc().begin_txn()?;
         let tag_txn = self.bt_tag.pool_rc().begin_txn()?;
         let val_txn = self.bt_val.pool_rc().begin_txn()?;
@@ -529,8 +594,8 @@ impl<S: Storage> XmlDb<S> {
             handles: [struct_txn, tag_txn, val_txn, id_txn],
             data_len0: self.data.lock_data().len_bytes(),
             dict_bytes0: self.dict.to_bytes(),
-            tag_counts0: self.tag_counts.clone(),
-            value_counts0: self.value_counts.clone(),
+            tag_counts0: Arc::clone(&self.tag_counts),
+            value_counts0: Arc::clone(&self.value_counts),
         })
     }
 
@@ -544,6 +609,11 @@ impl<S: Storage> XmlDb<S> {
             return Err(self.fail_with_rollback(ctx, e));
         }
         // ---- Commit point passed: the transaction is durable in the log.
+        // Publish generation N+1 right here so the visibility point
+        // coincides with the commit point: snapshots pinned from now on see
+        // this transaction; snapshots pinned before it keep resolving pages
+        // through the frozen before-image overlay.
+        self.publish_generation();
         if let Err(e) = self.txn_commit_apply(&mut ctx) {
             for h in &mut ctx.handles {
                 h.detach();
@@ -562,9 +632,6 @@ impl<S: Storage> XmlDb<S> {
             }
         }
         self.pending_dead.clear();
-        // The commit is fully durable: let plan caches know their plans
-        // (and the stats they were costed from) may now be stale.
-        self.generation.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -657,10 +724,12 @@ impl<S: Storage> XmlDb<S> {
             h.abort()?;
         }
         self.data.lock_data().truncate_to(ctx.data_len0)?;
-        self.dict = TagDict::from_bytes(&ctx.dict_bytes0)
-            .ok_or_else(|| CoreError::Corrupt("dictionary snapshot corrupt".into()))?;
-        self.tag_counts = ctx.tag_counts0.clone();
-        self.value_counts = ctx.value_counts0.clone();
+        self.dict = Arc::new(
+            TagDict::from_bytes(&ctx.dict_bytes0)
+                .ok_or_else(|| CoreError::Corrupt("dictionary snapshot corrupt".into()))?,
+        );
+        self.tag_counts = Arc::clone(&ctx.tag_counts0);
+        self.value_counts = Arc::clone(&ctx.value_counts0);
         self.store.reload()?;
         self.bt_tag.reload_meta()?;
         self.bt_val.reload_meta()?;
@@ -675,8 +744,8 @@ pub(crate) struct TxnCtx<S: Storage> {
     handles: [TxnHandle<S>; 4],
     data_len0: u64,
     dict_bytes0: Vec<u8>,
-    tag_counts0: HashMap<TagCode, u64>,
-    value_counts0: HashMap<u64, u64>,
+    tag_counts0: Arc<HashMap<TagCode, u64>>,
+    value_counts0: Arc<HashMap<u64, u64>>,
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod planner;
 pub mod recovery;
 pub mod serialize;
 pub mod sigma;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod stream;
@@ -74,6 +75,7 @@ pub use plan::{
 pub use planner::PlanConfig;
 pub use recovery::RecoveryReport;
 pub use sigma::{TagCode, TagDict};
+pub use snapshot::{DbGeneration, Snapshot, SnapshotSource};
 pub use stats::DocStats;
 pub use store::{BuildOptions, NodeAddr, StructStore};
 pub use stream::{StreamHit, StreamMatcher};

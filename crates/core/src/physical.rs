@@ -204,6 +204,13 @@ impl<'a, S: Storage> PhysAccess<'a, S> {
         };
         let rec = IdRecord::from_bytes(&rec)?;
         match rec.value {
+            // A snapshot view may reference a record that a later commit
+            // tombstoned; the payload bytes are still intact, so read past
+            // the dead bit. The live path keeps the strict accessor — a
+            // tombstoned record reachable from live indexes is corruption.
+            Some((off, _len)) if self.store.is_view() => {
+                Ok(Some(self.data.lock_data().get_record_any(off)?))
+            }
             Some((off, _len)) => Ok(Some(self.data.lock_data().get_record(off)?)),
             None => Ok(None),
         }

@@ -14,6 +14,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use nok_pager::mvcc::{resolve_page, SnapView};
 use nok_pager::{BufferPool, PageId, Storage};
 use nok_xml::Event;
 
@@ -75,10 +76,10 @@ pub struct DirEntry {
     pub entries: u32,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Directory {
     /// Directory entries in chain order.
-    order: Vec<DirEntry>,
+    pub(crate) order: Vec<DirEntry>,
     /// page id -> rank in `order`.
     rank: HashMap<PageId, u32>,
 }
@@ -235,9 +236,12 @@ impl SkipIndex {
 
 /// Write guard over the directory that keeps the generation protocol: odd
 /// while a mutation is in flight, bumped back to even on drop. Derefs to
-/// [`Directory`] so update paths use it exactly like the raw guard.
+/// [`Directory`] so update paths use it exactly like the raw guard. The
+/// directory sits behind an `Arc` shared with published MVCC generations;
+/// the first mutation through the guard clones it (`Arc::make_mut`), so
+/// pinned snapshots keep the pre-transaction directory untouched.
 pub(crate) struct DirWriteGuard<'a> {
-    guard: RwLockWriteGuard<'a, Directory>,
+    guard: RwLockWriteGuard<'a, Arc<Directory>>,
     generation: &'a AtomicU64,
 }
 
@@ -250,7 +254,7 @@ impl Deref for DirWriteGuard<'_> {
 
 impl DerefMut for DirWriteGuard<'_> {
     fn deref_mut(&mut self) -> &mut Directory {
-        &mut self.guard
+        Arc::make_mut(&mut self.guard)
     }
 }
 
@@ -339,17 +343,26 @@ impl BuildSink for () {
 }
 
 /// The paged string representation of one document's subject tree.
+///
+/// A store constructed with [`StructStore::snapshot_view`] is a read-only
+/// *view* pinned to an MVCC generation: it shares the buffer pool but owns
+/// the generation's directory `Arc`, a private decode cache and skip index,
+/// and resolves every page read through the generation's before-image
+/// overlay — so the seqlock revalidation of the live store is unnecessary
+/// on the snapshot path (the view's directory never mutates).
 pub struct StructStore<S: Storage> {
     pool: Arc<BufferPool<S>>,
-    dir: RwLock<Directory>,
+    dir: RwLock<Arc<Directory>>,
     decoded: RwLock<HashMap<PageId, Arc<DecodedPage>>>,
     decode_cache_limit: usize,
-    node_count: u64,
+    node_count: AtomicU64,
     /// Lazily built directory skip index; valid only while its generation
     /// matches `dir_generation`.
     skip: RwLock<Option<Arc<SkipIndex>>>,
     /// Directory generation: even = stable, odd = mutation in flight.
     dir_generation: AtomicU64,
+    /// MVCC overlay for snapshot views; `None` on the live store.
+    view: Option<SnapView>,
 }
 
 /// Recover the guard from a poisoned lock. The directory and decode cache
@@ -473,12 +486,13 @@ impl<S: Storage> StructStore<S> {
         dir.rebuild_ranks();
         Ok(StructStore {
             pool,
-            dir: RwLock::new(dir),
+            dir: RwLock::new(Arc::new(dir)),
             decoded: RwLock::new(HashMap::new()),
             decode_cache_limit: 1024,
-            node_count,
+            node_count: AtomicU64::new(node_count),
             skip: RwLock::new(None),
             dir_generation: AtomicU64::new(0),
+            view: None,
         })
     }
 
@@ -511,13 +525,46 @@ impl<S: Storage> StructStore<S> {
         dir.rebuild_ranks();
         Ok(StructStore {
             pool,
+            dir: RwLock::new(Arc::new(dir)),
+            decoded: RwLock::new(HashMap::new()),
+            decode_cache_limit: 1024,
+            node_count: AtomicU64::new(node_count),
+            skip: RwLock::new(None),
+            dir_generation: AtomicU64::new(0),
+            view: None,
+        })
+    }
+
+    /// A read-only view of this store pinned to an MVCC generation: shares
+    /// the pool, owns the generation's directory and node count, and
+    /// resolves page reads through `view`'s overlay.
+    pub(crate) fn snapshot_view(
+        pool: Arc<BufferPool<S>>,
+        dir: Arc<Directory>,
+        node_count: u64,
+        view: SnapView,
+    ) -> Self {
+        StructStore {
+            pool,
             dir: RwLock::new(dir),
             decoded: RwLock::new(HashMap::new()),
             decode_cache_limit: 1024,
-            node_count,
+            node_count: AtomicU64::new(node_count),
             skip: RwLock::new(None),
             dir_generation: AtomicU64::new(0),
-        })
+            view: Some(view),
+        }
+    }
+
+    /// Is this store a snapshot view (reads resolve through an overlay)?
+    pub fn is_view(&self) -> bool {
+        self.view.is_some()
+    }
+
+    /// The current directory `Arc` (captured into MVCC generations at
+    /// commit — O(1), no deep copy).
+    pub(crate) fn dir_arc(&self) -> Arc<Directory> {
+        Arc::clone(&rd(&self.dir))
     }
 
     /// The buffer pool (exposes I/O statistics).
@@ -534,19 +581,20 @@ impl<S: Storage> StructStore<S> {
     /// index from storage, exactly as [`StructStore::open`] does. Called
     /// after a rollback discarded this store's dirty frames: the in-memory
     /// views may reflect the undone mutation.
-    pub fn reload(&mut self) -> CoreResult<()> {
+    pub fn reload(&self) -> CoreResult<()> {
         let fresh = StructStore::open(Arc::clone(&self.pool))?;
         *wr(&self.dir) = fresh.dir.into_inner().unwrap_or_else(|e| e.into_inner());
         wr(&self.decoded).clear();
         *wr(&self.skip) = None;
-        self.node_count = fresh.node_count;
+        self.node_count
+            .store(fresh.node_count.load(Ordering::Acquire), Ordering::Release);
         self.dir_generation.fetch_add(2, Ordering::AcqRel);
         Ok(())
     }
 
     /// Number of element nodes in the store.
     pub fn node_count(&self) -> u64 {
-        self.node_count
+        self.node_count.load(Ordering::Acquire)
     }
 
     /// Number of structural pages.
@@ -557,7 +605,7 @@ impl<S: Storage> StructStore<S> {
     /// Bytes of string content (the paper's |tree| column in Table 1).
     /// Every node contributes exactly 3 bytes (2-byte Σ char + 1-byte `)`).
     pub fn content_bytes(&self) -> u64 {
-        self.node_count * 3
+        self.node_count() * 3
     }
 
     /// Total footprint in bytes (pages × page size), the on-disk size.
@@ -615,9 +663,21 @@ impl<S: Storage> StructStore<S> {
         if let Some(p) = rd(&self.decoded).get(&id) {
             return Ok(Arc::clone(p));
         }
-        let handle = self.pool.get(id)?;
-        let page = DecodedPage::decode(&handle.read())
-            .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?;
+        let page = match &self.view {
+            // Snapshot view: resolve through the generation's overlay (the
+            // private decode cache above makes the copy a one-time cost).
+            Some(view) => {
+                let bytes = resolve_page(&self.pool, view, id)?;
+                DecodedPage::decode(&bytes)
+                    .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?
+            }
+            None => {
+                let handle = self.pool.get(id)?;
+                let decoded = DecodedPage::decode(&handle.read())
+                    .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?;
+                decoded
+            }
+        };
         let arc = Arc::new(page);
         let mut cache = wr(&self.decoded);
         if cache.len() >= self.decode_cache_limit {
@@ -720,8 +780,10 @@ impl<S: Storage> StructStore<S> {
         }
     }
 
-    pub(crate) fn bump_node_count(&mut self, delta: i64) {
-        self.node_count = (self.node_count as i64 + delta).max(0) as u64;
+    pub(crate) fn bump_node_count(&self, delta: i64) {
+        let cur = self.node_count.load(Ordering::Acquire) as i64;
+        self.node_count
+            .store((cur + delta).max(0) as u64, Ordering::Release);
     }
 }
 

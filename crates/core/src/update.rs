@@ -27,6 +27,7 @@
 //! header directory).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use nok_pager::Storage;
 
@@ -147,14 +148,14 @@ impl<S: Storage> XmlDb<S> {
                                 ));
                             }
                         }
-                        let tag = self.dict.intern(&name);
+                        let tag = Arc::make_mut(&mut self.dict).intern(&name);
                         let dewey = walker.on_open();
                         let level = dewey.level() as u16;
                         new_nodes.push((dewey.clone(), tag, level, new_entries.len()));
                         new_entries.push(Entry::Open(tag));
                         text_stack.push(String::new());
                         for a in &attrs {
-                            let atag = self.dict.intern_attr(&a.name);
+                            let atag = Arc::make_mut(&mut self.dict).intern_attr(&a.name);
                             let adewey = walker.on_open();
                             new_nodes.push((adewey.clone(), atag, level + 1, new_entries.len()));
                             new_entries.push(Entry::Open(atag));
@@ -225,7 +226,9 @@ impl<S: Storage> XmlDb<S> {
             let (off, len) = self.data.lock_data().put(text)?;
             value_map.insert(dewey.to_key(), (off, len));
             self.bt_val.insert(&hash_key(text), &dewey.to_key())?;
-            *self.value_counts.entry(hash_value(text)).or_insert(0) += 1;
+            *Arc::make_mut(&mut self.value_counts)
+                .entry(hash_value(text))
+                .or_insert(0) += 1;
         }
         for (dewey, tag, level, rel_idx) in &new_nodes {
             let addr = addr_of[ip + rel_idx];
@@ -242,7 +245,7 @@ impl<S: Storage> XmlDb<S> {
             };
             self.bt_tag
                 .insert(&tag_posting_key(*tag, dewey), &posting.to_bytes())?;
-            *self.tag_counts.entry(*tag).or_insert(0) += 1;
+            *Arc::make_mut(&mut self.tag_counts).entry(*tag).or_insert(0) += 1;
         }
         let opens = new_nodes.len() as i64;
         self.store.bump_node_count(opens);
@@ -344,10 +347,11 @@ impl<S: Storage> XmlDb<S> {
                     let h = hash_key(&text);
                     self.bt_val.delete(&h, Some(&key))?;
                     let hv = hash_value(&text);
-                    if let Some(c) = self.value_counts.get_mut(&hv) {
+                    let vc = Arc::make_mut(&mut self.value_counts);
+                    if let Some(c) = vc.get_mut(&hv) {
                         *c = c.saturating_sub(1);
                         if *c == 0 {
-                            self.value_counts.remove(&hv);
+                            vc.remove(&hv);
                         }
                     }
                     // Tombstone the record at commit unless another node
@@ -368,7 +372,7 @@ impl<S: Storage> XmlDb<S> {
             }
             self.bt_id.delete(&key, None)?;
             self.bt_tag.delete(&tag_posting_key(*tag, dewey), None)?;
-            if let Some(c) = self.tag_counts.get_mut(tag) {
+            if let Some(c) = Arc::make_mut(&mut self.tag_counts).get_mut(tag) {
                 *c = c.saturating_sub(1);
             }
         }

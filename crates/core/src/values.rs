@@ -195,6 +195,18 @@ impl DataFile {
         String::from_utf8(payload).map_err(|_| CoreError::Corrupt("non-UTF8 value record".into()))
     }
 
+    /// Read the record at `offset` whether or not it has been tombstoned.
+    /// Snapshot readers pinned at an older generation use this: a record
+    /// live at their epoch may be marked dead by a later commit, but
+    /// tombstoning only sets the length's dead bit — the payload bytes
+    /// stay intact for as long as the file lives.
+    pub fn get_record_any(&mut self, offset: u64) -> CoreResult<String> {
+        let (len, _dead) = self.record_span(offset)?;
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact_at(offset + 4, &mut payload)?;
+        String::from_utf8(payload).map_err(|_| CoreError::Corrupt("non-UTF8 value record".into()))
+    }
+
     /// Payload length and tombstone flag of the record at `offset` — the
     /// raw accessor integrity scans use to walk the file without tripping
     /// over dead records.

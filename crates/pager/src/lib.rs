@@ -20,6 +20,7 @@
 
 pub mod error;
 pub mod failpoint;
+pub mod mvcc;
 pub mod pool;
 pub mod stats;
 pub mod storage;
@@ -27,6 +28,10 @@ pub mod wal;
 
 pub use error::{PagerError, PagerResult};
 pub use failpoint::{FailPlan, FailpointStorage};
+pub use mvcc::{
+    CaptureCell, CowMap, EpochArc, GenTicket, GenerationStats, GenerationTable, PageChain,
+    SnapView, SnapshotGuard,
+};
 pub use pool::{BufferPool, PageHandle, PageRead, PageWrite, TxnHandle};
 pub use stats::IoStats;
 pub use storage::{FileStorage, MemStorage, PageId, Storage, DEFAULT_PAGE_SIZE};

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{PagerError, PagerResult};
+use crate::mvcc::CaptureCell;
 use crate::stats::IoStats;
 use crate::storage::{PageId, Storage};
 
@@ -63,11 +64,21 @@ type Shard = HashMap<PageId, Frame>;
 /// A pinned page. Holding the handle keeps the page in the pool; dropping it
 /// makes the frame evictable again. Obtain the bytes with [`PageHandle::read`]
 /// or [`PageHandle::write`] (the latter marks the page dirty).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PageHandle {
     id: PageId,
     data: Arc<RwLock<Box<[u8]>>>,
     dirty: Arc<AtomicBool>,
+    /// The owning pool's capture cell: the first write to this page inside
+    /// a transaction publishes its before-image for snapshot readers
+    /// *before* mutating the frame. `None` only for cache-less handles.
+    capture: Option<Arc<CaptureCell>>,
+}
+
+impl std::fmt::Debug for PageHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageHandle").field("id", &self.id).finish()
+    }
 }
 
 /// Shared read access to a page's bytes (an RAII guard).
@@ -129,8 +140,17 @@ impl PageHandle {
         PageRead(read_lock(&self.data))
     }
 
-    /// Mutable view of the page bytes; marks the page dirty.
+    /// Mutable view of the page bytes; marks the page dirty. If the pool's
+    /// capture cell is active and this is the page's first write in the
+    /// transaction, its before-image is published *before* the write lock
+    /// is taken, so snapshot readers re-checking the cell never observe
+    /// mid-transaction bytes.
     pub fn write(&self) -> PageWrite<'_> {
+        if let Some(cell) = &self.capture {
+            if cell.needs(self.id) {
+                cell.capture(self.id, &read_lock(&self.data));
+            }
+        }
         self.dirty.store(true, Ordering::Release);
         PageWrite(write_lock(&self.data))
     }
@@ -156,6 +176,8 @@ pub struct BufferPool<S: Storage> {
     /// (no-steal): rollback discards them, and the write-ahead log has not
     /// seen them yet. Eviction skips dirty frames while this is set.
     txn_active: AtomicBool,
+    /// Before-image capture for MVCC snapshot readers (see [`crate::mvcc`]).
+    capture: Arc<CaptureCell>,
 }
 
 impl<S: Storage> BufferPool<S> {
@@ -184,7 +206,14 @@ impl<S: Storage> BufferPool<S> {
             page_size,
             stats: IoStats::default(),
             txn_active: AtomicBool::new(false),
+            capture: Arc::new(CaptureCell::new()),
         }
+    }
+
+    /// This pool's before-image capture cell (inactive until a transaction
+    /// layer activates it).
+    pub fn capture_cell(&self) -> &Arc<CaptureCell> {
+        &self.capture
     }
 
     /// Page size of the underlying storage.
@@ -229,6 +258,7 @@ impl<S: Storage> BufferPool<S> {
                 id,
                 data: Arc::new(RwLock::new(buf)),
                 dirty: Arc::new(AtomicBool::new(false)),
+                capture: None,
             });
         }
         // Fast path: shard read lock, atomics only.
@@ -240,6 +270,7 @@ impl<S: Storage> BufferPool<S> {
                     id,
                     data: Arc::clone(&frame.data),
                     dirty: Arc::clone(&frame.dirty),
+                    capture: Some(Arc::clone(&self.capture)),
                 });
             }
         }
@@ -257,6 +288,7 @@ impl<S: Storage> BufferPool<S> {
                     id,
                     data: Arc::clone(&frame.data),
                     dirty: Arc::clone(&frame.dirty),
+                    capture: Some(Arc::clone(&self.capture)),
                 }
             } else {
                 let mut buf = vec![0u8; self.page_size].into_boxed_slice();
@@ -289,6 +321,7 @@ impl<S: Storage> BufferPool<S> {
                     id,
                     data: Arc::new(RwLock::new(buf)),
                     dirty: Arc::new(AtomicBool::new(true)),
+                    capture: None,
                 },
             ));
         }
@@ -319,7 +352,12 @@ impl<S: Storage> BufferPool<S> {
             },
         );
         self.frames.fetch_add(1, Ordering::AcqRel);
-        PageHandle { id, data, dirty }
+        PageHandle {
+            id,
+            data,
+            dirty,
+            capture: Some(Arc::clone(&self.capture)),
+        }
     }
 
     /// Evict LRU unpinned frames until there is room for one more. Pinned

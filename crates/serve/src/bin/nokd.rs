@@ -256,17 +256,29 @@ fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
         }
         Request::Explain { id, path } => {
             // Explain runs on the connection thread, not through the worker
-            // queue: it is a diagnostic, planned and executed afresh so the
-            // estimated-vs-actual comparison reflects this exact run.
-            let response = match svc.db().explain(&path, QueryOptions::default()) {
+            // queue: it is a diagnostic, planned and executed afresh (on its
+            // own pinned snapshot) so the estimated-vs-actual comparison
+            // reflects this exact run.
+            let response = match svc.snapshot().map_err(|e| e.to_string()).and_then(|snap| {
+                snap.explain(&path, QueryOptions::default())
+                    .map_err(|e| e.to_string())
+            }) {
                 Ok((matches, explain)) => explain_ok(id, matches.len(), &explain),
-                Err(e) => error_response(id, "engine", &e.to_string()),
+                Err(e) => error_response(id, "engine", &e),
             };
             (response, false)
         }
         Request::Stats { id } => {
             let m = svc.metrics();
-            let io = svc.db().store().pool().stats();
+            let g = svc.generation_stats();
+            let snap = svc.snapshot().ok();
+            let (entries_examined, dir_entries_examined) = snap
+                .as_ref()
+                .map(|s| {
+                    let io = s.store().pool().stats();
+                    (io.entries_examined(), io.dir_entries_examined())
+                })
+                .unwrap_or((0, 0));
             let response = Json::obj(vec![
                 ("id", Json::Num(id as f64)),
                 ("status", Json::Str("ok".into())),
@@ -296,18 +308,24 @@ fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
                             Json::Num(m.plan_misses.load(Ordering::Relaxed) as f64),
                         ),
                         (
-                            "plan_cache_invalidations",
-                            Json::Num(m.plan_invalidations.load(Ordering::Relaxed) as f64),
+                            "plan_cache_stale",
+                            Json::Num(m.plan_stale.load(Ordering::Relaxed) as f64),
                         ),
                         ("plan_cache_size", Json::Num(svc.plan_cache_len() as f64)),
+                        ("generations_live", Json::Num(g.live_generations() as f64)),
+                        (
+                            "generations_retired",
+                            Json::Num(g.retired_generations() as f64),
+                        ),
+                        ("pinned_readers", Json::Num(g.pinned_readers() as f64)),
                         ("p50_us", Json::Num(m.latency.quantile_micros(0.50) as f64)),
                         ("p99_us", Json::Num(m.latency.quantile_micros(0.99) as f64)),
                         ("mean_us", Json::Num(m.latency.mean_micros() as f64)),
                         ("pool_hit_ratio", Json::Num(svc.pool_hit_ratio())),
-                        ("entries_examined", Json::Num(io.entries_examined() as f64)),
+                        ("entries_examined", Json::Num(entries_examined as f64)),
                         (
                             "dir_entries_examined",
-                            Json::Num(io.dir_entries_examined() as f64),
+                            Json::Num(dir_entries_examined as f64),
                         ),
                     ]),
                 ),

@@ -3,26 +3,31 @@
 //! The paper's engine ([`nok_core::XmlDb`]) evaluates one query at a time;
 //! this crate turns a read-only database directory into a *service*:
 //!
-//! * [`QueryService`] — a worker-pool executor sharing one
-//!   `Arc<XmlDb<S>>` snapshot behind the thread-safe buffer pool, with a
+//! * [`QueryService`] — a worker-pool executor whose workers serve from
+//!   pinned MVCC snapshots over the thread-safe buffer pool, with a
 //!   bounded admission queue, per-query deadlines, and aggregate metrics.
 //! * [`proto`] — the length-prefixed newline-JSON wire protocol spoken by
 //!   the `nokd` server binary and the `nokq` client binary.
 //! * [`metrics`] — lock-free counters and a log2-bucket latency histogram
 //!   (p50/p99 without per-request allocation).
 //! * [`plan_cache`] — a bounded cache of planned queries keyed by
-//!   normalized query text, invalidated by the store's commit generation.
+//!   normalized query text; each entry is tagged with the commit
+//!   generation it was planned under and dropped individually when a
+//!   lookup arrives from a newer snapshot.
 //! * [`json`] — the minimal JSON reader/writer the protocol rides on
 //!   (the build is offline, so no serde).
 //!
-//! Concurrency model in one paragraph: the database is opened once and
-//! never mutated while served. Every worker reads pages through the sharded
-//! buffer pool, which evicts unpinned LRU frames when the configured
-//! capacity (`nokd` caps the structural pool at 256 frames) is exceeded.
-//! Overload degrades gracefully: a full queue rejects with
+//! Concurrency model in one paragraph: every worker pins an immutable
+//! MVCC generation (lock-free — two atomic RMWs) and serves queries from
+//! that snapshot, re-pinning only when the commit generation moves; a
+//! single writer may commit new generations concurrently (see
+//! [`QueryService::start_from_source`]). Workers read pages through the
+//! sharded buffer pool, which evicts unpinned LRU frames when the
+//! configured capacity (`nokd` caps the structural pool at 256 frames) is
+//! exceeded. Overload degrades gracefully: a full queue rejects with
 //! [`QueryError::QueueFull`], a missed deadline returns
 //! [`QueryError::Timeout`], and worker threads survive both engine errors
-//! and timeouts. See DESIGN.md §9 for the full treatment.
+//! and timeouts. See DESIGN.md §9 and §14 for the full treatment.
 
 pub mod json;
 pub mod metrics;

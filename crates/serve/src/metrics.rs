@@ -92,8 +92,9 @@ pub struct ServerMetrics {
     pub plan_hits: AtomicU64,
     /// Plan-cache lookups that had to plan from scratch.
     pub plan_misses: AtomicU64,
-    /// Times the plan cache was cleared by a commit-generation change.
-    pub plan_invalidations: AtomicU64,
+    /// Plan-cache lookups that dropped an entry planned under an older
+    /// commit generation.
+    pub plan_stale: AtomicU64,
     /// End-to-end latency of successful queries.
     pub latency: LatencyHistogram,
 }
@@ -103,14 +104,14 @@ impl ServerMetrics {
     pub fn summary(&self) -> String {
         format!(
             "served={} rejected={} timed_out={} failed={} plan_hits={} plan_misses={} \
-             plan_invalidations={} p50_us={} p99_us={} mean_us={}",
+             plan_stale={} p50_us={} p99_us={} mean_us={}",
             self.served.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.timed_out.load(Ordering::Relaxed),
             self.failed.load(Ordering::Relaxed),
             self.plan_hits.load(Ordering::Relaxed),
             self.plan_misses.load(Ordering::Relaxed),
-            self.plan_invalidations.load(Ordering::Relaxed),
+            self.plan_stale.load(Ordering::Relaxed),
             self.latency.quantile_micros(0.50),
             self.latency.quantile_micros(0.99),
             self.latency.mean_micros(),

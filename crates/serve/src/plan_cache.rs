@@ -1,13 +1,16 @@
-//! A bounded plan cache keyed by normalized query text.
+//! A bounded plan cache keyed by normalized query text, with per-entry
+//! commit-generation tags.
 //!
 //! Planning is cheap but not free (parse + partition + cost), and a serving
 //! workload repeats a small set of query shapes; caching the planned query
-//! lets the worker hot path go straight to the executor. Invalidation is by
-//! **commit generation**: [`nok_core::XmlDb::commit_generation`] bumps once
-//! per durably committed update transaction, and a lookup presented with a
-//! newer generation than the cache was filled under clears the whole cache
-//! (the stats every cached plan was costed from are stale). Rolled-back
-//! transactions do not bump the generation and do not invalidate.
+//! lets the worker hot path go straight to the executor. Each entry is
+//! tagged with the **commit generation** it was planned under
+//! ([`nok_core::XmlDb::commit_generation`] bumps once per durably committed
+//! update transaction). A lookup presented with a newer generation than the
+//! entry's tag drops just that entry — the stats it was costed from are
+//! stale — and counts as *stale*; entries for other query shapes survive
+//! untouched, so one commit no longer evicts the whole working set. Rolled
+//! back transactions do not bump the generation and do not invalidate.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -17,24 +20,28 @@ use nok_core::PlannedQuery;
 /// Outcome of one cache lookup.
 #[derive(Debug)]
 pub struct CacheLookup {
-    /// The cached plan, if the key was present under the current
-    /// generation.
+    /// The cached plan, if the key was present with a matching generation
+    /// tag.
     pub plan: Option<Arc<PlannedQuery>>,
-    /// Whether this lookup observed a generation change and dropped the
-    /// cache contents.
-    pub invalidated: bool,
+    /// Whether this lookup found an entry planned under an older generation
+    /// and dropped it.
+    pub stale: bool,
+}
+
+struct Entry {
+    /// Commit generation this plan was costed under.
+    generation: u64,
+    plan: Arc<PlannedQuery>,
 }
 
 struct CacheInner {
-    /// Commit generation the current contents were planned under.
-    generation: u64,
-    map: HashMap<String, Arc<PlannedQuery>>,
+    map: HashMap<String, Entry>,
     /// Insertion order, oldest first (FIFO eviction at capacity).
     order: VecDeque<String>,
 }
 
-/// A bounded, generation-invalidated plan cache. Thread-safe; shared by all
-/// service workers.
+/// A bounded plan cache with per-entry generation invalidation.
+/// Thread-safe; shared by all service workers.
 pub struct PlanCache {
     cap: usize,
     inner: Mutex<CacheInner>,
@@ -51,43 +58,52 @@ impl PlanCache {
         PlanCache {
             cap,
             inner: Mutex::new(CacheInner {
-                generation: 0,
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
         }
     }
 
-    /// Look `key` up under commit generation `generation`. A generation
-    /// newer than the cache contents clears them first.
+    /// Look `key` up under commit generation `generation`. An entry tagged
+    /// with an older generation is dropped (stale); an entry tagged with the
+    /// same generation is a hit. Entries tagged *newer* — planned by a
+    /// worker already on the next snapshot — are also treated as stale for
+    /// this reader rather than served, since the plan's costs describe a
+    /// state this reader cannot see.
     pub fn lookup(&self, key: &str, generation: u64) -> CacheLookup {
         let mut inner = lock(&self.inner);
-        let mut invalidated = false;
-        if inner.generation != generation {
-            invalidated = !inner.map.is_empty();
-            inner.map.clear();
-            inner.order.clear();
-            inner.generation = generation;
-        }
-        CacheLookup {
-            plan: inner.map.get(key).cloned(),
-            invalidated,
+        match inner.map.get(key) {
+            Some(e) if e.generation == generation => CacheLookup {
+                plan: Some(Arc::clone(&e.plan)),
+                stale: false,
+            },
+            Some(_) => {
+                inner.map.remove(key);
+                inner.order.retain(|k| k != key);
+                CacheLookup {
+                    plan: None,
+                    stale: true,
+                }
+            }
+            None => CacheLookup {
+                plan: None,
+                stale: false,
+            },
         }
     }
 
-    /// Insert a plan computed under commit generation `generation`. Ignored
-    /// if the cache has moved to a different generation in the meantime (the
-    /// plan may already be stale).
+    /// Insert a plan computed under commit generation `generation`. An
+    /// existing entry for the key is replaced only if it is not newer (a
+    /// worker still on an older snapshot must not clobber a fresher plan).
     pub fn insert(&self, key: String, generation: u64, plan: Arc<PlannedQuery>) {
         if self.cap == 0 {
             return;
         }
         let mut inner = lock(&self.inner);
-        if inner.generation != generation {
-            return;
-        }
-        if inner.map.contains_key(&key) {
-            inner.map.insert(key, plan);
+        if let Some(existing) = inner.map.get_mut(&key) {
+            if existing.generation <= generation {
+                *existing = Entry { generation, plan };
+            }
             return;
         }
         while inner.map.len() >= self.cap {
@@ -99,7 +115,7 @@ impl PlanCache {
             }
         }
         inner.order.push_back(key.clone());
-        inner.map.insert(key, plan);
+        inner.map.insert(key, Entry { generation, plan });
     }
 
     /// Number of cached plans.
@@ -164,16 +180,38 @@ mod tests {
     }
 
     #[test]
-    fn generation_change_invalidates() {
+    fn generation_change_drops_only_the_stale_entry() {
+        let db = XmlDb::build_in_memory("<a><b/><c/></a>").unwrap();
+        let cache = PlanCache::new(4);
+        cache.insert("//b".into(), 0, planned(&db, "//b"));
+        cache.insert("//c".into(), 0, planned(&db, "//c"));
+        let l = cache.lookup("//b", 1);
+        assert!(l.plan.is_none());
+        assert!(l.stale);
+        // Only the looked-up entry is dropped; //c survives until touched.
+        assert_eq!(cache.len(), 1);
+        assert!(
+            cache.lookup("//c", 0).plan.is_some(),
+            "untouched entry kept"
+        );
+        // Subsequent lookups at the new generation are plain misses.
+        let l = cache.lookup("//b", 1);
+        assert!(!l.stale);
+        assert!(l.plan.is_none());
+    }
+
+    #[test]
+    fn stale_entry_is_replaced_not_resurrected() {
         let db = XmlDb::build_in_memory("<a><b/></a>").unwrap();
         let cache = PlanCache::new(4);
         cache.insert("//b".into(), 0, planned(&db, "//b"));
-        let l = cache.lookup("//b", 1);
-        assert!(l.plan.is_none());
-        assert!(l.invalidated);
-        assert!(cache.is_empty());
-        // Subsequent lookups at the new generation are plain misses.
-        assert!(!cache.lookup("//b", 1).invalidated);
+        assert!(cache.lookup("//b", 3).stale);
+        cache.insert("//b".into(), 3, planned(&db, "//b"));
+        assert!(cache.lookup("//b", 3).plan.is_some());
+        // An older-generation insert must not clobber the fresher plan.
+        cache.insert("//b".into(), 1, planned(&db, "//b"));
+        assert!(cache.lookup("//b", 3).plan.is_some());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -197,7 +235,7 @@ mod tests {
     }
 
     #[test]
-    fn committed_update_bumps_generation_and_invalidates() {
+    fn committed_update_bumps_generation_and_staleness() {
         let mut db = XmlDb::build_in_memory("<a><b>x</b></a>").unwrap();
         let cache = PlanCache::new(4);
         let g0 = db.commit_generation();
@@ -211,7 +249,7 @@ mod tests {
         assert!(g1 > g0, "commit must bump the generation");
         let l = cache.lookup("//b", g1);
         assert!(l.plan.is_none());
-        assert!(l.invalidated, "committed txn invalidates cached plans");
+        assert!(l.stale, "committed txn stales cached plans");
 
         // …and a failed (rolled-back) update must not.
         cache.insert("//b".into(), g1, planned(&db, "//b"));

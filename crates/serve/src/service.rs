@@ -1,12 +1,15 @@
 //! The concurrent query service: a fixed worker pool draining a bounded
-//! admission queue over one shared, read-only [`XmlDb`] snapshot.
+//! admission queue, each worker evaluating against a pinned MVCC
+//! [`Snapshot`] of the database.
 //!
 //! Design notes:
 //!
-//! * **Snapshot sharing.** The database handle is `Arc<XmlDb<S>>`; every
-//!   worker evaluates against the same storage through the thread-safe
-//!   buffer pool. Writes are not served — the snapshot is immutable for the
-//!   service's lifetime (see DESIGN.md §9).
+//! * **Snapshot pinning.** Every worker pins the newest published
+//!   generation (see DESIGN.md §14) and serves queries against that
+//!   immutable view; when a committed update publishes a newer generation
+//!   the worker re-pins before its next job. Pinning is lock-free, so a
+//!   concurrent writer — updating through `&mut XmlDb` while the service
+//!   reads through a [`SnapshotSource`] — never blocks the read path.
 //! * **Bounded admission.** `submit` fails fast with
 //!   [`QueryError::QueueFull`] when `queue_cap` requests are already
 //!   waiting, so overload degrades by rejecting instead of by growing
@@ -22,8 +25,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nok_core::{QueryMatch, QueryOptions, QueryScratch, XmlDb};
-use nok_pager::Storage;
+use nok_core::{QueryMatch, QueryOptions, QueryScratch, Snapshot, SnapshotSource, XmlDb};
+use nok_pager::{GenerationStats, Storage};
 
 use crate::metrics::ServerMetrics;
 use crate::plan_cache::{normalize_query, PlanCache};
@@ -95,7 +98,12 @@ struct Job {
 }
 
 struct Inner<S: Storage> {
-    db: Arc<XmlDb<S>>,
+    /// The live handle, when the service was started over one. Absent for
+    /// services started from a bare [`SnapshotSource`] (a writer elsewhere
+    /// owns the database exclusively).
+    db: Option<Arc<XmlDb<S>>>,
+    /// Pins worker snapshots; never borrows the database.
+    source: SnapshotSource<S>,
     queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
     shutdown: AtomicBool,
@@ -118,8 +126,26 @@ pub struct QueryService<S: Storage + Send + 'static> {
 impl<S: Storage + Send + 'static> QueryService<S> {
     /// Start `config.workers` worker threads over a shared database.
     pub fn start(db: Arc<XmlDb<S>>, config: ServiceConfig) -> Self {
+        let source = db.snapshot_source();
+        Self::start_inner(Some(db), source, config)
+    }
+
+    /// Start the service from a bare [`SnapshotSource`], with no handle to
+    /// the live database. Use this when a writer owns the `XmlDb`
+    /// exclusively (`&mut`) and commits updates while the service reads:
+    /// workers keep pinning the newest published generation, lock-free.
+    pub fn start_from_source(source: SnapshotSource<S>, config: ServiceConfig) -> Self {
+        Self::start_inner(None, source, config)
+    }
+
+    fn start_inner(
+        db: Option<Arc<XmlDb<S>>>,
+        source: SnapshotSource<S>,
+        config: ServiceConfig,
+    ) -> Self {
         let inner = Arc::new(Inner {
             db,
+            source,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -220,12 +246,30 @@ impl<S: Storage + Send + 'static> QueryService<S> {
     /// Buffer-pool hit ratio of the structural store (the shared pool the
     /// serving layer exists to exercise).
     pub fn pool_hit_ratio(&self) -> f64 {
-        self.inner.db.store().pool().stats().hit_ratio()
+        match self.inner.source.snapshot() {
+            Ok(s) => s.store().pool().stats().hit_ratio(),
+            Err(_) => 0.0,
+        }
     }
 
-    /// The shared database handle.
-    pub fn db(&self) -> &Arc<XmlDb<S>> {
-        &self.inner.db
+    /// The shared database handle, when the service was started over one
+    /// (`None` for source-started services — a writer owns the database).
+    pub fn db(&self) -> Option<&Arc<XmlDb<S>>> {
+        self.inner.db.as_ref()
+    }
+
+    /// Pin a snapshot of the newest published generation (for read-only
+    /// side channels such as `explain` that bypass the worker pool).
+    pub fn snapshot(&self) -> Result<Snapshot<S>, QueryError> {
+        self.inner
+            .source
+            .snapshot()
+            .map_err(|e| QueryError::Engine(e.to_string()))
+    }
+
+    /// Generation reclamation gauges (pinned readers, live/retired counts).
+    pub fn generation_stats(&self) -> &Arc<GenerationStats> {
+        self.inner.source.generation_stats()
     }
 
     /// Number of plans currently cached.
@@ -255,6 +299,10 @@ fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
     // for bookkeeping.
     let mut scratch = QueryScratch::new();
     let mut results: Vec<QueryMatch> = Vec::new();
+    // The worker's pinned snapshot. Kept across jobs (re-assembling the
+    // view per query would throw away its decode caches) and re-pinned
+    // only when a commit has published a newer generation.
+    let mut snap: Option<Snapshot<S>> = None;
     loop {
         let job = {
             let mut queue = lock(&inner.queue);
@@ -279,7 +327,23 @@ fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
             deliver(&job.slot, Err(QueryError::Timeout));
             continue;
         }
-        let outcome = run_query(inner, &job, &mut scratch, &mut results);
+        let current = inner.source.current_epoch();
+        if snap.as_ref().map(|s| s.epoch()) != Some(current) {
+            match inner.source.snapshot() {
+                Ok(s) => snap = Some(s),
+                Err(e) => {
+                    inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    deliver(&job.slot, Err(QueryError::Engine(e.to_string())));
+                    continue;
+                }
+            }
+        }
+        let Some(view) = snap.as_ref() else {
+            // Unreachable: the branch above either pinned or continued.
+            deliver(&job.slot, Err(QueryError::Shutdown));
+            continue;
+        };
+        let outcome = run_query(inner, view, &job, &mut scratch, &mut results);
         match outcome {
             Ok(()) => {
                 inner.metrics.served.fetch_add(1, Ordering::Relaxed);
@@ -294,25 +358,24 @@ fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
     }
 }
 
-/// Evaluate one job: look the plan up in the shared cache (keyed by the
-/// forced strategy + normalized query text, under the store's commit
-/// generation), planning from scratch on a miss, then execute it with the
-/// worker's pooled scratch buffers. The cache-hit path parses nothing and
-/// plans nothing — it goes straight to the operator executor.
+/// Evaluate one job against the worker's pinned snapshot: look the plan up
+/// in the shared cache (keyed by the forced strategy + normalized query
+/// text, tagged with the snapshot's commit epoch), planning from scratch
+/// on a miss, then execute it with the worker's pooled scratch buffers.
+/// The cache-hit path parses nothing and plans nothing — it goes straight
+/// to the operator executor.
 fn run_query<S: Storage + Send + 'static>(
     inner: &Inner<S>,
+    view: &Snapshot<S>,
     job: &Job,
     scratch: &mut QueryScratch,
     results: &mut Vec<QueryMatch>,
 ) -> nok_core::CoreResult<()> {
     let key = format!("{:?}|{}", job.opts.strategy, normalize_query(&job.path));
-    let generation = inner.db.commit_generation();
-    let looked = inner.plan_cache.lookup(&key, generation);
-    if looked.invalidated {
-        inner
-            .metrics
-            .plan_invalidations
-            .fetch_add(1, Ordering::Relaxed);
+    let epoch = view.epoch();
+    let looked = inner.plan_cache.lookup(&key, epoch);
+    if looked.stale {
+        inner.metrics.plan_stale.fetch_add(1, Ordering::Relaxed);
     }
     let planned = match looked.plan {
         Some(p) => {
@@ -321,12 +384,12 @@ fn run_query<S: Storage + Send + 'static>(
         }
         None => {
             inner.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
-            let p = Arc::new(inner.db.plan_query(&job.path, job.opts)?);
-            inner.plan_cache.insert(key, generation, Arc::clone(&p));
+            let p = Arc::new(view.plan_query(&job.path, job.opts)?);
+            inner.plan_cache.insert(key, epoch, Arc::clone(&p));
             p
         }
     };
-    inner.db.execute_plan(&planned, scratch, results)
+    view.execute_plan(&planned, scratch, results)
 }
 
 fn deliver(slot: &ResponseSlot, result: Result<Vec<QueryMatch>, QueryError>) {
@@ -463,6 +526,33 @@ mod tests {
         assert_eq!(m.plan_misses.load(Ordering::Relaxed), 2);
         assert_eq!(m.plan_hits.load(Ordering::Relaxed), 1);
         assert_eq!(svc.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn source_started_service_serves_while_writer_commits() {
+        let mut db = XmlDb::build_in_memory(BIB).unwrap();
+        let svc = QueryService::start_from_source(
+            db.snapshot_source(),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 16,
+                default_timeout: Duration::from_secs(5),
+                plan_cache_cap: 64,
+            },
+        );
+        assert!(svc.db().is_none(), "source-started service holds no db");
+        assert_eq!(svc.query("//book").unwrap().len(), 2);
+        // The writer still owns `db` exclusively and commits an update…
+        let book = db.query("//book").unwrap()[0].dewey.clone();
+        db.insert_last_child(&book, "<note>n</note>").unwrap();
+        // …and the worker re-pins the new generation at its next job.
+        assert_eq!(svc.query("//note").unwrap().len(), 1);
+        // The //book plan cached under epoch 0 is now stale: dropped and
+        // replanned, counted once.
+        assert_eq!(svc.query("//book").unwrap().len(), 2);
+        let m = svc.metrics();
+        assert_eq!(m.plan_stale.load(Ordering::Relaxed), 1);
+        assert_eq!(m.plan_misses.load(Ordering::Relaxed), 3);
     }
 
     #[test]

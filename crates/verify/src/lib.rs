@@ -412,10 +412,80 @@ pub fn verify_db<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions) -> Report {
     let mut scan = scan_chain(db.store().pool());
     directory_checks(db.store(), &mut scan);
     index_checks(db, opts, &mut scan);
+    generation_checks(db, &mut scan.violations);
     Report {
         violations: scan.violations,
         pages: scan.chain.len() as u32,
         nodes: scan.opens,
+    }
+}
+
+/// The newest published MVCC generation must be self-consistent with the
+/// committed state it represents: same epoch as the commit counter, same
+/// node count, structural page count, B+ tree roots and entry counts, and
+/// data-file length. A divergence means snapshot readers pinned *now*
+/// would see a database that never existed.
+fn generation_checks<S: Storage>(db: &XmlDb<S>, v: &mut Vec<Violation>) {
+    let snap = match db.snapshot() {
+        Ok(s) => s,
+        Err(e) => {
+            v.push(Violation::RecordCorrupt {
+                what: "generation pin",
+                detail: e.to_string(),
+            });
+            return;
+        }
+    };
+    let g = snap.generation();
+    let roots = g.btree_roots();
+    let trees = [
+        (
+            "B+t root page",
+            db.bt_tag().root_page() as u64,
+            roots[0].0 as u64,
+        ),
+        ("B+t entry count", db.bt_tag().len(), roots[0].1),
+        (
+            "B+v root page",
+            db.bt_val().root_page() as u64,
+            roots[1].0 as u64,
+        ),
+        ("B+v entry count", db.bt_val().len(), roots[1].1),
+        (
+            "B+i root page",
+            db.bt_id().root_page() as u64,
+            roots[2].0 as u64,
+        ),
+        ("B+i entry count", db.bt_id().len(), roots[2].1),
+    ];
+    let checks = [
+        ("epoch", db.commit_generation(), g.epoch()),
+        ("node count", db.store().node_count(), g.node_count()),
+        (
+            "structural page count",
+            db.store().chain_len() as u64,
+            g.page_count(),
+        ),
+    ];
+    for (field, expected, found) in checks.into_iter().chain(trees) {
+        if expected != found {
+            v.push(Violation::GenerationMismatch {
+                field,
+                expected,
+                found,
+            });
+        }
+    }
+    // The published data-file length is a visibility horizon: records at
+    // or past it are invisible to snapshot readers. A horizon *beyond* the
+    // file is corruption; a horizon behind it is just an uncommitted tail.
+    let file_len = db.data_cell().lock_data().len_bytes();
+    if g.data_len() > file_len {
+        v.push(Violation::GenerationMismatch {
+            field: "data-file length",
+            expected: file_len,
+            found: g.data_len(),
+        });
     }
 }
 

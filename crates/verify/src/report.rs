@@ -198,6 +198,16 @@ pub enum Violation {
         /// Parse failure detail.
         detail: String,
     },
+    /// The published MVCC generation disagrees with the committed state it
+    /// claims to represent (see DESIGN.md §14).
+    GenerationMismatch {
+        /// Which published field diverged (epoch, node count, …).
+        field: &'static str,
+        /// Value held by the live committed state.
+        expected: u64,
+        /// Value the published generation carries.
+        found: u64,
+    },
 }
 
 impl Violation {
@@ -229,6 +239,7 @@ impl Violation {
             Violation::TagOrderViolation { .. } => "tag-order-violation",
             Violation::BTreeStructure { .. } => "btree-structure",
             Violation::RecordCorrupt { .. } => "record-corrupt",
+            Violation::GenerationMismatch { .. } => "generation-mismatch",
         }
     }
 
@@ -367,6 +378,15 @@ impl Violation {
                 obj.str("what", what);
                 obj.str("detail", detail);
             }
+            Violation::GenerationMismatch {
+                field,
+                expected,
+                found,
+            } => {
+                obj.str("field", field);
+                obj.num("expected", *expected);
+                obj.num("found", *found);
+            }
         }
         obj.finish()
     }
@@ -482,6 +502,14 @@ impl fmt::Display for Violation {
                 detail,
             } => write!(f, "{index} page {page}: {detail}"),
             Violation::RecordCorrupt { what, detail } => write!(f, "{what}: {detail}"),
+            Violation::GenerationMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "published generation {field}={found}, committed state says {expected}"
+            ),
         }
     }
 }
