@@ -80,6 +80,14 @@ for _ in 1 2 3 4 5; do cat "$corpus/queries.txt"; done > "$corpus/queries5.txt"
 ./target/release/nokq --offline "$corpus/dblp" < "$corpus/queries5.txt" \
   > "$corpus/offline.txt"
 diff "$corpus/served.txt" "$corpus/offline.txt"
+# Same queries over the pipelined binary protocol (8 in flight, responses
+# reordered by id client-side) must render the exact same bytes.
+./target/release/nokq --addr "127.0.0.1:$port" --binary --pipeline 8 \
+  < "$corpus/queries5.txt" > "$corpus/served-bin.txt"
+diff "$corpus/served-bin.txt" "$corpus/offline.txt"
+# Binary stats round-trip carries the same JSON shape as the JSON protocol.
+./target/release/nokq --addr "127.0.0.1:$port" --binary --stats \
+  < /dev/null | grep -q '"served"'
 # EXPLAIN over the wire and offline both end in the collect operator.
 ./target/release/nokq --addr "127.0.0.1:$port" --explain \
   '//article[year="1995"]//author' | grep -q 'collect'
@@ -89,11 +97,21 @@ diff "$corpus/served.txt" "$corpus/offline.txt"
 wait "$nokd_pid"
 ./target/release/nokfsck --strict "$corpus/dblp"
 
-echo "==> serve throughput bench, read-only + mixed writer (BENCH_serve.json)"
+echo "==> serve throughput bench, both protocols + mixed writer (BENCH_serve.json)"
+# Exits nonzero itself if the binary-pipelined 1t->8t scaling gate (>=3x
+# qps, p99 no worse) fails on a host with >=8 cores; on smaller hosts the
+# gate is recorded but not enforced (same guarded-skip as TSan/Miri above).
 cargo run --release -q -p nok-bench --bin serve_throughput -- \
-  --scale 0.01 --duration-ms 300 --threads 1,2,4,8 --write-rate 50 \
-  --out BENCH_serve.json
+  --scale 0.01 --duration-ms 300 --warmup-ms 150 --threads 1,2,4,8 \
+  --pipeline 8 --write-rate 50 --out BENCH_serve.json
 grep -q '"threads":8' BENCH_serve.json
+# Both wire protocols must have been measured, with pipeline depth recorded.
+grep -q '"protocol":"json"' BENCH_serve.json
+grep -q '"protocol":"binary"' BENCH_serve.json
+grep -q '"pipeline_depth"' BENCH_serve.json
+# The scaling gate verdict and host core count are always in the report.
+grep -q '"scaling"' BENCH_serve.json
+grep -q '"cores"' BENCH_serve.json
 # The mixed section (8 readers + 1 writer on MVCC snapshots) must be present
 # and the writer must have actually committed.
 grep -q '"mixed"' BENCH_serve.json

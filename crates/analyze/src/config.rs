@@ -47,9 +47,23 @@ pub const SERVE_QUEUE: LockClass = LockClass {
     name: "serve.queue",
     rank: 10,
 };
+/// The admission ring's park mutex (`AdmissionQueue.park`): taken only to
+/// sleep on / signal the eventcount condvar, never around queue data (the
+/// ring itself is lock-free).
+pub const SERVE_ADMISSION_PARK: LockClass = LockClass {
+    name: "serve.admission_park",
+    rank: 11,
+};
 pub const SERVE_SLOT: LockClass = LockClass {
     name: "serve.slot",
     rank: 12,
+};
+/// A binary connection's outbound queue (`OutQueue.out` in `serve::conn`):
+/// a leaf in practice — workers and the writer thread take it holding no
+/// service or pager locks, and never across I/O.
+pub const SERVE_CONN_OUT: LockClass = LockClass {
+    name: "serve.conn_out",
+    rank: 13,
 };
 pub const SERVE_PLAN_CACHE: LockClass = LockClass {
     name: "serve.plan_cache",
@@ -88,7 +102,9 @@ pub const PAGER_FRAME: LockClass = LockClass {
 pub const ALL_CLASSES: &[LockClass] = &[
     PAGER_MVCC_EPOCH,
     SERVE_QUEUE,
+    SERVE_ADMISSION_PARK,
     SERVE_SLOT,
+    SERVE_CONN_OUT,
     SERVE_PLAN_CACHE,
     CORE_DECODE_CACHE,
     CORE_SKIP_INDEX,
@@ -106,9 +122,19 @@ const LOCK_TABLE: &[LockEntry] = &[
         class: SERVE_QUEUE,
     },
     LockEntry {
+        field: "park",
+        in_crate: Some("serve"),
+        class: SERVE_ADMISSION_PARK,
+    },
+    LockEntry {
         field: "result",
         in_crate: Some("serve"),
         class: SERVE_SLOT,
+    },
+    LockEntry {
+        field: "out",
+        in_crate: Some("serve"),
+        class: SERVE_CONN_OUT,
     },
     LockEntry {
         field: "inner",
@@ -193,6 +219,8 @@ pub fn method_mode(name: &str) -> Option<AcqMode> {
 pub fn guard_returning_fn(name: &str) -> Option<LockClass> {
     match name {
         "dir_mut" => Some(CORE_DIRECTORY),
+        // The admission ring's poison-recovering park-lock helper.
+        "lock_park" => Some(SERVE_ADMISSION_PARK),
         // `db.snapshot()` / `source.snapshot()` return a pinned
         // `SnapshotGuard`-backed view: the caller holds the epoch pin for
         // as long as the binding lives.
@@ -224,6 +252,9 @@ pub const CRITICAL_ATOMICS: &[&str] = &[
     "frames",         // pool occupancy accounting used by make_room
     "ctrl",           // EpochArc control word: pin registration vs swing
     "debt",           // EpochArc repaid-pin counter gating slot reclamation
+    "enqueue_pos",    // admission ring producer cursor (Vyukov MPMC)
+    "dequeue_pos",    // admission ring consumer cursor (Vyukov MPMC)
+    "sleepers",       // admission eventcount register: SeqCst on both sides
 ];
 
 /// The seqlock generation field: reads of it participate in the
@@ -375,7 +406,9 @@ mod tests {
         let all = [
             PAGER_MVCC_EPOCH,
             SERVE_QUEUE,
+            SERVE_ADMISSION_PARK,
             SERVE_SLOT,
+            SERVE_CONN_OUT,
             SERVE_PLAN_CACHE,
             CORE_DECODE_CACHE,
             CORE_SKIP_INDEX,

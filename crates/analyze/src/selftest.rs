@@ -95,6 +95,22 @@ const FAIL: &[FailFixture] = &[
         expect: &["lock-reentry"],
     },
     FailFixture {
+        // Leaf inversion: a connection's outbound queue (rank 13) must
+        // never be held while parking on the admission eventcount (rank 11).
+        name: "lock-order inversion (conn out-queue then admission park)",
+        path: "crates/serve/src/conn.rs",
+        source: "impl OutQueue {\n    fn bad(&self, q: &AdmissionQueue) {\n        let g = lock(&self.out);\n        let p = lock_park(q);\n        let _ = (g, p);\n    }\n}\n",
+        expect: &["lock-order"],
+    },
+    FailFixture {
+        // The ring cursors look like counters but are part of the MPMC
+        // protocol: an unexplained Relaxed is flagged.
+        name: "relaxed on admission ring cursor",
+        path: "crates/serve/src/admission.rs",
+        source: "impl AdmissionQueue {\n    fn cursor(&self) -> usize {\n        self.enqueue_pos.load(Ordering::Relaxed)\n    }\n}\n",
+        expect: &["atomic-ordering"],
+    },
+    FailFixture {
         name: "relaxed load of critical atomic",
         path: "crates/core/src/store.rs",
         source: "impl StructStore {\n    fn generation(&self) -> u64 {\n        self.dir_generation.load(Ordering::Relaxed)\n    }\n}\n",
@@ -184,6 +200,28 @@ const PASS: &[PassFixture] = &[
         name: "relaxed on an exempt statistics counter",
         path: "crates/serve/src/metrics.rs",
         source: "impl Metrics {\n    fn bump(&self) {\n        self.rejected.fetch_add(1, Ordering::Relaxed);\n    }\n}\n",
+    },
+    PassFixture {
+        // Regression: a `thread_local!` item must end at its brace group —
+        // the parser once scanned on to the next top-level `;`, swallowing
+        // the following test module and losing its `#[cfg(test)]` marker.
+        name: "thread_local item does not swallow the following test module",
+        path: "crates/pager/src/local_cache.rs",
+        source: "thread_local! {\n    static T: u32 = 0;\n}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+    },
+    PassFixture {
+        // The eventcount shape: SeqCst sleepers check, then the park mutex
+        // taken with nothing else held.
+        name: "admission park taken alone after SeqCst sleepers check",
+        path: "crates/serve/src/admission.rs",
+        source: "impl AdmissionQueue {\n    fn wake(&self) {\n        if self.sleepers.load(Ordering::SeqCst) > 0 {\n            let g = lock_park(self);\n            let _ = g;\n        }\n    }\n}\n",
+    },
+    PassFixture {
+        // The conn out-queue is a leaf: workers push completed frames under
+        // it with no other lock held.
+        name: "conn out-queue held alone is a leaf",
+        path: "crates/serve/src/conn.rs",
+        source: "impl OutQueue {\n    fn complete(&self, frame: Vec<u8>) {\n        let mut g = lock(&self.out);\n        g.frames.push_back(frame);\n    }\n}\n",
     },
     PassFixture {
         name: "allowed with a reason",

@@ -25,7 +25,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nok_pager::codec::{get_u32, get_u64, put_u32, put_u64};
-use nok_pager::mvcc::{resolve_page, SnapView};
+use nok_pager::local_cache::resolve_page_cached;
+use nok_pager::mvcc::SnapView;
 use nok_pager::{BufferPool, PageHandle, PageId, PageRead, PagerError, Storage};
 
 /// Errors from B+ tree operations.
@@ -174,11 +175,13 @@ impl<S: Storage> BTree<S> {
         }
     }
 
-    /// Fetch a page for reading: through the snapshot overlay on a view,
-    /// straight from the pool otherwise.
+    /// Fetch a page for reading: through the snapshot overlay on a view
+    /// (fronted by the calling thread's first-tier image cache, so a hot
+    /// node costs no shard lock and no page copy), straight from the pool
+    /// otherwise.
     fn page(&self, id: PageId) -> BTreeResult<PageBytes> {
         match &self.view {
-            Some(view) => Ok(PageBytes::Owned(resolve_page(&self.pool, view, id)?)),
+            Some(view) => Ok(PageBytes::Owned(resolve_page_cached(&self.pool, view, id)?)),
             None => Ok(PageBytes::Handle(self.pool.get(id)?)),
         }
     }

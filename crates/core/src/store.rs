@@ -14,7 +14,8 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use nok_pager::mvcc::{resolve_page, SnapView};
+use nok_pager::local_cache::resolve_page_cached;
+use nok_pager::mvcc::SnapView;
 use nok_pager::{BufferPool, PageId, Storage};
 use nok_xml::Event;
 
@@ -667,7 +668,7 @@ impl<S: Storage> StructStore<S> {
             // Snapshot view: resolve through the generation's overlay (the
             // private decode cache above makes the copy a one-time cost).
             Some(view) => {
-                let bytes = resolve_page(&self.pool, view, id)?;
+                let bytes = resolve_page_cached(&self.pool, view, id)?;
                 DecodedPage::decode(&bytes)
                     .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?
             }
@@ -767,6 +768,7 @@ impl<S: Storage> StructStore<S> {
         #[cfg(test)]
         DIR_MUT_PANIC_AFTER_BUMP.with(|f| {
             if f.replace(false) {
+                // analyze: allow(hot-path-panic): injected failpoint, compiled only under cfg(test)
                 panic!("injected: dir_mut unwound before arming the write guard");
             }
         });

@@ -20,6 +20,7 @@
 
 pub mod error;
 pub mod failpoint;
+pub mod local_cache;
 pub mod mvcc;
 pub mod pool;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod wal;
 
 pub use error::{PagerError, PagerResult};
 pub use failpoint::{FailPlan, FailpointStorage};
+pub use local_cache::{clear_thread_tier, resolve_page_cached};
 pub use mvcc::{
     CaptureCell, CowMap, EpochArc, GenTicket, GenerationStats, GenerationTable, PageChain,
     SnapView, SnapshotGuard,

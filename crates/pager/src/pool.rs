@@ -176,6 +176,11 @@ pub struct BufferPool<S: Storage> {
     /// (no-steal): rollback discards them, and the write-ahead log has not
     /// seen them yet. Eviction skips dirty frames while this is set.
     txn_active: AtomicBool,
+    /// Process-unique pool identity (monotone, never reused), so caches
+    /// outside the pool — e.g. the per-worker first tier in
+    /// [`crate::local_cache`] — can key entries by pool without holding an
+    /// `Arc` back to it.
+    instance: u64,
     /// Before-image capture for MVCC snapshot readers (see [`crate::mvcc`]).
     capture: Arc<CaptureCell>,
 }
@@ -194,6 +199,8 @@ impl<S: Storage> BufferPool<S> {
     /// disables caching entirely (every get is a physical read) — used by
     /// tests that want raw I/O counts.
     pub fn with_capacity(storage: S, capacity: usize) -> Self {
+        // Relaxed: the counter only needs uniqueness, not ordering.
+        static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
         let page_size = storage.page_size();
         BufferPool {
             storage: Mutex::new(storage),
@@ -207,7 +214,14 @@ impl<S: Storage> BufferPool<S> {
             stats: IoStats::default(),
             txn_active: AtomicBool::new(false),
             capture: Arc::new(CaptureCell::new()),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Process-unique identity of this pool instance (never reused, never
+    /// zero). External caches key on it instead of on an address.
+    pub fn instance_id(&self) -> u64 {
+        self.instance
     }
 
     /// This pool's before-image capture cell (inactive until a transaction

@@ -58,6 +58,18 @@ impl IoStats {
         }
     }
 
+    /// Batch-add to the logical-gets counter (one atomic op per call).
+    ///
+    /// Used by first-tier caches above the pool ([`crate::local_cache`])
+    /// that satisfy page requests without touching the pool: their hits are
+    /// still logical page requests, drained in here in batches so the hot
+    /// path never bounces a shared counter per access.
+    pub fn add_logical_gets(&self, n: u64) {
+        if n > 0 {
+            self.logical_gets.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Pages actually read from the storage.
     pub fn physical_reads(&self) -> u64 {
         self.physical_reads.load(Ordering::Relaxed)

@@ -2,9 +2,11 @@
 //!
 //! Opens a database directory read-only (structural pool capped at 256
 //! frames by default so serving exercises eviction), starts a
-//! [`QueryService`] worker pool, and speaks the length-prefixed
-//! newline-JSON protocol over TCP. One thread per connection; all
-//! connections share the service's bounded admission queue.
+//! [`QueryService`] worker pool, and serves TCP connections. Each
+//! connection speaks either the length-prefixed newline-JSON protocol or
+//! the pipelined binary protocol — auto-detected from the first byte (see
+//! `nok_serve::conn`). One thread per connection; all connections share
+//! the service's bounded admission queue.
 //!
 //! ```text
 //! nokd <db-dir> [--addr 127.0.0.1:0] [--port-file PATH]
@@ -15,18 +17,15 @@
 //! 127.0.0.1:0` the kernel picks the port; `--port-file` writes it where
 //! scripts can read it).
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Write;
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use nok_core::{QueryOptions, XmlDb};
-use nok_pager::FileStorage;
-use nok_serve::proto::{
-    error_response, explain_ok, query_ok, read_frame, write_frame, Request, WireMatch,
-};
-use nok_serve::{Json, QueryError, QueryService, ServiceConfig, SERVE_POOL_FRAMES};
+use nok_core::XmlDb;
+use nok_serve::conn::serve_connection;
+use nok_serve::{QueryService, ServiceConfig, SERVE_POOL_FRAMES};
 
 struct Args {
     db_dir: String,
@@ -177,176 +176,4 @@ fn run() -> Result<(), String> {
     }
     eprintln!("nokd: {}", svc.metrics().summary());
     Ok(())
-}
-
-fn serve_connection(
-    stream: &TcpStream,
-    svc: &QueryService<FileStorage>,
-    stop: &AtomicBool,
-    local: std::net::SocketAddr,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    while let Some(payload) = read_frame(&mut reader)? {
-        let (response, stopping) = match Json::parse(&payload) {
-            Err(e) => (
-                error_response(0, "bad_request", &format!("bad json: {e}")),
-                false,
-            ),
-            Ok(v) => match Request::from_json(&v) {
-                Err(e) => (error_response(0, "bad_request", &e), false),
-                Ok(req) => dispatch(req, svc),
-            },
-        };
-        // The response must reach the client before the accept loop is
-        // released: once it wakes it exits the process, and an unflushed
-        // shutdown acknowledgement would be lost with it.
-        write_frame(&mut writer, &response.to_string_compact())?;
-        if stopping {
-            stop.store(true, Ordering::Release);
-            // Unblock the accept loop with a throwaway connection.
-            let _ = TcpStream::connect(local);
-        }
-        if stop.load(Ordering::Acquire) {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Handle one request; the bool asks the connection loop to initiate
-/// server shutdown after the response is flushed.
-fn dispatch(req: Request, svc: &QueryService<FileStorage>) -> (Json, bool) {
-    match req {
-        Request::Query {
-            id,
-            path,
-            timeout_ms,
-        } => {
-            let result = match timeout_ms {
-                Some(ms) => svc.query_with_timeout(
-                    &path,
-                    QueryOptions::default(),
-                    Duration::from_millis(ms),
-                ),
-                None => svc.query(&path),
-            };
-            let response = match result {
-                Ok(matches) => {
-                    let wire: Vec<WireMatch> = matches
-                        .iter()
-                        .map(|m| WireMatch {
-                            dewey: m.dewey.to_string(),
-                            addr: m.addr.to_string(),
-                        })
-                        .collect();
-                    query_ok(id, &wire)
-                }
-                Err(e) => {
-                    let code = match e {
-                        QueryError::Timeout => "timeout",
-                        QueryError::QueueFull => "queue_full",
-                        QueryError::Engine(_) => "engine",
-                        QueryError::Shutdown => "shutdown",
-                    };
-                    error_response(id, code, &e.to_string())
-                }
-            };
-            (response, false)
-        }
-        Request::Explain { id, path } => {
-            // Explain runs on the connection thread, not through the worker
-            // queue: it is a diagnostic, planned and executed afresh (on its
-            // own pinned snapshot) so the estimated-vs-actual comparison
-            // reflects this exact run.
-            let response = match svc.snapshot().map_err(|e| e.to_string()).and_then(|snap| {
-                snap.explain(&path, QueryOptions::default())
-                    .map_err(|e| e.to_string())
-            }) {
-                Ok((matches, explain)) => explain_ok(id, matches.len(), &explain),
-                Err(e) => error_response(id, "engine", &e),
-            };
-            (response, false)
-        }
-        Request::Stats { id } => {
-            let m = svc.metrics();
-            let g = svc.generation_stats();
-            let snap = svc.snapshot().ok();
-            let (entries_examined, dir_entries_examined) = snap
-                .as_ref()
-                .map(|s| {
-                    let io = s.store().pool().stats();
-                    (io.entries_examined(), io.dir_entries_examined())
-                })
-                .unwrap_or((0, 0));
-            let response = Json::obj(vec![
-                ("id", Json::Num(id as f64)),
-                ("status", Json::Str("ok".into())),
-                (
-                    "stats",
-                    Json::obj(vec![
-                        ("served", Json::Num(m.served.load(Ordering::Relaxed) as f64)),
-                        (
-                            "rejected",
-                            Json::Num(m.rejected.load(Ordering::Relaxed) as f64),
-                        ),
-                        (
-                            "timed_out",
-                            Json::Num(m.timed_out.load(Ordering::Relaxed) as f64),
-                        ),
-                        ("failed", Json::Num(m.failed.load(Ordering::Relaxed) as f64)),
-                        (
-                            "queue_depth",
-                            Json::Num(m.queue_depth.load(Ordering::Relaxed) as f64),
-                        ),
-                        (
-                            "plan_cache_hits",
-                            Json::Num(m.plan_hits.load(Ordering::Relaxed) as f64),
-                        ),
-                        (
-                            "plan_cache_misses",
-                            Json::Num(m.plan_misses.load(Ordering::Relaxed) as f64),
-                        ),
-                        (
-                            "plan_cache_stale",
-                            Json::Num(m.plan_stale.load(Ordering::Relaxed) as f64),
-                        ),
-                        ("plan_cache_size", Json::Num(svc.plan_cache_len() as f64)),
-                        ("generations_live", Json::Num(g.live_generations() as f64)),
-                        (
-                            "generations_retired",
-                            Json::Num(g.retired_generations() as f64),
-                        ),
-                        ("pinned_readers", Json::Num(g.pinned_readers() as f64)),
-                        ("p50_us", Json::Num(m.latency.quantile_micros(0.50) as f64)),
-                        ("p99_us", Json::Num(m.latency.quantile_micros(0.99) as f64)),
-                        ("mean_us", Json::Num(m.latency.mean_micros() as f64)),
-                        ("pool_hit_ratio", Json::Num(svc.pool_hit_ratio())),
-                        ("entries_examined", Json::Num(entries_examined as f64)),
-                        (
-                            "dir_entries_examined",
-                            Json::Num(dir_entries_examined as f64),
-                        ),
-                    ]),
-                ),
-            ]);
-            (response, false)
-        }
-        Request::Ping { id } => (
-            Json::obj(vec![
-                ("id", Json::Num(id as f64)),
-                ("status", Json::Str("ok".into())),
-                ("pong", Json::Bool(true)),
-            ]),
-            false,
-        ),
-        Request::Shutdown { id } => (
-            Json::obj(vec![
-                ("id", Json::Num(id as f64)),
-                ("status", Json::Str("ok".into())),
-                ("stopping", Json::Bool(true)),
-            ]),
-            true,
-        ),
-    }
 }

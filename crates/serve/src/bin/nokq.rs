@@ -16,11 +16,18 @@
 //! `--timeout-ms N` per-query deadline, and `--explain` (server and
 //! offline modes) which prints each query's plan — one row per operator
 //! with estimated vs actual cardinalities — instead of the result line.
+//!
+//! Server mode can also speak the pipelined binary protocol: `--binary`
+//! switches the wire format, and `--pipeline N` keeps up to `N` queries in
+//! flight on the one connection. Responses may return out of order; nokq
+//! reorders by request id before printing, so the output stays
+//! byte-identical to the sequential JSON and `--offline` modes.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
 use nok_core::{QueryOptions, XmlDb};
+use nok_serve::binproto::{BinClient, BinResponse};
 use nok_serve::proto::{
     parse_explain_response, parse_query_response, read_frame, result_line, write_frame, Request,
     WireMatch,
@@ -35,6 +42,8 @@ struct Args {
     stats: bool,
     shutdown: bool,
     explain: bool,
+    binary: bool,
+    pipeline: usize,
     queries: Vec<String>,
 }
 
@@ -47,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         shutdown: false,
         explain: false,
+        binary: false,
+        pipeline: 1,
         queries: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -68,9 +79,19 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
             "--explain" => args.explain = true,
+            "--binary" => args.binary = true,
+            "--pipeline" => {
+                args.pipeline = take("--pipeline")?
+                    .parse()
+                    .map_err(|_| "--pipeline must be an integer".to_string())?;
+                if args.pipeline == 0 {
+                    return Err("--pipeline must be at least 1".to_string());
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: nokq --addr HOST:PORT [--timeout-ms N] [--stats] [--shutdown] [--explain] [query ...]\n\
+                    "usage: nokq --addr HOST:PORT [--timeout-ms N] [--stats] [--shutdown] [--explain]\n\
+                     \x20           [--binary] [--pipeline N] [query ...]\n\
                      \x20      nokq --offline <db-dir> [--explain] [query ...]\n\
                      \x20      nokq --workload <dataset>   (author|address|catalog|treebank|dblp)\n\
                      queries are read from stdin when none are given"
@@ -85,6 +106,12 @@ fn parse_args() -> Result<Args, String> {
         args.addr.is_some() as u8 + args.offline.is_some() as u8 + args.workload.is_some() as u8;
     if modes != 1 {
         return Err("pick exactly one of --addr, --offline, --workload".to_string());
+    }
+    if (args.binary || args.pipeline > 1) && args.addr.is_none() {
+        return Err("--binary/--pipeline need server mode (--addr)".to_string());
+    }
+    if args.pipeline > 1 && !args.binary {
+        return Err("--pipeline needs the binary protocol (--binary)".to_string());
     }
     Ok(args)
 }
@@ -177,7 +204,11 @@ fn run_offline(dir: &str, queries: &[String], explain: bool) -> Result<(), Strin
 }
 
 fn run_server(addr: &str, queries: &[String], args: &Args) -> Result<(), String> {
+    if args.binary {
+        return run_server_binary(addr, queries, args);
+    }
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok(); // request/response: don't wait out Nagle
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = BufWriter::new(stream);
     let mut out = std::io::stdout().lock();
@@ -218,6 +249,92 @@ fn run_server(addr: &str, queries: &[String], args: &Args) -> Result<(), String>
         id += 1;
         let resp = round_trip(Request::Shutdown { id })?;
         writeln!(out, "{}", resp.to_string_compact()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Binary-protocol server mode: keep up to `--pipeline N` queries in
+/// flight, reorder responses by id, and print the exact lines the
+/// sequential modes print.
+fn run_server_binary(addr: &str, queries: &[String], args: &Args) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client = BinClient::new(stream).map_err(|e| e.to_string())?;
+    let mut out = std::io::stdout().lock();
+
+    // Query index i travels as request id i+1 (0 is reserved for "id was
+    // unreadable" in error frames).
+    let mut lines: Vec<Option<String>> = vec![None; queries.len()];
+    let mut next = 0usize;
+    let mut outstanding = 0usize;
+    let mut completed = 0usize;
+    while completed < queries.len() {
+        while next < queries.len() && outstanding < args.pipeline {
+            let id = next as u64 + 1;
+            let req = if args.explain {
+                Request::Explain {
+                    id,
+                    path: queries[next].clone(),
+                }
+            } else {
+                Request::Query {
+                    id,
+                    path: queries[next].clone(),
+                    timeout_ms: args.timeout_ms,
+                }
+            };
+            client.send(&req).map_err(|e| e.to_string())?;
+            next += 1;
+            outstanding += 1;
+        }
+        client.flush().map_err(|e| e.to_string())?;
+        let resp = client
+            .recv()
+            .map_err(|e| e.to_string())?
+            .ok_or("server closed connection")?;
+        let idx = (resp.id() as usize)
+            .checked_sub(1)
+            .filter(|i| *i < queries.len() && lines[*i].is_none())
+            .ok_or_else(|| format!("server answered unknown request id {}", resp.id()))?;
+        let q = &queries[idx];
+        lines[idx] = Some(match resp {
+            BinResponse::QueryOk { matches, .. } => result_line(q, &matches),
+            BinResponse::ExplainOk { count, text, .. } => format!("{q}  ({count} matches)\n{text}"),
+            BinResponse::Error { message, .. } => return Err(format!("{q}: {message}")),
+            other => return Err(format!("{q}: unexpected response {other:?}")),
+        });
+        outstanding -= 1;
+        completed += 1;
+    }
+    for line in lines.into_iter().flatten() {
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+
+    let mut id = queries.len() as u64;
+    if args.stats {
+        id += 1;
+        client
+            .send(&Request::Stats { id })
+            .map_err(|e| e.to_string())?;
+        client.flush().map_err(|e| e.to_string())?;
+        match client.recv().map_err(|e| e.to_string())? {
+            Some(BinResponse::StatsOk { json, .. }) => {
+                writeln!(out, "{json}").map_err(|e| e.to_string())?;
+            }
+            other => return Err(format!("stats: unexpected response {other:?}")),
+        }
+    }
+    if args.shutdown {
+        id += 1;
+        client
+            .send(&Request::Shutdown { id })
+            .map_err(|e| e.to_string())?;
+        client.flush().map_err(|e| e.to_string())?;
+        match client.recv().map_err(|e| e.to_string())? {
+            Some(BinResponse::Stopping { .. }) => {
+                writeln!(out, r#"{{"stopping":true}}"#).map_err(|e| e.to_string())?;
+            }
+            other => return Err(format!("shutdown: unexpected response {other:?}")),
+        }
     }
     Ok(())
 }

@@ -1,0 +1,719 @@
+//! Connection serving shared by `nokd` and the in-process benchmarks.
+//!
+//! One TCP connection is served by [`serve_connection`], which peeks the
+//! first byte to pick a protocol: an ASCII digit is a newline-JSON frame
+//! header ([`crate::proto`]), the byte `N` is the binary preamble
+//! ([`crate::binproto`]). Both protocols run against the same
+//! [`QueryService`].
+//!
+//! The JSON loop is strictly request/response: read a frame, dispatch
+//! synchronously (queries block the connection thread on the service's
+//! response slot), write a frame. Exactly the PR-7 behavior, byte for byte.
+//!
+//! The binary loop is pipelined. The connection thread reads frames and
+//! submits queries through [`QueryService::query_async`]; completions
+//! arrive on worker threads, which encode the response frame and push it
+//! onto a per-connection outbound queue. A dedicated writer thread drains
+//! that queue — *everything* available in one lock acquisition — and
+//! flushes the socket once per drain, so a burst of pipelined completions
+//! costs one syscall, not one per response. Responses therefore leave in
+//! completion order, not submission order; the request id is the only
+//! correlation (clients that need submission order reorder on their side).
+//!
+//! Lock discipline: the outbound-queue mutex (`conn.out`) is a leaf — a
+//! worker thread grabs it inside the completion callback while holding no
+//! service or pager lock (delivery in `service::worker_loop` happens after
+//! every lock is released), and the connection/writer threads hold it only
+//! around queue edits, never across I/O or service calls.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use nok_core::QueryOptions;
+use nok_pager::Storage;
+
+use crate::binproto::{self, BinResponse, ErrCode, MAGIC, VERSION};
+use crate::json::Json;
+use crate::proto::{
+    error_response, explain_ok, query_ok, read_frame, write_frame, Request, WireMatch,
+};
+use crate::service::{QueryError, QueryService};
+use crate::ServerMetrics;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serve one accepted connection until the peer disconnects or asks for
+/// shutdown. Auto-detects the protocol from the first byte. On a shutdown
+/// request, flushes the acknowledgement, sets `stop`, and pokes `local`
+/// with a throwaway connection so the accept loop wakes and exits.
+pub fn serve_connection<S: Storage + Send + Sync + 'static>(
+    stream: &TcpStream,
+    svc: &Arc<QueryService<S>>,
+    stop: &AtomicBool,
+    local: SocketAddr,
+) -> io::Result<()> {
+    // Both protocols are request/response with small frames; Nagle's
+    // algorithm would serialize them against delayed ACKs (~40ms stalls).
+    stream.set_nodelay(true).ok();
+    let mut first = [0u8; 1];
+    // peek() blocks until one byte (or EOF) without consuming it, so the
+    // protocol loops below still see a complete stream.
+    if stream.peek(&mut first)? == 0 {
+        return Ok(()); // connected and left without a word
+    }
+    // analyze: allow(serve-worker-panic): peek returned 1 byte; MAGIC is a fixed array
+    if first[0] == MAGIC[0] {
+        serve_binary(stream, svc, stop, local)
+    } else {
+        serve_json(stream, svc, stop, local)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (request/response) path.
+
+fn serve_json<S: Storage + Send + Sync + 'static>(
+    stream: &TcpStream,
+    svc: &Arc<QueryService<S>>,
+    stop: &AtomicBool,
+    local: SocketAddr,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let (response, stopping) = match Json::parse(&payload) {
+            Err(e) => (
+                error_response(0, "bad_request", &format!("bad json: {e}")),
+                false,
+            ),
+            Ok(v) => match Request::from_json(&v) {
+                Err(e) => (error_response(0, "bad_request", &e), false),
+                Ok(req) => dispatch(req, svc),
+            },
+        };
+        // The response must reach the client before the accept loop is
+        // released: once it wakes it exits the process, and an unflushed
+        // shutdown acknowledgement would be lost with it.
+        write_frame(&mut writer, &response.to_string_compact())?;
+        if stopping {
+            stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(local);
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handle one JSON request; the bool asks the connection loop to initiate
+/// server shutdown after the response is flushed.
+pub fn dispatch<S: Storage + Send + Sync + 'static>(
+    req: Request,
+    svc: &QueryService<S>,
+) -> (Json, bool) {
+    match req {
+        Request::Query {
+            id,
+            path,
+            timeout_ms,
+        } => {
+            let result = match timeout_ms {
+                Some(ms) => svc.query_with_timeout(
+                    &path,
+                    QueryOptions::default(),
+                    Duration::from_millis(ms),
+                ),
+                None => svc.query(&path),
+            };
+            let response = match result {
+                Ok(matches) => {
+                    let wire: Vec<WireMatch> = matches
+                        .iter()
+                        .map(|m| WireMatch {
+                            dewey: m.dewey.to_string(),
+                            addr: m.addr.to_string(),
+                        })
+                        .collect();
+                    query_ok(id, &wire)
+                }
+                Err(e) => error_response(id, err_code(&e).as_str(), &e.to_string()),
+            };
+            (response, false)
+        }
+        Request::Explain { id, path } => {
+            let response = match explain(svc, &path) {
+                Ok((count, ref ex)) => explain_ok(id, count, ex),
+                Err(e) => error_response(id, "engine", &e),
+            };
+            (response, false)
+        }
+        Request::Stats { id } => (
+            Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("status", Json::Str("ok".into())),
+                ("stats", stats_json(svc)),
+            ]),
+            false,
+        ),
+        Request::Ping { id } => (
+            Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("status", Json::Str("ok".into())),
+                ("pong", Json::Bool(true)),
+            ]),
+            false,
+        ),
+        Request::Shutdown { id } => (
+            Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("status", Json::Str("ok".into())),
+                ("stopping", Json::Bool(true)),
+            ]),
+            true,
+        ),
+    }
+}
+
+fn err_code(e: &QueryError) -> ErrCode {
+    match e {
+        QueryError::Timeout => ErrCode::Timeout,
+        QueryError::QueueFull => ErrCode::QueueFull,
+        QueryError::Engine(_) => ErrCode::Engine,
+        QueryError::Shutdown => ErrCode::Shutdown,
+    }
+}
+
+/// Explain runs on the connection thread, not through the worker queue: it
+/// is a diagnostic, planned and executed afresh (on its own pinned
+/// snapshot) so the estimated-vs-actual comparison reflects this exact run.
+fn explain<S: Storage + Send + Sync + 'static>(
+    svc: &QueryService<S>,
+    path: &str,
+) -> Result<(usize, nok_core::Explain), String> {
+    let snap = svc.snapshot().map_err(|e| e.to_string())?;
+    let (matches, ex) = snap
+        .explain(path, QueryOptions::default())
+        .map_err(|e| e.to_string())?;
+    Ok((matches.len(), ex))
+}
+
+/// The stats object served by both protocols (the JSON protocol wraps it
+/// under `"stats"`, the binary protocol ships it as the `StatsOk` payload).
+/// Key set and order are part of the wire contract — scripts parse this.
+pub fn stats_json<S: Storage + Send + Sync + 'static>(svc: &QueryService<S>) -> Json {
+    let m: &ServerMetrics = svc.metrics();
+    let g = svc.generation_stats();
+    let snap = svc.snapshot().ok();
+    let (entries_examined, dir_entries_examined) = snap
+        .as_ref()
+        .map(|s| {
+            let io = s.store().pool().stats();
+            (io.entries_examined(), io.dir_entries_examined())
+        })
+        .unwrap_or((0, 0));
+    Json::obj(vec![
+        ("served", Json::Num(m.served.load(Ordering::Relaxed) as f64)),
+        (
+            "rejected",
+            Json::Num(m.rejected.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "timed_out",
+            Json::Num(m.timed_out.load(Ordering::Relaxed) as f64),
+        ),
+        ("failed", Json::Num(m.failed.load(Ordering::Relaxed) as f64)),
+        (
+            "queue_depth",
+            Json::Num(m.queue_depth.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "plan_cache_hits",
+            Json::Num(m.plan_hits.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "plan_cache_misses",
+            Json::Num(m.plan_misses.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "plan_cache_stale",
+            Json::Num(m.plan_stale.load(Ordering::Relaxed) as f64),
+        ),
+        ("plan_cache_size", Json::Num(svc.plan_cache_len() as f64)),
+        ("generations_live", Json::Num(g.live_generations() as f64)),
+        (
+            "generations_retired",
+            Json::Num(g.retired_generations() as f64),
+        ),
+        ("pinned_readers", Json::Num(g.pinned_readers() as f64)),
+        ("p50_us", Json::Num(m.latency.quantile_micros(0.50) as f64)),
+        ("p99_us", Json::Num(m.latency.quantile_micros(0.99) as f64)),
+        ("mean_us", Json::Num(m.latency.mean_micros() as f64)),
+        ("pool_hit_ratio", Json::Num(svc.pool_hit_ratio())),
+        ("entries_examined", Json::Num(entries_examined as f64)),
+        (
+            "dir_entries_examined",
+            Json::Num(dir_entries_examined as f64),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Binary (pipelined) path.
+
+/// Mutex-protected outbound state of one binary connection.
+struct OutState {
+    /// Encoded response frames awaiting the writer thread.
+    frames: VecDeque<Vec<u8>>,
+    /// Queries accepted by the service whose callbacks have not fired yet.
+    /// The writer refuses to exit while any are outstanding, so every
+    /// admitted request gets its response flushed before the connection
+    /// closes — including across a shutdown.
+    in_flight: usize,
+    /// The reader has stopped submitting (peer EOF or shutdown request).
+    done: bool,
+}
+
+/// Per-connection outbound queue feeding the writer thread.
+struct OutQueue {
+    out: Mutex<OutState>,
+    cv: Condvar,
+}
+
+impl OutQueue {
+    fn new() -> Self {
+        OutQueue {
+            out: Mutex::new(OutState {
+                frames: VecDeque::new(),
+                in_flight: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queue one encoded frame (inline responses: ping, stats, errors).
+    fn push(&self, frame: Vec<u8>) {
+        let mut g = lock(&self.out);
+        g.frames.push_back(frame);
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// Reserve an in-flight slot before submitting to the service.
+    fn begin(&self) {
+        lock(&self.out).in_flight += 1;
+    }
+
+    /// Queue the response for an in-flight request and release its slot.
+    fn complete(&self, frame: Vec<u8>) {
+        let mut g = lock(&self.out);
+        g.frames.push_back(frame);
+        g.in_flight = g.in_flight.saturating_sub(1);
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// Release an in-flight slot without a frame (submission failed and the
+    /// error frame was pushed separately, or bookkeeping is being undone).
+    fn abort(&self) {
+        let mut g = lock(&self.out);
+        g.in_flight = g.in_flight.saturating_sub(1);
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// The reader is finished; the writer drains what remains (waiting out
+    /// in-flight completions) and exits.
+    fn finish(&self) {
+        lock(&self.out).done = true;
+        self.cv.notify_all();
+    }
+
+    /// Writer side: block until frames are available, then take all of
+    /// them. Returns `None` once done, drained, and nothing is in flight.
+    fn take_all(&self, into: &mut Vec<Vec<u8>>) -> Option<()> {
+        let mut g = lock(&self.out);
+        loop {
+            if !g.frames.is_empty() {
+                into.extend(g.frames.drain(..));
+                return Some(());
+            }
+            if g.done && g.in_flight == 0 {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn serve_binary<S: Storage + Send + Sync + 'static>(
+    stream: &TcpStream,
+    svc: &Arc<QueryService<S>>,
+    stop: &AtomicBool,
+    local: SocketAddr,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let writer_stream = stream.try_clone()?;
+
+    // Validate the preamble before spawning anything.
+    let mut preamble = [0u8; 5];
+    reader.read_exact(&mut preamble)?;
+    // analyze: allow(serve-worker-panic): preamble is a [u8; 5], fully read
+    if preamble[..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad binary preamble",
+        ));
+    }
+    // analyze: allow(serve-worker-panic): preamble is a [u8; 5], fully read
+    if preamble[4] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            // analyze: allow(serve-worker-panic): preamble is a [u8; 5], fully read
+            format!("unsupported binary protocol version {}", preamble[4]),
+        ));
+    }
+
+    let queue = Arc::new(OutQueue::new());
+    let writer_queue = Arc::clone(&queue);
+    let writer = std::thread::Builder::new()
+        .name("nok-conn-writer".to_string())
+        .spawn(move || write_loop(&writer_queue, writer_stream))
+        .map_err(|e| io::Error::new(io::ErrorKind::Other, format!("spawn writer: {e}")))?;
+
+    let result = binary_read_loop(&mut reader, svc, stop, local, &queue);
+    // Reader is done (EOF, shutdown, or error): let the writer drain every
+    // outstanding response, then surface its I/O verdict if ours was clean.
+    queue.finish();
+    let writer_result = writer.join().unwrap_or_else(|_| {
+        Err(io::Error::new(
+            io::ErrorKind::Other,
+            "connection writer panicked",
+        ))
+    });
+    result.and(writer_result)
+}
+
+fn binary_read_loop<S: Storage + Send + Sync + 'static>(
+    reader: &mut BufReader<TcpStream>,
+    svc: &Arc<QueryService<S>>,
+    stop: &AtomicBool,
+    local: SocketAddr,
+    queue: &Arc<OutQueue>,
+) -> io::Result<()> {
+    while let Some((opcode, id, payload)) = binproto::read_bin_frame(reader)? {
+        let req = match binproto::decode_request(opcode, id, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                queue.push(encode_one(&BinResponse::Error {
+                    id,
+                    code: ErrCode::BadRequest,
+                    message: e.to_string(),
+                }));
+                continue;
+            }
+        };
+        match req {
+            Request::Query {
+                id,
+                path,
+                timeout_ms,
+            } => {
+                let cb_queue = Arc::clone(queue);
+                queue.begin();
+                let submitted = svc.query_async(
+                    &path,
+                    QueryOptions::default(),
+                    timeout_ms.map(Duration::from_millis),
+                    move |result| {
+                        let resp = match result {
+                            Ok(matches) => BinResponse::QueryOk {
+                                id,
+                                matches: matches
+                                    .iter()
+                                    .map(|m| WireMatch {
+                                        dewey: m.dewey.to_string(),
+                                        addr: m.addr.to_string(),
+                                    })
+                                    .collect(),
+                            },
+                            Err(e) => BinResponse::Error {
+                                id,
+                                code: err_code(&e),
+                                message: e.to_string(),
+                            },
+                        };
+                        cb_queue.complete(encode_one(&resp));
+                    },
+                );
+                if let Err(e) = submitted {
+                    // Admission failed: the callback will never run, so
+                    // answer inline and release the in-flight slot.
+                    queue.push(encode_one(&BinResponse::Error {
+                        id,
+                        code: err_code(&e),
+                        message: e.to_string(),
+                    }));
+                    queue.abort();
+                }
+            }
+            Request::Explain { id, path } => {
+                let resp = match explain(svc.as_ref(), &path) {
+                    Ok((count, ex)) => BinResponse::ExplainOk {
+                        id,
+                        count: count as u32,
+                        text: ex.to_string(),
+                    },
+                    Err(e) => BinResponse::Error {
+                        id,
+                        code: ErrCode::Engine,
+                        message: e,
+                    },
+                };
+                queue.push(encode_one(&resp));
+            }
+            Request::Stats { id } => {
+                queue.push(encode_one(&BinResponse::StatsOk {
+                    id,
+                    json: stats_json(svc.as_ref()).to_string_compact(),
+                }));
+            }
+            Request::Ping { id } => queue.push(encode_one(&BinResponse::Pong { id })),
+            Request::Shutdown { id } => {
+                queue.push(encode_one(&BinResponse::Stopping { id }));
+                stop.store(true, Ordering::Release);
+                let _ = TcpStream::connect(local);
+                return Ok(());
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn encode_one(resp: &BinResponse) -> Vec<u8> {
+    let mut buf = Vec::new();
+    binproto::encode_response(&mut buf, resp);
+    buf
+}
+
+/// The connection's writer thread: drain *all* queued frames per wakeup,
+/// write them back-to-back, flush once. Pipelined bursts coalesce into one
+/// syscall instead of one per response.
+fn write_loop(queue: &OutQueue, stream: TcpStream) -> io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    let mut batch: Vec<Vec<u8>> = Vec::new();
+    while queue.take_all(&mut batch).is_some() {
+        for frame in batch.drain(..) {
+            w.write_all(&frame)?;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use nok_core::XmlDb;
+    use nok_pager::MemStorage;
+    use std::net::TcpListener;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP</title><price>65.95</price></book>
+        <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+    </bib>"#;
+
+    fn spawn_server(workers: usize) -> (SocketAddr, Arc<AtomicBool>) {
+        let db = Arc::new(XmlDb::build_in_memory(BIB).unwrap());
+        let svc = Arc::new(QueryService::start(
+            db,
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let local = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { break };
+                let svc = Arc::clone(&svc);
+                let stop = Arc::clone(&stop2);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&stream, &svc, &stop, local);
+                });
+            }
+        });
+        (local, stop)
+    }
+
+    fn bin_client(addr: SocketAddr) -> binproto::BinClient {
+        binproto::BinClient::new(TcpStream::connect(addr).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pipelined_binary_queries_map_responses_to_ids() {
+        let (addr, stop) = spawn_server(2);
+        let mut c = bin_client(addr);
+        // Pipeline a window of queries with distinct ids, flush once.
+        let paths = ["//book", "//book/title", "//price", "//book[price<50]"];
+        for (i, p) in paths.iter().enumerate() {
+            c.send(&Request::Query {
+                id: 100 + i as u64,
+                path: (*p).into(),
+                timeout_ms: None,
+            })
+            .unwrap();
+        }
+        c.flush().unwrap();
+        let mut by_id = std::collections::HashMap::new();
+        for _ in 0..paths.len() {
+            let resp = c.recv().unwrap().unwrap();
+            match resp {
+                BinResponse::QueryOk { id, matches } => {
+                    by_id.insert(id, matches.len());
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(by_id[&100], 2);
+        assert_eq!(by_id[&101], 2);
+        assert_eq!(by_id[&102], 2);
+        assert_eq!(by_id[&103], 1);
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn binary_mixed_opcodes_and_errors() {
+        let (addr, stop) = spawn_server(1);
+        let mut c = bin_client(addr);
+        c.send(&Request::Ping { id: 1 }).unwrap();
+        c.send(&Request::Query {
+            id: 2,
+            path: "not a path".into(),
+            timeout_ms: None,
+        })
+        .unwrap();
+        c.send(&Request::Stats { id: 3 }).unwrap();
+        c.send(&Request::Explain {
+            id: 4,
+            path: "//book".into(),
+        })
+        .unwrap();
+        c.flush().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let resp = c.recv().unwrap().unwrap();
+            match &resp {
+                BinResponse::Pong { id } => assert_eq!(*id, 1),
+                BinResponse::Error { id, code, .. } => {
+                    assert_eq!(*id, 2);
+                    assert_eq!(*code, ErrCode::Engine);
+                }
+                BinResponse::StatsOk { id, json } => {
+                    assert_eq!(*id, 3);
+                    let v = Json::parse(json).unwrap();
+                    assert!(v.get("served").is_some());
+                    assert!(v.get("p99_us").is_some());
+                }
+                BinResponse::ExplainOk { id, count, text } => {
+                    assert_eq!(*id, 4);
+                    assert_eq!(*count, 2);
+                    assert!(!text.is_empty());
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+            assert!(seen.insert(resp.id()));
+        }
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn json_and_binary_share_one_port() {
+        let (addr, stop) = spawn_server(1);
+        // JSON connection.
+        {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = BufWriter::new(stream.try_clone().unwrap());
+            let mut r = BufReader::new(stream);
+            write_frame(&mut w, r#"{"id":9,"op":"query","path":"//book"}"#).unwrap();
+            w.flush().unwrap();
+            let resp = read_frame(&mut r).unwrap().unwrap();
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        }
+        // Binary connection against the same listener.
+        {
+            let mut c = bin_client(addr);
+            c.send(&Request::Query {
+                id: 10,
+                path: "//book".into(),
+                timeout_ms: None,
+            })
+            .unwrap();
+            c.flush().unwrap();
+            match c.recv().unwrap().unwrap() {
+                BinResponse::QueryOk { id, matches } => {
+                    assert_eq!(id, 10);
+                    assert_eq!(matches.len(), 2);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn binary_bad_frames_get_bad_request_not_disconnect() {
+        let (addr, stop) = spawn_server(1);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut raw = stream.try_clone().unwrap();
+        raw.write_all(&MAGIC).unwrap();
+        raw.write_all(&[VERSION]).unwrap();
+        // Unknown opcode 0x7F with id 42.
+        let mut frame = Vec::new();
+        binproto::put_frame(&mut frame, 0x7F, 42, &[]);
+        raw.write_all(&frame).unwrap();
+        // A valid ping after the bad frame still gets served.
+        frame.clear();
+        binproto::encode_request(&mut frame, &Request::Ping { id: 43 });
+        raw.write_all(&frame).unwrap();
+        raw.flush().unwrap();
+        let mut r = BufReader::new(stream);
+        let (op1, id1, p1) = binproto::read_bin_frame(&mut r).unwrap().unwrap();
+        match binproto::decode_response(op1, id1, &p1).unwrap() {
+            BinResponse::Error { id, code, .. } => {
+                assert_eq!(id, 42);
+                assert_eq!(code, ErrCode::BadRequest);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let (op2, id2, p2) = binproto::read_bin_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(
+            binproto::decode_response(op2, id2, &p2).unwrap(),
+            BinResponse::Pong { id: 43 }
+        ));
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+}

@@ -6,10 +6,20 @@
 //! * [`QueryService`] — a worker-pool executor whose workers serve from
 //!   pinned MVCC snapshots over the thread-safe buffer pool, with a
 //!   bounded admission queue, per-query deadlines, and aggregate metrics.
+//! * [`admission`] — the bounded MPMC ring behind the service: producers
+//!   fail fast at capacity, workers drain in batches, and the parking path
+//!   is only touched when the ring runs empty (DESIGN.md §15).
 //! * [`proto`] — the length-prefixed newline-JSON wire protocol spoken by
 //!   the `nokd` server binary and the `nokq` client binary.
+//! * [`binproto`] — the pipelined binary protocol (magic + opcode +
+//!   request id framing) spoken alongside it; one connection keeps many
+//!   requests in flight and responses are matched by id.
+//! * [`conn`] — the connection loops shared by `nokd` and the in-process
+//!   benchmarks: protocol auto-detection, per-connection response queue,
+//!   batched response writes.
 //! * [`metrics`] — lock-free counters and a log2-bucket latency histogram
-//!   (p50/p99 without per-request allocation).
+//!   (p50/p99 without per-request allocation), sharded per worker and
+//!   merged on read.
 //! * [`plan_cache`] — a bounded cache of planned queries keyed by
 //!   normalized query text; each entry is tagged with the commit
 //!   generation it was planned under and dropped individually when a
@@ -29,14 +39,18 @@
 //! [`QueryError::Timeout`], and worker threads survive both engine errors
 //! and timeouts. See DESIGN.md §9 and §14 for the full treatment.
 
+pub mod admission;
+pub mod binproto;
+pub mod conn;
 pub mod json;
 pub mod metrics;
 pub mod plan_cache;
 pub mod proto;
 pub mod service;
 
+pub use admission::{AdmissionQueue, PushError};
 pub use json::Json;
-pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use metrics::{LatencyHistogram, ServerMetrics, ShardedLatency};
 pub use plan_cache::{normalize_query, PlanCache};
 pub use proto::{read_frame, result_line, write_frame, Request, WireMatch};
 pub use service::{QueryError, QueryService, ServiceConfig};

@@ -10,16 +10,23 @@
 //!   the worker re-pins before its next job. Pinning is lock-free, so a
 //!   concurrent writer — updating through `&mut XmlDb` while the service
 //!   reads through a [`SnapshotSource`] — never blocks the read path.
-//! * **Bounded admission.** `submit` fails fast with
-//!   [`QueryError::QueueFull`] when `queue_cap` requests are already
-//!   waiting, so overload degrades by rejecting instead of by growing
-//!   without bound.
+//! * **Batched admission.** Jobs flow through a bounded lock-free MPMC
+//!   ring ([`crate::admission::AdmissionQueue`]); producers fail fast with
+//!   [`QueryError::QueueFull`] at `queue_cap`, and workers drain the ring
+//!   in batches so one wakeup amortizes across several queued jobs instead
+//!   of paying a mutex handoff per query (DESIGN.md §15).
+//! * **Two submission shapes.** [`QueryService::query_with_timeout`]
+//!   blocks the caller on a response slot — the classic one-request-per
+//!   round-trip shape. [`QueryService::query_async`] hands the service a
+//!   completion callback instead, which is what lets a pipelined
+//!   connection keep many requests in flight without a thread per request.
 //! * **Graceful timeout.** A query that misses its deadline returns
 //!   [`QueryError::Timeout`] to the caller; the worker thread is never
 //!   killed. If the worker was mid-evaluation, its eventual result lands in
-//!   an abandoned response slot and is dropped.
+//!   an abandoned response slot and is dropped. Async jobs get their
+//!   deadline checked when a worker picks them up (expired-in-queue jobs
+//!   complete with `Timeout` without touching the engine).
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -28,8 +35,14 @@ use std::time::{Duration, Instant};
 use nok_core::{QueryMatch, QueryOptions, QueryScratch, Snapshot, SnapshotSource, XmlDb};
 use nok_pager::{GenerationStats, Storage};
 
+use crate::admission::{AdmissionQueue, PushError};
 use crate::metrics::ServerMetrics;
 use crate::plan_cache::{normalize_query, PlanCache};
+
+/// How many jobs one worker wakeup drains from the admission ring at most.
+/// Small enough that a batch cannot starve idle workers, large enough that
+/// a deep queue is drained with a fraction of the wakeups.
+const DRAIN_BATCH: usize = 4;
 
 /// Errors surfaced to a query submitter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,12 +102,20 @@ struct ResponseSlot {
     cv: Condvar,
 }
 
+/// Where a completed job's result goes.
+enum Sink {
+    /// A blocked submitter waits on the slot.
+    Wait(Arc<ResponseSlot>),
+    /// A pipelined submitter gets called back (on the worker thread).
+    Callback(Box<dyn FnOnce(Result<Vec<QueryMatch>, QueryError>) + Send + 'static>),
+}
+
 struct Job {
     path: String,
     opts: QueryOptions,
     enqueued: Instant,
     deadline: Instant,
-    slot: Arc<ResponseSlot>,
+    sink: Sink,
 }
 
 struct Inner<S: Storage> {
@@ -104,11 +125,9 @@ struct Inner<S: Storage> {
     db: Option<Arc<XmlDb<S>>>,
     /// Pins worker snapshots; never borrows the database.
     source: SnapshotSource<S>,
-    queue: Mutex<VecDeque<Job>>,
-    cv: Condvar,
+    queue: AdmissionQueue<Job>,
     shutdown: AtomicBool,
     metrics: ServerMetrics,
-    queue_cap: usize,
     plan_cache: PlanCache,
 }
 
@@ -146,11 +165,9 @@ impl<S: Storage + Send + 'static> QueryService<S> {
         let inner = Arc::new(Inner {
             db,
             source,
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
+            queue: AdmissionQueue::new(config.queue_cap),
             shutdown: AtomicBool::new(false),
             metrics: ServerMetrics::default(),
-            queue_cap: config.queue_cap,
             plan_cache: PlanCache::new(config.plan_cache_cap),
         });
         let workers = (0..config.workers)
@@ -158,7 +175,7 @@ impl<S: Storage + Send + 'static> QueryService<S> {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("nok-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .unwrap_or_else(|e| {
                         // Thread spawn only fails on resource exhaustion at
                         // startup; surface it loudly rather than serving
@@ -175,6 +192,11 @@ impl<S: Storage + Send + 'static> QueryService<S> {
         }
     }
 
+    /// Default deadline applied when a caller does not pass one.
+    pub fn default_timeout(&self) -> Duration {
+        self.default_timeout
+    }
+
     /// Submit a query and wait for its result with the default deadline.
     pub fn query(&self, path: &str) -> Result<Vec<QueryMatch>, QueryError> {
         self.query_with_timeout(path, QueryOptions::default(), self.default_timeout)
@@ -189,33 +211,12 @@ impl<S: Storage + Send + 'static> QueryService<S> {
         timeout: Duration,
     ) -> Result<Vec<QueryMatch>, QueryError> {
         let inner = &self.inner;
-        if inner.shutdown.load(Ordering::Acquire) {
-            return Err(QueryError::Shutdown);
-        }
         let now = Instant::now();
         let slot = Arc::new(ResponseSlot {
             result: Mutex::new(None),
             cv: Condvar::new(),
         });
-        {
-            let mut queue = lock(&inner.queue);
-            if queue.len() >= inner.queue_cap {
-                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(QueryError::QueueFull);
-            }
-            queue.push_back(Job {
-                path: path.to_string(),
-                opts,
-                enqueued: now,
-                deadline: now + timeout,
-                slot: Arc::clone(&slot),
-            });
-            inner
-                .metrics
-                .queue_depth
-                .store(queue.len() as u64, Ordering::Relaxed);
-        }
-        inner.cv.notify_one();
+        self.submit(path, opts, now, timeout, Sink::Wait(Arc::clone(&slot)))?;
 
         // Wait for the worker, bounded by the deadline.
         let mut guard = lock(&slot.result);
@@ -235,6 +236,68 @@ impl<S: Storage + Send + 'static> QueryService<S> {
         match guard.take() {
             Some(r) => r,
             None => Err(QueryError::Shutdown),
+        }
+    }
+
+    /// Submit a query without blocking: `on_done` runs on a worker thread
+    /// once the query completes (or expires in the queue). Admission
+    /// failures — [`QueryError::QueueFull`], [`QueryError::Shutdown`] —
+    /// are returned immediately instead of invoking the callback, so a
+    /// connection loop can answer them in-line. This is the submission
+    /// shape behind the pipelined binary protocol: one connection keeps
+    /// many queries in flight with no per-request thread.
+    pub fn query_async<F>(
+        &self,
+        path: &str,
+        opts: QueryOptions,
+        timeout: Option<Duration>,
+        on_done: F,
+    ) -> Result<(), QueryError>
+    where
+        F: FnOnce(Result<Vec<QueryMatch>, QueryError>) + Send + 'static,
+    {
+        let timeout = timeout.unwrap_or(self.default_timeout);
+        self.submit(
+            path,
+            opts,
+            Instant::now(),
+            timeout,
+            Sink::Callback(Box::new(on_done)),
+        )
+    }
+
+    fn submit(
+        &self,
+        path: &str,
+        opts: QueryOptions,
+        now: Instant,
+        timeout: Duration,
+        sink: Sink,
+    ) -> Result<(), QueryError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(QueryError::Shutdown);
+        }
+        let job = Job {
+            path: path.to_string(),
+            opts,
+            enqueued: now,
+            deadline: now + timeout,
+            sink,
+        };
+        match inner.queue.push(job) {
+            Ok(()) => {
+                inner
+                    .metrics
+                    .queue_depth
+                    .store(inner.queue.len() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full(_)) => {
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(QueryError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => Err(QueryError::Shutdown),
         }
     }
 
@@ -280,7 +343,7 @@ impl<S: Storage + Send + 'static> QueryService<S> {
     /// Stop accepting work, finish nothing further, and join the workers.
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.cv.notify_all();
+        self.inner.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -293,7 +356,7 @@ impl<S: Storage + Send + 'static> Drop for QueryService<S> {
     }
 }
 
-fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
+fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>, worker: usize) {
     // Per-worker scratch: stats vectors and the result buffer live for the
     // worker's lifetime, so steady-state queries avoid fresh allocations
     // for bookkeeping.
@@ -303,56 +366,50 @@ fn worker_loop<S: Storage + Send + 'static>(inner: &Inner<S>) {
     // view per query would throw away its decode caches) and re-pinned
     // only when a commit has published a newer generation.
     let mut snap: Option<Snapshot<S>> = None;
-    loop {
-        let job = {
-            let mut queue = lock(&inner.queue);
-            loop {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
+    let mut batch: Vec<Job> = Vec::with_capacity(DRAIN_BATCH);
+    while inner.queue.pop_wait_batch(&mut batch, DRAIN_BATCH) {
+        inner
+            .metrics
+            .queue_depth
+            .store(inner.queue.len() as u64, Ordering::Relaxed);
+        for job in batch.drain(..) {
+            let now = Instant::now();
+            if now >= job.deadline {
+                // Expired while queued: don't waste engine time on it.
+                inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                deliver(job.sink, Err(QueryError::Timeout));
+                continue;
+            }
+            let current = inner.source.current_epoch();
+            if snap.as_ref().map(|s| s.epoch()) != Some(current) {
+                match inner.source.snapshot() {
+                    Ok(s) => snap = Some(s),
+                    Err(e) => {
+                        inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                        deliver(job.sink, Err(QueryError::Engine(e.to_string())));
+                        continue;
+                    }
                 }
-                if let Some(job) = queue.pop_front() {
+            }
+            let Some(view) = snap.as_ref() else {
+                // Unreachable: the branch above either pinned or continued.
+                deliver(job.sink, Err(QueryError::Shutdown));
+                continue;
+            };
+            let outcome = run_query(inner, view, &job, &mut scratch, &mut results);
+            match outcome {
+                Ok(()) => {
+                    inner.metrics.served.fetch_add(1, Ordering::Relaxed);
                     inner
                         .metrics
-                        .queue_depth
-                        .store(queue.len() as u64, Ordering::Relaxed);
-                    break job;
+                        .latency
+                        .record_shard(worker, job.enqueued.elapsed());
+                    deliver(job.sink, Ok(results.clone()));
                 }
-                queue = inner.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
-            }
-        };
-        let now = Instant::now();
-        if now >= job.deadline {
-            // Expired while queued: don't waste engine time on it.
-            inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
-            deliver(&job.slot, Err(QueryError::Timeout));
-            continue;
-        }
-        let current = inner.source.current_epoch();
-        if snap.as_ref().map(|s| s.epoch()) != Some(current) {
-            match inner.source.snapshot() {
-                Ok(s) => snap = Some(s),
                 Err(e) => {
                     inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    deliver(&job.slot, Err(QueryError::Engine(e.to_string())));
-                    continue;
+                    deliver(job.sink, Err(QueryError::Engine(e.to_string())));
                 }
-            }
-        }
-        let Some(view) = snap.as_ref() else {
-            // Unreachable: the branch above either pinned or continued.
-            deliver(&job.slot, Err(QueryError::Shutdown));
-            continue;
-        };
-        let outcome = run_query(inner, view, &job, &mut scratch, &mut results);
-        match outcome {
-            Ok(()) => {
-                inner.metrics.served.fetch_add(1, Ordering::Relaxed);
-                inner.metrics.latency.record(job.enqueued.elapsed());
-                deliver(&job.slot, Ok(results.clone()));
-            }
-            Err(e) => {
-                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                deliver(&job.slot, Err(QueryError::Engine(e.to_string())));
             }
         }
     }
@@ -392,10 +449,15 @@ fn run_query<S: Storage + Send + 'static>(
     view.execute_plan(&planned, scratch, results)
 }
 
-fn deliver(slot: &ResponseSlot, result: Result<Vec<QueryMatch>, QueryError>) {
-    let mut guard = lock(&slot.result);
-    *guard = Some(result);
-    slot.cv.notify_all();
+fn deliver(sink: Sink, result: Result<Vec<QueryMatch>, QueryError>) {
+    match sink {
+        Sink::Wait(slot) => {
+            let mut guard = lock(&slot.result);
+            *guard = Some(result);
+            slot.cv.notify_all();
+        }
+        Sink::Callback(cb) => cb(result),
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +562,72 @@ mod tests {
         assert_eq!(svc.metrics().served.load(Ordering::Relaxed), 200);
         assert!(svc.metrics().latency.count() == 200);
         assert!(svc.pool_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn async_submissions_complete_via_callback() {
+        let svc = service(2, 64);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..20u64 {
+            let tx = tx.clone();
+            svc.query_async("//book/title", QueryOptions::default(), None, move |r| {
+                let _ = tx.send((i, r));
+            })
+            .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let (i, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(r.unwrap().len(), 2);
+            assert!(seen.insert(i), "each callback fires exactly once");
+        }
+        assert_eq!(svc.metrics().served.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn async_expired_jobs_complete_with_timeout() {
+        // No workers: nothing drains until shutdown, so an async job with a
+        // tiny deadline is dead on arrival once a worker exists. Use one
+        // worker plus a queue-stuffing long job? Simplest deterministic
+        // shape: zero-duration timeout, one worker — the job is expired by
+        // the time it is drained.
+        let svc = service(1, 16);
+        let (tx, rx) = std::sync::mpsc::channel();
+        svc.query_async(
+            "//book",
+            QueryOptions::default(),
+            Some(Duration::ZERO),
+            move |r| {
+                let _ = tx.send(r);
+            },
+        )
+        .unwrap();
+        let r = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(r.unwrap_err(), QueryError::Timeout);
+    }
+
+    #[test]
+    fn async_admission_failures_return_inline() {
+        let mut svc = service(0, 1);
+        svc.query_async("//book", QueryOptions::default(), None, |_| {})
+            .unwrap();
+        let invoked = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&invoked);
+        let err = svc
+            .query_async("//book", QueryOptions::default(), None, move |_| {
+                flag.store(true, Ordering::Release);
+            })
+            .unwrap_err();
+        assert_eq!(err, QueryError::QueueFull);
+        assert!(
+            !invoked.load(Ordering::Acquire),
+            "callback must not run for rejected submissions"
+        );
+        svc.shutdown();
+        let err = svc
+            .query_async("//book", QueryOptions::default(), None, |_| {})
+            .unwrap_err();
+        assert_eq!(err, QueryError::Shutdown);
     }
 
     #[test]

@@ -381,9 +381,19 @@ fn parse_items(tokens: &[TokenTree]) -> Result<Vec<Item>> {
         // Find the item's extent and leading keyword.
         let start = i;
         let kw = leading_keyword(tokens, i);
-        let brace_terminated = kw
+        let mut brace_terminated = kw
             .as_deref()
             .is_some_and(|k| BRACE_TERMINATED.contains(&k) || k == "macro_rules");
+        // A macro invocation in item position (`thread_local! { ... }`)
+        // ends at its brace group just like `macro_rules!`; without this the
+        // scan would run on to the next top-level `;`, swallowing whatever
+        // items follow (and their `#[cfg(test)]` markers).
+        if !brace_terminated
+            && matches!(tokens.get(i), Some(TokenTree::Ident(_)))
+            && matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.ch == '!')
+        {
+            brace_terminated = true;
+        }
         let mut end = i;
         let mut body: Option<&Group> = None;
         while end < tokens.len() {
