@@ -53,12 +53,14 @@ else
   echo "==> Miri: skipped (nightly miri not installed)"
 fi
 
-echo "==> nokfsck over a generated corpus"
+echo "==> nokfsck over a generated corpus (both structure backends)"
 corpus="$(mktemp -d)"
 trap 'rm -rf "$corpus"' EXIT
 for ds in author address catalog; do
-  ./target/release/mkdb "$ds" 0.01 "$corpus/$ds"
-  ./target/release/nokfsck --strict "$corpus/$ds"
+  for backend in classic succinct; do
+    ./target/release/mkdb "$ds" 0.01 "$corpus/$ds-$backend" "$backend"
+    ./target/release/nokfsck --strict "$corpus/$ds-$backend"
+  done
 done
 
 echo "==> nokd end-to-end (serve a corpus, ~100 queries, diff vs offline)"
@@ -96,11 +98,20 @@ diff "$corpus/served-bin.txt" "$corpus/offline.txt"
 ./target/release/nokq --addr "127.0.0.1:$port" --shutdown > /dev/null
 wait "$nokd_pid"
 ./target/release/nokfsck --strict "$corpus/dblp"
+# The succinct backend must serve byte-identical results for the same corpus
+# (backend picked up from the superblock) and pass the strict analyzer.
+./target/release/mkdb dblp 0.01 "$corpus/dblp-succinct" succinct
+./target/release/nokfsck --strict "$corpus/dblp-succinct"
+./target/release/nokq --offline "$corpus/dblp-succinct" < "$corpus/queries5.txt" \
+  > "$corpus/offline-succinct.txt"
+diff "$corpus/offline-succinct.txt" "$corpus/offline.txt"
 
 echo "==> serve throughput bench, both protocols + mixed writer (BENCH_serve.json)"
 # Exits nonzero itself if the binary-pipelined 1t->8t scaling gate (>=3x
-# qps, p99 no worse) fails on a host with >=8 cores; on smaller hosts the
-# gate is recorded but not enforced (same guarded-skip as TSan/Miri above).
+# qps, p99 no worse) fails on a host with >=8 cores, or if the mixed
+# readers+writer run keeps less than 80% of read-only qps on a host with a
+# spare core for the writer; on smaller hosts the gates are recorded but
+# not enforced (same guarded-skip as TSan/Miri above).
 cargo run --release -q -p nok-bench --bin serve_throughput -- \
   --scale 0.01 --duration-ms 300 --warmup-ms 150 --threads 1,2,4,8 \
   --pipeline 8 --write-rate 50 --out BENCH_serve.json
@@ -116,13 +127,21 @@ grep -q '"cores"' BENCH_serve.json
 # and the writer must have actually committed.
 grep -q '"mixed"' BENCH_serve.json
 grep -q '"writes_committed"' BENCH_serve.json
+# The mixed run carries its qps floor and verdict.
+grep -q '"required_ratio"' BENCH_serve.json
 
-echo "==> navigation kernels bench (BENCH_nav.json)"
-# nav_bench exits nonzero if the indexed path examines < 5x fewer entries
-# on the deep/wide sibling chain or loads more pages than the linear oracle.
+echo "==> navigation kernels bench, both backends (BENCH_nav.json)"
+# nav_bench measures classic and succinct interleaved and exits nonzero if
+# the indexed path examines < 5x fewer entries on the deep/wide sibling
+# chain, is slower than the linear oracle beyond noise tolerance on any
+# workload, the succinct backend loses to classic, or the succinct
+# structure is not at least 2x smaller.
 cargo run --release -q -p nok-bench --bin nav_bench -- \
   --scale 0.01 --reps 3 --out BENCH_nav.json
 grep -q '"gates_passed":true' BENCH_nav.json
+grep -q '"backend":"classic"' BENCH_nav.json
+grep -q '"backend":"succinct"' BENCH_nav.json
+grep -q '"structure_bytes_ratio"' BENCH_nav.json
 
 echo "==> planner/executor differential battery (release)"
 # Every workload query x every dataset: cost-ordered plan == fixed order

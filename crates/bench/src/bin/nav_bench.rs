@@ -28,7 +28,7 @@ use nok_core::cursor::{
     descendants, first_child, following_sibling, linear_descendants, linear_following_sibling,
     linear_subtree_close, subtree_close,
 };
-use nok_core::{BuildOptions, CoreResult, NodeAddr, StructStore, TagDict};
+use nok_core::{BackendKind, BuildOptions, CoreResult, NodeAddr, StructStore, TagDict};
 use nok_datagen::all_datasets;
 use nok_pager::{BufferPool, MemStorage};
 use nok_serve::Json;
@@ -43,6 +43,10 @@ type CloseFn = fn(&Store, NodeAddr) -> CoreResult<NodeAddr>;
 /// span many pages, so directory behavior is visible.
 const PAGE_SIZE: usize = 256;
 
+/// Noise tolerance for wall-clock gates: best-of-reps timings still jitter,
+/// so "not slower" means "within 15%".
+const NS_TOL: f64 = 1.15;
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("nav_bench: {e}");
@@ -50,14 +54,14 @@ fn main() {
     }
 }
 
-fn build_store(xml: &str) -> Result<Store, String> {
+fn build_store(xml: &str, backend: BackendKind) -> Result<Store, String> {
     let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(PAGE_SIZE)));
     let mut dict = TagDict::new();
     StructStore::build(
         pool,
         Reader::content_only(xml),
         &mut dict,
-        BuildOptions::default(),
+        BuildOptions::with_backend(backend),
         &mut (),
     )
     .map_err(|e| format!("build: {e}"))
@@ -81,6 +85,7 @@ fn deepwide_xml(siblings: usize, depth: usize) -> String {
     xml
 }
 
+#[derive(Clone, Copy, Default)]
 struct Measure {
     ns_per_op: f64,
     ops: u64,
@@ -89,34 +94,65 @@ struct Measure {
     reads: u64,
 }
 
-/// Run `work` `reps` times from a cold cache, keeping the best wall time
-/// and the per-pass counters.
-fn measure(
+/// One cold pass of `work`: caches and counters reset, wall time and the
+/// pass's counters returned.
+fn cold_pass(
     store: &Store,
-    reps: usize,
     work: &dyn Fn(&Store) -> Result<u64, String>,
-) -> Result<Measure, String> {
-    let mut best = f64::INFINITY;
-    let mut ops = 0u64;
-    for _ in 0..reps.max(1) {
-        store.invalidate_decoded(None);
-        store
-            .pool()
-            .clear_cache()
-            .map_err(|e| format!("clear: {e}"))?;
-        store.pool().stats().reset();
-        let t = Instant::now();
-        ops = work(store)?;
-        best = best.min(t.elapsed().as_nanos() as f64);
-    }
+) -> Result<(f64, Measure), String> {
+    store.invalidate_decoded(None);
+    store
+        .pool()
+        .clear_cache()
+        .map_err(|e| format!("clear: {e}"))?;
+    store.pool().stats().reset();
+    let t = Instant::now();
+    let ops = work(store)?;
+    let ns = t.elapsed().as_nanos() as f64;
     let st = store.pool().stats();
-    Ok(Measure {
-        ns_per_op: if ops == 0 { 0.0 } else { best / ops as f64 },
-        ops,
-        entries: st.entries_examined(),
-        dir_entries: st.dir_entries_examined(),
-        reads: st.physical_reads(),
-    })
+    Ok((
+        ns,
+        Measure {
+            ns_per_op: 0.0,
+            ops,
+            entries: st.entries_examined(),
+            dir_entries: st.dir_entries_examined(),
+            reads: st.physical_reads(),
+        },
+    ))
+}
+
+/// Measure the linear and indexed variants of one workload on both backend
+/// stores, *interleaved*: every rep runs all four passes back to back, so a
+/// machine-load drift hits every variant equally instead of biasing
+/// whichever side was measured later. Best wall time per variant is kept;
+/// counters come from the (deterministic) final pass.
+fn measure_quad(
+    stores: &[Store; 2],
+    reps: usize,
+    lin: &dyn Fn(&Store) -> Result<u64, String>,
+    idx: &dyn Fn(&Store) -> Result<u64, String>,
+) -> Result<[(Measure, Measure); 2], String> {
+    let mut best = [[f64::INFINITY; 2]; 2];
+    let mut meas = [[Measure::default(); 2]; 2];
+    for _ in 0..reps.max(1) {
+        for (s, store) in stores.iter().enumerate() {
+            for (v, work) in [lin, idx].into_iter().enumerate() {
+                let (ns, m) = cold_pass(store, work)?;
+                best[s][v] = best[s][v].min(ns);
+                meas[s][v] = m;
+            }
+        }
+    }
+    let finish = |m: &mut Measure, ns: f64| {
+        m.ns_per_op = if m.ops == 0 { 0.0 } else { ns / m.ops as f64 };
+    };
+    for s in 0..2 {
+        for v in 0..2 {
+            finish(&mut meas[s][v], best[s][v]);
+        }
+    }
+    Ok([(meas[0][0], meas[0][1]), (meas[1][0], meas[1][1])])
 }
 
 fn root_of(store: &Store) -> Result<NodeAddr, String> {
@@ -218,31 +254,104 @@ impl WorkloadResult {
     }
 }
 
+/// Run the three workload kinds on both backend stores of one corpus,
+/// appending per-backend results.
 fn run_triple(
-    store: &Store,
+    stores: &[Store; 2],
     label: &str,
     reps: usize,
     close_cap: usize,
-    out: &mut Vec<WorkloadResult>,
+    out: &mut [Vec<WorkloadResult>; 2],
 ) -> Result<(), String> {
-    out.push(WorkloadResult {
-        name: format!("{label}_sibling_chain"),
-        linear: measure(store, reps, &|s| sibling_chain(s, linear_following_sibling))?,
-        indexed: measure(store, reps, &|s| sibling_chain(s, following_sibling))?,
-    });
-    out.push(WorkloadResult {
-        name: format!("{label}_subtree_close"),
-        linear: measure(store, reps, &|s| {
-            close_records(s, linear_subtree_close, close_cap)
-        })?,
-        indexed: measure(store, reps, &|s| close_records(s, subtree_close, close_cap))?,
-    });
-    out.push(WorkloadResult {
-        name: format!("{label}_descendant_scan"),
-        linear: measure(store, reps, &|s| descendant_scan(s, true))?,
-        indexed: measure(store, reps, &|s| descendant_scan(s, false))?,
-    });
+    let triples: [(
+        &str,
+        Box<dyn Fn(&Store) -> Result<u64, String>>,
+        Box<dyn Fn(&Store) -> Result<u64, String>>,
+    ); 3] = [
+        (
+            "sibling_chain",
+            Box::new(|s: &Store| sibling_chain(s, linear_following_sibling)),
+            Box::new(|s: &Store| sibling_chain(s, following_sibling)),
+        ),
+        (
+            "subtree_close",
+            Box::new(move |s: &Store| close_records(s, linear_subtree_close, close_cap)),
+            Box::new(move |s: &Store| close_records(s, subtree_close, close_cap)),
+        ),
+        (
+            "descendant_scan",
+            Box::new(|s: &Store| descendant_scan(s, true)),
+            Box::new(|s: &Store| descendant_scan(s, false)),
+        ),
+    ];
+    for (suffix, lin, idx) in &triples {
+        let sides = measure_quad(stores, reps, lin.as_ref(), idx.as_ref())?;
+        for (b, (linear, indexed)) in sides.into_iter().enumerate() {
+            out[b].push(WorkloadResult {
+                name: format!("{label}_{suffix}"),
+                linear,
+                indexed,
+            });
+        }
+    }
     Ok(())
+}
+
+struct BackendRun {
+    kind: BackendKind,
+    /// Header + content bytes across the deepwide gate corpus's chain.
+    deepwide_bytes: u64,
+    /// Same, summed over the five paper datasets.
+    dataset_bytes: u64,
+    results: Vec<WorkloadResult>,
+}
+
+const BACKENDS: [BackendKind; 2] = [BackendKind::Classic, BackendKind::Succinct];
+
+fn run_all(scale: f64, reps: usize) -> Result<[BackendRun; 2], String> {
+    let mut results: [Vec<WorkloadResult>; 2] = [Vec::new(), Vec::new()];
+    let sbytes = |s: &Store| {
+        s.structure_bytes()
+            .map_err(|e| format!("structure_bytes: {e}"))
+    };
+
+    // Gate corpus.
+    let xml = deepwide_xml(300, 100);
+    let deepwide = [
+        build_store(&xml, BACKENDS[0])?,
+        build_store(&xml, BACKENDS[1])?,
+    ];
+    let deepwide_bytes = [sbytes(&deepwide[0])?, sbytes(&deepwide[1])?];
+    run_triple(&deepwide, "deepwide", reps, usize::MAX, &mut results)?;
+    drop(deepwide);
+
+    // The five paper datasets (reported; gated only on reads and ns/op).
+    let mut dataset_bytes = [0u64; 2];
+    for ds in all_datasets(scale) {
+        let stores = [
+            build_store(&ds.xml, BACKENDS[0])?,
+            build_store(&ds.xml, BACKENDS[1])?,
+        ];
+        dataset_bytes[0] += sbytes(&stores[0])?;
+        dataset_bytes[1] += sbytes(&stores[1])?;
+        run_triple(&stores, ds.kind.name(), reps, 500, &mut results)?;
+    }
+
+    let [classic_results, succinct_results] = results;
+    Ok([
+        BackendRun {
+            kind: BACKENDS[0],
+            deepwide_bytes: deepwide_bytes[0],
+            dataset_bytes: dataset_bytes[0],
+            results: classic_results,
+        },
+        BackendRun {
+            kind: BACKENDS[1],
+            deepwide_bytes: deepwide_bytes[1],
+            dataset_bytes: dataset_bytes[1],
+            results: succinct_results,
+        },
+    ])
 }
 
 fn run() -> Result<(), String> {
@@ -251,74 +360,123 @@ fn run() -> Result<(), String> {
     let reps = args.reps() as usize;
     let out_path = args.get("out").unwrap_or("BENCH_nav.json").to_string();
 
-    let mut results: Vec<WorkloadResult> = Vec::new();
+    let runs = run_all(scale, reps)?;
 
-    // Gate corpus.
-    let deepwide = build_store(&deepwide_xml(300, 100))?;
-    run_triple(&deepwide, "deepwide", reps, usize::MAX, &mut results)?;
-
-    // The five paper datasets (reported, not gated).
-    for ds in all_datasets(scale) {
-        let store = build_store(&ds.xml)?;
-        run_triple(&store, ds.kind.name(), reps, 500, &mut results)?;
-    }
-
-    println!(
-        "{:<28} {:>10} {:>10} {:>12} {:>12} {:>7} {:>6} {:>6}",
-        "workload",
-        "lin ns/op",
-        "idx ns/op",
-        "lin entries",
-        "idx entries",
-        "ratio",
-        "lin rd",
-        "idx rd"
-    );
-    for r in &results {
+    for run in &runs {
         println!(
-            "{:<28} {:>10.1} {:>10.1} {:>12} {:>12} {:>7.1} {:>6} {:>6}",
-            r.name,
-            r.linear.ns_per_op,
-            r.indexed.ns_per_op,
-            r.linear.entries,
-            r.indexed.entries,
-            r.entries_ratio(),
-            r.linear.reads,
-            r.indexed.reads,
+            "== backend {} (deepwide {} B, datasets {} B) ==",
+            run.kind.name(),
+            run.deepwide_bytes,
+            run.dataset_bytes
         );
+        println!(
+            "{:<28} {:>10} {:>10} {:>12} {:>12} {:>7} {:>6} {:>6}",
+            "workload",
+            "lin ns/op",
+            "idx ns/op",
+            "lin entries",
+            "idx entries",
+            "ratio",
+            "lin rd",
+            "idx rd"
+        );
+        for r in &run.results {
+            println!(
+                "{:<28} {:>10.1} {:>10.1} {:>12} {:>12} {:>7.1} {:>6} {:>6}",
+                r.name,
+                r.linear.ns_per_op,
+                r.indexed.ns_per_op,
+                r.linear.entries,
+                r.indexed.entries,
+                r.entries_ratio(),
+                r.linear.reads,
+                r.indexed.reads,
+            );
+        }
     }
 
     // ---- Acceptance gates.
     let mut failures = Vec::new();
-    for r in &results {
-        if r.indexed.reads > r.linear.reads {
-            failures.push(format!(
-                "{}: indexed path loaded more pages ({} > {})",
-                r.name, r.indexed.reads, r.linear.reads
-            ));
+    for run in &runs {
+        let b = run.kind.name();
+        for r in &run.results {
+            if r.indexed.reads > r.linear.reads {
+                failures.push(format!(
+                    "{b}/{}: indexed path loaded more pages ({} > {})",
+                    r.name, r.indexed.reads, r.linear.reads
+                ));
+            }
+            // The regression this bench previously let through: an indexed
+            // walk that wins on entries examined but loses wall-clock.
+            if r.indexed.ns_per_op > r.linear.ns_per_op * NS_TOL {
+                failures.push(format!(
+                    "{b}/{}: indexed slower than linear ({:.1} > {:.1} ns/op)",
+                    r.name, r.indexed.ns_per_op, r.linear.ns_per_op
+                ));
+            }
         }
-    }
-    if let Some(r) = results.iter().find(|r| r.name == "deepwide_sibling_chain") {
-        if r.entries_ratio() < 5.0 {
-            failures.push(format!(
-                "deepwide_sibling_chain: entries ratio {:.2} < 5.0 (linear={} indexed={})",
+        match run
+            .results
+            .iter()
+            .find(|r| r.name == "deepwide_sibling_chain")
+        {
+            Some(r) if r.entries_ratio() < 5.0 => failures.push(format!(
+                "{b}/deepwide_sibling_chain: entries ratio {:.2} < 5.0 (linear={} indexed={})",
                 r.entries_ratio(),
                 r.linear.entries,
                 r.indexed.entries
+            )),
+            Some(_) => {}
+            None => failures.push(format!("{b}/deepwide_sibling_chain workload missing")),
+        }
+    }
+    let [classic, succinct] = &runs;
+    if succinct.deepwide_bytes * 2 > classic.deepwide_bytes {
+        failures.push(format!(
+            "succinct structure not >= 2x smaller on deepwide ({} vs {} bytes)",
+            succinct.deepwide_bytes, classic.deepwide_bytes
+        ));
+    }
+    // The succinct backend must never lose to classic on any workload.
+    for (c, s) in classic.results.iter().zip(&succinct.results) {
+        if s.indexed.ns_per_op > c.indexed.ns_per_op * NS_TOL {
+            failures.push(format!(
+                "{}: succinct indexed slower than classic ({:.1} > {:.1} ns/op)",
+                s.name, s.indexed.ns_per_op, c.indexed.ns_per_op
             ));
         }
-    } else {
-        failures.push("deepwide_sibling_chain workload missing".into());
     }
 
+    let backend_json = |run: &BackendRun| {
+        Json::obj(vec![
+            ("backend", Json::Str(run.kind.name().into())),
+            ("structure_bytes", Json::Num(run.deepwide_bytes as f64)),
+            (
+                "dataset_structure_bytes",
+                Json::Num(run.dataset_bytes as f64),
+            ),
+            (
+                "workloads",
+                Json::Arr(run.results.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    };
     let report = Json::obj(vec![
         ("bench", Json::Str("nav".into())),
         ("scale", Json::Num(scale)),
         ("reps", Json::Num(reps as f64)),
         ("page_size", Json::Num(PAGE_SIZE as f64)),
         (
-            "workloads",
-            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+            "backends",
+            Json::Arr(runs.iter().map(backend_json).collect()),
+        ),
+        (
+            "structure_bytes_ratio",
+            Json::Num(
+                (classic.deepwide_bytes as f64 / succinct.deepwide_bytes.max(1) as f64 * 100.0)
+                    .round()
+                    / 100.0,
+            ),
         ),
         ("gates_passed", Json::Bool(failures.is_empty())),
     ]);

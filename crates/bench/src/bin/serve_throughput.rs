@@ -238,7 +238,14 @@ fn run() -> Result<(), String> {
     // p99 "no worse" with 2x slack for bucket noise at CI durations.
     let p99_ok = hi_p99 <= lo_p99.saturating_mul(2).max(1);
     let scaling_ok = ratio >= 3.0 && p99_ok;
-    let gates_passed = !enforced || scaling_ok;
+    let mut gates_passed = !enforced || scaling_ok;
+    let mut gate_failures: Vec<String> = Vec::new();
+    if enforced && !scaling_ok {
+        gate_failures.push(format!(
+            "scaling gate failed: binary {lo_t}t->{hi_t}t ratio {ratio:.2} (need 3.0) \
+             p99 {lo_p99}us->{hi_p99}us on a {cores}-core host"
+        ));
+    }
     println!(
         "scaling: binary {lo_t}t -> {hi_t}t = {ratio:.2}x (p99 {lo_p99}us -> {hi_p99}us), \
          cores={cores}, gate {}",
@@ -314,6 +321,34 @@ fn run() -> Result<(), String> {
     } else {
         0.0
     };
+    // Mixed gate: with per-entry plan-cache invalidation and lock-free
+    // snapshot pinning, a background writer should cost the readers under
+    // 20% of read-only throughput. Enforced only where the host has a core
+    // for the writer on top of the readers — on smaller hosts the writer
+    // steals reader CPU outright and the ratio measures the scheduler, not
+    // the storage scheme.
+    const MIXED_RATIO_FLOOR: f64 = 0.8;
+    let mixed_enforced = cores > readers;
+    let mixed_ok = ratio_mixed >= MIXED_RATIO_FLOOR;
+    if mixed_enforced && !mixed_ok {
+        gates_passed = false;
+        gate_failures.push(format!(
+            "mixed gate failed: qps ratio {ratio_mixed:.3} < {MIXED_RATIO_FLOOR} \
+             ({} mixed vs {} read-only qps) on a {cores}-core host",
+            mixed_r.qps.round(),
+            baseline.round()
+        ));
+    }
+    println!(
+        "mixed: qps ratio {ratio_mixed:.3} (floor {MIXED_RATIO_FLOOR}), gate {}",
+        if !mixed_enforced {
+            "not enforced (host has no spare core for the writer)"
+        } else if mixed_ok {
+            "PASSED"
+        } else {
+            "FAILED"
+        }
+    );
     println!(
         "{:>8} {:>8} {:>6} {:>12.1} {:>10} {:>10} {:>10}  \
          (mixed: +1 writer, {writes} commits, {:.0}% of read-only)",
@@ -347,6 +382,9 @@ fn run() -> Result<(), String> {
             "generations_retired",
             Json::Num(svc.generation_stats().retired_generations() as f64),
         ),
+        ("required_ratio", Json::Num(MIXED_RATIO_FLOOR)),
+        ("enforced", Json::Bool(mixed_enforced)),
+        ("passed", Json::Bool(mixed_ok)),
     ]);
 
     let report = Json::obj(vec![
@@ -385,10 +423,7 @@ fn run() -> Result<(), String> {
 
     std::fs::remove_dir_all(&dir).ok();
     if !gates_passed {
-        return Err(format!(
-            "scaling gate failed: binary {lo_t}t->{hi_t}t ratio {ratio:.2} (need 3.0) \
-             p99 {lo_p99}us->{hi_p99}us on a {cores}-core host"
-        ));
+        return Err(gate_failures.join("; "));
     }
     Ok(())
 }

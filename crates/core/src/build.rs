@@ -16,6 +16,7 @@ use nok_xml::Reader;
 
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
+use crate::page::BackendKind;
 use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::recovery::RecoveryReport;
 use crate::sigma::{TagCode, TagDict};
@@ -127,17 +128,68 @@ pub(crate) const F_DATA: &str = "values.dat";
 pub(crate) const F_DICT: &str = "dict.bin";
 pub(crate) const F_WAL: &str = "wal.log";
 pub(crate) const F_STATS: &str = "stats.blk";
+pub(crate) const F_SUPER: &str = "super.blk";
 
 /// Paged component files in WAL component order (the `comp` byte of a
 /// [`WalRecord::PageImage`] indexes this array).
 pub(crate) const COMPONENT_FILES: [&str; 4] = [F_STRUCT, F_TAG, F_VAL, F_ID];
 
+/// Magic prefix of the database superblock.
+const SUPER_MAGIC: &[u8; 8] = b"NOKSUPER";
+/// Superblock format version.
+const SUPER_VERSION: u16 = 1;
+
+/// Write the superblock: `NOKSUPER | u16 version | format byte`. The format
+/// byte selects the structure backend (see [`BackendKind::format_byte`]).
+/// Static after creation — it is never part of a transaction.
+fn write_superblock(dir: &Path, backend: BackendKind) -> CoreResult<()> {
+    let mut out = Vec::with_capacity(11);
+    out.extend_from_slice(SUPER_MAGIC);
+    out.extend_from_slice(&SUPER_VERSION.to_be_bytes());
+    out.push(backend.format_byte());
+    std::fs::write(dir.join(F_SUPER), out).map_err(nok_pager::PagerError::from)?;
+    Ok(())
+}
+
+/// Read the superblock of a database directory. A missing file means a
+/// database created before the superblock existed: classic format.
+pub fn read_superblock<P: AsRef<Path>>(dir: P) -> CoreResult<BackendKind> {
+    let path = dir.as_ref().join(F_SUPER);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BackendKind::Classic),
+        Err(e) => return Err(nok_pager::PagerError::from(e).into()),
+    };
+    if bytes.len() != 11
+        || &bytes[..8] != SUPER_MAGIC
+        || u16::from_be_bytes([bytes[8], bytes[9]]) != SUPER_VERSION
+    {
+        return Err(CoreError::Corrupt("bad superblock".into()));
+    }
+    BackendKind::from_format_byte(bytes[10])
+        .ok_or_else(|| CoreError::Corrupt(format!("unknown backend byte {}", bytes[10])))
+}
+
 impl XmlDb<FileStorage> {
     /// Parse `xml` and build a database persisted under directory `dir`
-    /// (created if missing).
+    /// (created if missing). Classic (paper) structure backend; use
+    /// [`XmlDb::create_on_disk_with`] to select another.
     pub fn create_on_disk<P: AsRef<Path>>(dir: P, xml: &str) -> CoreResult<Self> {
+        Self::create_on_disk_with(dir, xml, BuildOptions::default())
+    }
+
+    /// [`XmlDb::create_on_disk`] with explicit build options — in
+    /// particular the structure backend, which is recorded in the
+    /// directory's superblock so [`XmlDb::open_dir`] decodes pages with
+    /// the right backend.
+    pub fn create_on_disk_with<P: AsRef<Path>>(
+        dir: P,
+        xml: &str,
+        opts: BuildOptions,
+    ) -> CoreResult<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(nok_pager::PagerError::from)?;
+        write_superblock(dir, opts.backend)?;
         let mk = |name: &str| -> CoreResult<Arc<BufferPool<FileStorage>>> {
             Ok(Arc::new(BufferPool::new(FileStorage::create(
                 dir.join(name),
@@ -145,7 +197,7 @@ impl XmlDb<FileStorage> {
         };
         let mut db = XmlDb::build_with_pools(
             xml,
-            BuildOptions::default(),
+            opts,
             mk(F_STRUCT)?,
             mk(F_TAG)?,
             mk(F_VAL)?,
@@ -206,15 +258,19 @@ impl<S: Storage> XmlDb<S> {
     {
         let dir: PathBuf = dir.as_ref().to_path_buf();
         let report = crate::recovery::recover_dir(&dir)?;
+        let backend = read_superblock(&dir)?;
         let mk = |name: &str| -> CoreResult<Arc<BufferPool<S>>> {
             Ok(Arc::new(BufferPool::new(wrap(FileStorage::open(
                 dir.join(name),
             )?))))
         };
-        let store = StructStore::open(Arc::new(BufferPool::with_capacity(
-            wrap(FileStorage::open(dir.join(F_STRUCT))?),
-            struct_frames,
-        )))?;
+        let store = StructStore::open_with_backend(
+            Arc::new(BufferPool::with_capacity(
+                wrap(FileStorage::open(dir.join(F_STRUCT))?),
+                struct_frames,
+            )),
+            backend,
+        )?;
         let bt_tag = BTree::open(mk(F_TAG)?)?;
         let bt_val = BTree::open(mk(F_VAL)?)?;
         let bt_id = BTree::open(mk(F_ID)?)?;
@@ -825,7 +881,51 @@ mod tests {
             // Value still resolvable after reopen.
             let hits = db.bt_val.get_all(&hash_key("TCP/IP")).unwrap();
             assert_eq!(hits.len(), 1);
+            // A classic directory records its backend in the superblock.
+            assert_eq!(read_superblock(&dir).unwrap(), BackendKind::Classic);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn succinct_on_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nok-succinct-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = XmlDb::create_on_disk_with(
+                &dir,
+                BIB,
+                BuildOptions::with_backend(BackendKind::Succinct),
+            )
+            .unwrap();
+            assert_eq!(db.store().backend(), BackendKind::Succinct);
+            assert_eq!(db.node_count(), 9);
+        }
+        assert_eq!(read_superblock(&dir).unwrap(), BackendKind::Succinct);
+        {
+            // open_dir reads the superblock and picks the right decoder.
+            let db = XmlDb::open_dir(&dir).unwrap();
+            assert_eq!(db.store().backend(), BackendKind::Succinct);
+            assert_eq!(db.node_count(), 9);
+            let hits = db.query(r#"//book[price="65.95"]"#).unwrap();
+            assert_eq!(hits.len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_superblock_means_classic() {
+        let dir = std::env::temp_dir().join(format!("nok-nosuper-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            XmlDb::create_on_disk(&dir, BIB).unwrap();
+        }
+        // Simulate a pre-superblock database directory.
+        std::fs::remove_file(dir.join(F_SUPER)).unwrap();
+        assert_eq!(read_superblock(&dir).unwrap(), BackendKind::Classic);
+        let db = XmlDb::open_dir(&dir).unwrap();
+        assert_eq!(db.store().backend(), BackendKind::Classic);
+        assert_eq!(db.node_count(), 9);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -43,6 +43,12 @@
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
 use crate::page::{DecodedPage, Entry, BLOCK_ENTRIES};
+
+/// After this many consecutive block summaries that admit the target (i.e.
+/// cannot skip), the in-page scans stop consulting summaries and walk the
+/// rest of the page linearly. Shallow corpora admit nearly every block, and
+/// there the summary probes are pure overhead over the linear oracle.
+const BLOCK_MISS_LIMIT: u32 = 2;
 use crate::sigma::TagCode;
 use crate::store::{NodeAddr, StructStore};
 use nok_pager::{PageId, Storage};
@@ -137,6 +143,7 @@ pub fn first_child<S: Storage>(
 /// `from`, skipping blocks whose summary admits neither a candidate nor a
 /// stop. `Some(Some(addr))` = found, `Some(None)` = stop reached (no
 /// sibling), `None` = page exhausted, continue on the next page.
+#[inline]
 fn scan_sibling_blocks(
     page: &DecodedPage,
     pid: PageId,
@@ -145,15 +152,94 @@ fn scan_sibling_blocks(
     stop: u16,
     examined: &mut u64,
 ) -> Option<Option<NodeAddr>> {
+    // Balanced-parentheses fast path (succinct backend): hop from the
+    // current position straight to the enclosing subtree's close via
+    // excess search, then the very next entry decides — an open at `l` is
+    // the sibling, anything lower is the stop.
+    if let Some(bp) = &page.bp {
+        let st = i32::from(page.header.st);
+        let mut j = from;
+        while j < page.len() {
+            *examined += 1;
+            let lev = page.levels[j];
+            if lev <= stop {
+                return Some(None);
+            }
+            if lev == l && page.entries[j].is_open() {
+                return Some(Some(NodeAddr {
+                    page: pid,
+                    entry: j as u32,
+                }));
+            }
+            if lev < l {
+                // A close at level l-1: its successor decides.
+                j += 1;
+            } else {
+                // Inside a nested subtree (level ≥ l): excess-search to the
+                // close at level l-1 in O(1) directory probes.
+                match bp.fwd_search_le(j + 1, i32::from(l) - 1 - st) {
+                    None => return None,
+                    Some(k) => j = k,
+                }
+            }
+        }
+        return None;
+    }
+    // No aligned block boundary left in the remaining span: the summaries
+    // cannot skip anything, so the block bookkeeping is pure overhead —
+    // plain linear scan (this is the nav_bench deep/wide regression fix).
+    if from.next_multiple_of(BLOCK_ENTRIES) >= page.len() {
+        for j in from..page.len() {
+            *examined += 1;
+            let lev = page.levels[j];
+            if lev <= stop {
+                return Some(None);
+            }
+            if lev == l && page.entries[j].is_open() {
+                return Some(Some(NodeAddr {
+                    page: pid,
+                    entry: j as u32,
+                }));
+            }
+        }
+        return None;
+    }
     let mut i = from;
+    let mut misses = 0u32;
     while i < page.len() {
         let b = i / BLOCK_ENTRIES;
         let end = ((b + 1) * BLOCK_ENTRIES).min(page.len());
         // Whole blocks can only be skipped from their first entry: the
         // first-open-at-`l` exception reasons about the block boundary.
-        if i == b * BLOCK_ENTRIES && !page.blocks[b].admits_sibling(l) {
-            i = end;
-            continue;
+        if i == b * BLOCK_ENTRIES {
+            if page.blocks[b].admits_sibling(l) {
+                // In shallow documents nearly every block admits the target
+                // level, so the summary checks are pure overhead on top of
+                // the same entry walk the linear oracle does. After a few
+                // consecutive non-skipping blocks, stop consulting them for
+                // the rest of the page (the nav_bench ns/op regression fix).
+                misses += 1;
+                if misses >= BLOCK_MISS_LIMIT {
+                    for j in i..page.len() {
+                        *examined += 1;
+                        let lev = page.levels[j];
+                        if lev <= stop {
+                            return Some(None);
+                        }
+                        if lev == l && page.entries[j].is_open() {
+                            return Some(Some(NodeAddr {
+                                page: pid,
+                                entry: j as u32,
+                            }));
+                        }
+                    }
+                    return None;
+                }
+            } else {
+                misses = 0;
+                i = end;
+                continue;
+            }
         }
         for j in i..end {
             *examined += 1;
@@ -298,6 +384,7 @@ pub fn linear_following_sibling<S: Storage>(
 /// Scan one page for the first entry at level `< l` starting at `from`,
 /// skipping blocks whose min level rules it out. `Some(addr)` = found,
 /// `None` = continue on the next page.
+#[inline]
 fn scan_close_blocks(
     page: &DecodedPage,
     pid: PageId,
@@ -305,13 +392,59 @@ fn scan_close_blocks(
     l: u16,
     examined: &mut u64,
 ) -> Option<NodeAddr> {
+    // Balanced-parentheses fast path (succinct backend): the close of a
+    // node at level `l` is the first later position with excess
+    // ≤ l-1-st — one excess search instead of a per-entry loop.
+    if let Some(bp) = &page.bp {
+        *examined += 1;
+        return bp
+            .fwd_search_le(from, i32::from(l) - 1 - i32::from(page.header.st))
+            .map(|j| NodeAddr {
+                page: pid,
+                entry: j as u32,
+            });
+    }
+    // No aligned block boundary left: skip the block bookkeeping (see
+    // `scan_sibling_blocks`).
+    if from.next_multiple_of(BLOCK_ENTRIES) >= page.len() {
+        for j in from..page.len() {
+            *examined += 1;
+            if page.levels[j] < l {
+                return Some(NodeAddr {
+                    page: pid,
+                    entry: j as u32,
+                });
+            }
+        }
+        return None;
+    }
     let mut i = from;
+    let mut misses = 0u32;
     while i < page.len() {
         let b = i / BLOCK_ENTRIES;
         let end = ((b + 1) * BLOCK_ENTRIES).min(page.len());
-        if i == b * BLOCK_ENTRIES && !page.blocks[b].admits_close(l) {
-            i = end;
-            continue;
+        if i == b * BLOCK_ENTRIES {
+            if page.blocks[b].admits_close(l) {
+                // See `scan_sibling_blocks`: stop consulting summaries after
+                // consecutive non-skipping blocks.
+                misses += 1;
+                if misses >= BLOCK_MISS_LIMIT {
+                    for j in i..page.len() {
+                        *examined += 1;
+                        if page.levels[j] < l {
+                            return Some(NodeAddr {
+                                page: pid,
+                                entry: j as u32,
+                            });
+                        }
+                    }
+                    return None;
+                }
+            } else {
+                misses = 0;
+                i = end;
+                continue;
+            }
         }
         for j in i..end {
             *examined += 1;
@@ -604,13 +737,21 @@ mod tests {
     use std::sync::Arc;
 
     fn build(xml: &str, page_size: usize) -> (StructStore<MemStorage>, TagDict) {
+        build_with(xml, page_size, crate::page::BackendKind::Classic)
+    }
+
+    fn build_with(
+        xml: &str,
+        page_size: usize,
+        backend: crate::page::BackendKind,
+    ) -> (StructStore<MemStorage>, TagDict) {
         let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
         let mut dict = TagDict::new();
         let store = StructStore::build(
             pool,
             Reader::content_only(xml),
             &mut dict,
-            BuildOptions::default(),
+            BuildOptions::with_backend(backend),
             &mut (),
         )
         .unwrap();
@@ -756,41 +897,44 @@ mod tests {
     /// pages fall on different boundaries in each configuration).
     #[test]
     fn indexed_primitives_match_linear_oracle_across_page_sizes() {
+        use crate::page::BackendKind;
         let deep = deep_wide_xml(60);
-        for xml in [BIB, deep.as_str()] {
-            for page_size in [64, 96, 128, 256, 4096] {
-                let (store, _) = build(xml, page_size);
-                let items: Vec<ScanItem> = DocScan::new(&store)
-                    .collect::<CoreResult<Vec<_>>>()
-                    .unwrap();
-                for it in &items {
-                    assert_eq!(
-                        following_sibling(&store, it.addr).unwrap(),
-                        linear_following_sibling(&store, it.addr).unwrap(),
-                        "following_sibling at {} (page_size={page_size})",
-                        it.dewey
-                    );
-                    assert_eq!(
-                        subtree_close(&store, it.addr).unwrap(),
-                        linear_subtree_close(&store, it.addr).unwrap(),
-                        "subtree_close at {} (page_size={page_size})",
-                        it.dewey
-                    );
-                    assert_eq!(
-                        next_entry(&store, it.addr).unwrap(),
-                        linear_next_entry(&store, it.addr).unwrap(),
-                        "next_entry at {} (page_size={page_size})",
-                        it.dewey
-                    );
-                    let a: Vec<_> = descendants(&store, it.addr)
-                        .unwrap()
+        for backend in [BackendKind::Classic, BackendKind::Succinct] {
+            for xml in [BIB, deep.as_str()] {
+                for page_size in [64, 96, 128, 256, 4096] {
+                    let (store, _) = build_with(xml, page_size, backend);
+                    let items: Vec<ScanItem> = DocScan::new(&store)
                         .collect::<CoreResult<Vec<_>>>()
                         .unwrap();
-                    let b: Vec<_> = linear_descendants(&store, it.addr)
-                        .unwrap()
-                        .collect::<CoreResult<Vec<_>>>()
-                        .unwrap();
-                    assert_eq!(a, b, "descendants at {} (page_size={page_size})", it.dewey);
+                    for it in &items {
+                        assert_eq!(
+                            following_sibling(&store, it.addr).unwrap(),
+                            linear_following_sibling(&store, it.addr).unwrap(),
+                            "following_sibling at {} (page_size={page_size})",
+                            it.dewey
+                        );
+                        assert_eq!(
+                            subtree_close(&store, it.addr).unwrap(),
+                            linear_subtree_close(&store, it.addr).unwrap(),
+                            "subtree_close at {} (page_size={page_size})",
+                            it.dewey
+                        );
+                        assert_eq!(
+                            next_entry(&store, it.addr).unwrap(),
+                            linear_next_entry(&store, it.addr).unwrap(),
+                            "next_entry at {} (page_size={page_size})",
+                            it.dewey
+                        );
+                        let a: Vec<_> = descendants(&store, it.addr)
+                            .unwrap()
+                            .collect::<CoreResult<Vec<_>>>()
+                            .unwrap();
+                        let b: Vec<_> = linear_descendants(&store, it.addr)
+                            .unwrap()
+                            .collect::<CoreResult<Vec<_>>>()
+                            .unwrap();
+                        assert_eq!(a, b, "descendants at {} (page_size={page_size})", it.dewey);
+                    }
                 }
             }
         }

@@ -9,7 +9,11 @@
 //!
 //! * [`sigma`] — the tag alphabet Σ; [`dewey`] — Dewey IDs.
 //! * [`page`] / [`store`] — the succinct string representation over chained
-//!   pages with `(st, lo, hi)` headers (paper §4.2).
+//!   pages with `(st, lo, hi)` headers (paper §4.2), behind a
+//!   [`page::StructureBackend`]: the paper's classic byte entries or the
+//!   bit-packed balanced-parentheses encoding.
+//! * [`succinct`] — bitvector, rank/select and excess-search kernels for
+//!   the bit-packed backend.
 //! * [`cursor`] — `FIRST-CHILD` / `FOLLOWING-SIBLING` and derived primitives
 //!   (paper §5, Algorithm 2), with header-directory page skipping.
 //! * [`values`] — the detached value data file and its hashing (paper §4.1).
@@ -62,6 +66,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod stream;
+pub mod succinct;
 pub mod update;
 pub mod values;
 
@@ -69,6 +74,7 @@ pub use build::XmlDb;
 pub use dewey::Dewey;
 pub use engine::{QueryMatch, QueryOptions, QueryScratch, QueryStats, StartStrategy};
 pub use error::{CoreError, CoreResult};
+pub use page::BackendKind;
 pub use plan::{
     Explain, ExplainRow, FragmentPlan, PlanStep, PlannedQuery, QueryPlan, SeedChoice, StrategyUsed,
 };

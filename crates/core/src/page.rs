@@ -32,6 +32,7 @@
 //! is `prev - 1` (so the `)` of a node at depth `l` carries level `l-1`).
 
 use crate::sigma::TagCode;
+use crate::succinct::{read_varint, varint_len, write_varint, BitVec, PageBp};
 
 /// Byte of the close-parenthesis entry (ASCII `)`; high bit clear).
 pub const CLOSE_BYTE: u8 = 0x29;
@@ -151,6 +152,293 @@ pub fn decode_entry(buf: &[u8], pos: usize) -> Option<(Entry, usize)> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Structure backends
+// ---------------------------------------------------------------------------
+
+/// Which physical encoding a structural page uses. The classic byte
+/// encoding (the paper's 3-bytes-per-node string representation) is the
+/// default and the differential oracle; the succinct backend packs the same
+/// entry sequence as a balanced-parentheses bitvector plus varint tag codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Paper §4.2 byte entries: 2-byte Σ characters, 1-byte `)`.
+    #[default]
+    Classic,
+    /// Bit-packed balanced parentheses + LEB128 tag codes (PR 9).
+    Succinct,
+}
+
+impl BackendKind {
+    /// The byte persisted in the database superblock to select this backend.
+    pub fn format_byte(self) -> u8 {
+        match self {
+            BackendKind::Classic => 0,
+            BackendKind::Succinct => 1,
+        }
+    }
+
+    /// Inverse of [`BackendKind::format_byte`].
+    pub fn from_format_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(BackendKind::Classic),
+            1 => Some(BackendKind::Succinct),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (CLI flags, bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Classic => "classic",
+            BackendKind::Succinct => "succinct",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "classic" => Some(BackendKind::Classic),
+            "succinct" => Some(BackendKind::Succinct),
+            _ => None,
+        }
+    }
+
+    /// The backend implementation for this kind.
+    pub fn backend(self) -> &'static dyn StructureBackend {
+        match self {
+            BackendKind::Classic => &ClassicBackend,
+            BackendKind::Succinct => &SuccinctBackend,
+        }
+    }
+}
+
+/// A physical page encoding: how an entry sequence becomes content bytes
+/// and back. The 12-byte header (`st`/`lo`/`hi`/`next`/`nbytes`) is shared
+/// by all backends; only the content area differs.
+pub trait StructureBackend: Sync {
+    /// Which [`BackendKind`] this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Encode an entry sequence into content bytes.
+    fn encode_content(&self, entries: &[Entry]) -> Vec<u8>;
+
+    /// Decode a raw page (header + content) into entry/level arrays.
+    /// `None` on any malformed input.
+    fn decode(&self, buf: &[u8]) -> Option<DecodedPage>;
+
+    /// Content bytes an entry sequence described by `acc` occupies.
+    fn content_len(&self, acc: &ContentAcc) -> usize;
+}
+
+/// Incremental content-size accounting, so the builder and the update
+/// splicer can pick page break points without encoding speculatively. Both
+/// backends are pure functions of `(entries, opens, total varint bytes)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentAcc {
+    /// Total entries.
+    pub entries: usize,
+    /// Open entries among them.
+    pub opens: usize,
+    /// Total LEB128 bytes of the open entries' tag codes.
+    pub tag_bytes: usize,
+}
+
+impl ContentAcc {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account for one more entry.
+    #[inline]
+    pub fn add(&mut self, e: Entry) {
+        self.entries += 1;
+        if let Entry::Open(TagCode(code)) = e {
+            self.opens += 1;
+            self.tag_bytes += varint_len(code);
+        }
+    }
+
+    /// Accumulator over a whole slice.
+    pub fn over(entries: &[Entry]) -> Self {
+        let mut acc = Self::new();
+        for &e in entries {
+            acc.add(e);
+        }
+        acc
+    }
+
+    /// Content bytes under `kind`.
+    #[inline]
+    pub fn bytes(&self, kind: BackendKind) -> usize {
+        kind.backend().content_len(self)
+    }
+
+    /// Content bytes under `kind` if `e` were appended.
+    #[inline]
+    pub fn bytes_with(&self, kind: BackendKind, e: Entry) -> usize {
+        let mut next = *self;
+        next.add(e);
+        next.bytes(kind)
+    }
+}
+
+/// The classic paper encoding (see module docs).
+pub struct ClassicBackend;
+
+impl StructureBackend for ClassicBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Classic
+    }
+
+    fn encode_content(&self, entries: &[Entry]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(entries.iter().map(|e| e.width()).sum());
+        for &e in entries {
+            encode_entry(&mut out, e);
+        }
+        out
+    }
+
+    fn decode(&self, buf: &[u8]) -> Option<DecodedPage> {
+        DecodedPage::decode(buf)
+    }
+
+    fn content_len(&self, acc: &ContentAcc) -> usize {
+        2 * acc.opens + (acc.entries - acc.opens)
+    }
+}
+
+/// The succinct encoding. Content layout (after the shared header):
+///
+/// ```text
+/// +---------+---------------------------+---------------------------+
+/// | n (u16) | parens bits, ceil(n/8) B  | LEB128 tag codes (opens)  |
+/// +---------+---------------------------+---------------------------+
+/// ```
+///
+/// Bit `i` of the parenthesis vector is bit `i % 8` of byte `i / 8`
+/// (LSB-first); `1` = open, `0` = close. Tag codes follow in open order.
+/// Trailing padding bits of the last parenthesis byte are zero, `nbytes`
+/// covers the three fields exactly, and an empty page has `nbytes == 0`
+/// (no count word) — the same canonical form the classic backend uses.
+pub struct SuccinctBackend;
+
+impl StructureBackend for SuccinctBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Succinct
+    }
+
+    fn encode_content(&self, entries: &[Entry]) -> Vec<u8> {
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(entries.len() <= u16::MAX as usize);
+        let n = entries.len();
+        let mut out = Vec::with_capacity(2 + n.div_ceil(8));
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        out.resize(2 + n.div_ceil(8), 0);
+        for (i, e) in entries.iter().enumerate() {
+            if e.is_open() {
+                out[2 + i / 8] |= 1 << (i % 8);
+            }
+        }
+        for &e in entries {
+            if let Entry::Open(TagCode(code)) = e {
+                debug_assert!(code < 1 << 15);
+                write_varint(&mut out, code);
+            }
+        }
+        out
+    }
+
+    fn decode(&self, buf: &[u8]) -> Option<DecodedPage> {
+        let header = read_header(buf)?;
+        let content = buf.get(HEADER_SIZE..HEADER_SIZE + header.nbytes as usize)?;
+        if content.is_empty() {
+            return Some(DecodedPage {
+                header,
+                entries: Vec::new(),
+                levels: Vec::new(),
+                byte_offsets: Vec::new(),
+                blocks: Vec::new(),
+                bp: None,
+            });
+        }
+        let n = u16::from_le_bytes([*content.first()?, *content.get(1)?]) as usize;
+        if n == 0 {
+            return None; // a zero count must be encoded as nbytes == 0
+        }
+        let paren_bytes = content.get(2..2 + n.div_ceil(8))?;
+        let mut bits = BitVec::new();
+        let mut entries = Vec::with_capacity(n);
+        let mut levels = Vec::with_capacity(n);
+        let mut level = header.st as i32;
+        let mut tag_pos = 2 + paren_bytes.len();
+        for i in 0..n {
+            let open = (paren_bytes[i / 8] >> (i % 8)) & 1 == 1;
+            bits.push(open);
+            if open {
+                let (code, width) = read_varint(content, tag_pos)?;
+                if code >= 1 << 15 {
+                    return None; // tag codes share the classic bound
+                }
+                tag_pos += width;
+                level += 1;
+                entries.push(Entry::Open(TagCode(code)));
+            } else {
+                level -= 1;
+                entries.push(Entry::Close);
+            }
+            if level < 0 {
+                return None; // malformed: more closes than opens ever seen
+            }
+            levels.push(level as u16);
+        }
+        if tag_pos != content.len() {
+            return None; // tag stream must cover nbytes exactly
+        }
+        // Padding bits of the last parenthesis byte must be zero.
+        let pad = paren_bytes.len() * 8 - n;
+        if pad > 0 && paren_bytes[paren_bytes.len() - 1] >> (8 - pad) != 0 {
+            return None;
+        }
+        let blocks = summarize_blocks(&entries, &levels);
+        let bp = Some(PageBp::build(bits));
+        Some(DecodedPage {
+            header,
+            entries,
+            levels,
+            byte_offsets: Vec::new(),
+            blocks,
+            bp,
+        })
+    }
+
+    fn content_len(&self, acc: &ContentAcc) -> usize {
+        if acc.entries == 0 {
+            0
+        } else {
+            2 + acc.entries.div_ceil(8) + acc.tag_bytes
+        }
+    }
+}
+
+/// Encode an entry sequence under `kind`.
+pub fn encode_content(kind: BackendKind, entries: &[Entry]) -> Vec<u8> {
+    kind.backend().encode_content(entries)
+}
+
+/// Decode a raw page under `kind`.
+pub fn decode_page(kind: BackendKind, buf: &[u8]) -> Option<DecodedPage> {
+    kind.backend().decode(buf)
+}
+
 /// Entries per block summary. Small enough that the deep/wide workloads the
 /// paper cares about (tens to a few hundred entries between siblings) skip
 /// most of a page, large enough that the summary array stays tiny (a 4 KB
@@ -210,6 +498,11 @@ pub struct DecodedPage {
     /// them), computed at decode time and cached with the page — never
     /// persisted, so the on-disk format is unchanged.
     pub blocks: Vec<BlockSummary>,
+    /// Balanced-parentheses excess directory, present on pages decoded by
+    /// the succinct backend (built from the parenthesis bits at decode
+    /// time). Navigation uses it for O(1)-style excess searches; classic
+    /// pages fall back to the block summaries.
+    pub bp: Option<PageBp>,
 }
 
 impl DecodedPage {
@@ -245,6 +538,7 @@ impl DecodedPage {
             levels,
             byte_offsets,
             blocks,
+            bp: None,
         })
     }
 
@@ -566,5 +860,158 @@ mod tests {
         assert_eq!((s0.min_level, s0.max_level), (1, 16));
         assert!(s0.admits_sibling(1));
         assert!(!s0.admits_close(1));
+    }
+
+    /// Build a raw page under `kind` from an entry sequence.
+    fn raw_page(kind: BackendKind, st: u16, entries: &[Entry]) -> Vec<u8> {
+        let content = encode_content(kind, entries);
+        let mut buf = vec![0u8; HEADER_SIZE + content.len()];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: content.len() as u16,
+            },
+        );
+        buf[HEADER_SIZE..].copy_from_slice(&content);
+        buf
+    }
+
+    fn paper_entries() -> Vec<Entry> {
+        // a b z ) e ) c f ) g ) )  — Figure 4 page 1.
+        [
+            Some(0),
+            Some(1),
+            Some(2),
+            None,
+            Some(3),
+            None,
+            Some(4),
+            Some(5),
+            None,
+            Some(6),
+            None,
+            None,
+        ]
+        .iter()
+        .map(|s| match s {
+            Some(code) => Entry::Open(TagCode(*code)),
+            None => Entry::Close,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn succinct_round_trip_matches_classic_decode() {
+        let entries = paper_entries();
+        for st in [0u16, 5] {
+            let classic = decode_page(
+                BackendKind::Classic,
+                &raw_page(BackendKind::Classic, st, &entries),
+            )
+            .unwrap();
+            let succinct = decode_page(
+                BackendKind::Succinct,
+                &raw_page(BackendKind::Succinct, st, &entries),
+            )
+            .unwrap();
+            assert_eq!(classic.entries, succinct.entries);
+            assert_eq!(classic.levels, succinct.levels);
+            assert_eq!(classic.blocks, succinct.blocks);
+            assert!(succinct.bp.is_some() && classic.bp.is_none());
+            let bp = succinct.bp.as_ref().unwrap();
+            for (i, &lv) in succinct.levels.iter().enumerate() {
+                assert_eq!(st as i32 + bp.excess_after(i), lv as i32, "entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn succinct_content_is_smaller_and_accounted_exactly() {
+        let entries = paper_entries();
+        let acc = ContentAcc::over(&entries);
+        for kind in [BackendKind::Classic, BackendKind::Succinct] {
+            let content = encode_content(kind, &entries);
+            assert_eq!(content.len(), acc.bytes(kind), "{}", kind.name());
+        }
+        // 7 opens, 5 closes: classic 19 bytes, succinct 2 + 2 + 7 = 11.
+        assert_eq!(acc.bytes(BackendKind::Classic), 19);
+        assert_eq!(acc.bytes(BackendKind::Succinct), 11);
+        // Incremental accounting agrees with bulk.
+        let mut inc = ContentAcc::new();
+        for &e in &entries {
+            assert_eq!(inc.bytes_with(BackendKind::Succinct, e), {
+                let mut next = inc;
+                next.add(e);
+                next.bytes(BackendKind::Succinct)
+            });
+            inc.add(e);
+        }
+        assert_eq!(inc.bytes(BackendKind::Succinct), 11);
+    }
+
+    #[test]
+    fn succinct_empty_page_is_zero_bytes() {
+        assert!(encode_content(BackendKind::Succinct, &[]).is_empty());
+        let buf = raw_page(BackendKind::Succinct, 0, &[]);
+        let page = decode_page(BackendKind::Succinct, &buf).unwrap();
+        assert!(page.is_empty());
+        assert!(page.bp.is_none());
+    }
+
+    #[test]
+    fn succinct_malformed_pages_rejected() {
+        let entries = paper_entries();
+        let good = raw_page(BackendKind::Succinct, 0, &entries);
+        // Truncated tag stream: shrink nbytes by one.
+        let mut bad = good.clone();
+        let h = read_header(&bad).unwrap();
+        write_header(
+            &mut bad,
+            &PageHeader {
+                nbytes: h.nbytes - 1,
+                ..h
+            },
+        );
+        assert!(decode_page(BackendKind::Succinct, &bad).is_none());
+        // Nonzero padding bit past the entry count.
+        let mut bad = good.clone();
+        bad[HEADER_SIZE + 2 + 1] |= 0x80; // bit 15 of a 12-entry page
+        assert!(decode_page(BackendKind::Succinct, &bad).is_none());
+        // A leading close underflows the level at st = 0.
+        let mut flipped = paper_entries();
+        flipped[0] = Entry::Close;
+        flipped[3] = Entry::Open(TagCode(0));
+        let bad = raw_page(BackendKind::Succinct, 0, &flipped);
+        assert!(decode_page(BackendKind::Succinct, &bad).is_none());
+        // Explicit zero count with nonzero nbytes is non-canonical.
+        let mut buf = vec![0u8; HEADER_SIZE + 2];
+        write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 0,
+                next: NO_PAGE,
+                nbytes: 2,
+            },
+        );
+        assert!(decode_page(BackendKind::Succinct, &buf).is_none());
+    }
+
+    #[test]
+    fn backend_format_bytes_round_trip() {
+        for kind in [BackendKind::Classic, BackendKind::Succinct] {
+            assert_eq!(
+                BackendKind::from_format_byte(kind.format_byte()),
+                Some(kind)
+            );
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_format_byte(9), None);
+        assert_eq!(BackendKind::from_name("nope"), None);
     }
 }

@@ -21,7 +21,9 @@ use nok_xml::Event;
 
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
-use crate::page::{self, DecodedPage, Entry, PageHeader, HEADER_SIZE, NO_PAGE};
+use crate::page::{
+    self, BackendKind, ContentAcc, DecodedPage, Entry, PageHeader, HEADER_SIZE, NO_PAGE,
+};
 use crate::sigma::{TagCode, TagDict};
 
 /// Address of an entry in the structural store: a page and an entry index
@@ -306,11 +308,26 @@ pub struct BuildOptions {
     /// Fraction of each page reserved for future updates (the paper's `r`;
     /// its running example uses 20%).
     pub reserve: f64,
+    /// Physical page encoding (classic paper bytes by default).
+    pub backend: BackendKind,
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { reserve: 0.2 }
+        BuildOptions {
+            reserve: 0.2,
+            backend: BackendKind::Classic,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Default options with an explicit backend.
+    pub fn with_backend(backend: BackendKind) -> Self {
+        BuildOptions {
+            backend,
+            ..Default::default()
+        }
     }
 }
 
@@ -364,6 +381,8 @@ pub struct StructStore<S: Storage> {
     dir_generation: AtomicU64,
     /// MVCC overlay for snapshot views; `None` on the live store.
     view: Option<SnapView>,
+    /// Physical page encoding of this store's pages.
+    backend: BackendKind,
 }
 
 /// Recover the guard from a poisoned lock. The directory and decode cache
@@ -401,6 +420,7 @@ impl<S: Storage> StructStore<S> {
             pool: &pool,
             dir: Directory::default(),
             budget,
+            backend: opts.backend,
             cur: PageBuf::new(0),
             cur_allocated: false,
             node_count: 0,
@@ -494,19 +514,27 @@ impl<S: Storage> StructStore<S> {
             skip: RwLock::new(None),
             dir_generation: AtomicU64::new(0),
             view: None,
+            backend: opts.backend,
         })
+    }
+
+    /// Open a classic-format store whose pages already exist in `pool`.
+    pub fn open(pool: Arc<BufferPool<S>>) -> CoreResult<Self> {
+        Self::open_with_backend(pool, BackendKind::Classic)
     }
 
     /// Open a store whose pages already exist in `pool`, rebuilding the
     /// in-memory header directory by walking the chain (header reads only).
-    pub fn open(pool: Arc<BufferPool<S>>) -> CoreResult<Self> {
+    /// `backend` selects the page decoder — on-disk databases record it in
+    /// their superblock (see `crate::build`).
+    pub fn open_with_backend(pool: Arc<BufferPool<S>>, backend: BackendKind) -> CoreResult<Self> {
         let mut dir = Directory::default();
         let mut node_count = 0u64;
         if pool.page_count() > 0 {
             let mut pid = 0u32;
             loop {
                 let handle = pool.get(pid)?;
-                let decoded = DecodedPage::decode(&handle.read())
+                let decoded = page::decode_page(backend, &handle.read())
                     .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {pid}")))?;
                 node_count += decoded.entries.iter().filter(|e| e.is_open()).count() as u64;
                 let (lo, hi) = (decoded.header.lo, decoded.header.hi);
@@ -533,6 +561,7 @@ impl<S: Storage> StructStore<S> {
             skip: RwLock::new(None),
             dir_generation: AtomicU64::new(0),
             view: None,
+            backend,
         })
     }
 
@@ -544,6 +573,7 @@ impl<S: Storage> StructStore<S> {
         dir: Arc<Directory>,
         node_count: u64,
         view: SnapView,
+        backend: BackendKind,
     ) -> Self {
         StructStore {
             pool,
@@ -554,7 +584,14 @@ impl<S: Storage> StructStore<S> {
             skip: RwLock::new(None),
             dir_generation: AtomicU64::new(0),
             view: Some(view),
+            backend,
         }
+    }
+
+    /// Physical page encoding of this store.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Is this store a snapshot view (reads resolve through an overlay)?
@@ -583,7 +620,7 @@ impl<S: Storage> StructStore<S> {
     /// after a rollback discarded this store's dirty frames: the in-memory
     /// views may reflect the undone mutation.
     pub fn reload(&self) -> CoreResult<()> {
-        let fresh = StructStore::open(Arc::clone(&self.pool))?;
+        let fresh = StructStore::open_with_backend(Arc::clone(&self.pool), self.backend)?;
         *wr(&self.dir) = fresh.dir.into_inner().unwrap_or_else(|e| e.into_inner());
         wr(&self.decoded).clear();
         *wr(&self.skip) = None;
@@ -612,6 +649,23 @@ impl<S: Storage> StructStore<S> {
     /// Total footprint in bytes (pages × page size), the on-disk size.
     pub fn footprint_bytes(&self) -> u64 {
         self.page_count() as u64 * self.pool.page_size() as u64
+    }
+
+    /// Encoded structure bytes actually occupied on disk: the sum of every
+    /// page's `nbytes` plus its header. Unlike [`Self::content_bytes`]
+    /// (the paper's fixed 3-bytes-per-node accounting) this reflects the
+    /// active backend — the succinct encoding's whole point is making this
+    /// number smaller. Header reads only; contents are not decoded.
+    pub fn structure_bytes(&self) -> CoreResult<u64> {
+        let dir = rd(&self.dir);
+        let mut total = 0u64;
+        for de in &dir.order {
+            let handle = self.pool.get(de.id)?;
+            let header = page::read_header(&handle.read())
+                .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {}", de.id)))?;
+            total += HEADER_SIZE as u64 + header.nbytes as u64;
+        }
+        Ok(total)
     }
 
     /// Address of the root node, or `None` for an empty store.
@@ -669,12 +723,12 @@ impl<S: Storage> StructStore<S> {
             // private decode cache above makes the copy a one-time cost).
             Some(view) => {
                 let bytes = resolve_page_cached(&self.pool, view, id)?;
-                DecodedPage::decode(&bytes)
+                page::decode_page(self.backend, &bytes)
                     .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?
             }
             None => {
                 let handle = self.pool.get(id)?;
-                let decoded = DecodedPage::decode(&handle.read())
+                let decoded = page::decode_page(self.backend, &handle.read())
                     .ok_or_else(|| CoreError::Corrupt(format!("bad structural page {id}")))?;
                 decoded
             }
@@ -816,14 +870,16 @@ impl Directory {
     }
 }
 
-/// Incremental page writer used by [`StructStore::build`].
+/// Incremental page writer used by [`StructStore::build`]. Entries are
+/// buffered (with running [`ContentAcc`] size accounting, so page breaks
+/// are backend-exact) and encoded once at seal time.
 struct PageBuf {
     id: PageId,
     st: u16,
-    content: Vec<u8>,
+    entries_buf: Vec<Entry>,
+    acc: ContentAcc,
     lo: u16,
     hi: u16,
-    entries: u32,
     last_level: u16,
 }
 
@@ -832,10 +888,10 @@ impl PageBuf {
         PageBuf {
             id: 0,
             st,
-            content: Vec::new(),
+            entries_buf: Vec::new(),
+            acc: ContentAcc::new(),
             lo: u16::MAX,
             hi: 0,
-            entries: 0,
             last_level: st,
         }
     }
@@ -845,6 +901,7 @@ struct Builder<'a, S: Storage> {
     pool: &'a Arc<BufferPool<S>>,
     dir: Directory,
     budget: usize,
+    backend: BackendKind,
     cur: PageBuf,
     cur_allocated: bool,
     node_count: u64,
@@ -859,8 +916,9 @@ impl<S: Storage> Builder<'_, S> {
             self.cur.id = id;
             self.cur_allocated = true;
         }
-        let width = entry.width();
-        if self.cur.content.len() + width > self.budget && !self.cur.content.is_empty() {
+        if self.cur.acc.bytes_with(self.backend, entry) > self.budget
+            && !self.cur.entries_buf.is_empty()
+        {
             let (next_id, _) = self.pool.allocate()?;
             self.seal(next_id)?;
             let st = self.cur.last_level;
@@ -868,9 +926,9 @@ impl<S: Storage> Builder<'_, S> {
             fresh.id = next_id;
             self.cur = fresh;
         }
-        let idx = self.cur.entries;
-        page::encode_entry(&mut self.cur.content, entry);
-        self.cur.entries += 1;
+        let idx = self.cur.entries_buf.len() as u32;
+        self.cur.entries_buf.push(entry);
+        self.cur.acc.add(entry);
         self.cur.lo = self.cur.lo.min(level);
         self.cur.hi = self.cur.hi.max(level);
         self.cur.last_level = level;
@@ -884,17 +942,19 @@ impl<S: Storage> Builder<'_, S> {
     }
 
     fn seal(&mut self, next: PageId) -> CoreResult<()> {
+        let content = page::encode_content(self.backend, &self.cur.entries_buf);
+        let n_entries = self.cur.entries_buf.len() as u32;
         // Sealed pages must satisfy the format invariants nok-verify
         // checks: content within the capacity budget and coherent bounds.
         debug_assert!(
-            self.cur.content.len() <= self.budget || self.cur.entries <= 1,
+            content.len() <= self.budget || n_entries <= 1,
             "page {} seals over budget: {} > {}",
             self.cur.id,
-            self.cur.content.len(),
+            content.len(),
             self.budget
         );
         debug_assert!(
-            self.cur.entries == 0 || self.cur.lo <= self.cur.hi,
+            n_entries == 0 || self.cur.lo <= self.cur.hi,
             "page {} seals with inverted bounds [{}, {}]",
             self.cur.id,
             self.cur.lo,
@@ -903,7 +963,7 @@ impl<S: Storage> Builder<'_, S> {
         let handle = self.pool.get(self.cur.id)?;
         // Empty pages take the canonical sentinel bounds AND sentinel st
         // (page::EMPTY_PAGE_ST): they have no start level to report.
-        let (st, lo) = if self.cur.entries == 0 {
+        let (st, lo) = if n_entries == 0 {
             (page::EMPTY_PAGE_ST, u16::MAX)
         } else {
             (self.cur.st, self.cur.lo)
@@ -913,20 +973,19 @@ impl<S: Storage> Builder<'_, S> {
             lo,
             hi: self.cur.hi,
             next,
-            nbytes: self.cur.content.len() as u16,
+            nbytes: content.len() as u16,
         };
         {
             let mut buf = handle.write();
             page::write_header(&mut buf, &header);
-            buf[HEADER_SIZE..HEADER_SIZE + self.cur.content.len()]
-                .copy_from_slice(&self.cur.content);
+            buf[HEADER_SIZE..HEADER_SIZE + content.len()].copy_from_slice(&content);
         }
         self.dir.order.push(DirEntry {
             id: self.cur.id,
             st,
             lo,
             hi: self.cur.hi,
-            entries: self.cur.entries,
+            entries: n_entries,
         });
         Ok(())
     }
@@ -1346,6 +1405,103 @@ mod tests {
             ratio > 8.0,
             "string rep should be far smaller than the document (ratio {ratio:.1})"
         );
+    }
+
+    fn mem_store_with(
+        xml: &str,
+        page_size: usize,
+        backend: BackendKind,
+    ) -> (StructStore<MemStorage>, TagDict) {
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(page_size)));
+        let mut dict = TagDict::new();
+        let store = StructStore::build(
+            pool,
+            Reader::content_only(xml),
+            &mut dict,
+            BuildOptions::with_backend(backend),
+            &mut (),
+        )
+        .unwrap();
+        (store, dict)
+    }
+
+    /// Flatten a store's pages into one (entry, level) sequence.
+    fn flat_entries(store: &StructStore<MemStorage>) -> Vec<(Entry, u16)> {
+        let mut out = Vec::new();
+        for r in 0..store.chain_len() {
+            let de = store.dir_at(r).unwrap();
+            let page = store.decoded(de.id).unwrap();
+            for i in 0..page.len() {
+                out.push((page.entries[i], page.levels[i]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn succinct_build_encodes_the_same_tree_smaller() {
+        let mut xml = String::from("<r>");
+        for i in 0..120 {
+            xml.push_str(&format!("<e{}><f/></e{}>", i % 10, i % 10));
+        }
+        xml.push_str("</r>");
+        for page_size in [64usize, 256, 4096] {
+            let (classic, _) = mem_store_with(&xml, page_size, BackendKind::Classic);
+            let (succinct, _) = mem_store_with(&xml, page_size, BackendKind::Succinct);
+            assert_eq!(classic.node_count(), succinct.node_count());
+            assert_eq!(
+                flat_entries(&classic),
+                flat_entries(&succinct),
+                "page_size {page_size}"
+            );
+            let cb = classic.structure_bytes().unwrap();
+            let sb = succinct.structure_bytes().unwrap();
+            assert!(
+                sb * 2 <= cb,
+                "succinct must halve structure bytes ({sb} vs {cb}, page_size {page_size})"
+            );
+            // Fewer pages too: more entries fit per page.
+            assert!(succinct.page_count() <= classic.page_count());
+            // Chain invariants hold page by page.
+            let mut prev_end = 0u16;
+            for r in 0..succinct.chain_len() {
+                let de = succinct.dir_at(r).unwrap();
+                let page = succinct.decoded(de.id).unwrap();
+                assert_eq!(page.header.st, prev_end);
+                assert_eq!((page.header.lo, page.header.hi), page.level_bounds());
+                assert!(page.bp.is_some(), "succinct pages carry a BP directory");
+                prev_end = page.end_level();
+            }
+        }
+    }
+
+    #[test]
+    fn succinct_store_reopens_with_matching_backend() {
+        let mut xml = String::from("<r>");
+        for _ in 0..50 {
+            xml.push_str("<x><y/></x>");
+        }
+        xml.push_str("</r>");
+        let pool = Arc::new(BufferPool::new(MemStorage::with_page_size(64)));
+        let mut dict = TagDict::new();
+        let store = StructStore::build(
+            Arc::clone(&pool),
+            Reader::content_only(&xml),
+            &mut dict,
+            BuildOptions::with_backend(BackendKind::Succinct),
+            &mut (),
+        )
+        .unwrap();
+        let (pages, nodes) = (store.page_count(), store.node_count());
+        let flat = flat_entries(&store);
+        drop(store);
+        let store2 =
+            StructStore::open_with_backend(Arc::clone(&pool), BackendKind::Succinct).unwrap();
+        assert_eq!(store2.page_count(), pages);
+        assert_eq!(store2.node_count(), nodes);
+        assert_eq!(flat_entries(&store2), flat);
+        // Opening with the wrong decoder must fail loudly, not misread.
+        assert!(StructStore::open_with_backend(pool, BackendKind::Classic).is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::build::XmlDb;
 use crate::cursor;
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
-use crate::page::{self, Entry, PageHeader, HEADER_SIZE};
+use crate::page::{self, ContentAcc, Entry, PageHeader, HEADER_SIZE};
 use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::sigma::TagCode;
 use crate::store::{DirEntry, NodeAddr};
@@ -576,9 +576,10 @@ impl<S: Storage> XmlDb<S> {
         old_next: u32,
         pin_head: usize,
     ) -> CoreResult<Vec<NodeAddr>> {
+        let backend = self.store.backend();
         let page_size = self.store.pool().page_size();
         let capacity = page_size - HEADER_SIZE;
-        let total_bytes: usize = entries.iter().map(|e| e.width()).sum();
+        let total_bytes = ContentAcc::over(&entries).bytes(backend);
 
         if total_bytes <= capacity {
             // Fits in place.
@@ -595,20 +596,20 @@ impl<S: Storage> XmlDb<S> {
         // Head chunk (the pinned prefix) stays; the rest is distributed over
         // new pages at the build fill factor, leaving update slack.
         debug_assert!(
-            entries[..pin_head].iter().map(|e| e.width()).sum::<usize>() <= capacity,
+            ContentAcc::over(&entries[..pin_head]).bytes(backend) <= capacity,
             "pinned prefix of page {first_page} no longer fits its page"
         );
         let budget = ((capacity as f64) * 0.8) as usize;
         let mut chunks: Vec<Vec<Entry>> = vec![entries[..pin_head].to_vec()];
         let mut cur: Vec<Entry> = Vec::new();
-        let mut cur_bytes = 0usize;
+        let mut cur_acc = ContentAcc::new();
         for e in &entries[pin_head..] {
-            if cur_bytes + e.width() > budget && !cur.is_empty() {
+            if cur_acc.bytes_with(backend, *e) > budget && !cur.is_empty() {
                 chunks.push(std::mem::take(&mut cur));
-                cur_bytes = 0;
+                cur_acc = ContentAcc::new();
             }
             cur.push(*e);
-            cur_bytes += e.width();
+            cur_acc.add(*e);
         }
         if !cur.is_empty() {
             chunks.push(cur);
@@ -695,11 +696,10 @@ impl<S: Storage> XmlDb<S> {
         entries: &[Entry],
         next: u32,
     ) -> CoreResult<u16> {
-        let mut content = Vec::new();
+        let content = page::encode_content(self.store.backend(), entries);
         let mut level = st as i32;
         let (mut lo, mut hi) = (u16::MAX, 0u16);
         for e in entries {
-            page::encode_entry(&mut content, *e);
             match e {
                 Entry::Open(_) => level += 1,
                 Entry::Close => level -= 1,
@@ -1078,6 +1078,45 @@ mod tests {
         db.delete_subtree(&Dewey::from_components(vec![0, 0]))
             .unwrap();
         assert_eq!(db.data.lock_data().get_record(off_dup).unwrap(), "dup");
+    }
+
+    #[test]
+    fn updates_work_on_succinct_backend() {
+        // Same insert/delete exercises as above, but over the bit-packed
+        // backend: place_entries must budget in succinct bytes and
+        // rewrite_page_with_st must emit succinct content.
+        let opts = crate::store::BuildOptions::with_backend(page::BackendKind::Succinct);
+        let mut db = XmlDb::build_in_memory_with(BIB, opts, 64).unwrap();
+        let mut big = String::from("<big>");
+        for i in 0..40 {
+            big.push_str(&format!("<x n=\"{i}\">v{i}</x>"));
+        }
+        big.push_str("</big>");
+        let pages_before = db.store.page_count();
+        db.insert_last_child(&Dewey::root(), &big).unwrap();
+        assert!(
+            db.store.page_count() > pages_before,
+            "insert split the chain"
+        );
+        db.delete_subtree(&Dewey::from_components(vec![0, 0]))
+            .unwrap(); // drop the first book
+        let expected = format!(
+            r#"<bib><book year="2000"><author><last>Abiteboul</last></author><price>39.95</price></book><big>{}</big></bib>"#,
+            (0..40)
+                .map(|i| format!("<x n=\"{i}\">v{i}</x>"))
+                .collect::<String>()
+        );
+        assert_equivalent(
+            &db,
+            &expected,
+            &[
+                "/bib/book",
+                "//x",
+                "//x[@n=\"7\"]",
+                r#"//book[author/last="Abiteboul"]"#,
+                "/bib/big/x",
+            ],
+        );
     }
 
     #[test]

@@ -65,11 +65,13 @@ impl PlanCache {
     }
 
     /// Look `key` up under commit generation `generation`. An entry tagged
-    /// with an older generation is dropped (stale); an entry tagged with the
-    /// same generation is a hit. Entries tagged *newer* — planned by a
-    /// worker already on the next snapshot — are also treated as stale for
-    /// this reader rather than served, since the plan's costs describe a
-    /// state this reader cannot see.
+    /// with an older generation is dropped and counted *stale* — the stats
+    /// it was costed from predate a committed transaction. An entry tagged
+    /// *newer* — planned by a worker already on the next snapshot — is a
+    /// plain miss for this lagging reader: it must not be served (its costs
+    /// describe a state this reader cannot see), but dropping it would evict
+    /// a plan that is fresh for every current reader and double-count the
+    /// same commit as stale once per lagging worker.
     pub fn lookup(&self, key: &str, generation: u64) -> CacheLookup {
         let mut inner = lock(&self.inner);
         match inner.map.get(key) {
@@ -77,7 +79,7 @@ impl PlanCache {
                 plan: Some(Arc::clone(&e.plan)),
                 stale: false,
             },
-            Some(_) => {
+            Some(e) if e.generation < generation => {
                 inner.map.remove(key);
                 inner.order.retain(|k| k != key);
                 CacheLookup {
@@ -85,7 +87,7 @@ impl PlanCache {
                     stale: true,
                 }
             }
-            None => CacheLookup {
+            _ => CacheLookup {
                 plan: None,
                 stale: false,
             },
@@ -212,6 +214,22 @@ mod tests {
         cache.insert("//b".into(), 1, planned(&db, "//b"));
         assert!(cache.lookup("//b", 3).plan.is_some());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lagging_reader_does_not_evict_fresh_entry() {
+        let db = XmlDb::build_in_memory("<a><b/></a>").unwrap();
+        let cache = PlanCache::new(4);
+        cache.insert("//b".into(), 2, planned(&db, "//b"));
+        // A worker still on generation 1 must not be served the newer plan,
+        // but must not drop it or report it stale either.
+        let l = cache.lookup("//b", 1);
+        assert!(l.plan.is_none());
+        assert!(!l.stale, "fresh entry is a plain miss for a lagging reader");
+        assert!(
+            cache.lookup("//b", 2).plan.is_some(),
+            "entry survives for current readers"
+        );
     }
 
     #[test]

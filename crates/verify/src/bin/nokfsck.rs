@@ -50,12 +50,19 @@ fn main() -> ExitCode {
         Err(open_err) => {
             // The database would not open; degrade to a raw scan of the
             // structural string so page-level damage is still diagnosable.
+            // The superblock names the structure backend; a damaged or
+            // missing superblock degrades further to the classic encoding.
+            let backend = nok_core::build::read_superblock(&dir)
+                .unwrap_or(nok_core::page::BackendKind::Classic);
             let path = std::path::Path::new(&dir).join(STRUCT_FILE);
             match FileStorage::open(&path) {
                 Ok(storage) => {
                     eprintln!("nokfsck: database open failed ({open_err}); raw chain scan only");
                     degraded = true;
-                    (nok_verify::verify_chain(&BufferPool::new(storage)), "chain")
+                    (
+                        nok_verify::verify_chain_with(&BufferPool::new(storage), backend),
+                        "chain",
+                    )
                 }
                 Err(e) => {
                     eprintln!("nokfsck: cannot open {}: {e}", path.display());

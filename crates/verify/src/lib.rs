@@ -30,10 +30,11 @@
 use std::collections::{HashMap, HashSet};
 
 use nok_core::dewey::Dewey;
-use nok_core::page::{self, HEADER_SIZE, NO_PAGE};
+use nok_core::page::{self, BackendKind, HEADER_SIZE, NO_PAGE};
 use nok_core::physical::{tag_posting_key, IdRecord, TagPosting};
 use nok_core::sigma::TagCode;
 use nok_core::store::{NodeAddr, StructStore};
+use nok_core::succinct::{read_varint, BitVec, RankSelect};
 use nok_core::values::{hash_key, hash_value};
 use nok_core::LockDataFile;
 use nok_core::XmlDb;
@@ -101,7 +102,7 @@ struct ChainScan {
 /// page 0 following raw `next` pointers, re-deriving levels, Dewey IDs and
 /// balance from the string itself, and comparing the stored headers against
 /// the recomputation.
-fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
+fn scan_chain<S: Storage>(pool: &BufferPool<S>, backend: BackendKind) -> ChainScan {
     let mut scan = ChainScan {
         violations: Vec::new(),
         nodes: Vec::new(),
@@ -200,19 +201,32 @@ fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
         }
 
         // Decode entries against the *recomputed* running level, so a wrong
-        // `st` does not cascade into bounds noise.
+        // `st` does not cascade into bounds noise. Each backend gets its own
+        // granular parse (so damage is located precisely), then both feed
+        // the same level/Dewey recomputation.
         let content = &buf[HEADER_SIZE..HEADER_SIZE + header.nbytes as usize];
+        let decoded = match backend {
+            BackendKind::Classic => {
+                let mut entries = Vec::new();
+                let mut pos = 0usize;
+                while pos < content.len() {
+                    let Some((entry, width)) = page::decode_entry(content, pos) else {
+                        scan.violations.push(Violation::PageUndecodable {
+                            page: pid,
+                            detail: format!("truncated entry at content offset {pos}"),
+                        });
+                        break;
+                    };
+                    entries.push(entry);
+                    pos += width;
+                }
+                entries
+            }
+            BackendKind::Succinct => scan_succinct_entries(pid, content, &mut scan.violations),
+        };
         let (mut lo, mut hi) = (u16::MAX, 0u16);
-        let mut pos = 0usize;
         let mut entry_idx = 0u32;
-        while pos < content.len() {
-            let Some((entry, width)) = page::decode_entry(content, pos) else {
-                scan.violations.push(Violation::PageUndecodable {
-                    page: pid,
-                    detail: format!("truncated entry at content offset {pos}"),
-                });
-                break;
-            };
+        for entry in decoded {
             match entry {
                 page::Entry::Open(tag) => {
                     scan.opens += 1;
@@ -265,7 +279,6 @@ fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
             }
             lo = lo.min(level);
             hi = hi.max(level);
-            pos += width;
             entry_idx += 1;
             order += 1;
         }
@@ -317,11 +330,146 @@ fn scan_chain<S: Storage>(pool: &BufferPool<S>) -> ChainScan {
     scan
 }
 
+/// Granular parse of one succinct page's content: entry-count word,
+/// parenthesis bitvector (including canonical zero padding), dictionary tag
+/// codes (LEB128, 15-bit bound, exact stream length), and a rebuild of the
+/// rank/select directory cross-checked against a linear recount. Pushes a
+/// violation per defect and returns the entries it managed to derive.
+fn scan_succinct_entries(pid: PageId, content: &[u8], v: &mut Vec<Violation>) -> Vec<page::Entry> {
+    use nok_core::sigma::TagCode;
+    if content.is_empty() {
+        return Vec::new();
+    }
+    if content.len() < 2 {
+        v.push(Violation::SuccinctEncoding {
+            page: pid,
+            detail: "content shorter than the entry-count word".into(),
+        });
+        return Vec::new();
+    }
+    let n = u16::from_le_bytes([content[0], content[1]]) as usize;
+    if n == 0 {
+        v.push(Violation::SuccinctEncoding {
+            page: pid,
+            detail: "zero entry count with nonzero nbytes".into(),
+        });
+        return Vec::new();
+    }
+    let paren_bytes = n.div_ceil(8);
+    if content.len() < 2 + paren_bytes {
+        v.push(Violation::SuccinctEncoding {
+            page: pid,
+            detail: format!(
+                "parenthesis bitvector truncated: {} entries need {paren_bytes} bytes, {} present",
+                n,
+                content.len() - 2
+            ),
+        });
+        return Vec::new();
+    }
+    let parens = &content[2..2 + paren_bytes];
+    if n % 8 != 0 && (parens[paren_bytes - 1] >> (n % 8)) != 0 {
+        v.push(Violation::SuccinctEncoding {
+            page: pid,
+            detail: "nonzero padding bits after the last entry".into(),
+        });
+    }
+    let bits = BitVec::from_bits((0..n).map(|i| (parens[i / 8] >> (i % 8)) & 1 == 1));
+
+    // Rank/select directory consistency: rebuild the per-page directory and
+    // cross-check every rank, select and excess answer against a linear
+    // recount of the raw bitvector.
+    let rs = RankSelect::build(bits.clone());
+    let mut ones = 0usize;
+    let mut excess = 0i64;
+    for i in 0..n {
+        if rs.rank1(i) != ones {
+            v.push(Violation::RankSelectMismatch {
+                page: pid,
+                detail: format!("rank1({i}) = {}, linear recount says {ones}", rs.rank1(i)),
+            });
+            break;
+        }
+        if bits.get(i) {
+            if rs.select1(ones) != Some(i) {
+                v.push(Violation::RankSelectMismatch {
+                    page: pid,
+                    detail: format!("select1({ones}) = {:?}, expected {i}", rs.select1(ones)),
+                });
+                break;
+            }
+            ones += 1;
+            excess += 1;
+        } else {
+            excess -= 1;
+        }
+        if rs.excess(i + 1) != excess {
+            v.push(Violation::RankSelectMismatch {
+                page: pid,
+                detail: format!(
+                    "excess({}) = {}, recount says {excess}",
+                    i + 1,
+                    rs.excess(i + 1)
+                ),
+            });
+            break;
+        }
+    }
+
+    // Tag-code stream: one varint per open, in order, covering the rest of
+    // the content exactly.
+    let mut entries = Vec::with_capacity(n);
+    let mut pos = 2 + paren_bytes;
+    for i in 0..n {
+        if bits.get(i) {
+            match read_varint(content, pos) {
+                Some((code, width)) => {
+                    if code >= 1 << 15 {
+                        v.push(Violation::TagCodeOutOfRange {
+                            page: pid,
+                            entry: i as u32,
+                            code,
+                        });
+                    }
+                    entries.push(page::Entry::Open(TagCode(code)));
+                    pos += width;
+                }
+                None => {
+                    v.push(Violation::SuccinctEncoding {
+                        page: pid,
+                        detail: format!("tag-code stream truncated at entry {i}"),
+                    });
+                    return entries;
+                }
+            }
+        } else {
+            entries.push(page::Entry::Close);
+        }
+    }
+    if pos != content.len() {
+        v.push(Violation::SuccinctEncoding {
+            page: pid,
+            detail: format!(
+                "{} trailing content bytes after the tag-code stream",
+                content.len() - pos
+            ),
+        });
+    }
+    entries
+}
+
 /// Verify the raw page chain of a structural pool: balance, header
 /// exactness, chain acyclicity and reachability, capacity bounds, nesting.
 /// Needs no [`StructStore`] — usable on a pool whose store refuses to open.
+/// Assumes the classic entry encoding; use [`verify_chain_with`] for a pool
+/// whose backend is known (e.g. from the directory superblock).
 pub fn verify_chain<S: Storage>(pool: &BufferPool<S>) -> Report {
-    let scan = scan_chain(pool);
+    verify_chain_with(pool, BackendKind::Classic)
+}
+
+/// [`verify_chain`] for a pool whose pages use `backend`.
+pub fn verify_chain_with<S: Storage>(pool: &BufferPool<S>, backend: BackendKind) -> Report {
+    let scan = scan_chain(pool, backend);
     Report {
         violations: scan.violations,
         pages: scan.chain.len() as u32,
@@ -333,7 +481,7 @@ pub fn verify_chain<S: Storage>(pool: &BufferPool<S>) -> Report {
 /// agreement between the in-memory header directory (rank map, mirrored
 /// headers, entry counts) and the raw pages, and the stored node count.
 pub fn verify_store<S: Storage>(store: &StructStore<S>) -> Report {
-    let mut scan = scan_chain(store.pool());
+    let mut scan = scan_chain(store.pool(), store.backend());
     directory_checks(store, &mut scan);
     Report {
         violations: scan.violations,
@@ -409,7 +557,7 @@ fn directory_checks<S: Storage>(store: &StructStore<S>, scan: &mut ChainScan) {
 /// (B+i → data file, B+v ↔ values), tag-index completeness, and the
 /// structural invariants of all three B+ trees.
 pub fn verify_db<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions) -> Report {
-    let mut scan = scan_chain(db.store().pool());
+    let mut scan = scan_chain(db.store().pool(), db.store().backend());
     directory_checks(db.store(), &mut scan);
     index_checks(db, opts, &mut scan);
     generation_checks(db, &mut scan.violations);

@@ -198,6 +198,33 @@ pub enum Violation {
         /// Parse failure detail.
         detail: String,
     },
+    /// A succinct (bit-packed) page's content does not parse canonically:
+    /// bad count word, truncated parenthesis bitvector, nonzero padding
+    /// bits, or a tag-code stream that does not cover the content exactly.
+    SuccinctEncoding {
+        /// Page id.
+        page: u32,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// A succinct page's rebuilt rank/select directory disagrees with a
+    /// linear recount of its parenthesis bitvector.
+    RankSelectMismatch {
+        /// Page id.
+        page: u32,
+        /// The diverging query and both answers.
+        detail: String,
+    },
+    /// A succinct page stores a dictionary tag code outside the 15-bit
+    /// range the classic encoding (and the tag dictionary) can represent.
+    TagCodeOutOfRange {
+        /// Page id.
+        page: u32,
+        /// Entry index within the page.
+        entry: u32,
+        /// The out-of-range code.
+        code: u16,
+    },
     /// The published MVCC generation disagrees with the committed state it
     /// claims to represent (see DESIGN.md §14).
     GenerationMismatch {
@@ -239,6 +266,9 @@ impl Violation {
             Violation::TagOrderViolation { .. } => "tag-order-violation",
             Violation::BTreeStructure { .. } => "btree-structure",
             Violation::RecordCorrupt { .. } => "record-corrupt",
+            Violation::SuccinctEncoding { .. } => "succinct-encoding",
+            Violation::RankSelectMismatch { .. } => "rank-select-mismatch",
+            Violation::TagCodeOutOfRange { .. } => "tag-code-out-of-range",
             Violation::GenerationMismatch { .. } => "generation-mismatch",
         }
     }
@@ -378,6 +408,16 @@ impl Violation {
                 obj.str("what", what);
                 obj.str("detail", detail);
             }
+            Violation::SuccinctEncoding { page, detail }
+            | Violation::RankSelectMismatch { page, detail } => {
+                obj.num("page", *page as u64);
+                obj.str("detail", detail);
+            }
+            Violation::TagCodeOutOfRange { page, entry, code } => {
+                obj.num("page", *page as u64);
+                obj.num("entry", *entry as u64);
+                obj.num("code", *code as u64);
+            }
             Violation::GenerationMismatch {
                 field,
                 expected,
@@ -502,6 +542,15 @@ impl fmt::Display for Violation {
                 detail,
             } => write!(f, "{index} page {page}: {detail}"),
             Violation::RecordCorrupt { what, detail } => write!(f, "{what}: {detail}"),
+            Violation::SuccinctEncoding { page, detail } => {
+                write!(f, "page {page}: succinct encoding: {detail}")
+            }
+            Violation::RankSelectMismatch { page, detail } => {
+                write!(f, "page {page}: rank/select directory: {detail}")
+            }
+            Violation::TagCodeOutOfRange { page, entry, code } => {
+                write!(f, "page {page} entry {entry}: tag code {code} outside the 15-bit range")
+            }
             Violation::GenerationMismatch {
                 field,
                 expected,

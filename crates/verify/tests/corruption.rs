@@ -181,6 +181,116 @@ fn dropped_closes_unbalance_the_string() {
 }
 
 // ---------------------------------------------------------------------
+// Succinct-backend injections: canonical-form and tag-code damage in the
+// bit-packed page encoding.
+// ---------------------------------------------------------------------
+
+/// Like [`tiny_db`] but stored with the bit-packed backend — which packs
+/// several times more entries per page, so the document is wider to keep
+/// the chain multi-page.
+fn tiny_succinct_db() -> XmlDb<MemStorage> {
+    let mut xml = String::from("<log>");
+    for i in 0..120 {
+        xml.push_str(&format!("<rec><msg>m{i}</msg><lvl>info</lvl></rec>"));
+    }
+    xml.push_str("</log>");
+    let db = XmlDb::build_in_memory_with(
+        &xml,
+        BuildOptions::with_backend(nok_core::BackendKind::Succinct),
+        64,
+    )
+    .unwrap();
+    assert!(db.store().chain_len() >= 4, "need a multi-page chain");
+    db
+}
+
+fn succinct_chain_report(db: &XmlDb<MemStorage>) -> nok_verify::Report {
+    nok_verify::verify_chain_with(db.store().pool(), nok_core::BackendKind::Succinct)
+}
+
+#[test]
+fn succinct_store_starts_clean() {
+    let db = tiny_succinct_db();
+    let rep = succinct_chain_report(&db);
+    assert!(rep.is_clean(), "{rep}");
+}
+
+#[test]
+fn succinct_padding_bit_is_flagged() {
+    let db = tiny_succinct_db();
+    // Find a page whose entry count is not a byte multiple, so the last
+    // parens byte has padding bits, and set the topmost (always padding
+    // when n % 8 != 0).
+    let victim = (0..db.store().chain_len() as u32)
+        .map(|r| db.store().dir_at(r).unwrap())
+        .find(|e| e.entries > 0 && e.entries % 8 != 0)
+        .expect("some page has a ragged entry count");
+    patch(&db, victim.id, |buf| {
+        let n = victim.entries as usize;
+        buf[HEADER_SIZE + 2 + (n - 1) / 8] |= 0x80;
+    });
+    let rep = succinct_chain_report(&db);
+    assert!(rep.has_kind("succinct-encoding"), "{rep}");
+}
+
+#[test]
+fn succinct_zero_count_with_content_is_flagged() {
+    let db = tiny_succinct_db();
+    let pid = chain_page(&db, 1);
+    patch(&db, pid, |buf| {
+        // Zero the entry-count word while nbytes still claims content: the
+        // canonical empty page has nbytes == 0.
+        put_u16(buf, HEADER_SIZE, 0);
+    });
+    let rep = succinct_chain_report(&db);
+    assert!(rep.has_kind("succinct-encoding"), "{rep}");
+}
+
+#[test]
+fn succinct_truncated_tag_stream_is_flagged() {
+    let db = tiny_succinct_db();
+    let victim = (0..db.store().chain_len() as u32)
+        .map(|r| db.store().dir_at(r).unwrap())
+        .find(|e| e.entries > 0)
+        .unwrap();
+    patch(&db, victim.id, |buf| {
+        // Cut the last content byte: the varint tag stream no longer covers
+        // every open entry.
+        let nbytes = get_u16(buf, OFF_NBYTES);
+        assert!(nbytes >= 4);
+        put_u16(buf, OFF_NBYTES, nbytes - 1);
+    });
+    let rep = succinct_chain_report(&db);
+    assert!(rep.has_kind("succinct-encoding"), "{rep}");
+}
+
+#[test]
+fn succinct_tag_code_out_of_range_is_flagged() {
+    use nok_core::page::{self, PageHeader, NO_PAGE};
+    // Hand-build a single balanced page `()` whose only tag code is 0xFFFF —
+    // a wellformed varint, but outside the 15-bit tag-code space.
+    let pool = BufferPool::new(MemStorage::with_page_size(64));
+    let (_pid, handle) = pool.allocate().unwrap();
+    {
+        let mut buf = handle.write();
+        let content: [u8; 6] = [2, 0, 0x01, 0xFF, 0xFF, 0x03];
+        page::write_header(
+            &mut buf,
+            &PageHeader {
+                st: 0,
+                lo: 0,
+                hi: 1,
+                next: NO_PAGE,
+                nbytes: content.len() as u16,
+            },
+        );
+        buf[HEADER_SIZE..HEADER_SIZE + content.len()].copy_from_slice(&content);
+    }
+    let rep = nok_verify::verify_chain_with(&pool, nok_core::BackendKind::Succinct);
+    assert!(rep.has_kind("tag-code-out-of-range"), "{rep}");
+}
+
+// ---------------------------------------------------------------------
 // Index-layer injections (default page size; damage via the index APIs).
 // ---------------------------------------------------------------------
 
