@@ -296,6 +296,15 @@ pub fn is_plan_internal(rel: &str) -> bool {
         || rel == "crates/core/src/exec.rs"
 }
 
+/// Synopsis counters are mutated only under the WAL by the bulk-build and
+/// incremental-update paths (plus the synopsis module itself); everyone
+/// else reads an immutable per-generation snapshot (DESIGN.md §17).
+pub fn is_synopsis_internal(rel: &str) -> bool {
+    rel == "crates/core/src/build.rs"
+        || rel == "crates/core/src/update.rs"
+        || rel == "crates/core/src/synopsis.rs"
+}
+
 /// Integration tests, benches and examples are test code wholesale.
 pub fn is_test_path(rel: &str) -> bool {
     rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/")
@@ -375,6 +384,7 @@ pub const ALL_RULES: &[&str] = &[
     "undocumented-unsafe",
     "raw-page-io",
     "plan-operator-construction",
+    "synopsis-mutation",
     "guard-across-writer",
     "bare-allow",
     "unknown-allow",

@@ -20,6 +20,10 @@
 //!   `undocumented-unsafe`, `raw-page-io`, `plan-operator-construction`),
 //!   re-implemented on the AST so multi-line and oddly-spaced forms are
 //!   caught and substring look-alikes are not.
+//! - **`synopsis-mutation`** — the planner synopsis's counter-mutation API
+//!   (`add_path_count` & co.) is called only from
+//!   `core::{build, update, synopsis}`; everyone else reads the immutable
+//!   per-generation snapshot.
 //!
 //! Exceptions are written in the code as `// analyze: allow(rule-id): why`;
 //! an allow without a reason is itself a finding (`bare-allow`).

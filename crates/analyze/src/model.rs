@@ -75,6 +75,11 @@ pub enum Event {
         name: String,
         line: usize,
     },
+    /// A synopsis counter mutation (`add_path_count`, `sub_tag_count`, ...).
+    SynopsisMutation {
+        name: String,
+        line: usize,
+    },
     /// `expr[...]` indexing in expression position.
     Index {
         line: usize,
@@ -114,6 +119,18 @@ const ATOMIC_OPS: &[&str] = &[
 ];
 
 const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The synopsis mutation API: calls to these from outside
+/// `core::{build, update, synopsis}` violate the maintenance contract
+/// (mutations happen under the WAL and publish per generation).
+const SYNOPSIS_MUTATORS: &[&str] = &[
+    "add_tag_count",
+    "sub_tag_count",
+    "add_value_count",
+    "sub_value_count",
+    "add_path_count",
+    "sub_path_count",
+];
 
 /// Idents that precede a bracket group in non-indexing positions (array
 /// literals after `return`/`mut`, slice types after `dyn`, ...).
@@ -564,6 +581,14 @@ fn classify_call(
             });
             return false;
         }
+    }
+
+    if SYNOPSIS_MUTATORS.contains(&name) {
+        out.push(Event::SynopsisMutation {
+            name: name.to_string(),
+            line,
+        });
+        return false;
     }
 
     // Guard-returning function from the summary table (`dir_mut`).

@@ -692,6 +692,27 @@ pub fn run(models: &[FnModel], comments: &HashMap<String, CommentMap>) -> (Vec<F
                         &mut findings,
                     );
                 }
+                Event::SynopsisMutation { name, line }
+                    if !config::is_synopsis_internal(&m.file) && !m.in_test =>
+                {
+                    push(
+                        Finding {
+                            rule: "synopsis-mutation",
+                            file: m.file.clone(),
+                            line: *line,
+                            message: format!(
+                                "`.{name}(` outside core::{{build, update, synopsis}} (in \
+                                 `{}`); synopsis counters change only under the WAL and \
+                                 publish per MVCC generation",
+                                m.name
+                            ),
+                            lock_path: None,
+                        },
+                        comments,
+                        &mut allows_used,
+                        &mut findings,
+                    );
+                }
                 Event::PlanOp { name, line } if !config::is_plan_internal(&m.file) => {
                     push(
                         Finding {

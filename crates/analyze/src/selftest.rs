@@ -75,6 +75,22 @@ const FAIL: &[FailFixture] = &[
         expect: &["plan-operator-construction"],
     },
     FailFixture {
+        // The planner reads path supports; mutating a counter from there
+        // would desynchronize the published per-generation synopsis.
+        name: "synopsis mutation outside build/update",
+        path: "crates/core/src/planner.rs",
+        source: "pub fn cheat(s: &mut Synopsis, tags: &[TagCode]) {\n    s.add_path_count(tags, 1);\n}\n",
+        expect: &["synopsis-mutation"],
+    },
+    FailFixture {
+        // Multi-line mutator calls must be caught too (the old regex lint's
+        // classic blind spot).
+        name: "synopsis mutation outside core, multi-line",
+        path: "crates/serve/src/service.rs",
+        source: "pub fn drift(s: &mut Synopsis) {\n    s\n        .sub_tag_count\n        (TagCode(3), 1);\n}\n",
+        expect: &["synopsis-mutation"],
+    },
+    FailFixture {
         // The seeded out-of-order acquisition: storage mutex held while
         // taking a shard lock inverts the declared hierarchy.
         name: "lock-order inversion (storage then shard)",
@@ -237,6 +253,24 @@ const PASS: &[PassFixture] = &[
         name: "plan operators inside the planner",
         path: "crates/core/src/planner.rs",
         source: "pub fn seed() -> u32 { SeedChoice::COUNT }\n",
+    },
+    PassFixture {
+        name: "synopsis mutation inside the update path",
+        path: "crates/core/src/update.rs",
+        source: "pub fn on_delete(s: &mut Synopsis, tags: &[TagCode]) {\n    s.sub_path_count(tags, 1);\n}\n",
+    },
+    PassFixture {
+        // Read-only synopsis use is fine anywhere: the planner consumes
+        // the published snapshot through the support queries.
+        name: "synopsis read API outside core",
+        path: "crates/serve/src/service.rs",
+        source: "pub fn gauge(s: &Synopsis) -> u64 { s.distinct_paths() }\n",
+    },
+    PassFixture {
+        // Test code may assemble synopses to exercise the read API.
+        name: "synopsis mutation in cfg(test)",
+        path: "crates/core/src/planner.rs",
+        source: "#[cfg(test)]\nmod tests {\n    fn mk(s: &mut Synopsis) { s.add_tag_count(TagCode(1), 2); }\n}\n",
     },
     PassFixture {
         name: "raw page io inside the pager",

@@ -1,26 +1,47 @@
-//! plan_bench — the cost-based planner versus fixed-order evaluation, and
-//! the serve-layer plan cache's hit path.
+//! plan_bench — the cost-based, path-aware planner versus the legacy
+//! fixed-order tag-only planner, and the serve-layer plan cache's hit path.
 //!
 //! ```text
 //! cargo run -p nok-bench --release --bin plan_bench -- \
 //!     [--reps 5] [--out BENCH_plan.json]
 //! ```
 //!
-//! The pessimal query is `//a[.//nosuch]//filler` over a document with
-//! thousands of `filler` nodes and **zero** `nosuch` nodes. Its two cut
-//! fragments are siblings, so fragment order is the planner's to choose:
-//! the legacy fixed order (highest fragment index first) evaluates the
-//! unselective `filler` fragment with a full document scan before
-//! discovering `nosuch` is empty, while the cost-ordered plan evaluates
-//! the zero-cost `nosuch` fragment first and proves the query empty
-//! without touching the fillers.
+//! Two workload sections, one baseline: the "fixed" side of every pair is
+//! the full legacy planner (`cost_ordered: false, path_aware: false`), so
+//! the deltas measure everything the planner refactors bought.
+//!
+//! **Ordering section** (the pessimal corpus): `//a[.//nosuch]//filler`
+//! over thousands of `filler` nodes and zero `nosuch` nodes. The legacy
+//! fixed order evaluates the unselective `filler` fragment with a full
+//! document scan before discovering `nosuch` is empty; the planned side
+//! proves the query empty up front.
+//!
+//! **Path section** (synopsis path summary at work):
+//!
+//! * `//filler//meta` has zero *path* support — both tags exist, but no
+//!   `meta` descends from a `filler` — so the tag-only planner must run
+//!   both fragments and semijoin them to nothing, while the path-aware
+//!   planner proves the query empty from the summary alone: zero entries
+//!   examined, zero physical page reads.
+//! * `/site/item/special/name` on a corpus where every one of a thousand
+//!   items matches the prefix but only three route through `special`.
+//!   Tag-only planning sees only the unselective `name` member and falls
+//!   back to whole-document navigation that visits every item; path-aware
+//!   planning elevates to the `special` spine pivot: three postings plus
+//!   a nine-node matched subtree.
+//! * `/dblp/phdthesis/school` on the scaled dblp dataset: a deep selective
+//!   path on generated data, gated not-worse-than-fixed.
 //!
 //! Gates (the process exits nonzero when any fails):
 //!
-//! * On every measured query the planned order examines no more index
-//!   entries than the fixed order, and on the pessimal query strictly
+//! * On every measured query the planned side examines no more index
+//!   entries than the fixed side, and on the pessimal query strictly
 //!   fewer.
-//! * Both orders return identical results.
+//! * Both sides return identical results.
+//! * The zero-path-support query completes with **0 entries examined and
+//!   0 physical page reads** on the planned side.
+//! * The deep selective path examines **≥10× fewer entries** planned than
+//!   fixed.
 //! * The plan-cache hit path allocates no plan: over many lookups of one
 //!   query, exactly one miss plans, and every hit returns the same
 //!   allocation (`Arc::ptr_eq`).
@@ -30,10 +51,14 @@ use std::time::Instant;
 
 use nok_bench::Args;
 use nok_core::{PlanConfig, PlannedQuery, QueryOptions, QueryScratch, XmlDb};
+use nok_datagen::{generate, DatasetKind};
 use nok_pager::MemStorage;
 use nok_serve::{normalize_query, Json, PlanCache};
 
 const PESSIMAL: &str = "//a[.//nosuch]//filler";
+const ZERO_SUPPORT: &str = "//filler//meta";
+const DEEP_SELECTIVE: &str = "/site/item/special/name";
+const DBLP_DEEP: &str = "/dblp/phdthesis/school";
 
 fn main() {
     if let Err(e) = run() {
@@ -42,7 +67,9 @@ fn main() {
     }
 }
 
-/// One subtree of mostly-`filler` content; no `nosuch` anywhere.
+/// One subtree of mostly-`filler` content; no `nosuch` anywhere, and no
+/// `meta` below a `filler` (so `//filler//meta` has zero path support while
+/// both tags are plentiful).
 fn pessimal_xml(sections: usize, fillers_per_section: usize) -> String {
     let mut xml = String::from("<r>");
     for _ in 0..sections {
@@ -56,35 +83,66 @@ fn pessimal_xml(sections: usize, fillers_per_section: usize) -> String {
     xml
 }
 
+/// A deep selective corpus: every `item` matches the query's prefix, but
+/// only `rare` of them route through `special` to a `name`. Document
+/// navigation must visit every item's child list before pruning, and the
+/// only member tag at the pattern's hot node (`name`) is as common as the
+/// items — so tag-only planning has no cheap seed, while the path summary
+/// prices the rare `special` spine ancestor at a handful of postings plus
+/// nine navigated nodes.
+fn deep_selective_xml(rare: usize, common: usize) -> String {
+    let mut xml = String::from("<site>");
+    for _ in 0..common {
+        xml.push_str("<item><sub><name>n</name></sub></item>");
+    }
+    for _ in 0..rare {
+        xml.push_str("<item><special><name>n</name></special></item>");
+    }
+    xml.push_str("</site>");
+    xml
+}
+
 struct Measure {
     ns: f64,
     entries: u64,
     dir_entries: u64,
+    reads: u64,
     matches: u64,
     deweys: Vec<String>,
 }
 
 /// Execute a prepared plan `reps` times; best wall time, last-pass stats.
+/// Caches are cleared before every pass, so the physical-read delta counts
+/// every page the pass touched.
 fn measure(db: &XmlDb<MemStorage>, planned: &PlannedQuery, reps: usize) -> Result<Measure, String> {
     let mut scratch = QueryScratch::new();
     let mut out = Vec::new();
     let mut best = f64::INFINITY;
+    let mut reads = 0u64;
     for _ in 0..reps.max(1) {
         db.store().invalidate_decoded(None);
         db.store()
             .pool()
             .clear_cache()
             .map_err(|e| format!("clear: {e}"))?;
+        let reads0 = db.store().pool().stats().physical_reads();
         let t = Instant::now();
         db.execute_plan(planned, &mut scratch, &mut out)
             .map_err(|e| format!("execute: {e}"))?;
         best = best.min(t.elapsed().as_nanos() as f64);
+        reads = db
+            .store()
+            .pool()
+            .stats()
+            .physical_reads()
+            .saturating_sub(reads0);
     }
     let stats = scratch.stats();
     Ok(Measure {
         ns: best,
         entries: stats.entries_examined,
         dir_entries: stats.dir_entries_examined,
+        reads,
         matches: out.len() as u64,
         deweys: out.iter().map(|m| m.dewey.to_string()).collect(),
     })
@@ -103,6 +161,7 @@ impl QueryResult {
                 ("ns", Json::Num(m.ns)),
                 ("entries_examined", Json::Num(m.entries as f64)),
                 ("dir_entries_examined", Json::Num(m.dir_entries as f64)),
+                ("physical_reads", Json::Num(m.reads as f64)),
                 ("matches", Json::Num(m.matches as f64)),
             ])
         };
@@ -111,6 +170,48 @@ impl QueryResult {
             ("planned", side(&self.planned)),
             ("fixed", side(&self.fixed)),
         ])
+    }
+}
+
+/// Measure one query both ways: the full planner (cost-ordered and
+/// path-aware) versus the full legacy baseline (fixed order, tag-only).
+fn run_pair(db: &XmlDb<MemStorage>, q: &str, reps: usize) -> Result<QueryResult, String> {
+    let planned = db
+        .plan_query(q, QueryOptions::default())
+        .map_err(|e| format!("plan {q}: {e}"))?;
+    let fixed = db
+        .plan_query_with(
+            q,
+            QueryOptions::default(),
+            PlanConfig {
+                cost_ordered: false,
+                path_aware: false,
+            },
+        )
+        .map_err(|e| format!("plan {q}: {e}"))?;
+    Ok(QueryResult {
+        query: q.to_string(),
+        planned: measure(db, &planned, reps)?,
+        fixed: measure(db, &fixed, reps)?,
+    })
+}
+
+fn print_table(title: &str, results: &[QueryResult]) {
+    println!(
+        "{title}\n{:<32} {:>13} {:>13} {:>8} {:>8} {:>10} {:>10}",
+        "query", "planned entr", "fixed entr", "p reads", "f reads", "planned ms", "fixed ms"
+    );
+    for r in results {
+        println!(
+            "{:<32} {:>13} {:>13} {:>8} {:>8} {:>10.3} {:>10.3}",
+            r.query,
+            r.planned.entries,
+            r.fixed.entries,
+            r.planned.reads,
+            r.fixed.reads,
+            r.planned.ns / 1e6,
+            r.fixed.ns / 1e6,
+        );
     }
 }
 
@@ -124,24 +225,21 @@ fn run() -> Result<(), String> {
     let queries = [PESSIMAL, "//a//filler", "//a[.//meta]//filler", "//nosuch"];
     let mut results = Vec::new();
     for q in queries {
-        let planned = db
-            .plan_query(q, QueryOptions::default())
-            .map_err(|e| format!("plan {q}: {e}"))?;
-        let fixed = db
-            .plan_query_with(
-                q,
-                QueryOptions::default(),
-                PlanConfig {
-                    cost_ordered: false,
-                },
-            )
-            .map_err(|e| format!("plan {q}: {e}"))?;
-        results.push(QueryResult {
-            query: q.to_string(),
-            planned: measure(&db, &planned, reps)?,
-            fixed: measure(&db, &fixed, reps)?,
-        });
+        results.push(run_pair(&db, q, reps)?);
     }
+
+    // ---- Path-summary section: the zero-support proof on the pessimal
+    // corpus, the spine-pivot elevation on the skewed-regions corpus, and a
+    // deep selective path on generated dblp.
+    let deep_db = XmlDb::build_in_memory(&deep_selective_xml(3, 1000))
+        .map_err(|e| format!("build deep: {e}"))?;
+    let dblp = generate(DatasetKind::Dblp, 0.01);
+    let dblp_db = XmlDb::build_in_memory(&dblp.xml).map_err(|e| format!("build dblp: {e}"))?;
+    let path_results = vec![
+        run_pair(&db, ZERO_SUPPORT, reps)?,
+        run_pair(&deep_db, DEEP_SELECTIVE, reps)?,
+        run_pair(&dblp_db, DBLP_DEEP, reps)?,
+    ];
 
     // ---- Plan-cache hit path: one miss plans, every hit reuses the same
     // allocation.
@@ -173,20 +271,11 @@ fn run() -> Result<(), String> {
     }
     let cache_ns_per_lookup = t.elapsed().as_nanos() as f64 / lookups as f64;
 
-    println!(
-        "{:<28} {:>14} {:>14} {:>12} {:>12}",
-        "query", "planned entr", "fixed entr", "planned ms", "fixed ms"
+    print_table("fragment ordering (pessimal corpus)", &results);
+    print_table(
+        "path summary (zero-support / deep selective)",
+        &path_results,
     );
-    for r in &results {
-        println!(
-            "{:<28} {:>14} {:>14} {:>12.3} {:>12.3}",
-            r.query,
-            r.planned.entries,
-            r.fixed.entries,
-            r.planned.ns / 1e6,
-            r.fixed.ns / 1e6,
-        );
-    }
     println!(
         "plan cache: {lookups} lookups, {misses} miss(es), \
          {cache_ns_per_lookup:.0} ns/lookup, reused_allocation={reused_allocation}"
@@ -194,15 +283,15 @@ fn run() -> Result<(), String> {
 
     // ---- Gates.
     let mut failures = Vec::new();
-    for r in &results {
+    for r in results.iter().chain(path_results.iter()) {
         if r.planned.entries > r.fixed.entries {
             failures.push(format!(
-                "{}: planned order examined more entries ({} > {})",
+                "{}: planned side examined more entries ({} > {})",
                 r.query, r.planned.entries, r.fixed.entries
             ));
         }
         if r.planned.deweys != r.fixed.deweys {
-            failures.push(format!("{}: planned and fixed orders disagree", r.query));
+            failures.push(format!("{}: planned and fixed sides disagree", r.query));
         }
     }
     if let Some(r) = results.iter().find(|r| r.query == PESSIMAL) {
@@ -211,6 +300,38 @@ fn run() -> Result<(), String> {
                 "pessimal query: planned order must examine strictly fewer entries \
                  (planned={} fixed={})",
                 r.planned.entries, r.fixed.entries
+            ));
+        }
+    }
+    let mut path_failures = Vec::new();
+    if let Some(r) = path_results.iter().find(|r| r.query == ZERO_SUPPORT) {
+        if r.planned.entries != 0 || r.planned.reads != 0 {
+            path_failures.push(format!(
+                "zero-support query: planned side must touch nothing \
+                 (entries={} physical_reads={})",
+                r.planned.entries, r.planned.reads
+            ));
+        }
+        if r.planned.matches != 0 {
+            path_failures.push("zero-support query returned matches".to_string());
+        }
+        if r.fixed.entries == 0 {
+            path_failures
+                .push("zero-support query: tag-only baseline did no work to refute".to_string());
+        }
+    }
+    if let Some(r) = path_results.iter().find(|r| r.query == DEEP_SELECTIVE) {
+        if r.fixed.entries < 10 * r.planned.entries.max(1) {
+            path_failures.push(format!(
+                "deep selective path: planned side must examine >=10x fewer entries \
+                 (planned={} fixed={})",
+                r.planned.entries, r.fixed.entries
+            ));
+        }
+        if r.planned.matches != 3 {
+            path_failures.push(format!(
+                "deep selective path: expected 3 matches, got {}",
+                r.planned.matches
             ));
         }
     }
@@ -230,6 +351,10 @@ fn run() -> Result<(), String> {
             Json::Arr(results.iter().map(|r| r.to_json()).collect()),
         ),
         (
+            "path_queries",
+            Json::Arr(path_results.iter().map(|r| r.to_json()).collect()),
+        ),
+        (
             "plan_cache",
             Json::obj(vec![
                 ("lookups", Json::Num(lookups as f64)),
@@ -239,11 +364,13 @@ fn run() -> Result<(), String> {
             ]),
         ),
         ("gates_passed", Json::Bool(failures.is_empty())),
+        ("path_gates_passed", Json::Bool(path_failures.is_empty())),
     ]);
     std::fs::write(&out_path, format!("{}\n", report.to_string_compact()))
         .map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path}");
 
+    failures.extend(path_failures);
     if !failures.is_empty() {
         return Err(failures.join("; "));
     }

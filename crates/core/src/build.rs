@@ -2,7 +2,6 @@
 //! detached value file, and the three B+ tree indexes of Figure 3 — with
 //! constructors for in-memory and on-disk instances.
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -14,6 +13,7 @@ use nok_pager::{
 };
 use nok_xml::Reader;
 
+use crate::cursor::DocScan;
 use crate::dewey::Dewey;
 use crate::error::{CoreError, CoreResult};
 use crate::page::BackendKind;
@@ -21,7 +21,8 @@ use crate::physical::{tag_posting_key, IdRecord, TagPosting};
 use crate::recovery::RecoveryReport;
 use crate::sigma::{TagCode, TagDict};
 use crate::snapshot::{initial_generations, DbGeneration};
-use crate::store::{BuildOptions, BuildSink, NodeRecord, StatsBlock, StructStore};
+use crate::store::{BuildOptions, BuildSink, NodeRecord, StructStore};
+use crate::synopsis::Synopsis;
 use crate::values::{hash_key, hash_value, DataFile, LockDataFile};
 
 /// A complete XML database instance over one document.
@@ -39,11 +40,10 @@ pub struct XmlDb<S: Storage> {
     pub(crate) bt_val: BTree<S>,
     /// B+i: dewey key → [`IdRecord`].
     pub(crate) bt_id: BTree<S>,
-    /// Occurrences per tag (selectivity estimation); copy-on-write like
-    /// the dictionary.
-    pub(crate) tag_counts: Arc<HashMap<TagCode, u64>>,
-    /// Occurrences per value hash (planner selectivity estimation).
-    pub(crate) value_counts: Arc<HashMap<u64, u64>>,
+    /// Planner synopsis: per-tag and per-value counts plus the path
+    /// summary (see [`crate::synopsis`]); copy-on-write like the
+    /// dictionary.
+    pub(crate) synopsis: Arc<Synopsis>,
     /// Bumped once per successfully committed update transaction; the
     /// serve-layer plan cache keys its invalidation on it.
     pub(crate) generation: AtomicU64,
@@ -278,50 +278,55 @@ impl<S: Storage> XmlDb<S> {
         let dict_bytes = std::fs::read(dir.join(F_DICT)).map_err(nok_pager::PagerError::from)?;
         let dict = TagDict::from_bytes(&dict_bytes)
             .ok_or_else(|| CoreError::Corrupt("bad tag dictionary".into()))?;
-        // Planner statistics: trust the persisted stats block only when
-        // recovery was clean and the block matches the store it sits next
-        // to; otherwise rebuild both counter maps from the indexes (the
-        // composite B+t keys carry the tag code in their first two bytes,
-        // the B+v keys are the 8-byte value hashes).
+        // Planner synopsis: trust the persisted block only when recovery
+        // was clean and the block matches the store it sits next to;
+        // otherwise rebuild it from the indexes and the document itself
+        // (the composite B+t keys carry the tag code in their first two
+        // bytes, the B+v keys are the 8-byte value hashes, and one
+        // document-order scan recovers the path summary). A pre-synopsis
+        // `NOKSTATS` block fails the magic check and lands in the same
+        // rebuild path, which is the read-compat story for old databases.
         let stats_path = dir.join(F_STATS);
         let loaded = if report.was_dirty() {
             None
         } else {
             std::fs::read(&stats_path)
                 .ok()
-                .and_then(|b| StatsBlock::from_bytes(&b))
-                .filter(|block| block.node_count == store.node_count())
+                .and_then(|b| Synopsis::from_bytes(&b))
+                .filter(|(node_count, _)| *node_count == store.node_count())
+                .map(|(_, syn)| syn)
         };
-        let (tag_counts, value_counts, stats_stale) = match loaded {
-            Some(block) => (
-                block
-                    .tag_counts
-                    .iter()
-                    .map(|&(code, n)| (TagCode::from_key(&code.to_be_bytes()), n))
-                    .collect(),
-                block.value_counts.iter().copied().collect(),
-                false,
-            ),
+        let (synopsis, stats_stale) = match loaded {
+            Some(syn) => (syn, false),
             None => {
-                let mut tag_counts = HashMap::new();
+                let mut syn = Synopsis::new();
                 for item in bt_tag.iter_all()? {
                     let (k, _) = item?;
-                    *tag_counts.entry(TagCode::from_key(&k)).or_insert(0) += 1;
+                    syn.add_tag_count(TagCode::from_key(&k), 1);
                 }
-                let mut value_counts: HashMap<u64, u64> = HashMap::new();
                 for item in bt_val.iter_all()? {
                     let (k, _) = item?;
                     if let Ok(bytes) = <[u8; 8]>::try_from(&k[..]) {
-                        *value_counts.entry(u64::from_be_bytes(bytes)).or_insert(0) += 1;
+                        syn.add_value_count(u64::from_be_bytes(bytes), 1);
                     }
                 }
-                (tag_counts, value_counts, true)
+                // Path summary: derive each node's root chain from its
+                // level during one document-order pass. Runs after crash
+                // recovery replayed the log, so a recovered database never
+                // serves a stale synopsis.
+                let mut chain: Vec<TagCode> = Vec::new();
+                for item in DocScan::new(&store) {
+                    let item = item?;
+                    chain.truncate((item.level as usize).saturating_sub(1));
+                    chain.push(item.tag);
+                    syn.add_path_count(&chain, 1);
+                }
+                (syn, true)
             }
         };
         let wal = Wal::open_or_create(dir.join(F_WAL))?;
         let dict = Arc::new(dict);
-        let tag_counts = Arc::new(tag_counts);
-        let value_counts = Arc::new(value_counts);
+        let synopsis = Arc::new(synopsis);
         // Publish the recovered state as generation 0: every reader that
         // pins before the first post-open commit sees exactly what recovery
         // established.
@@ -335,8 +340,7 @@ impl<S: Storage> XmlDb<S> {
             store.dir_arc(),
             store.node_count(),
             Arc::clone(&dict),
-            Arc::clone(&tag_counts),
-            Arc::clone(&value_counts),
+            Arc::clone(&synopsis),
             [
                 (bt_tag.root_page(), bt_tag.len()),
                 (bt_val.root_page(), bt_val.len()),
@@ -351,8 +355,7 @@ impl<S: Storage> XmlDb<S> {
             bt_tag,
             bt_val,
             bt_id,
-            tag_counts,
-            value_counts,
+            synopsis,
             generation: AtomicU64::new(0),
             stats_path: Some(stats_path),
             dict_path: Some(dir.join(F_DICT)),
@@ -422,16 +425,26 @@ impl<S: Storage> XmlDb<S> {
             .collect();
         let bt_id = BTree::bulk_load(id_pool, id_pairs, 0.9)?;
 
+        // ---- Planner synopsis: tag counts and the path summary fall out
+        // of the document-order node stream (each node's root chain is its
+        // level-truncated tag stack); value counts follow below.
+        let mut synopsis = Synopsis::new();
+        let mut chain: Vec<TagCode> = Vec::new();
+        for rec in &sink.nodes {
+            synopsis.add_tag_count(rec.tag, 1);
+            chain.truncate((rec.level as usize).saturating_sub(1));
+            chain.push(rec.tag);
+            synopsis.add_path_count(&chain, 1);
+        }
+
         // ---- B+t: composite (tag, dewey) key → posting. Dewey keys order
         // lexicographically in document order, so sorting groups each tag
         // with its postings already in document order — and makes every key
         // unique, which is what lets updates delete one posting in place.
-        let mut tag_counts: HashMap<TagCode, u64> = HashMap::new();
         let mut tag_pairs: Vec<(Vec<u8>, Vec<u8>)> = sink
             .nodes
             .iter()
             .map(|rec| {
-                *tag_counts.entry(rec.tag).or_insert(0) += 1;
                 (
                     tag_posting_key(rec.tag, &rec.dewey),
                     TagPosting {
@@ -447,19 +460,17 @@ impl<S: Storage> XmlDb<S> {
         let bt_tag = BTree::bulk_load(tag_pool, tag_pairs, 0.9)?;
 
         // ---- B+v: value hash → dewey key.
-        let mut value_counts: HashMap<u64, u64> = HashMap::new();
         let mut val_pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(sink.values.len());
         for (dewey, off, _len) in &sink.values {
             let text = data.get_record(*off)?;
-            *value_counts.entry(hash_value(&text)).or_insert(0) += 1;
+            synopsis.add_value_count(hash_value(&text), 1);
             val_pairs.push((hash_key(&text).to_vec(), dewey.to_key()));
         }
         val_pairs.sort_by(|a, b| a.0.cmp(&b.0));
         let bt_val = BTree::bulk_load(val_pool, val_pairs, 0.9)?;
 
         let dict = Arc::new(dict);
-        let tag_counts = Arc::new(tag_counts);
-        let value_counts = Arc::new(value_counts);
+        let synopsis = Arc::new(synopsis);
         let gens = initial_generations(
             [
                 Arc::clone(store.pool().capture_cell()),
@@ -470,8 +481,7 @@ impl<S: Storage> XmlDb<S> {
             store.dir_arc(),
             store.node_count(),
             Arc::clone(&dict),
-            Arc::clone(&tag_counts),
-            Arc::clone(&value_counts),
+            Arc::clone(&synopsis),
             [
                 (bt_tag.root_page(), bt_tag.len()),
                 (bt_val.root_page(), bt_val.len()),
@@ -486,8 +496,7 @@ impl<S: Storage> XmlDb<S> {
             bt_tag,
             bt_val,
             bt_id,
-            tag_counts,
-            value_counts,
+            synopsis,
             generation: AtomicU64::new(0),
             stats_path: None,
             dict_path: None,
@@ -536,19 +545,26 @@ impl<S: Storage> XmlDb<S> {
 
     /// Occurrences of a tag (0 if unseen).
     pub fn tag_count(&self, tag: TagCode) -> u64 {
-        self.tag_counts.get(&tag).copied().unwrap_or(0)
+        self.synopsis.tag_count(tag)
     }
 
     /// Occurrences of a value hash (0 if unseen) — the planner's
     /// selectivity estimate for `= "literal"` constraints. Hash collisions
     /// make this an upper bound; the executor re-verifies the actual text.
     pub fn value_count(&self, hash: u64) -> u64 {
-        self.value_counts.get(&hash).copied().unwrap_or(0)
+        self.synopsis.value_count(hash)
     }
 
-    /// Number of distinct value hashes tracked by the stats block.
+    /// Number of distinct value hashes tracked by the synopsis.
     pub fn distinct_value_count(&self) -> u64 {
-        self.value_counts.len() as u64
+        self.synopsis.distinct_value_count() as u64
+    }
+
+    /// The planner synopsis (per-tag/per-value counts + path summary) this
+    /// handle plans against. On a snapshot view this is the synopsis
+    /// published with the view's pinned generation.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
     }
 
     /// Monotonic counter bumped by every successfully committed update
@@ -557,29 +573,11 @@ impl<S: Storage> XmlDb<S> {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Snapshot the in-memory statistics as a persistable block.
-    pub(crate) fn stats_snapshot(&self) -> StatsBlock {
-        let mut tag_counts: Vec<(u16, u64)> = self
-            .tag_counts
-            .iter()
-            .map(|(t, &n)| (u16::from_be_bytes(t.to_key()), n))
-            .collect();
-        tag_counts.sort_unstable();
-        let mut value_counts: Vec<(u64, u64)> =
-            self.value_counts.iter().map(|(&h, &n)| (h, n)).collect();
-        value_counts.sort_unstable();
-        StatsBlock {
-            node_count: self.node_count(),
-            tag_counts,
-            value_counts,
-        }
-    }
-
-    /// Persist the stats block next to the other components (no-op for
+    /// Persist the synopsis block next to the other components (no-op for
     /// in-memory databases).
     pub(crate) fn persist_stats(&self) -> CoreResult<()> {
         if let Some(path) = &self.stats_path {
-            std::fs::write(path, self.stats_snapshot().to_bytes())
+            std::fs::write(path, self.synopsis.to_bytes(self.node_count()))
                 .map_err(nok_pager::PagerError::from)?;
         }
         Ok(())
@@ -650,8 +648,7 @@ impl<S: Storage> XmlDb<S> {
             handles: [struct_txn, tag_txn, val_txn, id_txn],
             data_len0: self.data.lock_data().len_bytes(),
             dict_bytes0: self.dict.to_bytes(),
-            tag_counts0: Arc::clone(&self.tag_counts),
-            value_counts0: Arc::clone(&self.value_counts),
+            synopsis0: Arc::clone(&self.synopsis),
         })
     }
 
@@ -784,8 +781,7 @@ impl<S: Storage> XmlDb<S> {
             TagDict::from_bytes(&ctx.dict_bytes0)
                 .ok_or_else(|| CoreError::Corrupt("dictionary snapshot corrupt".into()))?,
         );
-        self.tag_counts = Arc::clone(&ctx.tag_counts0);
-        self.value_counts = Arc::clone(&ctx.value_counts0);
+        self.synopsis = Arc::clone(&ctx.synopsis0);
         self.store.reload()?;
         self.bt_tag.reload_meta()?;
         self.bt_val.reload_meta()?;
@@ -800,8 +796,7 @@ pub(crate) struct TxnCtx<S: Storage> {
     handles: [TxnHandle<S>; 4],
     data_len0: u64,
     dict_bytes0: Vec<u8>,
-    tag_counts0: Arc<HashMap<TagCode, u64>>,
-    value_counts0: Arc<HashMap<u64, u64>>,
+    synopsis0: Arc<Synopsis>,
 }
 
 #[cfg(test)]

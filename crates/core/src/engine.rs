@@ -85,6 +85,9 @@ pub struct QueryStats {
     /// Directory records / skip-index probes consulted during this query
     /// (same pool-wide-delta caveat).
     pub dir_entries_examined: u64,
+    /// The synopsis path summary proved the query empty at plan time: the
+    /// executor answered without locating a single starting point.
+    pub proven_empty: bool,
 }
 
 impl QueryStats {
@@ -101,6 +104,7 @@ impl QueryStats {
         self.chain_survivors.clear();
         self.entries_examined = 0;
         self.dir_entries_examined = 0;
+        self.proven_empty = false;
     }
 }
 

@@ -113,6 +113,16 @@ impl<S: Storage> XmlDb<S> {
         let QueryScratch { stats, pool } = scratch;
         stats.reset(nfrags);
         pool.reset(nfrags);
+        if plan.proven_empty {
+            // The synopsis proved some root chain unsupported: every
+            // fragment is skipped, no starting point is located, and not
+            // one page is touched.
+            for fp in &plan.fragments {
+                stats.strategies[fp.frag] = StrategyUsed::Skipped;
+            }
+            stats.proven_empty = true;
+            return Ok(());
+        }
         let pool_stats = self.store.pool().stats();
         let entries_before = pool_stats.entries_examined();
         let dir_before = pool_stats.dir_entries_examined();
@@ -490,14 +500,19 @@ pub(crate) fn build_explain(
                     StrategyUsed::Skipped | StrategyUsed::Pending => None,
                     _ => stats.starting_points.get(*frag).copied(),
                 };
+                let path_est = match fp.path_support {
+                    Some(s) => format!(" path-est={s}"),
+                    None => String::new(),
+                };
                 rows.push(ExplainRow {
                     op: "eval".into(),
                     detail: format!(
-                        "fragment {} root={} seed={} strategy={} cost={} matches={}",
+                        "fragment {} root={} seed={} strategy={}{} cost={} matches={}",
                         frag,
                         root_test,
                         fp.seed,
                         strategy,
+                        path_est,
                         fp.est_cost,
                         stats.fragment_matches.get(*frag).copied().unwrap_or(0),
                     ),
@@ -869,6 +884,7 @@ mod tests {
                     QueryOptions::default(),
                     PlanConfig {
                         cost_ordered: false,
+                        ..PlanConfig::default()
                     },
                 )
                 .unwrap();

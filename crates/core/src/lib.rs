@@ -29,7 +29,10 @@
 //!   executor; [`engine`] — the stable query façade over the three.
 //! * [`stream`] — NoK matching over streaming SAX events.
 //! * [`update`] — subtree insertion/deletion against the paged string.
-//! * [`stats`] — per-document statistics (Table 1 columns).
+//! * [`stats`] — per-document statistics (Table 1 columns); [`synopsis`] —
+//!   the persisted planner synopsis: per-tag/per-value counts plus a
+//!   DataGuide-style path summary (distinct root-to-node tag paths with
+//!   node counts, stored as a compact tag-code trie).
 //!
 //! The top-level convenience type is [`XmlDb`]: build it from an XML string
 //! (in memory or on disk) and run path queries.
@@ -67,6 +70,7 @@ pub mod stats;
 pub mod store;
 pub mod stream;
 pub mod succinct;
+pub mod synopsis;
 pub mod update;
 pub mod values;
 
@@ -85,4 +89,5 @@ pub use snapshot::{DbGeneration, Snapshot, SnapshotSource};
 pub use stats::DocStats;
 pub use store::{BuildOptions, NodeAddr, StructStore};
 pub use stream::{StreamHit, StreamMatcher};
+pub use synopsis::{PathAxis, PathStep, PathTrie, Synopsis};
 pub use values::LockDataFile;

@@ -108,8 +108,13 @@ pub struct FragmentPlan {
     pub verify_spine: bool,
     /// Estimated number of starting points.
     pub est_starts: u64,
-    /// Estimated cost (paper §6.2 units: 4× index probes, or a full scan).
+    /// Estimated cost (paper §6.2 units: 4× index probes, or a full scan;
+    /// path-aware tag seeds separate the posting scan from per-survivor
+    /// work).
     pub est_cost: u64,
+    /// True root-chain support of the seed from the synopsis path summary,
+    /// when the plan was path-aware (`None` under tag-only planning).
+    pub path_support: Option<u64>,
 }
 
 /// One step of the physical plan.
@@ -150,6 +155,10 @@ pub struct QueryPlan {
     /// Whether fragment evaluation was ordered by estimated cost (false:
     /// the legacy fixed bottom-up order).
     pub cost_ordered: bool,
+    /// The synopsis path summary proved some pattern node's root chain has
+    /// zero support: the executor answers the query empty without touching
+    /// a single page.
+    pub proven_empty: bool,
 }
 
 /// An owned, cacheable planned query: the pattern tree plus its plan. The

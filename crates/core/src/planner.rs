@@ -22,21 +22,30 @@ use crate::error::CoreResult;
 use crate::pattern::{CmpOp, Literal, NameTest, PathExpr};
 use crate::pattern_tree::{EdgeKind, PNodeId, Partition, PatternTree, DOC_NODE};
 use crate::plan::{FragmentPlan, PlanStep, PlannedQuery, QueryPlan, SeedChoice};
+use crate::synopsis::{PathAxis, PathStep};
 use crate::values::hash_value;
 use crate::{QueryOptions, StartStrategy};
 
 /// Planner knobs. Not part of [`QueryOptions`] so existing option literals
-/// keep compiling; benchmarks use this to compare orders.
+/// keep compiling; benchmarks use this to compare orders and path modes.
 #[derive(Debug, Clone, Copy)]
 pub struct PlanConfig {
     /// Order fragment evaluation by estimated cost (default). `false`
     /// reproduces the legacy fixed bottom-up walk.
     pub cost_ordered: bool,
+    /// Consult the synopsis path summary (default): prove fragments empty
+    /// from root-chain support alone, estimate seeds by true path support
+    /// instead of min-tag counts, and allow pivot elevation onto rare
+    /// spine ancestors. `false` reproduces tag-only planning.
+    pub path_aware: bool,
 }
 
 impl Default for PlanConfig {
     fn default() -> Self {
-        PlanConfig { cost_ordered: true }
+        PlanConfig {
+            cost_ordered: true,
+            path_aware: true,
+        }
     }
 }
 
@@ -71,8 +80,18 @@ impl<S: Storage> XmlDb<S> {
         let nfrags = part.fragments.len();
         let mut fragments = Vec::with_capacity(nfrags);
         for f in 0..nfrags {
-            fragments.push(self.plan_fragment(&part, f, opts));
+            fragments.push(self.plan_fragment(&part, f, opts, cfg));
         }
+
+        // Empty-by-synopsis proof: a conjunctive tree pattern can only
+        // match if every pattern node's root chain has support in the
+        // document; a single zero proves the whole query empty and lets
+        // the executor answer without touching a page.
+        let proven_empty = cfg.path_aware
+            && (1..tree.nodes.len()).any(|n| match root_chain(self, tree, n) {
+                None => true,
+                Some(steps) => self.synopsis().path_support(&steps) == 0,
+            });
 
         // ---- Fragment evaluation order. Children must precede parents
         // (their root intervals feed the parent's cut-edge hook).
@@ -139,12 +158,24 @@ impl<S: Storage> XmlDb<S> {
             steps,
             returning_fragment: part.returning_fragment,
             cost_ordered: cfg.cost_ordered,
+            proven_empty,
         }
     }
 
     /// Seed choice + cost estimate for one fragment (§6.2's heuristic, in
-    /// statistics form).
-    fn plan_fragment(&self, part: &Partition<'_>, f: usize, opts: QueryOptions) -> FragmentPlan {
+    /// statistics form). Path-aware planning refines the tag-only picture
+    /// with the synopsis path summary: estimates come from true root-chain
+    /// support rather than min-tag counts, and a document-rooted fragment
+    /// may elevate its pivot onto a rarer spine ancestor when probing that
+    /// tag plus navigating its matched subtrees is estimated cheaper than
+    /// lift-and-verify over the postings of the best member tag.
+    fn plan_fragment(
+        &self,
+        part: &Partition<'_>,
+        f: usize,
+        opts: QueryOptions,
+        cfg: PlanConfig,
+    ) -> FragmentPlan {
         let root = part.fragments[f].root;
         let pivot = if root == DOC_NODE {
             doc_pivot(part)
@@ -152,6 +183,17 @@ impl<S: Storage> XmlDb<S> {
             root
         };
         let node_count = self.node_count();
+        // Root-chain support of a pattern node under path-aware planning.
+        // `Some(0)` is a proof of emptiness, not merely an estimate.
+        let chain_support = |n: PNodeId| -> Option<u64> {
+            if !cfg.path_aware {
+                return None;
+            }
+            Some(match root_chain(self, part.tree, n) {
+                None => 0,
+                Some(steps) => self.synopsis().path_support(&steps),
+            })
+        };
         if pivot == DOC_NODE {
             return FragmentPlan {
                 frag: f,
@@ -161,13 +203,16 @@ impl<S: Storage> XmlDb<S> {
                 verify_spine: false,
                 est_starts: 1,
                 est_cost: node_count,
+                path_support: None,
             };
         }
         let strategy = opts.strategy;
         let depths = pivot_depths(part, pivot);
+        let pivot_support = chain_support(pivot);
 
         // Value route: the most selective `= "literal"` constraint, by the
-        // persisted per-hash counts.
+        // persisted per-hash counts. Survivors are additionally bounded by
+        // the pivot chain's true path support.
         if matches!(strategy, StartStrategy::Auto | StartStrategy::ValueIndex) {
             let mut best: Option<(u64, &str, u32)> = None; // (count, literal, depth)
             for (&n, &d) in &depths {
@@ -185,6 +230,10 @@ impl<S: Storage> XmlDb<S> {
                 }
             }
             if let Some((count, lit, d)) = best {
+                let est_starts = match pivot_support {
+                    Some(ps) => count.min(ps),
+                    None => count,
+                };
                 return FragmentPlan {
                     frag: f,
                     root,
@@ -194,45 +243,117 @@ impl<S: Storage> XmlDb<S> {
                         lift: d,
                     },
                     verify_spine: root == DOC_NODE,
-                    est_starts: count,
+                    est_starts,
                     est_cost: count.saturating_mul(4),
+                    path_support: pivot_support,
                 };
             }
         }
 
-        // Tag route: the most selective tag among the `/`-connected members.
+        // Tag route.
         if strategy != StartStrategy::Scan {
-            let mut best: Option<(u64, &str, u32)> = None;
+            struct TagCand {
+                cost: u64,
+                starts: u64,
+                support: Option<u64>,
+                seed: SeedChoice,
+                pivot: PNodeId,
+            }
+            let mut best: Option<TagCand> = None;
+            let consider = |c: TagCand, best: &mut Option<TagCand>| {
+                if best.as_ref().is_none_or(|b| c.cost < b.cost) {
+                    *best = Some(c);
+                }
+            };
+            // Member candidates: the `/`-connected members below the
+            // pivot, seeded by lifting their tag postings. Tag-only cost
+            // is the legacy 4× postings; path-aware cost separates the
+            // posting scan from the per-survivor probe/lift/verify work.
             for (&n, &d) in &depths {
                 if let NameTest::Tag(name) = &part.tree.nodes[n].test {
                     let count = match self.dict.lookup(name) {
                         None => 0, // tag unseen: the whole query is empty
                         Some(code) => self.tag_count(code),
                     };
-                    if best.is_none_or(|(b, _, _)| count < b) {
-                        best = Some((count, name.as_str(), d));
-                    }
+                    let (cost, starts, support) = match chain_support(n) {
+                        Some(s) => (
+                            count.saturating_add(s.saturating_mul(4)),
+                            s.min(count),
+                            Some(s),
+                        ),
+                        None => (count.saturating_mul(4), count, None),
+                    };
+                    consider(
+                        TagCand {
+                            cost,
+                            starts,
+                            support,
+                            seed: SeedChoice::TagIndex {
+                                name: name.clone(),
+                                lift: d,
+                            },
+                            pivot,
+                        },
+                        &mut best,
+                    );
                 }
             }
-            if let Some((count, name, d)) = best {
+            // Elevated-pivot candidates (path-aware, document-rooted):
+            // spine ancestors of the pivot. Seeding from a rare ancestor
+            // costs its postings (probe + lift + verify ≈ 4×) plus
+            // navigation bounded by the total size of the subtrees its
+            // chain matches — which only the path summary can estimate.
+            if cfg.path_aware && root == DOC_NODE {
+                let mut cur = part.tree.nodes[pivot].parent;
+                while let Some(s) = cur {
+                    if s == DOC_NODE {
+                        break;
+                    }
+                    if let NameTest::Tag(name) = &part.tree.nodes[s].test {
+                        if let Some(code) = self.dict.lookup(name) {
+                            let count = self.tag_count(code);
+                            let (support, nav) = match root_chain(self, part.tree, s) {
+                                None => (0, 0),
+                                Some(steps) => (
+                                    self.synopsis().path_support(&steps),
+                                    self.synopsis().path_subtree_support(&steps),
+                                ),
+                            };
+                            consider(
+                                TagCand {
+                                    cost: count.saturating_mul(4).saturating_add(nav),
+                                    starts: support.min(count),
+                                    support: Some(support),
+                                    seed: SeedChoice::TagIndex {
+                                        name: name.clone(),
+                                        lift: 0,
+                                    },
+                                    pivot: s,
+                                },
+                                &mut best,
+                            );
+                        }
+                    }
+                    cur = part.tree.nodes[s].parent;
+                }
+            }
+            if let Some(c) = best {
                 let selective_enough = match strategy {
                     StartStrategy::TagIndex => true,
-                    // A tag covering more than a quarter of the document
-                    // gains nothing over one sequential pass.
-                    _ => count.saturating_mul(4) <= node_count,
+                    // A route costing more than one sequential pass gains
+                    // nothing over it.
+                    _ => c.cost <= node_count,
                 };
                 if selective_enough {
                     return FragmentPlan {
                         frag: f,
                         root,
-                        pivot,
-                        seed: SeedChoice::TagIndex {
-                            name: name.to_string(),
-                            lift: d,
-                        },
+                        pivot: c.pivot,
+                        seed: c.seed,
                         verify_spine: root == DOC_NODE,
-                        est_starts: count,
-                        est_cost: count.saturating_mul(4),
+                        est_starts: c.starts,
+                        est_cost: c.cost,
+                        path_support: c.support,
                     };
                 }
             }
@@ -257,6 +378,7 @@ impl<S: Storage> XmlDb<S> {
                 verify_spine: false,
                 est_starts: 1,
                 est_cost: node_count,
+                path_support: None,
             };
         }
         FragmentPlan {
@@ -267,8 +389,66 @@ impl<S: Storage> XmlDb<S> {
             verify_spine: false,
             est_starts,
             est_cost: node_count,
+            path_support: None,
         }
     }
+}
+
+/// The root chain of pattern node `n` as synopsis path steps, outermost
+/// first, resolved against the tag dictionary. A `following::` edge does
+/// not constrain the tag path above it, so the chain is conservatively
+/// truncated to `//test` at that point. Returns `None` when the chain
+/// names a tag the document has never seen — no node can match it, so the
+/// support is exactly zero.
+pub(crate) fn root_chain<S: Storage>(
+    db: &XmlDb<S>,
+    tree: &PatternTree,
+    n: PNodeId,
+) -> Option<Vec<PathStep>> {
+    let mut steps = Vec::new();
+    let mut cur = n;
+    while cur != DOC_NODE {
+        let node = &tree.nodes[cur];
+        let tag = match &node.test {
+            NameTest::Tag(name) => Some(db.dict.lookup(name)?),
+            NameTest::Wildcard => None,
+        };
+        let (kind, parent) = match node.parent {
+            Some(p) => (
+                tree.nodes[p]
+                    .children
+                    .iter()
+                    .find(|&&(_, c)| c == cur)
+                    .map(|&(k, _)| k)
+                    .unwrap_or(EdgeKind::Descendant),
+                p,
+            ),
+            None => (EdgeKind::Descendant, DOC_NODE),
+        };
+        match kind {
+            EdgeKind::Child => steps.push(PathStep {
+                axis: PathAxis::Child,
+                tag,
+            }),
+            EdgeKind::Descendant => steps.push(PathStep {
+                axis: PathAxis::Descendant,
+                tag,
+            }),
+            EdgeKind::Following => {
+                // Document order does not constrain the tag path: keep
+                // only `//test` for this node and drop everything above.
+                steps.push(PathStep {
+                    axis: PathAxis::Descendant,
+                    tag,
+                });
+                steps.reverse();
+                return Some(steps);
+            }
+        }
+        cur = parent;
+    }
+    steps.reverse();
+    Some(steps)
 }
 
 /// Descend from the virtual document node through the *bare* spine prefix:
@@ -438,6 +618,7 @@ mod tests {
                 QueryOptions::default(),
                 PlanConfig {
                     cost_ordered: false,
+                    ..PlanConfig::default()
                 },
             )
             .unwrap();

@@ -3,7 +3,7 @@
 //! Every committed transaction publishes an immutable [`DbGeneration`]: the
 //! epoch number plus everything a reader needs to see the database exactly
 //! as of that commit — the directory `Arc`, the tag dictionary, the planner
-//! statistics maps, the B+ tree roots, and one [`SnapView`] per paged
+//! synopsis, the B+ tree roots, and one [`SnapView`] per paged
 //! component resolving page reads through the copy-on-write overlay built
 //! by the writer (see `nok_pager::mvcc`).
 //!
@@ -18,7 +18,6 @@
 //! its chain nodes (and through them the frozen before-images) alive;
 //! dropping the last snapshot of a superseded generation frees them.
 
-use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -30,8 +29,9 @@ use nok_pager::{BufferPool, SnapView, SnapshotGuard, Storage};
 use crate::build::XmlDb;
 use crate::error::{CoreError, CoreResult};
 use crate::page::BackendKind;
-use crate::sigma::{TagCode, TagDict};
+use crate::sigma::TagDict;
 use crate::store::{Directory, StructStore};
+use crate::synopsis::Synopsis;
 use crate::values::{DataFile, LockDataFile};
 
 /// One published generation: the committed state of epoch `epoch`, held
@@ -48,10 +48,9 @@ pub struct DbGeneration {
     pub(crate) node_count: u64,
     /// Tag dictionary as of this epoch.
     pub(crate) dict: Arc<TagDict>,
-    /// Planner tag selectivity as of this epoch.
-    pub(crate) tag_counts: Arc<HashMap<TagCode, u64>>,
-    /// Planner value selectivity as of this epoch.
-    pub(crate) value_counts: Arc<HashMap<u64, u64>>,
+    /// Planner synopsis (tag/value selectivity + path summary) as of this
+    /// epoch: readers pinned here plan against exactly this synopsis.
+    pub(crate) synopsis: Arc<Synopsis>,
     /// `(root page, entry count)` for B+t, B+v, B+i.
     pub(crate) roots: [(u32, u64); 3],
     /// Committed data-file length (records at or past it are invisible).
@@ -81,6 +80,11 @@ impl DbGeneration {
         self.data_len
     }
 
+    /// The planner synopsis published with this generation.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
     /// Number of structural pages in this generation's directory.
     pub fn page_count(&self) -> u64 {
         self.dir.order.len() as u64
@@ -104,8 +108,7 @@ pub(crate) fn initial_generations(
     dir: Arc<Directory>,
     node_count: u64,
     dict: Arc<TagDict>,
-    tag_counts: Arc<HashMap<TagCode, u64>>,
-    value_counts: Arc<HashMap<u64, u64>>,
+    synopsis: Arc<Synopsis>,
     roots: [(u32, u64); 3],
     data_len: u64,
 ) -> Arc<GenerationTable<DbGeneration>> {
@@ -121,8 +124,7 @@ pub(crate) fn initial_generations(
         dir,
         node_count,
         dict,
-        tag_counts,
-        value_counts,
+        synopsis,
         roots,
         data_len,
         _ticket: GenTicket::new(&stats),
@@ -271,8 +273,7 @@ fn assemble_snapshot<S: Storage>(
         bt_tag,
         bt_val,
         bt_id,
-        tag_counts: Arc::clone(&g.tag_counts),
-        value_counts: Arc::clone(&g.value_counts),
+        synopsis: Arc::clone(&g.synopsis),
         generation: AtomicU64::new(g.epoch),
         stats_path: None,
         dict_path: None,
@@ -365,8 +366,7 @@ impl<S: Storage> XmlDb<S> {
             dir: self.store.dir_arc(),
             node_count: self.store.node_count(),
             dict: Arc::clone(&self.dict),
-            tag_counts: Arc::clone(&self.tag_counts),
-            value_counts: Arc::clone(&self.value_counts),
+            synopsis: Arc::clone(&self.synopsis),
             roots: [
                 (self.bt_tag.root_page(), self.bt_tag.len()),
                 (self.bt_val.root_page(), self.bt_val.len()),

@@ -185,6 +185,12 @@ impl<S: Storage> XmlDb<S> {
             }
         }
 
+        // Root chain of the insertion point, resolved while every index
+        // still describes the pre-update document — the synopsis path
+        // counts below extend it with each new node's fragment-relative
+        // tag stack.
+        let mut chain = self.ancestor_tag_chain(parent)?;
+
         // Splice into the parent-close page at the close's entry index.
         let decoded = self.store.decoded(close.page)?;
         let ip = close.entry as usize;
@@ -226,9 +232,7 @@ impl<S: Storage> XmlDb<S> {
             let (off, len) = self.data.lock_data().put(text)?;
             value_map.insert(dewey.to_key(), (off, len));
             self.bt_val.insert(&hash_key(text), &dewey.to_key())?;
-            *Arc::make_mut(&mut self.value_counts)
-                .entry(hash_value(text))
-                .or_insert(0) += 1;
+            Arc::make_mut(&mut self.synopsis).add_value_count(hash_value(text), 1);
         }
         for (dewey, tag, level, rel_idx) in &new_nodes {
             let addr = addr_of[ip + rel_idx];
@@ -245,7 +249,16 @@ impl<S: Storage> XmlDb<S> {
             };
             self.bt_tag
                 .insert(&tag_posting_key(*tag, dewey), &posting.to_bytes())?;
-            *Arc::make_mut(&mut self.tag_counts).entry(*tag).or_insert(0) += 1;
+            // Synopsis: bump the tag count and the count of this node's
+            // root-to-node path (new_nodes is in document order, so the
+            // level-truncated chain is exactly the node's tag stack). Runs
+            // inside the transaction: a rollback restores the snapshot Arc
+            // and recovery rebuilds from the replayed indexes.
+            let syn = Arc::make_mut(&mut self.synopsis);
+            syn.add_tag_count(*tag, 1);
+            chain.truncate((*level as usize).saturating_sub(1));
+            chain.push(*tag);
+            syn.add_path_count(&chain, 1);
         }
         let opens = new_nodes.len() as i64;
         self.store.bump_node_count(opens);
@@ -306,6 +319,13 @@ impl<S: Storage> XmlDb<S> {
         // (addresses shift). One walk covers both domains.
         let touched = self.collect_after_region(target, close, parent_level)?;
 
+        // Root chain of the target's parent, resolved before any index is
+        // mutated; the synopsis decrements below extend it with each
+        // removed node's subtree-relative tag stack.
+        let mut chain = self.ancestor_tag_chain(&Dewey::from_slice(
+            &target.components()[..target.components().len() - 1],
+        ))?;
+
         // ---- Physical removal, page by page.
         let region_pages = self.pages_between(addr.page, close.page)?;
         let level_before = self.store.level_at(addr)?.saturating_sub(1);
@@ -337,7 +357,7 @@ impl<S: Storage> XmlDb<S> {
         }
 
         // ---- Index maintenance.
-        for (dewey, tag, _level, _addr) in &removed {
+        for (dewey, tag, level, _addr) in &removed {
             let key = dewey.to_key();
             // B+v first (needs the value pointer from B+i).
             if let Some(rec) = self.bt_id.get_first(&key)? {
@@ -346,14 +366,7 @@ impl<S: Storage> XmlDb<S> {
                     let text = self.data.lock_data().get_record(off)?;
                     let h = hash_key(&text);
                     self.bt_val.delete(&h, Some(&key))?;
-                    let hv = hash_value(&text);
-                    let vc = Arc::make_mut(&mut self.value_counts);
-                    if let Some(c) = vc.get_mut(&hv) {
-                        *c = c.saturating_sub(1);
-                        if *c == 0 {
-                            vc.remove(&hv);
-                        }
-                    }
+                    Arc::make_mut(&mut self.synopsis).sub_value_count(hash_value(&text), 1);
                     // Tombstone the record at commit unless another node
                     // (deduplicated values are shared) still points at it.
                     let mut shared = false;
@@ -372,9 +385,13 @@ impl<S: Storage> XmlDb<S> {
             }
             self.bt_id.delete(&key, None)?;
             self.bt_tag.delete(&tag_posting_key(*tag, dewey), None)?;
-            if let Some(c) = Arc::make_mut(&mut self.tag_counts).get_mut(tag) {
-                *c = c.saturating_sub(1);
-            }
+            // Synopsis: `removed` is in document order, so the
+            // level-truncated chain is each node's root-to-node path.
+            let syn = Arc::make_mut(&mut self.synopsis);
+            syn.sub_tag_count(*tag, 1);
+            chain.truncate((*level as usize).saturating_sub(1));
+            chain.push(*tag);
+            syn.sub_path_count(&chain, 1);
         }
         for t in &touched {
             self.retag_node(t)?;
@@ -387,6 +404,19 @@ impl<S: Storage> XmlDb<S> {
     // ------------------------------------------------------------------
     // helpers
     // ------------------------------------------------------------------
+
+    /// Tags of the ancestors-or-self of `dewey`, outermost first — the
+    /// node's root chain, resolved through B+i. Must run while the indexes
+    /// still describe the document the Dewey id belongs to.
+    fn ancestor_tag_chain(&self, dewey: &Dewey) -> CoreResult<Vec<TagCode>> {
+        let comps = dewey.components();
+        let mut chain = Vec::with_capacity(comps.len());
+        for i in 1..=comps.len() {
+            let addr = self.resolve(&Dewey::from_slice(&comps[..i]))?;
+            chain.push(self.store.tag_at(addr)?);
+        }
+        Ok(chain)
+    }
 
     /// Chain-ordered pages from `from` to `to` inclusive.
     fn pages_between(&self, from: u32, to: u32) -> CoreResult<Vec<u32>> {

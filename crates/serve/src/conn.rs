@@ -219,6 +219,16 @@ pub fn stats_json<S: Storage + Send + Sync + 'static>(svc: &QueryService<S>) -> 
             (io.entries_examined(), io.dir_entries_examined())
         })
         .unwrap_or((0, 0));
+    let (distinct_paths, synopsis_bytes) = snap
+        .as_ref()
+        .map(|s| {
+            let g = s.generation();
+            (
+                g.synopsis().distinct_paths(),
+                g.synopsis().encoded_len(g.node_count()) as u64,
+            )
+        })
+        .unwrap_or((0, 0));
     Json::obj(vec![
         ("served", Json::Num(m.served.load(Ordering::Relaxed) as f64)),
         (
@@ -261,6 +271,12 @@ pub fn stats_json<S: Storage + Send + Sync + 'static>(svc: &QueryService<S>) -> 
         (
             "dir_entries_examined",
             Json::Num(dir_entries_examined as f64),
+        ),
+        ("distinct_paths", Json::Num(distinct_paths as f64)),
+        ("synopsis_bytes", Json::Num(synopsis_bytes as f64)),
+        (
+            "empty_proofs",
+            Json::Num(m.empty_proofs.load(Ordering::Relaxed) as f64),
         ),
     ])
 }
@@ -633,6 +649,15 @@ mod tests {
                     let v = Json::parse(json).unwrap();
                     assert!(v.get("served").is_some());
                     assert!(v.get("p99_us").is_some());
+                    // Synopsis gauges: BIB has at least bib, bib/book,
+                    // bib/book/title, bib/book/price as distinct tag paths
+                    // and a nonzero encoded synopsis block.
+                    assert!(
+                        v.get("distinct_paths").and_then(Json::as_num) >= Some(4.0),
+                        "{json}"
+                    );
+                    assert!(v.get("synopsis_bytes").and_then(Json::as_num) > Some(0.0));
+                    assert!(v.get("empty_proofs").is_some());
                 }
                 BinResponse::ExplainOk { id, count, text } => {
                     assert_eq!(*id, 4);

@@ -182,6 +182,10 @@ pub struct ServerMetrics {
     /// Plan-cache lookups that dropped an entry planned under an older
     /// commit generation.
     pub plan_stale: AtomicU64,
+    /// Queries answered empty from the synopsis path summary alone: the
+    /// planner proved a root chain unsupported and the executor never
+    /// located a starting point or touched a page.
+    pub empty_proofs: AtomicU64,
     /// End-to-end latency of successful queries (per-worker shards,
     /// merged on read).
     pub latency: ShardedLatency,
@@ -192,7 +196,7 @@ impl ServerMetrics {
     pub fn summary(&self) -> String {
         format!(
             "served={} rejected={} timed_out={} failed={} plan_hits={} plan_misses={} \
-             plan_stale={} p50_us={} p99_us={} mean_us={}",
+             plan_stale={} empty_proofs={} p50_us={} p99_us={} mean_us={}",
             self.served.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.timed_out.load(Ordering::Relaxed),
@@ -200,6 +204,7 @@ impl ServerMetrics {
             self.plan_hits.load(Ordering::Relaxed),
             self.plan_misses.load(Ordering::Relaxed),
             self.plan_stale.load(Ordering::Relaxed),
+            self.empty_proofs.load(Ordering::Relaxed),
             self.latency.quantile_micros(0.50),
             self.latency.quantile_micros(0.99),
             self.latency.mean_micros(),

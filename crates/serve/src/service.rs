@@ -446,7 +446,11 @@ fn run_query<S: Storage + Send + 'static>(
             p
         }
     };
-    view.execute_plan(&planned, scratch, results)
+    view.execute_plan(&planned, scratch, results)?;
+    if scratch.stats().proven_empty {
+        inner.metrics.empty_proofs.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
 }
 
 fn deliver(sink: Sink, result: Result<Vec<QueryMatch>, QueryError>) {
@@ -654,6 +658,44 @@ mod tests {
         assert_eq!(m.plan_misses.load(Ordering::Relaxed), 2);
         assert_eq!(m.plan_hits.load(Ordering::Relaxed), 1);
         assert_eq!(svc.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn empty_proofs_are_counted() {
+        let svc = service(1, 16);
+        // title has no book descendants: the synopsis proves the path
+        // unsupported and the worker answers without starting a fragment.
+        assert!(svc.query("//title//book").unwrap().is_empty());
+        assert_eq!(svc.metrics().empty_proofs.load(Ordering::Relaxed), 1);
+        // A non-empty query leaves the counter alone.
+        assert_eq!(svc.query("//book/title").unwrap().len(), 2);
+        assert_eq!(svc.metrics().empty_proofs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn commits_invalidate_proven_empty_plans() {
+        let mut db = XmlDb::build_in_memory(BIB).unwrap();
+        let svc = QueryService::start_from_source(
+            db.snapshot_source(),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 16,
+                default_timeout: Duration::from_secs(5),
+                plan_cache_cap: 64,
+            },
+        );
+        // No <note> exists yet: the plan is proven empty and cached under
+        // the current generation.
+        assert!(svc.query("//book//note").unwrap().is_empty());
+        assert_eq!(svc.metrics().empty_proofs.load(Ordering::Relaxed), 1);
+        // The writer makes the path real and publishes a new generation.
+        let book = db.query("//book").unwrap()[0].dewey.clone();
+        db.insert_last_child(&book, "<note>n</note>").unwrap();
+        // The cached proven-empty plan is stale; the replanned query sees
+        // the updated synopsis and finds the node.
+        assert_eq!(svc.query("//book//note").unwrap().len(), 1);
+        assert_eq!(svc.metrics().plan_stale.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.metrics().empty_proofs.load(Ordering::Relaxed), 1);
     }
 
     #[test]

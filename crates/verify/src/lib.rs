@@ -973,6 +973,53 @@ fn index_checks<S: Storage>(db: &XmlDb<S>, opts: VerifyOptions, scan: &mut Chain
             found: db.distinct_value_count(),
         });
     }
+    // The synopsis path summary the planner proves emptiness from: every
+    // distinct root-to-node tag path recomputed from the rescan must carry
+    // exactly the synopsis's count, and the synopsis must name no path the
+    // document lacks. The chain stack replays the same level-truncation
+    // the build and update layers maintain incrementally.
+    let mut derived_paths: HashMap<Vec<TagCode>, u64> = HashMap::new();
+    let mut path_chain: Vec<TagCode> = Vec::new();
+    for n in &scan.nodes {
+        path_chain.truncate((n.level as usize).saturating_sub(1));
+        path_chain.push(n.tag);
+        *derived_paths.entry(path_chain.clone()).or_insert(0) += 1;
+    }
+    let render = |tags: &[TagCode]| {
+        let mut s = String::new();
+        for t in tags {
+            s.push('/');
+            s.push_str(db.dict().name(*t));
+        }
+        s
+    };
+    let paths = db.synopsis().paths();
+    for (tags, expected) in &derived_paths {
+        let found = paths.exact_count(tags);
+        if found != *expected {
+            v.push(Violation::SynopsisPathCountMismatch {
+                path: render(tags),
+                expected: *expected,
+                found,
+            });
+        }
+    }
+    paths.for_each_path(|tags, found| {
+        if !derived_paths.contains_key(tags) {
+            v.push(Violation::SynopsisPathCountMismatch {
+                path: render(tags),
+                expected: 0,
+                found,
+            });
+        }
+    });
+    if db.synopsis().distinct_paths() != derived_paths.len() as u64 {
+        v.push(Violation::CountMismatch {
+            what: "distinct synopsis paths",
+            expected: derived_paths.len() as u64,
+            found: db.synopsis().distinct_paths(),
+        });
+    }
 
     // ---- Data file: every live record reachable from B+i. Records whose
     // last referent was deleted carry a tombstone (the dead bit in the

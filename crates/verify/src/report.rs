@@ -225,6 +225,16 @@ pub enum Violation {
         /// The out-of-range code.
         code: u16,
     },
+    /// The synopsis path summary disagrees with the root-to-node tag paths
+    /// recomputed from a full rescan of the structure (see DESIGN.md §17).
+    SynopsisPathCountMismatch {
+        /// The tag path, rendered `/a/b/c` with dictionary names.
+        path: String,
+        /// Node count recomputed from the rescan.
+        expected: u64,
+        /// Node count the synopsis carries.
+        found: u64,
+    },
     /// The published MVCC generation disagrees with the committed state it
     /// claims to represent (see DESIGN.md §14).
     GenerationMismatch {
@@ -269,6 +279,7 @@ impl Violation {
             Violation::SuccinctEncoding { .. } => "succinct-encoding",
             Violation::RankSelectMismatch { .. } => "rank-select-mismatch",
             Violation::TagCodeOutOfRange { .. } => "tag-code-out-of-range",
+            Violation::SynopsisPathCountMismatch { .. } => "synopsis-path-count-mismatch",
             Violation::GenerationMismatch { .. } => "generation-mismatch",
         }
     }
@@ -418,6 +429,15 @@ impl Violation {
                 obj.num("entry", *entry as u64);
                 obj.num("code", *code as u64);
             }
+            Violation::SynopsisPathCountMismatch {
+                path,
+                expected,
+                found,
+            } => {
+                obj.str("path", path);
+                obj.num("expected", *expected);
+                obj.num("found", *found);
+            }
             Violation::GenerationMismatch {
                 field,
                 expected,
@@ -551,6 +571,14 @@ impl fmt::Display for Violation {
             Violation::TagCodeOutOfRange { page, entry, code } => {
                 write!(f, "page {page} entry {entry}: tag code {code} outside the 15-bit range")
             }
+            Violation::SynopsisPathCountMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "synopsis path {path}: stored count {found}, rescan says {expected}"
+            ),
             Violation::GenerationMismatch {
                 field,
                 expected,

@@ -8,9 +8,12 @@
 //! effectively dead from that instant. The harness then reopens the
 //! directory (which runs crash recovery) and demands two things:
 //!
-//! 1. `verify_db(strict)` reports zero violations, and
+//! 1. `verify_db(strict)` reports zero violations (including the
+//!    `synopsis-path-count-mismatch` recount of the path summary),
 //! 2. the query results equal the Naive oracle evaluated on the last
-//!    committed document state.
+//!    committed document state, and
+//! 3. the synopsis path counts match that state exactly — the planner
+//!    never sees a stale summary after recovery.
 //!
 //! The only ambiguity is a crash *after* a transaction's commit record is
 //! fsynced but before its pages are applied: the transaction is durable,
@@ -260,6 +263,36 @@ fn every_injected_crash_recovers_clean_and_consistent() {
             got_names, want_names,
             "k={k}: values drifted after recovery"
         );
+
+        // The synopsis path summary must never be stale after recovery.
+        // Strict verify above already recounted the full path multiset
+        // (`synopsis-path-count-mismatch`); this pins the contract
+        // explicitly against the matched state: the recovered planner
+        // sees the true per-path element counts, whichever side of the
+        // in-flight transaction recovery landed on.
+        let code = |t: &str| {
+            db.dict()
+                .lookup(t)
+                .unwrap_or_else(|| panic!("k={k}: tag `{t}` missing from the dictionary"))
+        };
+        let (list, item) = (code("list"), code("item"));
+        let n = matched.len() as u64;
+        assert_eq!(
+            db.synopsis().paths().exact_count(&[list]),
+            1,
+            "k={k}: /list"
+        );
+        for (tail, want) in [
+            (vec![list, item], n),
+            (vec![list, item, code("name")], n),
+            (vec![list, item, code("val")], n),
+        ] {
+            assert_eq!(
+                db.synopsis().paths().exact_count(&tail),
+                want,
+                "k={k}: synopsis stale after recovery on path {tail:?}"
+            );
+        }
     }
 
     std::fs::remove_dir_all(&pristine).ok();

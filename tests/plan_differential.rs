@@ -1,13 +1,17 @@
-//! Planner/executor differential battery: on every dataset and every
-//! workload query (plus the `//` variants), the cost-ordered plan, the
-//! legacy fixed-order plan, and a forced full-scan plan must all return
-//! exactly the result set of the naive oracle — the planner may change
-//! evaluation *order* and *seeding*, never *answers*. A final snapshot
-//! test pins the explain output's operator sequence on a deep/wide
-//! synthetic document.
+//! Planner/executor differential battery: on every dataset, every
+//! workload query (plus the `//` variants), and both structure backends,
+//! the path-aware cost-ordered plan, the tag-only plan, the legacy
+//! fixed-order plan, and a forced full-scan plan must all return exactly
+//! the result set of the naive oracle — the planner may change evaluation
+//! *order* and *seeding* (including proving queries empty from the
+//! synopsis path summary), never *answers*. A final snapshot test pins the
+//! explain output's operator sequence on a deep/wide synthetic document.
 
 use nok_core::naive::NaiveEvaluator;
-use nok_core::{PlanConfig, QueryOptions, QueryScratch, StartStrategy, StrategyUsed, XmlDb};
+use nok_core::{
+    BackendKind, BuildOptions, PlanConfig, QueryOptions, QueryScratch, StartStrategy, StrategyUsed,
+    XmlDb,
+};
 use nok_datagen::{generate, workload, DatasetKind};
 use nok_xml::Document;
 
@@ -25,9 +29,14 @@ fn execute(
     out.iter().map(|m| m.dewey.to_string()).collect()
 }
 
-fn check_dataset(kind: DatasetKind) {
+fn check_dataset(kind: DatasetKind, backend: BackendKind) {
     let ds = generate(kind, 0.01); // floor: 800 records
-    let db = XmlDb::build_in_memory(&ds.xml).expect("build");
+    let db = XmlDb::build_in_memory_with(
+        &ds.xml,
+        BuildOptions::with_backend(backend),
+        nok_pager::DEFAULT_PAGE_SIZE,
+    )
+    .expect("build");
     let doc = Document::parse(&ds.xml).expect("parse");
     let oracle = NaiveEvaluator::new(&doc);
     // One scratch across every query: pooled buffers must never leak state
@@ -42,76 +51,77 @@ fn check_dataset(kind: DatasetKind) {
                 .iter()
                 .map(|n| oracle.dewey(n).to_string())
                 .collect();
-            let planned = execute(
-                &db,
-                path,
-                QueryOptions::default(),
-                PlanConfig::default(),
-                &mut scratch,
-            );
-            assert_eq!(
-                planned,
-                expected,
-                "cost-ordered plan disagrees with oracle on {} Q{i}: {path}",
-                kind.name()
-            );
-            let fixed = execute(
-                &db,
-                path,
-                QueryOptions::default(),
-                PlanConfig {
-                    cost_ordered: false,
-                },
-                &mut scratch,
-            );
-            assert_eq!(
-                fixed,
-                expected,
-                "fixed-order plan disagrees with oracle on {} Q{i}: {path}",
-                kind.name()
-            );
-            let scanned = execute(
-                &db,
-                path,
-                QueryOptions {
-                    strategy: StartStrategy::Scan,
-                },
-                PlanConfig::default(),
-                &mut scratch,
-            );
-            assert_eq!(
-                scanned,
-                expected,
-                "forced-scan plan disagrees with oracle on {} Q{i}: {path}",
-                kind.name()
-            );
+            let arms: [(&str, QueryOptions, PlanConfig); 4] = [
+                (
+                    "path-aware cost-ordered",
+                    QueryOptions::default(),
+                    PlanConfig::default(),
+                ),
+                (
+                    "tag-only",
+                    QueryOptions::default(),
+                    PlanConfig {
+                        path_aware: false,
+                        ..PlanConfig::default()
+                    },
+                ),
+                (
+                    "fixed-order",
+                    QueryOptions::default(),
+                    PlanConfig {
+                        cost_ordered: false,
+                        ..PlanConfig::default()
+                    },
+                ),
+                (
+                    "forced-scan",
+                    QueryOptions {
+                        strategy: StartStrategy::Scan,
+                    },
+                    PlanConfig::default(),
+                ),
+            ];
+            for (arm, opts, cfg) in arms {
+                let got = execute(&db, path, opts, cfg, &mut scratch);
+                assert_eq!(
+                    got,
+                    expected,
+                    "{arm} plan disagrees with oracle on {} ({backend:?}) Q{i}: {path}",
+                    kind.name()
+                );
+            }
         }
     }
 }
 
+fn check_both_backends(kind: DatasetKind) {
+    check_dataset(kind, BackendKind::Classic);
+    check_dataset(kind, BackendKind::Succinct);
+}
+
 #[test]
 fn author_plans_match_oracle() {
-    check_dataset(DatasetKind::Author);
+    check_both_backends(DatasetKind::Author);
 }
 
 #[test]
 fn address_plans_match_oracle() {
-    check_dataset(DatasetKind::Address);
+    check_both_backends(DatasetKind::Address);
 }
 
 #[test]
 fn catalog_plans_match_oracle() {
-    check_dataset(DatasetKind::Catalog);
+    check_both_backends(DatasetKind::Catalog);
 }
 
 #[test]
 fn treebank_plans_match_oracle() {
-    check_dataset(DatasetKind::Treebank);
+    check_both_backends(DatasetKind::Treebank);
 }
 
 #[test]
 fn dblp_plans_match_oracle() {
-    check_dataset(DatasetKind::Dblp);
+    check_both_backends(DatasetKind::Dblp);
 }
 
 /// A deep/wide synthetic document (many sections, each a deep chain plus a
@@ -163,6 +173,12 @@ fn deepwide_explain_snapshot() {
         .unwrap_or_else(|| panic!("value constraint must seed from the value index: {explain}"));
     assert_eq!(value_row.est, Some(1), "{explain}");
     assert_eq!(value_row.actual, Some(1), "{explain}");
+    // Path-aware planning annotates seeds with their true root-chain
+    // support from the synopsis path summary.
+    assert!(
+        explain.rows.iter().any(|r| r.detail.contains("path-est=")),
+        "{explain}"
+    );
     let collect = explain.rows.last().unwrap();
     assert_eq!(collect.actual, Some(40), "{explain}");
 

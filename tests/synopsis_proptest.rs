@@ -1,0 +1,101 @@
+//! Property-based testing of the synopsis block codec.
+//!
+//! * **Round-trip**: any synopsis assembled through the mutation API
+//!   encodes to a canonical block that decodes back to the same counters,
+//!   path counts, and stored node count — and re-encodes byte-identically.
+//! * **Adversarial input**: `from_bytes` over truncations, single-byte
+//!   corruptions, and arbitrary byte soup never panics; it answers
+//!   `Some(..)` only for blocks that re-encode consistently.
+
+use proptest::prelude::*;
+
+use nok_core::{Synopsis, TagCode};
+
+/// A random synopsis built exclusively through the public mutation API,
+/// exactly as build/update do, paired with a random stored node count.
+fn arb_synopsis() -> BoxedStrategy<(u64, Synopsis)> {
+    let paths = proptest::collection::vec(
+        (
+            proptest::collection::vec(0u16..12, 1..6), // root path, as tag codes
+            1u64..500,                                 // node count on that path
+        ),
+        0..24,
+    );
+    let tags = proptest::collection::vec((0u16..12, 1u64..500), 0..12);
+    let values = proptest::collection::vec((any::<u64>(), 1u64..500), 0..12);
+    (paths, tags, values, any::<u64>())
+        .prop_map(|(paths, tags, values, node_count)| {
+            let mut s = Synopsis::new();
+            for (path, n) in paths {
+                let tags: Vec<TagCode> = path.into_iter().map(TagCode).collect();
+                s.add_path_count(&tags, n);
+            }
+            for (t, n) in tags {
+                s.add_tag_count(TagCode(t), n);
+            }
+            for (h, n) in values {
+                s.add_value_count(h, n);
+            }
+            (node_count, s)
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn round_trips_through_the_block_codec(case in arb_synopsis()) {
+        let (node_count, s) = case;
+        let bytes = s.to_bytes(node_count);
+        let (decoded_count, decoded) =
+            Synopsis::from_bytes(&bytes).expect("canonical block must decode");
+        prop_assert_eq!(decoded_count, node_count);
+        // Tag and value counters survive exactly.
+        for (t, c) in s.tag_counts() {
+            prop_assert_eq!(decoded.tag_count(t), c);
+        }
+        prop_assert_eq!(decoded.distinct_value_count(), s.distinct_value_count());
+        // Path counts survive exactly, in both directions.
+        prop_assert_eq!(decoded.distinct_paths(), s.distinct_paths());
+        let mut original = Vec::new();
+        s.paths().for_each_path(|tags, c| original.push((tags.to_vec(), c)));
+        let mut round_tripped = Vec::new();
+        decoded
+            .paths()
+            .for_each_path(|tags, c| round_tripped.push((tags.to_vec(), c)));
+        prop_assert_eq!(original, round_tripped);
+        // The encoding is canonical: decode-then-encode is byte-identical.
+        prop_assert_eq!(decoded.to_bytes(decoded_count), bytes);
+    }
+
+    #[test]
+    fn truncations_never_panic(case in arb_synopsis(), cut in any::<u64>()) {
+        let (node_count, s) = case;
+        let bytes = s.to_bytes(node_count);
+        // Every strict prefix is rejected (without panicking); the header
+        // alone is >= 18 bytes, so the block is never empty.
+        let cut = (cut as usize) % bytes.len();
+        prop_assert!(Synopsis::from_bytes(&bytes[..cut]).is_none());
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        prop_assert!(Synopsis::from_bytes(&extended).is_none());
+    }
+
+    #[test]
+    fn corruptions_never_panic(case in arb_synopsis(), pos in any::<u64>(), xor in 1u8..=255) {
+        let (node_count, s) = case;
+        let mut bytes = s.to_bytes(node_count);
+        let i = (pos as usize) % bytes.len();
+        bytes[i] ^= xor;
+        // Must not panic; if it still decodes (the flipped byte landed in
+        // a count), the result must re-encode without panicking either.
+        if let Some((nc, decoded)) = Synopsis::from_bytes(&bytes) {
+            let _ = decoded.to_bytes(nc);
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Synopsis::from_bytes(&bytes);
+    }
+}
